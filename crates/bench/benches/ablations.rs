@@ -1,0 +1,155 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//!
+//! 1. Decompression priority (high, per §3.2.3, vs. low) — quantifies why
+//!    correctness-critical assist warps must take precedence.
+//! 2. AWB low-priority partition size (the paper provisions 2 entries).
+//! 3. Store-buffer capacity (§4.2.2 Î) and its overflow behaviour.
+//! 4. The metadata cache (§4.3.2) vs. paying a metadata access per DRAM
+//!    access.
+//! 5. Warp scheduler policy (Table 1 uses GTO).
+//!
+//! Run with `cargo bench -p caba-bench --bench ablations`. The apps used
+//! are a small representative trio (streaming / gather / stencil).
+
+use caba_core::CabaController;
+use caba_sim::{Design, GpuConfig, SchedulerPolicy};
+use caba_stats::Table;
+use caba_workloads::{app, run_app};
+
+const APPS: [&str; 3] = ["CONS", "PVC", "LPS"];
+
+fn scale() -> f64 {
+    std::env::var("CABA_BENCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.5)
+}
+
+fn caba() -> Design {
+    Design::Caba(Box::new(CabaController::bdi()))
+}
+
+fn cycles(cfg: GpuConfig, design: Design, name: &str) -> u64 {
+    let a = app(name).expect("known app");
+    run_app(&a, cfg, design, scale())
+        .unwrap_or_else(|e| panic!("{name}: {e}"))
+        .cycles
+}
+
+fn section(title: &str, t: Table) {
+    println!("\n================================================================");
+    println!("Ablation: {title}");
+    println!("================================================================");
+    print!("{t}");
+}
+
+fn ablate_decompression_priority() {
+    let mut t = Table::with_columns(&["App", "High (paper)", "Low (ablated)"]);
+    for name in APPS {
+        let hi = cycles(GpuConfig::isca2015_scaled(), caba(), name);
+        let lo = cycles(
+            GpuConfig::isca2015_scaled(),
+            Design::Caba(Box::new(
+                CabaController::bdi().with_low_priority_decompression(),
+            )),
+            name,
+        );
+        t.row(vec![
+            name.into(),
+            format!("{hi} cy (1.00x)"),
+            format!("{lo} cy ({:.2}x)", hi as f64 / lo as f64),
+        ]);
+    }
+    section(
+        "decompression priority (§3.2.3: blocking warps must run first)",
+        t,
+    );
+}
+
+fn ablate_awb_entries() {
+    let mut t = Table::with_columns(&["App", "AWB=1", "AWB=2 (paper)", "AWB=4", "AWB=8"]);
+    for name in APPS {
+        let base = cycles(GpuConfig::isca2015_scaled(), caba(), name);
+        let mut row = vec![name.to_string()];
+        for entries in [1usize, 2, 4, 8] {
+            let mut cfg = GpuConfig::isca2015_scaled();
+            cfg.awb_low_priority_entries = entries;
+            let c = cycles(cfg, caba(), name);
+            row.push(format!("{:.2}x", base as f64 / c as f64));
+        }
+        // Column 2 (AWB=2) is the default, so it reads 1.00x by construction.
+        t.row(row);
+    }
+    section("AWB low-priority partition entries (§3.3 provisions 2)", t);
+}
+
+fn ablate_store_buffer() {
+    let mut t = Table::with_columns(&["App", "SB=2", "SB=16 (paper-ish)", "SB=64", "overflows@2"]);
+    for name in APPS {
+        let a = app(name).expect("known app");
+        let mut row = vec![name.to_string()];
+        let mut ovf2 = 0;
+        let base = cycles(GpuConfig::isca2015_scaled(), caba(), name);
+        for sb in [2usize, 16, 64] {
+            let mut cfg = GpuConfig::isca2015_scaled();
+            cfg.store_buffer = sb;
+            let s = run_app(&a, cfg, caba(), scale()).expect("completes");
+            if sb == 2 {
+                ovf2 = s.store_buffer_overflows;
+            }
+            row.push(format!("{:.2}x", base as f64 / s.cycles as f64));
+        }
+        row.push(ovf2.to_string());
+        t.row(row);
+    }
+    section("store-buffer capacity (§4.2.2: overflow releases uncompressed)", t);
+}
+
+fn ablate_md_cache() {
+    let mut t = Table::with_columns(&["App", "MD cache on (paper)", "MD cache off"]);
+    for name in APPS {
+        let on = cycles(GpuConfig::isca2015_scaled(), caba(), name);
+        let mut cfg = GpuConfig::isca2015_scaled();
+        cfg.md_cache_enabled = false;
+        let off = cycles(cfg, caba(), name);
+        t.row(vec![
+            name.into(),
+            format!("{on} cy (1.00x)"),
+            format!("{off} cy ({:.2}x)", on as f64 / off as f64),
+        ]);
+    }
+    section(
+        "metadata cache (§4.3.2: avoids doubling DRAM accesses)",
+        t,
+    );
+}
+
+fn ablate_scheduler() {
+    let mut t = Table::with_columns(&["App", "GTO (paper)", "RoundRobin", "OldestFirst"]);
+    for name in APPS {
+        let mut row = vec![name.to_string()];
+        let base = cycles(GpuConfig::isca2015_scaled(), Design::Base, name);
+        for pol in [
+            SchedulerPolicy::Gto,
+            SchedulerPolicy::RoundRobin,
+            SchedulerPolicy::OldestFirst,
+        ] {
+            let mut cfg = GpuConfig::isca2015_scaled();
+            cfg.scheduler = pol;
+            let c = cycles(cfg, Design::Base, name);
+            row.push(format!("{:.2}x", base as f64 / c as f64));
+        }
+        t.row(row);
+    }
+    section("warp scheduler policy (Table 1: GTO [68])", t);
+}
+
+fn main() {
+    eprintln!("ablation harness: scale={} ", scale());
+    ablate_decompression_priority();
+    ablate_awb_entries();
+    ablate_store_buffer();
+    ablate_md_cache();
+    ablate_scheduler();
+    eprintln!("ablation harness complete");
+}

@@ -1,0 +1,79 @@
+//! Criterion microbenchmarks: compression codec throughput (the latency
+//! asymmetry that motivates the paper's per-algorithm latency modelling,
+//! §6.3) and raw simulator cycle rate.
+
+use caba_compress::{Algorithm, LINE_SIZE};
+use caba_isa::{AluOp, Kernel, LaunchDims, ProgramBuilder, Reg, Space, Special, Src, Width};
+use caba_sim::{Design, Gpu, GpuConfig};
+use caba_stats::Rng64;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+/// Sparse small integers: compressible by all three algorithms, so every
+/// codec's decompression path can be benchmarked on the same line.
+fn compressible_line(seed: u64) -> Vec<u8> {
+    let mut rng = Rng64::new(seed);
+    let mut line = Vec::with_capacity(LINE_SIZE);
+    for _ in 0..LINE_SIZE / 4 {
+        let w = if rng.chance(0.6) {
+            0u32
+        } else {
+            rng.range_u64(100) as u32
+        };
+        line.extend_from_slice(&w.to_le_bytes());
+    }
+    line
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec");
+    for alg in Algorithm::ALL {
+        let comp = alg.compressor();
+        let line = compressible_line(7);
+        g.bench_function(format!("{}/compress", alg.name()), |b| {
+            b.iter(|| black_box(comp.compress(black_box(&line))))
+        });
+        let z = comp.compress(&line).expect("compressible");
+        g.bench_function(format!("{}/decompress", alg.name()), |b| {
+            b.iter(|| black_box(comp.decompress(black_box(&z)).expect("round trip")))
+        });
+    }
+    g.finish();
+}
+
+fn sim_kernel(n: u32) -> Kernel {
+    let mut b = ProgramBuilder::new();
+    let (gid, addr, v) = (Reg(0), Reg(1), Reg(2));
+    b.global_thread_id(gid);
+    b.alu(AluOp::Shl, addr, Src::Reg(gid), Src::Imm(2));
+    b.alu(AluOp::Add, addr, Src::Reg(addr), Src::Sp(Special::Param(0)));
+    b.ld(Space::Global, Width::B4, v, Src::Reg(addr), 0);
+    b.alu(AluOp::Add, v, Src::Reg(v), Src::Imm(1));
+    b.st(Space::Global, Width::B4, Src::Reg(v), Src::Reg(addr), 0);
+    b.exit();
+    Kernel::new("bench", b.build(), LaunchDims::new(n.div_ceil(128), 128))
+        .with_params(vec![0x1_0000])
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    let kernel = sim_kernel(4096);
+    g.bench_function("base_4096_threads", |b| {
+        b.iter_batched(
+            || {
+                let mut gpu = Gpu::new(GpuConfig::small(), Design::Base);
+                for i in 0..4096u64 {
+                    gpu.mem_mut().write_u32(0x1_0000 + i * 4, i as u32);
+                }
+                gpu
+            },
+            |mut gpu| black_box(gpu.run(&kernel, 10_000_000).expect("completes")),
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_codecs, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Regenerates Figure 1: issue-cycle breakdown at ½×/1×/2× bandwidth.
+fn main() {
+    let hc = caba_bench::HarnessConfig::default();
+    print!("{}", caba_bench::fig01_stall_breakdown(&hc));
+}

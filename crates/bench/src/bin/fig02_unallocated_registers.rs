@@ -1,0 +1,4 @@
+//! Regenerates Figure 2: statically unallocated registers per application.
+fn main() {
+    print!("{}", caba_bench::fig02_unallocated_registers());
+}

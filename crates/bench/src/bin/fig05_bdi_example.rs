@@ -1,0 +1,4 @@
+//! Regenerates Figure 5: the worked BDI example (64 B PVC line → 17 B).
+fn main() {
+    print!("{}", caba_bench::fig05_bdi_example());
+}

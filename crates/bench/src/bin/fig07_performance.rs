@@ -1,0 +1,6 @@
+//! Regenerates Figure 7: normalized performance of the five designs.
+fn main() {
+    let hc = caba_bench::HarnessConfig::default();
+    let mut m = caba_bench::RunMatrix::new();
+    print!("{}", caba_bench::fig07_performance(&hc, &mut m));
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 8: memory bandwidth utilization.
+fn main() {
+    let hc = caba_bench::HarnessConfig::default();
+    let mut m = caba_bench::RunMatrix::new();
+    print!("{}", caba_bench::fig08_bw_utilization(&hc, &mut m));
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 9: normalized energy (plus §6.2 power analysis).
+fn main() {
+    let hc = caba_bench::HarnessConfig::default();
+    let mut m = caba_bench::RunMatrix::new();
+    print!("{}", caba_bench::fig09_energy(&hc, &mut m));
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 10: speedup with FPC / BDI / C-Pack / BestOfAll.
+fn main() {
+    let hc = caba_bench::HarnessConfig::default();
+    let mut m = caba_bench::RunMatrix::new();
+    print!("{}", caba_bench::fig10_algorithms(&hc, &mut m));
+}

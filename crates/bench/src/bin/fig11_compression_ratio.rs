@@ -1,0 +1,5 @@
+//! Regenerates Figure 11: compression ratio of each algorithm per app.
+fn main() {
+    let hc = caba_bench::HarnessConfig::default();
+    print!("{}", caba_bench::fig11_compression_ratio(&hc));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 12: sensitivity to peak memory bandwidth.
+fn main() {
+    let hc = caba_bench::HarnessConfig::default();
+    print!("{}", caba_bench::fig12_bw_sensitivity(&hc));
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 13: selective cache compression (L1/L2, 2×/4× tags).
+fn main() {
+    let hc = caba_bench::HarnessConfig::default();
+    let mut m = caba_bench::RunMatrix::new();
+    print!("{}", caba_bench::fig13_cache_compression(&hc, &mut m));
+}

@@ -1,0 +1,6 @@
+//! Regenerates the §4.3.2 metadata-cache hit-rate table (paper: 85% avg).
+fn main() {
+    let hc = caba_bench::HarnessConfig::default();
+    let mut m = caba_bench::RunMatrix::new();
+    print!("{}", caba_bench::tab_md_cache(&hc, &mut m));
+}

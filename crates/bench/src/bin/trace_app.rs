@@ -1,0 +1,40 @@
+//! Record a Chrome-trace (Perfetto) activity trace of one application run.
+//!
+//! ```sh
+//! cargo run --release -p caba-bench --bin trace_app -- PVC 0.25 caba trace.json
+//! ```
+//!
+//! Open the JSON in `chrome://tracing` or https://ui.perfetto.dev to see
+//! per-SM issue activity (app vs. assist instructions) and DRAM bandwidth
+//! utilization over time.
+
+use caba_core::CabaController;
+use caba_sim::{Design, Gpu, GpuConfig};
+use caba_workloads::app;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "PVC".into());
+    let scale: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0.25);
+    let design = match args.next().as_deref() {
+        Some("base") => Design::Base,
+        _ => Design::Caba(Box::new(CabaController::bdi())),
+    };
+    let path = args.next().unwrap_or_else(|| "trace.json".into());
+
+    let a = app(&name).expect("known application");
+    let mut gpu = Gpu::new(GpuConfig::isca2015_scaled(), design);
+    a.load_inputs(&mut gpu, scale);
+    gpu.enable_tracing(64);
+    let stats = gpu
+        .run(&a.kernel(scale), 200_000_000)
+        .expect("kernel completes");
+    let trace = gpu.take_trace().expect("tracing was enabled");
+    std::fs::write(&path, trace.to_chrome_json()).expect("write trace file");
+    eprintln!(
+        "{name}: {} cycles, {} samples, avg BW {:.1}% -> {path}",
+        stats.cycles,
+        trace.samples.len(),
+        trace.avg_bw_utilization() * 100.0
+    );
+}

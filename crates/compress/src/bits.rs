@@ -1,0 +1,186 @@
+//! Bit-granular serialization used by the FPC and C-Pack formats.
+
+/// Writes values LSB-first into a growing byte buffer.
+///
+/// # Examples
+///
+/// ```
+/// use caba_compress::bits::{BitReader, BitWriter};
+/// let mut w = BitWriter::new();
+/// w.write(0b101, 3);
+/// w.write(0xFF, 8);
+/// let (bytes, bits) = w.finish();
+/// assert_eq!(bits, 11);
+/// let mut r = BitReader::new(&bytes);
+/// assert_eq!(r.read(3), Some(0b101));
+/// assert_eq!(r.read(8), Some(0xFF));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    bit_len: usize,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends the low `nbits` bits of `value` (LSB first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nbits > 64`.
+    pub fn write(&mut self, value: u64, nbits: usize) {
+        assert!(nbits <= 64, "cannot write more than 64 bits at once");
+        for i in 0..nbits {
+            let bit = (value >> i) & 1;
+            let byte_idx = self.bit_len / 8;
+            if byte_idx == self.bytes.len() {
+                self.bytes.push(0);
+            }
+            self.bytes[byte_idx] |= (bit as u8) << (self.bit_len % 8);
+            self.bit_len += 1;
+        }
+    }
+
+    /// Total bits written so far.
+    pub fn bit_len(&self) -> usize {
+        self.bit_len
+    }
+
+    /// Size in whole bytes (rounded up).
+    pub fn byte_len(&self) -> usize {
+        self.bit_len.div_ceil(8)
+    }
+
+    /// Consumes the writer, returning the padded bytes and exact bit count.
+    pub fn finish(self) -> (Vec<u8>, usize) {
+        (self.bytes, self.bit_len)
+    }
+}
+
+/// Reads values LSB-first from a byte buffer.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        BitReader { bytes, pos: 0 }
+    }
+
+    /// Reads `nbits` bits, or `None` if the buffer is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nbits > 64`.
+    pub fn read(&mut self, nbits: usize) -> Option<u64> {
+        assert!(nbits <= 64, "cannot read more than 64 bits at once");
+        if self.pos + nbits > self.bytes.len() * 8 {
+            return None;
+        }
+        let mut v = 0u64;
+        for i in 0..nbits {
+            let byte = self.bytes[self.pos / 8];
+            let bit = (byte >> (self.pos % 8)) & 1;
+            v |= (bit as u64) << i;
+            self.pos += 1;
+        }
+        Some(v)
+    }
+
+    /// Current bit position.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Remaining readable bits.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() * 8 - self.pos
+    }
+}
+
+/// Sign-extends the low `nbits` of `v` to 64 bits.
+pub fn sign_extend(v: u64, nbits: usize) -> i64 {
+    debug_assert!(nbits > 0 && nbits <= 64);
+    let shift = 64 - nbits;
+    ((v << shift) as i64) >> shift
+}
+
+/// True if the signed value `v` is representable in `nbits` bits.
+pub fn fits_signed(v: i64, nbits: usize) -> bool {
+    debug_assert!(nbits > 0 && nbits < 64);
+    let lo = -(1i64 << (nbits - 1));
+    let hi = (1i64 << (nbits - 1)) - 1;
+    (lo..=hi).contains(&v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_mixed_widths() {
+        let mut w = BitWriter::new();
+        let fields = [(0b1u64, 1), (0x3FFu64, 10), (0u64, 5), (u64::MAX, 64)];
+        for &(v, n) in &fields {
+            w.write(v, n);
+        }
+        let (bytes, bits) = w.finish();
+        assert_eq!(bits, 80);
+        let mut r = BitReader::new(&bytes);
+        for &(v, n) in &fields {
+            let mask = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+            assert_eq!(r.read(n), Some(v & mask));
+        }
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(r.read(1), None);
+    }
+
+    #[test]
+    fn zero_bit_write_is_noop() {
+        let mut w = BitWriter::new();
+        w.write(123, 0);
+        assert_eq!(w.bit_len(), 0);
+        assert_eq!(w.byte_len(), 0);
+    }
+
+    #[test]
+    fn reader_eof() {
+        let mut r = BitReader::new(&[0xAB]);
+        assert_eq!(r.read(8), Some(0xAB));
+        assert_eq!(r.read(1), None);
+        assert_eq!(r.position(), 8);
+    }
+
+    #[test]
+    fn sign_extension() {
+        assert_eq!(sign_extend(0xF, 4), -1);
+        assert_eq!(sign_extend(0x7, 4), 7);
+        assert_eq!(sign_extend(0x80, 8), -128);
+        assert_eq!(sign_extend(0x7F, 8), 127);
+        assert_eq!(sign_extend(u64::MAX, 64), -1);
+    }
+
+    #[test]
+    fn fits_signed_bounds() {
+        assert!(fits_signed(7, 4));
+        assert!(fits_signed(-8, 4));
+        assert!(!fits_signed(8, 4));
+        assert!(!fits_signed(-9, 4));
+        assert!(fits_signed(127, 8));
+        assert!(!fits_signed(128, 8));
+    }
+
+    #[test]
+    fn byte_len_rounds_up() {
+        let mut w = BitWriter::new();
+        w.write(1, 9);
+        assert_eq!(w.byte_len(), 2);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests: every compressor must be lossless on every input it
+//! accepts, across data profiles from all-zero to full-entropy.
+
+use caba_compress::{average_best_ratio, average_burst_ratio, Algorithm, BestOfAll, LINE_SIZE};
+use proptest::prelude::*;
+
+/// Strategy producing 128-byte lines across compressibility regimes.
+fn line_strategy() -> impl Strategy<Value = Vec<u8>> {
+    prop_oneof![
+        // Raw bytes (usually incompressible).
+        proptest::collection::vec(any::<u8>(), LINE_SIZE),
+        // Low-dynamic-range 32-bit values around a random base.
+        (any::<u32>(), proptest::collection::vec(0u32..256, LINE_SIZE / 4)).prop_map(
+            |(base, offs)| {
+                let mut line = Vec::with_capacity(LINE_SIZE);
+                for o in offs {
+                    line.extend_from_slice(&base.wrapping_add(o).to_le_bytes());
+                }
+                line
+            }
+        ),
+        // Sparse: mostly zeros with a few random words.
+        proptest::collection::vec(prop_oneof![9 => Just(0u32), 1 => any::<u32>()], LINE_SIZE / 4)
+            .prop_map(|ws| {
+                let mut line = Vec::with_capacity(LINE_SIZE);
+                for w in ws {
+                    line.extend_from_slice(&w.to_le_bytes());
+                }
+                line
+            }),
+        // Dictionary-friendly: words drawn from a tiny pool.
+        (
+            proptest::collection::vec(any::<u32>(), 4),
+            proptest::collection::vec(0usize..4, LINE_SIZE / 4)
+        )
+            .prop_map(|(pool, picks)| {
+                let mut line = Vec::with_capacity(LINE_SIZE);
+                for p in picks {
+                    line.extend_from_slice(&pool[p].to_le_bytes());
+                }
+                line
+            }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn bdi_round_trip(line in line_strategy()) {
+        let c = Algorithm::Bdi.compressor();
+        if let Some(z) = c.compress(&line) {
+            prop_assert!(z.size_bytes() < line.len());
+            prop_assert_eq!(c.decompress(&z).unwrap(), line);
+        }
+    }
+
+    #[test]
+    fn fpc_round_trip(line in line_strategy()) {
+        let c = Algorithm::Fpc.compressor();
+        if let Some(z) = c.compress(&line) {
+            prop_assert!(z.size_bytes() < line.len());
+            prop_assert_eq!(c.decompress(&z).unwrap(), line);
+        }
+    }
+
+    #[test]
+    fn cpack_round_trip(line in line_strategy()) {
+        let c = Algorithm::CPack.compressor();
+        if let Some(z) = c.compress(&line) {
+            prop_assert!(z.size_bytes() < line.len());
+            prop_assert_eq!(c.decompress(&z).unwrap(), line);
+        }
+    }
+
+    #[test]
+    fn best_of_all_never_worse_than_any(line in line_strategy()) {
+        let best = BestOfAll::new().compress(&line);
+        for a in Algorithm::ALL {
+            if let Some(z) = a.compressor().compress(&line) {
+                let b = best.as_ref().expect("best must exist if any succeeds");
+                prop_assert!(b.size_bytes() <= z.size_bytes());
+            }
+        }
+    }
+
+    #[test]
+    fn burst_counts_within_range(line in line_strategy()) {
+        for a in Algorithm::ALL {
+            if let Some(z) = a.compressor().compress(&line) {
+                prop_assert!(z.bursts() >= 1);
+                prop_assert!(z.bursts() <= LINE_SIZE / 32);
+                prop_assert!(z.burst_ratio() >= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn average_ratios_at_least_one(lines in proptest::collection::vec(line_strategy(), 1..8)) {
+        for a in Algorithm::ALL {
+            prop_assert!(average_burst_ratio(a, &lines) >= 1.0 - 1e-12);
+        }
+        let best = average_best_ratio(&lines);
+        for a in Algorithm::ALL {
+            prop_assert!(best >= average_burst_ratio(a, &lines) - 1e-9);
+        }
+    }
+}

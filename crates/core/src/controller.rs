@@ -1,0 +1,525 @@
+//! The CABA Assist Warp Controller policy (§3.3–3.4, §4.2).
+//!
+//! Implements `caba_sim::AssistController`: decides which subroutine to
+//! trigger for each fill/store event, manages staging slots (the compressed
+//! line resident at the core plus live-in/live-out registers), and
+//! interprets assist-warp completions. Decompression assist warps run at
+//! high priority ("stalls the progress of its parent warp until it
+//! completes", §4.2.1); compression assist warps run at low priority through
+//! the AWB partition ("off the critical path", §4.2.2).
+
+use crate::subroutines::{
+    active_mask_for, lanes_for, AssistWarpStore, SubroutineKey, HDR_OFF, PAYLOAD_OFF, SLOT_SIZE,
+};
+use caba_compress::bdi::{Bdi, BdiEncoding};
+use caba_compress::{Algorithm, BestOfAll, CompressedLine, Compressor};
+use caba_isa::Reg;
+use caba_mem::func::LineCompressor;
+use caba_mem::LINE_SIZE;
+use caba_sim::{
+    AssistController, AssistLaunch, AssistOutcome, AssistPriority, FillAction, FillInfo,
+    SmServices, StoreAction, StoreInfo,
+};
+use std::collections::HashMap;
+
+/// Which compression algorithm(s) this controller drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CabaMode {
+    /// CABA-BDI: genuine assist-warp subroutines.
+    Bdi,
+    /// CABA-FPC: timing-representative subroutines, reference functional
+    /// results.
+    Fpc,
+    /// CABA-C-Pack.
+    CPack,
+    /// CABA-BestOfAll (§6.3): per-line best algorithm, no selection
+    /// overhead.
+    BestOfAll,
+}
+
+/// Counters the controller keeps (inspected by tests and harnesses).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CabaStats {
+    /// Decompression assist warps launched.
+    pub decompressions: u64,
+    /// Compression assist warps launched.
+    pub compressions: u64,
+    /// Compression subroutines that reported "encoding does not fit".
+    pub compression_failures: u64,
+    /// Events handled without an assist warp because no staging slot was
+    /// free (throttling fallback).
+    pub slot_fallbacks: u64,
+    /// Compression results discarded because the line changed underneath
+    /// the assist warp (recompressed from current contents).
+    pub stale_recompressions: u64,
+}
+
+#[derive(Debug)]
+enum Inflight {
+    BdiDecompress {
+        addr: u64,
+        slot: u64,
+        expected: Vec<u8>,
+    },
+    SerialDecompress {
+        addr: u64,
+        slot: u64,
+    },
+    BdiCompress {
+        addr: u64,
+        slot: u64,
+        enc: BdiEncoding,
+        snapshot: Vec<u8>,
+    },
+    SerialCompress {
+        addr: u64,
+        slot: u64,
+        alg: Algorithm,
+        snapshot: Vec<u8>,
+    },
+}
+
+/// Staging slots per SM.
+const SLOTS_PER_SM: u64 = 128;
+/// Offset of the first slot inside an SM's staging region.
+const SLOTS_BASE_OFF: u64 = 4096;
+
+/// The CABA policy controller. Construct with [`CabaController::bdi`],
+/// [`CabaController::fpc`], [`CabaController::cpack`] or
+/// [`CabaController::best_of_all`], then wrap in
+/// `caba_sim::Design::Caba(Box::new(...))`.
+#[derive(Debug)]
+pub struct CabaController {
+    mode: CabaMode,
+    aws: AssistWarpStore,
+    inflight: HashMap<u64, Inflight>,
+    free_slots: HashMap<usize, Vec<u64>>,
+    next_tag: u64,
+    paranoid: bool,
+    decompress_priority: AssistPriority,
+    stats: CabaStats,
+}
+
+impl CabaController {
+    fn new(mode: CabaMode) -> Self {
+        CabaController {
+            mode,
+            aws: AssistWarpStore::new(),
+            inflight: HashMap::new(),
+            free_slots: HashMap::new(),
+            next_tag: 0,
+            paranoid: cfg!(debug_assertions),
+            decompress_priority: AssistPriority::High,
+            stats: CabaStats::default(),
+        }
+    }
+
+    /// CABA with BDI compression (the paper's main design point).
+    pub fn bdi() -> Self {
+        Self::new(CabaMode::Bdi)
+    }
+
+    /// CABA with FPC.
+    pub fn fpc() -> Self {
+        Self::new(CabaMode::Fpc)
+    }
+
+    /// CABA with C-Pack.
+    pub fn cpack() -> Self {
+        Self::new(CabaMode::CPack)
+    }
+
+    /// CABA-BestOfAll (§6.3).
+    pub fn best_of_all() -> Self {
+        Self::new(CabaMode::BestOfAll)
+    }
+
+    /// Enables/disables paranoid verification of assist-warp results
+    /// against the reference compressor (on by default in debug builds).
+    pub fn with_paranoid(mut self, on: bool) -> Self {
+        self.paranoid = on;
+        self
+    }
+
+    /// Ablation knob: schedule decompression assist warps at LOW priority
+    /// instead of the paper's high priority (§3.2.3 argues decompression is
+    /// required for forward progress and must take precedence — this knob
+    /// quantifies that choice).
+    pub fn with_low_priority_decompression(mut self) -> Self {
+        self.decompress_priority = AssistPriority::Low;
+        self
+    }
+
+    /// The mode this controller was built with.
+    pub fn mode(&self) -> CabaMode {
+        self.mode
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> CabaStats {
+        self.stats
+    }
+
+    fn alloc_slot(&mut self, sm: usize, staging_base: u64) -> Option<u64> {
+        let slots = self.free_slots.entry(sm).or_insert_with(|| {
+            (0..SLOTS_PER_SM)
+                .map(|i| staging_base + SLOTS_BASE_OFF + i * SLOT_SIZE)
+                .collect()
+        });
+        slots.pop()
+    }
+
+    fn free_slot(&mut self, sm: usize, slot: u64) {
+        self.free_slots.entry(sm).or_default().push(slot);
+    }
+
+    fn take_tag(&mut self) -> u64 {
+        self.next_tag += 1;
+        self.next_tag
+    }
+
+    /// Picks the BDI encoding the compression assist warp will *test* for
+    /// this line. The AWC profiles recent lines; here the profile oracle is
+    /// the reference compressor restricted to the single-pass encodings
+    /// (§4.1.2: often a single encoding suffices per application).
+    fn pick_encoding(line: &[u8]) -> BdiEncoding {
+        let bdi = Bdi::new();
+        crate::subroutines::CABA_COMPRESS_ENCODINGS
+            .iter()
+            .filter_map(|&e| bdi.compress_with(line, e).map(|c| (c.size_bytes(), e)))
+            .min_by_key(|&(s, _)| s)
+            .map(|(_, e)| e)
+            // Nothing fits: still run one test (it will report failure and
+            // the line is released uncompressed) — the paper's overhead for
+            // incompressible data.
+            .unwrap_or(BdiEncoding::B4D1)
+    }
+}
+
+impl AssistController for CabaController {
+    fn algorithm(&self) -> Option<Algorithm> {
+        match self.mode {
+            CabaMode::Bdi => Some(Algorithm::Bdi),
+            CabaMode::Fpc => Some(Algorithm::Fpc),
+            CabaMode::CPack => Some(Algorithm::CPack),
+            CabaMode::BestOfAll => None,
+        }
+    }
+
+    fn selector(&self) -> LineCompressor {
+        match self.mode {
+            CabaMode::Bdi => LineCompressor::Fixed(Algorithm::Bdi),
+            CabaMode::Fpc => LineCompressor::Fixed(Algorithm::Fpc),
+            CabaMode::CPack => LineCompressor::Fixed(Algorithm::CPack),
+            CabaMode::BestOfAll => LineCompressor::BestOfAll,
+        }
+    }
+
+    fn on_fill(&mut self, info: &FillInfo, svc: &mut SmServices<'_>) -> FillAction {
+        let Some(stored) =
+            svc.line_store
+                .stored_compressed(svc.mem, svc.cmap.as_deref_mut(), info.addr)
+        else {
+            return FillAction::Complete { extra_latency: 0 };
+        };
+        let Some(slot) = self.alloc_slot(info.sm, svc.staging_base) else {
+            // Staging exhausted: throttle by falling back to a serialized
+            // fixed-latency path.
+            self.stats.slot_fallbacks += 1;
+            return FillAction::Complete { extra_latency: 16 };
+        };
+        // Materialize the compressed payload at the core ("the compressed
+        // cache line is inserted into the L1 cache", §4.2.1).
+        let payload_addr = (slot as i64 + PAYLOAD_OFF) as u64;
+        svc.mem.load_image(payload_addr, &stored.payload);
+
+        let tag = self.take_tag();
+        let (program, active_mask) = match stored.algorithm {
+            Algorithm::Bdi => {
+                let enc = BdiEncoding::from_id(stored.encoding)
+                    .expect("stored BDI lines carry valid encodings");
+                (
+                    self.aws.get(SubroutineKey::BdiDecompress(enc)),
+                    active_mask_for(lanes_for(enc)),
+                )
+            }
+            alg => (
+                self.aws.get(SubroutineKey::SerialDecompress(alg)),
+                u32::MAX,
+            ),
+        };
+        let expected = match stored.algorithm {
+            Algorithm::Bdi => Bdi::new()
+                .decompress(&stored)
+                .expect("stored BDI lines decompress"),
+            _ => svc.mem.read_line(info.addr),
+        };
+        self.inflight.insert(
+            tag,
+            match stored.algorithm {
+                Algorithm::Bdi => Inflight::BdiDecompress {
+                    addr: info.addr,
+                    slot,
+                    expected,
+                },
+                _ => Inflight::SerialDecompress {
+                    addr: info.addr,
+                    slot,
+                },
+            },
+        );
+        self.stats.decompressions += 1;
+        FillAction::Assist(AssistLaunch {
+            program,
+            parent_warp: info.parent_warp,
+            priority: self.decompress_priority,
+            live_in: vec![(Reg(0), payload_addr), (Reg(1), info.addr)],
+            active_mask,
+            tag,
+        })
+    }
+
+    fn on_store(&mut self, info: &StoreInfo, svc: &mut SmServices<'_>) -> StoreAction {
+        let Some(slot) = self.alloc_slot(info.sm, svc.staging_base) else {
+            self.stats.slot_fallbacks += 1;
+            return StoreAction::PassThrough;
+        };
+        let line = svc.mem.read_line(info.addr);
+        let tag = self.take_tag();
+        let (program, active_mask, entry) = match self.mode {
+            CabaMode::Bdi => {
+                let enc = Self::pick_encoding(&line);
+                (
+                    self.aws.get(SubroutineKey::BdiCompress(enc)),
+                    active_mask_for(lanes_for(enc)),
+                    Inflight::BdiCompress {
+                        addr: info.addr,
+                        slot,
+                        enc,
+                        snapshot: line,
+                    },
+                )
+            }
+            CabaMode::Fpc | CabaMode::CPack => {
+                let alg = self.algorithm().expect("fixed-algorithm mode");
+                (
+                    self.aws.get(SubroutineKey::SerialCompress(alg)),
+                    u32::MAX,
+                    Inflight::SerialCompress {
+                        addr: info.addr,
+                        slot,
+                        alg,
+                        snapshot: line,
+                    },
+                )
+            }
+            CabaMode::BestOfAll => {
+                // Choose the best algorithm for this line, then drive that
+                // algorithm's subroutine.
+                let best = BestOfAll::new().compress(&line);
+                match best.map(|c| c.algorithm) {
+                    Some(Algorithm::Bdi) | None => {
+                        let enc = Self::pick_encoding(&line);
+                        (
+                            self.aws.get(SubroutineKey::BdiCompress(enc)),
+                            active_mask_for(lanes_for(enc)),
+                            Inflight::BdiCompress {
+                                addr: info.addr,
+                                slot,
+                                enc,
+                                snapshot: line,
+                            },
+                        )
+                    }
+                    Some(alg) => (
+                        self.aws.get(SubroutineKey::SerialCompress(alg)),
+                        u32::MAX,
+                        Inflight::SerialCompress {
+                            addr: info.addr,
+                            slot,
+                            alg,
+                            snapshot: line,
+                        },
+                    ),
+                }
+            }
+        };
+        self.inflight.insert(tag, entry);
+        self.stats.compressions += 1;
+        StoreAction::Assist(AssistLaunch {
+            program,
+            parent_warp: info.parent_warp,
+            priority: AssistPriority::Low,
+            live_in: vec![(Reg(0), info.addr), (Reg(1), slot)],
+            active_mask,
+            tag,
+        })
+    }
+
+    fn on_assist_complete(&mut self, tag: u64, svc: &mut SmServices<'_>) -> AssistOutcome {
+        let Some(entry) = self.inflight.remove(&tag) else {
+            return AssistOutcome::Nothing;
+        };
+        match entry {
+            Inflight::BdiDecompress {
+                addr,
+                slot,
+                expected,
+            } => {
+                if self.paranoid {
+                    let got = svc.mem.read_line(addr);
+                    assert_eq!(
+                        got, expected,
+                        "BDI decompression assist warp produced wrong bytes at {addr:#x}"
+                    );
+                }
+                self.free_slot(svc.sm_id, slot);
+                AssistOutcome::FillComplete { addr }
+            }
+            Inflight::SerialDecompress { addr, slot } => {
+                self.free_slot(svc.sm_id, slot);
+                AssistOutcome::FillComplete { addr }
+            }
+            Inflight::BdiCompress {
+                addr,
+                slot,
+                enc,
+                snapshot,
+            } => {
+                let current = svc.mem.read_line(addr);
+                if current != snapshot {
+                    // The line changed while the assist warp ran (a newer
+                    // coalesced store): discard the stale result and
+                    // recompress the current contents.
+                    self.stats.stale_recompressions += 1;
+                    match Bdi::new().compress(&current) {
+                        Some(c) => svc.line_store.set_compressed(addr, c),
+                        None => svc.line_store.set_raw(addr),
+                    }
+                } else {
+                    let header = svc.mem.read_u32((slot as i64 + HDR_OFF) as u64);
+                    if header == 1 {
+                        let len = enc.compressed_size(LINE_SIZE);
+                        let payload = svc
+                            .mem
+                            .read_bytes((slot as i64 + PAYLOAD_OFF) as u64, len);
+                        let line = CompressedLine {
+                            algorithm: Algorithm::Bdi,
+                            encoding: enc.id(),
+                            payload,
+                            original_len: LINE_SIZE,
+                        };
+                        if self.paranoid {
+                            let reference = Bdi::new()
+                                .compress_with(&snapshot, enc)
+                                .expect("subroutine succeeded, reference must too");
+                            assert_eq!(
+                                line, reference,
+                                "BDI compression assist warp payload diverges from \
+                                 the reference at {addr:#x} ({enc:?})"
+                            );
+                        }
+                        svc.line_store.set_compressed(addr, line);
+                    } else {
+                        self.stats.compression_failures += 1;
+                        svc.line_store.set_raw(addr);
+                    }
+                }
+                self.free_slot(svc.sm_id, slot);
+                AssistOutcome::StoreRelease { addr }
+            }
+            Inflight::SerialCompress {
+                addr,
+                slot,
+                alg,
+                snapshot,
+            } => {
+                let current = svc.mem.read_line(addr);
+                if current != snapshot {
+                    self.stats.stale_recompressions += 1;
+                }
+                match alg.compressor().compress(&current) {
+                    Some(c) => svc.line_store.set_compressed(addr, c),
+                    None => {
+                        self.stats.compression_failures += 1;
+                        svc.line_store.set_raw(addr);
+                    }
+                }
+                self.free_slot(svc.sm_id, slot);
+                AssistOutcome::StoreRelease { addr }
+            }
+        }
+    }
+
+    fn extra_regs_per_thread(&self) -> u32 {
+        // The widest subroutine uses registers r0..r8 (§3.2.2: the enabled
+        // routines' requirement is added to the per-block allocation).
+        9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_modes() {
+        assert_eq!(CabaController::bdi().mode(), CabaMode::Bdi);
+        assert_eq!(CabaController::fpc().mode(), CabaMode::Fpc);
+        assert_eq!(CabaController::cpack().mode(), CabaMode::CPack);
+        assert_eq!(CabaController::best_of_all().mode(), CabaMode::BestOfAll);
+        assert_eq!(CabaController::bdi().algorithm(), Some(Algorithm::Bdi));
+        assert_eq!(CabaController::best_of_all().algorithm(), None);
+        assert!(matches!(
+            CabaController::best_of_all().selector(),
+            LineCompressor::BestOfAll
+        ));
+        assert!(CabaController::bdi().extra_regs_per_thread() > 0);
+    }
+
+    #[test]
+    fn pick_encoding_prefers_smallest() {
+        // All zeros: Zeros encoding.
+        let zeros = vec![0u8; LINE_SIZE];
+        assert_eq!(CabaController::pick_encoding(&zeros), BdiEncoding::Zeros);
+        // Small 4-byte values: B4D1 beats B8 variants.
+        let mut line = Vec::new();
+        for i in 0..32u32 {
+            line.extend_from_slice(&(0x40 + i).to_le_bytes());
+        }
+        let enc = CabaController::pick_encoding(&line);
+        let bdi = Bdi::new();
+        let chosen = bdi.compress_with(&line, enc).unwrap().size_bytes();
+        for e in crate::subroutines::CABA_COMPRESS_ENCODINGS {
+            if let Some(c) = bdi.compress_with(&line, e) {
+                assert!(chosen <= c.size_bytes());
+            }
+        }
+        // Incompressible: falls back to a test that will fail.
+        let mut junk = Vec::new();
+        let mut x = 3u64;
+        while junk.len() < LINE_SIZE {
+            x = x.wrapping_mul(0x5851F42D4C957F2D).wrapping_add(0x14);
+            junk.extend_from_slice(&x.to_le_bytes());
+        }
+        assert_eq!(CabaController::pick_encoding(&junk), BdiEncoding::B4D1);
+    }
+
+    #[test]
+    fn slot_allocation_is_per_sm() {
+        let mut c = CabaController::bdi();
+        let a = c.alloc_slot(0, 0x1000).unwrap();
+        let b = c.alloc_slot(1, 0x2000).unwrap();
+        assert_ne!(a, b);
+        c.free_slot(0, a);
+        // Exhausting SM 0's slots succeeds exactly SLOTS_PER_SM times.
+        let mut n = 0;
+        while c.alloc_slot(0, 0x1000).is_some() {
+            n += 1;
+            if n > 1000 {
+                break;
+            }
+        }
+        assert_eq!(n, SLOTS_PER_SM);
+    }
+}

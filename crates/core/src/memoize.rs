@@ -1,0 +1,292 @@
+//! Memoization with assist warps (§7.1) — trading computation for storage.
+//!
+//! The paper sketches the use of CABA to cache the results of redundant
+//! computations in a look-up table held in on-chip (shared) memory: an
+//! assist warp (1) hashes the computation's inputs, (2) probes the LUT
+//! through the load/store pipeline, and (3) on a hit skips the computation
+//! entirely. Applications tolerant of approximate results hash *quantized*
+//! inputs to increase reuse.
+//!
+//! This module models that mechanism: a capacity-bounded FIFO LUT with
+//! optional input quantization and a cycle cost model (LUT probe vs. the
+//! computation it replaces).
+//!
+//! # Examples
+//!
+//! ```
+//! use caba_core::memoize::{MemoConfig, MemoTable};
+//! let mut t = MemoTable::new(MemoConfig::default());
+//! let mut evals = 0;
+//! for _ in 0..3 {
+//!     t.lookup_or_compute(&[42], |_| { evals += 1; 99 });
+//! }
+//! assert_eq!(evals, 1); // two hits
+//! ```
+
+use std::collections::{HashMap, VecDeque};
+
+/// Memoization parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoConfig {
+    /// LUT entries (bounded by available shared memory; a 32 KB scratchpad
+    /// holds 2K 16-byte entries).
+    pub capacity: usize,
+    /// Low bits dropped from each input before hashing — the approximate
+    /// matching of §7.1 (0 = exact matching).
+    pub quantize_bits: u32,
+    /// Cycles for the assist warp to hash inputs and probe the LUT (shared
+    /// memory latency dominates).
+    pub lookup_cycles: u64,
+    /// Cycles to insert a result.
+    pub insert_cycles: u64,
+}
+
+impl Default for MemoConfig {
+    fn default() -> Self {
+        MemoConfig {
+            capacity: 2048,
+            quantize_bits: 0,
+            lookup_cycles: 30,
+            insert_cycles: 30,
+        }
+    }
+}
+
+/// A capacity-bounded memoization table (FIFO replacement).
+#[derive(Debug)]
+pub struct MemoTable {
+    cfg: MemoConfig,
+    map: HashMap<u64, u64>,
+    order: VecDeque<u64>,
+    hits: u64,
+    misses: u64,
+}
+
+impl MemoTable {
+    /// Creates an empty table.
+    pub fn new(cfg: MemoConfig) -> Self {
+        MemoTable {
+            cfg,
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> MemoConfig {
+        self.cfg
+    }
+
+    /// Hashes (possibly quantized) inputs into a LUT key.
+    pub fn key(&self, inputs: &[u64]) -> u64 {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for &x in inputs {
+            let q = if self.cfg.quantize_bits >= 64 {
+                0
+            } else {
+                x >> self.cfg.quantize_bits
+            };
+            h ^= q;
+            h = h.wrapping_mul(0x1000_0000_01B3);
+        }
+        h
+    }
+
+    /// Probes the LUT; on a miss, runs `compute` and inserts its result.
+    /// Returns the (possibly cached) result.
+    pub fn lookup_or_compute<F: FnOnce(&[u64]) -> u64>(
+        &mut self,
+        inputs: &[u64],
+        compute: F,
+    ) -> u64 {
+        let k = self.key(inputs);
+        if let Some(&v) = self.map.get(&k) {
+            self.hits += 1;
+            return v;
+        }
+        self.misses += 1;
+        let v = compute(inputs);
+        if self.map.len() >= self.cfg.capacity {
+            if let Some(old) = self.order.pop_front() {
+                self.map.remove(&old);
+            }
+        }
+        if self.map.insert(k, v).is_none() {
+            self.order.push_back(k);
+        }
+        v
+    }
+
+    /// LUT hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// LUT misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit rate in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let t = self.hits + self.misses;
+        if t == 0 {
+            0.0
+        } else {
+            self.hits as f64 / t as f64
+        }
+    }
+
+    /// Resident entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Outcome of evaluating memoization over an input trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoReport {
+    /// Cycles without memoization (`evaluations × compute_cycles`).
+    pub baseline_cycles: u64,
+    /// Cycles with memoization (probes + misses' compute + inserts).
+    pub memo_cycles: u64,
+    /// LUT hit rate.
+    pub hit_rate: f64,
+    /// Computations eliminated.
+    pub eliminated: u64,
+}
+
+impl MemoReport {
+    /// Speedup of the memoized computation stream.
+    pub fn speedup(&self) -> f64 {
+        if self.memo_cycles == 0 {
+            1.0
+        } else {
+            self.baseline_cycles as f64 / self.memo_cycles as f64
+        }
+    }
+}
+
+/// Evaluates assist-warp memoization over `trace` (one input tuple per
+/// computation) where each computation costs `compute_cycles`.
+pub fn evaluate<F: FnMut(&[u64]) -> u64>(
+    cfg: MemoConfig,
+    compute_cycles: u64,
+    trace: &[Vec<u64>],
+    mut f: F,
+) -> MemoReport {
+    let mut table = MemoTable::new(cfg);
+    let mut memo_cycles = 0u64;
+    let mut eliminated = 0u64;
+    for inputs in trace {
+        memo_cycles += cfg.lookup_cycles;
+        let before = table.misses();
+        table.lookup_or_compute(inputs, |i| f(i));
+        if table.misses() == before {
+            eliminated += 1;
+        } else {
+            memo_cycles += compute_cycles + cfg.insert_cycles;
+        }
+    }
+    MemoReport {
+        baseline_cycles: trace.len() as u64 * compute_cycles,
+        memo_cycles,
+        hit_rate: table.hit_rate(),
+        eliminated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caba_stats::Rng64;
+
+    #[test]
+    fn exact_reuse_hits() {
+        let mut t = MemoTable::new(MemoConfig::default());
+        let mut calls = 0;
+        for _ in 0..10 {
+            let v = t.lookup_or_compute(&[7, 8], |_| {
+                calls += 1;
+                15
+            });
+            assert_eq!(v, 15);
+        }
+        assert_eq!(calls, 1);
+        assert_eq!(t.hits(), 9);
+        assert_eq!(t.misses(), 1);
+        assert!(t.hit_rate() > 0.89);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn quantization_increases_reuse() {
+        let exact = MemoConfig {
+            quantize_bits: 0,
+            ..MemoConfig::default()
+        };
+        let approx = MemoConfig {
+            quantize_bits: 4,
+            ..MemoConfig::default()
+        };
+        // Inputs cluster around multiples of 64 with ±3 jitter.
+        let mut rng = Rng64::new(11);
+        let trace: Vec<Vec<u64>> = (0..2000)
+            .map(|_| vec![rng.range(0, 32) * 64 + rng.range(0, 7)])
+            .collect();
+        let re = evaluate(exact, 200, &trace, |i| i[0] * 2);
+        let ra = evaluate(approx, 200, &trace, |i| i[0] * 2);
+        assert!(ra.hit_rate > re.hit_rate);
+        assert!(ra.speedup() > 1.0);
+        assert!(ra.eliminated > re.eliminated);
+    }
+
+    #[test]
+    fn capacity_bounds_table() {
+        let cfg = MemoConfig {
+            capacity: 4,
+            ..MemoConfig::default()
+        };
+        let mut t = MemoTable::new(cfg);
+        for i in 0..100u64 {
+            t.lookup_or_compute(&[i], |x| x[0]);
+        }
+        assert!(t.len() <= 4);
+    }
+
+    #[test]
+    fn memoization_hurts_when_no_reuse() {
+        // Unique inputs: every probe is pure overhead.
+        let trace: Vec<Vec<u64>> = (0..500).map(|i| vec![i]).collect();
+        let r = evaluate(MemoConfig::default(), 100, &trace, |i| i[0]);
+        assert_eq!(r.eliminated, 0);
+        assert!(r.speedup() < 1.0);
+    }
+
+    #[test]
+    fn redundant_workload_approaches_probe_cost() {
+        // 95% of computations repeat a small working set — the fragment-
+        // shader-like redundancy [12] the paper cites.
+        let mut rng = Rng64::new(5);
+        let trace: Vec<Vec<u64>> = (0..5000)
+            .map(|_| {
+                if rng.chance(0.95) {
+                    vec![rng.range(0, 16)]
+                } else {
+                    vec![rng.next_u64()]
+                }
+            })
+            .collect();
+        let r = evaluate(MemoConfig::default(), 500, &trace, |i| i[0].wrapping_mul(3));
+        assert!(r.hit_rate > 0.8, "hit rate {}", r.hit_rate);
+        assert!(r.speedup() > 3.0, "speedup {}", r.speedup());
+    }
+}

@@ -1,0 +1,241 @@
+//! A small disassembler: renders instructions and programs in a PTX-like
+//! textual form, used when debugging kernels and assist-warp subroutines.
+
+use crate::{AluOp, CmpOp, FAluOp, Instr, Op, PBoolOp, Program, SfuOp, Space, Special, Src, Width};
+use std::fmt;
+
+fn src(s: Src) -> String {
+    match s {
+        Src::Reg(r) => r.to_string(),
+        Src::Imm(v) => {
+            if v > 9 {
+                format!("{v:#x}")
+            } else {
+                v.to_string()
+            }
+        }
+        Src::Sp(sp) => match sp {
+            Special::Tid => "%tid".into(),
+            Special::Ctaid => "%ctaid".into(),
+            Special::Ntid => "%ntid".into(),
+            Special::Nctaid => "%nctaid".into(),
+            Special::Lane => "%lane".into(),
+            Special::WarpInBlock => "%warpid".into(),
+            Special::Param(i) => format!("%param{i}"),
+        },
+    }
+}
+
+fn alu_name(op: AluOp) -> &'static str {
+    match op {
+        AluOp::Add => "add",
+        AluOp::Sub => "sub",
+        AluOp::Mul => "mul",
+        AluOp::Min => "min",
+        AluOp::Max => "max",
+        AluOp::And => "and",
+        AluOp::Or => "or",
+        AluOp::Xor => "xor",
+        AluOp::Shl => "shl",
+        AluOp::Shr => "shr",
+        AluOp::Sar => "sar",
+        AluOp::Mov => "mov",
+        AluOp::Rem => "rem",
+        AluOp::Div => "div",
+    }
+}
+
+fn cmp_name(op: CmpOp) -> &'static str {
+    match op {
+        CmpOp::Eq => "eq",
+        CmpOp::Ne => "ne",
+        CmpOp::LtS => "lt.s",
+        CmpOp::LeS => "le.s",
+        CmpOp::GtS => "gt.s",
+        CmpOp::GeS => "ge.s",
+        CmpOp::LtU => "lt.u",
+        CmpOp::GeU => "ge.u",
+    }
+}
+
+fn space_name(s: Space) -> &'static str {
+    match s {
+        Space::Global => "global",
+        Space::Shared => "shared",
+    }
+}
+
+fn width_suffix(w: Width) -> &'static str {
+    match w {
+        Width::B1 => "b8",
+        Width::B2 => "b16",
+        Width::B4 => "b32",
+        Width::B8 => "b64",
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some((p, pol)) = self.guard {
+            write!(f, "@{}{} ", if pol { "" } else { "!" }, p)?;
+        }
+        match self.op {
+            Op::Alu { op, dst, a, b } => {
+                if op == AluOp::Mov {
+                    write!(f, "mov {dst}, {}", src(a))
+                } else {
+                    write!(f, "{} {dst}, {}, {}", alu_name(op), src(a), src(b))
+                }
+            }
+            Op::FAlu { op, dst, a, b } => match op {
+                FAluOp::FAdd => write!(f, "fadd {dst}, {}, {}", src(a), src(b)),
+                FAluOp::FSub => write!(f, "fsub {dst}, {}, {}", src(a), src(b)),
+                FAluOp::FMul => write!(f, "fmul {dst}, {}, {}", src(a), src(b)),
+                FAluOp::F2I => write!(f, "cvt.i.f {dst}, {}", src(a)),
+                FAluOp::I2F => write!(f, "cvt.f.i {dst}, {}", src(a)),
+            },
+            Op::Sfu { op, dst, a } => {
+                let n = match op {
+                    SfuOp::Rcp => "rcp",
+                    SfuOp::Rsqrt => "rsqrt",
+                    SfuOp::Sin => "sin",
+                    SfuOp::Ex2 => "ex2",
+                    SfuOp::Lg2 => "lg2",
+                };
+                write!(f, "{n}.approx {dst}, {}", src(a))
+            }
+            Op::SetP { pred, cmp, a, b } => {
+                write!(f, "setp.{} {pred}, {}, {}", cmp_name(cmp), src(a), src(b))
+            }
+            Op::PBool { dst, op, a, b } => match op {
+                PBoolOp::And => write!(f, "and.pred {dst}, {a}, {b}"),
+                PBoolOp::Or => write!(f, "or.pred {dst}, {a}, {b}"),
+                PBoolOp::AndNot => write!(f, "andn.pred {dst}, {a}, {b}"),
+                PBoolOp::Not => write!(f, "not.pred {dst}, {a}"),
+                PBoolOp::Mov => write!(f, "mov.pred {dst}, {a}"),
+            },
+            Op::VoteAll { dst, src } => write!(f, "vote.all {dst}, {src}"),
+            Op::VoteAny { dst, src } => write!(f, "vote.any {dst}, {src}"),
+            Op::Ballot { dst, src } => write!(f, "vote.ballot {dst}, {src}"),
+            Op::FindFirst { dst, src } => write!(f, "vote.ffs {dst}, {src}"),
+            Op::Selp { dst, a, b, pred } => {
+                write!(f, "selp {dst}, {}, {}, {pred}", src(a), src(b))
+            }
+            Op::Ld {
+                space,
+                width,
+                dst,
+                addr,
+                offset,
+            } => write!(
+                f,
+                "ld.{}.{} {dst}, [{}{offset:+}]",
+                space_name(space),
+                width_suffix(width),
+                src(addr)
+            ),
+            Op::St {
+                space,
+                width,
+                src: val,
+                addr,
+                offset,
+            } => write!(
+                f,
+                "st.{}.{} [{}{offset:+}], {}",
+                space_name(space),
+                width_suffix(width),
+                src(addr),
+                src(val)
+            ),
+            Op::LdPacked { k, dst, base } => {
+                write!(f, "ld.packed.k{k} {dst}, [{} + %lane*{k}]", src(base))
+            }
+            Op::StPacked { k, src: val, base } => {
+                write!(f, "st.packed.k{k} [{} + %lane*{k}], {}", src(base), src(val))
+            }
+            Op::Bra { target, reconv } => write!(f, "bra {target} (reconv {reconv})"),
+            Op::Bar => write!(f, "bar.sync"),
+            Op::Exit => write!(f, "exit"),
+            Op::Nop => write!(f, "nop"),
+        }
+    }
+}
+
+/// Renders a whole program with PC labels.
+///
+/// # Examples
+///
+/// ```
+/// use caba_isa::{disasm, ProgramBuilder, Reg};
+/// let mut b = ProgramBuilder::new();
+/// b.movi(Reg(0), 5);
+/// b.exit();
+/// let text = disasm::disassemble(&b.build());
+/// assert!(text.contains("mov r0, 5"));
+/// assert!(text.contains("exit"));
+/// ```
+pub fn disassemble(p: &Program) -> String {
+    let mut out = String::new();
+    for (pc, instr) in p.instrs().iter().enumerate() {
+        out.push_str(&format!("{pc:>4}:  {instr}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Pred, ProgramBuilder, Reg};
+
+    #[test]
+    fn renders_core_instructions() {
+        let mut b = ProgramBuilder::new();
+        b.alu(AluOp::Add, Reg(1), Src::Reg(Reg(2)), Src::Imm(16));
+        b.setp(Pred(0), CmpOp::LtU, Src::Reg(Reg(1)), Src::Sp(Special::Ntid));
+        b.ld(Space::Global, Width::B4, Reg(3), Src::Reg(Reg(1)), 8);
+        b.st(Space::Shared, Width::B8, Src::Reg(Reg(3)), Src::Reg(Reg(1)), -4);
+        b.ld_packed(2, Reg(4), Src::Reg(Reg(0)));
+        b.vote_all(Pred(1), Pred(0));
+        b.ballot(Reg(5), Pred(0));
+        b.exit();
+        let text = disassemble(&b.build());
+        assert!(text.contains("add r1, r2, 0x10"), "{text}");
+        assert!(text.contains("setp.lt.u p0, r1, %ntid"), "{text}");
+        assert!(text.contains("ld.global.b32 r3, [r1+8]"), "{text}");
+        assert!(text.contains("st.shared.b64 [r1-4], r3"), "{text}");
+        assert!(text.contains("ld.packed.k2 r4, [r0 + %lane*2]"), "{text}");
+        assert!(text.contains("vote.all p1, p0"), "{text}");
+        assert!(text.contains("vote.ballot r5, p0"), "{text}");
+        assert!(text.contains("exit"), "{text}");
+    }
+
+    #[test]
+    fn guards_render_with_polarity() {
+        let i = Instr::guarded(Op::Nop, Pred(2), false);
+        assert_eq!(i.to_string(), "@!p2 nop");
+        let i = Instr::guarded(Op::Nop, Pred(1), true);
+        assert_eq!(i.to_string(), "@p1 nop");
+    }
+
+    #[test]
+    fn branch_shows_reconvergence() {
+        let mut b = ProgramBuilder::new();
+        let l = b.label();
+        b.jump(l);
+        b.bind(l);
+        b.exit();
+        let text = disassemble(&b.build());
+        assert!(text.contains("bra 1 (reconv 1)"), "{text}");
+    }
+
+    #[test]
+    fn assist_subroutines_disassemble_cleanly() {
+        // Useful smoke test: every generated instruction has a rendering.
+        let mut bld = ProgramBuilder::new();
+        bld.global_thread_id(Reg(0));
+        bld.exit();
+        let text = disassemble(&bld.build());
+        assert_eq!(text.lines().count(), 3);
+    }
+}

@@ -1,0 +1,467 @@
+//! Set-associative caches with LRU replacement, dirty bits, the tag-doubled
+//! compressed-cache mode of §6.5 / Figure 13, and MSHRs.
+
+use crate::{line_base, LINE_SIZE};
+use std::collections::HashMap;
+
+/// Geometry of a cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheGeometry {
+    /// Total data capacity in bytes.
+    pub capacity: usize,
+    /// Associativity (data ways per set).
+    pub ways: usize,
+    /// Line size in bytes.
+    pub line_size: usize,
+    /// Tag multiplication factor for compressed caches: a `tag_factor` of 2
+    /// doubles the tags per set, letting compressed lines share a set's data
+    /// budget ("2x the number of tags of the baseline", Fig. 13). 1 =
+    /// conventional cache.
+    pub tag_factor: usize,
+}
+
+impl CacheGeometry {
+    /// Conventional cache geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless capacity is divisible by `ways * line_size` and the set
+    /// count is a power of two.
+    pub fn new(capacity: usize, ways: usize, line_size: usize) -> Self {
+        let g = CacheGeometry {
+            capacity,
+            ways,
+            line_size,
+            tag_factor: 1,
+        };
+        assert!(g.sets() > 0 && g.sets().is_power_of_two(), "bad geometry");
+        g
+    }
+
+    /// Compressed-cache geometry with multiplied tags.
+    pub fn with_tag_factor(mut self, factor: usize) -> Self {
+        assert!(factor >= 1, "tag factor must be at least 1");
+        self.tag_factor = factor;
+        self
+    }
+
+    /// The paper's L1D: 16 KB, 4-way, 128 B lines.
+    pub fn l1_isca2015() -> Self {
+        CacheGeometry::new(16 * 1024, 4, LINE_SIZE)
+    }
+
+    /// One L2 partition slice of the paper's 768 KB 16-way L2 over 6 MCs.
+    pub fn l2_slice_isca2015() -> Self {
+        CacheGeometry::new(768 * 1024 / 6, 16, LINE_SIZE)
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.capacity / (self.ways * self.line_size)
+    }
+
+    /// Maximum tags per set.
+    pub fn tags_per_set(&self) -> usize {
+        self.ways * self.tag_factor
+    }
+
+    /// Per-set data budget in bytes.
+    pub fn set_bytes(&self) -> usize {
+        self.ways * self.line_size
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LineState {
+    tag: u64,
+    dirty: bool,
+    /// Resident size in bytes (= line_size unless the cache stores the line
+    /// compressed).
+    size: usize,
+    last_use: u64,
+}
+
+/// A line evicted to make room.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Eviction {
+    /// Line base address of the victim.
+    pub addr: u64,
+    /// Whether the victim was dirty (must be written back).
+    pub dirty: bool,
+}
+
+/// Result of a cache access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// The line was present.
+    Hit,
+    /// The line was absent; no fill was performed (probe-only access).
+    Miss,
+}
+
+/// A set-associative, write-back, LRU cache (tags only — functional data
+/// lives in [`crate::FuncMem`]).
+///
+/// # Examples
+///
+/// ```
+/// use caba_mem::{Cache, CacheGeometry};
+/// let mut c = Cache::new(CacheGeometry::l1_isca2015());
+/// assert!(!c.probe(0x1000));
+/// c.fill(0x1000, false, 128);
+/// assert!(c.probe(0x1000));
+/// ```
+#[derive(Debug)]
+pub struct Cache {
+    geo: CacheGeometry,
+    sets: Vec<Vec<LineState>>,
+    use_clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    pub fn new(geo: CacheGeometry) -> Self {
+        Cache {
+            geo,
+            sets: (0..geo.sets()).map(|_| Vec::new()).collect(),
+            use_clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The geometry this cache was built with.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geo
+    }
+
+    fn set_index(&self, addr: u64) -> usize {
+        ((addr / self.geo.line_size as u64) % self.geo.sets() as u64) as usize
+    }
+
+    fn tag(&self, addr: u64) -> u64 {
+        addr / (self.geo.line_size as u64 * self.geo.sets() as u64)
+    }
+
+    /// Looks up `addr`, updating LRU and hit/miss stats. Does not allocate.
+    pub fn access(&mut self, addr: u64, mark_dirty: bool) -> AccessOutcome {
+        let set = self.set_index(addr);
+        let tag = self.tag(addr);
+        self.use_clock += 1;
+        let clock = self.use_clock;
+        if let Some(line) = self.sets[set].iter_mut().find(|l| l.tag == tag) {
+            line.last_use = clock;
+            line.dirty |= mark_dirty;
+            self.hits += 1;
+            AccessOutcome::Hit
+        } else {
+            self.misses += 1;
+            AccessOutcome::Miss
+        }
+    }
+
+    /// True if the line containing `addr` is resident (no stat/LRU update).
+    pub fn probe(&self, addr: u64) -> bool {
+        let set = self.set_index(addr);
+        let tag = self.tag(addr);
+        self.sets[set].iter().any(|l| l.tag == tag)
+    }
+
+    /// Inserts the line containing `addr` with resident `size` bytes,
+    /// evicting LRU lines until both the tag budget and the set byte budget
+    /// are satisfied. Returns the evicted lines (possibly several when a
+    /// full-size line displaces compressed ones).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero or exceeds the line size.
+    pub fn fill(&mut self, addr: u64, dirty: bool, size: usize) -> Vec<Eviction> {
+        assert!(
+            size > 0 && size <= self.geo.line_size,
+            "fill size {size} out of range"
+        );
+        let set = self.set_index(addr);
+        let tag = self.tag(addr);
+        self.use_clock += 1;
+        let clock = self.use_clock;
+
+        // Refill of a resident line just updates state.
+        if let Some(line) = self.sets[set].iter_mut().find(|l| l.tag == tag) {
+            line.dirty |= dirty;
+            line.size = size;
+            line.last_use = clock;
+            return Vec::new();
+        }
+
+        let mut evictions = Vec::new();
+        loop {
+            let used: usize = self.sets[set].iter().map(|l| l.size).sum();
+            let tags_ok = self.sets[set].len() < self.geo.tags_per_set();
+            let bytes_ok = used + size <= self.geo.set_bytes();
+            if tags_ok && bytes_ok {
+                break;
+            }
+            // Evict LRU.
+            let victim_idx = self.sets[set]
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.last_use)
+                .map(|(i, _)| i)
+                .expect("set cannot be empty while over budget");
+            let victim = self.sets[set].swap_remove(victim_idx);
+            let victim_addr = self.reconstruct_addr(victim.tag, set);
+            evictions.push(Eviction {
+                addr: victim_addr,
+                dirty: victim.dirty,
+            });
+        }
+        self.sets[set].push(LineState {
+            tag,
+            dirty,
+            size,
+            last_use: clock,
+        });
+        evictions
+    }
+
+    fn reconstruct_addr(&self, tag: u64, set: usize) -> u64 {
+        (tag * self.geo.sets() as u64 + set as u64) * self.geo.line_size as u64
+    }
+
+    /// Removes the line containing `addr`, returning whether it was dirty.
+    pub fn invalidate(&mut self, addr: u64) -> Option<bool> {
+        let set = self.set_index(addr);
+        let tag = self.tag(addr);
+        let idx = self.sets[set].iter().position(|l| l.tag == tag)?;
+        let line = self.sets[set].swap_remove(idx);
+        Some(line.dirty)
+    }
+
+    /// Hit count since construction.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Miss count since construction.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit rate in `[0, 1]`; 0 when never accessed.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Number of resident lines.
+    pub fn resident_lines(&self) -> usize {
+        self.sets.iter().map(|s| s.len()).sum()
+    }
+}
+
+/// Miss-status holding registers: track outstanding line fills and merge
+/// requests to the same line so only one memory request is in flight per
+/// line (Table 1's MSHR behaviour; the walkthrough in Fig. 6 buffers load
+/// replay information the same way).
+#[derive(Debug)]
+pub struct Mshr<T> {
+    capacity: usize,
+    entries: HashMap<u64, Vec<T>>,
+    merged: u64,
+}
+
+impl<T> Mshr<T> {
+    /// Creates an MSHR file with room for `capacity` distinct lines.
+    pub fn new(capacity: usize) -> Self {
+        Mshr {
+            capacity,
+            entries: HashMap::new(),
+            merged: 0,
+        }
+    }
+
+    /// True when no new line entry can be allocated.
+    pub fn full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// True if a fill for `addr`'s line is already outstanding.
+    pub fn pending(&self, addr: u64) -> bool {
+        self.entries.contains_key(&line_base(addr))
+    }
+
+    /// Registers `waiter` for the line containing `addr`.
+    ///
+    /// Returns `true` if this allocated a *new* entry (the caller must send
+    /// a memory request), `false` if it merged into an existing one.
+    /// Returns `Err(waiter)` when the file is full and the line is not
+    /// already pending.
+    pub fn allocate(&mut self, addr: u64, waiter: T) -> Result<bool, T> {
+        let base = line_base(addr);
+        if let Some(ws) = self.entries.get_mut(&base) {
+            ws.push(waiter);
+            self.merged += 1;
+            return Ok(false);
+        }
+        if self.entries.len() >= self.capacity {
+            return Err(waiter);
+        }
+        self.entries.insert(base, vec![waiter]);
+        Ok(true)
+    }
+
+    /// Completes the fill for `addr`'s line, returning all waiters.
+    pub fn complete(&mut self, addr: u64) -> Vec<T> {
+        self.entries.remove(&line_base(addr)).unwrap_or_default()
+    }
+
+    /// Outstanding line count.
+    pub fn outstanding(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of merged (secondary) requests since construction.
+    pub fn merged(&self) -> u64 {
+        self.merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cache() -> Cache {
+        // 2 sets x 2 ways x 128B lines.
+        Cache::new(CacheGeometry::new(512, 2, LINE_SIZE))
+    }
+
+    fn addr_for(set: u64, tag: u64) -> u64 {
+        (tag * 2 + set) * LINE_SIZE as u64
+    }
+
+    #[test]
+    fn geometry_of_paper_caches() {
+        let l1 = CacheGeometry::l1_isca2015();
+        assert_eq!(l1.sets(), 32);
+        assert_eq!(l1.tags_per_set(), 4);
+        let l2 = CacheGeometry::l2_slice_isca2015();
+        assert_eq!(l2.sets(), 64);
+        assert_eq!(l2.ways, 16);
+    }
+
+    #[test]
+    fn hit_after_fill_and_miss_before() {
+        let mut c = small_cache();
+        assert_eq!(c.access(0, false), AccessOutcome::Miss);
+        c.fill(0, false, LINE_SIZE);
+        assert_eq!(c.access(0, false), AccessOutcome::Hit);
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+        assert!((c.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = small_cache();
+        c.fill(addr_for(0, 1), false, LINE_SIZE);
+        c.fill(addr_for(0, 2), false, LINE_SIZE);
+        // Touch tag 1 so tag 2 becomes LRU.
+        c.access(addr_for(0, 1), false);
+        let ev = c.fill(addr_for(0, 3), false, LINE_SIZE);
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].addr, addr_for(0, 2));
+        assert!(c.probe(addr_for(0, 1)));
+        assert!(!c.probe(addr_for(0, 2)));
+    }
+
+    #[test]
+    fn dirty_propagates_to_eviction() {
+        let mut c = small_cache();
+        c.fill(addr_for(0, 1), true, LINE_SIZE);
+        c.fill(addr_for(0, 2), false, LINE_SIZE);
+        let ev = c.fill(addr_for(0, 3), false, LINE_SIZE);
+        assert_eq!(ev, vec![Eviction { addr: addr_for(0, 1), dirty: true }]);
+    }
+
+    #[test]
+    fn access_marks_dirty() {
+        let mut c = small_cache();
+        c.fill(addr_for(1, 1), false, LINE_SIZE);
+        c.access(addr_for(1, 1), true);
+        c.fill(addr_for(1, 2), false, LINE_SIZE);
+        let ev = c.fill(addr_for(1, 3), false, LINE_SIZE);
+        assert!(ev[0].dirty);
+    }
+
+    #[test]
+    fn compressed_mode_packs_more_lines() {
+        // 1 set, 2 ways, tag factor 2: four tags, 256B budget.
+        let geo = CacheGeometry::new(256, 2, LINE_SIZE).with_tag_factor(2);
+        let mut c = Cache::new(geo);
+        // Four half-size lines fit simultaneously.
+        for t in 0..4u64 {
+            let ev = c.fill(t * LINE_SIZE as u64, false, LINE_SIZE / 2);
+            assert!(ev.is_empty(), "tag {t}");
+        }
+        assert_eq!(c.resident_lines(), 4);
+        // A fifth (even compressed) line must evict.
+        let ev = c.fill(4 * LINE_SIZE as u64, false, LINE_SIZE / 2);
+        assert_eq!(ev.len(), 1);
+    }
+
+    #[test]
+    fn full_size_line_can_displace_multiple_compressed() {
+        let geo = CacheGeometry::new(256, 2, LINE_SIZE).with_tag_factor(4);
+        let mut c = Cache::new(geo);
+        for t in 0..4u64 {
+            c.fill(t * LINE_SIZE as u64, false, 64);
+        }
+        // 256B budget full; a 128B line needs two 64B victims.
+        let ev = c.fill(10 * LINE_SIZE as u64, false, LINE_SIZE);
+        assert_eq!(ev.len(), 2);
+        assert_eq!(c.resident_lines(), 3);
+    }
+
+    #[test]
+    fn refill_updates_size_without_eviction() {
+        let mut c = small_cache();
+        c.fill(0, false, 64);
+        let ev = c.fill(0, true, LINE_SIZE);
+        assert!(ev.is_empty());
+        let inv = c.invalidate(0);
+        assert_eq!(inv, Some(true));
+        assert_eq!(c.invalidate(0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_size_fill_panics() {
+        small_cache().fill(0, false, 0);
+    }
+
+    #[test]
+    fn mshr_merge_and_complete() {
+        let mut m: Mshr<u32> = Mshr::new(2);
+        assert_eq!(m.allocate(0, 1), Ok(true));
+        assert_eq!(m.allocate(64, 2), Ok(false)); // same 128B line
+        assert!(m.pending(100));
+        assert_eq!(m.merged(), 1);
+        assert_eq!(m.allocate(128, 3), Ok(true));
+        assert!(m.full());
+        // Full + new line -> rejected, waiter returned.
+        assert_eq!(m.allocate(4096, 9), Err(9));
+        // Full + existing line -> still merges.
+        assert_eq!(m.allocate(130, 4), Ok(false));
+        let mut ws = m.complete(5);
+        ws.sort_unstable();
+        assert_eq!(ws, vec![1, 2]);
+        assert_eq!(m.outstanding(), 1);
+        assert!(m.complete(0).is_empty());
+    }
+}

@@ -1,0 +1,296 @@
+//! Functional backing memory and the per-line compression map.
+
+use crate::{line_base, LINE_SIZE};
+use caba_compress::{Algorithm, BestOfAll, CompressedLine, Compressor};
+use std::collections::HashMap;
+
+const PAGE_SIZE: usize = 4096;
+
+/// Sparse byte-addressable memory holding the functional contents of global
+/// memory. Unwritten bytes read as zero.
+///
+/// # Examples
+///
+/// ```
+/// use caba_mem::FuncMem;
+/// let mut m = FuncMem::new();
+/// m.write_u64(0x1000, 0xDEAD_BEEF);
+/// assert_eq!(m.read_u64(0x1000), 0xDEAD_BEEF);
+/// assert_eq!(m.read_u64(0x2000), 0);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct FuncMem {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl FuncMem {
+    /// Creates an empty memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn page_of(addr: u64) -> (u64, usize) {
+        (addr / PAGE_SIZE as u64, (addr % PAGE_SIZE as u64) as usize)
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        let (page, off) = Self::page_of(addr);
+        self.pages.get(&page).map_or(0, |p| p[off])
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u64, v: u8) {
+        let (page, off) = Self::page_of(addr);
+        self.pages
+            .entry(page)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]))[off] = v;
+    }
+
+    /// Reads `n` (≤ 8) bytes little-endian, zero-extended.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 8`.
+    pub fn read_le(&self, addr: u64, n: usize) -> u64 {
+        assert!(n <= 8, "read width {n} exceeds 8 bytes");
+        let mut v = 0u64;
+        for i in 0..n {
+            v |= (self.read_u8(addr + i as u64) as u64) << (8 * i);
+        }
+        v
+    }
+
+    /// Writes the low `n` (≤ 8) bytes of `v` little-endian.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 8`.
+    pub fn write_le(&mut self, addr: u64, n: usize, v: u64) {
+        assert!(n <= 8, "write width {n} exceeds 8 bytes");
+        for i in 0..n {
+            self.write_u8(addr + i as u64, (v >> (8 * i)) as u8);
+        }
+    }
+
+    /// Reads a 64-bit value.
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        self.read_le(addr, 8)
+    }
+
+    /// Writes a 64-bit value.
+    pub fn write_u64(&mut self, addr: u64, v: u64) {
+        self.write_le(addr, 8, v)
+    }
+
+    /// Reads a 32-bit value.
+    pub fn read_u32(&self, addr: u64) -> u32 {
+        self.read_le(addr, 4) as u32
+    }
+
+    /// Writes a 32-bit value.
+    pub fn write_u32(&mut self, addr: u64, v: u32) {
+        self.write_le(addr, 4, v as u64)
+    }
+
+    /// Copies a byte slice into memory ("cudaMemcpy host→device").
+    pub fn load_image(&mut self, addr: u64, bytes: &[u8]) {
+        for (i, &b) in bytes.iter().enumerate() {
+            self.write_u8(addr + i as u64, b);
+        }
+    }
+
+    /// Reads `len` bytes starting at `addr`.
+    pub fn read_bytes(&self, addr: u64, len: usize) -> Vec<u8> {
+        (0..len).map(|i| self.read_u8(addr + i as u64)).collect()
+    }
+
+    /// Reads the full cache line containing `addr`.
+    pub fn read_line(&self, addr: u64) -> Vec<u8> {
+        self.read_bytes(line_base(addr), LINE_SIZE)
+    }
+
+    /// Number of resident (touched) pages.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+/// Which compressor a [`CompressionMap`] applies per line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineCompressor {
+    /// A single fixed algorithm.
+    Fixed(Algorithm),
+    /// The idealized best-of-all selector (§6.3).
+    BestOfAll,
+}
+
+/// Caches the compressed representation of each line of a [`FuncMem`].
+///
+/// The timing model asks this map how many DRAM bursts / interconnect flits
+/// a line transfer needs; the answer comes from genuinely compressing the
+/// line's current bytes. Stores invalidate the affected line so stale sizes
+/// are never used.
+pub struct CompressionMap {
+    compressor: LineCompressor,
+    lines: HashMap<u64, Option<CompressedLine>>,
+    fixed: Option<Box<dyn Compressor>>,
+    best: BestOfAll,
+}
+
+impl std::fmt::Debug for CompressionMap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompressionMap")
+            .field("compressor", &self.compressor)
+            .field("cached_lines", &self.lines.len())
+            .finish()
+    }
+}
+
+impl CompressionMap {
+    /// Creates a map using `compressor` for every line.
+    pub fn new(compressor: LineCompressor) -> Self {
+        let fixed = match compressor {
+            LineCompressor::Fixed(a) => Some(a.compressor()),
+            LineCompressor::BestOfAll => None,
+        };
+        CompressionMap {
+            compressor,
+            lines: HashMap::new(),
+            fixed,
+            best: BestOfAll::new(),
+        }
+    }
+
+    /// The configured compressor choice.
+    pub fn compressor(&self) -> LineCompressor {
+        self.compressor
+    }
+
+    /// The compressed form of the line containing `addr` (computed on first
+    /// use, then cached). `None` when the line is incompressible.
+    pub fn compressed(&mut self, mem: &FuncMem, addr: u64) -> Option<&CompressedLine> {
+        let base = line_base(addr);
+        if !self.lines.contains_key(&base) {
+            let bytes = mem.read_line(base);
+            let c = match &self.fixed {
+                Some(c) => c.compress(&bytes),
+                None => self.best.compress(&bytes),
+            };
+            self.lines.insert(base, c);
+        }
+        self.lines.get(&base).and_then(|o| o.as_ref())
+    }
+
+    /// DRAM bursts to transfer the line containing `addr` in compressed form.
+    pub fn line_bursts(&mut self, mem: &FuncMem, addr: u64) -> u32 {
+        match self.compressed(mem, addr) {
+            Some(c) => c.bursts() as u32,
+            None => (LINE_SIZE / caba_compress::BURST_BYTES) as u32,
+        }
+    }
+
+    /// Invalidates the cached form of the line containing `addr` (call on
+    /// every store to the line).
+    pub fn invalidate(&mut self, addr: u64) {
+        self.lines.remove(&line_base(addr));
+    }
+
+    /// Drops every cached form.
+    pub fn clear(&mut self) {
+        self.lines.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_filled_by_default() {
+        let m = FuncMem::new();
+        assert_eq!(m.read_u8(12345), 0);
+        assert_eq!(m.read_u64(0xFFFF_0000), 0);
+        assert_eq!(m.resident_pages(), 0);
+    }
+
+    #[test]
+    fn read_write_round_trip_all_widths() {
+        let mut m = FuncMem::new();
+        m.write_le(100, 1, 0xAB);
+        m.write_le(101, 2, 0x1234);
+        m.write_le(103, 4, 0xDEAD_BEEF);
+        assert_eq!(m.read_le(100, 1), 0xAB);
+        assert_eq!(m.read_le(101, 2), 0x1234);
+        assert_eq!(m.read_le(103, 4), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut m = FuncMem::new();
+        let addr = PAGE_SIZE as u64 - 4;
+        m.write_u64(addr, 0x1122_3344_5566_7788);
+        assert_eq!(m.read_u64(addr), 0x1122_3344_5566_7788);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn image_and_line_read() {
+        let mut m = FuncMem::new();
+        let img: Vec<u8> = (0..=255).collect();
+        m.load_image(256, &img);
+        assert_eq!(m.read_bytes(256, 256), img);
+        let line = m.read_line(300);
+        assert_eq!(line.len(), LINE_SIZE);
+        assert_eq!(line[0], m.read_u8(line_base(300)));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 8")]
+    fn oversized_read_panics() {
+        FuncMem::new().read_le(0, 9);
+    }
+
+    #[test]
+    fn compression_map_caches_and_invalidates() {
+        let mut mem = FuncMem::new();
+        // Compressible line: small deltas.
+        for i in 0..32u32 {
+            mem.write_u32(i as u64 * 4, 0x100 + i);
+        }
+        let mut map = CompressionMap::new(LineCompressor::Fixed(Algorithm::Bdi));
+        let b1 = map.line_bursts(&mem, 0);
+        assert!(b1 < 4, "compressible line should need < 4 bursts");
+        // Mutate the line: without invalidation the stale size persists...
+        mem.write_u32(0, 0xDEAD_BEEF);
+        assert_eq!(map.line_bursts(&mem, 0), b1);
+        // ...after invalidation the size is recomputed.
+        map.invalidate(0);
+        let b2 = map.line_bursts(&mem, 0);
+        assert!(b2 >= b1);
+    }
+
+    #[test]
+    fn incompressible_line_is_four_bursts() {
+        let mut mem = FuncMem::new();
+        let mut x = 1u64;
+        for i in 0..16 {
+            x = x.wrapping_mul(0x5851_F42D_4C95_7F2D).wrapping_add(999);
+            mem.write_u64(i * 8, x);
+        }
+        let mut map = CompressionMap::new(LineCompressor::Fixed(Algorithm::Bdi));
+        assert_eq!(map.line_bursts(&mem, 0), 4);
+    }
+
+    #[test]
+    fn best_of_all_map() {
+        let mut mem = FuncMem::new();
+        // Zero line: 1 burst under best-of-all.
+        let mut map = CompressionMap::new(LineCompressor::BestOfAll);
+        assert_eq!(map.line_bursts(&mem, 4096), 1);
+        assert_eq!(map.compressor(), LineCompressor::BestOfAll);
+        mem.write_u8(4096, 1);
+        map.clear();
+        let _ = map.line_bursts(&mem, 4096);
+    }
+}

@@ -1,0 +1,256 @@
+//! The SM↔MC crossbar interconnect (Table 1: one crossbar per direction,
+//! 15 SMs × 6 MCs, 32 B flits).
+//!
+//! Each output port delivers one flit per cycle, so a packet of `f` flits
+//! occupies its destination port for `f` cycles. Compressing interconnect
+//! traffic (the `HW-BDI` and `CABA-BDI` designs, in contrast to
+//! `HW-BDI-Mem`) reduces a line transfer from 4 flits to as little as 1 —
+//! this is why those designs win on the interconnect-bound applications the
+//! paper calls out (bfs, mst; §6.1).
+
+use std::collections::VecDeque;
+
+/// Flit size in bytes.
+pub const FLIT_BYTES: usize = 32;
+
+/// Number of flits for a payload of `bytes` (at least 1).
+pub fn flits_for(bytes: usize) -> u32 {
+    bytes.div_ceil(FLIT_BYTES).max(1) as u32
+}
+
+/// A packet traversing the crossbar.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Flit<T> {
+    payload: T,
+    flits_left: u32,
+    min_deliver_at: u64,
+}
+
+/// One direction of the crossbar.
+///
+/// # Examples
+///
+/// ```
+/// use caba_mem::Crossbar;
+/// let mut x: Crossbar<&str> = Crossbar::new(2, 2, 1);
+/// x.try_push(0, 1, "hello", 4).unwrap();
+/// let mut got = None;
+/// for _ in 0..10 {
+///     x.cycle();
+///     if let Some(p) = x.pop(1) { got = Some(p); break; }
+/// }
+/// assert_eq!(got, Some("hello"));
+/// ```
+#[derive(Debug)]
+pub struct Crossbar<T> {
+    n_in: usize,
+    latency: u64,
+    now: u64,
+    queues: Vec<VecDeque<Flit<T>>>,
+    delivered: Vec<VecDeque<T>>,
+    queue_capacity: usize,
+    total_flits: u64,
+    total_packets: u64,
+    busy_cycles: u64,
+}
+
+impl<T> Crossbar<T> {
+    /// Creates a crossbar with `n_in` inputs, `n_out` outputs and a fixed
+    /// traversal `latency` in cycles.
+    pub fn new(n_in: usize, n_out: usize, latency: u64) -> Self {
+        Crossbar {
+            n_in,
+            latency,
+            now: 0,
+            queues: (0..n_out).map(|_| VecDeque::new()).collect(),
+            delivered: (0..n_out).map(|_| VecDeque::new()).collect(),
+            queue_capacity: 16,
+            total_flits: 0,
+            total_packets: 0,
+            busy_cycles: 0,
+        }
+    }
+
+    /// Number of input ports.
+    pub fn inputs(&self) -> usize {
+        self.n_in
+    }
+
+    /// Number of output ports.
+    pub fn outputs(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Enqueues a packet of `flits` flits from `src` to `dst`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the payload back when the destination queue is full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src`/`dst` are out of range or `flits` is zero.
+    pub fn try_push(&mut self, src: usize, dst: usize, payload: T, flits: u32) -> Result<(), T> {
+        assert!(src < self.n_in, "source port {src} out of range");
+        assert!(dst < self.queues.len(), "destination port {dst} out of range");
+        assert!(flits > 0, "packets need at least one flit");
+        if self.queues[dst].len() >= self.queue_capacity {
+            return Err(payload);
+        }
+        self.queues[dst].push_back(Flit {
+            payload,
+            flits_left: flits,
+            min_deliver_at: self.now + self.latency,
+        });
+        self.total_flits += flits as u64;
+        self.total_packets += 1;
+        Ok(())
+    }
+
+    /// True when a packet to `dst` would currently be accepted.
+    pub fn can_accept(&self, dst: usize) -> bool {
+        self.queues[dst].len() < self.queue_capacity
+    }
+
+    /// Advances one cycle: every output port drains one flit of its head
+    /// packet; finished packets become poppable (after the fixed latency).
+    pub fn cycle(&mut self) {
+        self.now += 1;
+        let now = self.now;
+        let mut any_busy = false;
+        for (q, d) in self.queues.iter_mut().zip(self.delivered.iter_mut()) {
+            if let Some(head) = q.front_mut() {
+                if head.flits_left > 0 {
+                    head.flits_left -= 1;
+                    any_busy = true;
+                }
+                if head.flits_left == 0 && head.min_deliver_at <= now {
+                    let pkt = q.pop_front().expect("head exists");
+                    d.push_back(pkt.payload);
+                }
+            }
+        }
+        if any_busy {
+            self.busy_cycles += 1;
+        }
+    }
+
+    /// Pops a delivered packet at output `dst`.
+    pub fn pop(&mut self, dst: usize) -> Option<T> {
+        self.delivered[dst].pop_front()
+    }
+
+    /// True when nothing is queued or waiting to be popped.
+    pub fn idle(&self) -> bool {
+        self.queues.iter().all(|q| q.is_empty()) && self.delivered.iter().all(|d| d.is_empty())
+    }
+
+    /// Total flits pushed since construction.
+    pub fn total_flits(&self) -> u64 {
+        self.total_flits
+    }
+
+    /// Total packets pushed since construction.
+    pub fn total_packets(&self) -> u64 {
+        self.total_packets
+    }
+
+    /// Cycles during which at least one output port was transferring.
+    pub fn busy_cycles(&self) -> u64 {
+        self.busy_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flit_count_rounds_up() {
+        assert_eq!(flits_for(0), 1);
+        assert_eq!(flits_for(1), 1);
+        assert_eq!(flits_for(32), 1);
+        assert_eq!(flits_for(33), 2);
+        assert_eq!(flits_for(128), 4);
+    }
+
+    #[test]
+    fn packet_takes_flits_cycles() {
+        let mut x: Crossbar<u32> = Crossbar::new(1, 1, 0);
+        x.try_push(0, 0, 42, 4).unwrap();
+        for _ in 0..3 {
+            x.cycle();
+            assert_eq!(x.pop(0), None);
+        }
+        x.cycle();
+        assert_eq!(x.pop(0), Some(42));
+    }
+
+    #[test]
+    fn latency_adds_delay() {
+        let mut x: Crossbar<u32> = Crossbar::new(1, 1, 5);
+        x.try_push(0, 0, 1, 1).unwrap();
+        let mut at = None;
+        for c in 1..=10 {
+            x.cycle();
+            if x.pop(0).is_some() {
+                at = Some(c);
+                break;
+            }
+        }
+        assert_eq!(at, Some(5));
+    }
+
+    #[test]
+    fn output_ports_progress_independently() {
+        let mut x: Crossbar<u32> = Crossbar::new(2, 2, 0);
+        x.try_push(0, 0, 10, 1).unwrap();
+        x.try_push(1, 1, 11, 1).unwrap();
+        x.cycle();
+        assert_eq!(x.pop(0), Some(10));
+        assert_eq!(x.pop(1), Some(11));
+        assert!(x.idle());
+    }
+
+    #[test]
+    fn same_port_serializes() {
+        let mut x: Crossbar<u32> = Crossbar::new(2, 1, 0);
+        x.try_push(0, 0, 1, 2).unwrap();
+        x.try_push(1, 0, 2, 2).unwrap();
+        let mut order = Vec::new();
+        for _ in 0..6 {
+            x.cycle();
+            if let Some(p) = x.pop(0) {
+                order.push(p);
+            }
+        }
+        assert_eq!(order, vec![1, 2]);
+        assert_eq!(x.total_flits(), 4);
+        assert_eq!(x.total_packets(), 2);
+        assert_eq!(x.busy_cycles(), 4);
+    }
+
+    #[test]
+    fn back_pressure_on_full_queue() {
+        let mut x: Crossbar<u32> = Crossbar::new(1, 1, 0);
+        for i in 0..16 {
+            assert!(x.try_push(0, 0, i, 1).is_ok());
+        }
+        assert!(!x.can_accept(0));
+        assert_eq!(x.try_push(0, 0, 99, 1), Err(99));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_port_panics() {
+        let mut x: Crossbar<u32> = Crossbar::new(1, 1, 0);
+        let _ = x.try_push(5, 0, 1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one flit")]
+    fn zero_flits_panics() {
+        let mut x: Crossbar<u32> = Crossbar::new(1, 1, 0);
+        let _ = x.try_push(0, 0, 1, 0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Property tests on the cache: under arbitrary access/fill sequences the
+//! set invariants hold — tag budget, byte budget, and no duplicate tags —
+//! in both conventional and compressed (tag-multiplied) modes.
+
+use caba_mem::{Cache, CacheGeometry, Mshr, LINE_SIZE};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+#[derive(Debug, Clone)]
+enum Step {
+    Access(u64, bool),
+    Fill(u64, bool, usize),
+    Invalidate(u64),
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    let addr = 0u64..64; // line indices; multiplied to addresses below
+    prop_oneof![
+        (addr.clone(), any::<bool>()).prop_map(|(a, d)| Step::Access(a * 128, d)),
+        (addr.clone(), any::<bool>(), 1usize..=LINE_SIZE)
+            .prop_map(|(a, d, s)| Step::Fill(a * 128, d, s)),
+        addr.prop_map(|a| Step::Invalidate(a * 128)),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn cache_invariants_hold(
+        tag_factor in 1usize..=4,
+        steps in proptest::collection::vec(step_strategy(), 1..200),
+    ) {
+        let geo = CacheGeometry::new(1024, 2, LINE_SIZE).with_tag_factor(tag_factor);
+        let mut c = Cache::new(geo);
+        let mut resident: HashSet<u64> = HashSet::new();
+        for step in steps {
+            match step {
+                Step::Access(a, d) => {
+                    let hit = c.access(a, d) == caba_mem::AccessOutcome::Hit;
+                    prop_assert_eq!(hit, resident.contains(&caba_mem::line_base(a)));
+                }
+                Step::Fill(a, d, s) => {
+                    let evicted = c.fill(a, d, s);
+                    resident.insert(caba_mem::line_base(a));
+                    for e in evicted {
+                        prop_assert!(resident.remove(&e.addr), "evicted non-resident {:#x}", e.addr);
+                    }
+                }
+                Step::Invalidate(a) => {
+                    let was = c.invalidate(a).is_some();
+                    prop_assert_eq!(was, resident.remove(&caba_mem::line_base(a)));
+                }
+            }
+            // Tag budget: never more lines than tags across the cache.
+            prop_assert!(
+                c.resident_lines() <= geo.sets() * geo.tags_per_set(),
+                "resident {} exceeds tag budget",
+                c.resident_lines()
+            );
+            prop_assert_eq!(c.resident_lines(), resident.len());
+        }
+    }
+
+    #[test]
+    fn mshr_waiters_never_lost(
+        allocs in proptest::collection::vec((0u64..16, 0u32..1000), 1..100),
+    ) {
+        let mut m: Mshr<u32> = Mshr::new(4);
+        let mut expected: std::collections::HashMap<u64, Vec<u32>> = Default::default();
+        let mut rejected = 0usize;
+        for (line, w) in allocs {
+            let addr = line * 128;
+            match m.allocate(addr, w) {
+                Ok(_) => expected.entry(addr).or_default().push(w),
+                Err(back) => {
+                    prop_assert_eq!(back, w);
+                    rejected += 1;
+                }
+            }
+        }
+        prop_assert!(m.outstanding() <= 4);
+        let mut drained = 0usize;
+        for (addr, ws) in expected {
+            let mut got = m.complete(addr);
+            got.sort_unstable();
+            let mut want = ws.clone();
+            want.sort_unstable();
+            prop_assert_eq!(got, want);
+            drained += 1;
+        }
+        prop_assert_eq!(m.outstanding(), 0);
+        let _ = (drained, rejected);
+    }
+}

@@ -1,0 +1,293 @@
+//! The assist-warp mechanism (§3.3): launch descriptors, the controller
+//! policy interface implemented by `caba-core`, and the per-line stored-form
+//! tracking that ties assist-warp compression results to the memory system.
+//!
+//! The split of responsibilities mirrors the paper's hardware/software
+//! co-design: the *mechanism* (deploying assist warps, tracking them in the
+//! Assist Warp Table, staging instructions through the Assist Warp Buffer,
+//! priority scheduling, killing) lives in the simulator ([`crate::Sm`]);
+//! the *policy* (which subroutine to run for which trigger, live-in values,
+//! what to do on completion) lives behind [`AssistController`].
+
+use caba_compress::{Algorithm, CompressedLine};
+use caba_isa::{Program, Reg};
+use caba_mem::{line_base, CompressionMap, FuncMem, LINE_SIZE};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Scheduling priority of an assist warp (§3.2.3): high-priority warps are
+/// required for correctness (decompression) and take precedence over parent
+/// warps; low-priority warps (compression) are staged through the dedicated
+/// two-entry Assist Warp Buffer partition and issue only in idle cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AssistPriority {
+    /// Blocks the parent; scheduled ahead of parent warps.
+    High,
+    /// Issues only in otherwise-idle issue slots.
+    Low,
+}
+
+/// A request to deploy one assist warp.
+#[derive(Debug, Clone)]
+pub struct AssistLaunch {
+    /// The subroutine (an Assist Warp Store entry).
+    pub program: Arc<Program>,
+    /// Parent warp slot this assist is coupled to.
+    pub parent_warp: usize,
+    /// Scheduling priority.
+    pub priority: AssistPriority,
+    /// Live-in register values, broadcast to all lanes (the MOVE-in step of
+    /// §3.4 "Communication and Control").
+    pub live_in: Vec<(Reg, u64)>,
+    /// Initial active mask (the AWT active-mask field of §3.3).
+    pub active_mask: u32,
+    /// Controller-chosen tag returned on completion.
+    pub tag: u64,
+}
+
+/// Context for a fill (load response) arriving at the core boundary.
+#[derive(Debug, Clone, Copy)]
+pub struct FillInfo {
+    /// SM receiving the fill.
+    pub sm: usize,
+    /// A parent warp waiting on the line (the trigger's warp ID).
+    pub parent_warp: usize,
+    /// Line base address.
+    pub addr: u64,
+}
+
+/// What to do with an arriving fill.
+#[derive(Debug, Clone)]
+pub enum FillAction {
+    /// Insert and complete waiters after `extra_latency` cycles (dedicated
+    /// hardware decompression, or an uncompressed line).
+    Complete {
+        /// Additional decompression latency.
+        extra_latency: u64,
+    },
+    /// Run an assist warp; waiters complete when it exits.
+    Assist(AssistLaunch),
+}
+
+/// Context for a store line leaving the core toward L2/memory.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreInfo {
+    /// SM issuing the store.
+    pub sm: usize,
+    /// The storing warp.
+    pub parent_warp: usize,
+    /// Line base address.
+    pub addr: u64,
+}
+
+/// What to do with an outgoing store line.
+#[derive(Debug, Clone)]
+pub enum StoreAction {
+    /// Send uncompressed immediately.
+    PassThrough,
+    /// Buffer the line and run a (low-priority) compression assist warp;
+    /// the line is released when [`AssistController::on_assist_complete`]
+    /// returns [`AssistOutcome::StoreRelease`].
+    Assist(AssistLaunch),
+}
+
+/// Result of an assist warp finishing, as interpreted by the controller.
+#[derive(Debug, Clone)]
+pub enum AssistOutcome {
+    /// A decompression finished: complete the load waiters for `addr`.
+    FillComplete {
+        /// Line base address whose waiters may now complete.
+        addr: u64,
+    },
+    /// A compression finished: release the buffered store for `addr`. The
+    /// stored form (and hence flit/burst counts) was already recorded in the
+    /// [`LineStore`] by the controller.
+    StoreRelease {
+        /// Line base address to release from the store buffer.
+        addr: u64,
+    },
+    /// Nothing for the core to do.
+    Nothing,
+}
+
+/// Mutable services the SM exposes to the controller during callbacks.
+pub struct SmServices<'a> {
+    /// Functional global memory (staging regions live here too).
+    pub mem: &'a mut FuncMem,
+    /// The reference compression map (present on compressed designs).
+    pub cmap: Option<&'a mut CompressionMap>,
+    /// Per-line stored forms.
+    pub line_store: &'a mut LineStore,
+    /// Base address of this SM's staging region (assist-warp scratch).
+    pub staging_base: u64,
+    /// The SM id.
+    pub sm_id: usize,
+}
+
+/// The assist-warp policy interface, implemented by `caba-core`.
+pub trait AssistController {
+    /// The (single) compression algorithm this controller implements, or
+    /// `None` for multi-algorithm controllers (CABA-BestOfAll).
+    fn algorithm(&self) -> Option<Algorithm>;
+
+    /// Selector used to build the reference [`CompressionMap`].
+    fn selector(&self) -> caba_mem::func::LineCompressor;
+
+    /// A fill response reached the L1 boundary.
+    fn on_fill(&mut self, info: &FillInfo, svc: &mut SmServices<'_>) -> FillAction;
+
+    /// A dirty line is ready to leave the core.
+    fn on_store(&mut self, info: &StoreInfo, svc: &mut SmServices<'_>) -> StoreAction;
+
+    /// An assist warp with `tag` ran to completion.
+    fn on_assist_complete(&mut self, tag: u64, svc: &mut SmServices<'_>) -> AssistOutcome;
+
+    /// Registers each enabled helper routine adds to the per-block
+    /// requirement (§3.2.2). Charged per thread at CTA launch.
+    fn extra_regs_per_thread(&self) -> u32 {
+        8
+    }
+}
+
+/// How a line is currently stored in L2/DRAM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoredForm {
+    /// Raw (uncompressed) — e.g. released through the store-buffer overflow
+    /// path (§4.2.2 Ï).
+    Raw,
+    /// Compressed with the given in-line payload.
+    Compressed(CompressedLine),
+}
+
+/// Tracks the stored form of every line that deviates from the lazily
+/// computed reference form (initial data is software-pre-compressed per
+/// §4.3.1; CABA writebacks override with whatever the assist warp produced).
+#[derive(Debug, Default)]
+pub struct LineStore {
+    overrides: HashMap<u64, StoredForm>,
+}
+
+impl LineStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that `addr`'s line is stored raw.
+    pub fn set_raw(&mut self, addr: u64) {
+        self.overrides.insert(line_base(addr), StoredForm::Raw);
+    }
+
+    /// Records an explicit compressed form for `addr`'s line.
+    pub fn set_compressed(&mut self, addr: u64, line: CompressedLine) {
+        self.overrides
+            .insert(line_base(addr), StoredForm::Compressed(line));
+    }
+
+    /// Forgets any override for `addr`'s line (falls back to the reference
+    /// map).
+    pub fn clear(&mut self, addr: u64) {
+        self.overrides.remove(&line_base(addr));
+    }
+
+    /// The explicit override for `addr`'s line, if any.
+    pub fn override_for(&self, addr: u64) -> Option<&StoredForm> {
+        self.overrides.get(&line_base(addr))
+    }
+
+    /// Size in bytes of `addr`'s line as stored (consulting the override,
+    /// then the reference map).
+    pub fn stored_size(
+        &self,
+        mem: &FuncMem,
+        cmap: Option<&mut CompressionMap>,
+        addr: u64,
+    ) -> usize {
+        match self.override_for(addr) {
+            Some(StoredForm::Raw) => LINE_SIZE,
+            Some(StoredForm::Compressed(c)) => c.size_bytes(),
+            None => match cmap {
+                Some(map) => map
+                    .compressed(mem, addr)
+                    .map(|c| c.size_bytes())
+                    .unwrap_or(LINE_SIZE),
+                None => LINE_SIZE,
+            },
+        }
+    }
+
+    /// The compressed form of `addr`'s line as stored, or `None` when raw /
+    /// incompressible.
+    pub fn stored_compressed(
+        &self,
+        mem: &FuncMem,
+        cmap: Option<&mut CompressionMap>,
+        addr: u64,
+    ) -> Option<CompressedLine> {
+        match self.override_for(addr) {
+            Some(StoredForm::Raw) => None,
+            Some(StoredForm::Compressed(c)) => Some(c.clone()),
+            None => cmap.and_then(|map| map.compressed(mem, addr).cloned()),
+        }
+    }
+
+    /// Number of explicit overrides (diagnostics).
+    pub fn overrides(&self) -> usize {
+        self.overrides.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caba_mem::func::LineCompressor;
+
+    #[test]
+    fn line_store_override_precedence() {
+        let mut mem = FuncMem::new();
+        // Compressible content at line 0.
+        for i in 0..32u32 {
+            mem.write_u32(i as u64 * 4, 0x400 + i);
+        }
+        let mut cmap = CompressionMap::new(LineCompressor::Fixed(Algorithm::Bdi));
+        let mut store = LineStore::new();
+
+        // No override: reference size (< 128).
+        let s = store.stored_size(&mem, Some(&mut cmap), 0);
+        assert!(s < LINE_SIZE);
+        assert!(store
+            .stored_compressed(&mem, Some(&mut cmap), 0)
+            .is_some());
+
+        // Raw override wins.
+        store.set_raw(5); // same line
+        assert_eq!(store.stored_size(&mem, Some(&mut cmap), 0), LINE_SIZE);
+        assert!(store.stored_compressed(&mem, Some(&mut cmap), 0).is_none());
+
+        // Explicit compressed override wins over both.
+        let c = CompressedLine {
+            algorithm: Algorithm::Bdi,
+            encoding: 2,
+            payload: vec![0u8; 40],
+            original_len: LINE_SIZE,
+        };
+        store.set_compressed(0, c.clone());
+        assert_eq!(store.stored_size(&mem, Some(&mut cmap), 0), 40);
+        assert_eq!(
+            store.stored_compressed(&mem, Some(&mut cmap), 0),
+            Some(c)
+        );
+        assert_eq!(store.overrides(), 1);
+
+        store.clear(0);
+        assert!(store.override_for(0).is_none());
+    }
+
+    #[test]
+    fn no_cmap_means_raw() {
+        let mem = FuncMem::new();
+        let store = LineStore::new();
+        assert_eq!(store.stored_size(&mem, None, 0), LINE_SIZE);
+        assert!(store.stored_compressed(&mem, None, 0).is_none());
+    }
+}

@@ -1,0 +1,308 @@
+//! Simulated-system configuration (Table 1) and the evaluated design points.
+
+use crate::assist::AssistController;
+use caba_compress::Algorithm;
+use caba_mem::{CacheGeometry, DramConfig};
+
+/// Warp scheduling policy (Table 1 uses GTO, Rogers et al. \[68\]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerPolicy {
+    /// Greedy-then-oldest: keep issuing from the last warp until it stalls,
+    /// then fall back to the oldest ready warp.
+    Gto,
+    /// Loose round-robin: rotate the start position every cycle.
+    RoundRobin,
+    /// Strict oldest-first.
+    OldestFirst,
+}
+
+/// Full GPU configuration. [`GpuConfig::isca2015`] reproduces Table 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuConfig {
+    /// Streaming multiprocessors (15).
+    pub num_sms: usize,
+    /// Warp slots per SM (48 → 1536 threads).
+    pub warps_per_sm: usize,
+    /// Maximum resident thread blocks per SM (8).
+    pub max_blocks_per_sm: usize,
+    /// Registers per SM (32768 = 128 KB).
+    pub regfile_per_sm: u32,
+    /// Shared memory per SM in bytes (32 KB).
+    pub shared_per_sm: u32,
+    /// Warp schedulers per SM (2, GTO).
+    pub schedulers_per_sm: usize,
+    /// Warp scheduling policy.
+    pub scheduler: SchedulerPolicy,
+    /// SP (ALU) pipeline latency in cycles.
+    pub sp_latency: u64,
+    /// SFU latency in cycles (tens of cycles; source of `dmr`'s data-dep
+    /// stalls, §2).
+    pub sfu_latency: u64,
+    /// SFU initiation interval (a new SFU op accepted every N cycles).
+    pub sfu_interval: u64,
+    /// L1 data cache geometry (16 KB, 4-way).
+    pub l1: CacheGeometry,
+    /// L1 hit latency.
+    pub l1_latency: u64,
+    /// Shared-memory (scratchpad) access latency.
+    pub shared_latency: u64,
+    /// L2 slice geometry per partition (768 KB / 6, 16-way).
+    pub l2: CacheGeometry,
+    /// L2 hit latency (partition side).
+    pub l2_latency: u64,
+    /// MSHR entries per L1 / per L2 slice.
+    pub mshrs: usize,
+    /// LSU line-operation queue depth.
+    pub lsu_queue: usize,
+    /// Pending-store buffer capacity in lines (§4.2.2 Î).
+    pub store_buffer: usize,
+    /// Crossbar traversal latency (each direction).
+    pub icnt_latency: u64,
+    /// Memory partitions / GDDR5 channels (6).
+    pub num_channels: usize,
+    /// GDDR5 channel configuration (Table 1 timings).
+    pub dram: DramConfig,
+    /// Maximum concurrently active assist warps per SM.
+    pub max_assist_warps: usize,
+    /// Low-priority Assist Warp Buffer partition entries (2, §3.3).
+    pub awb_low_priority_entries: usize,
+    /// Store lines compressed in the L1 (the `CABA-L1-{2x,4x}` variants of
+    /// Figure 13; combine with a tag-multiplied L1 geometry).
+    pub l1_compressed: bool,
+    /// Extra latency charged on every L1 hit to a compressed line when
+    /// `l1_compressed` is set (the frequent-decompression overhead that
+    /// degrades hs and LPS in Figure 13).
+    pub l1_hit_decompress_penalty: u64,
+    /// Enable the §4.3.2 metadata cache at the memory controllers
+    /// (compressed designs). Disabling it models the naive design whose
+    /// every DRAM access pays a second metadata access.
+    pub md_cache_enabled: bool,
+    /// When true, every assist-warp global store is checked against the
+    /// functional truth (used by the test suite to prove the subroutines
+    /// really decompress correctly).
+    pub paranoid_assist_checks: bool,
+}
+
+impl GpuConfig {
+    /// The paper's simulated system (Table 1).
+    pub fn isca2015() -> Self {
+        GpuConfig {
+            num_sms: 15,
+            warps_per_sm: 48,
+            max_blocks_per_sm: 8,
+            regfile_per_sm: 32768,
+            shared_per_sm: 32 * 1024,
+            schedulers_per_sm: 2,
+            scheduler: SchedulerPolicy::Gto,
+            sp_latency: 4,
+            sfu_latency: 20,
+            sfu_interval: 8,
+            l1: CacheGeometry::l1_isca2015(),
+            l1_latency: 4,
+            shared_latency: 24,
+            l2: CacheGeometry::l2_slice_isca2015(),
+            l2_latency: 30,
+            mshrs: 32,
+            lsu_queue: 64,
+            store_buffer: 16,
+            icnt_latency: 4,
+            num_channels: 6,
+            dram: DramConfig::isca2015(),
+            max_assist_warps: 48,
+            awb_low_priority_entries: 2,
+            l1_compressed: false,
+            l1_hit_decompress_penalty: 10,
+            md_cache_enabled: true,
+            paranoid_assist_checks: cfg!(debug_assertions),
+        }
+    }
+
+    /// A scaled-down configuration for fast unit tests: 5 SMs and 2
+    /// channels (preserving the paper's 2.5 SM:MC ratio) with small L2
+    /// slices so that modest working sets are DRAM-resident, putting small
+    /// runs in the same memory-bound regime as the full machine.
+    pub fn small() -> Self {
+        let mut c = Self::isca2015();
+        c.num_sms = 5;
+        c.num_channels = 2;
+        c.l2 = caba_mem::CacheGeometry::new(32 * 1024, 16, 128);
+        c
+    }
+
+    /// The Table 1 machine with the L2 scaled down 8× (16 KB per slice).
+    ///
+    /// The synthetic workloads run footprints roughly 8× smaller than the
+    /// paper's real inputs to keep simulations fast; scaling the L2 by the
+    /// same factor preserves the L2-miss (DRAM-bound) regime that makes the
+    /// paper's applications memory-bound. The figure-regeneration harness
+    /// uses this configuration; see DESIGN.md.
+    pub fn isca2015_scaled() -> Self {
+        let mut c = Self::isca2015();
+        c.l2 = caba_mem::CacheGeometry::new(16 * 1024, 16, 128);
+        c
+    }
+
+    /// Scales peak DRAM bandwidth (the ½×/1×/2× sweeps of Figures 1 and 12).
+    pub fn with_bandwidth_scale(mut self, factor: f64) -> Self {
+        self.dram = self.dram.with_bandwidth_scale(factor);
+        self
+    }
+
+    /// Replaces the L1 geometry (cache-compression studies, Fig. 13).
+    pub fn with_l1(mut self, geo: CacheGeometry) -> Self {
+        self.l1 = geo;
+        self
+    }
+
+    /// Replaces the per-partition L2 geometry.
+    pub fn with_l2(mut self, geo: CacheGeometry) -> Self {
+        self.l2 = geo;
+        self
+    }
+
+    /// Total threads resident per SM.
+    pub fn threads_per_sm(&self) -> u32 {
+        (self.warps_per_sm * caba_isa::WARP_SIZE) as u32
+    }
+}
+
+/// Where (and whether) data compression happens — the five design points of
+/// §6 plus the CABA variants.
+pub enum Design {
+    /// No compression anywhere.
+    Base,
+    /// `HW-BDI-Mem` style: dedicated logic at the memory controller; DRAM
+    /// transfers are compressed, the interconnect and L2 are not.
+    HwMemOnly {
+        /// Compression algorithm implemented in the MC logic.
+        alg: Algorithm,
+    },
+    /// `HW-BDI` / `Ideal-BDI` style: dedicated logic at the cores; L2, the
+    /// interconnect and DRAM all carry compressed lines.
+    HwFull {
+        /// Compression algorithm implemented in core-side logic.
+        alg: Algorithm,
+        /// When true, compression/decompression latencies are zero
+        /// (`Ideal-BDI`).
+        ideal: bool,
+    },
+    /// CABA: compression and decompression run as assist warps; the policy
+    /// object (from `caba-core`) decides subroutines, priorities, and
+    /// throttling.
+    Caba(Box<dyn AssistController>),
+}
+
+impl Design {
+    /// The compression algorithm in use, if any.
+    pub fn algorithm(&self) -> Option<Algorithm> {
+        match self {
+            Design::Base => None,
+            Design::HwMemOnly { alg } => Some(*alg),
+            Design::HwFull { alg, .. } => Some(*alg),
+            Design::Caba(c) => c.algorithm(),
+        }
+    }
+
+    /// True when lines travel compressed across the interconnect (affects
+    /// flit counts; `HW-BDI-Mem` decompresses at the MC so its interconnect
+    /// traffic is uncompressed).
+    pub fn icnt_compressed(&self) -> bool {
+        matches!(self, Design::HwFull { .. } | Design::Caba(_))
+    }
+
+    /// True when DRAM transfers are compressed.
+    pub fn mem_compressed(&self) -> bool {
+        !matches!(self, Design::Base)
+    }
+
+    /// True when this is a CABA design.
+    pub fn is_caba(&self) -> bool {
+        matches!(self, Design::Caba(_))
+    }
+
+    /// Short name for reports.
+    pub fn label(&self) -> String {
+        match self {
+            Design::Base => "Base".to_string(),
+            Design::HwMemOnly { alg } => format!("HW-{}-Mem", alg.name()),
+            Design::HwFull { alg, ideal: false } => format!("HW-{}", alg.name()),
+            Design::HwFull { alg, ideal: true } => format!("Ideal-{}", alg.name()),
+            Design::Caba(c) => format!(
+                "CABA-{}",
+                c.algorithm().map(|a| a.name()).unwrap_or("None")
+            ),
+        }
+    }
+}
+
+impl std::fmt::Debug for Design {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Design({})", self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_constants() {
+        let c = GpuConfig::isca2015();
+        assert_eq!(c.num_sms, 15);
+        assert_eq!(c.warps_per_sm, 48);
+        assert_eq!(c.threads_per_sm(), 1536);
+        assert_eq!(c.max_blocks_per_sm, 8);
+        assert_eq!(c.regfile_per_sm, 32768);
+        assert_eq!(c.shared_per_sm, 32 * 1024);
+        assert_eq!(c.schedulers_per_sm, 2);
+        assert_eq!(c.num_channels, 6);
+        assert_eq!(c.l1.capacity, 16 * 1024);
+        assert_eq!(c.l1.ways, 4);
+        assert_eq!(c.l2.capacity, 128 * 1024);
+        assert_eq!(c.l2.ways, 16);
+        // GDDR5 timings from Table 1.
+        assert_eq!(c.dram.t_cl, 12);
+        assert_eq!(c.dram.t_rp, 12);
+        assert_eq!(c.dram.t_ras, 28);
+        assert_eq!(c.dram.t_rcd, 12);
+        assert_eq!(c.dram.t_rrd, 6);
+        assert_eq!(c.dram.t_wr, 12);
+        assert_eq!(c.dram.banks, 16);
+    }
+
+    #[test]
+    fn bandwidth_scaling() {
+        let half = GpuConfig::isca2015().with_bandwidth_scale(0.5);
+        assert_eq!(half.dram.burst_cycles, 4);
+        let twice = GpuConfig::isca2015().with_bandwidth_scale(2.0);
+        assert_eq!(twice.dram.burst_cycles, 1);
+    }
+
+    #[test]
+    fn design_properties() {
+        assert_eq!(Design::Base.label(), "Base");
+        assert!(!Design::Base.mem_compressed());
+        assert!(!Design::Base.icnt_compressed());
+        let hw = Design::HwFull {
+            alg: Algorithm::Bdi,
+            ideal: false,
+        };
+        assert_eq!(hw.label(), "HW-BDI");
+        assert!(hw.icnt_compressed());
+        assert!(hw.mem_compressed());
+        assert!(!hw.is_caba());
+        let ideal = Design::HwFull {
+            alg: Algorithm::Bdi,
+            ideal: true,
+        };
+        assert_eq!(ideal.label(), "Ideal-BDI");
+        let mem = Design::HwMemOnly {
+            alg: Algorithm::Fpc,
+        };
+        assert_eq!(mem.label(), "HW-FPC-Mem");
+        assert!(!mem.icnt_compressed());
+        assert!(mem.mem_compressed());
+        assert_eq!(mem.algorithm(), Some(Algorithm::Fpc));
+        assert!(format!("{:?}", Design::Base).contains("Base"));
+    }
+}

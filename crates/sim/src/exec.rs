@@ -1,0 +1,616 @@
+//! Functional execution of one instruction for one warp.
+//!
+//! Values are computed at issue time against the functional memory
+//! ([`FuncMem`]); the timing model independently schedules scoreboard
+//! release. The outcome reports everything the timing model needs: which
+//! global lines were touched (already coalesced), whether shared memory was
+//! accessed, and control-flow effects.
+
+use crate::warp::Warp;
+use caba_isa::exec::{eval_alu, eval_cmp, eval_falu, eval_sfu, truncate};
+use caba_isa::{Instr, Op, PBoolOp, Space, Special, Src, WARP_SIZE};
+use caba_mem::{line_base, FuncMem};
+
+/// Per-warp launch context for special values.
+#[derive(Debug, Clone)]
+pub struct ThreadCtx<'a> {
+    /// Threads per block.
+    pub block_dim: u32,
+    /// Blocks in the grid.
+    pub grid_dim: u32,
+    /// Kernel parameters.
+    pub params: &'a [u64],
+    /// This warp's block index.
+    pub ctaid: u32,
+    /// This warp's index within its block.
+    pub warp_in_block: u32,
+    /// Base address of this block's shared-memory window (shared-space
+    /// addresses are offsets into it).
+    pub shared_base: u64,
+}
+
+impl ThreadCtx<'_> {
+    fn special(&self, s: Special, lane: usize) -> u64 {
+        match s {
+            Special::Tid => (self.warp_in_block as u64 * WARP_SIZE as u64) + lane as u64,
+            Special::Ctaid => self.ctaid as u64,
+            Special::Ntid => self.block_dim as u64,
+            Special::Nctaid => self.grid_dim as u64,
+            Special::Lane => lane as u64,
+            Special::WarpInBlock => self.warp_in_block as u64,
+            Special::Param(i) => self.params.get(i as usize).copied().unwrap_or(0),
+        }
+    }
+}
+
+/// Everything the timing model needs to know about an executed instruction.
+#[derive(Debug, Clone, Default)]
+pub struct ExecOutcome {
+    /// Coalesced global line addresses read (deduplicated, in first-touch
+    /// order) — each is one LSU line operation.
+    pub lines_read: Vec<u64>,
+    /// Coalesced global line addresses written.
+    pub lines_written: Vec<u64>,
+    /// True for shared-space (scratchpad) accesses.
+    pub shared_access: bool,
+    /// Destination register, when the instruction writes one.
+    pub dst: Option<caba_isa::Reg>,
+    /// Lanes exited this cycle.
+    pub exited: bool,
+    /// The warp reached a barrier.
+    pub at_barrier: bool,
+}
+
+fn src_value(warp: &Warp, ctx: &ThreadCtx<'_>, s: Src, lane: usize) -> u64 {
+    match s {
+        Src::Reg(r) => warp.reg(r, lane),
+        Src::Imm(v) => v,
+        Src::Sp(sp) => ctx.special(sp, lane),
+    }
+}
+
+fn push_line(lines: &mut Vec<u64>, addr: u64) {
+    let base = line_base(addr);
+    if !lines.contains(&base) {
+        lines.push(base);
+    }
+}
+
+/// Executes `instr` functionally for `warp`, updating registers, predicates,
+/// control flow, and `mem`.
+///
+/// Returns the [`ExecOutcome`] the timing model consumes. The caller is
+/// responsible for charging latencies and, for global accesses, for driving
+/// the memory hierarchy with `lines_read`/`lines_written`.
+pub fn execute(
+    warp: &mut Warp,
+    instr: &Instr,
+    ctx: &ThreadCtx<'_>,
+    mem: &mut FuncMem,
+) -> ExecOutcome {
+    let mut out = ExecOutcome::default();
+    let exec = warp.exec_mask(instr);
+    let active = warp.active_mask();
+
+    let lanes = |mask: u32| (0..WARP_SIZE).filter(move |&l| mask >> l & 1 == 1);
+
+    match instr.op {
+        Op::Alu { op, dst, a, b } => {
+            for l in lanes(exec) {
+                let va = src_value(warp, ctx, a, l);
+                let vb = src_value(warp, ctx, b, l);
+                warp.set_reg(dst, l, eval_alu(op, va, vb));
+            }
+            out.dst = Some(dst);
+            warp.advance_pc();
+        }
+        Op::FAlu { op, dst, a, b } => {
+            for l in lanes(exec) {
+                let va = src_value(warp, ctx, a, l);
+                let vb = src_value(warp, ctx, b, l);
+                warp.set_reg(dst, l, eval_falu(op, va, vb));
+            }
+            out.dst = Some(dst);
+            warp.advance_pc();
+        }
+        Op::Sfu { op, dst, a } => {
+            for l in lanes(exec) {
+                let va = src_value(warp, ctx, a, l);
+                warp.set_reg(dst, l, eval_sfu(op, va));
+            }
+            out.dst = Some(dst);
+            warp.advance_pc();
+        }
+        Op::SetP { pred, cmp, a, b } => {
+            for l in lanes(exec) {
+                let va = src_value(warp, ctx, a, l);
+                let vb = src_value(warp, ctx, b, l);
+                warp.set_pred(pred, l, eval_cmp(cmp, va, vb));
+            }
+            warp.advance_pc();
+        }
+        Op::PBool { dst, op, a, b } => {
+            for l in lanes(exec) {
+                let va = warp.pred(a, l);
+                let vb = warp.pred(b, l);
+                let r = match op {
+                    PBoolOp::And => va && vb,
+                    PBoolOp::Or => va || vb,
+                    PBoolOp::AndNot => va && !vb,
+                    PBoolOp::Not => !va,
+                    PBoolOp::Mov => va,
+                };
+                warp.set_pred(dst, l, r);
+            }
+            warp.advance_pc();
+        }
+        Op::VoteAll { dst, src } => {
+            // Warp-wide AND over executing lanes — the global predicate
+            // register of §4.1.2.
+            let all = lanes(exec).all(|l| warp.pred(src, l));
+            for l in lanes(exec) {
+                warp.set_pred(dst, l, all);
+            }
+            warp.advance_pc();
+        }
+        Op::VoteAny { dst, src } => {
+            let any = lanes(exec).any(|l| warp.pred(src, l));
+            for l in lanes(exec) {
+                warp.set_pred(dst, l, any);
+            }
+            warp.advance_pc();
+        }
+        Op::Ballot { dst, src } => {
+            let mut mask = 0u32;
+            for l in lanes(exec) {
+                if warp.pred(src, l) {
+                    mask |= 1 << l;
+                }
+            }
+            for l in lanes(exec) {
+                warp.set_reg(dst, l, mask as u64);
+            }
+            out.dst = Some(dst);
+            warp.advance_pc();
+        }
+        Op::FindFirst { dst, src } => {
+            let first = lanes(exec).find(|&l| warp.pred(src, l));
+            for l in lanes(exec) {
+                warp.set_pred(dst, l, Some(l) == first);
+            }
+            warp.advance_pc();
+        }
+        Op::Selp { dst, a, b, pred } => {
+            for l in lanes(exec) {
+                let v = if warp.pred(pred, l) {
+                    src_value(warp, ctx, a, l)
+                } else {
+                    src_value(warp, ctx, b, l)
+                };
+                warp.set_reg(dst, l, v);
+            }
+            out.dst = Some(dst);
+            warp.advance_pc();
+        }
+        Op::Ld {
+            space,
+            width,
+            dst,
+            addr,
+            offset,
+        } => {
+            let n = width.bytes() as usize;
+            for l in lanes(exec) {
+                let base = src_value(warp, ctx, addr, l).wrapping_add_signed(offset);
+                let ea = match space {
+                    Space::Global => base,
+                    Space::Shared => ctx.shared_base.wrapping_add(base),
+                };
+                let v = mem.read_le(ea, n);
+                warp.set_reg(dst, l, v);
+                if space == Space::Global {
+                    push_line(&mut out.lines_read, ea);
+                    if n > 1 {
+                        push_line(&mut out.lines_read, ea + n as u64 - 1);
+                    }
+                }
+            }
+            out.shared_access = space == Space::Shared;
+            out.dst = Some(dst);
+            warp.advance_pc();
+        }
+        Op::St {
+            space,
+            width,
+            src,
+            addr,
+            offset,
+        } => {
+            let n = width.bytes() as usize;
+            for l in lanes(exec) {
+                let base = src_value(warp, ctx, addr, l).wrapping_add_signed(offset);
+                let ea = match space {
+                    Space::Global => base,
+                    Space::Shared => ctx.shared_base.wrapping_add(base),
+                };
+                let v = truncate(src_value(warp, ctx, src, l), n as u64);
+                mem.write_le(ea, n, v);
+                if space == Space::Global {
+                    push_line(&mut out.lines_written, ea);
+                    if n > 1 {
+                        push_line(&mut out.lines_written, ea + n as u64 - 1);
+                    }
+                }
+            }
+            out.shared_access = space == Space::Shared;
+            warp.advance_pc();
+        }
+        Op::LdPacked { k, dst, base } => {
+            // Base comes from the first executing lane (warp-uniform).
+            let first = lanes(exec).next();
+            if let Some(fl) = first {
+                let b = src_value(warp, ctx, base, fl);
+                for l in lanes(exec) {
+                    let ea = b + (l as u64) * k as u64;
+                    warp.set_reg(dst, l, mem.read_le(ea, k as usize));
+                }
+                push_line(&mut out.lines_read, b);
+                push_line(
+                    &mut out.lines_read,
+                    b + (WARP_SIZE as u64) * k as u64 - 1,
+                );
+            }
+            out.dst = Some(dst);
+            warp.advance_pc();
+        }
+        Op::StPacked { k, src, base } => {
+            let first = lanes(exec).next();
+            if let Some(fl) = first {
+                let b = src_value(warp, ctx, base, fl);
+                for l in lanes(exec) {
+                    let ea = b + (l as u64) * k as u64;
+                    let v = truncate(src_value(warp, ctx, src, l), k as u64);
+                    mem.write_le(ea, k as usize, v);
+                }
+                push_line(&mut out.lines_written, b);
+                push_line(
+                    &mut out.lines_written,
+                    b + (WARP_SIZE as u64) * k as u64 - 1,
+                );
+            }
+            warp.advance_pc();
+        }
+        Op::Bra { target, reconv } => {
+            let next = warp.pc() + 1;
+            // Guard lanes take the branch; exec already folds the guard in.
+            let taken = if instr.guard.is_some() { exec } else { active };
+            warp.take_branch(taken, target, next, reconv);
+        }
+        Op::Bar => {
+            out.at_barrier = true;
+            warp.at_barrier = true;
+            warp.advance_pc();
+        }
+        Op::Exit => {
+            out.exited = true;
+            warp.exit_lanes(exec);
+            if !warp.done && exec != active {
+                // Non-exiting lanes continue past the Exit.
+                warp.advance_pc();
+            }
+        }
+        Op::Nop => {
+            warp.advance_pc();
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::warp::FULL_MASK;
+    use caba_isa::{AluOp, CmpOp, Pred, Reg, Width};
+
+    fn ctx(params: &[u64]) -> ThreadCtx<'_> {
+        ThreadCtx {
+            block_dim: 64,
+            grid_dim: 4,
+            params,
+            ctaid: 2,
+            warp_in_block: 1,
+            shared_base: 0x8000_0000,
+        }
+    }
+
+    fn alu(op: AluOp, dst: u16, a: Src, b: Src) -> Instr {
+        Instr::new(Op::Alu {
+            op,
+            dst: Reg(dst),
+            a,
+            b,
+        })
+    }
+
+    #[test]
+    fn specials_resolve_per_lane() {
+        let mut w = Warp::new(4, FULL_MASK);
+        let mut m = FuncMem::new();
+        let c = ctx(&[0xAA, 0xBB]);
+        execute(
+            &mut w,
+            &alu(AluOp::Mov, 0, Src::Sp(Special::Tid), Src::Imm(0)),
+            &c,
+            &mut m,
+        );
+        // warp_in_block=1 -> tids 32..64
+        assert_eq!(w.reg(Reg(0), 0), 32);
+        assert_eq!(w.reg(Reg(0), 31), 63);
+        execute(
+            &mut w,
+            &alu(AluOp::Mov, 1, Src::Sp(Special::Param(1)), Src::Imm(0)),
+            &c,
+            &mut m,
+        );
+        assert_eq!(w.reg(Reg(1), 5), 0xBB);
+        execute(
+            &mut w,
+            &alu(AluOp::Mov, 2, Src::Sp(Special::Lane), Src::Imm(0)),
+            &c,
+            &mut m,
+        );
+        assert_eq!(w.reg(Reg(2), 9), 9);
+        assert_eq!(w.pc(), 3);
+    }
+
+    #[test]
+    fn guarded_lanes_skip() {
+        let mut w = Warp::new(2, FULL_MASK);
+        let mut m = FuncMem::new();
+        let c = ctx(&[]);
+        w.set_pred(Pred(0), 3, true);
+        let i = Instr::guarded(
+            Op::Alu {
+                op: AluOp::Mov,
+                dst: Reg(0),
+                a: Src::Imm(9),
+                b: Src::Imm(0),
+            },
+            Pred(0),
+            true,
+        );
+        execute(&mut w, &i, &c, &mut m);
+        assert_eq!(w.reg(Reg(0), 3), 9);
+        assert_eq!(w.reg(Reg(0), 4), 0);
+    }
+
+    #[test]
+    fn coalesced_load_touches_one_line() {
+        let mut w = Warp::new(2, FULL_MASK);
+        let mut m = FuncMem::new();
+        for l in 0..32u64 {
+            m.write_u32(0x1000 + l * 4, l as u32 * 10);
+        }
+        let c = ctx(&[]);
+        // addr reg = 0x1000 + lane*4
+        execute(
+            &mut w,
+            &alu(AluOp::Mov, 0, Src::Sp(Special::Lane), Src::Imm(0)),
+            &c,
+            &mut m,
+        );
+        execute(
+            &mut w,
+            &alu(AluOp::Shl, 0, Src::Reg(Reg(0)), Src::Imm(2)),
+            &c,
+            &mut m,
+        );
+        execute(
+            &mut w,
+            &alu(AluOp::Add, 0, Src::Reg(Reg(0)), Src::Imm(0x1000)),
+            &c,
+            &mut m,
+        );
+        let out = execute(
+            &mut w,
+            &Instr::new(Op::Ld {
+                space: Space::Global,
+                width: Width::B4,
+                dst: Reg(1),
+                addr: Src::Reg(Reg(0)),
+                offset: 0,
+            }),
+            &c,
+            &mut m,
+        );
+        assert_eq!(out.lines_read, vec![0x1000]);
+        assert_eq!(w.reg(Reg(1), 7), 70);
+        assert_eq!(out.dst, Some(Reg(1)));
+    }
+
+    #[test]
+    fn scattered_load_touches_many_lines() {
+        let mut w = Warp::new(2, FULL_MASK);
+        let mut m = FuncMem::new();
+        let c = ctx(&[]);
+        // addr = lane * 1024 -> 32 distinct lines
+        execute(
+            &mut w,
+            &alu(AluOp::Mov, 0, Src::Sp(Special::Lane), Src::Imm(0)),
+            &c,
+            &mut m,
+        );
+        execute(
+            &mut w,
+            &alu(AluOp::Shl, 0, Src::Reg(Reg(0)), Src::Imm(10)),
+            &c,
+            &mut m,
+        );
+        let out = execute(
+            &mut w,
+            &Instr::new(Op::Ld {
+                space: Space::Global,
+                width: Width::B4,
+                dst: Reg(1),
+                addr: Src::Reg(Reg(0)),
+                offset: 0,
+            }),
+            &c,
+            &mut m,
+        );
+        assert_eq!(out.lines_read.len(), 32);
+    }
+
+    #[test]
+    fn shared_accesses_use_shared_window_and_no_lines() {
+        let mut w = Warp::new(2, 1); // single lane
+        let mut m = FuncMem::new();
+        let c = ctx(&[]);
+        let st = Instr::new(Op::St {
+            space: Space::Shared,
+            width: Width::B4,
+            src: Src::Imm(77),
+            addr: Src::Imm(16),
+            offset: 0,
+        });
+        let out = execute(&mut w, &st, &c, &mut m);
+        assert!(out.shared_access);
+        assert!(out.lines_written.is_empty());
+        assert_eq!(m.read_u32(0x8000_0000 + 16), 77);
+        let ld = Instr::new(Op::Ld {
+            space: Space::Shared,
+            width: Width::B4,
+            dst: Reg(0),
+            addr: Src::Imm(16),
+            offset: 0,
+        });
+        let out = execute(&mut w, &ld, &c, &mut m);
+        assert!(out.shared_access);
+        assert_eq!(w.reg(Reg(0), 0), 77);
+    }
+
+    #[test]
+    fn packed_ops_round_trip() {
+        let mut w = Warp::new(3, FULL_MASK);
+        let mut m = FuncMem::new();
+        let c = ctx(&[]);
+        // Each lane holds lane*3 in r0; store 2 bytes per lane at 0x2000.
+        execute(
+            &mut w,
+            &alu(AluOp::Mov, 0, Src::Sp(Special::Lane), Src::Imm(0)),
+            &c,
+            &mut m,
+        );
+        execute(
+            &mut w,
+            &alu(AluOp::Mul, 0, Src::Reg(Reg(0)), Src::Imm(3)),
+            &c,
+            &mut m,
+        );
+        let st = Instr::new(Op::StPacked {
+            k: 2,
+            src: Src::Reg(Reg(0)),
+            base: Src::Imm(0x2000),
+        });
+        let out = execute(&mut w, &st, &c, &mut m);
+        assert_eq!(out.lines_written, vec![0x2000]);
+        let ld = Instr::new(Op::LdPacked {
+            k: 2,
+            dst: Reg(1),
+            base: Src::Imm(0x2000),
+        });
+        execute(&mut w, &ld, &c, &mut m);
+        for l in 0..32 {
+            assert_eq!(w.reg(Reg(1), l), (l as u64) * 3);
+        }
+    }
+
+    #[test]
+    fn vote_all_is_warp_wide_and(){
+        let mut w = Warp::new(1, FULL_MASK);
+        let mut m = FuncMem::new();
+        let c = ctx(&[]);
+        // P0 true except lane 13.
+        for l in 0..32 {
+            w.set_pred(Pred(0), l, l != 13);
+        }
+        execute(
+            &mut w,
+            &Instr::new(Op::VoteAll {
+                dst: Pred(1),
+                src: Pred(0),
+            }),
+            &c,
+            &mut m,
+        );
+        assert!(!w.pred(Pred(1), 0));
+        execute(
+            &mut w,
+            &Instr::new(Op::VoteAny {
+                dst: Pred(2),
+                src: Pred(0),
+            }),
+            &c,
+            &mut m,
+        );
+        assert!(w.pred(Pred(2), 20));
+    }
+
+    #[test]
+    fn setp_and_selp() {
+        let mut w = Warp::new(2, FULL_MASK);
+        let mut m = FuncMem::new();
+        let c = ctx(&[]);
+        execute(
+            &mut w,
+            &alu(AluOp::Mov, 0, Src::Sp(Special::Lane), Src::Imm(0)),
+            &c,
+            &mut m,
+        );
+        execute(
+            &mut w,
+            &Instr::new(Op::SetP {
+                pred: Pred(0),
+                cmp: CmpOp::LtU,
+                a: Src::Reg(Reg(0)),
+                b: Src::Imm(16),
+            }),
+            &c,
+            &mut m,
+        );
+        execute(
+            &mut w,
+            &Instr::new(Op::Selp {
+                dst: Reg(1),
+                a: Src::Imm(1),
+                b: Src::Imm(2),
+                pred: Pred(0),
+            }),
+            &c,
+            &mut m,
+        );
+        assert_eq!(w.reg(Reg(1), 3), 1);
+        assert_eq!(w.reg(Reg(1), 30), 2);
+    }
+
+    #[test]
+    fn exit_retires_warp() {
+        let mut w = Warp::new(1, FULL_MASK);
+        let mut m = FuncMem::new();
+        let c = ctx(&[]);
+        let out = execute(&mut w, &Instr::new(Op::Exit), &c, &mut m);
+        assert!(out.exited);
+        assert!(w.done);
+    }
+
+    #[test]
+    fn barrier_flags_warp() {
+        let mut w = Warp::new(1, FULL_MASK);
+        let mut m = FuncMem::new();
+        let c = ctx(&[]);
+        let out = execute(&mut w, &Instr::new(Op::Bar), &c, &mut m);
+        assert!(out.at_barrier);
+        assert!(w.at_barrier);
+        assert_eq!(w.pc(), 1);
+    }
+}

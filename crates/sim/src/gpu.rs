@@ -1,0 +1,335 @@
+//! The whole-GPU model: SMs, two crossbars, memory partitions, and the CTA
+//! dispatcher.
+
+use crate::assist::LineStore;
+use crate::config::{Design, GpuConfig};
+use crate::mempart::{PartReq, PartResp, Partition, SizeOracle};
+use crate::sm::{SharedState, Sm};
+use crate::stats::RunStats;
+use crate::trace::{ActivityTrace, Sample, Tracer};
+use caba_isa::Kernel;
+use caba_mem::{CompressionMap, Crossbar, FuncMem, LINE_SIZE};
+use std::fmt;
+
+/// Error returned by [`Gpu::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// The kernel did not finish within the cycle budget.
+    Timeout {
+        /// Cycles simulated before giving up.
+        cycles: u64,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Timeout { cycles } => {
+                write!(f, "kernel did not complete within {cycles} cycles")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// The simulated GPU.
+#[derive(Debug)]
+pub struct Gpu {
+    cfg: GpuConfig,
+    design: Design,
+    mem: FuncMem,
+    cmap: Option<CompressionMap>,
+    line_store: LineStore,
+    sms: Vec<Sm>,
+    parts: Vec<Partition>,
+    xbar_fwd: Crossbar<PartReq>,
+    xbar_rsp: Crossbar<PartResp>,
+    now: u64,
+    tracer: Option<Tracer>,
+}
+
+impl Gpu {
+    /// Builds a GPU for one design point.
+    pub fn new(cfg: GpuConfig, design: Design) -> Self {
+        let cmap = design
+            .mem_compressed()
+            .then(|| match &design {
+                Design::Caba(c) => CompressionMap::new(c.selector()),
+                d => CompressionMap::new(caba_mem::func::LineCompressor::Fixed(
+                    d.algorithm().expect("compressed design has an algorithm"),
+                )),
+            });
+        let with_md = design.mem_compressed();
+        Gpu {
+            cfg,
+            mem: FuncMem::new(),
+            cmap,
+            line_store: LineStore::new(),
+            sms: (0..cfg.num_sms).map(|i| Sm::new(i, cfg)).collect(),
+            parts: (0..cfg.num_channels)
+                .map(|i| Partition::new(i, cfg, with_md))
+                .collect(),
+            xbar_fwd: Crossbar::new(cfg.num_sms, cfg.num_channels, cfg.icnt_latency),
+            xbar_rsp: Crossbar::new(cfg.num_channels, cfg.num_sms, cfg.icnt_latency),
+            now: 0,
+            tracer: None,
+            design,
+        }
+    }
+
+    /// Enables activity tracing: every `interval` cycles a [`Sample`] of
+    /// per-SM issue counts and DRAM utilization is recorded. Retrieve the
+    /// trace with [`Gpu::take_trace`] after `run`.
+    pub fn enable_tracing(&mut self, interval: u64) {
+        self.tracer = Some(Tracer::new(interval, self.cfg.num_sms));
+    }
+
+    /// Takes the recorded trace, if tracing was enabled.
+    pub fn take_trace(&mut self) -> Option<ActivityTrace> {
+        self.tracer.take().map(|t| t.trace)
+    }
+
+    fn trace_tick(&mut self) {
+        let Some(tr) = self.tracer.as_mut() else {
+            return;
+        };
+        if self.now - tr.last_cycle < tr.interval {
+            return;
+        }
+        let mut app = Vec::with_capacity(self.sms.len());
+        let mut assist = Vec::with_capacity(self.sms.len());
+        for (i, sm) in self.sms.iter().enumerate() {
+            app.push(sm.app_instructions() - tr.last_app[i]);
+            assist.push(sm.assist_instructions() - tr.last_assist[i]);
+            tr.last_app[i] = sm.app_instructions();
+            tr.last_assist[i] = sm.assist_instructions();
+        }
+        let (mut busy, mut total) = (0u64, 0u64);
+        for p in &self.parts {
+            let d = p.dram_stats();
+            busy += d.bus_busy_cycles;
+            total += d.total_cycles;
+        }
+        tr.trace.samples.push(Sample {
+            cycle: self.now,
+            app_issued: app,
+            assist_issued: assist,
+            dram_busy: busy - tr.last_dram_busy,
+            dram_total: total - tr.last_dram_total,
+        });
+        tr.last_dram_busy = busy;
+        tr.last_dram_total = total;
+        tr.last_cycle = self.now;
+    }
+
+    /// The functional memory (read-only view).
+    pub fn mem(&self) -> &FuncMem {
+        &self.mem
+    }
+
+    /// The functional memory, mutable (for loading input images).
+    pub fn mem_mut(&mut self) -> &mut FuncMem {
+        &mut self.mem
+    }
+
+    /// Copies input data into device memory (the host→device transfer; with
+    /// compressed designs the data is considered software-pre-compressed at
+    /// this point, §4.3.1).
+    pub fn load_image(&mut self, addr: u64, bytes: &[u8]) {
+        self.mem.load_image(addr, bytes);
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &GpuConfig {
+        &self.cfg
+    }
+
+    /// The design point.
+    pub fn design(&self) -> &Design {
+        &self.design
+    }
+
+    /// Runs `kernel` to completion (or `max_cycles`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::Timeout`] when the cycle budget is exhausted —
+    /// usually a sign of a kernel that deadlocks on a barrier.
+    pub fn run(&mut self, kernel: &Kernel, max_cycles: u64) -> Result<RunStats, RunError> {
+        let extra_regs = match &self.design {
+            Design::Caba(c) => c.extra_regs_per_thread(),
+            _ => 0,
+        };
+        let grid = kernel.dims().grid_dim;
+        let mut next_cta: u32 = 0;
+        let start = self.now;
+
+        loop {
+            let now = self.now;
+            if now - start >= max_cycles {
+                return Err(RunError::Timeout { cycles: max_cycles });
+            }
+
+            // 1. CTA dispatch (round-robin over SMs).
+            'dispatch: while next_cta < grid {
+                let mut launched = false;
+                for sm in &mut self.sms {
+                    if next_cta >= grid {
+                        break;
+                    }
+                    if sm.try_launch_block(next_cta, kernel, extra_regs) {
+                        next_cta += 1;
+                        launched = true;
+                    }
+                }
+                if !launched {
+                    break 'dispatch;
+                }
+            }
+
+            // 2. SM cycles.
+            for sm in &mut self.sms {
+                let mut shared = SharedState {
+                    mem: &mut self.mem,
+                    cmap: self.cmap.as_mut(),
+                    line_store: &mut self.line_store,
+                    design: &mut self.design,
+                };
+                sm.cycle(now, kernel, &mut shared);
+            }
+
+            // 3. Drain SM requests into the forward crossbar (one per SM per
+            //    cycle).
+            for (i, sm) in self.sms.iter_mut().enumerate() {
+                if let Some(req) = sm.peek_request().copied() {
+                    let dst = ((req.addr / LINE_SIZE as u64)
+                        % self.cfg.num_channels as u64) as usize;
+                    if self.xbar_fwd.can_accept(dst) {
+                        let req = sm.pop_request().expect("peeked");
+                        self.xbar_fwd
+                            .try_push(
+                                i,
+                                dst,
+                                PartReq {
+                                    sm: i,
+                                    addr: req.addr,
+                                    is_write: req.is_write,
+                                },
+                                req.flits,
+                            )
+                            .expect("checked can_accept");
+                    }
+                }
+            }
+
+            // 4. Crossbar → partitions.
+            self.xbar_fwd.cycle();
+            for (p, part) in self.parts.iter_mut().enumerate() {
+                if part.can_accept() {
+                    if let Some(req) = self.xbar_fwd.pop(p) {
+                        part.push(req);
+                    }
+                }
+            }
+
+            // 5. Partition cycles.
+            for part in self.parts.iter_mut() {
+                let mut oracle = SizeOracle {
+                    mem: &self.mem,
+                    cmap: self.cmap.as_mut(),
+                    line_store: &self.line_store,
+                    mem_compressed: self.design.mem_compressed(),
+                    icnt_compressed: self.design.icnt_compressed(),
+                };
+                part.cycle(now, &mut oracle);
+            }
+
+            // 6. Partition responses → response crossbar.
+            for (p, part) in self.parts.iter_mut().enumerate() {
+                if let Some(resp) = part.pop_response() {
+                    if self.xbar_rsp.can_accept(resp.sm) {
+                        self.xbar_rsp
+                            .try_push(p, resp.sm, resp, resp.flits)
+                            .expect("checked can_accept");
+                    } else {
+                        // Hold the response by re-queueing it in the
+                        // partition (back-pressure).
+                        part.push_response_front(resp);
+                    }
+                }
+            }
+
+            // 7. Response crossbar → SM fills.
+            self.xbar_rsp.cycle();
+            for (i, sm) in self.sms.iter_mut().enumerate() {
+                while let Some(resp) = self.xbar_rsp.pop(i) {
+                    let mut shared = SharedState {
+                        mem: &mut self.mem,
+                        cmap: self.cmap.as_mut(),
+                        line_store: &mut self.line_store,
+                        design: &mut self.design,
+                    };
+                    sm.handle_fill(now, resp.addr, &mut shared);
+                }
+            }
+
+            self.now += 1;
+            self.trace_tick();
+
+            // 8. Completion check.
+            if next_cta >= grid
+                && self.sms.iter().all(|s| s.quiesced())
+                && self.parts.iter().all(|p| p.quiesced())
+                && self.xbar_fwd.idle()
+                && self.xbar_rsp.idle()
+            {
+                break;
+            }
+        }
+
+        Ok(self.collect_stats(self.now - start))
+    }
+
+    /// Diagnostic multi-line state dump.
+    #[doc(hidden)]
+    pub fn debug_state(&self) -> String {
+        let mut out = String::new();
+        for sm in &self.sms {
+            out.push_str(&sm.debug_state());
+            out.push('\n');
+        }
+        for p in &self.parts {
+            out.push_str(&format!("P{}: quiesced={}\n", p.id(), p.quiesced()));
+        }
+        out.push_str(&format!(
+            "xbar_fwd idle={} xbar_rsp idle={}\n",
+            self.xbar_fwd.idle(),
+            self.xbar_rsp.idle()
+        ));
+        out
+    }
+
+    fn collect_stats(&self, cycles: u64) -> RunStats {
+        let mut stats = RunStats {
+            cycles,
+            ..Default::default()
+        };
+        for sm in &self.sms {
+            sm.export_stats(&mut stats);
+        }
+        for part in &self.parts {
+            let d = part.dram_stats();
+            stats.dram_busy_cycles += d.bus_busy_cycles;
+            stats.dram_total_cycles += d.total_cycles;
+            stats.dram_bursts += d.bursts;
+            stats.dram_activates += d.row_misses;
+            stats.l2_hits += part.l2_hits();
+            stats.l2_misses += part.l2_misses();
+            stats.md_lookups += part.md_lookups();
+            stats.md_misses += part.md_misses();
+        }
+        stats.icnt_flits = self.xbar_fwd.total_flits() + self.xbar_rsp.total_flits();
+        stats
+    }
+}

@@ -1,0 +1,152 @@
+//! The load/store unit: a line-granular operation queue fed by the
+//! coalescer (which already ran in [`crate::exec`]) and drained at one line
+//! access per cycle.
+//!
+//! A fully diverged 32-lane load therefore occupies the LSU for 32 cycles —
+//! exactly the back-pressure that produces the paper's *Memory (structural)
+//! stalls* for irregular applications (Figure 1).
+
+use std::collections::VecDeque;
+
+/// Identifies the issuing context of a line operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WarpRef {
+    /// An application warp slot.
+    App(usize),
+    /// An assist warp slot.
+    Assist(usize),
+}
+
+/// The kind of line operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineOpKind {
+    /// Global load: L1 lookup, may miss to memory. `ticket` joins the line
+    /// fills of one load instruction.
+    Load {
+        /// Load-ticket index in the SM's ticket slab.
+        ticket: usize,
+    },
+    /// Global store: write-through toward L2/memory.
+    Store,
+    /// Assist-warp local access: occupies the LSU slot, completes at L1
+    /// latency, generates no external traffic (the line is core-resident).
+    AssistLocal {
+        /// Load-ticket index when the access produces a register result
+        /// (assist stores are fire-and-forget).
+        ticket: Option<usize>,
+    },
+}
+
+/// One line-granular LSU operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineOp {
+    /// Issuing warp.
+    pub warp: WarpRef,
+    /// Line base address.
+    pub addr: u64,
+    /// Operation kind.
+    pub kind: LineOpKind,
+}
+
+/// The LSU queue.
+#[derive(Debug)]
+pub struct Lsu {
+    queue: VecDeque<LineOp>,
+    capacity: usize,
+    processed: u64,
+}
+
+impl Lsu {
+    /// Creates an LSU with room for `capacity` pending line operations.
+    pub fn new(capacity: usize) -> Self {
+        Lsu {
+            queue: VecDeque::new(),
+            capacity,
+            processed: 0,
+        }
+    }
+
+    /// True when an instruction generating `n` line ops can be accepted.
+    pub fn can_accept(&self, n: usize) -> bool {
+        self.queue.len() + n <= self.capacity
+    }
+
+    /// Enqueues one line operation. The capacity is an *instruction
+    /// admission* threshold (checked via [`Lsu::can_accept`] before issuing
+    /// a memory instruction); a single admitted instruction may push all of
+    /// its coalesced line operations even past the threshold.
+    pub fn push(&mut self, op: LineOp) {
+        self.queue.push_back(op);
+    }
+
+    /// The operation at the head, if any.
+    pub fn head(&self) -> Option<&LineOp> {
+        self.queue.front()
+    }
+
+    /// Removes and returns the head (after the SM determined it can
+    /// proceed).
+    pub fn pop(&mut self) -> Option<LineOp> {
+        let op = self.queue.pop_front();
+        if op.is_some() {
+            self.processed += 1;
+        }
+        op
+    }
+
+    /// Pending operation count.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Total operations processed.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(addr: u64) -> LineOp {
+        LineOp {
+            warp: WarpRef::App(0),
+            addr,
+            kind: LineOpKind::Store,
+        }
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut l = Lsu::new(4);
+        l.push(op(0));
+        l.push(op(128));
+        assert_eq!(l.head().unwrap().addr, 0);
+        assert_eq!(l.pop().unwrap().addr, 0);
+        assert_eq!(l.pop().unwrap().addr, 128);
+        assert_eq!(l.pop(), None);
+        assert_eq!(l.processed(), 2);
+    }
+
+    #[test]
+    fn capacity_check() {
+        let mut l = Lsu::new(2);
+        assert!(l.can_accept(2));
+        assert!(!l.can_accept(3));
+        l.push(op(0));
+        assert!(l.can_accept(1));
+        assert!(!l.can_accept(2));
+        l.push(op(1));
+        assert_eq!(l.pending(), 2);
+    }
+
+    #[test]
+    fn admitted_instruction_may_exceed_capacity() {
+        let mut l = Lsu::new(1);
+        l.push(op(0));
+        l.push(op(1)); // second line of the same admitted instruction
+        assert_eq!(l.pending(), 2);
+        assert!(!l.can_accept(1));
+    }
+}

@@ -1,0 +1,514 @@
+//! A memory partition: one L2 slice, the metadata cache, and one GDDR5
+//! channel (the paper's 6 MCs each pair an L2 slice with a channel).
+
+use crate::config::GpuConfig;
+use caba_mem::{
+    AccessOutcome, Cache, CompressionMap, DramChannel, DramRequest, FuncMem, MdCache, Mshr,
+    LINE_SIZE,
+};
+use std::collections::VecDeque;
+
+use crate::assist::LineStore;
+
+/// A request arriving at a partition from the interconnect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartReq {
+    /// Requesting SM.
+    pub sm: usize,
+    /// Line base address.
+    pub addr: u64,
+    /// Write (true) or read (false).
+    pub is_write: bool,
+}
+
+/// A read response leaving a partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartResp {
+    /// Destination SM.
+    pub sm: usize,
+    /// Line base address.
+    pub addr: u64,
+    /// Interconnect flits the response occupies.
+    pub flits: u32,
+}
+
+/// Answers "how big is this line as stored / as transferred", consulting
+/// the stored forms and the reference compression map. Built fresh by the
+/// GPU each cycle from its owned state.
+pub struct SizeOracle<'a> {
+    /// Functional memory.
+    pub mem: &'a FuncMem,
+    /// Reference compression map.
+    pub cmap: Option<&'a mut CompressionMap>,
+    /// Stored-form overrides.
+    pub line_store: &'a LineStore,
+    /// DRAM transfers compressed?
+    pub mem_compressed: bool,
+    /// Interconnect/L2 compressed?
+    pub icnt_compressed: bool,
+}
+
+impl SizeOracle<'_> {
+    fn stored_size(&mut self, addr: u64) -> usize {
+        self.line_store
+            .stored_size(self.mem, self.cmap.as_deref_mut(), addr)
+    }
+
+    /// DRAM bursts for a line transfer.
+    pub fn dram_bursts(&mut self, addr: u64) -> u32 {
+        if !self.mem_compressed {
+            return (LINE_SIZE / caba_compress::BURST_BYTES) as u32;
+        }
+        let size = self.stored_size(addr);
+        caba_compress::bursts_for_size(size, LINE_SIZE) as u32
+    }
+
+    /// Flits for a read response toward the core.
+    pub fn resp_flits(&mut self, addr: u64) -> u32 {
+        if !self.icnt_compressed {
+            return (LINE_SIZE / caba_mem::icnt::FLIT_BYTES) as u32;
+        }
+        let size = self.stored_size(addr);
+        caba_mem::icnt::flits_for(size)
+    }
+
+    /// Resident size of a line in the L2 slice (≥ 1 byte: an all-zero line
+    /// compresses to a zero-byte payload but still occupies a tag).
+    pub fn l2_size(&mut self, addr: u64) -> usize {
+        if self.icnt_compressed {
+            self.stored_size(addr).max(1)
+        } else {
+            LINE_SIZE
+        }
+    }
+}
+
+/// One L2-slice + MD-cache + DRAM-channel partition.
+#[derive(Debug)]
+pub struct Partition {
+    id: usize,
+    cfg: GpuConfig,
+    l2: Cache,
+    mshr: Mshr<usize>,
+    md: Option<MdCache>,
+    md_required: bool,
+    dram: DramChannel,
+    incoming: VecDeque<PartReq>,
+    pending_resp: Vec<(u64, PartResp)>,
+    resp_out: VecDeque<PartResp>,
+    dram_retry: VecDeque<DramRequest>,
+    next_req_id: u64,
+}
+
+/// Request-id tag marking metadata-fetch DRAM accesses.
+const MD_TAG: u64 = 1 << 63;
+
+impl Partition {
+    /// Creates a partition. `with_md` enables the §4.3.2 metadata cache
+    /// (compressed-memory designs).
+    pub fn new(id: usize, cfg: GpuConfig, with_md: bool) -> Self {
+        Partition {
+            id,
+            cfg,
+            l2: Cache::new(cfg.l2),
+            mshr: Mshr::new(cfg.mshrs),
+            md: (with_md && cfg.md_cache_enabled).then(MdCache::isca2015),
+            md_required: with_md,
+            dram: DramChannel::new(cfg.dram),
+            incoming: VecDeque::new(),
+            pending_resp: Vec::new(),
+            resp_out: VecDeque::new(),
+            dram_retry: VecDeque::new(),
+            next_req_id: 0,
+        }
+    }
+
+    /// The partition id.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// True when a new request can be queued.
+    pub fn can_accept(&self) -> bool {
+        self.incoming.len() < 16
+    }
+
+    /// Queues an incoming request.
+    pub fn push(&mut self, req: PartReq) {
+        self.incoming.push_back(req);
+    }
+
+    /// Pops a ready response.
+    pub fn pop_response(&mut self) -> Option<PartResp> {
+        self.resp_out.pop_front()
+    }
+
+    /// Requeues a response that could not enter the interconnect
+    /// (back-pressure).
+    pub fn push_response_front(&mut self, resp: PartResp) {
+        self.resp_out.push_front(resp);
+    }
+
+    /// True when nothing is pending anywhere in the partition.
+    pub fn quiesced(&self) -> bool {
+        self.incoming.is_empty()
+            && self.pending_resp.is_empty()
+            && self.resp_out.is_empty()
+            && self.dram_retry.is_empty()
+            && self.mshr.outstanding() == 0
+            && self.dram.idle()
+    }
+
+    fn push_dram(&mut self, req: DramRequest) {
+        if let Err(r) = self.dram.push(req) {
+            self.dram_retry.push_back(r);
+        }
+    }
+
+    fn md_lookup(&mut self, addr: u64) {
+        let miss = match self.md.as_mut() {
+            Some(md) => !md.lookup(addr),
+            // No MD cache: every access to compressed memory pays the
+            // extra metadata fetch (the naive design §4.3.2 improves on).
+            None => self.md_required,
+        };
+        if miss {
+            // One extra DRAM access to fetch the metadata block (§4.3.2).
+            let id = MD_TAG | self.next_req_id;
+            self.next_req_id += 1;
+            self.push_dram(DramRequest {
+                id,
+                addr,
+                bursts: 1,
+                is_write: false,
+            });
+        }
+    }
+
+    /// Advances the partition one cycle.
+    pub fn cycle(&mut self, now: u64, oracle: &mut SizeOracle<'_>) {
+        // Retry DRAM pushes rejected by a full queue.
+        while let Some(r) = self.dram_retry.pop_front() {
+            if let Err(r) = self.dram.push(r) {
+                self.dram_retry.push_front(r);
+                break;
+            }
+        }
+
+        // Service one incoming request.
+        if let Some(req) = self.incoming.pop_front() {
+            if req.is_write {
+                self.md_lookup(req.addr);
+                let size = oracle.l2_size(req.addr);
+                let evictions = self.l2.fill(req.addr, true, size);
+                for ev in evictions {
+                    if ev.dirty {
+                        let bursts = oracle.dram_bursts(ev.addr);
+                        let id = self.next_req_id;
+                        self.next_req_id += 1;
+                        self.push_dram(DramRequest {
+                            id,
+                            addr: ev.addr,
+                            bursts,
+                            is_write: true,
+                        });
+                    }
+                }
+            } else {
+                match self.l2.access(req.addr, false) {
+                    AccessOutcome::Hit => {
+                        let flits = oracle.resp_flits(req.addr);
+                        self.pending_resp.push((
+                            now + self.cfg.l2_latency,
+                            PartResp {
+                                sm: req.sm,
+                                addr: req.addr,
+                                flits,
+                            },
+                        ));
+                    }
+                    AccessOutcome::Miss => match self.mshr.allocate(req.addr, req.sm) {
+                        Ok(true) => {
+                            self.md_lookup(req.addr);
+                            let bursts = oracle.dram_bursts(req.addr);
+                            let id = self.next_req_id;
+                            self.next_req_id += 1;
+                            self.push_dram(DramRequest {
+                                id,
+                                addr: req.addr,
+                                bursts,
+                                is_write: false,
+                            });
+                        }
+                        Ok(false) => { /* merged */ }
+                        Err(sm) => {
+                            // MSHRs full: retry next cycle.
+                            self.incoming.push_front(PartReq {
+                                sm,
+                                addr: req.addr,
+                                is_write: false,
+                            });
+                        }
+                    },
+                }
+            }
+        }
+
+        // DRAM progress and completions.
+        self.dram.cycle();
+        while let Some(done) = self.dram.pop_completed() {
+            if done.is_write || done.id & MD_TAG != 0 {
+                continue;
+            }
+            let size = oracle.l2_size(done.addr);
+            let evictions = self.l2.fill(done.addr, false, size);
+            for ev in evictions {
+                if ev.dirty {
+                    let bursts = oracle.dram_bursts(ev.addr);
+                    let id = self.next_req_id;
+                    self.next_req_id += 1;
+                    self.push_dram(DramRequest {
+                        id,
+                        addr: ev.addr,
+                        bursts,
+                        is_write: true,
+                    });
+                }
+            }
+            let flits = oracle.resp_flits(done.addr);
+            for sm in self.mshr.complete(done.addr) {
+                self.resp_out.push_back(PartResp {
+                    sm,
+                    addr: done.addr,
+                    flits,
+                });
+            }
+        }
+
+        // Release L2-hit responses whose latency elapsed.
+        let mut i = 0;
+        while i < self.pending_resp.len() {
+            if self.pending_resp[i].0 <= now {
+                let (_, resp) = self.pending_resp.swap_remove(i);
+                self.resp_out.push_back(resp);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// L2 hit count.
+    pub fn l2_hits(&self) -> u64 {
+        self.l2.hits()
+    }
+
+    /// L2 miss count.
+    pub fn l2_misses(&self) -> u64 {
+        self.l2.misses()
+    }
+
+    /// MD-cache lookup count (0 when disabled).
+    pub fn md_lookups(&self) -> u64 {
+        self.md.as_ref().map_or(0, |m| m.lookups())
+    }
+
+    /// MD-cache miss count.
+    pub fn md_misses(&self) -> u64 {
+        self.md.as_ref().map_or(0, |m| m.misses())
+    }
+
+    /// DRAM channel statistics.
+    pub fn dram_stats(&self) -> caba_mem::DramStats {
+        self.dram.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caba_compress::Algorithm;
+    use caba_mem::func::LineCompressor;
+
+    fn oracle_parts() -> (FuncMem, CompressionMap, LineStore) {
+        let mut mem = FuncMem::new();
+        for i in 0..32u32 {
+            mem.write_u32(i as u64 * 4, 0x7000 + i); // compressible line 0
+        }
+        let mut x = 99u64;
+        for i in 0..16 {
+            x = x.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(7);
+            mem.write_u64(4096 + i * 8, x); // incompressible line
+        }
+        (
+            mem,
+            CompressionMap::new(LineCompressor::Fixed(Algorithm::Bdi)),
+            LineStore::new(),
+        )
+    }
+
+    #[test]
+    fn oracle_sizes() {
+        let (mem, mut cmap, ls) = oracle_parts();
+        let mut o = SizeOracle {
+            mem: &mem,
+            cmap: Some(&mut cmap),
+            line_store: &ls,
+            mem_compressed: true,
+            icnt_compressed: true,
+        };
+        assert!(o.dram_bursts(0) < 4);
+        assert_eq!(o.dram_bursts(4096), 4);
+        assert!(o.resp_flits(0) < 4);
+        assert!(o.l2_size(0) < LINE_SIZE);
+
+        let mut base = SizeOracle {
+            mem: &mem,
+            cmap: None,
+            line_store: &ls,
+            mem_compressed: false,
+            icnt_compressed: false,
+        };
+        assert_eq!(base.dram_bursts(0), 4);
+        assert_eq!(base.resp_flits(0), 4);
+        assert_eq!(base.l2_size(0), LINE_SIZE);
+    }
+
+    fn run_until_resp(
+        part: &mut Partition,
+        oracle: &mut SizeOracle<'_>,
+        max: u64,
+    ) -> Option<(u64, PartResp)> {
+        for c in 0..max {
+            part.cycle(c, oracle);
+            if let Some(r) = part.pop_response() {
+                return Some((c, r));
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn read_miss_then_hit_is_faster() {
+        let cfg = GpuConfig::small();
+        let (mem, mut cmap, ls) = oracle_parts();
+        let mut part = Partition::new(0, cfg, false);
+        let mut oracle = SizeOracle {
+            mem: &mem,
+            cmap: Some(&mut cmap),
+            line_store: &ls,
+            mem_compressed: false,
+            icnt_compressed: false,
+        };
+        part.push(PartReq {
+            sm: 3,
+            addr: 0,
+            is_write: false,
+        });
+        let (t_miss, r) = run_until_resp(&mut part, &mut oracle, 500).expect("miss completes");
+        assert_eq!(r.sm, 3);
+        assert_eq!(r.flits, 4);
+        // Second access: L2 hit.
+        part.push(PartReq {
+            sm: 3,
+            addr: 0,
+            is_write: false,
+        });
+        let start = t_miss;
+        let mut hit_at = None;
+        for c in start + 1..start + 500 {
+            part.cycle(c, &mut oracle);
+            if let Some(_r) = part.pop_response() {
+                hit_at = Some(c - start);
+                break;
+            }
+        }
+        let t_hit = hit_at.expect("hit completes");
+        assert!(t_hit < t_miss, "hit {t_hit} vs miss {t_miss}");
+        assert_eq!(part.l2_hits(), 1);
+        assert_eq!(part.l2_misses(), 1);
+        assert!(part.quiesced());
+    }
+
+    #[test]
+    fn same_line_requests_merge_in_mshr() {
+        let cfg = GpuConfig::small();
+        let (mem, mut cmap, ls) = oracle_parts();
+        let mut part = Partition::new(0, cfg, false);
+        let mut oracle = SizeOracle {
+            mem: &mem,
+            cmap: Some(&mut cmap),
+            line_store: &ls,
+            mem_compressed: false,
+            icnt_compressed: false,
+        };
+        for sm in 0..3 {
+            part.push(PartReq {
+                sm,
+                addr: 0,
+                is_write: false,
+            });
+        }
+        let mut resps = Vec::new();
+        for c in 0..600 {
+            part.cycle(c, &mut oracle);
+            while let Some(r) = part.pop_response() {
+                resps.push(r.sm);
+            }
+        }
+        resps.sort_unstable();
+        assert_eq!(resps, vec![0, 1, 2]);
+        // Only one DRAM read despite three requesters.
+        assert_eq!(part.dram_stats().reads, 1);
+    }
+
+    #[test]
+    fn compressed_read_uses_fewer_bursts() {
+        let cfg = GpuConfig::small();
+        let (mem, mut cmap, ls) = oracle_parts();
+        let mut part = Partition::new(0, cfg, true);
+        let mut oracle = SizeOracle {
+            mem: &mem,
+            cmap: Some(&mut cmap),
+            line_store: &ls,
+            mem_compressed: true,
+            icnt_compressed: true,
+        };
+        part.push(PartReq {
+            sm: 0,
+            addr: 0,
+            is_write: false,
+        });
+        let (_, r) = run_until_resp(&mut part, &mut oracle, 500).expect("completes");
+        assert!(r.flits < 4);
+        assert!(part.dram_stats().bursts < 4 + 1); // compressed line (+ md?)
+        assert_eq!(part.md_lookups(), 1);
+    }
+
+    #[test]
+    fn writes_fill_l2_and_spill_dirty_victims() {
+        let cfg = GpuConfig::small();
+        let (mem, mut cmap, ls) = oracle_parts();
+        let mut part = Partition::new(0, cfg, false);
+        let mut oracle = SizeOracle {
+            mem: &mem,
+            cmap: Some(&mut cmap),
+            line_store: &ls,
+            mem_compressed: false,
+            icnt_compressed: false,
+        };
+        // Fill one L2 set (16 ways, 64 sets): same set = stride sets*128.
+        let stride = 64 * 128u64;
+        for i in 0..17u64 {
+            part.push(PartReq {
+                sm: 0,
+                addr: i * stride,
+                is_write: true,
+            });
+        }
+        for c in 0..2000 {
+            part.cycle(c, &mut oracle);
+        }
+        // 17 dirty fills into a 16-way set force ≥1 writeback.
+        assert!(part.dram_stats().writes >= 1);
+    }
+}

@@ -1,0 +1,166 @@
+//! Static occupancy analysis — reproduces Figure 2 (fraction of statically
+//! unallocated registers) and the CABA register-availability rule of §3.2.2.
+
+use crate::config::GpuConfig;
+use caba_isa::Kernel;
+
+/// Static occupancy of one kernel on one SM.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OccupancyInfo {
+    /// Resident blocks per SM.
+    pub blocks: u32,
+    /// Resident warps per SM.
+    pub warps: u32,
+    /// Registers allocated to thread blocks.
+    pub allocated_regs: u32,
+    /// Registers left unallocated (available for assist warps).
+    pub unallocated_regs: u32,
+    /// Which resource bounds the occupancy.
+    pub limiter: OccupancyLimiter,
+}
+
+/// The resource limiting occupancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OccupancyLimiter {
+    /// The per-SM thread/warp limit (1536 threads).
+    Threads,
+    /// The per-SM block limit (8 blocks).
+    Blocks,
+    /// The register file.
+    Registers,
+    /// Shared memory.
+    SharedMemory,
+    /// The grid has fewer blocks than one SM could host.
+    Grid,
+}
+
+impl OccupancyInfo {
+    /// Fraction of the register file left unallocated — the Figure 2 metric
+    /// (paper average: 24%).
+    pub fn unallocated_fraction(&self, cfg: &GpuConfig) -> f64 {
+        self.unallocated_regs as f64 / cfg.regfile_per_sm as f64
+    }
+}
+
+/// Computes the static occupancy of `kernel` under `cfg`, with
+/// `extra_regs_per_thread` charged for enabled assist-warp routines
+/// (§3.2.2: "we add its register requirement to the per-block register
+/// requirement").
+pub fn occupancy(kernel: &Kernel, cfg: &GpuConfig, extra_regs_per_thread: u32) -> OccupancyInfo {
+    let dims = kernel.dims();
+    let threads_per_block = dims.block_dim;
+    let warps_per_block = dims.warps_per_block();
+    let regs_per_block = (kernel.regs_per_thread() + extra_regs_per_thread) * threads_per_block;
+    let shared_per_block = kernel.shared_bytes_per_block().max(1);
+
+    let by_threads = cfg.warps_per_sm as u32 / warps_per_block.max(1);
+    let by_blocks = cfg.max_blocks_per_sm as u32;
+    let by_regs = cfg
+        .regfile_per_sm
+        .checked_div(regs_per_block)
+        .unwrap_or(u32::MAX);
+    let by_shared = cfg.shared_per_sm / shared_per_block;
+    let by_grid = dims.grid_dim;
+
+    let blocks = by_threads
+        .min(by_blocks)
+        .min(by_regs)
+        .min(by_shared)
+        .min(by_grid);
+    let limiter = if blocks == by_threads {
+        OccupancyLimiter::Threads
+    } else if blocks == by_blocks {
+        OccupancyLimiter::Blocks
+    } else if blocks == by_regs {
+        OccupancyLimiter::Registers
+    } else if blocks == by_shared {
+        OccupancyLimiter::SharedMemory
+    } else {
+        OccupancyLimiter::Grid
+    };
+
+    let allocated = blocks * regs_per_block;
+    OccupancyInfo {
+        blocks,
+        warps: blocks * warps_per_block,
+        allocated_regs: allocated,
+        unallocated_regs: cfg.regfile_per_sm.saturating_sub(allocated),
+        limiter,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caba_isa::{Instr, LaunchDims, Op, Program};
+
+    fn kernel(regs: u32, block: u32, grid: u32, shared: u32) -> Kernel {
+        let p = Program::new(vec![Instr::new(Op::Exit)]);
+        Kernel::new("k", p, LaunchDims::new(grid, block))
+            .with_regs_per_thread(regs)
+            .with_shared_bytes(shared)
+    }
+
+    #[test]
+    fn block_limited_kernel_leaves_registers_unallocated() {
+        let cfg = GpuConfig::isca2015();
+        // 8 blocks × 128 threads × 20 regs = 20480 of 32768 allocated.
+        let k = kernel(20, 128, 1000, 0);
+        let o = occupancy(&k, &cfg, 0);
+        assert_eq!(o.blocks, 8);
+        assert_eq!(o.limiter, OccupancyLimiter::Blocks);
+        assert_eq!(o.allocated_regs, 20480);
+        assert_eq!(o.unallocated_regs, 32768 - 20480);
+        let f = o.unallocated_fraction(&cfg);
+        assert!((f - (12288.0 / 32768.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn thread_limited_kernel() {
+        let cfg = GpuConfig::isca2015();
+        // 512-thread blocks: 16 warps each; 48/16 = 3 blocks.
+        let k = kernel(10, 512, 1000, 0);
+        let o = occupancy(&k, &cfg, 0);
+        assert_eq!(o.blocks, 3);
+        assert_eq!(o.warps, 48);
+        assert_eq!(o.limiter, OccupancyLimiter::Threads);
+    }
+
+    #[test]
+    fn register_limited_kernel() {
+        let cfg = GpuConfig::isca2015();
+        // 63 regs × 256 threads = 16128/block; 32768/16128 = 2 blocks.
+        let k = kernel(63, 256, 1000, 0);
+        let o = occupancy(&k, &cfg, 0);
+        assert_eq!(o.blocks, 2);
+        assert_eq!(o.limiter, OccupancyLimiter::Registers);
+    }
+
+    #[test]
+    fn shared_memory_limited_kernel() {
+        let cfg = GpuConfig::isca2015();
+        let k = kernel(10, 64, 1000, 16 * 1024);
+        let o = occupancy(&k, &cfg, 0);
+        assert_eq!(o.blocks, 2);
+        assert_eq!(o.limiter, OccupancyLimiter::SharedMemory);
+    }
+
+    #[test]
+    fn grid_limited_kernel() {
+        let cfg = GpuConfig::isca2015();
+        let k = kernel(10, 64, 1, 0);
+        let o = occupancy(&k, &cfg, 0);
+        assert_eq!(o.blocks, 1);
+        assert_eq!(o.limiter, OccupancyLimiter::Grid);
+    }
+
+    #[test]
+    fn assist_registers_reduce_occupancy_when_tight() {
+        let cfg = GpuConfig::isca2015();
+        let k = kernel(60, 256, 1000, 0);
+        let without = occupancy(&k, &cfg, 0);
+        let with = occupancy(&k, &cfg, 10);
+        assert!(with.blocks <= without.blocks);
+        assert!(with.allocated_regs >= without.blocks * 60 * 256 / without.blocks.max(1));
+    }
+}

@@ -1,0 +1,1364 @@
+//! The streaming multiprocessor model: warp slots, two GTO schedulers,
+//! SP/SFU/LSU pipelines, L1 + MSHRs, the store buffer, and the assist-warp
+//! runtime (the AWC/AWT/AWB mechanics of §3.3–3.4).
+
+use crate::assist::{
+    AssistLaunch, AssistOutcome, AssistPriority, FillAction, FillInfo, LineStore, SmServices,
+    StoreAction, StoreInfo,
+};
+use crate::config::{Design, GpuConfig, SchedulerPolicy};
+use crate::exec::{execute, ThreadCtx};
+use crate::lsu::{LineOp, LineOpKind, Lsu, WarpRef};
+use crate::warp::Warp;
+use caba_isa::{FuClass, Instr, Kernel, Op, Program, Reg, Space, WARP_SIZE};
+use caba_mem::{AccessOutcome, Cache, CompressionMap, FuncMem, Mshr, LINE_SIZE};
+use caba_stats::{IssueBreakdown, StallKind};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Base of the shared-memory (scratchpad) address window in the unified
+/// functional address space.
+pub const SHARED_WINDOW_BASE: u64 = 0x4000_0000_0000;
+/// Bytes reserved per block's shared window.
+pub const SHARED_WINDOW_SIZE: u64 = 0x1_0000;
+/// Base of the per-SM assist-warp staging regions.
+pub const STAGING_BASE: u64 = 0x5000_0000_0000;
+/// Bytes of staging per SM.
+pub const STAGING_SIZE: u64 = 0x10_0000;
+
+/// Shared mutable state the SM needs from the GPU each cycle.
+pub struct SharedState<'a> {
+    /// Functional memory.
+    pub mem: &'a mut FuncMem,
+    /// Reference compression map (compressed designs only).
+    pub cmap: Option<&'a mut CompressionMap>,
+    /// Per-line stored forms.
+    pub line_store: &'a mut LineStore,
+    /// The evaluated design point (owns the CABA controller, if any).
+    pub design: &'a mut Design,
+}
+
+/// An outbound memory request (SM → partition).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutReq {
+    /// Line base address.
+    pub addr: u64,
+    /// Write (true) or read (false).
+    pub is_write: bool,
+    /// Interconnect flits this request occupies.
+    pub flits: u32,
+}
+
+#[derive(Debug)]
+struct Block {
+    ctaid: u32,
+    warp_slots: Vec<usize>,
+    warps_done: usize,
+    arrived: usize,
+    regs: u32,
+    shared: u32,
+}
+
+#[derive(Debug)]
+struct SmWarp {
+    warp: Warp,
+    block_slot: usize,
+    ctaid: u32,
+    warp_in_block: u32,
+    age: u64,
+    /// Counted toward its block's completion (resources are freed at block
+    /// granularity, so the slot stays occupied until the whole CTA retires).
+    retired: bool,
+}
+
+#[derive(Debug)]
+struct AssistRt {
+    warp: Warp,
+    program: Arc<Program>,
+    priority: AssistPriority,
+    tag: u64,
+    age: u64,
+    parent: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Ticket {
+    warp: WarpRef,
+    dst: Option<Reg>,
+    remaining: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Writeback {
+    at: u64,
+    warp: WarpRef,
+    reg: Option<Reg>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum IssueBlock {
+    Hazard,
+    MemStructural,
+    ComputeStructural,
+}
+
+/// One streaming multiprocessor.
+pub struct Sm {
+    id: usize,
+    cfg: GpuConfig,
+    blocks: Vec<Option<Block>>,
+    warps: Vec<Option<SmWarp>>,
+    assists: Vec<Option<AssistRt>>,
+    assist_pending: VecDeque<AssistLaunch>,
+    writebacks: Vec<Writeback>,
+    tickets: Vec<Option<Ticket>>,
+    free_tickets: Vec<usize>,
+    lsu: Lsu,
+    l1: Cache,
+    mshr: Mshr<usize>,
+    pending_decomp: HashMap<u64, Vec<usize>>,
+    store_buffer: VecDeque<u64>,
+    out_reqs: VecDeque<OutReq>,
+    sfu_ready_at: u64,
+    greedy: Vec<Option<WarpRef>>,
+    rr_cursor: Vec<u64>,
+    used_regs: u32,
+    used_shared: u32,
+    age_seq: u64,
+    // statistics
+    breakdown: IssueBreakdown,
+    app_instructions: u64,
+    assist_instructions: u64,
+    shared_accesses: u64,
+    threads_retired: u64,
+    assist_launches: u64,
+    store_buffer_overflows: u64,
+    lines_compressed: u64,
+    lines_decompressed: u64,
+}
+
+impl std::fmt::Debug for Sm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sm")
+            .field("id", &self.id)
+            .field("resident_warps", &self.resident_warps())
+            .field("app_instructions", &self.app_instructions)
+            .finish()
+    }
+}
+
+impl Sm {
+    /// Creates an idle SM.
+    pub fn new(id: usize, cfg: GpuConfig) -> Self {
+        Sm {
+            id,
+            cfg,
+            blocks: (0..cfg.max_blocks_per_sm).map(|_| None).collect(),
+            warps: (0..cfg.warps_per_sm).map(|_| None).collect(),
+            assists: (0..cfg.max_assist_warps).map(|_| None).collect(),
+            assist_pending: VecDeque::new(),
+            writebacks: Vec::new(),
+            tickets: Vec::new(),
+            free_tickets: Vec::new(),
+            lsu: Lsu::new(cfg.lsu_queue),
+            l1: Cache::new(cfg.l1),
+            mshr: Mshr::new(cfg.mshrs),
+            pending_decomp: HashMap::new(),
+            store_buffer: VecDeque::new(),
+            out_reqs: VecDeque::new(),
+            sfu_ready_at: 0,
+            greedy: vec![None; cfg.schedulers_per_sm],
+            rr_cursor: vec![0; cfg.schedulers_per_sm],
+            used_regs: 0,
+            used_shared: 0,
+            age_seq: 0,
+            breakdown: IssueBreakdown::new(),
+            app_instructions: 0,
+            assist_instructions: 0,
+            shared_accesses: 0,
+            threads_retired: 0,
+            assist_launches: 0,
+            store_buffer_overflows: 0,
+            lines_compressed: 0,
+            lines_decompressed: 0,
+        }
+    }
+
+    /// This SM's id.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Base address of this SM's staging region.
+    pub fn staging_base(&self) -> u64 {
+        STAGING_BASE + self.id as u64 * STAGING_SIZE
+    }
+
+    /// Resident warps.
+    pub fn resident_warps(&self) -> usize {
+        self.warps.iter().filter(|w| w.is_some()).count()
+    }
+
+    /// Resident blocks.
+    pub fn resident_blocks(&self) -> usize {
+        self.blocks.iter().filter(|b| b.is_some()).count()
+    }
+
+    /// Tries to make block `ctaid` resident; true on success.
+    pub fn try_launch_block(&mut self, ctaid: u32, kernel: &Kernel, extra_regs: u32) -> bool {
+        let dims = kernel.dims();
+        let warps_needed = dims.warps_per_block() as usize;
+        let regs_needed = (kernel.regs_per_thread() + extra_regs) * dims.block_dim;
+        let shared_needed = kernel.shared_bytes_per_block();
+
+        let block_slot = match self.blocks.iter().position(|b| b.is_none()) {
+            Some(s) => s,
+            None => return false,
+        };
+        let free_warps: Vec<usize> = self
+            .warps
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.is_none())
+            .map(|(i, _)| i)
+            .take(warps_needed)
+            .collect();
+        if free_warps.len() < warps_needed {
+            return false;
+        }
+        if self.used_regs + regs_needed > self.cfg.regfile_per_sm {
+            return false;
+        }
+        if self.used_shared + shared_needed > self.cfg.shared_per_sm {
+            return false;
+        }
+
+        let threads = dims.block_dim;
+        for (wib, &slot) in free_warps.iter().enumerate() {
+            // Last warp of an odd-sized block has a partial mask.
+            let lane_lo = (wib as u32) * WARP_SIZE as u32;
+            let lanes = threads.saturating_sub(lane_lo).min(WARP_SIZE as u32);
+            let mask = if lanes >= 32 {
+                u32::MAX
+            } else {
+                (1u32 << lanes) - 1
+            };
+            self.age_seq += 1;
+            self.warps[slot] = Some(SmWarp {
+                warp: Warp::new(kernel.regs_per_thread().max(1) as usize, mask),
+                block_slot,
+                ctaid,
+                warp_in_block: wib as u32,
+                age: self.age_seq,
+                retired: false,
+            });
+        }
+        self.blocks[block_slot] = Some(Block {
+            ctaid,
+            warp_slots: free_warps,
+            warps_done: 0,
+            arrived: 0,
+            regs: regs_needed,
+            shared: shared_needed,
+        });
+        self.used_regs += regs_needed;
+        self.used_shared += shared_needed;
+        true
+    }
+
+    /// True when nothing is executing or outstanding in this SM.
+    pub fn quiesced(&self) -> bool {
+        self.blocks.iter().all(|b| b.is_none())
+            && self.assists.iter().all(|a| a.is_none())
+            && self.assist_pending.is_empty()
+            && self.writebacks.is_empty()
+            && self.lsu.pending() == 0
+            && self.mshr.outstanding() == 0
+            && self.pending_decomp.is_empty()
+            && self.store_buffer.is_empty()
+            && self.out_reqs.is_empty()
+    }
+
+    /// Pops an outbound memory request (GPU drains into the crossbar).
+    pub fn pop_request(&mut self) -> Option<OutReq> {
+        self.out_reqs.pop_front()
+    }
+
+    /// Peeks the next outbound request.
+    pub fn peek_request(&self) -> Option<&OutReq> {
+        self.out_reqs.front()
+    }
+
+    fn shared_base_for(&self, block_slot: usize) -> u64 {
+        SHARED_WINDOW_BASE
+            + ((self.id * self.cfg.max_blocks_per_sm + block_slot) as u64) * SHARED_WINDOW_SIZE
+    }
+
+    fn alloc_ticket(&mut self, t: Ticket) -> usize {
+        if let Some(i) = self.free_tickets.pop() {
+            self.tickets[i] = Some(t);
+            i
+        } else {
+            self.tickets.push(Some(t));
+            self.tickets.len() - 1
+        }
+    }
+
+    fn resolve_ticket(&mut self, idx: usize, at: u64) {
+        let done = {
+            let t = self.tickets[idx].as_mut().expect("live ticket");
+            t.remaining -= 1;
+            t.remaining == 0
+        };
+        if done {
+            let t = self.tickets[idx].take().expect("live ticket");
+            self.free_tickets.push(idx);
+            self.writebacks.push(Writeback {
+                at,
+                warp: t.warp,
+                reg: t.dst,
+            });
+            if let WarpRef::App(slot) = t.warp {
+                if let Some(w) = self.warps[slot].as_mut() {
+                    w.warp.outstanding_loads = w.warp.outstanding_loads.saturating_sub(1);
+                }
+            }
+        }
+    }
+
+    fn process_writebacks(&mut self, now: u64) {
+        let mut i = 0;
+        while i < self.writebacks.len() {
+            if self.writebacks[i].at <= now {
+                let wb = self.writebacks.swap_remove(i);
+                match wb.warp {
+                    WarpRef::App(slot) => {
+                        if let (Some(w), Some(r)) = (self.warps[slot].as_mut(), wb.reg) {
+                            w.warp.clear_pending(r);
+                        }
+                    }
+                    WarpRef::Assist(slot) => {
+                        if let (Some(a), Some(r)) = (self.assists[slot].as_mut(), wb.reg) {
+                            a.warp.clear_pending(r);
+                        }
+                    }
+                }
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    // ----- assist warp runtime (AWC/AWT/AWB) -------------------------------
+
+    /// Queues an assist-warp launch (AWT insertion, §3.4 Trigger).
+    fn queue_assist(&mut self, launch: AssistLaunch) {
+        self.assist_pending.push_back(launch);
+    }
+
+    /// Deploys at most one pending assist warp per cycle (the AWC's
+    /// round-robin deployment, §3.4).
+    fn deploy_assist(&mut self) {
+        let Some(slot) = self.assists.iter().position(|a| a.is_none()) else {
+            return;
+        };
+        // Low-priority assist warps are staged through the dedicated IB
+        // partition, which has only `awb_low_priority_entries` slots (§3.3);
+        // a gated low-priority launch must not block a high-priority one
+        // behind it in the AWT.
+        let low_active = self
+            .assists
+            .iter()
+            .flatten()
+            .filter(|a| a.priority == AssistPriority::Low)
+            .count();
+        let low_ok = low_active < self.cfg.awb_low_priority_entries;
+        let Some(pos) = self
+            .assist_pending
+            .iter()
+            .position(|l| l.priority == AssistPriority::High || low_ok)
+        else {
+            return;
+        };
+        let launch = self.assist_pending.remove(pos).expect("position valid");
+        let nregs = launch.program.max_reg().max(1) as usize;
+        let mut warp = Warp::new(nregs, launch.active_mask);
+        for &(reg, val) in &launch.live_in {
+            for lane in 0..WARP_SIZE {
+                warp.set_reg(reg, lane, val);
+            }
+        }
+        self.age_seq += 1;
+        self.assists[slot] = Some(AssistRt {
+            warp,
+            program: launch.program,
+            priority: launch.priority,
+            tag: launch.tag,
+            age: self.age_seq,
+            parent: launch.parent_warp,
+        });
+        self.assist_launches += 1;
+    }
+
+    fn finish_assists(&mut self, now: u64, shared: &mut SharedState<'_>) {
+        for slot in 0..self.assists.len() {
+            let ready = matches!(
+                &self.assists[slot],
+                Some(a) if a.warp.done && !a.warp.any_pending()
+            );
+            if !ready {
+                continue;
+            }
+            let a = self.assists[slot].take().expect("checked above");
+            let outcome = match shared.design {
+                Design::Caba(ctrl) => {
+                    let mut svc = SmServices {
+                        mem: shared.mem,
+                        cmap: shared.cmap.as_deref_mut(),
+                        line_store: shared.line_store,
+                        staging_base: STAGING_BASE + self.id as u64 * STAGING_SIZE,
+                        sm_id: self.id,
+                    };
+                    ctrl.on_assist_complete(a.tag, &mut svc)
+                }
+                _ => AssistOutcome::Nothing,
+            };
+            match outcome {
+                AssistOutcome::FillComplete { addr } => {
+                    self.lines_decompressed += 1;
+                    self.complete_fill_waiters(now, addr, 1);
+                }
+                AssistOutcome::StoreRelease { addr } => {
+                    self.lines_compressed += 1;
+                    if let Some(pos) = self.store_buffer.iter().position(|&x| x == addr) {
+                        self.store_buffer.remove(pos);
+                    }
+                    let size =
+                        shared
+                            .line_store
+                            .stored_size(shared.mem, shared.cmap.as_deref_mut(), addr);
+                    self.emit_write(addr, size);
+                }
+                AssistOutcome::Nothing => {}
+            }
+        }
+    }
+
+    fn emit_write(&mut self, addr: u64, size_bytes: usize) {
+        let flits = size_bytes.div_ceil(caba_mem::icnt::FLIT_BYTES).max(1) as u32;
+        self.out_reqs.push_back(OutReq {
+            addr,
+            is_write: true,
+            flits,
+        });
+    }
+
+    // ----- fills -----------------------------------------------------------
+
+    /// Handles a read response arriving from the interconnect.
+    pub fn handle_fill(&mut self, now: u64, addr: u64, shared: &mut SharedState<'_>) {
+        enum Action {
+            Complete(u64),
+            Caba,
+        }
+        let act = match shared.design {
+            Design::Base | Design::HwMemOnly { .. } => Action::Complete(0),
+            Design::HwFull { alg, ideal } => {
+                let compressed = shared
+                    .line_store
+                    .stored_compressed(shared.mem, shared.cmap.as_deref_mut(), addr)
+                    .is_some();
+                if compressed {
+                    self.lines_decompressed += 1;
+                    Action::Complete(if *ideal { 0 } else { alg.hw_decompress_latency() })
+                } else {
+                    Action::Complete(0)
+                }
+            }
+            Design::Caba(_) => Action::Caba,
+        };
+        match act {
+            Action::Complete(extra) => self.complete_fill_waiters(now, addr, extra),
+            Action::Caba => {
+                let compressed = shared
+                    .line_store
+                    .stored_compressed(shared.mem, shared.cmap.as_deref_mut(), addr)
+                    .is_some();
+                if !compressed {
+                    self.complete_fill_waiters(now, addr, 0);
+                    return;
+                }
+                // Find a waiting parent warp for the trigger's warp ID.
+                let parent = self
+                    .mshr
+                    .complete(addr)
+                    .into_iter()
+                    .collect::<Vec<usize>>();
+                let parent_warp = parent
+                    .first()
+                    .and_then(|&t| self.tickets[t].as_ref())
+                    .map(|t| match t.warp {
+                        WarpRef::App(s) => s,
+                        WarpRef::Assist(_) => 0,
+                    })
+                    .unwrap_or(0);
+                let info = FillInfo {
+                    sm: self.id,
+                    parent_warp,
+                    addr,
+                };
+                let action = match shared.design {
+                    Design::Caba(ctrl) => {
+                        let mut svc = SmServices {
+                            mem: shared.mem,
+                            cmap: shared.cmap.as_deref_mut(),
+                            line_store: shared.line_store,
+                            staging_base: STAGING_BASE + self.id as u64 * STAGING_SIZE,
+                            sm_id: self.id,
+                        };
+                        ctrl.on_fill(&info, &mut svc)
+                    }
+                    _ => unreachable!("CABA path"),
+                };
+                match action {
+                    FillAction::Complete { extra_latency } => {
+                        self.lines_decompressed += 1;
+                        self.l1.fill(addr, false, LINE_SIZE);
+                        for t in parent {
+                            self.resolve_ticket(t, now + self.cfg.l1_latency + extra_latency);
+                        }
+                    }
+                    FillAction::Assist(launch) => {
+                        self.pending_decomp.entry(addr).or_default().extend(parent);
+                        self.queue_assist(launch);
+                    }
+                }
+            }
+        }
+    }
+
+    fn complete_fill_waiters(&mut self, now: u64, addr: u64, extra: u64) {
+        let size = LINE_SIZE; // L1 stores lines uncompressed (§4.2.1).
+        self.l1.fill(addr, false, size);
+        let waiters = self.mshr.complete(addr);
+        for t in waiters {
+            self.resolve_ticket(t, now + self.cfg.l1_latency + extra);
+        }
+        if let Some(ws) = self.pending_decomp.remove(&addr) {
+            for t in ws {
+                self.resolve_ticket(t, now + self.cfg.l1_latency + extra);
+            }
+        }
+    }
+
+    // ----- LSU -------------------------------------------------------------
+
+    fn lsu_cycle(&mut self, now: u64, shared: &mut SharedState<'_>) {
+        let Some(op) = self.lsu.head().copied() else {
+            return;
+        };
+        match op.kind {
+            LineOpKind::AssistLocal { ticket } => {
+                self.lsu.pop();
+                if let Some(t) = ticket {
+                    self.resolve_ticket(t, now + self.cfg.l1_latency);
+                }
+            }
+            LineOpKind::Load { ticket } => {
+                // A line already awaiting assist-warp decompression absorbs
+                // new waiters directly (the load-replay buffering of Fig. 6).
+                if let Some(ws) = self.pending_decomp.get_mut(&op.addr) {
+                    ws.push(ticket);
+                    self.lsu.pop();
+                    return;
+                }
+                match self.l1.access(op.addr, false) {
+                    AccessOutcome::Hit => {
+                        self.lsu.pop();
+                        let mut lat = self.cfg.l1_latency;
+                        if self.cfg.l1_compressed {
+                            let compressible = shared
+                                .line_store
+                                .stored_compressed(shared.mem, shared.cmap.as_deref_mut(), op.addr)
+                                .is_some();
+                            if compressible {
+                                lat += self.cfg.l1_hit_decompress_penalty;
+                            }
+                        }
+                        self.resolve_ticket(ticket, now + lat);
+                    }
+                    AccessOutcome::Miss => {
+                        if self.mshr.pending(op.addr) {
+                            self.mshr
+                                .allocate(op.addr, ticket)
+                                .expect("merge into pending entry");
+                            self.lsu.pop();
+                        } else if self.out_reqs.len() < 32 {
+                            match self.mshr.allocate(op.addr, ticket) {
+                                Ok(_) => {
+                                    self.out_reqs.push_back(OutReq {
+                                        addr: op.addr,
+                                        is_write: false,
+                                        flits: 1,
+                                    });
+                                    self.lsu.pop();
+                                }
+                                Err(_) => { /* MSHRs full: stall the LSU head. */ }
+                            }
+                        }
+                        // else: outbound queue full, stall.
+                    }
+                }
+            }
+            LineOpKind::Store => {
+                self.handle_store_line(now, op, shared);
+            }
+        }
+    }
+
+    fn handle_store_line(&mut self, _now: u64, op: LineOp, shared: &mut SharedState<'_>) {
+        let addr = op.addr;
+        let parent_warp = match op.warp {
+            WarpRef::App(s) => s,
+            WarpRef::Assist(_) => 0,
+        };
+        match shared.design {
+            Design::Base => {
+                self.lsu.pop();
+                self.emit_write(addr, LINE_SIZE);
+            }
+            Design::HwMemOnly { .. } => {
+                // Compression happens at the MC; the interconnect carries the
+                // full line.
+                self.lsu.pop();
+                self.emit_write(addr, LINE_SIZE);
+            }
+            Design::HwFull { .. } => {
+                // Dedicated core-side logic compresses (5-cycle pipeline, off
+                // the critical path): the outgoing packet is compressed.
+                self.lsu.pop();
+                let size =
+                    shared
+                        .line_store
+                        .stored_size(shared.mem, shared.cmap.as_deref_mut(), addr);
+                self.lines_compressed += u64::from(size < LINE_SIZE);
+                self.emit_write(addr, size);
+            }
+            Design::Caba(_) => {
+                if self.store_buffer.contains(&addr) {
+                    // A compression assist is already in flight for this
+                    // line; the newer store is coalesced into it.
+                    self.lsu.pop();
+                    return;
+                }
+                if self.store_buffer.len() >= self.cfg.store_buffer {
+                    // Overflow: release uncompressed (§4.2.2 Ï).
+                    self.lsu.pop();
+                    self.store_buffer_overflows += 1;
+                    shared.line_store.set_raw(addr);
+                    self.emit_write(addr, LINE_SIZE);
+                    return;
+                }
+                let info = StoreInfo {
+                    sm: self.id,
+                    parent_warp,
+                    addr,
+                };
+                let action = match shared.design {
+                    Design::Caba(ctrl) => {
+                        let mut svc = SmServices {
+                            mem: shared.mem,
+                            cmap: shared.cmap.as_deref_mut(),
+                            line_store: shared.line_store,
+                            staging_base: STAGING_BASE + self.id as u64 * STAGING_SIZE,
+                            sm_id: self.id,
+                        };
+                        ctrl.on_store(&info, &mut svc)
+                    }
+                    _ => unreachable!("CABA path"),
+                };
+                self.lsu.pop();
+                match action {
+                    StoreAction::PassThrough => {
+                        shared.line_store.set_raw(addr);
+                        self.emit_write(addr, LINE_SIZE);
+                    }
+                    StoreAction::Assist(launch) => {
+                        self.store_buffer.push_back(addr);
+                        self.queue_assist(launch);
+                    }
+                }
+            }
+        }
+    }
+
+    // ----- issue -----------------------------------------------------------
+
+    fn fetch_for(&self, warp: WarpRef, program: &Program) -> Option<Instr> {
+        match warp {
+            WarpRef::App(s) => {
+                let w = self.warps[s].as_ref()?;
+                if w.warp.done || w.warp.at_barrier {
+                    return None;
+                }
+                program.fetch(w.warp.pc()).copied()
+            }
+            WarpRef::Assist(s) => {
+                let a = self.assists[s].as_ref()?;
+                if a.warp.done {
+                    return None;
+                }
+                a.program.fetch(a.warp.pc()).copied()
+            }
+        }
+    }
+
+    fn check_issue(
+        &self,
+        now: u64,
+        warp: WarpRef,
+        instr: &Instr,
+        lsu_free: bool,
+    ) -> Result<(), IssueBlock> {
+        let hazard = match warp {
+            WarpRef::App(s) => self.warps[s].as_ref().expect("resident").warp.hazard(instr),
+            WarpRef::Assist(s) => self.assists[s]
+                .as_ref()
+                .expect("resident")
+                .warp
+                .hazard(instr),
+        };
+        if hazard {
+            return Err(IssueBlock::Hazard);
+        }
+        match instr.fu_class() {
+            FuClass::Sp => Ok(()),
+            FuClass::Sfu => {
+                if now >= self.sfu_ready_at {
+                    Ok(())
+                } else {
+                    Err(IssueBlock::ComputeStructural)
+                }
+            }
+            FuClass::Mem => {
+                let shared_space = matches!(
+                    instr.op,
+                    Op::Ld {
+                        space: Space::Shared,
+                        ..
+                    } | Op::St {
+                        space: Space::Shared,
+                        ..
+                    }
+                );
+                if shared_space {
+                    // Shared accesses use the shared-memory pipe; they only
+                    // need the mem issue slot.
+                    if lsu_free {
+                        Ok(())
+                    } else {
+                        Err(IssueBlock::MemStructural)
+                    }
+                } else if lsu_free && self.lsu.can_accept(1) {
+                    Ok(())
+                } else {
+                    Err(IssueBlock::MemStructural)
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn do_issue(
+        &mut self,
+        now: u64,
+        warp_ref: WarpRef,
+        instr: Instr,
+        kernel: &Kernel,
+        shared: &mut SharedState<'_>,
+        lsu_used: &mut bool,
+    ) {
+        // Build the thread context.
+        let (ctx, is_assist) = match warp_ref {
+            WarpRef::App(s) => {
+                let w = self.warps[s].as_ref().expect("resident");
+                (
+                    ThreadCtx {
+                        block_dim: kernel.dims().block_dim,
+                        grid_dim: kernel.dims().grid_dim,
+                        params: kernel.params(),
+                        ctaid: w.ctaid,
+                        warp_in_block: w.warp_in_block,
+                        shared_base: self.shared_base_for(w.block_slot),
+                    },
+                    false,
+                )
+            }
+            WarpRef::Assist(_) => (
+                ThreadCtx {
+                    block_dim: WARP_SIZE as u32,
+                    grid_dim: 1,
+                    params: &[],
+                    ctaid: 0,
+                    warp_in_block: 0,
+                    shared_base: self.staging_base(),
+                },
+                true,
+            ),
+        };
+
+        let outcome = match warp_ref {
+            WarpRef::App(s) => {
+                let w = self.warps[s].as_mut().expect("resident");
+                w.warp.issued += 1;
+                w.warp.last_issue = now;
+                execute(&mut w.warp, &instr, &ctx, shared.mem)
+            }
+            WarpRef::Assist(s) => {
+                let a = self.assists[s].as_mut().expect("resident");
+                a.warp.issued += 1;
+                a.warp.last_issue = now;
+                execute(&mut a.warp, &instr, &ctx, shared.mem)
+            }
+        };
+
+        if is_assist {
+            self.assist_instructions += 1;
+        } else {
+            self.app_instructions += 1;
+        }
+
+        // Shared-space accesses: fixed latency through the shared pipe.
+        if outcome.shared_access {
+            self.shared_accesses += 1;
+            *lsu_used = true;
+            if let Some(dst) = outcome.dst {
+                self.mark_pending_and_schedule(warp_ref, dst, now + self.cfg.shared_latency);
+            }
+            return;
+        }
+
+        // Global memory operations go through the LSU.
+        if !outcome.lines_read.is_empty() {
+            *lsu_used = true;
+            let dst = outcome.dst;
+            if let Some(d) = dst {
+                self.mark_pending(warp_ref, d);
+            }
+            let n = outcome.lines_read.len() as u32;
+            let ticket = self.alloc_ticket(Ticket {
+                warp: warp_ref,
+                dst,
+                remaining: n,
+            });
+            let _ = n;
+            if let WarpRef::App(s) = warp_ref {
+                if let Some(w) = self.warps[s].as_mut() {
+                    w.warp.outstanding_loads += 1;
+                }
+            }
+            for addr in &outcome.lines_read {
+                let kind = if is_assist {
+                    LineOpKind::AssistLocal {
+                        ticket: Some(ticket),
+                    }
+                } else {
+                    LineOpKind::Load { ticket }
+                };
+                self.lsu.push(LineOp {
+                    warp: warp_ref,
+                    addr: *addr,
+                    kind,
+                });
+            }
+        } else if let Some(dst) = outcome.dst {
+            // Pure compute result.
+            let lat = match instr.fu_class() {
+                FuClass::Sfu => {
+                    self.sfu_ready_at = now + self.cfg.sfu_interval;
+                    self.cfg.sfu_latency
+                }
+                _ => self.cfg.sp_latency,
+            };
+            self.mark_pending_and_schedule(warp_ref, dst, now + lat);
+        }
+
+        if !outcome.lines_written.is_empty() {
+            *lsu_used = true;
+            for addr in &outcome.lines_written {
+                if !is_assist {
+                    // Application stores change line contents: stale
+                    // compressed forms must be dropped.
+                    if let Some(cmap) = shared.cmap.as_deref_mut() {
+                        cmap.invalidate(*addr);
+                    }
+                    shared.line_store.clear(*addr);
+                }
+                let kind = if is_assist {
+                    LineOpKind::AssistLocal { ticket: None }
+                } else {
+                    LineOpKind::Store
+                };
+                self.lsu.push(LineOp {
+                    warp: warp_ref,
+                    addr: *addr,
+                    kind,
+                });
+            }
+        }
+
+        // Control effects.
+        if outcome.at_barrier {
+            if let WarpRef::App(s) = warp_ref {
+                let bs = self.warps[s].as_ref().expect("resident").block_slot;
+                self.barrier_arrive(bs);
+            }
+        }
+        // Exited warps are reaped in `reap_warps` once their in-flight
+        // loads drain, so stale writebacks can never touch a reused slot.
+        let _ = outcome.exited;
+    }
+
+    fn mark_pending(&mut self, warp: WarpRef, reg: Reg) {
+        match warp {
+            WarpRef::App(s) => self.warps[s].as_mut().expect("resident").warp.mark_pending(reg),
+            WarpRef::Assist(s) => self.assists[s]
+                .as_mut()
+                .expect("resident")
+                .warp
+                .mark_pending(reg),
+        }
+    }
+
+    fn mark_pending_and_schedule(&mut self, warp: WarpRef, reg: Reg, at: u64) {
+        self.mark_pending(warp, reg);
+        self.writebacks.push(Writeback {
+            at,
+            warp,
+            reg: Some(reg),
+        });
+    }
+
+    fn barrier_arrive(&mut self, block_slot: usize) {
+        let release = {
+            let b = self.blocks[block_slot].as_mut().expect("resident block");
+            b.arrived += 1;
+            let live = b.warp_slots.len() - b.warps_done;
+            b.arrived >= live
+        };
+        if release {
+            let slots = self.blocks[block_slot]
+                .as_ref()
+                .expect("resident block")
+                .warp_slots
+                .clone();
+            for s in slots {
+                if let Some(w) = self.warps[s].as_mut() {
+                    w.warp.at_barrier = false;
+                }
+            }
+            self.blocks[block_slot].as_mut().expect("resident").arrived = 0;
+        }
+    }
+
+    fn retire_warp(&mut self, slot: usize, block_slot: usize) {
+        let _ = slot;
+        // Threads retired: all lanes of the warp's initial mask. For
+        // simplicity we count 32 per warp (partial warps are rare in the
+        // workloads).
+        self.threads_retired += WARP_SIZE as u64;
+        let block_done = {
+            let b = self.blocks[block_slot].as_mut().expect("resident block");
+            b.warps_done += 1;
+            // A retiring warp may unblock a barrier.
+            b.warps_done == b.warp_slots.len()
+        };
+        // Re-check barrier release.
+        if !block_done {
+            let (arrived, live) = {
+                let b = self.blocks[block_slot].as_ref().expect("resident block");
+                (b.arrived, b.warp_slots.len() - b.warps_done)
+            };
+            if live > 0 && arrived >= live {
+                self.barrier_release(block_slot);
+            }
+        }
+        if block_done {
+            let b = self.blocks[block_slot].take().expect("resident block");
+            for s in &b.warp_slots {
+                self.warps[*s] = None;
+            }
+            self.used_regs -= b.regs;
+            self.used_shared -= b.shared;
+            let _ = b.ctaid;
+        }
+    }
+
+    fn barrier_release(&mut self, block_slot: usize) {
+        let slots = self.blocks[block_slot]
+            .as_ref()
+            .expect("resident block")
+            .warp_slots
+            .clone();
+        for s in slots {
+            if let Some(w) = self.warps[s].as_mut() {
+                w.warp.at_barrier = false;
+            }
+        }
+        if let Some(b) = self.blocks[block_slot].as_mut() {
+            b.arrived = 0;
+        }
+    }
+
+    fn scheduler_candidates(&self, sched: usize) -> (Vec<WarpRef>, Vec<WarpRef>) {
+        let nsched = self.cfg.schedulers_per_sm;
+        // High-priority assist warps first (decompression precedes parent
+        // execution, §3.2.3), then parent warps in GTO order.
+        let mut main: Vec<WarpRef> = Vec::new();
+        let mut his: Vec<(u64, usize)> = self
+            .assists
+            .iter()
+            .enumerate()
+            .filter_map(|(i, a)| a.as_ref().map(|a| (a, i)))
+            .filter(|(a, _)| a.priority == AssistPriority::High && !a.warp.done && a.parent % nsched == sched)
+            .map(|(a, i)| (a.age, i))
+            .collect();
+        his.sort_unstable();
+        main.extend(his.iter().map(|&(_, i)| WarpRef::Assist(i)));
+
+        let mut parents: Vec<(u64, usize)> = self
+            .warps
+            .iter()
+            .enumerate()
+            .filter(|(i, w)| w.is_some() && i % nsched == sched)
+            .map(|(i, w)| (w.as_ref().expect("checked").age, i))
+            .collect();
+        parents.sort_unstable();
+        let mut ordered: Vec<WarpRef> = Vec::with_capacity(parents.len());
+        match self.cfg.scheduler {
+            SchedulerPolicy::Gto => {
+                // The greedy warp first, then oldest-first.
+                if let Some(WarpRef::App(g)) = self.greedy[sched] {
+                    if self.warps[g].is_some() && g % nsched == sched {
+                        ordered.push(WarpRef::App(g));
+                    }
+                }
+                for &(_, i) in &parents {
+                    if Some(WarpRef::App(i)) != self.greedy[sched] {
+                        ordered.push(WarpRef::App(i));
+                    }
+                }
+            }
+            SchedulerPolicy::OldestFirst => {
+                ordered.extend(parents.iter().map(|&(_, i)| WarpRef::App(i)));
+            }
+            SchedulerPolicy::RoundRobin => {
+                if parents.is_empty() {
+                    // nothing to rotate
+                } else {
+                    let start = (self.rr_cursor[sched] as usize) % parents.len();
+                    for k in 0..parents.len() {
+                        let (_, i) = parents[(start + k) % parents.len()];
+                        ordered.push(WarpRef::App(i));
+                    }
+                }
+            }
+        }
+        main.extend(ordered);
+
+        // Low-priority assist warps: only in otherwise-idle slots.
+        let mut lows: Vec<(u64, usize)> = self
+            .assists
+            .iter()
+            .enumerate()
+            .filter_map(|(i, a)| a.as_ref().map(|a| (a, i)))
+            .filter(|(a, _)| a.priority == AssistPriority::Low && !a.warp.done && a.parent % nsched == sched)
+            .map(|(a, i)| (a.age, i))
+            .collect();
+        lows.sort_unstable();
+        let lows = lows.into_iter().map(|(_, i)| WarpRef::Assist(i)).collect();
+        (main, lows)
+    }
+
+    fn schedule(
+        &mut self,
+        now: u64,
+        kernel: &Kernel,
+        shared: &mut SharedState<'_>,
+        lsu_used: &mut bool,
+    ) {
+        for sched in 0..self.cfg.schedulers_per_sm {
+            let (main, lows) = self.scheduler_candidates(sched);
+            let mut verdict: Option<StallKind> = None;
+            let mut issued = false;
+
+            for group in [&main, &lows] {
+                if issued {
+                    break;
+                }
+                // The low-priority group is considered only when the main
+                // group could not issue — the slot would otherwise be wasted
+                // on a stall, which is exactly the "idle issue slot" the
+                // paper's low-priority assist warps reclaim (§3.2.3).
+                for &wr in group.iter() {
+                    let Some(instr) = self.fetch_for(wr, kernel.program()) else {
+                        continue;
+                    };
+                    match self.check_issue(now, wr, &instr, !*lsu_used) {
+                        Ok(()) => {
+                            self.do_issue(now, wr, instr, kernel, shared, lsu_used);
+                            self.greedy[sched] = Some(wr);
+                            issued = true;
+                            break;
+                        }
+                        Err(block) => {
+                            let kind = match block {
+                                IssueBlock::Hazard => StallKind::DataDependence,
+                                IssueBlock::MemStructural => StallKind::MemoryStructural,
+                                IssueBlock::ComputeStructural => StallKind::ComputeStructural,
+                            };
+                            // Record the first (most senior) blocked
+                            // candidate's reason, preferring structural over
+                            // data-dependence evidence.
+                            verdict = Some(match (verdict, kind) {
+                                (None, k) => k,
+                                (Some(StallKind::DataDependence), k @ StallKind::MemoryStructural)
+                                | (
+                                    Some(StallKind::DataDependence),
+                                    k @ StallKind::ComputeStructural,
+                                ) => k,
+                                (Some(v), _) => v,
+                            });
+                        }
+                    }
+                }
+            }
+
+            let slot = if issued {
+                StallKind::Active
+            } else {
+                verdict.unwrap_or(StallKind::Idle)
+            };
+            self.breakdown.record(slot);
+            self.rr_cursor[sched] = self.rr_cursor[sched].wrapping_add(1);
+        }
+    }
+
+    // ----- main per-cycle entry --------------------------------------------
+
+    /// Advances this SM by one cycle.
+    pub fn cycle(&mut self, now: u64, kernel: &Kernel, shared: &mut SharedState<'_>) {
+        self.process_writebacks(now);
+        self.reap_warps();
+        self.finish_assists(now, shared);
+        self.deploy_assist();
+        let mut lsu_used = false;
+        self.schedule(now, kernel, shared, &mut lsu_used);
+        self.lsu_cycle(now, shared);
+    }
+
+    /// Retires warps whose lanes all exited and whose in-flight results have
+    /// drained. Warp slots (and registers/shared memory) are released only
+    /// when the *whole block* retires — freeing them per-warp would let a
+    /// newly launched block be clobbered when the old block completes.
+    fn reap_warps(&mut self) {
+        for slot in 0..self.warps.len() {
+            let ready = matches!(
+                &self.warps[slot],
+                Some(w) if !w.retired
+                    && w.warp.done
+                    && !w.warp.any_pending()
+                    && w.warp.outstanding_loads == 0
+            );
+            if ready {
+                let bs = {
+                    let w = self.warps[slot].as_mut().expect("checked");
+                    w.retired = true;
+                    w.block_slot
+                };
+                self.retire_warp(slot, bs);
+            }
+        }
+    }
+
+    // ----- statistics ------------------------------------------------------
+
+    /// Adds this SM's counters into `stats`.
+    pub fn export_stats(&self, stats: &mut crate::stats::RunStats) {
+        stats.app_instructions += self.app_instructions;
+        stats.assist_instructions += self.assist_instructions;
+        stats.breakdown.merge(&self.breakdown);
+        stats.l1_hits += self.l1.hits();
+        stats.l1_misses += self.l1.misses();
+        stats.shared_accesses += self.shared_accesses;
+        stats.threads_retired += self.threads_retired;
+        stats.assist_launches += self.assist_launches;
+        stats.store_buffer_overflows += self.store_buffer_overflows;
+        stats.lines_compressed += self.lines_compressed;
+        stats.lines_decompressed += self.lines_decompressed;
+    }
+
+    /// Diagnostic one-line state dump (used by harness debugging).
+    #[doc(hidden)]
+    pub fn debug_state(&self) -> String {
+        let warps: Vec<String> = self
+            .warps
+            .iter()
+            .enumerate()
+            .filter_map(|(i, w)| w.as_ref().map(|w| (i, w)))
+            .map(|(i, w)| {
+                format!(
+                    "w{}[pc={} done={} bar={} out={} pend={}]",
+                    i,
+                    w.warp.pc(),
+                    w.warp.done,
+                    w.warp.at_barrier,
+                    w.warp.outstanding_loads,
+                    w.warp.any_pending()
+                )
+            })
+            .collect();
+        let assists: Vec<String> = self
+            .assists
+            .iter()
+            .enumerate()
+            .filter_map(|(i, a)| a.as_ref().map(|a| (i, a)))
+            .map(|(i, a)| {
+                format!(
+                    "a{}[pc={} done={} pend={} prio={:?}]",
+                    i,
+                    a.warp.pc(),
+                    a.warp.done,
+                    a.warp.any_pending(),
+                    a.priority
+                )
+            })
+            .collect();
+        format!(
+            "SM{}: blocks={} lsu={} mshr={} decomp={} sbuf={} outq={} apend={} wb={} | {} | {}",
+            self.id,
+            self.resident_blocks(),
+            self.lsu.pending(),
+            self.mshr.outstanding(),
+            self.pending_decomp.len(),
+            self.store_buffer.len(),
+            self.out_reqs.len(),
+            self.assist_pending.len(),
+            self.writebacks.len(),
+            warps.join(" "),
+            assists.join(" ")
+        )
+    }
+
+    /// The issue breakdown recorded so far.
+    pub fn breakdown(&self) -> &IssueBreakdown {
+        &self.breakdown
+    }
+
+    /// Instructions issued by application warps.
+    pub fn app_instructions(&self) -> u64 {
+        self.app_instructions
+    }
+
+    /// Instructions issued by assist warps.
+    pub fn assist_instructions(&self) -> u64 {
+        self.assist_instructions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caba_isa::{Instr, LaunchDims, Op, Program};
+
+    fn kernel(regs: u32, block: u32, grid: u32, shared: u32) -> Kernel {
+        let p = Program::new(vec![Instr::new(Op::Exit)]);
+        Kernel::new("k", p, LaunchDims::new(grid, block))
+            .with_regs_per_thread(regs)
+            .with_shared_bytes(shared)
+    }
+
+    #[test]
+    fn launch_respects_block_limit() {
+        let cfg = GpuConfig::isca2015();
+        let mut sm = Sm::new(0, cfg);
+        let k = kernel(8, 32, 100, 0);
+        let mut launched = 0;
+        while sm.try_launch_block(launched, &k, 0) {
+            launched += 1;
+        }
+        assert_eq!(launched as usize, cfg.max_blocks_per_sm);
+        assert_eq!(sm.resident_blocks(), cfg.max_blocks_per_sm);
+        assert_eq!(sm.resident_warps(), cfg.max_blocks_per_sm);
+    }
+
+    #[test]
+    fn launch_respects_warp_slots() {
+        let cfg = GpuConfig::isca2015();
+        let mut sm = Sm::new(0, cfg);
+        // 512-thread blocks = 16 warps: only 3 fit in 48 slots.
+        let k = kernel(8, 512, 100, 0);
+        let mut launched = 0;
+        while sm.try_launch_block(launched, &k, 0) {
+            launched += 1;
+        }
+        assert_eq!(launched, 3);
+        assert_eq!(sm.resident_warps(), 48);
+    }
+
+    #[test]
+    fn launch_respects_register_budget() {
+        let cfg = GpuConfig::isca2015();
+        let mut sm = Sm::new(0, cfg);
+        // 63 regs x 256 threads = 16128/block: two fit in 32768.
+        let k = kernel(63, 256, 100, 0);
+        let mut launched = 0;
+        while sm.try_launch_block(launched, &k, 0) {
+            launched += 1;
+        }
+        assert_eq!(launched, 2);
+        // Assist-warp extra registers shrink occupancy further (§3.2.2).
+        let mut sm2 = Sm::new(1, cfg);
+        let mut launched2 = 0;
+        while sm2.try_launch_block(launched2, &k, 64) {
+            launched2 += 1;
+        }
+        assert!(launched2 < launched);
+    }
+
+    #[test]
+    fn launch_respects_shared_memory() {
+        let cfg = GpuConfig::isca2015();
+        let mut sm = Sm::new(0, cfg);
+        let k = kernel(8, 64, 100, 16 * 1024);
+        let mut launched = 0;
+        while sm.try_launch_block(launched, &k, 0) {
+            launched += 1;
+        }
+        assert_eq!(launched, 2, "32 KB shared / 16 KB per block");
+    }
+
+    #[test]
+    fn fresh_sm_is_quiesced_and_empty() {
+        let sm = Sm::new(3, GpuConfig::small());
+        assert!(sm.quiesced());
+        assert_eq!(sm.id(), 3);
+        assert_eq!(sm.resident_warps(), 0);
+        assert_eq!(sm.app_instructions(), 0);
+        assert!(sm.breakdown().total() == 0);
+        assert!(sm.staging_base() >= STAGING_BASE);
+        assert!(format!("{sm:?}").contains("Sm"));
+    }
+
+    #[test]
+    fn partial_warp_gets_partial_mask() {
+        let cfg = GpuConfig::isca2015();
+        let mut sm = Sm::new(0, cfg);
+        // 40-thread block: warp 0 full, warp 1 has 8 lanes.
+        let k = kernel(8, 40, 1, 0);
+        assert!(sm.try_launch_block(0, &k, 0));
+        assert_eq!(sm.resident_warps(), 2);
+        let w1 = sm.warps[1].as_ref().expect("second warp resident");
+        assert_eq!(w1.warp.active_mask().count_ones(), 8);
+    }
+}

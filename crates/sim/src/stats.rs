@@ -1,0 +1,149 @@
+//! Aggregated run statistics — every metric the paper's figures report.
+
+use caba_stats::IssueBreakdown;
+
+/// Statistics of one kernel run, aggregated over all SMs and partitions.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Total GPU cycles to completion.
+    pub cycles: u64,
+    /// Instructions issued by parent (application) warps.
+    pub app_instructions: u64,
+    /// Instructions issued by assist warps (CABA overhead, §6.2).
+    pub assist_instructions: u64,
+    /// Per-scheduler-slot issue breakdown (Figure 1).
+    pub breakdown: IssueBreakdown,
+    /// L1 hits / misses over all SMs.
+    pub l1_hits: u64,
+    /// L1 misses over all SMs.
+    pub l1_misses: u64,
+    /// L2 hits over all partitions.
+    pub l2_hits: u64,
+    /// L2 misses over all partitions.
+    pub l2_misses: u64,
+    /// DRAM data-bus busy cycles (all channels).
+    pub dram_busy_cycles: u64,
+    /// DRAM channel-cycles elapsed (all channels; = cycles × channels).
+    pub dram_total_cycles: u64,
+    /// DRAM bursts transferred.
+    pub dram_bursts: u64,
+    /// DRAM row-buffer activations (row misses).
+    pub dram_activates: u64,
+    /// Interconnect flits, both directions.
+    pub icnt_flits: u64,
+    /// Metadata-cache lookups (compressed designs).
+    pub md_lookups: u64,
+    /// Metadata-cache misses (each cost an extra DRAM access).
+    pub md_misses: u64,
+    /// Assist warps launched.
+    pub assist_launches: u64,
+    /// Store-buffer overflows (lines released uncompressed, §4.2.2 Ï).
+    pub store_buffer_overflows: u64,
+    /// Lines whose compression assist ran to completion.
+    pub lines_compressed: u64,
+    /// Lines decompressed (by assist warp or dedicated logic).
+    pub lines_decompressed: u64,
+    /// Shared-memory (scratchpad) accesses.
+    pub shared_accesses: u64,
+    /// Threads completed.
+    pub threads_retired: u64,
+}
+
+impl RunStats {
+    /// Instructions per cycle — the paper's primary performance metric (§5).
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.app_instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// DRAM data-bus utilization (the Figure 8 metric).
+    pub fn bandwidth_utilization(&self) -> f64 {
+        if self.dram_total_cycles == 0 {
+            0.0
+        } else {
+            self.dram_busy_cycles as f64 / self.dram_total_cycles as f64
+        }
+    }
+
+    /// MD-cache hit rate (§4.3.2; paper reports 85% average).
+    pub fn md_hit_rate(&self) -> f64 {
+        if self.md_lookups == 0 {
+            0.0
+        } else {
+            1.0 - self.md_misses as f64 / self.md_lookups as f64
+        }
+    }
+
+    /// L1 hit rate.
+    pub fn l1_hit_rate(&self) -> f64 {
+        let t = self.l1_hits + self.l1_misses;
+        if t == 0 {
+            0.0
+        } else {
+            self.l1_hits as f64 / t as f64
+        }
+    }
+
+    /// L2 hit rate.
+    pub fn l2_hit_rate(&self) -> f64 {
+        let t = self.l2_hits + self.l2_misses;
+        if t == 0 {
+            0.0
+        } else {
+            self.l2_hits as f64 / t as f64
+        }
+    }
+
+    /// Fraction of issued instructions that belonged to assist warps.
+    pub fn assist_fraction(&self) -> f64 {
+        let t = self.app_instructions + self.assist_instructions;
+        if t == 0 {
+            0.0
+        } else {
+            self.assist_instructions as f64 / t as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_handle_zero() {
+        let s = RunStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.bandwidth_utilization(), 0.0);
+        assert_eq!(s.md_hit_rate(), 0.0);
+        assert_eq!(s.l1_hit_rate(), 0.0);
+        assert_eq!(s.l2_hit_rate(), 0.0);
+        assert_eq!(s.assist_fraction(), 0.0);
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let s = RunStats {
+            cycles: 100,
+            app_instructions: 250,
+            assist_instructions: 50,
+            dram_busy_cycles: 30,
+            dram_total_cycles: 60,
+            md_lookups: 100,
+            md_misses: 15,
+            l1_hits: 3,
+            l1_misses: 1,
+            l2_hits: 1,
+            l2_misses: 3,
+            ..Default::default()
+        };
+        assert!((s.ipc() - 2.5).abs() < 1e-12);
+        assert!((s.bandwidth_utilization() - 0.5).abs() < 1e-12);
+        assert!((s.md_hit_rate() - 0.85).abs() < 1e-12);
+        assert!((s.l1_hit_rate() - 0.75).abs() < 1e-12);
+        assert!((s.l2_hit_rate() - 0.25).abs() < 1e-12);
+        assert!((s.assist_fraction() - 50.0 / 300.0).abs() < 1e-12);
+    }
+}

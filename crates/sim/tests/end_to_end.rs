@@ -1,0 +1,305 @@
+//! End-to-end simulator tests: functional correctness of full kernel runs
+//! and first-order timing sanity across design points.
+
+use caba_compress::Algorithm;
+use caba_isa::{
+    AluOp, CmpOp, Kernel, LaunchDims, Pred, ProgramBuilder, Reg, Space, Special, Src, Width,
+};
+use caba_sim::{Design, Gpu, GpuConfig, RunError};
+
+/// out[i] = in[i] * 2 for n elements (one element per thread).
+fn scale_kernel(n: u32, in_base: u64, out_base: u64) -> Kernel {
+    let mut b = ProgramBuilder::new();
+    let (gid, addr, v) = (Reg(0), Reg(1), Reg(2));
+    b.global_thread_id(gid);
+    // addr = in_base + gid*4
+    b.alu(AluOp::Shl, addr, Src::Reg(gid), Src::Imm(2));
+    b.alu(AluOp::Add, addr, Src::Reg(addr), Src::Sp(Special::Param(0)));
+    b.ld(Space::Global, Width::B4, v, Src::Reg(addr), 0);
+    b.alu(AluOp::Shl, v, Src::Reg(v), Src::Imm(1));
+    b.alu(AluOp::Shl, addr, Src::Reg(gid), Src::Imm(2));
+    b.alu(AluOp::Add, addr, Src::Reg(addr), Src::Sp(Special::Param(1)));
+    b.st(Space::Global, Width::B4, Src::Reg(v), Src::Reg(addr), 0);
+    b.exit();
+    let blocks = n.div_ceil(64);
+    Kernel::new("scale", b.build(), LaunchDims::new(blocks, 64))
+        .with_params(vec![in_base, out_base])
+}
+
+fn load_input(gpu: &mut Gpu, n: u32, base: u64) {
+    for i in 0..n {
+        gpu.mem_mut().write_u32(base + i as u64 * 4, 0x100 + i);
+    }
+}
+
+fn check_output(gpu: &Gpu, n: u32, base: u64) {
+    for i in 0..n {
+        assert_eq!(
+            gpu.mem().read_u32(base + i as u64 * 4),
+            (0x100 + i) * 2,
+            "element {i}"
+        );
+    }
+}
+
+#[test]
+fn scale_kernel_correct_on_base() {
+    let n = 512;
+    let mut gpu = Gpu::new(GpuConfig::small(), Design::Base);
+    load_input(&mut gpu, n, 0x1_0000);
+    let stats = gpu.run(&scale_kernel(n, 0x1_0000, 0x2_0000), 500_000).unwrap();
+    check_output(&gpu, n, 0x2_0000);
+    assert!(stats.cycles > 0);
+    assert!(stats.app_instructions >= (n as u64 / 32) * 9);
+    assert_eq!(stats.assist_instructions, 0);
+    assert_eq!(stats.threads_retired, n as u64);
+    assert!(stats.dram_bursts > 0);
+    assert!(stats.icnt_flits > 0);
+}
+
+#[test]
+fn scale_kernel_correct_on_hw_designs() {
+    for design in [
+        Design::HwMemOnly {
+            alg: Algorithm::Bdi,
+        },
+        Design::HwFull {
+            alg: Algorithm::Bdi,
+            ideal: false,
+        },
+        Design::HwFull {
+            alg: Algorithm::Bdi,
+            ideal: true,
+        },
+    ] {
+        let n = 512;
+        let label = design.label();
+        let mut gpu = Gpu::new(GpuConfig::small(), design);
+        load_input(&mut gpu, n, 0x1_0000);
+        gpu.run(&scale_kernel(n, 0x1_0000, 0x2_0000), 500_000)
+            .unwrap_or_else(|e| panic!("{label}: {e}"));
+        check_output(&gpu, n, 0x2_0000);
+    }
+}
+
+#[test]
+fn compressed_design_moves_fewer_bursts() {
+    // The input data (small sequential integers) is highly BDI-compressible,
+    // so HW-BDI must transfer fewer DRAM bursts than Base for the same
+    // kernel.
+    let n = 2048;
+    let mut base_gpu = Gpu::new(GpuConfig::small(), Design::Base);
+    load_input(&mut base_gpu, n, 0x1_0000);
+    let base = base_gpu
+        .run(&scale_kernel(n, 0x1_0000, 0x8_0000), 1_000_000)
+        .unwrap();
+
+    let mut hw_gpu = Gpu::new(
+        GpuConfig::small(),
+        Design::HwFull {
+            alg: Algorithm::Bdi,
+            ideal: false,
+        },
+    );
+    load_input(&mut hw_gpu, n, 0x1_0000);
+    let hw = hw_gpu
+        .run(&scale_kernel(n, 0x1_0000, 0x8_0000), 1_000_000)
+        .unwrap();
+
+    assert!(
+        hw.dram_bursts < base.dram_bursts,
+        "hw {} vs base {}",
+        hw.dram_bursts,
+        base.dram_bursts
+    );
+    assert!(hw.icnt_flits < base.icnt_flits);
+    assert!(hw.md_lookups > 0, "MD cache consulted");
+}
+
+/// Loop kernel: sums array elements with a do-while loop.
+#[test]
+fn loop_kernel_runs_to_completion() {
+    let mut b = ProgramBuilder::new();
+    let (gid, i, acc, addr, v) = (Reg(0), Reg(1), Reg(2), Reg(3), Reg(4));
+    let iters = 16u64;
+    b.global_thread_id(gid);
+    b.movi(i, 0);
+    b.movi(acc, 0);
+    b.do_while(|b| {
+        // addr = param0 + ((gid*iters + i) % 4096)*4
+        b.alu(AluOp::Mul, addr, Src::Reg(gid), Src::Imm(iters));
+        b.alu(AluOp::Add, addr, Src::Reg(addr), Src::Reg(i));
+        b.alu(AluOp::Rem, addr, Src::Reg(addr), Src::Imm(4096));
+        b.alu(AluOp::Shl, addr, Src::Reg(addr), Src::Imm(2));
+        b.alu(AluOp::Add, addr, Src::Reg(addr), Src::Sp(Special::Param(0)));
+        b.ld(Space::Global, Width::B4, v, Src::Reg(addr), 0);
+        b.alu(AluOp::Add, acc, Src::Reg(acc), Src::Reg(v));
+        b.alu(AluOp::Add, i, Src::Reg(i), Src::Imm(1));
+        b.setp(Pred(0), CmpOp::LtU, Src::Reg(i), Src::Imm(iters));
+        Pred(0)
+    });
+    // out[gid] = acc
+    b.alu(AluOp::Shl, addr, Src::Reg(gid), Src::Imm(2));
+    b.alu(AluOp::Add, addr, Src::Reg(addr), Src::Sp(Special::Param(1)));
+    b.st(Space::Global, Width::B4, Src::Reg(acc), Src::Reg(addr), 0);
+    b.exit();
+    let kernel = Kernel::new("loop", b.build(), LaunchDims::new(4, 64))
+        .with_params(vec![0x1_0000, 0x9_0000]);
+
+    let mut gpu = Gpu::new(GpuConfig::small(), Design::Base);
+    for i in 0..4096u64 {
+        gpu.mem_mut().write_u32(0x1_0000 + i * 4, 1);
+    }
+    gpu.run(&kernel, 2_000_000).unwrap();
+    // Each thread summed `iters` ones.
+    for t in 0..(4 * 64) {
+        assert_eq!(gpu.mem().read_u32(0x9_0000 + t * 4), iters as u32, "thread {t}");
+    }
+}
+
+/// Divergent kernel: threads with even gid write 1, odd write 2.
+#[test]
+fn divergent_kernel_is_correct() {
+    let mut b = ProgramBuilder::new();
+    let (gid, addr, v) = (Reg(0), Reg(1), Reg(2));
+    b.global_thread_id(gid);
+    b.alu(AluOp::And, v, Src::Reg(gid), Src::Imm(1));
+    b.setp(Pred(0), CmpOp::Eq, Src::Reg(v), Src::Imm(0));
+    b.if_then(Pred(0), true, |b| {
+        b.movi(v, 1);
+    });
+    b.if_then(Pred(0), false, |b| {
+        b.movi(v, 2);
+    });
+    b.alu(AluOp::Shl, addr, Src::Reg(gid), Src::Imm(2));
+    b.alu(AluOp::Add, addr, Src::Reg(addr), Src::Sp(Special::Param(0)));
+    b.st(Space::Global, Width::B4, Src::Reg(v), Src::Reg(addr), 0);
+    b.exit();
+    let kernel =
+        Kernel::new("diverge", b.build(), LaunchDims::new(2, 64)).with_params(vec![0xA_0000]);
+    let mut gpu = Gpu::new(GpuConfig::small(), Design::Base);
+    gpu.run(&kernel, 200_000).unwrap();
+    for t in 0..128u64 {
+        let expect = if t % 2 == 0 { 1 } else { 2 };
+        assert_eq!(gpu.mem().read_u32(0xA_0000 + t * 4), expect, "thread {t}");
+    }
+}
+
+/// Barrier kernel: phase 1 writes shared memory, phase 2 reads a neighbour's
+/// value — only correct if the barrier orders the phases.
+#[test]
+fn barrier_orders_block_phases() {
+    let mut b = ProgramBuilder::new();
+    let (tid, addr, v) = (Reg(0), Reg(1), Reg(2));
+    b.mov(tid, Src::Sp(Special::Tid));
+    // shared[tid] = tid
+    b.alu(AluOp::Shl, addr, Src::Reg(tid), Src::Imm(2));
+    b.st(Space::Shared, Width::B4, Src::Reg(tid), Src::Reg(addr), 0);
+    b.bar();
+    // v = shared[(tid+1) % 64]
+    b.alu(AluOp::Add, v, Src::Reg(tid), Src::Imm(1));
+    b.alu(AluOp::Rem, v, Src::Reg(v), Src::Imm(64));
+    b.alu(AluOp::Shl, addr, Src::Reg(v), Src::Imm(2));
+    b.ld(Space::Shared, Width::B4, v, Src::Reg(addr), 0);
+    // out[ctaid*64 + tid] = v
+    b.global_thread_id(addr);
+    b.alu(AluOp::Shl, addr, Src::Reg(addr), Src::Imm(2));
+    b.alu(AluOp::Add, addr, Src::Reg(addr), Src::Sp(Special::Param(0)));
+    b.st(Space::Global, Width::B4, Src::Reg(v), Src::Reg(addr), 0);
+    b.exit();
+    let kernel = Kernel::new("barrier", b.build(), LaunchDims::new(3, 64))
+        .with_params(vec![0xB_0000])
+        .with_shared_bytes(256);
+    let mut gpu = Gpu::new(GpuConfig::small(), Design::Base);
+    let stats = gpu.run(&kernel, 500_000).unwrap();
+    for blk in 0..3u64 {
+        for t in 0..64u64 {
+            let got = gpu.mem().read_u32(0xB_0000 + (blk * 64 + t) * 4);
+            assert_eq!(got as u64, (t + 1) % 64, "block {blk} thread {t}");
+        }
+    }
+    assert!(stats.shared_accesses > 0);
+}
+
+#[test]
+fn timeout_reported_for_insufficient_budget() {
+    let n = 512;
+    let mut gpu = Gpu::new(GpuConfig::small(), Design::Base);
+    load_input(&mut gpu, n, 0x1_0000);
+    let err = gpu.run(&scale_kernel(n, 0x1_0000, 0x2_0000), 10).unwrap_err();
+    assert_eq!(err, RunError::Timeout { cycles: 10 });
+}
+
+#[test]
+fn halved_bandwidth_hurts_memory_bound_kernel() {
+    let n = 4096;
+    // Random-ish (incompressible) data so compression can't mask the sweep.
+    let run_with = |scale: f64| {
+        let cfg = GpuConfig::small().with_bandwidth_scale(scale);
+        let mut gpu = Gpu::new(cfg, Design::Base);
+        let mut x = 7u64;
+        for i in 0..n {
+            x = x.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(0xB);
+            gpu.mem_mut().write_u32(0x1_0000 + i as u64 * 4, x as u32);
+        }
+        gpu.run(&scale_kernel(n, 0x1_0000, 0x40_0000), 4_000_000)
+            .unwrap()
+    };
+    let half = run_with(0.5);
+    let full = run_with(1.0);
+    let twice = run_with(2.0);
+    assert!(
+        half.cycles > full.cycles,
+        "half {} vs full {}",
+        half.cycles,
+        full.cycles
+    );
+    assert!(
+        twice.cycles <= full.cycles,
+        "twice {} vs full {}",
+        twice.cycles,
+        full.cycles
+    );
+    // Utilization must rank the same way.
+    assert!(half.bandwidth_utilization() >= full.bandwidth_utilization() * 0.8);
+}
+
+#[test]
+fn stall_breakdown_covers_all_cycles() {
+    let n = 1024;
+    let mut gpu = Gpu::new(GpuConfig::small(), Design::Base);
+    load_input(&mut gpu, n, 0x1_0000);
+    let stats = gpu.run(&scale_kernel(n, 0x1_0000, 0x2_0000), 1_000_000).unwrap();
+    // Breakdown records one slot per scheduler per SM per cycle.
+    let cfg = GpuConfig::small();
+    let slots = (cfg.num_sms * cfg.schedulers_per_sm) as u64;
+    assert_eq!(stats.breakdown.total(), stats.cycles * slots);
+    assert!(stats.breakdown.fraction(caba_stats::StallKind::Active) > 0.0);
+}
+
+#[test]
+fn tracing_records_samples() {
+    let n = 1024;
+    let mut gpu = Gpu::new(GpuConfig::small(), Design::Base);
+    load_input(&mut gpu, n, 0x1_0000);
+    gpu.enable_tracing(32);
+    let stats = gpu.run(&scale_kernel(n, 0x1_0000, 0x2_0000), 1_000_000).unwrap();
+    let trace = gpu.take_trace().expect("tracing enabled");
+    assert!(!trace.samples.is_empty());
+    assert!(trace.samples.len() as u64 <= stats.cycles / 32 + 1);
+    // Samples are in cycle order and cover per-SM counters.
+    let cfg = GpuConfig::small();
+    for w in trace.samples.windows(2) {
+        assert!(w[0].cycle < w[1].cycle);
+    }
+    for s in &trace.samples {
+        assert_eq!(s.app_issued.len(), cfg.num_sms);
+    }
+    // The per-interval issue counts sum back to the run totals.
+    let total: u64 = trace.samples.iter().map(|s| s.app_issued.iter().sum::<u64>()).sum();
+    assert!(total <= stats.app_instructions);
+    let json = trace.to_chrome_json();
+    assert!(json.contains("DRAM BW"));
+    // Tracing is one-shot.
+    assert!(gpu.take_trace().is_none());
+}

@@ -1,0 +1,75 @@
+//! Property tests on the SIMT reconvergence stack and the scoreboard.
+
+use caba_sim::Warp;
+use caba_isa::Reg;
+use proptest::prelude::*;
+
+proptest! {
+    /// Random structured branch/advance/exit sequences keep the stack
+    /// well-formed: masks are nonempty, nested masks are subsets of the
+    /// masks below them (checked indirectly through active_mask), and the
+    /// warp ends either done or with a valid PC.
+    #[test]
+    fn simt_stack_stays_well_formed(ops in proptest::collection::vec(0u8..4, 1..60)) {
+        let mut w = Warp::new(4, u32::MAX);
+        let mut pc_guess = 0usize;
+        for op in ops {
+            if w.done {
+                break;
+            }
+            let active = w.active_mask();
+            prop_assert!(active != 0, "active warp must have live lanes");
+            match op {
+                0 => w.advance_pc(),
+                1 => {
+                    // Forward divergent branch: half the active lanes jump.
+                    let taken = active & 0x5555_5555;
+                    let next = w.pc() + 1;
+                    let target = w.pc() + 3;
+                    let reconv = w.pc() + 5;
+                    if taken != 0 && taken != active {
+                        w.take_branch(taken, target, next, reconv);
+                    } else {
+                        w.take_branch(active, target, next, reconv);
+                    }
+                }
+                2 => {
+                    // Exit one active lane.
+                    let lane = active.trailing_zeros();
+                    w.exit_lanes(1 << lane);
+                }
+                _ => {
+                    // Uniform jump backward (bounded).
+                    let target = w.pc().saturating_sub(2);
+                    w.take_branch(active, target, w.pc() + 1, w.pc() + 1);
+                }
+            }
+            pc_guess = pc_guess.max(w.pc());
+            prop_assert!(w.simt_depth() <= 64, "stack must stay bounded");
+        }
+    }
+
+    /// Scoreboard: pending bits are exact — marking then clearing any
+    /// sequence of registers leaves exactly the un-cleared ones pending.
+    #[test]
+    fn scoreboard_is_exact(marks in proptest::collection::vec(0u16..80, 0..40),
+                           clears in proptest::collection::vec(0u16..80, 0..40)) {
+        let mut w = Warp::new(80, u32::MAX);
+        for &r in &marks {
+            w.mark_pending(Reg(r));
+        }
+        for &r in &clears {
+            w.clear_pending(Reg(r));
+        }
+        use std::collections::HashSet;
+        let expected: HashSet<u16> = marks
+            .iter()
+            .copied()
+            .filter(|r| !clears.contains(r))
+            .collect();
+        for r in 0..80u16 {
+            prop_assert_eq!(w.is_pending(Reg(r)), expected.contains(&r), "r{}", r);
+        }
+        prop_assert_eq!(w.any_pending(), !expected.is_empty());
+    }
+}

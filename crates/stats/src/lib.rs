@@ -1,0 +1,307 @@
+//! Statistics infrastructure shared by every crate in the CABA stack.
+//!
+//! This crate has no dependencies and provides:
+//!
+//! * [`Rng64`] — a deterministic SplitMix64 pseudo-random generator, so every
+//!   experiment in the repository is reproducible bit-for-bit without pulling
+//!   in an external RNG crate.
+//! * [`Counter`] — a named saturating event counter.
+//! * [`StallKind`] / [`IssueBreakdown`] — the issue-cycle taxonomy of Figure 1
+//!   of the paper (Compute stalls, Memory stalls, Data-dependence stalls, Idle
+//!   cycles, Active cycles).
+//! * [`Table`] — a small fixed-width text table used by the benchmark
+//!   harnesses to print the rows/series each paper figure reports.
+//!
+//! # Examples
+//!
+//! ```
+//! use caba_stats::Rng64;
+//! let mut rng = Rng64::new(42);
+//! let a = rng.next_u64();
+//! let b = Rng64::new(42).next_u64();
+//! assert_eq!(a, b); // fully deterministic
+//! ```
+
+pub mod rng;
+pub mod table;
+
+pub use rng::Rng64;
+pub use table::Table;
+
+use std::fmt;
+
+/// A named, monotonically increasing event counter.
+///
+/// # Examples
+///
+/// ```
+/// use caba_stats::Counter;
+/// let mut issued = Counter::new("instructions_issued");
+/// issued.add(3);
+/// issued.inc();
+/// assert_eq!(issued.value(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Counter {
+    name: &'static str,
+    value: u64,
+}
+
+impl Counter {
+    /// Creates a counter with the given diagnostic name, starting at zero.
+    pub fn new(name: &'static str) -> Self {
+        Counter { name, value: 0 }
+    }
+
+    /// The diagnostic name supplied at construction.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Current count.
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+
+    /// Adds `n` events (saturating).
+    pub fn add(&mut self, n: u64) {
+        self.value = self.value.saturating_add(n);
+    }
+
+    /// Adds a single event.
+    pub fn inc(&mut self) {
+        self.add(1);
+    }
+
+    /// Resets the counter to zero.
+    pub fn reset(&mut self) {
+        self.value = 0;
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} = {}", self.name, self.value)
+    }
+}
+
+/// Why a warp scheduler failed to issue (or issued) in a given slot.
+///
+/// This is exactly the five-way breakdown of Figure 1 in the paper:
+/// structural stalls on the memory pipeline, structural stalls on the compute
+/// (ALU) pipelines, data-dependence (scoreboard) stalls, idle cycles with no
+/// schedulable warp, and active cycles in which an instruction issued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum StallKind {
+    /// The memory (load/store) pipeline was backed up — an instruction was
+    /// ready but could not enter the LSU.
+    MemoryStructural,
+    /// The ALU/SFU pipelines were backed up.
+    ComputeStructural,
+    /// The next instruction of every eligible warp waits on an earlier
+    /// long-latency result (scoreboard hazard).
+    DataDependence,
+    /// No warp had a decoded instruction available (empty instruction
+    /// buffers, barriers, or all warps already issued).
+    Idle,
+    /// At least one instruction issued this cycle.
+    Active,
+}
+
+impl StallKind {
+    /// All variants, in the display order used by Figure 1.
+    pub const ALL: [StallKind; 5] = [
+        StallKind::ComputeStructural,
+        StallKind::MemoryStructural,
+        StallKind::DataDependence,
+        StallKind::Idle,
+        StallKind::Active,
+    ];
+
+    /// Short label used in report tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            StallKind::ComputeStructural => "Compute Stalls",
+            StallKind::MemoryStructural => "Memory Stalls",
+            StallKind::DataDependence => "Data Dep Stalls",
+            StallKind::Idle => "Idle Cycles",
+            StallKind::Active => "Active Cycles",
+        }
+    }
+}
+
+impl fmt::Display for StallKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Per-scheduler-slot issue-cycle accounting (the Figure 1 stack).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IssueBreakdown {
+    counts: [u64; 5],
+}
+
+impl IssueBreakdown {
+    /// An empty breakdown.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn index(kind: StallKind) -> usize {
+        match kind {
+            StallKind::ComputeStructural => 0,
+            StallKind::MemoryStructural => 1,
+            StallKind::DataDependence => 2,
+            StallKind::Idle => 3,
+            StallKind::Active => 4,
+        }
+    }
+
+    /// Records one scheduler slot outcome.
+    pub fn record(&mut self, kind: StallKind) {
+        self.counts[Self::index(kind)] += 1;
+    }
+
+    /// Count for one outcome kind.
+    pub fn count(&self, kind: StallKind) -> u64 {
+        self.counts[Self::index(kind)]
+    }
+
+    /// Total recorded slots.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Fraction (0..=1) of slots attributed to `kind`. Returns 0 when empty.
+    pub fn fraction(&self, kind: StallKind) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.count(kind) as f64 / total as f64
+        }
+    }
+
+    /// Merges another breakdown into this one.
+    pub fn merge(&mut self, other: &IssueBreakdown) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += *b;
+        }
+    }
+}
+
+/// Computes the geometric mean of a set of strictly positive values.
+///
+/// Returns `None` for an empty slice or when any value is not finite and
+/// positive. The paper's average speedups are arithmetic means over the
+/// application pool; we expose both (see [`arith_mean`]).
+///
+/// # Examples
+///
+/// ```
+/// let g = caba_stats::geo_mean(&[1.0, 4.0]).unwrap();
+/// assert!((g - 2.0).abs() < 1e-12);
+/// ```
+pub fn geo_mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut acc = 0.0f64;
+    for &v in values {
+        if !(v.is_finite() && v > 0.0) {
+            return None;
+        }
+        acc += v.ln();
+    }
+    Some((acc / values.len() as f64).exp())
+}
+
+/// Arithmetic mean; `None` for an empty slice.
+pub fn arith_mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        None
+    } else {
+        Some(values.iter().sum::<f64>() / values.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basic() {
+        let mut c = Counter::new("x");
+        assert_eq!(c.value(), 0);
+        c.inc();
+        c.add(10);
+        assert_eq!(c.value(), 11);
+        assert_eq!(c.name(), "x");
+        c.reset();
+        assert_eq!(c.value(), 0);
+    }
+
+    #[test]
+    fn counter_saturates() {
+        let mut c = Counter::new("sat");
+        c.add(u64::MAX);
+        c.inc();
+        assert_eq!(c.value(), u64::MAX);
+    }
+
+    #[test]
+    fn counter_display_nonempty() {
+        let c = Counter::new("events");
+        assert_eq!(format!("{c}"), "events = 0");
+    }
+
+    #[test]
+    fn breakdown_fractions_sum_to_one() {
+        let mut b = IssueBreakdown::new();
+        b.record(StallKind::Active);
+        b.record(StallKind::Active);
+        b.record(StallKind::Idle);
+        b.record(StallKind::MemoryStructural);
+        let sum: f64 = StallKind::ALL.iter().map(|&k| b.fraction(k)).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert_eq!(b.count(StallKind::Active), 2);
+        assert_eq!(b.total(), 4);
+    }
+
+    #[test]
+    fn breakdown_empty_fraction_is_zero() {
+        let b = IssueBreakdown::new();
+        assert_eq!(b.fraction(StallKind::Active), 0.0);
+        assert_eq!(b.total(), 0);
+    }
+
+    #[test]
+    fn breakdown_merge() {
+        let mut a = IssueBreakdown::new();
+        a.record(StallKind::Idle);
+        let mut b = IssueBreakdown::new();
+        b.record(StallKind::Idle);
+        b.record(StallKind::ComputeStructural);
+        a.merge(&b);
+        assert_eq!(a.count(StallKind::Idle), 2);
+        assert_eq!(a.count(StallKind::ComputeStructural), 1);
+        assert_eq!(a.total(), 3);
+    }
+
+    #[test]
+    fn stall_kind_labels_are_distinct() {
+        let labels: std::collections::HashSet<_> =
+            StallKind::ALL.iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), StallKind::ALL.len());
+    }
+
+    #[test]
+    fn means() {
+        assert_eq!(geo_mean(&[]), None);
+        assert_eq!(geo_mean(&[1.0, -1.0]), None);
+        assert!((geo_mean(&[2.0, 8.0]).unwrap() - 4.0).abs() < 1e-12);
+        assert_eq!(arith_mean(&[]), None);
+        assert!((arith_mean(&[1.0, 3.0]).unwrap() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,170 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! The workload generators must be reproducible across runs and platforms, so
+//! instead of an external RNG crate we provide SplitMix64 — a tiny, well-known
+//! mixer with excellent statistical properties for this purpose (Steele et
+//! al., "Fast splittable pseudorandom number generators", OOPSLA 2014).
+
+/// A SplitMix64 pseudo-random number generator.
+///
+/// # Examples
+///
+/// ```
+/// use caba_stats::Rng64;
+/// let mut rng = Rng64::new(7);
+/// let x = rng.range_u64(10); // 0..10
+/// assert!(x < 10);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Rng64 {
+    state: u64,
+}
+
+impl Rng64 {
+    /// Creates a generator from a seed. Equal seeds yield equal streams.
+    pub fn new(seed: u64) -> Self {
+        Rng64 { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Next 32-bit output (upper half of the 64-bit stream).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform value in `0..bound`. Returns 0 when `bound == 0`.
+    ///
+    /// Uses Lemire's multiply-shift reduction; the slight modulo bias is
+    /// irrelevant for workload synthesis.
+    pub fn range_u64(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform value in `lo..hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.range_u64(hi - lo)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Forks an independent generator, advancing this one once.
+    pub fn fork(&mut self) -> Rng64 {
+        Rng64::new(self.next_u64() ^ 0xA5A5_5A5A_F00D_BEEF)
+    }
+
+    /// Fisher–Yates shuffles a slice in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.range_u64(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let mut a = Rng64::new(123);
+        let mut b = Rng64::new(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_diverge() {
+        let mut a = Rng64::new(1);
+        let mut b = Rng64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn range_respects_bounds() {
+        let mut rng = Rng64::new(9);
+        for _ in 0..1000 {
+            let v = rng.range(5, 17);
+            assert!((5..17).contains(&v));
+        }
+        assert_eq!(rng.range_u64(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        Rng64::new(0).range(3, 3);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = Rng64::new(77);
+        for _ in 0..1000 {
+            let v = rng.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = Rng64::new(3);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        // Out-of-range probabilities are clamped rather than panicking.
+        assert!(rng.chance(2.0));
+        assert!(!rng.chance(-1.0));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = Rng64::new(42);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fork_produces_independent_stream() {
+        let mut a = Rng64::new(5);
+        let mut f = a.fork();
+        assert_ne!(a.next_u64(), f.next_u64());
+    }
+
+    #[test]
+    fn rough_uniformity() {
+        // Not a statistical test suite — just a sanity check that the mean of
+        // many draws is near the middle of the range.
+        let mut rng = Rng64::new(2024);
+        let n = 10_000;
+        let sum: u64 = (0..n).map(|_| rng.range_u64(100)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((45.0..55.0).contains(&mean), "mean {mean}");
+    }
+}

@@ -1,0 +1,395 @@
+//! Kernel templates — the computational skeletons the 27 synthetic
+//! applications instantiate.
+//!
+//! Each template is a small PTX-like program with a distinct architectural
+//! signature: coalesced streaming, index-driven gathers (graph workloads),
+//! pointer chasing, stencils, shared-memory tiles with barriers,
+//! dependence-chained compute, and SFU-heavy transcendental loops. Together
+//! they span the memory-bound ↔ compute-bound spectrum of Figure 1.
+//!
+//! The memory-bound templates are written the way real CUDA kernels compile:
+//! wide (8-byte) accesses with a running address register, so the
+//! instruction-per-byte ratio stays low and the bottleneck genuinely is the
+//! memory system, not address arithmetic.
+
+use caba_isa::{
+    AluOp, CmpOp, Kernel, LaunchDims, Pred, ProgramBuilder, Reg, SfuOp, Space, Special, Src,
+    Width,
+};
+
+/// Parameter-slot conventions shared by every template.
+pub mod params {
+    /// Input array base address.
+    pub const IN: u8 = 0;
+    /// Output array base address.
+    pub const OUT: u8 = 1;
+    /// Auxiliary (index) array base address.
+    pub const AUX: u8 = 2;
+    /// Element count.
+    pub const N: u8 = 3;
+}
+
+/// The computational skeleton of a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelTemplate {
+    /// Grid-stride streaming over 8-byte elements: each thread loads
+    /// `loads` elements one grid-stride apart, reduces them with
+    /// `alu_per_load` ops each, and stores one 4-byte result. The classic
+    /// bandwidth-bound pattern (SCP, CONS, KM, …).
+    Streaming {
+        /// Elements loaded per thread.
+        loads: u32,
+        /// ALU ops per loaded element.
+        alu_per_load: u32,
+    },
+    /// Index-driven gather `out[i] = f(in[idx[i]])` — irregular, partially
+    /// coalesced (graph/MapReduce workloads: BFS, PVC, SS, …).
+    Gather {
+        /// ALU ops per element.
+        alu_per_load: u32,
+    },
+    /// Pointer chase: each thread follows `hops` links (MUM, bh).
+    PointerChase {
+        /// Links followed per thread.
+        hops: u32,
+    },
+    /// Three-point stencil over 8-byte elements (hs, LPS, nw).
+    Stencil,
+    /// Shared-memory tile: load tile, barrier, `k` multiply-accumulate
+    /// rounds, store (tiled-GEMM-like).
+    GemmTile {
+        /// Accumulation rounds over the tile.
+        k: u32,
+    },
+    /// Dependence-chained integer compute with one load/store pair
+    /// (compute-bound apps: NQU, STO, lc, …).
+    ComputeHeavy {
+        /// Chained ALU iterations.
+        alu_iters: u32,
+        /// Insert an SFU op every iteration when nonzero.
+        sfu_every: u32,
+    },
+    /// SFU-dominated kernel (dmr-style transcendental chains).
+    SfuHeavy {
+        /// SFU iterations per thread.
+        iters: u32,
+    },
+}
+
+impl KernelTemplate {
+    /// Bytes per data element this template accesses.
+    pub fn element_bytes(&self) -> u32 {
+        match self {
+            KernelTemplate::Streaming { .. } | KernelTemplate::Stencil => 8,
+            _ => 4,
+        }
+    }
+
+    /// Threads needed to cover `elements` data elements exactly once
+    /// (pointer chases traverse a quarter of the nodes; each hop touches a
+    /// random node, so the traffic still spans the whole working set).
+    pub fn threads(&self, elements: u32) -> u32 {
+        match *self {
+            KernelTemplate::Streaming { loads, .. } => (elements / loads.max(1)).max(32),
+            KernelTemplate::PointerChase { .. } => (elements / 4).max(32),
+            _ => elements.max(32),
+        }
+    }
+
+    /// Builds the kernel for `elements` data elements.
+    pub fn build(&self, name: &str, elements: u32, block_dim: u32) -> Kernel {
+        let threads = self.threads(elements);
+        let grid = threads.div_ceil(block_dim).max(1);
+        let program = match *self {
+            KernelTemplate::Streaming { loads, alu_per_load } => {
+                streaming(threads, loads, alu_per_load)
+            }
+            KernelTemplate::Gather { alu_per_load } => gather(elements, alu_per_load),
+            KernelTemplate::PointerChase { hops } => pointer_chase(elements, hops),
+            KernelTemplate::Stencil => stencil(elements),
+            KernelTemplate::GemmTile { k } => gemm_tile(k),
+            KernelTemplate::ComputeHeavy {
+                alu_iters,
+                sfu_every,
+            } => compute_heavy(elements, alu_iters, sfu_every),
+            KernelTemplate::SfuHeavy { iters } => sfu_heavy(elements, iters),
+        };
+        let shared = match *self {
+            KernelTemplate::GemmTile { .. } => 4 * block_dim.max(64),
+            _ => 0,
+        };
+        Kernel::new(name, program, LaunchDims::new(grid, block_dim)).with_shared_bytes(shared)
+    }
+}
+
+const GID: Reg = Reg(0);
+const ADDR: Reg = Reg(1);
+const V: Reg = Reg(2);
+const T0: Reg = Reg(3);
+const T1: Reg = Reg(4);
+const IDX: Reg = Reg(5);
+const ACC: Reg = Reg(6);
+const I: Reg = Reg(7);
+
+/// Emits `dst = param_base + index*scale`.
+fn scaled_addr(b: &mut ProgramBuilder, dst: Reg, index: Reg, param: u8, scale: u64) {
+    b.alu(AluOp::Mul, dst, Src::Reg(index), Src::Imm(scale));
+    b.alu(
+        AluOp::Add,
+        dst,
+        Src::Reg(dst),
+        Src::Sp(Special::Param(param)),
+    );
+}
+
+/// Emits `dst = index % elements`.
+fn clamp(b: &mut ProgramBuilder, dst: Reg, index: Reg, elements: u32) {
+    b.alu(AluOp::Rem, dst, Src::Reg(index), Src::Imm(elements as u64));
+}
+
+fn streaming(threads: u32, loads: u32, alu_per_load: u32) -> caba_isa::Program {
+    let mut b = ProgramBuilder::new();
+    b.global_thread_id(GID);
+    b.movi(ACC, 0);
+    // Running address: IN + gid*8, advanced one grid stride per round.
+    scaled_addr(&mut b, ADDR, GID, params::IN, 8);
+    let stride = threads as u64 * 8;
+    for r in 0..loads.max(1) {
+        b.ld(Space::Global, Width::B8, V, Src::Reg(ADDR), 0);
+        b.alu(AluOp::Xor, ACC, Src::Reg(ACC), Src::Reg(V));
+        for _ in 0..alu_per_load {
+            b.alu(AluOp::Add, ACC, Src::Reg(ACC), Src::Imm(0x9E37));
+        }
+        if r + 1 < loads {
+            b.alu(AluOp::Add, ADDR, Src::Reg(ADDR), Src::Imm(stride));
+        }
+    }
+    // Outputs are small reduced values (counts/flags in the real apps), so
+    // the store traffic is as compressible as the input traffic.
+    b.alu(AluOp::And, ACC, Src::Reg(ACC), Src::Imm(0x7F));
+    scaled_addr(&mut b, ADDR, GID, params::OUT, 4);
+    b.st(Space::Global, Width::B4, Src::Reg(ACC), Src::Reg(ADDR), 0);
+    b.exit();
+    b.build()
+}
+
+fn gather(elements: u32, alu_per_load: u32) -> caba_isa::Program {
+    let mut b = ProgramBuilder::new();
+    b.global_thread_id(GID);
+    clamp(&mut b, IDX, GID, elements);
+    // idx = aux[gid]
+    scaled_addr(&mut b, ADDR, IDX, params::AUX, 4);
+    b.ld(Space::Global, Width::B4, IDX, Src::Reg(ADDR), 0);
+    clamp(&mut b, IDX, IDX, elements);
+    // v = in[idx]
+    scaled_addr(&mut b, ADDR, IDX, params::IN, 4);
+    b.ld(Space::Global, Width::B4, V, Src::Reg(ADDR), 0);
+    for _ in 0..alu_per_load {
+        b.alu(AluOp::Add, V, Src::Reg(V), Src::Imm(1));
+    }
+    // out[gid] = v
+    clamp(&mut b, T0, GID, elements);
+    scaled_addr(&mut b, ADDR, T0, params::OUT, 4);
+    b.st(Space::Global, Width::B4, Src::Reg(V), Src::Reg(ADDR), 0);
+    b.exit();
+    b.build()
+}
+
+fn pointer_chase(elements: u32, hops: u32) -> caba_isa::Program {
+    let mut b = ProgramBuilder::new();
+    b.global_thread_id(GID);
+    clamp(&mut b, IDX, GID, elements);
+    b.movi(I, 0);
+    b.do_while(|b| {
+        // idx = in[idx] (the array stores the next index)
+        scaled_addr(b, ADDR, IDX, params::IN, 4);
+        b.ld(Space::Global, Width::B4, IDX, Src::Reg(ADDR), 0);
+        clamp(b, IDX, IDX, elements);
+        b.alu(AluOp::Add, I, Src::Reg(I), Src::Imm(1));
+        b.setp(Pred(0), CmpOp::LtU, Src::Reg(I), Src::Imm(hops.max(1) as u64));
+        Pred(0)
+    });
+    clamp(&mut b, T0, GID, elements);
+    scaled_addr(&mut b, ADDR, T0, params::OUT, 4);
+    b.st(Space::Global, Width::B4, Src::Reg(IDX), Src::Reg(ADDR), 0);
+    b.exit();
+    b.build()
+}
+
+fn stencil(elements: u32) -> caba_isa::Program {
+    let mut b = ProgramBuilder::new();
+    b.global_thread_id(GID);
+    // e = 1 + gid % (n-2): interior points only, so ±1 never faults.
+    b.alu(
+        AluOp::Rem,
+        IDX,
+        Src::Reg(GID),
+        Src::Imm(elements.saturating_sub(2).max(1) as u64),
+    );
+    b.alu(AluOp::Add, IDX, Src::Reg(IDX), Src::Imm(1));
+    scaled_addr(&mut b, ADDR, IDX, params::IN, 8);
+    b.ld(Space::Global, Width::B8, T0, Src::Reg(ADDR), -8);
+    b.ld(Space::Global, Width::B8, V, Src::Reg(ADDR), 0);
+    b.ld(Space::Global, Width::B8, T1, Src::Reg(ADDR), 8);
+    b.alu(AluOp::Add, V, Src::Reg(V), Src::Reg(T0));
+    b.alu(AluOp::Add, V, Src::Reg(V), Src::Reg(T1));
+    b.alu(AluOp::Div, V, Src::Reg(V), Src::Imm(3));
+    scaled_addr(&mut b, ADDR, IDX, params::OUT, 8);
+    b.st(Space::Global, Width::B8, Src::Reg(V), Src::Reg(ADDR), 0);
+    b.exit();
+    b.build()
+}
+
+fn gemm_tile(k: u32) -> caba_isa::Program {
+    let mut b = ProgramBuilder::new();
+    let tid = T0;
+    b.global_thread_id(GID);
+    b.mov(tid, Src::Sp(Special::Tid));
+    // shared[tid] = in[gid]
+    scaled_addr(&mut b, ADDR, GID, params::IN, 4);
+    b.ld(Space::Global, Width::B4, V, Src::Reg(ADDR), 0);
+    b.alu(AluOp::Shl, ADDR, Src::Reg(tid), Src::Imm(2));
+    b.st(Space::Shared, Width::B4, Src::Reg(V), Src::Reg(ADDR), 0);
+    b.bar();
+    // acc = sum over k rounds of shared[(tid + j) % ntid] * j
+    b.movi(ACC, 0);
+    b.movi(I, 0);
+    b.do_while(|b| {
+        b.alu(AluOp::Add, T1, Src::Reg(tid), Src::Reg(I));
+        b.alu(AluOp::Rem, T1, Src::Reg(T1), Src::Sp(Special::Ntid));
+        b.alu(AluOp::Shl, ADDR, Src::Reg(T1), Src::Imm(2));
+        b.ld(Space::Shared, Width::B4, V, Src::Reg(ADDR), 0);
+        b.alu(AluOp::Mul, V, Src::Reg(V), Src::Reg(I));
+        b.alu(AluOp::Add, ACC, Src::Reg(ACC), Src::Reg(V));
+        b.alu(AluOp::Add, I, Src::Reg(I), Src::Imm(1));
+        b.setp(Pred(0), CmpOp::LtU, Src::Reg(I), Src::Imm(k.max(1) as u64));
+        Pred(0)
+    });
+    b.bar();
+    scaled_addr(&mut b, ADDR, GID, params::OUT, 4);
+    b.st(Space::Global, Width::B4, Src::Reg(ACC), Src::Reg(ADDR), 0);
+    b.exit();
+    b.build()
+}
+
+fn compute_heavy(elements: u32, alu_iters: u32, sfu_every: u32) -> caba_isa::Program {
+    let mut b = ProgramBuilder::new();
+    b.global_thread_id(GID);
+    clamp(&mut b, IDX, GID, elements);
+    scaled_addr(&mut b, ADDR, IDX, params::IN, 4);
+    b.ld(Space::Global, Width::B4, V, Src::Reg(ADDR), 0);
+    b.movi(I, 0);
+    b.do_while(|b| {
+        // Dependent chain: mul, add, xor — no ILP within a thread.
+        b.alu(AluOp::Mul, V, Src::Reg(V), Src::Imm(0x0001_0003));
+        b.alu(AluOp::Add, V, Src::Reg(V), Src::Reg(GID));
+        b.alu(AluOp::Xor, V, Src::Reg(V), Src::Imm(0x2545_F491));
+        if sfu_every > 0 {
+            b.sfu(SfuOp::Rcp, T0, Src::Reg(V));
+            b.alu(AluOp::Xor, V, Src::Reg(V), Src::Reg(T0));
+        }
+        b.alu(AluOp::Add, I, Src::Reg(I), Src::Imm(1));
+        b.setp(
+            Pred(0),
+            CmpOp::LtU,
+            Src::Reg(I),
+            Src::Imm(alu_iters.max(1) as u64),
+        );
+        Pred(0)
+    });
+    scaled_addr(&mut b, ADDR, IDX, params::OUT, 4);
+    b.st(Space::Global, Width::B4, Src::Reg(V), Src::Reg(ADDR), 0);
+    b.exit();
+    b.build()
+}
+
+fn sfu_heavy(elements: u32, iters: u32) -> caba_isa::Program {
+    let mut b = ProgramBuilder::new();
+    b.global_thread_id(GID);
+    clamp(&mut b, IDX, GID, elements);
+    scaled_addr(&mut b, ADDR, IDX, params::IN, 4);
+    b.ld(Space::Global, Width::B4, V, Src::Reg(ADDR), 0);
+    b.movi(I, 0);
+    b.do_while(|b| {
+        b.sfu(SfuOp::Sin, V, Src::Reg(V));
+        b.sfu(SfuOp::Ex2, V, Src::Reg(V));
+        b.alu(AluOp::Add, I, Src::Reg(I), Src::Imm(1));
+        b.setp(
+            Pred(0),
+            CmpOp::LtU,
+            Src::Reg(I),
+            Src::Imm(iters.max(1) as u64),
+        );
+        Pred(0)
+    });
+    scaled_addr(&mut b, ADDR, IDX, params::OUT, 4);
+    b.st(Space::Global, Width::B4, Src::Reg(V), Src::Reg(ADDR), 0);
+    b.exit();
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_templates_build() {
+        let templates = [
+            KernelTemplate::Streaming {
+                loads: 2,
+                alu_per_load: 1,
+            },
+            KernelTemplate::Gather { alu_per_load: 1 },
+            KernelTemplate::PointerChase { hops: 4 },
+            KernelTemplate::Stencil,
+            KernelTemplate::GemmTile { k: 8 },
+            KernelTemplate::ComputeHeavy {
+                alu_iters: 16,
+                sfu_every: 0,
+            },
+            KernelTemplate::SfuHeavy { iters: 8 },
+        ];
+        for t in templates {
+            let k = t.build("t", 4096, 64);
+            assert!(k.program().len() > 3, "{t:?}");
+            assert!(k.regs_per_thread() >= 3, "{t:?}");
+            assert!(k.dims().total_threads() >= 32, "{t:?}");
+        }
+    }
+
+    #[test]
+    fn gemm_tile_reserves_shared_memory() {
+        let k = KernelTemplate::GemmTile { k: 4 }.build("mm", 1024, 128);
+        assert!(k.shared_bytes_per_block() >= 512);
+    }
+
+    #[test]
+    fn streaming_covers_elements_once() {
+        let t = KernelTemplate::Streaming {
+            loads: 4,
+            alu_per_load: 0,
+        };
+        assert_eq!(t.threads(4096), 1024);
+        assert_eq!(t.element_bytes(), 8);
+        // Per thread: ~3 instructions per 8-byte element — a low
+        // instruction-to-byte ratio, so the template is bandwidth-bound.
+        let k = t.build("s", 4096, 128);
+        let per_thread = k.program().len() as u32;
+        assert!(per_thread <= 24, "{per_thread} instructions");
+    }
+
+    #[test]
+    fn gather_and_chase_are_element_per_thread() {
+        assert_eq!(KernelTemplate::Gather { alu_per_load: 1 }.threads(5000), 5000);
+        // Pointer chases traverse a quarter of the nodes.
+        assert_eq!(
+            KernelTemplate::PointerChase { hops: 3 }.threads(4000),
+            1000
+        );
+        assert_eq!(KernelTemplate::Stencil.element_bytes(), 8);
+        assert_eq!(
+            KernelTemplate::Gather { alu_per_load: 1 }.element_bytes(),
+            4
+        );
+    }
+}

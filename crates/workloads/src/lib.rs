@@ -1,0 +1,156 @@
+//! The synthetic GPGPU workload suite standing in for the paper's 27
+//! CUDA-SDK / Rodinia / Mars / Lonestar benchmarks.
+//!
+//! The paper's evaluation depends on three properties of each application:
+//! how memory-bound it is (Figure 1), how compressible its data is under
+//! each algorithm (Figure 11), and its static resource footprint (Figure 2).
+//! Since the original CUDA binaries cannot be executed by a from-scratch
+//! simulator, each application is re-expressed as a [`KernelTemplate`]
+//! (computational skeleton) over a [`DataProfile`] (compressibility
+//! profile), with per-app register/block parameters. See `DESIGN.md` for
+//! the substitution rationale.
+//!
+//! # Examples
+//!
+//! Run one application end to end:
+//!
+//! ```no_run
+//! use caba_workloads::{app, run_app};
+//! use caba_sim::{Design, GpuConfig};
+//!
+//! let mm = app("MM").expect("known app");
+//! let stats = run_app(&mm, GpuConfig::isca2015_scaled(), Design::Base, 0.25)
+//!     .expect("completes");
+//! println!("MM IPC = {:.2}", stats.ipc());
+//! ```
+
+pub mod apps;
+pub mod data;
+pub mod kernels;
+
+pub use apps::{all_apps, app, eval_apps, AppClass, AppSpec, Suite};
+pub use data::DataProfile;
+pub use kernels::KernelTemplate;
+
+use caba_sim::{Design, Gpu, GpuConfig, RunError, RunStats};
+
+/// Default cycle budget for a full application run.
+pub const DEFAULT_MAX_CYCLES: u64 = 200_000_000;
+
+/// Builds a GPU, loads the application's inputs, runs it, and returns the
+/// statistics.
+///
+/// `scale` scales the grid and working set (1.0 = the suite's standard
+/// size; the figure harnesses use smaller scales for quick runs).
+///
+/// # Errors
+///
+/// Propagates [`RunError::Timeout`] from the simulator.
+pub fn run_app(
+    app: &AppSpec,
+    cfg: GpuConfig,
+    design: Design,
+    scale: f64,
+) -> Result<RunStats, RunError> {
+    let mut gpu = Gpu::new(cfg, design);
+    app.load_inputs(&mut gpu, scale);
+    let kernel = app.kernel(scale);
+    gpu.run(&kernel, DEFAULT_MAX_CYCLES)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn representative_apps_run_on_small_config() {
+        // One app per template family, at a small scale.
+        for name in ["CONS", "BFS", "MUM", "LPS", "MM", "bp", "dmr"] {
+            let a = app(name).expect(name);
+            let stats = run_app(&a, GpuConfig::small(), Design::Base, 0.05)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(stats.cycles > 0, "{name}");
+            assert!(stats.app_instructions > 0, "{name}");
+            assert!(stats.threads_retired > 0, "{name}");
+        }
+    }
+
+    #[test]
+    fn memory_bound_apps_stress_dram_more_than_compute_bound() {
+        let mem = app("CONS").unwrap();
+        let comp = app("bp").unwrap();
+        let sm = run_app(&mem, GpuConfig::small(), Design::Base, 0.1).unwrap();
+        let sc = run_app(&comp, GpuConfig::small(), Design::Base, 0.1).unwrap();
+        assert!(
+            sm.bandwidth_utilization() > sc.bandwidth_utilization(),
+            "mem {:.2} vs comp {:.2}",
+            sm.bandwidth_utilization(),
+            sc.bandwidth_utilization()
+        );
+    }
+
+    #[test]
+    fn compute_bound_app_insensitive_to_bandwidth() {
+        let a = app("bp").unwrap();
+        let full = run_app(&a, GpuConfig::small(), Design::Base, 0.1).unwrap();
+        let half = run_app(
+            &a,
+            GpuConfig::small().with_bandwidth_scale(0.5),
+            Design::Base,
+            0.1,
+        )
+        .unwrap();
+        let slowdown = half.cycles as f64 / full.cycles as f64;
+        assert!(slowdown < 1.3, "slowdown {slowdown}");
+    }
+
+    #[test]
+    fn memory_bound_app_sensitive_to_bandwidth() {
+        let a = app("CONS").unwrap();
+        let full = run_app(&a, GpuConfig::small(), Design::Base, 0.1).unwrap();
+        let half = run_app(
+            &a,
+            GpuConfig::small().with_bandwidth_scale(0.5),
+            Design::Base,
+            0.1,
+        )
+        .unwrap();
+        let slowdown = half.cycles as f64 / full.cycles as f64;
+        assert!(slowdown > 1.3, "slowdown {slowdown}");
+    }
+
+    #[test]
+    fn outputs_match_cpu_reference_on_base_and_caba() {
+        for name in ["CONS", "BFS", "LPS", "MUM"] {
+            let a = app(name).expect(name);
+            let scale = 0.05;
+            // Base design.
+            let mut gpu = Gpu::new(GpuConfig::small(), Design::Base);
+            a.load_inputs(&mut gpu, scale);
+            gpu.run(&a.kernel(scale), DEFAULT_MAX_CYCLES).unwrap();
+            let checked = a.verify_output(&gpu, scale).expect("verifiable template");
+            assert!(checked > 0, "{name}");
+            // CABA-BDI must produce identical outputs (assist warps are
+            // functionally transparent).
+            let ctrl = caba_core_stub();
+            let mut gpu = Gpu::new(GpuConfig::small(), ctrl);
+            a.load_inputs(&mut gpu, scale);
+            gpu.run(&a.kernel(scale), DEFAULT_MAX_CYCLES).unwrap();
+            a.verify_output(&gpu, scale).expect("verifiable template");
+        }
+    }
+
+    fn caba_core_stub() -> Design {
+        Design::Caba(Box::new(caba_core::CabaController::bdi()))
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = app("JPEG").unwrap();
+        let s1 = run_app(&a, GpuConfig::small(), Design::Base, 0.05).unwrap();
+        let s2 = run_app(&a, GpuConfig::small(), Design::Base, 0.05).unwrap();
+        assert_eq!(s1.cycles, s2.cycles);
+        assert_eq!(s1.app_instructions, s2.app_instructions);
+        assert_eq!(s1.dram_bursts, s2.dram_bursts);
+    }
+}

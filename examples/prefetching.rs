@@ -1,0 +1,56 @@
+//! The §7.2 "other use" of CABA: stride-prefetching assist warps that issue
+//! only when the memory pipeline is idle, avoiding the demand-interference
+//! problem of uncontrolled GPU prefetchers.
+//!
+//! ```sh
+//! cargo run --release --example prefetching
+//! ```
+
+use caba::core::prefetch::{evaluate, PrefetchConfig};
+use caba::stats::Rng64;
+
+fn strided_trace(warps: u32, per_warp: u32, stride: u64) -> Vec<(u32, u64)> {
+    let mut t = Vec::new();
+    for i in 0..per_warp {
+        for w in 0..warps {
+            // Skew each warp's base by a few lines so the streams do not
+            // alias onto the same L1 sets.
+            let base = 0x100_0000 * (w as u64 + 1) + w as u64 * 5 * 128;
+            t.push((w, base + i as u64 * stride));
+        }
+    }
+    t
+}
+
+fn main() {
+    let streaming = strided_trace(4, 2000, 128);
+    let mut rng = Rng64::new(3);
+    let irregular: Vec<(u32, u64)> = (0..16_000)
+        .map(|_| (rng.next_u32() % 8, rng.next_u64() % (1 << 26)))
+        .collect();
+
+    println!("Per-warp stride prefetching into the 16 KB L1 (paper geometry):\n");
+    println!("trace        throttle   L1 misses base→pf   coverage  issued  dropped");
+    for (name, trace) in [("streaming", &streaming), ("irregular", &irregular)] {
+        for (tname, idle_only, busy_every) in
+            [("idle-only", true, 3), ("unthrottled", false, 0)]
+        {
+            let cfg = PrefetchConfig {
+                idle_only,
+                ..PrefetchConfig::default()
+            };
+            let r = evaluate(cfg, trace, busy_every);
+            println!(
+                "{name}   {tname:<11} {:>7} → {:<7}  {:>6.1}%  {:>6}  {:>6}",
+                r.baseline_misses,
+                r.prefetch_misses,
+                r.coverage() * 100.0,
+                r.issued,
+                r.dropped_busy
+            );
+        }
+    }
+    println!("\nStreaming warps train the stride table and prefetching removes most");
+    println!("cold misses; irregular traces gain nothing, and the idle-only");
+    println!("throttle (the CABA scheduler's low-priority rule) bounds the waste.");
+}
