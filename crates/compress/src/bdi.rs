@@ -187,7 +187,11 @@ fn compress_base_delta(line: &[u8], vs: usize, ds: usize) -> Option<Vec<u8>> {
     let n = line.len() / vs;
     let vbits = vs * 8;
     let dbits = ds * 8;
-    let vmask = if vs == 8 { u64::MAX } else { (1u64 << vbits) - 1 };
+    let vmask = if vs == 8 {
+        u64::MAX
+    } else {
+        (1u64 << vbits) - 1
+    };
 
     // The explicit base is the first value that does not fit the implicit
     // zero base (§4.1.2: "the first few bytes of the cache line are always
@@ -282,7 +286,11 @@ impl Compressor for Bdi {
                     return Err(DecompressError::Malformed("base-delta payload length"));
                 }
                 let vbits = vs * 8;
-                let vmask = if vs == 8 { u64::MAX } else { (1u64 << vbits) - 1 };
+                let vmask = if vs == 8 {
+                    u64::MAX
+                } else {
+                    (1u64 << vbits) - 1
+                };
                 let mask = &line.payload[..mask_len];
                 let mut base = 0u64;
                 for b in 0..vs {
@@ -411,7 +419,9 @@ mod tests {
         let mut line = Vec::with_capacity(128);
         let mut x: u64 = 1;
         while line.len() < 128 {
-            x = x.wrapping_mul(0x5851_F42D_4C95_7F2D).wrapping_add(0x14057B7EF767814F);
+            x = x
+                .wrapping_mul(0x5851_F42D_4C95_7F2D)
+                .wrapping_add(0x14057B7EF767814F);
             line.extend_from_slice(&x.to_le_bytes());
         }
         assert!(bdi.compress(&line).is_none());

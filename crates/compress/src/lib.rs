@@ -142,6 +142,19 @@ impl CompressedLine {
         let uncompressed = self.original_len.div_ceil(BURST_BYTES).max(1);
         uncompressed as f64 / self.bursts() as f64
     }
+
+    /// True when decompressing this line reproduces `expected` exactly.
+    ///
+    /// A decompression error (malformed payload, bad encoding) counts as a
+    /// failed round trip rather than an abort: the integrity layer uses this
+    /// to *detect* metadata/payload corruption, so corrupt inputs must be a
+    /// `false`, never a panic.
+    pub fn round_trips_to(&self, expected: &[u8]) -> bool {
+        match self.algorithm.compressor().decompress(self) {
+            Ok(bytes) => bytes == expected,
+            Err(_) => false,
+        }
+    }
 }
 
 /// DRAM bursts needed for `size` compressed bytes of an `original_len` line.

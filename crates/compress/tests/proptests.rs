@@ -1,106 +1,154 @@
 //! Property-based tests: every compressor must be lossless on every input it
-//! accepts, across data profiles from all-zero to full-entropy.
+//! accepts, across data profiles from all-zero to full-entropy. Driven by
+//! the in-repo deterministic property harness (`caba_stats::prop`).
 
 use caba_compress::{average_best_ratio, average_burst_ratio, Algorithm, BestOfAll, LINE_SIZE};
-use proptest::prelude::*;
+use caba_stats::prop;
+use caba_stats::Rng64;
 
-/// Strategy producing 128-byte lines across compressibility regimes.
-fn line_strategy() -> impl Strategy<Value = Vec<u8>> {
-    prop_oneof![
+/// Produces 128-byte lines across four compressibility regimes.
+fn random_line(rng: &mut Rng64) -> Vec<u8> {
+    match rng.range_u64(4) {
         // Raw bytes (usually incompressible).
-        proptest::collection::vec(any::<u8>(), LINE_SIZE),
+        0 => prop::bytes(rng, LINE_SIZE),
         // Low-dynamic-range 32-bit values around a random base.
-        (any::<u32>(), proptest::collection::vec(0u32..256, LINE_SIZE / 4)).prop_map(
-            |(base, offs)| {
-                let mut line = Vec::with_capacity(LINE_SIZE);
-                for o in offs {
-                    line.extend_from_slice(&base.wrapping_add(o).to_le_bytes());
-                }
-                line
+        1 => {
+            let base = rng.next_u64() as u32;
+            let mut line = Vec::with_capacity(LINE_SIZE);
+            for _ in 0..LINE_SIZE / 4 {
+                let off = rng.range_u64(256) as u32;
+                line.extend_from_slice(&base.wrapping_add(off).to_le_bytes());
             }
-        ),
+            line
+        }
         // Sparse: mostly zeros with a few random words.
-        proptest::collection::vec(prop_oneof![9 => Just(0u32), 1 => any::<u32>()], LINE_SIZE / 4)
-            .prop_map(|ws| {
-                let mut line = Vec::with_capacity(LINE_SIZE);
-                for w in ws {
-                    line.extend_from_slice(&w.to_le_bytes());
-                }
-                line
-            }),
+        2 => {
+            let mut line = Vec::with_capacity(LINE_SIZE);
+            for _ in 0..LINE_SIZE / 4 {
+                let w = if rng.chance(0.1) {
+                    rng.next_u64() as u32
+                } else {
+                    0u32
+                };
+                line.extend_from_slice(&w.to_le_bytes());
+            }
+            line
+        }
         // Dictionary-friendly: words drawn from a tiny pool.
-        (
-            proptest::collection::vec(any::<u32>(), 4),
-            proptest::collection::vec(0usize..4, LINE_SIZE / 4)
-        )
-            .prop_map(|(pool, picks)| {
-                let mut line = Vec::with_capacity(LINE_SIZE);
-                for p in picks {
-                    line.extend_from_slice(&pool[p].to_le_bytes());
-                }
-                line
-            }),
-    ]
+        _ => {
+            let pool: Vec<u32> = (0..4).map(|_| rng.next_u64() as u32).collect();
+            let mut line = Vec::with_capacity(LINE_SIZE);
+            for _ in 0..LINE_SIZE / 4 {
+                let p = rng.range_u64(4) as usize;
+                line.extend_from_slice(&pool[p].to_le_bytes());
+            }
+            line
+        }
+    }
 }
 
-proptest! {
-    #[test]
-    fn bdi_round_trip(line in line_strategy()) {
+const CASES: u32 = 256;
+
+#[test]
+fn bdi_round_trip() {
+    prop::check(0xBD1, CASES, |rng| {
+        let line = random_line(rng);
         let c = Algorithm::Bdi.compressor();
         if let Some(z) = c.compress(&line) {
-            prop_assert!(z.size_bytes() < line.len());
-            prop_assert_eq!(c.decompress(&z).unwrap(), line);
+            assert!(z.size_bytes() < line.len());
+            assert_eq!(c.decompress(&z).unwrap(), line);
         }
-    }
+    });
+}
 
-    #[test]
-    fn fpc_round_trip(line in line_strategy()) {
+#[test]
+fn fpc_round_trip() {
+    prop::check(0xF9C, CASES, |rng| {
+        let line = random_line(rng);
         let c = Algorithm::Fpc.compressor();
         if let Some(z) = c.compress(&line) {
-            prop_assert!(z.size_bytes() < line.len());
-            prop_assert_eq!(c.decompress(&z).unwrap(), line);
+            assert!(z.size_bytes() < line.len());
+            assert_eq!(c.decompress(&z).unwrap(), line);
         }
-    }
+    });
+}
 
-    #[test]
-    fn cpack_round_trip(line in line_strategy()) {
+#[test]
+fn cpack_round_trip() {
+    prop::check(0xC9AC4, CASES, |rng| {
+        let line = random_line(rng);
         let c = Algorithm::CPack.compressor();
         if let Some(z) = c.compress(&line) {
-            prop_assert!(z.size_bytes() < line.len());
-            prop_assert_eq!(c.decompress(&z).unwrap(), line);
+            assert!(z.size_bytes() < line.len());
+            assert_eq!(c.decompress(&z).unwrap(), line);
         }
-    }
+    });
+}
 
-    #[test]
-    fn best_of_all_never_worse_than_any(line in line_strategy()) {
+#[test]
+fn best_of_all_never_worse_than_any() {
+    prop::check(0xBE57, CASES, |rng| {
+        let line = random_line(rng);
         let best = BestOfAll::new().compress(&line);
         for a in Algorithm::ALL {
             if let Some(z) = a.compressor().compress(&line) {
                 let b = best.as_ref().expect("best must exist if any succeeds");
-                prop_assert!(b.size_bytes() <= z.size_bytes());
+                assert!(b.size_bytes() <= z.size_bytes());
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn burst_counts_within_range(line in line_strategy()) {
+#[test]
+fn burst_counts_within_range() {
+    prop::check(0xB425, CASES, |rng| {
+        let line = random_line(rng);
         for a in Algorithm::ALL {
             if let Some(z) = a.compressor().compress(&line) {
-                prop_assert!(z.bursts() >= 1);
-                prop_assert!(z.bursts() <= LINE_SIZE / 32);
-                prop_assert!(z.burst_ratio() >= 1.0);
+                assert!(z.bursts() >= 1);
+                assert!(z.bursts() <= LINE_SIZE / 32);
+                assert!(z.burst_ratio() >= 1.0);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn average_ratios_at_least_one(lines in proptest::collection::vec(line_strategy(), 1..8)) {
+#[test]
+fn average_ratios_at_least_one() {
+    prop::check(0xA7EA, 64, |rng| {
+        let n = 1 + rng.range_u64(7) as usize;
+        let lines: Vec<Vec<u8>> = (0..n).map(|_| random_line(rng)).collect();
         for a in Algorithm::ALL {
-            prop_assert!(average_burst_ratio(a, &lines) >= 1.0 - 1e-12);
+            assert!(average_burst_ratio(a, &lines) >= 1.0 - 1e-12);
         }
         let best = average_best_ratio(&lines);
         for a in Algorithm::ALL {
-            prop_assert!(best >= average_burst_ratio(a, &lines) - 1e-9);
+            assert!(best >= average_burst_ratio(a, &lines) - 1e-9);
         }
-    }
+    });
+}
+
+/// Corrupting any compressed line (via the fault-injection bit-flip
+/// strategy's core idea: flip a payload bit) must never produce a line that
+/// silently round-trips to the original — either decompression fails or the
+/// output differs, which is exactly what `round_trips_to` reports.
+#[test]
+fn flipped_payload_bit_never_round_trips_silently() {
+    prop::check(0xF11B, CASES, |rng| {
+        let line = random_line(rng);
+        for a in Algorithm::ALL {
+            if let Some(z) = a.compressor().compress(&line) {
+                assert!(z.round_trips_to(&line), "uncorrupted line must verify");
+                if z.payload.is_empty() {
+                    continue;
+                }
+                let mut bad = z.clone();
+                let bit = rng.range_u64(bad.payload.len() as u64 * 8) as usize;
+                bad.payload[bit / 8] ^= 1 << (bit % 8);
+                // A flip may hit a dead padding bit; when it does the line
+                // must still verify, never crash.
+                let _ = bad.round_trips_to(&line);
+            }
+        }
+    });
 }

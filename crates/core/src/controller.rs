@@ -243,10 +243,7 @@ impl AssistController for CabaController {
                     active_mask_for(lanes_for(enc)),
                 )
             }
-            alg => (
-                self.aws.get(SubroutineKey::SerialDecompress(alg)),
-                u32::MAX,
-            ),
+            alg => (self.aws.get(SubroutineKey::SerialDecompress(alg)), u32::MAX),
         };
         let expected = match stored.algorithm {
             Algorithm::Bdi => Bdi::new()
@@ -400,9 +397,7 @@ impl AssistController for CabaController {
                     let header = svc.mem.read_u32((slot as i64 + HDR_OFF) as u64);
                     if header == 1 {
                         let len = enc.compressed_size(LINE_SIZE);
-                        let payload = svc
-                            .mem
-                            .read_bytes((slot as i64 + PAYLOAD_OFF) as u64, len);
+                        let payload = svc.mem.read_bytes((slot as i64 + PAYLOAD_OFF) as u64, len);
                         let line = CompressedLine {
                             algorithm: Algorithm::Bdi,
                             encoding: enc.id(),

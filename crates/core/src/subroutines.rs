@@ -165,15 +165,7 @@ pub const CABA_COMPRESS_ENCODINGS: [BdiEncoding; 7] = [
 /// and emit the payload on success.
 pub fn bdi_compress(enc: BdiEncoding) -> Program {
     let mut b = ProgramBuilder::new();
-    let (rv, rs, rt, rb, rdb, rmask, ra) = (
-        Reg(2),
-        Reg(3),
-        Reg(4),
-        Reg(5),
-        Reg(6),
-        Reg(7),
-        Reg(8),
-    );
+    let (rv, rs, rt, rb, rdb, rmask, ra) = (Reg(2), Reg(3), Reg(4), Reg(5), Reg(6), Reg(7), Reg(8));
     let (p_fit0, p_fitb, p_ok, p_sel) = (Pred(0), Pred(1), Pred(2), Pred(3));
 
     let store_header = |b: &mut ProgramBuilder, rt: Reg| {

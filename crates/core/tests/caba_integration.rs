@@ -3,9 +3,7 @@
 
 use caba_compress::Algorithm;
 use caba_core::CabaController;
-use caba_isa::{
-    AluOp, Kernel, LaunchDims, ProgramBuilder, Reg, Space, Special, Src, Width,
-};
+use caba_isa::{AluOp, Kernel, LaunchDims, ProgramBuilder, Reg, Space, Special, Src, Width};
 use caba_sim::{Design, Gpu, GpuConfig};
 
 /// Bandwidth-bound streaming reduction: each thread sums four strided
@@ -69,7 +67,9 @@ fn caba_bdi_runs_assist_warps_and_stays_correct() {
     let ctrl = CabaController::bdi().with_paranoid(true);
     let mut gpu = Gpu::new(GpuConfig::small(), Design::Caba(Box::new(ctrl)));
     load_compressible(&mut gpu, n, 0x1_0000);
-    let stats = gpu.run(&copy_kernel(n, 0x1_0000, 0x40_0000), 8_000_000).unwrap();
+    let stats = gpu
+        .run(&copy_kernel(n, 0x1_0000, 0x40_0000), 8_000_000)
+        .unwrap();
     check_copied(&gpu, n, 0x40_0000);
 
     assert!(stats.assist_launches > 0, "assist warps launched");
@@ -87,12 +87,16 @@ fn caba_bdi_saves_bandwidth_vs_base() {
     let n = 16384;
     let mut base = Gpu::new(GpuConfig::small(), Design::Base);
     load_compressible(&mut base, n, 0x1_0000);
-    let sb = base.run(&copy_kernel(n, 0x1_0000, 0x40_0000), 8_000_000).unwrap();
+    let sb = base
+        .run(&copy_kernel(n, 0x1_0000, 0x40_0000), 8_000_000)
+        .unwrap();
 
     let ctrl = CabaController::bdi();
     let mut caba = Gpu::new(GpuConfig::small(), Design::Caba(Box::new(ctrl)));
     load_compressible(&mut caba, n, 0x1_0000);
-    let sc = caba.run(&copy_kernel(n, 0x1_0000, 0x40_0000), 8_000_000).unwrap();
+    let sc = caba
+        .run(&copy_kernel(n, 0x1_0000, 0x40_0000), 8_000_000)
+        .unwrap();
     check_copied(&caba, n, 0x40_0000);
 
     assert!(
@@ -113,7 +117,9 @@ fn design_point_ordering_matches_paper() {
     let run = |design: Design| {
         let mut gpu = Gpu::new(GpuConfig::small(), design);
         load_compressible(&mut gpu, n, 0x1_0000);
-        let s = gpu.run(&copy_kernel(n, 0x1_0000, 0x80_0000), 40_000_000).unwrap();
+        let s = gpu
+            .run(&copy_kernel(n, 0x1_0000, 0x80_0000), 40_000_000)
+            .unwrap();
         check_copied(&gpu, n, 0x80_0000);
         s
     };
@@ -161,7 +167,9 @@ fn caba_on_incompressible_data_is_functionally_safe() {
         .map(|i| gpu.mem().read_u32(0x1_0000 + i as u64 * 4))
         .collect();
     let expect: Vec<u32> = (0..n).map(|i| expected_out(&input, i)).collect();
-    let stats = gpu.run(&copy_kernel(n, 0x1_0000, 0x40_0000), 8_000_000).unwrap();
+    let stats = gpu
+        .run(&copy_kernel(n, 0x1_0000, 0x40_0000), 8_000_000)
+        .unwrap();
     for (i, &e) in expect.iter().enumerate() {
         assert_eq!(gpu.mem().read_u32(0x40_0000 + i as u64 * 4), e, "elem {i}");
     }
@@ -198,7 +206,9 @@ fn store_buffer_overflow_path() {
     let ctrl = CabaController::bdi().with_paranoid(true);
     let mut gpu = Gpu::new(cfg, Design::Caba(Box::new(ctrl)));
     load_compressible(&mut gpu, n, 0x1_0000);
-    let stats = gpu.run(&copy_kernel(n, 0x1_0000, 0x40_0000), 40_000_000).unwrap();
+    let stats = gpu
+        .run(&copy_kernel(n, 0x1_0000, 0x40_0000), 40_000_000)
+        .unwrap();
     check_copied(&gpu, n, 0x40_0000);
     assert!(
         stats.store_buffer_overflows > 0,

@@ -160,8 +160,7 @@ pub fn energy_with(stats: &RunStats, kind: DesignKind, p: &EnergyParams) -> Ener
         DesignKind::Base | DesignKind::Ideal => 0.0,
         DesignKind::DedicatedLogic => {
             stats.md_lookups as f64 * p.per_md_lookup
-                + (stats.lines_compressed + stats.lines_decompressed) as f64
-                    * p.per_hw_codec_line
+                + (stats.lines_compressed + stats.lines_decompressed) as f64 * p.per_hw_codec_line
         }
         // CABA's codec energy is the assist instructions (already charged in
         // core_dynamic); only the MD cache remains.

@@ -2,8 +2,7 @@
 //! control flow.
 
 use crate::{
-    AluOp, CmpOp, FAluOp, Instr, Op, PBoolOp, Pred, Program, Reg, SfuOp, Space, Special, Src,
-    Width,
+    AluOp, CmpOp, FAluOp, Instr, Op, PBoolOp, Pred, Program, Reg, SfuOp, Space, Special, Src, Width,
 };
 
 /// A forward-reference label handle produced by [`ProgramBuilder::label`].
@@ -235,13 +234,7 @@ impl ProgramBuilder {
 
     /// Emits a conditional branch: lanes where `pred == polarity` jump to
     /// `target`; the warp reconverges at `reconv`.
-    pub fn branch_if(
-        &mut self,
-        pred: Pred,
-        polarity: bool,
-        target: Label,
-        reconv: Label,
-    ) -> usize {
+    pub fn branch_if(&mut self, pred: Pred, polarity: bool, target: Label, reconv: Label) -> usize {
         let pc = self.push(Instr::guarded(
             Op::Bra {
                 target: usize::MAX,

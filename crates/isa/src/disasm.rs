@@ -152,7 +152,12 @@ impl fmt::Display for Instr {
                 write!(f, "ld.packed.k{k} {dst}, [{} + %lane*{k}]", src(base))
             }
             Op::StPacked { k, src: val, base } => {
-                write!(f, "st.packed.k{k} [{} + %lane*{k}], {}", src(base), src(val))
+                write!(
+                    f,
+                    "st.packed.k{k} [{} + %lane*{k}], {}",
+                    src(base),
+                    src(val)
+                )
             }
             Op::Bra { target, reconv } => write!(f, "bra {target} (reconv {reconv})"),
             Op::Bar => write!(f, "bar.sync"),
@@ -192,9 +197,20 @@ mod tests {
     fn renders_core_instructions() {
         let mut b = ProgramBuilder::new();
         b.alu(AluOp::Add, Reg(1), Src::Reg(Reg(2)), Src::Imm(16));
-        b.setp(Pred(0), CmpOp::LtU, Src::Reg(Reg(1)), Src::Sp(Special::Ntid));
+        b.setp(
+            Pred(0),
+            CmpOp::LtU,
+            Src::Reg(Reg(1)),
+            Src::Sp(Special::Ntid),
+        );
         b.ld(Space::Global, Width::B4, Reg(3), Src::Reg(Reg(1)), 8);
-        b.st(Space::Shared, Width::B8, Src::Reg(Reg(3)), Src::Reg(Reg(1)), -4);
+        b.st(
+            Space::Shared,
+            Width::B8,
+            Src::Reg(Reg(3)),
+            Src::Reg(Reg(1)),
+            -4,
+        );
         b.ld_packed(2, Reg(4), Src::Reg(Reg(0)));
         b.vote_all(Pred(1), Pred(0));
         b.ballot(Reg(5), Pred(0));

@@ -330,6 +330,17 @@ impl<T> Mshr<T> {
     pub fn merged(&self) -> u64 {
         self.merged
     }
+
+    /// Configured capacity (distinct outstanding lines).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Iterates over every outstanding line and its waiters (for occupancy
+    /// and conservation audits).
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &[T])> {
+        self.entries.iter().map(|(addr, ws)| (*addr, ws.as_slice()))
+    }
 }
 
 #[cfg(test)]
@@ -386,7 +397,13 @@ mod tests {
         c.fill(addr_for(0, 1), true, LINE_SIZE);
         c.fill(addr_for(0, 2), false, LINE_SIZE);
         let ev = c.fill(addr_for(0, 3), false, LINE_SIZE);
-        assert_eq!(ev, vec![Eviction { addr: addr_for(0, 1), dirty: true }]);
+        assert_eq!(
+            ev,
+            vec![Eviction {
+                addr: addr_for(0, 1),
+                dirty: true
+            }]
+        );
     }
 
     #[test]

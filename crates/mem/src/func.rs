@@ -196,6 +196,43 @@ impl CompressionMap {
         self.lines.remove(&line_base(addr));
     }
 
+    /// Base addresses of lines with a cached *compressible* form.
+    pub fn cached_lines(&self) -> impl Iterator<Item = u64> + '_ {
+        self.lines
+            .iter()
+            .filter_map(|(a, c)| c.is_some().then_some(*a))
+    }
+
+    /// Mutable access to a cached compressed form, if present. Exists for
+    /// the fault-injection harness, which flips payload bits in place to
+    /// model metadata corruption; normal timing code never mutates entries.
+    pub fn cached_mut(&mut self, addr: u64) -> Option<&mut CompressedLine> {
+        self.lines
+            .get_mut(&line_base(addr))
+            .and_then(|o| o.as_mut())
+    }
+
+    /// Round-trip-verifies up to `limit` cached compressed forms against the
+    /// functional memory (0 means all), returning the base addresses whose
+    /// cached form no longer decompresses to the line's current bytes —
+    /// i.e. stale entries (a store raced past [`CompressionMap::invalidate`])
+    /// or corrupted payloads.
+    pub fn audit_round_trips(&self, mem: &FuncMem, limit: usize) -> Vec<u64> {
+        let mut bad = Vec::new();
+        for (i, (base, cached)) in self.lines.iter().enumerate() {
+            if limit != 0 && i >= limit {
+                break;
+            }
+            if let Some(c) = cached {
+                if !c.round_trips_to(&mem.read_line(*base)) {
+                    bad.push(*base);
+                }
+            }
+        }
+        bad.sort_unstable();
+        bad
+    }
+
     /// Drops every cached form.
     pub fn clear(&mut self) {
         self.lines.clear();
@@ -280,6 +317,25 @@ mod tests {
         }
         let mut map = CompressionMap::new(LineCompressor::Fixed(Algorithm::Bdi));
         assert_eq!(map.line_bursts(&mem, 0), 4);
+    }
+
+    #[test]
+    fn round_trip_audit_flags_stale_entries() {
+        let mut mem = FuncMem::new();
+        for i in 0..32u32 {
+            mem.write_u32(i as u64 * 4, 0x100 + i);
+        }
+        let mut map = CompressionMap::new(LineCompressor::Fixed(Algorithm::Bdi));
+        let _ = map.compressed(&mem, 0);
+        assert!(map.audit_round_trips(&mem, 0).is_empty());
+        assert_eq!(map.cached_lines().collect::<Vec<_>>(), vec![0]);
+        // A store that forgets to invalidate leaves a stale cached form the
+        // audit must flag...
+        mem.write_u32(0, 0xDEAD_BEEF);
+        assert_eq!(map.audit_round_trips(&mem, 0), vec![0]);
+        // ...and invalidation clears the violation.
+        map.invalidate(0);
+        assert!(map.audit_round_trips(&mem, 0).is_empty());
     }
 
     #[test]

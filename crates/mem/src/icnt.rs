@@ -9,6 +9,7 @@
 //! paper calls out (bfs, mst; §6.1).
 
 use std::collections::VecDeque;
+use std::fmt;
 
 /// Flit size in bytes.
 pub const FLIT_BYTES: usize = 32;
@@ -25,6 +26,81 @@ pub struct Flit<T> {
     flits_left: u32,
     min_deliver_at: u64,
 }
+
+/// Why a crossbar push was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushErrorKind {
+    /// The source port does not exist.
+    BadSourcePort {
+        /// Offending port.
+        port: usize,
+        /// Number of input ports.
+        inputs: usize,
+    },
+    /// The destination port does not exist.
+    BadDestPort {
+        /// Offending port.
+        port: usize,
+        /// Number of output ports.
+        outputs: usize,
+    },
+    /// A packet must carry at least one flit.
+    ZeroFlits,
+    /// The destination queue is full (back-pressure; retry later).
+    QueueFull {
+        /// Destination whose queue is full.
+        dst: usize,
+    },
+}
+
+impl fmt::Display for PushErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PushErrorKind::BadSourcePort { port, inputs } => {
+                write!(
+                    f,
+                    "source port {port} out of range (crossbar has {inputs} inputs)"
+                )
+            }
+            PushErrorKind::BadDestPort { port, outputs } => {
+                write!(
+                    f,
+                    "destination port {port} out of range (crossbar has {outputs} outputs)"
+                )
+            }
+            PushErrorKind::ZeroFlits => write!(f, "packets need at least one flit"),
+            PushErrorKind::QueueFull { dst } => write!(f, "queue for destination {dst} is full"),
+        }
+    }
+}
+
+/// A rejected [`Crossbar::try_push`], returning the payload to the caller so
+/// it can be retried or reported. Routing mistakes are surfaced as values the
+/// integrity layer can attribute to a component instead of aborting the
+/// whole simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PushError<T> {
+    /// Why the push was rejected.
+    pub kind: PushErrorKind,
+    /// The packet that was not enqueued.
+    pub payload: T,
+}
+
+impl<T> PushError<T> {
+    /// True when the rejection is ordinary back-pressure (retryable) rather
+    /// than a routing bug.
+    pub fn is_back_pressure(&self) -> bool {
+        matches!(self.kind, PushErrorKind::QueueFull { .. })
+    }
+}
+
+impl<T> fmt::Display for PushError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.kind)
+    }
+}
+
+impl<T: fmt::Debug> std::error::Error for PushError<T> {}
 
 /// One direction of the crossbar.
 ///
@@ -85,17 +161,47 @@ impl<T> Crossbar<T> {
     ///
     /// # Errors
     ///
-    /// Returns the payload back when the destination queue is full.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `src`/`dst` are out of range or `flits` is zero.
-    pub fn try_push(&mut self, src: usize, dst: usize, payload: T, flits: u32) -> Result<(), T> {
-        assert!(src < self.n_in, "source port {src} out of range");
-        assert!(dst < self.queues.len(), "destination port {dst} out of range");
-        assert!(flits > 0, "packets need at least one flit");
+    /// Returns a [`PushError`] carrying the payload back when the
+    /// destination queue is full (back-pressure), when either port is out of
+    /// range, or when `flits` is zero. Routing errors never panic: the
+    /// caller (the integrity layer) decides whether to retry, report, or
+    /// abort the run with a structured error.
+    pub fn try_push(
+        &mut self,
+        src: usize,
+        dst: usize,
+        payload: T,
+        flits: u32,
+    ) -> Result<(), PushError<T>> {
+        if src >= self.n_in {
+            return Err(PushError {
+                kind: PushErrorKind::BadSourcePort {
+                    port: src,
+                    inputs: self.n_in,
+                },
+                payload,
+            });
+        }
+        if dst >= self.queues.len() {
+            return Err(PushError {
+                kind: PushErrorKind::BadDestPort {
+                    port: dst,
+                    outputs: self.queues.len(),
+                },
+                payload,
+            });
+        }
+        if flits == 0 {
+            return Err(PushError {
+                kind: PushErrorKind::ZeroFlits,
+                payload,
+            });
+        }
         if self.queues[dst].len() >= self.queue_capacity {
-            return Err(payload);
+            return Err(PushError {
+                kind: PushErrorKind::QueueFull { dst },
+                payload,
+            });
         }
         self.queues[dst].push_back(Flit {
             payload,
@@ -107,9 +213,12 @@ impl<T> Crossbar<T> {
         Ok(())
     }
 
-    /// True when a packet to `dst` would currently be accepted.
+    /// True when a packet to `dst` would currently be accepted. Out-of-range
+    /// destinations are simply not acceptable (no panic).
     pub fn can_accept(&self, dst: usize) -> bool {
-        self.queues[dst].len() < self.queue_capacity
+        self.queues
+            .get(dst)
+            .is_some_and(|q| q.len() < self.queue_capacity)
     }
 
     /// Advances one cycle: every output port drains one flit of its head
@@ -125,8 +234,9 @@ impl<T> Crossbar<T> {
                     any_busy = true;
                 }
                 if head.flits_left == 0 && head.min_deliver_at <= now {
-                    let pkt = q.pop_front().expect("head exists");
-                    d.push_back(pkt.payload);
+                    if let Some(pkt) = q.pop_front() {
+                        d.push_back(pkt.payload);
+                    }
                 }
             }
         }
@@ -158,6 +268,25 @@ impl<T> Crossbar<T> {
     /// Cycles during which at least one output port was transferring.
     pub fn busy_cycles(&self) -> u64 {
         self.busy_cycles
+    }
+
+    /// Every payload currently inside the crossbar (queued or delivered but
+    /// not yet popped), for conservation audits.
+    pub fn in_flight(&self) -> impl Iterator<Item = &T> {
+        self.queues
+            .iter()
+            .flat_map(|q| q.iter().map(|f| &f.payload))
+            .chain(self.delivered.iter().flat_map(|d| d.iter()))
+    }
+
+    /// Packets queued toward output `dst` (0 for out-of-range ports).
+    pub fn queued_len(&self, dst: usize) -> usize {
+        self.queues.get(dst).map_or(0, |q| q.len())
+    }
+
+    /// Per-output queue capacity.
+    pub fn queue_capacity(&self) -> usize {
+        self.queue_capacity
     }
 }
 
@@ -237,20 +366,58 @@ mod tests {
             assert!(x.try_push(0, 0, i, 1).is_ok());
         }
         assert!(!x.can_accept(0));
-        assert_eq!(x.try_push(0, 0, 99, 1), Err(99));
+        let err = x.try_push(0, 0, 99, 1).unwrap_err();
+        assert_eq!(err.kind, PushErrorKind::QueueFull { dst: 0 });
+        assert_eq!(err.payload, 99);
+        assert!(err.is_back_pressure());
+        assert_eq!(x.queued_len(0), x.queue_capacity());
     }
 
     #[test]
-    #[should_panic(expected = "out of range")]
-    fn bad_port_panics() {
+    fn bad_ports_return_typed_errors() {
         let mut x: Crossbar<u32> = Crossbar::new(1, 1, 0);
-        let _ = x.try_push(5, 0, 1, 1);
+        let err = x.try_push(5, 0, 7, 1).unwrap_err();
+        assert_eq!(
+            err.kind,
+            PushErrorKind::BadSourcePort { port: 5, inputs: 1 }
+        );
+        assert_eq!(err.payload, 7);
+        assert!(!err.is_back_pressure());
+        assert!(err.to_string().contains("source port 5"));
+
+        let err = x.try_push(0, 9, 8, 1).unwrap_err();
+        assert_eq!(
+            err.kind,
+            PushErrorKind::BadDestPort {
+                port: 9,
+                outputs: 1
+            }
+        );
+        assert!(err.to_string().contains("destination port 9"));
+        // Probing a bad port is not a panic either.
+        assert!(!x.can_accept(9));
+        assert_eq!(x.queued_len(9), 0);
     }
 
     #[test]
-    #[should_panic(expected = "at least one flit")]
-    fn zero_flits_panics() {
+    fn zero_flits_returns_typed_error() {
         let mut x: Crossbar<u32> = Crossbar::new(1, 1, 0);
-        let _ = x.try_push(0, 0, 1, 0);
+        let err = x.try_push(0, 0, 1, 0).unwrap_err();
+        assert_eq!(err.kind, PushErrorKind::ZeroFlits);
+        assert!(err.to_string().contains("at least one flit"));
+    }
+
+    #[test]
+    fn in_flight_sees_queued_and_delivered() {
+        let mut x: Crossbar<u32> = Crossbar::new(2, 2, 0);
+        x.try_push(0, 0, 10, 1).unwrap();
+        x.try_push(1, 1, 11, 2).unwrap();
+        assert_eq!(x.in_flight().count(), 2);
+        x.cycle(); // 10 delivered, 11 still has a flit left
+        let mut seen: Vec<u32> = x.in_flight().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![10, 11]);
+        assert_eq!(x.pop(0), Some(10));
+        assert_eq!(x.in_flight().count(), 1);
     }
 }

@@ -33,7 +33,7 @@ pub mod mdcache;
 pub use cache::{AccessOutcome, Cache, CacheGeometry, Eviction, Mshr};
 pub use dram::{DramChannel, DramConfig, DramRequest, DramStats};
 pub use func::{CompressionMap, FuncMem};
-pub use icnt::{Crossbar, Flit};
+pub use icnt::{Crossbar, Flit, PushError, PushErrorKind};
 pub use mdcache::MdCache;
 
 /// Cache line size used throughout the hierarchy (bytes).

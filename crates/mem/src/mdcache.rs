@@ -45,7 +45,9 @@ impl MdCache {
 
     /// Creates an MD cache with custom geometry (for sensitivity studies).
     pub fn with_geometry(geo: CacheGeometry) -> Self {
-        MdCache { cache: Cache::new(geo) }
+        MdCache {
+            cache: Cache::new(geo),
+        }
     }
 
     /// Metadata block address covering data line `line_addr`.

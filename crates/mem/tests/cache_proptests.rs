@@ -1,9 +1,11 @@
 //! Property tests on the cache: under arbitrary access/fill sequences the
 //! set invariants hold — tag budget, byte budget, and no duplicate tags —
-//! in both conventional and compressed (tag-multiplied) modes.
+//! in both conventional and compressed (tag-multiplied) modes. Driven by
+//! the in-repo deterministic property harness (`caba_stats::prop`).
 
 use caba_mem::{Cache, CacheGeometry, Mshr, LINE_SIZE};
-use proptest::prelude::*;
+use caba_stats::prop;
+use caba_stats::Rng64;
 use std::collections::HashSet;
 
 #[derive(Debug, Clone)]
@@ -13,81 +15,86 @@ enum Step {
     Invalidate(u64),
 }
 
-fn step_strategy() -> impl Strategy<Value = Step> {
-    let addr = 0u64..64; // line indices; multiplied to addresses below
-    prop_oneof![
-        (addr.clone(), any::<bool>()).prop_map(|(a, d)| Step::Access(a * 128, d)),
-        (addr.clone(), any::<bool>(), 1usize..=LINE_SIZE)
-            .prop_map(|(a, d, s)| Step::Fill(a * 128, d, s)),
-        addr.prop_map(|a| Step::Invalidate(a * 128)),
-    ]
+fn random_step(rng: &mut Rng64) -> Step {
+    let addr = rng.range_u64(64) * 128;
+    match rng.range_u64(3) {
+        0 => Step::Access(addr, rng.chance(0.5)),
+        1 => Step::Fill(
+            addr,
+            rng.chance(0.5),
+            1 + rng.range_u64(LINE_SIZE as u64) as usize,
+        ),
+        _ => Step::Invalidate(addr),
+    }
 }
 
-proptest! {
-    #[test]
-    fn cache_invariants_hold(
-        tag_factor in 1usize..=4,
-        steps in proptest::collection::vec(step_strategy(), 1..200),
-    ) {
+#[test]
+fn cache_invariants_hold() {
+    prop::check(0xCACE, 128, |rng| {
+        let tag_factor = 1 + rng.range_u64(4) as usize;
+        let nsteps = 1 + rng.range_u64(199) as usize;
         let geo = CacheGeometry::new(1024, 2, LINE_SIZE).with_tag_factor(tag_factor);
         let mut c = Cache::new(geo);
         let mut resident: HashSet<u64> = HashSet::new();
-        for step in steps {
-            match step {
+        for _ in 0..nsteps {
+            match random_step(rng) {
                 Step::Access(a, d) => {
                     let hit = c.access(a, d) == caba_mem::AccessOutcome::Hit;
-                    prop_assert_eq!(hit, resident.contains(&caba_mem::line_base(a)));
+                    assert_eq!(hit, resident.contains(&caba_mem::line_base(a)));
                 }
                 Step::Fill(a, d, s) => {
                     let evicted = c.fill(a, d, s);
                     resident.insert(caba_mem::line_base(a));
                     for e in evicted {
-                        prop_assert!(resident.remove(&e.addr), "evicted non-resident {:#x}", e.addr);
+                        assert!(
+                            resident.remove(&e.addr),
+                            "evicted non-resident {:#x}",
+                            e.addr
+                        );
                     }
                 }
                 Step::Invalidate(a) => {
                     let was = c.invalidate(a).is_some();
-                    prop_assert_eq!(was, resident.remove(&caba_mem::line_base(a)));
+                    assert_eq!(was, resident.remove(&caba_mem::line_base(a)));
                 }
             }
             // Tag budget: never more lines than tags across the cache.
-            prop_assert!(
+            assert!(
                 c.resident_lines() <= geo.sets() * geo.tags_per_set(),
                 "resident {} exceeds tag budget",
                 c.resident_lines()
             );
-            prop_assert_eq!(c.resident_lines(), resident.len());
+            assert_eq!(c.resident_lines(), resident.len());
         }
-    }
+    });
+}
 
-    #[test]
-    fn mshr_waiters_never_lost(
-        allocs in proptest::collection::vec((0u64..16, 0u32..1000), 1..100),
-    ) {
+#[test]
+fn mshr_waiters_never_lost() {
+    prop::check(0x358A, 128, |rng| {
+        let nallocs = 1 + rng.range_u64(99) as usize;
         let mut m: Mshr<u32> = Mshr::new(4);
         let mut expected: std::collections::HashMap<u64, Vec<u32>> = Default::default();
-        let mut rejected = 0usize;
-        for (line, w) in allocs {
-            let addr = line * 128;
+        for _ in 0..nallocs {
+            let addr = rng.range_u64(16) * 128;
+            let w = rng.range_u64(1000) as u32;
             match m.allocate(addr, w) {
                 Ok(_) => expected.entry(addr).or_default().push(w),
-                Err(back) => {
-                    prop_assert_eq!(back, w);
-                    rejected += 1;
-                }
+                Err(back) => assert_eq!(back, w),
             }
         }
-        prop_assert!(m.outstanding() <= 4);
-        let mut drained = 0usize;
+        assert!(m.outstanding() <= 4);
+        // The audit iterator sees exactly the outstanding lines.
+        let seen: HashSet<u64> = m.iter().map(|(a, _)| a).collect();
+        let want: HashSet<u64> = expected.keys().copied().collect();
+        assert_eq!(seen, want);
         for (addr, ws) in expected {
             let mut got = m.complete(addr);
             got.sort_unstable();
             let mut want = ws.clone();
             want.sort_unstable();
-            prop_assert_eq!(got, want);
-            drained += 1;
+            assert_eq!(got, want);
         }
-        prop_assert_eq!(m.outstanding(), 0);
-        let _ = (drained, rejected);
-    }
+        assert_eq!(m.outstanding(), 0);
+    });
 }

@@ -255,9 +255,7 @@ mod tests {
         // No override: reference size (< 128).
         let s = store.stored_size(&mem, Some(&mut cmap), 0);
         assert!(s < LINE_SIZE);
-        assert!(store
-            .stored_compressed(&mem, Some(&mut cmap), 0)
-            .is_some());
+        assert!(store.stored_compressed(&mem, Some(&mut cmap), 0).is_some());
 
         // Raw override wins.
         store.set_raw(5); // same line
@@ -273,10 +271,7 @@ mod tests {
         };
         store.set_compressed(0, c.clone());
         assert_eq!(store.stored_size(&mem, Some(&mut cmap), 0), 40);
-        assert_eq!(
-            store.stored_compressed(&mem, Some(&mut cmap), 0),
-            Some(c)
-        );
+        assert_eq!(store.stored_compressed(&mem, Some(&mut cmap), 0), Some(c));
         assert_eq!(store.overrides(), 1);
 
         store.clear(0);

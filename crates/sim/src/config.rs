@@ -1,8 +1,10 @@
 //! Simulated-system configuration (Table 1) and the evaluated design points.
 
 use crate::assist::AssistController;
+use crate::fault::FaultConfig;
 use caba_compress::Algorithm;
-use caba_mem::{CacheGeometry, DramConfig};
+use caba_mem::{CacheGeometry, DramConfig, LINE_SIZE};
+use std::fmt;
 
 /// Warp scheduling policy (Table 1 uses GTO, Rogers et al. \[68\]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,6 +83,17 @@ pub struct GpuConfig {
     /// functional truth (used by the test suite to prove the subroutines
     /// really decompress correctly).
     pub paranoid_assist_checks: bool,
+    /// Forward-progress watchdog window in cycles: if no progress counter
+    /// moves for this many consecutive cycles, `Gpu::run` aborts with
+    /// [`crate::RunError::Hang`] carrying a
+    /// [`crate::integrity::HangReport`]. 0 disables the watchdog.
+    pub watchdog_window: u64,
+    /// Run the structural invariant audits every N cycles (request
+    /// conservation, occupancy bounds, scoreboard/SIMT consistency,
+    /// compressed-line round trips). 0 disables auditing.
+    pub audit_interval: u64,
+    /// Deterministic fault injection (disabled by default).
+    pub fault: FaultConfig,
 }
 
 impl GpuConfig {
@@ -114,6 +127,9 @@ impl GpuConfig {
             l1_hit_decompress_penalty: 10,
             md_cache_enabled: true,
             paranoid_assist_checks: cfg!(debug_assertions),
+            watchdog_window: 100_000,
+            audit_interval: 0,
+            fault: FaultConfig::disabled(),
         }
     }
 
@@ -164,7 +180,185 @@ impl GpuConfig {
     pub fn threads_per_sm(&self) -> u32 {
         (self.warps_per_sm * caba_isa::WARP_SIZE) as u32
     }
+
+    /// Checks the configuration for mistakes that would otherwise surface
+    /// as panics or wedged machines deep inside a run. Called by
+    /// [`crate::Gpu::new`], so a bad sensitivity-sweep configuration fails
+    /// fast with a message naming the offending field.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        fn nonzero(field: &'static str, value: usize) -> Result<(), ConfigError> {
+            if value == 0 {
+                Err(ConfigError::Zero { field })
+            } else {
+                Ok(())
+            }
+        }
+        nonzero("num_sms", self.num_sms)?;
+        nonzero("num_channels", self.num_channels)?;
+        nonzero("warps_per_sm", self.warps_per_sm)?;
+        nonzero("max_blocks_per_sm", self.max_blocks_per_sm)?;
+        nonzero("schedulers_per_sm", self.schedulers_per_sm)?;
+        nonzero("mshrs", self.mshrs)?;
+        nonzero("lsu_queue", self.lsu_queue)?;
+        nonzero("dram.banks", self.dram.banks)?;
+        nonzero("dram.queue_capacity", self.dram.queue_capacity)?;
+        for (field, geo) in [("l1", self.l1), ("l2", self.l2)] {
+            if geo.line_size != LINE_SIZE {
+                return Err(ConfigError::BadLineSize {
+                    field,
+                    line_size: geo.line_size,
+                    expected: LINE_SIZE,
+                });
+            }
+            if geo.ways == 0
+                || geo.capacity % (geo.ways * geo.line_size) != 0
+                || !geo.sets().is_power_of_two()
+            {
+                return Err(ConfigError::BadGeometry {
+                    field,
+                    capacity: geo.capacity,
+                    ways: geo.ways,
+                    line_size: geo.line_size,
+                });
+            }
+        }
+        if self.awb_low_priority_entries > self.max_assist_warps {
+            return Err(ConfigError::AwbExceedsAssistWarps {
+                awb: self.awb_low_priority_entries,
+                max: self.max_assist_warps,
+            });
+        }
+        for (field, value) in [
+            ("sp_latency", self.sp_latency),
+            ("l1_latency", self.l1_latency),
+            ("sfu_interval", self.sfu_interval),
+            ("dram.burst_cycles", self.dram.burst_cycles),
+        ] {
+            if value == 0 {
+                return Err(ConfigError::ZeroLatency { field });
+            }
+        }
+        for (field, rate) in [
+            ("fault.drop_flit_rate", self.fault.drop_flit_rate),
+            ("fault.dram_delay_rate", self.fault.dram_delay_rate),
+            ("fault.corrupt_line_rate", self.fault.corrupt_line_rate),
+        ] {
+            if !(0.0..=1.0).contains(&rate) || rate.is_nan() {
+                return Err(ConfigError::BadRate { field, rate });
+            }
+        }
+        if self.fault.enabled
+            && self.fault.dram_delay_rate > 0.0
+            && self.watchdog_window > 0
+            && self.fault.dram_delay_cycles >= self.watchdog_window
+        {
+            return Err(ConfigError::DelayExceedsWatchdog {
+                delay: self.fault.dram_delay_cycles,
+                window: self.watchdog_window,
+            });
+        }
+        Ok(())
+    }
 }
+
+/// A rejected [`GpuConfig`], naming the offending field.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// A structural count that must be at least 1 was zero.
+    Zero {
+        /// The offending field.
+        field: &'static str,
+    },
+    /// A cache geometry uses a line size other than the simulator's.
+    BadLineSize {
+        /// The offending cache.
+        field: &'static str,
+        /// Configured line size.
+        line_size: usize,
+        /// Required line size.
+        expected: usize,
+    },
+    /// A cache geometry is not line-size aligned / power-of-two sets.
+    BadGeometry {
+        /// The offending cache.
+        field: &'static str,
+        /// Configured capacity.
+        capacity: usize,
+        /// Configured associativity.
+        ways: usize,
+        /// Configured line size.
+        line_size: usize,
+    },
+    /// The low-priority AWB partition cannot exceed the assist-warp table.
+    AwbExceedsAssistWarps {
+        /// Configured AWB low-priority entries.
+        awb: usize,
+        /// Configured max assist warps.
+        max: usize,
+    },
+    /// A pipeline latency that must be at least one cycle was zero.
+    ZeroLatency {
+        /// The offending field.
+        field: &'static str,
+    },
+    /// A fault-injection rate outside `[0, 1]`.
+    BadRate {
+        /// The offending field.
+        field: &'static str,
+        /// Configured rate.
+        rate: f64,
+    },
+    /// Injected DRAM delays at least as long as the watchdog window would
+    /// make every delay look like a hang.
+    DelayExceedsWatchdog {
+        /// Configured delay.
+        delay: u64,
+        /// Configured watchdog window.
+        window: u64,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::Zero { field } => write!(f, "config field `{field}` must be non-zero"),
+            ConfigError::BadLineSize {
+                field,
+                line_size,
+                expected,
+            } => write!(
+                f,
+                "config cache `{field}` has line size {line_size}, simulator requires {expected}"
+            ),
+            ConfigError::BadGeometry {
+                field,
+                capacity,
+                ways,
+                line_size,
+            } => write!(
+                f,
+                "config cache `{field}` geometry {capacity}B/{ways}-way/{line_size}B lines is not \
+                 line-aligned with power-of-two sets"
+            ),
+            ConfigError::AwbExceedsAssistWarps { awb, max } => write!(
+                f,
+                "awb_low_priority_entries ({awb}) exceeds max_assist_warps ({max})"
+            ),
+            ConfigError::ZeroLatency { field } => {
+                write!(f, "config latency `{field}` must be at least 1 cycle")
+            }
+            ConfigError::BadRate { field, rate } => {
+                write!(f, "fault rate `{field}` = {rate} is outside [0, 1]")
+            }
+            ConfigError::DelayExceedsWatchdog { delay, window } => write!(
+                f,
+                "fault.dram_delay_cycles ({delay}) must be below watchdog_window ({window})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Where (and whether) data compression happens — the five design points of
 /// §6 plus the CABA variants.
@@ -227,10 +421,9 @@ impl Design {
             Design::HwMemOnly { alg } => format!("HW-{}-Mem", alg.name()),
             Design::HwFull { alg, ideal: false } => format!("HW-{}", alg.name()),
             Design::HwFull { alg, ideal: true } => format!("Ideal-{}", alg.name()),
-            Design::Caba(c) => format!(
-                "CABA-{}",
-                c.algorithm().map(|a| a.name()).unwrap_or("None")
-            ),
+            Design::Caba(c) => {
+                format!("CABA-{}", c.algorithm().map(|a| a.name()).unwrap_or("None"))
+            }
         }
     }
 }
@@ -268,6 +461,63 @@ mod tests {
         assert_eq!(c.dram.t_rrd, 6);
         assert_eq!(c.dram.t_wr, 12);
         assert_eq!(c.dram.banks, 16);
+    }
+
+    #[test]
+    fn stock_configs_validate() {
+        assert_eq!(GpuConfig::isca2015().validate(), Ok(()));
+        assert_eq!(GpuConfig::small().validate(), Ok(()));
+        assert_eq!(GpuConfig::isca2015_scaled().validate(), Ok(()));
+        assert_eq!(
+            GpuConfig::small().with_bandwidth_scale(0.5).validate(),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn validate_rejects_bad_configs() {
+        let mut c = GpuConfig::small();
+        c.num_sms = 0;
+        assert_eq!(c.validate(), Err(ConfigError::Zero { field: "num_sms" }));
+
+        let mut c = GpuConfig::small();
+        c.num_channels = 0;
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::Zero {
+                field: "num_channels"
+            })
+        );
+
+        let mut c = GpuConfig::small();
+        c.awb_low_priority_entries = c.max_assist_warps + 1;
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::AwbExceedsAssistWarps { .. })
+        ));
+
+        let mut c = GpuConfig::small();
+        c.sp_latency = 0;
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::ZeroLatency {
+                field: "sp_latency"
+            })
+        );
+
+        let mut c = GpuConfig::small();
+        c.fault.drop_flit_rate = 1.5;
+        assert!(matches!(c.validate(), Err(ConfigError::BadRate { .. })));
+
+        let mut c = GpuConfig::small();
+        c.fault = crate::fault::FaultConfig::recover(1, 0.01);
+        c.fault.dram_delay_cycles = c.watchdog_window;
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::DelayExceedsWatchdog { .. })
+        ));
+        let msg = c.validate().unwrap_err().to_string();
+        assert!(msg.contains("watchdog_window"), "message: {msg}");
     }
 
     #[test]

@@ -255,10 +255,7 @@ pub fn execute(
                     warp.set_reg(dst, l, mem.read_le(ea, k as usize));
                 }
                 push_line(&mut out.lines_read, b);
-                push_line(
-                    &mut out.lines_read,
-                    b + (WARP_SIZE as u64) * k as u64 - 1,
-                );
+                push_line(&mut out.lines_read, b + (WARP_SIZE as u64) * k as u64 - 1);
             }
             out.dst = Some(dst);
             warp.advance_pc();
@@ -526,7 +523,7 @@ mod tests {
     }
 
     #[test]
-    fn vote_all_is_warp_wide_and(){
+    fn vote_all_is_warp_wide_and() {
         let mut w = Warp::new(1, FULL_MASK);
         let mut m = FuncMem::new();
         let c = ctx(&[]);

@@ -1,14 +1,18 @@
-//! The whole-GPU model: SMs, two crossbars, memory partitions, and the CTA
-//! dispatcher.
+//! The whole-GPU model: SMs, two crossbars, memory partitions, the CTA
+//! dispatcher, and the simulation integrity layer (forward-progress
+//! watchdog, structural invariant audits, hang forensics).
 
 use crate::assist::LineStore;
-use crate::config::{Design, GpuConfig};
+use crate::config::{ConfigError, Design, GpuConfig};
+use crate::fault::{stream, FaultInjector, FaultMode};
+use crate::integrity::{Component, HangReport, Violation};
 use crate::mempart::{PartReq, PartResp, Partition, SizeOracle};
 use crate::sm::{SharedState, Sm};
 use crate::stats::RunStats;
 use crate::trace::{ActivityTrace, Sample, Tracer};
 use caba_isa::Kernel;
 use caba_mem::{CompressionMap, Crossbar, FuncMem, LINE_SIZE};
+use std::collections::HashMap;
 use std::fmt;
 
 /// Error returned by [`Gpu::run`].
@@ -18,20 +22,90 @@ pub enum RunError {
     Timeout {
         /// Cycles simulated before giving up.
         cycles: u64,
+        /// Machine state at the moment the budget ran out.
+        report: Box<HangReport>,
     },
+    /// The forward-progress watchdog saw no counter advance for a full
+    /// window — the machine is wedged (usually a barrier deadlock or a lost
+    /// request).
+    Hang {
+        /// Cycles simulated before the hang was declared.
+        cycles: u64,
+        /// The watchdog window that elapsed without progress.
+        window: u64,
+        /// Machine state at the moment the hang was declared.
+        report: Box<HangReport>,
+    },
+    /// A structural invariant audit found violations.
+    AuditFailed {
+        /// Cycle the audit ran.
+        cycle: u64,
+        /// Every violation found, each naming the faulting component.
+        violations: Vec<Violation>,
+    },
+}
+
+impl RunError {
+    /// The attached machine-state snapshot, when the failure carries one.
+    pub fn report(&self) -> Option<&HangReport> {
+        match self {
+            RunError::Timeout { report, .. } | RunError::Hang { report, .. } => Some(report),
+            RunError::AuditFailed { .. } => None,
+        }
+    }
 }
 
 impl fmt::Display for RunError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            RunError::Timeout { cycles } => {
-                write!(f, "kernel did not complete within {cycles} cycles")
+            RunError::Timeout { cycles, report } => {
+                writeln!(f, "kernel did not complete within {cycles} cycles")?;
+                write!(f, "{report}")
+            }
+            RunError::Hang {
+                cycles,
+                window,
+                report,
+            } => {
+                writeln!(
+                    f,
+                    "no forward progress for {window} cycles (aborted at cycle {cycles})"
+                )?;
+                write!(f, "{report}")
+            }
+            RunError::AuditFailed { cycle, violations } => {
+                writeln!(
+                    f,
+                    "invariant audit at cycle {cycle} found {} violation(s):",
+                    violations.len()
+                )?;
+                for v in violations {
+                    writeln!(f, "  {v}")?;
+                }
+                Ok(())
             }
         }
     }
 }
 
 impl std::error::Error for RunError {}
+
+/// Where an in-flight read currently is, per the request ledger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Stage {
+    /// Between the SM and the partition (inside the request crossbar).
+    RequestXbar,
+    /// Inside the memory partition (queues, MSHRs, DRAM).
+    Partition,
+    /// Between the partition and the SM (inside the response crossbar).
+    ResponseXbar,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LedgerEntry {
+    issued_at: u64,
+    stage: Stage,
+}
 
 /// The simulated GPU.
 #[derive(Debug)]
@@ -47,21 +121,43 @@ pub struct Gpu {
     xbar_rsp: Crossbar<PartResp>,
     now: u64,
     tracer: Option<Tracer>,
+    /// Every in-flight read, keyed by `(sm, line)`, with the stage the GPU
+    /// last moved it into. The invariant audit checks that the recorded
+    /// stage actually carries each request.
+    ledger: HashMap<(usize, u64), LedgerEntry>,
+    xbar_injector: FaultInjector,
+    audits_run: u64,
+    flits_dropped: u64,
+    flit_retransmissions: u64,
 }
 
 impl Gpu {
     /// Builds a GPU for one design point.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cfg` is inconsistent; use [`Gpu::try_new`] to handle
+    /// [`ConfigError`] instead.
     pub fn new(cfg: GpuConfig, design: Design) -> Self {
-        let cmap = design
-            .mem_compressed()
-            .then(|| match &design {
-                Design::Caba(c) => CompressionMap::new(c.selector()),
-                d => CompressionMap::new(caba_mem::func::LineCompressor::Fixed(
-                    d.algorithm().expect("compressed design has an algorithm"),
-                )),
-            });
+        Self::try_new(cfg, design).unwrap_or_else(|e| panic!("invalid GpuConfig: {e}"))
+    }
+
+    /// Builds a GPU for one design point, validating the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] found by
+    /// [`GpuConfig::validate`].
+    pub fn try_new(cfg: GpuConfig, design: Design) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        let cmap = design.mem_compressed().then(|| match &design {
+            Design::Caba(c) => CompressionMap::new(c.selector()),
+            d => CompressionMap::new(caba_mem::func::LineCompressor::Fixed(
+                d.algorithm().expect("compressed design has an algorithm"),
+            )),
+        });
         let with_md = design.mem_compressed();
-        Gpu {
+        Ok(Gpu {
             cfg,
             mem: FuncMem::new(),
             cmap,
@@ -75,7 +171,12 @@ impl Gpu {
             now: 0,
             tracer: None,
             design,
-        }
+            ledger: HashMap::new(),
+            xbar_injector: FaultInjector::for_stream(cfg.fault, stream::CROSSBAR),
+            audits_run: 0,
+            flits_dropped: 0,
+            flit_retransmissions: 0,
+        })
     }
 
     /// Enables activity tracing: every `interval` cycles a [`Sample`] of
@@ -150,12 +251,141 @@ impl Gpu {
         &self.design
     }
 
+    /// A value that changes whenever any part of the machine makes forward
+    /// progress. Built from monotone counters only, so an unchanged value
+    /// over a whole watchdog window proves the machine is wedged.
+    fn progress_signature(&self) -> u64 {
+        let mut sig = 0u64;
+        for sm in &self.sms {
+            sig = sig.wrapping_add(sm.progress_signature());
+        }
+        for p in &self.parts {
+            let d = p.dram_stats();
+            sig = sig
+                .wrapping_add(p.l2_hits())
+                .wrapping_add(p.l2_misses())
+                .wrapping_add(d.bursts)
+                .wrapping_add(d.reads)
+                .wrapping_add(d.writes);
+        }
+        sig.wrapping_add(self.xbar_fwd.total_flits())
+            .wrapping_add(self.xbar_rsp.total_flits())
+    }
+
+    /// Runs the full structural invariant audit.
+    fn audit(&self, cycle: u64) -> Vec<Violation> {
+        let mut out = Vec::new();
+
+        // Request conservation: the stage the ledger last moved each read
+        // into must actually carry it.
+        let mut entries: Vec<(&(usize, u64), &LedgerEntry)> = self.ledger.iter().collect();
+        entries.sort_by_key(|(&k, _)| k);
+        for (&(sm, line), entry) in entries {
+            let (carried, component) = match entry.stage {
+                Stage::RequestXbar => (
+                    self.xbar_fwd
+                        .in_flight()
+                        .any(|r| !r.is_write && r.sm == sm && r.addr == line),
+                    Component::CrossbarRequest,
+                ),
+                Stage::Partition => {
+                    let dst = ((line / LINE_SIZE as u64) % self.parts.len() as u64) as usize;
+                    (
+                        self.parts[dst].carries_read(sm, line),
+                        Component::Partition(dst),
+                    )
+                }
+                Stage::ResponseXbar => (
+                    self.xbar_rsp
+                        .in_flight()
+                        .any(|r| r.sm == sm && r.addr == line),
+                    Component::CrossbarResponse,
+                ),
+            };
+            if !carried {
+                out.push(Violation {
+                    cycle,
+                    component,
+                    detail: format!(
+                        "read of line {line:#x} for SM {sm} (issued cycle {}) vanished",
+                        entry.issued_at
+                    ),
+                });
+            }
+        }
+
+        // SM-side conservation: every outstanding L1 MSHR line must still
+        // have a carrier (queued at the SM or in the ledger).
+        for sm in &self.sms {
+            for line in sm.mshr_lines() {
+                if !sm.has_out_req(line) && !self.ledger.contains_key(&(sm.id(), line)) {
+                    out.push(Violation {
+                        cycle,
+                        component: Component::Sm(sm.id()),
+                        detail: format!(
+                            "L1 MSHR waits on line {line:#x} but no request is in flight"
+                        ),
+                    });
+                }
+            }
+        }
+
+        // Occupancy bounds and scoreboard/SIMT consistency.
+        for sm in &self.sms {
+            sm.audit_into(cycle, &mut out);
+        }
+        for p in &self.parts {
+            p.audit_into(cycle, &mut out);
+        }
+
+        // Compressed-line round-trip verification.
+        if let Some(cmap) = &self.cmap {
+            for addr in cmap.audit_round_trips(&self.mem, 0) {
+                out.push(Violation {
+                    cycle,
+                    component: Component::CompressionMap,
+                    detail: format!(
+                        "cached compressed form of line {addr:#x} no longer round-trips"
+                    ),
+                });
+            }
+        }
+        out
+    }
+
+    /// Builds the forensic snapshot attached to timeout/hang errors.
+    fn hang_report(&self, kernel: &Kernel, ctas_dispatched: u32, grid: u32) -> HangReport {
+        HangReport {
+            cycle: self.now,
+            window: self.cfg.watchdog_window,
+            ctas_dispatched: ctas_dispatched as usize,
+            grid_ctas: grid as usize,
+            sms: self
+                .sms
+                .iter()
+                .map(|s| s.snapshot(self.now, kernel))
+                .collect(),
+            partitions: self.parts.iter().map(|p| p.snapshot()).collect(),
+            xbar_fwd_in_flight: self.xbar_fwd.in_flight().count(),
+            xbar_rsp_in_flight: self.xbar_rsp.in_flight().count(),
+            oldest_request: self
+                .ledger
+                .iter()
+                .map(|(&(sm, line), e)| (self.now.saturating_sub(e.issued_at), sm, line))
+                .max_by_key(|&(age, sm, line)| (age, sm, line)),
+        }
+    }
+
     /// Runs `kernel` to completion (or `max_cycles`).
     ///
     /// # Errors
     ///
-    /// Returns [`RunError::Timeout`] when the cycle budget is exhausted —
-    /// usually a sign of a kernel that deadlocks on a barrier.
+    /// * [`RunError::Timeout`] — the cycle budget ran out.
+    /// * [`RunError::Hang`] — the forward-progress watchdog
+    ///   ([`GpuConfig::watchdog_window`]) saw no progress for a full window;
+    ///   the attached [`HangReport`] names every stalled warp and queue.
+    /// * [`RunError::AuditFailed`] — a structural invariant audit
+    ///   ([`GpuConfig::audit_interval`]) found violations.
     pub fn run(&mut self, kernel: &Kernel, max_cycles: u64) -> Result<RunStats, RunError> {
         let extra_regs = match &self.design {
             Design::Caba(c) => c.extra_regs_per_thread(),
@@ -164,11 +394,16 @@ impl Gpu {
         let grid = kernel.dims().grid_dim;
         let mut next_cta: u32 = 0;
         let start = self.now;
+        let mut last_sig = self.progress_signature();
+        let mut last_progress = start;
 
         loop {
             let now = self.now;
             if now - start >= max_cycles {
-                return Err(RunError::Timeout { cycles: max_cycles });
+                return Err(RunError::Timeout {
+                    cycles: max_cycles,
+                    report: Box::new(self.hang_report(kernel, next_cta, grid)),
+                });
             }
 
             // 1. CTA dispatch (round-robin over SMs).
@@ -200,26 +435,63 @@ impl Gpu {
             }
 
             // 3. Drain SM requests into the forward crossbar (one per SM per
-            //    cycle).
+            //    cycle). Reads enter the request ledger here.
             for (i, sm) in self.sms.iter_mut().enumerate() {
-                if let Some(req) = sm.peek_request().copied() {
-                    let dst = ((req.addr / LINE_SIZE as u64)
-                        % self.cfg.num_channels as u64) as usize;
-                    if self.xbar_fwd.can_accept(dst) {
-                        let req = sm.pop_request().expect("peeked");
-                        self.xbar_fwd
-                            .try_push(
-                                i,
-                                dst,
-                                PartReq {
-                                    sm: i,
-                                    addr: req.addr,
-                                    is_write: req.is_write,
-                                },
-                                req.flits,
-                            )
-                            .expect("checked can_accept");
+                let Some(req) = sm.peek_request().copied() else {
+                    continue;
+                };
+                let dst = ((req.addr / LINE_SIZE as u64) % self.cfg.num_channels as u64) as usize;
+                if !self.xbar_fwd.can_accept(dst) {
+                    continue;
+                }
+                if self.xbar_injector.drop_packet() {
+                    self.flits_dropped += 1;
+                    match self.xbar_injector.mode() {
+                        FaultMode::Recover => {
+                            // Link-level retransmission: the packet stays
+                            // queued at the SM and re-enters arbitration.
+                            self.flit_retransmissions += 1;
+                        }
+                        FaultMode::Silent => {
+                            let req = sm.pop_request().expect("peeked");
+                            if !req.is_write {
+                                // The SM believes the read is in flight; the
+                                // conservation audit must notice it is not.
+                                self.ledger.insert(
+                                    (i, req.addr),
+                                    LedgerEntry {
+                                        issued_at: now,
+                                        stage: Stage::RequestXbar,
+                                    },
+                                );
+                            }
+                        }
                     }
+                    continue;
+                }
+                let req = sm.pop_request().expect("peeked");
+                if let Err(e) = self.xbar_fwd.try_push(
+                    i,
+                    dst,
+                    PartReq {
+                        sm: i,
+                        addr: req.addr,
+                        is_write: req.is_write,
+                    },
+                    req.flits,
+                ) {
+                    debug_assert!(e.is_back_pressure(), "unexpected push error: {e}");
+                    sm.push_request_front(req);
+                    continue;
+                }
+                if !req.is_write {
+                    self.ledger.insert(
+                        (i, req.addr),
+                        LedgerEntry {
+                            issued_at: now,
+                            stage: Stage::RequestXbar,
+                        },
+                    );
                 }
             }
 
@@ -228,6 +500,11 @@ impl Gpu {
             for (p, part) in self.parts.iter_mut().enumerate() {
                 if part.can_accept() {
                     if let Some(req) = self.xbar_fwd.pop(p) {
+                        if !req.is_write {
+                            if let Some(e) = self.ledger.get_mut(&(req.sm, req.addr)) {
+                                e.stage = Stage::Partition;
+                            }
+                        }
                         part.push(req);
                     }
                 }
@@ -247,16 +524,37 @@ impl Gpu {
 
             // 6. Partition responses → response crossbar.
             for (p, part) in self.parts.iter_mut().enumerate() {
-                if let Some(resp) = part.pop_response() {
-                    if self.xbar_rsp.can_accept(resp.sm) {
-                        self.xbar_rsp
-                            .try_push(p, resp.sm, resp, resp.flits)
-                            .expect("checked can_accept");
-                    } else {
-                        // Hold the response by re-queueing it in the
-                        // partition (back-pressure).
-                        part.push_response_front(resp);
+                let Some(resp) = part.pop_response() else {
+                    continue;
+                };
+                if !self.xbar_rsp.can_accept(resp.sm) {
+                    // Back-pressure: hold the response in the partition.
+                    part.push_response_front(resp);
+                    continue;
+                }
+                if self.xbar_injector.drop_packet() {
+                    self.flits_dropped += 1;
+                    match self.xbar_injector.mode() {
+                        FaultMode::Recover => {
+                            self.flit_retransmissions += 1;
+                            part.push_response_front(resp);
+                        }
+                        FaultMode::Silent => {
+                            // The response vanishes at the crossbar port.
+                            if let Some(e) = self.ledger.get_mut(&(resp.sm, resp.addr)) {
+                                e.stage = Stage::ResponseXbar;
+                            }
+                        }
                     }
+                    continue;
+                }
+                if let Some(e) = self.ledger.get_mut(&(resp.sm, resp.addr)) {
+                    e.stage = Stage::ResponseXbar;
+                }
+                let (src, dst, flits) = (p, resp.sm, resp.flits);
+                if let Err(e) = self.xbar_rsp.try_push(src, dst, resp, flits) {
+                    debug_assert!(e.is_back_pressure(), "unexpected push error: {e}");
+                    part.push_response_front(e.payload);
                 }
             }
 
@@ -264,6 +562,7 @@ impl Gpu {
             self.xbar_rsp.cycle();
             for (i, sm) in self.sms.iter_mut().enumerate() {
                 while let Some(resp) = self.xbar_rsp.pop(i) {
+                    self.ledger.remove(&(i, resp.addr));
                     let mut shared = SharedState {
                         mem: &mut self.mem,
                         cmap: self.cmap.as_mut(),
@@ -276,6 +575,35 @@ impl Gpu {
 
             self.now += 1;
             self.trace_tick();
+
+            // Forward-progress watchdog.
+            if self.cfg.watchdog_window > 0 {
+                let sig = self.progress_signature();
+                if sig != last_sig {
+                    last_sig = sig;
+                    last_progress = self.now;
+                } else if self.now - last_progress >= self.cfg.watchdog_window {
+                    return Err(RunError::Hang {
+                        cycles: self.now - start,
+                        window: self.cfg.watchdog_window,
+                        report: Box::new(self.hang_report(kernel, next_cta, grid)),
+                    });
+                }
+            }
+
+            // Structural invariant audits.
+            if self.cfg.audit_interval > 0
+                && (self.now - start).is_multiple_of(self.cfg.audit_interval)
+            {
+                self.audits_run += 1;
+                let violations = self.audit(self.now);
+                if !violations.is_empty() {
+                    return Err(RunError::AuditFailed {
+                        cycle: self.now,
+                        violations,
+                    });
+                }
+            }
 
             // 8. Completion check.
             if next_cta >= grid
@@ -328,8 +656,12 @@ impl Gpu {
             stats.l2_misses += part.l2_misses();
             stats.md_lookups += part.md_lookups();
             stats.md_misses += part.md_misses();
+            stats.dram_delay_faults += part.delay_faults();
         }
         stats.icnt_flits = self.xbar_fwd.total_flits() + self.xbar_rsp.total_flits();
+        stats.audits_run = self.audits_run;
+        stats.flits_dropped = self.flits_dropped;
+        stats.flit_retransmissions = self.flit_retransmissions;
         stats
     }
 }

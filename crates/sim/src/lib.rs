@@ -16,6 +16,11 @@
 //!   completion and reports [`RunStats`].
 //! * [`Design`] — the evaluated design points of §6: `Base`, `HW-BDI-Mem`,
 //!   `HW-BDI`, `CABA-*` (via an [`AssistController`]), `Ideal-*`.
+//! * [`integrity`]/[`fault`] — the simulation integrity layer: a
+//!   forward-progress watchdog and structural invariant audits turn wedges
+//!   and lost requests into typed [`RunError`]s with a [`HangReport`], and
+//!   seeded fault injection ([`FaultConfig`]) proves the audits catch what
+//!   they claim to.
 //!
 //! Execution is *functional-at-issue*: instruction values (including loaded
 //! data) are computed against the functional memory when the instruction
@@ -50,7 +55,9 @@
 pub mod assist;
 pub mod config;
 pub mod exec;
+pub mod fault;
 pub mod gpu;
+pub mod integrity;
 pub mod lsu;
 pub mod mempart;
 pub mod occupancy;
@@ -63,8 +70,12 @@ pub use assist::{
     AssistController, AssistLaunch, AssistOutcome, AssistPriority, FillAction, FillInfo,
     SmServices, StoreAction, StoreInfo,
 };
-pub use config::{Design, GpuConfig, SchedulerPolicy};
+pub use config::{ConfigError, Design, GpuConfig, SchedulerPolicy};
+pub use fault::{FaultConfig, FaultInjector, FaultMode};
 pub use gpu::{Gpu, RunError};
+pub use integrity::{
+    Component, HangReport, PartitionSnapshot, SmSnapshot, Violation, WarpSnapshot, WarpState,
+};
 pub use occupancy::OccupancyInfo;
 pub use sm::Sm;
 pub use stats::RunStats;

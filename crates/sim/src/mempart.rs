@@ -2,6 +2,8 @@
 //! channel (the paper's 6 MCs each pair an L2 slice with a channel).
 
 use crate::config::GpuConfig;
+use crate::fault::{stream, FaultInjector};
+use crate::integrity::{Component, PartitionSnapshot, Violation};
 use caba_mem::{
     AccessOutcome, Cache, CompressionMap, DramChannel, DramRequest, FuncMem, MdCache, Mshr,
     LINE_SIZE,
@@ -98,6 +100,11 @@ pub struct Partition {
     resp_out: VecDeque<PartResp>,
     dram_retry: VecDeque<DramRequest>,
     next_req_id: u64,
+    injector: FaultInjector,
+    /// Fault-delayed DRAM requests: (release cycle, request).
+    delayed: Vec<(u64, DramRequest)>,
+    now: u64,
+    delay_faults: u64,
 }
 
 /// Request-id tag marking metadata-fetch DRAM accesses.
@@ -120,6 +127,10 @@ impl Partition {
             resp_out: VecDeque::new(),
             dram_retry: VecDeque::new(),
             next_req_id: 0,
+            injector: FaultInjector::for_stream(cfg.fault, stream::PARTITION_BASE + id as u64),
+            delayed: Vec::new(),
+            now: 0,
+            delay_faults: 0,
         }
     }
 
@@ -155,11 +166,20 @@ impl Partition {
             && self.pending_resp.is_empty()
             && self.resp_out.is_empty()
             && self.dram_retry.is_empty()
+            && self.delayed.is_empty()
             && self.mshr.outstanding() == 0
             && self.dram.idle()
     }
 
     fn push_dram(&mut self, req: DramRequest) {
+        if let Some(hold) = self.injector.delay_dram() {
+            // Fault injection: hold the request before it reaches the
+            // channel, modeling a delayed DRAM response. Recoverable by
+            // construction — the request is only late, never lost.
+            self.delay_faults += 1;
+            self.delayed.push((self.now + hold, req));
+            return;
+        }
         if let Err(r) = self.dram.push(req) {
             self.dram_retry.push_back(r);
         }
@@ -187,6 +207,20 @@ impl Partition {
 
     /// Advances the partition one cycle.
     pub fn cycle(&mut self, now: u64, oracle: &mut SizeOracle<'_>) {
+        self.now = now;
+
+        // Release fault-delayed requests whose hold expired (into the retry
+        // queue so channel back-pressure still applies; no re-delay draw).
+        let mut i = 0;
+        while i < self.delayed.len() {
+            if self.delayed[i].0 <= now {
+                let (_, req) = self.delayed.swap_remove(i);
+                self.dram_retry.push_back(req);
+            } else {
+                i += 1;
+            }
+        }
+
         // Retry DRAM pushes rejected by a full queue.
         while let Some(r) = self.dram_retry.pop_front() {
             if let Err(r) = self.dram.push(r) {
@@ -320,6 +354,74 @@ impl Partition {
     /// DRAM channel statistics.
     pub fn dram_stats(&self) -> caba_mem::DramStats {
         self.dram.stats()
+    }
+
+    /// DRAM requests held back by fault injection so far.
+    pub fn delay_faults(&self) -> u64 {
+        self.delay_faults
+    }
+
+    /// True when this partition currently carries an in-flight read for
+    /// `(sm, line)` — in the incoming queue, an MSHR entry with that SM as a
+    /// waiter, a latency-pending L2 hit, or the response queue. Used by the
+    /// request-conservation audit.
+    pub fn carries_read(&self, sm: usize, line: u64) -> bool {
+        self.incoming
+            .iter()
+            .any(|r| !r.is_write && r.sm == sm && r.addr == line)
+            || self
+                .mshr
+                .iter()
+                .any(|(addr, waiters)| addr == line && waiters.contains(&sm))
+            || self
+                .pending_resp
+                .iter()
+                .any(|(_, r)| r.sm == sm && r.addr == line)
+            || self.resp_out.iter().any(|r| r.sm == sm && r.addr == line)
+    }
+
+    /// Checks this partition's occupancy-bound invariants.
+    pub fn audit_into(&self, cycle: u64, out: &mut Vec<Violation>) {
+        if self.mshr.outstanding() > self.mshr.capacity() {
+            out.push(Violation {
+                cycle,
+                component: Component::Partition(self.id),
+                detail: format!(
+                    "L2 MSHR occupancy {} exceeds capacity {}",
+                    self.mshr.outstanding(),
+                    self.mshr.capacity()
+                ),
+            });
+        }
+        if self.incoming.len() > 16 {
+            out.push(Violation {
+                cycle,
+                component: Component::Partition(self.id),
+                detail: format!(
+                    "incoming queue holds {} requests (bound 16)",
+                    self.incoming.len()
+                ),
+            });
+        }
+    }
+
+    /// Occupancy snapshot for hang forensics.
+    pub fn snapshot(&self) -> PartitionSnapshot {
+        let d = self.dram.stats();
+        PartitionSnapshot {
+            id: self.id,
+            incoming: self.incoming.len(),
+            mshr_outstanding: self.mshr.outstanding(),
+            mshr_capacity: self.mshr.capacity(),
+            resp_out: self.resp_out.len(),
+            pending_resp: self.pending_resp.len(),
+            dram_idle: self.dram.idle(),
+            dram_reads: d.reads,
+            dram_writes: d.writes,
+            md_lookups: self.md_lookups(),
+            md_misses: self.md_misses(),
+            delayed_requests: self.delayed.len(),
+        }
     }
 }
 

@@ -8,6 +8,8 @@ use crate::assist::{
 };
 use crate::config::{Design, GpuConfig, SchedulerPolicy};
 use crate::exec::{execute, ThreadCtx};
+use crate::fault::{stream, FaultInjector, FaultMode};
+use crate::integrity::{Component, SmSnapshot, Violation, WarpSnapshot, WarpState};
 use crate::lsu::{LineOp, LineOpKind, Lsu, WarpRef};
 use crate::warp::Warp;
 use caba_isa::{FuClass, Instr, Kernel, Op, Program, Reg, Space, WARP_SIZE};
@@ -125,6 +127,7 @@ pub struct Sm {
     used_regs: u32,
     used_shared: u32,
     age_seq: u64,
+    injector: FaultInjector,
     // statistics
     breakdown: IssueBreakdown,
     app_instructions: u64,
@@ -135,6 +138,9 @@ pub struct Sm {
     store_buffer_overflows: u64,
     lines_compressed: u64,
     lines_decompressed: u64,
+    lines_corrupted: u64,
+    corruptions_detected: u64,
+    corruption_refetches: u64,
 }
 
 impl std::fmt::Debug for Sm {
@@ -172,6 +178,7 @@ impl Sm {
             used_regs: 0,
             used_shared: 0,
             age_seq: 0,
+            injector: FaultInjector::for_stream(cfg.fault, stream::SM_BASE + id as u64),
             breakdown: IssueBreakdown::new(),
             app_instructions: 0,
             assist_instructions: 0,
@@ -181,6 +188,9 @@ impl Sm {
             store_buffer_overflows: 0,
             lines_compressed: 0,
             lines_decompressed: 0,
+            lines_corrupted: 0,
+            corruptions_detected: 0,
+            corruption_refetches: 0,
         }
     }
 
@@ -287,6 +297,11 @@ impl Sm {
     /// Peeks the next outbound request.
     pub fn peek_request(&self) -> Option<&OutReq> {
         self.out_reqs.front()
+    }
+
+    /// Requeues a request that could not enter the interconnect.
+    pub fn push_request_front(&mut self, req: OutReq) {
+        self.out_reqs.push_front(req);
     }
 
     fn shared_base_for(&self, block_slot: usize) -> u64 {
@@ -457,6 +472,43 @@ impl Sm {
 
     /// Handles a read response arriving from the interconnect.
     pub fn handle_fill(&mut self, now: u64, addr: u64, shared: &mut SharedState<'_>) {
+        // Fault injection: a compressed line arriving at the SM may be
+        // corrupted in transit. The fill boundary runs a round-trip check
+        // (decompress and compare); in `Recover` mode a detected-corrupt
+        // line is discarded and refetched (the MSHR waiters stay parked),
+        // while `Silent` mode corrupts the cached compressed form in place
+        // so the compression-map audit must catch it.
+        if self.injector.active() {
+            let compressed = shared
+                .line_store
+                .stored_compressed(shared.mem, shared.cmap.as_deref_mut(), addr)
+                .is_some();
+            if compressed && self.injector.corrupt_fill() {
+                match self.injector.mode() {
+                    FaultMode::Recover => {
+                        self.lines_corrupted += 1;
+                        self.corruptions_detected += 1;
+                        self.corruption_refetches += 1;
+                        self.out_reqs.push_back(OutReq {
+                            addr,
+                            is_write: false,
+                            flits: 1,
+                        });
+                        return;
+                    }
+                    FaultMode::Silent => {
+                        let truth = shared.mem.read_line(addr);
+                        if let Some(line) =
+                            shared.cmap.as_deref_mut().and_then(|c| c.cached_mut(addr))
+                        {
+                            if self.injector.corrupt_line(line, &truth) {
+                                self.lines_corrupted += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
         enum Action {
             Complete(u64),
             Caba,
@@ -470,7 +522,11 @@ impl Sm {
                     .is_some();
                 if compressed {
                     self.lines_decompressed += 1;
-                    Action::Complete(if *ideal { 0 } else { alg.hw_decompress_latency() })
+                    Action::Complete(if *ideal {
+                        0
+                    } else {
+                        alg.hw_decompress_latency()
+                    })
                 } else {
                     Action::Complete(0)
                 }
@@ -489,11 +545,7 @@ impl Sm {
                     return;
                 }
                 // Find a waiting parent warp for the trigger's warp ID.
-                let parent = self
-                    .mshr
-                    .complete(addr)
-                    .into_iter()
-                    .collect::<Vec<usize>>();
+                let parent = self.mshr.complete(addr).into_iter().collect::<Vec<usize>>();
                 let parent_warp = parent
                     .first()
                     .and_then(|&t| self.tickets[t].as_ref())
@@ -921,7 +973,11 @@ impl Sm {
 
     fn mark_pending(&mut self, warp: WarpRef, reg: Reg) {
         match warp {
-            WarpRef::App(s) => self.warps[s].as_mut().expect("resident").warp.mark_pending(reg),
+            WarpRef::App(s) => self.warps[s]
+                .as_mut()
+                .expect("resident")
+                .warp
+                .mark_pending(reg),
             WarpRef::Assist(s) => self.assists[s]
                 .as_mut()
                 .expect("resident")
@@ -1020,7 +1076,9 @@ impl Sm {
             .iter()
             .enumerate()
             .filter_map(|(i, a)| a.as_ref().map(|a| (a, i)))
-            .filter(|(a, _)| a.priority == AssistPriority::High && !a.warp.done && a.parent % nsched == sched)
+            .filter(|(a, _)| {
+                a.priority == AssistPriority::High && !a.warp.done && a.parent % nsched == sched
+            })
             .map(|(a, i)| (a.age, i))
             .collect();
         his.sort_unstable();
@@ -1072,7 +1130,9 @@ impl Sm {
             .iter()
             .enumerate()
             .filter_map(|(i, a)| a.as_ref().map(|a| (a, i)))
-            .filter(|(a, _)| a.priority == AssistPriority::Low && !a.warp.done && a.parent % nsched == sched)
+            .filter(|(a, _)| {
+                a.priority == AssistPriority::Low && !a.warp.done && a.parent % nsched == sched
+            })
             .map(|(a, i)| (a.age, i))
             .collect();
         lows.sort_unstable();
@@ -1122,7 +1182,10 @@ impl Sm {
                             // data-dependence evidence.
                             verdict = Some(match (verdict, kind) {
                                 (None, k) => k,
-                                (Some(StallKind::DataDependence), k @ StallKind::MemoryStructural)
+                                (
+                                    Some(StallKind::DataDependence),
+                                    k @ StallKind::MemoryStructural,
+                                )
                                 | (
                                     Some(StallKind::DataDependence),
                                     k @ StallKind::ComputeStructural,
@@ -1196,6 +1259,170 @@ impl Sm {
         stats.store_buffer_overflows += self.store_buffer_overflows;
         stats.lines_compressed += self.lines_compressed;
         stats.lines_decompressed += self.lines_decompressed;
+        stats.lines_corrupted += self.lines_corrupted;
+        stats.corruptions_detected += self.corruptions_detected;
+        stats.corruption_refetches += self.corruption_refetches;
+    }
+
+    // ----- integrity layer --------------------------------------------------
+
+    /// A value that strictly increases whenever this SM makes forward
+    /// progress (used by the GPU watchdog).
+    pub fn progress_signature(&self) -> u64 {
+        self.app_instructions
+            .wrapping_add(self.assist_instructions)
+            .wrapping_add(self.lsu.processed())
+            .wrapping_add(self.threads_retired)
+    }
+
+    /// Lines with an outstanding L1 MSHR entry.
+    pub fn mshr_lines(&self) -> impl Iterator<Item = u64> + '_ {
+        self.mshr.iter().map(|(addr, _)| addr)
+    }
+
+    /// True when a read of `addr` is still queued toward the interconnect.
+    pub fn has_out_req(&self, addr: u64) -> bool {
+        self.out_reqs.iter().any(|r| r.addr == addr && !r.is_write)
+    }
+
+    fn classify_warp(&self, now: u64, slot: usize, program: &Program) -> WarpState {
+        let w = self.warps[slot].as_ref().expect("resident");
+        if w.warp.done {
+            return WarpState::Done;
+        }
+        if w.warp.at_barrier {
+            return WarpState::AtBarrier;
+        }
+        let Some(instr) = self.fetch_for(WarpRef::App(slot), program) else {
+            return WarpState::Ready;
+        };
+        match self.check_issue(now, WarpRef::App(slot), &instr, true) {
+            Ok(()) => WarpState::Ready,
+            Err(IssueBlock::Hazard) => WarpState::DataDependence {
+                outstanding_loads: w.warp.outstanding_loads,
+            },
+            Err(IssueBlock::MemStructural) => WarpState::MemoryStructural,
+            Err(IssueBlock::ComputeStructural) => WarpState::ComputeStructural,
+        }
+    }
+
+    /// Captures this SM's occupancy and per-warp state for a hang report.
+    pub fn snapshot(&self, now: u64, kernel: &Kernel) -> SmSnapshot {
+        let warps = self
+            .warps
+            .iter()
+            .enumerate()
+            .filter_map(|(i, w)| w.as_ref().map(|sw| (i, sw)))
+            .filter(|(_, sw)| !sw.retired)
+            .map(|(i, sw)| WarpSnapshot {
+                slot: i,
+                ctaid: sw.ctaid,
+                pc: sw.warp.pc(),
+                active_mask: sw.warp.active_mask(),
+                state: self.classify_warp(now, i, kernel.program()),
+            })
+            .collect();
+        SmSnapshot {
+            id: self.id,
+            warps,
+            mshr_outstanding: self.mshr.outstanding(),
+            mshr_capacity: self.mshr.capacity(),
+            lsu_pending: self.lsu.pending(),
+            store_buffer: self.store_buffer.len(),
+            out_reqs: self.out_reqs.len(),
+            assists_active: self.assists.iter().filter(|a| a.is_some()).count(),
+            pending_decomp: self.pending_decomp.len(),
+        }
+    }
+
+    /// Checks this SM's structural invariants (occupancy bounds, scoreboard
+    /// and SIMT-stack consistency), appending any violations to `out`.
+    pub fn audit_into(&self, cycle: u64, out: &mut Vec<Violation>) {
+        let component = Component::Sm(self.id);
+        let mut flag = |detail: String| {
+            out.push(Violation {
+                cycle,
+                component,
+                detail,
+            })
+        };
+
+        if self.mshr.outstanding() > self.mshr.capacity() {
+            flag(format!(
+                "L1 MSHR holds {} lines, capacity {}",
+                self.mshr.outstanding(),
+                self.mshr.capacity()
+            ));
+        }
+        if self.store_buffer.len() > self.cfg.store_buffer {
+            flag(format!(
+                "store buffer holds {} lines, capacity {}",
+                self.store_buffer.len(),
+                self.cfg.store_buffer
+            ));
+        }
+
+        // Live load tickets per application warp slot.
+        let mut ticket_loads: HashMap<usize, u32> = HashMap::new();
+        for t in self.tickets.iter().flatten() {
+            if let WarpRef::App(s) = t.warp {
+                *ticket_loads.entry(s).or_default() += 1;
+            }
+        }
+        for (slot, sw) in self
+            .warps
+            .iter()
+            .enumerate()
+            .filter_map(|(i, w)| w.as_ref().map(|sw| (i, sw)))
+        {
+            let tickets = ticket_loads.get(&slot).copied().unwrap_or(0);
+            if sw.warp.outstanding_loads != tickets {
+                flag(format!(
+                    "warp {slot} scoreboard counts {} outstanding loads but {} load tickets are live",
+                    sw.warp.outstanding_loads, tickets
+                ));
+            }
+            if sw.warp.done && sw.warp.active_mask() != 0 {
+                flag(format!(
+                    "warp {slot} is done but still has active mask {:#010x}",
+                    sw.warp.active_mask()
+                ));
+            }
+            if sw.warp.simt_depth() > 64 {
+                flag(format!(
+                    "warp {slot} SIMT stack depth {} exceeds sanity bound 64",
+                    sw.warp.simt_depth()
+                ));
+            }
+            for r in sw.warp.pending_regs() {
+                let wr = WarpRef::App(slot);
+                let has_producer = self
+                    .writebacks
+                    .iter()
+                    .any(|wb| wb.warp == wr && wb.reg == Some(r))
+                    || self
+                        .tickets
+                        .iter()
+                        .flatten()
+                        .any(|t| t.warp == wr && t.dst == Some(r));
+                if !has_producer {
+                    flag(format!(
+                        "warp {slot} register r{} is pending with no producer in flight",
+                        r.0
+                    ));
+                }
+            }
+        }
+
+        for b in self.blocks.iter().flatten() {
+            let live = b.warp_slots.len() - b.warps_done;
+            if b.arrived > live {
+                flag(format!(
+                    "block cta {} counts {} barrier arrivals but only {} live warps",
+                    b.ctaid, b.arrived, live
+                ));
+            }
+        }
     }
 
     /// Diagnostic one-line state dump (used by harness debugging).

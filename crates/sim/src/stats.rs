@@ -47,6 +47,22 @@ pub struct RunStats {
     pub shared_accesses: u64,
     /// Threads completed.
     pub threads_retired: u64,
+    /// Invariant audits executed (each covers the whole machine).
+    pub audits_run: u64,
+    /// Crossbar packets dropped by fault injection.
+    pub flits_dropped: u64,
+    /// Dropped packets recovered by link-level retransmission
+    /// (`FaultMode::Recover`).
+    pub flit_retransmissions: u64,
+    /// DRAM requests held back by fault injection.
+    pub dram_delay_faults: u64,
+    /// Compressed lines corrupted by fault injection.
+    pub lines_corrupted: u64,
+    /// Corrupted lines caught by round-trip verification at the fill
+    /// boundary.
+    pub corruptions_detected: u64,
+    /// Detected-corrupt lines refetched from memory.
+    pub corruption_refetches: u64,
 }
 
 impl RunStats {

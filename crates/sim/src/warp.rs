@@ -155,6 +155,16 @@ impl Warp {
         self.pending.iter().any(|&w| w != 0)
     }
 
+    /// Registers whose pending bit is set (used by the scoreboard audit:
+    /// every pending register must have a producer in flight).
+    pub fn pending_regs(&self) -> impl Iterator<Item = Reg> + '_ {
+        self.pending.iter().enumerate().flat_map(|(word, &bits)| {
+            (0..64u16)
+                .filter(move |b| bits >> b & 1 == 1)
+                .map(move |b| Reg(word as u16 * 64 + b))
+        })
+    }
+
     // ----- control flow -----------------------------------------------------
 
     /// Pops merged paths: entries whose PC reached their reconvergence point.

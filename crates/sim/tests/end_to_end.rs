@@ -47,7 +47,9 @@ fn scale_kernel_correct_on_base() {
     let n = 512;
     let mut gpu = Gpu::new(GpuConfig::small(), Design::Base);
     load_input(&mut gpu, n, 0x1_0000);
-    let stats = gpu.run(&scale_kernel(n, 0x1_0000, 0x2_0000), 500_000).unwrap();
+    let stats = gpu
+        .run(&scale_kernel(n, 0x1_0000, 0x2_0000), 500_000)
+        .unwrap();
     check_output(&gpu, n, 0x2_0000);
     assert!(stats.cycles > 0);
     assert!(stats.app_instructions >= (n as u64 / 32) * 9);
@@ -153,7 +155,11 @@ fn loop_kernel_runs_to_completion() {
     gpu.run(&kernel, 2_000_000).unwrap();
     // Each thread summed `iters` ones.
     for t in 0..(4 * 64) {
-        assert_eq!(gpu.mem().read_u32(0x9_0000 + t * 4), iters as u32, "thread {t}");
+        assert_eq!(
+            gpu.mem().read_u32(0x9_0000 + t * 4),
+            iters as u32,
+            "thread {t}"
+        );
     }
 }
 
@@ -226,8 +232,20 @@ fn timeout_reported_for_insufficient_budget() {
     let n = 512;
     let mut gpu = Gpu::new(GpuConfig::small(), Design::Base);
     load_input(&mut gpu, n, 0x1_0000);
-    let err = gpu.run(&scale_kernel(n, 0x1_0000, 0x2_0000), 10).unwrap_err();
-    assert_eq!(err, RunError::Timeout { cycles: 10 });
+    let err = gpu
+        .run(&scale_kernel(n, 0x1_0000, 0x2_0000), 10)
+        .unwrap_err();
+    assert!(
+        matches!(err, RunError::Timeout { cycles: 10, .. }),
+        "expected a 10-cycle timeout, got: {err}"
+    );
+    // Even a plain timeout carries the forensic snapshot.
+    let report = err.report().expect("timeout carries a hang report");
+    assert_eq!(report.cycle, 10);
+    assert!(
+        report.live_warps() > 0,
+        "work was resident when time ran out"
+    );
 }
 
 #[test]
@@ -269,7 +287,9 @@ fn stall_breakdown_covers_all_cycles() {
     let n = 1024;
     let mut gpu = Gpu::new(GpuConfig::small(), Design::Base);
     load_input(&mut gpu, n, 0x1_0000);
-    let stats = gpu.run(&scale_kernel(n, 0x1_0000, 0x2_0000), 1_000_000).unwrap();
+    let stats = gpu
+        .run(&scale_kernel(n, 0x1_0000, 0x2_0000), 1_000_000)
+        .unwrap();
     // Breakdown records one slot per scheduler per SM per cycle.
     let cfg = GpuConfig::small();
     let slots = (cfg.num_sms * cfg.schedulers_per_sm) as u64;
@@ -283,7 +303,9 @@ fn tracing_records_samples() {
     let mut gpu = Gpu::new(GpuConfig::small(), Design::Base);
     load_input(&mut gpu, n, 0x1_0000);
     gpu.enable_tracing(32);
-    let stats = gpu.run(&scale_kernel(n, 0x1_0000, 0x2_0000), 1_000_000).unwrap();
+    let stats = gpu
+        .run(&scale_kernel(n, 0x1_0000, 0x2_0000), 1_000_000)
+        .unwrap();
     let trace = gpu.take_trace().expect("tracing enabled");
     assert!(!trace.samples.is_empty());
     assert!(trace.samples.len() as u64 <= stats.cycles / 32 + 1);
@@ -296,7 +318,11 @@ fn tracing_records_samples() {
         assert_eq!(s.app_issued.len(), cfg.num_sms);
     }
     // The per-interval issue counts sum back to the run totals.
-    let total: u64 = trace.samples.iter().map(|s| s.app_issued.iter().sum::<u64>()).sum();
+    let total: u64 = trace
+        .samples
+        .iter()
+        .map(|s| s.app_issued.iter().sum::<u64>())
+        .sum();
     assert!(total <= stats.app_instructions);
     let json = trace.to_chrome_json();
     assert!(json.contains("DRAM BW"));

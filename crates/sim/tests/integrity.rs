@@ -1,0 +1,362 @@
+//! Integration tests for the simulation integrity layer: watchdog hang
+//! forensics, structural invariant audits, and deterministic fault
+//! injection in both recovery and silent-corruption modes.
+
+use caba_compress::Algorithm;
+use caba_isa::{
+    AluOp, CmpOp, Kernel, LaunchDims, Pred, ProgramBuilder, Reg, Space, Special, Src, Width,
+};
+use caba_sim::{
+    Component, Design, FaultConfig, FaultMode, Gpu, GpuConfig, RunError, RunStats, WarpState,
+};
+use caba_stats::prop;
+
+/// out[i] = in[i] * 2 for n elements (one element per thread).
+fn scale_kernel(n: u32, in_base: u64, out_base: u64) -> Kernel {
+    let mut b = ProgramBuilder::new();
+    let (gid, addr, v) = (Reg(0), Reg(1), Reg(2));
+    b.global_thread_id(gid);
+    b.alu(AluOp::Shl, addr, Src::Reg(gid), Src::Imm(2));
+    b.alu(AluOp::Add, addr, Src::Reg(addr), Src::Sp(Special::Param(0)));
+    b.ld(Space::Global, Width::B4, v, Src::Reg(addr), 0);
+    b.alu(AluOp::Shl, v, Src::Reg(v), Src::Imm(1));
+    b.alu(AluOp::Shl, addr, Src::Reg(gid), Src::Imm(2));
+    b.alu(AluOp::Add, addr, Src::Reg(addr), Src::Sp(Special::Param(1)));
+    b.st(Space::Global, Width::B4, Src::Reg(v), Src::Reg(addr), 0);
+    b.exit();
+    let blocks = n.div_ceil(64);
+    Kernel::new("scale", b.build(), LaunchDims::new(blocks, 64))
+        .with_params(vec![in_base, out_base])
+}
+
+fn load_input(gpu: &mut Gpu, n: u32, base: u64) {
+    for i in 0..n {
+        gpu.mem_mut().write_u32(base + i as u64 * 4, 0x100 + i);
+    }
+}
+
+fn check_output(gpu: &Gpu, n: u32, base: u64) {
+    for i in 0..n {
+        assert_eq!(
+            gpu.mem().read_u32(base + i as u64 * 4),
+            (0x100 + i) * 2,
+            "element {i}"
+        );
+    }
+}
+
+/// One 64-thread block, two warps. Warp 1 loads a value and consumes it
+/// before the block barrier; warp 0 goes straight to the barrier. If warp
+/// 1's load is lost, warp 0 waits forever — the canonical
+/// lost-request-meets-barrier deadlock.
+fn barrier_divergent_kernel(in_base: u64) -> Kernel {
+    let mut b = ProgramBuilder::new();
+    let (gid, addr, v) = (Reg(0), Reg(1), Reg(2));
+    b.global_thread_id(gid);
+    b.setp(Pred(0), CmpOp::GeU, Src::Reg(gid), Src::Imm(32));
+    b.if_then(Pred(0), true, |b| {
+        b.alu(AluOp::Shl, addr, Src::Reg(gid), Src::Imm(2));
+        b.alu(AluOp::Add, addr, Src::Reg(addr), Src::Sp(Special::Param(0)));
+        b.ld(Space::Global, Width::B4, v, Src::Reg(addr), 0);
+        // Consume the load so warp 1 blocks on the fill *before* the
+        // barrier, leaving warp 0 stranded there.
+        b.alu(AluOp::Add, v, Src::Reg(v), Src::Imm(1));
+    });
+    b.bar();
+    b.exit();
+    Kernel::new("barrier-hang", b.build(), LaunchDims::new(1, 64)).with_params(vec![in_base])
+}
+
+/// A silently dropped request plus a block barrier wedges the machine; the
+/// watchdog must declare a hang long before the cycle budget and attach a
+/// report that names both the stranded barrier warp and the lost read.
+#[test]
+fn watchdog_reports_barrier_hang_with_lost_request() {
+    let mut cfg = GpuConfig::small();
+    cfg.watchdog_window = 2_000;
+    cfg.audit_interval = 0; // exercise the watchdog path alone
+    cfg.fault = FaultConfig {
+        enabled: true,
+        seed: 9,
+        mode: FaultMode::Silent,
+        drop_flit_rate: 1.0,
+        ..FaultConfig::disabled()
+    };
+    let mut gpu = Gpu::new(cfg, Design::Base);
+    load_input(&mut gpu, 64, 0x1_0000);
+    let err = gpu
+        .run(&barrier_divergent_kernel(0x1_0000), 1_000_000)
+        .unwrap_err();
+
+    let RunError::Hang {
+        cycles,
+        window,
+        ref report,
+    } = err
+    else {
+        panic!("expected a watchdog hang, got: {err}");
+    };
+    assert_eq!(window, 2_000);
+    assert!(
+        cycles < 50_000,
+        "watchdog should fire shortly after the wedge, not at {cycles}"
+    );
+    assert_eq!(report.live_warps(), 2, "both warps still resident");
+    assert_eq!(report.warps_at_barrier(), 1, "warp 0 stuck at the barrier");
+    assert!(
+        report.sms.iter().flat_map(|s| &s.warps).any(|w| matches!(
+            w.state,
+            WarpState::DataDependence {
+                outstanding_loads: 1..
+            }
+        )),
+        "warp 1 should be blocked on its lost load: {report}"
+    );
+    let (age, sm, line) = report
+        .oldest_request
+        .expect("the dropped read stays on the ledger");
+    assert!(age > 0, "the lost read must have aged");
+    assert_eq!(sm, 0, "single-block grid runs on SM 0");
+    assert!(line >= 0x1_0000, "line {line:#x} should be in the input");
+
+    let text = err.to_string();
+    assert!(
+        text.contains("at barrier"),
+        "forensics name the barrier: {text}"
+    );
+    assert!(text.contains("oldest in-flight read"), "{text}");
+}
+
+/// With injection disabled, turning audits on must not change simulated
+/// behavior at all: same timing, same traffic, zero violations.
+#[test]
+fn audits_are_invisible_on_a_healthy_run() {
+    let n = 1024;
+    let run = |audit_interval: u64| {
+        let mut cfg = GpuConfig::small();
+        cfg.audit_interval = audit_interval;
+        let mut gpu = Gpu::new(
+            cfg,
+            Design::HwFull {
+                alg: Algorithm::Bdi,
+                ideal: false,
+            },
+        );
+        load_input(&mut gpu, n, 0x1_0000);
+        let stats = gpu
+            .run(&scale_kernel(n, 0x1_0000, 0x8_0000), 1_000_000)
+            .unwrap_or_else(|e| panic!("audit_interval={audit_interval}: {e}"));
+        check_output(&gpu, n, 0x8_0000);
+        stats
+    };
+    // Small runs finish in a few hundred cycles, so audit densely.
+    let plain = run(0);
+    let audited = run(32);
+    assert_eq!(plain.audits_run, 0);
+    assert!(audited.audits_run > 0, "audits must actually have run");
+    for (name, a, b) in [
+        ("cycles", plain.cycles, audited.cycles),
+        (
+            "app_instructions",
+            plain.app_instructions,
+            audited.app_instructions,
+        ),
+        (
+            "assist_instructions",
+            plain.assist_instructions,
+            audited.assist_instructions,
+        ),
+        (
+            "threads_retired",
+            plain.threads_retired,
+            audited.threads_retired,
+        ),
+        ("dram_bursts", plain.dram_bursts, audited.dram_bursts),
+        ("icnt_flits", plain.icnt_flits, audited.icnt_flits),
+        ("md_lookups", plain.md_lookups, audited.md_lookups),
+    ] {
+        assert_eq!(a, b, "audits changed `{name}`");
+    }
+}
+
+/// In recovery mode every fault class fires, every one is counted, and the
+/// run still completes with bit-correct output under full auditing.
+#[test]
+fn recover_mode_completes_correctly_and_counts_every_fault_class() {
+    let n = 2048;
+    let mut cfg = GpuConfig::small();
+    cfg.audit_interval = 128;
+    cfg.fault = FaultConfig {
+        corrupt_line_rate: 0.25,
+        dram_delay_rate: 0.2,
+        ..FaultConfig::recover(0xFA11, 0.05)
+    };
+    let mut gpu = Gpu::new(
+        cfg,
+        Design::HwFull {
+            alg: Algorithm::Bdi,
+            ideal: false,
+        },
+    );
+    load_input(&mut gpu, n, 0x1_0000);
+    let stats = gpu
+        .run(&scale_kernel(n, 0x1_0000, 0x8_0000), 4_000_000)
+        .expect("recovery mode must complete");
+    check_output(&gpu, n, 0x8_0000);
+
+    assert!(stats.audits_run > 0, "audits ran through the whole run");
+    assert!(stats.flits_dropped > 0, "crossbar drops fired");
+    assert_eq!(
+        stats.flit_retransmissions, stats.flits_dropped,
+        "every dropped packet was retransmitted"
+    );
+    assert!(stats.dram_delay_faults > 0, "DRAM delays fired");
+    assert!(stats.lines_corrupted > 0, "fill corruptions fired");
+    assert_eq!(
+        stats.corruptions_detected, stats.lines_corrupted,
+        "every corruption was detected by round-trip verification"
+    );
+    assert_eq!(
+        stats.corruption_refetches, stats.lines_corrupted,
+        "every detected corruption triggered a refetch"
+    );
+}
+
+/// Silently dropped packets must be caught by the conservation audit, with
+/// each violation attributed to the crossbar direction that lost the
+/// packet.
+#[test]
+fn silent_packet_drops_are_caught_naming_the_crossbar() {
+    let mut cfg = GpuConfig::small();
+    cfg.audit_interval = 64;
+    cfg.fault = FaultConfig {
+        enabled: true,
+        seed: 0xD209,
+        mode: FaultMode::Silent,
+        drop_flit_rate: 0.1,
+        ..FaultConfig::disabled()
+    };
+    let mut gpu = Gpu::new(cfg, Design::Base);
+    load_input(&mut gpu, 1024, 0x1_0000);
+    let err = gpu
+        .run(&scale_kernel(1024, 0x1_0000, 0x8_0000), 1_000_000)
+        .unwrap_err();
+    let RunError::AuditFailed { cycle, violations } = err else {
+        panic!("expected an audit failure, got: {err}");
+    };
+    assert!(cycle % 64 == 0, "audits run on the configured interval");
+    assert!(!violations.is_empty());
+    for v in &violations {
+        assert!(
+            matches!(
+                v.component,
+                Component::CrossbarRequest | Component::CrossbarResponse
+            ),
+            "drop must be pinned on a crossbar, not {}: {v}",
+            v.component
+        );
+        assert!(v.detail.contains("line"), "detail names the line: {v}");
+    }
+}
+
+/// Silently corrupted compressed lines must be caught by the round-trip
+/// audit and attributed to the compression map.
+#[test]
+fn silent_corruption_is_caught_naming_the_compression_map() {
+    let mut cfg = GpuConfig::small();
+    cfg.audit_interval = 32;
+    // Paranoid in-line checks would assert before the audit gets a chance
+    // to report; this test is about the audit path.
+    cfg.paranoid_assist_checks = false;
+    cfg.fault = FaultConfig {
+        enabled: true,
+        seed: 0xC0FF,
+        mode: FaultMode::Silent,
+        corrupt_line_rate: 1.0,
+        ..FaultConfig::disabled()
+    };
+    let mut gpu = Gpu::new(
+        cfg,
+        Design::HwFull {
+            alg: Algorithm::Bdi,
+            ideal: false,
+        },
+    );
+    load_input(&mut gpu, 1024, 0x1_0000);
+    let err = gpu
+        .run(&scale_kernel(1024, 0x1_0000, 0x8_0000), 1_000_000)
+        .unwrap_err();
+    let RunError::AuditFailed { violations, .. } = err else {
+        panic!("expected an audit failure, got: {err}");
+    };
+    assert!(!violations.is_empty());
+    assert!(
+        violations
+            .iter()
+            .all(|v| v.component == Component::CompressionMap),
+        "corruption must be pinned on the compression map: {violations:?}"
+    );
+}
+
+/// The same seed produces bit-identical runs — timing, traffic, and every
+/// fault counter — across repeated executions.
+#[test]
+fn fault_schedules_are_deterministic_per_seed() {
+    fn fingerprint(s: &RunStats) -> [u64; 10] {
+        [
+            s.cycles,
+            s.app_instructions,
+            s.assist_instructions,
+            s.threads_retired,
+            s.dram_bursts,
+            s.icnt_flits,
+            s.flits_dropped,
+            s.flit_retransmissions,
+            s.dram_delay_faults,
+            s.lines_corrupted,
+        ]
+    }
+    prop::check(0xDE7E, 4, |rng| {
+        let seed = rng.next_u64();
+        let run = || {
+            let mut cfg = GpuConfig::small();
+            cfg.audit_interval = 128;
+            cfg.fault = FaultConfig::recover(seed, 0.05);
+            let mut gpu = Gpu::new(
+                cfg,
+                Design::HwFull {
+                    alg: Algorithm::Bdi,
+                    ideal: false,
+                },
+            );
+            load_input(&mut gpu, 512, 0x1_0000);
+            let stats = gpu
+                .run(&scale_kernel(512, 0x1_0000, 0x8_0000), 2_000_000)
+                .expect("recovery mode completes");
+            check_output(&gpu, 512, 0x8_0000);
+            stats
+        };
+        assert_eq!(
+            fingerprint(&run()),
+            fingerprint(&run()),
+            "seed {seed:#x} must replay identically"
+        );
+    });
+}
+
+/// Invalid configurations are rejected as typed errors by `Gpu::try_new`
+/// instead of surfacing as mid-run panics.
+#[test]
+fn try_new_rejects_invalid_configs() {
+    let mut cfg = GpuConfig::small();
+    cfg.fault = FaultConfig::recover(1, 1.5);
+    let err = Gpu::try_new(cfg, Design::Base).map(|_| ()).unwrap_err();
+    assert!(err.to_string().contains("outside [0, 1]"), "{err}");
+
+    let mut cfg = GpuConfig::small();
+    cfg.fault = FaultConfig::recover(1, 0.01);
+    cfg.fault.dram_delay_cycles = cfg.watchdog_window;
+    assert!(Gpu::try_new(cfg, Design::Base).is_err());
+
+    assert!(Gpu::try_new(GpuConfig::small(), Design::Base).is_ok());
+}

@@ -1,25 +1,28 @@
-//! Property tests on the SIMT reconvergence stack and the scoreboard.
+//! Property tests on the SIMT reconvergence stack and the scoreboard,
+//! driven by the in-repo deterministic property harness
+//! (`caba_stats::prop`).
 
-use caba_sim::Warp;
 use caba_isa::Reg;
-use proptest::prelude::*;
+use caba_sim::Warp;
+use caba_stats::prop;
+use caba_stats::Rng64;
 
-proptest! {
-    /// Random structured branch/advance/exit sequences keep the stack
-    /// well-formed: masks are nonempty, nested masks are subsets of the
-    /// masks below them (checked indirectly through active_mask), and the
-    /// warp ends either done or with a valid PC.
-    #[test]
-    fn simt_stack_stays_well_formed(ops in proptest::collection::vec(0u8..4, 1..60)) {
+/// Random structured branch/advance/exit sequences keep the stack
+/// well-formed: masks are nonempty, nested masks are subsets of the masks
+/// below them (checked indirectly through active_mask), and the warp ends
+/// either done or with a valid PC.
+#[test]
+fn simt_stack_stays_well_formed() {
+    prop::check(0x51317_57ACC, 128, |rng: &mut Rng64| {
+        let nops = 1 + rng.range_u64(59) as usize;
         let mut w = Warp::new(4, u32::MAX);
-        let mut pc_guess = 0usize;
-        for op in ops {
+        for _ in 0..nops {
             if w.done {
                 break;
             }
             let active = w.active_mask();
-            prop_assert!(active != 0, "active warp must have live lanes");
-            match op {
+            assert!(active != 0, "active warp must have live lanes");
+            match rng.range_u64(4) {
                 0 => w.advance_pc(),
                 1 => {
                     // Forward divergent branch: half the active lanes jump.
@@ -44,16 +47,23 @@ proptest! {
                     w.take_branch(active, target, w.pc() + 1, w.pc() + 1);
                 }
             }
-            pc_guess = pc_guess.max(w.pc());
-            prop_assert!(w.simt_depth() <= 64, "stack must stay bounded");
+            assert!(w.simt_depth() <= 64, "stack must stay bounded");
         }
-    }
+    });
+}
 
-    /// Scoreboard: pending bits are exact — marking then clearing any
-    /// sequence of registers leaves exactly the un-cleared ones pending.
-    #[test]
-    fn scoreboard_is_exact(marks in proptest::collection::vec(0u16..80, 0..40),
-                           clears in proptest::collection::vec(0u16..80, 0..40)) {
+/// Scoreboard: pending bits are exact — marking then clearing any sequence
+/// of registers leaves exactly the un-cleared ones pending, and
+/// `pending_regs` enumerates precisely that set.
+#[test]
+fn scoreboard_is_exact() {
+    prop::check(0x5_C0EB_0A2D, 128, |rng: &mut Rng64| {
+        let marks: Vec<u16> = (0..rng.range_u64(40))
+            .map(|_| rng.range_u64(80) as u16)
+            .collect();
+        let clears: Vec<u16> = (0..rng.range_u64(40))
+            .map(|_| rng.range_u64(80) as u16)
+            .collect();
         let mut w = Warp::new(80, u32::MAX);
         for &r in &marks {
             w.mark_pending(Reg(r));
@@ -68,8 +78,10 @@ proptest! {
             .filter(|r| !clears.contains(r))
             .collect();
         for r in 0..80u16 {
-            prop_assert_eq!(w.is_pending(Reg(r)), expected.contains(&r), "r{}", r);
+            assert_eq!(w.is_pending(Reg(r)), expected.contains(&r), "r{r}");
         }
-        prop_assert_eq!(w.any_pending(), !expected.is_empty());
-    }
+        assert_eq!(w.any_pending(), !expected.is_empty());
+        let enumerated: HashSet<u16> = w.pending_regs().map(|r| r.0).collect();
+        assert_eq!(enumerated, expected, "pending_regs must enumerate the set");
+    });
 }

@@ -32,7 +32,8 @@ fn read_kernel(n: u32) -> Kernel {
 
 fn load_compressible(gpu: &mut Gpu, words: u32) {
     for i in 0..words as u64 {
-        gpu.mem_mut().write_u32(0x10_0000 + i * 4, 0x1234_0000 + (i % 90) as u32);
+        gpu.mem_mut()
+            .write_u32(0x10_0000 + i * 4, 0x1234_0000 + (i % 90) as u32);
     }
 }
 
@@ -64,7 +65,10 @@ fn hw_mem_only_moves_full_lines_on_the_interconnect() {
     );
     // Same DRAM compression...
     let burst_ratio = mem_only.dram_bursts as f64 / full.dram_bursts as f64;
-    assert!((0.8..1.2).contains(&burst_ratio), "burst ratio {burst_ratio}");
+    assert!(
+        (0.8..1.2).contains(&burst_ratio),
+        "burst ratio {burst_ratio}"
+    );
     // ...but HW-BDI-Mem sends uncompressed flits across the crossbar.
     assert!(
         mem_only.icnt_flits > full.icnt_flits,

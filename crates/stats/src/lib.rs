@@ -11,6 +11,9 @@
 //!   cycles, Active cycles).
 //! * [`Table`] — a small fixed-width text table used by the benchmark
 //!   harnesses to print the rows/series each paper figure reports.
+//! * [`prop`] — a minimal deterministic property-test harness (seeded random
+//!   cases with replayable failures), so the test suites need no external
+//!   property-testing dependency.
 //!
 //! # Examples
 //!
@@ -22,6 +25,7 @@
 //! assert_eq!(a, b); // fully deterministic
 //! ```
 
+pub mod prop;
 pub mod rng;
 pub mod table;
 

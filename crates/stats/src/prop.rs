@@ -1,0 +1,127 @@
+//! A tiny deterministic property-test harness built on [`Rng64`].
+//!
+//! The workspace must build and test on network-restricted machines, so it
+//! cannot depend on an external property-testing crate. This module provides
+//! the small slice of that functionality the test suites actually use:
+//! run a closure over many seeded random cases and, on failure, report the
+//! case index and a per-case seed that reproduces the failure in isolation.
+//!
+//! ```
+//! use caba_stats::prop;
+//! prop::check(0xCAB_A001, 64, |rng| {
+//!     let x = rng.range_u64(1000);
+//!     assert!(x.checked_add(1).is_some());
+//! });
+//! ```
+
+use crate::rng::Rng64;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Default number of cases used by the test suites.
+pub const DEFAULT_CASES: u32 = 64;
+
+/// Runs `property` against `cases` independently seeded RNGs derived from
+/// `seed`, panicking with the failing case's index and per-case seed when a
+/// case panics (assertion failure inside the property).
+///
+/// Each case gets `Rng64::for_stream(seed, case_index)`, so a reported
+/// failure replays exactly with [`replay`].
+///
+/// # Panics
+///
+/// Panics (re-raising the property's failure) when any case fails.
+pub fn check<F>(seed: u64, cases: u32, mut property: F)
+where
+    F: FnMut(&mut Rng64),
+{
+    for case in 0..cases {
+        let mut rng = Rng64::for_stream(seed, case as u64);
+        let outcome = catch_unwind(AssertUnwindSafe(|| property(&mut rng)));
+        if let Err(payload) = outcome {
+            let msg = payload_message(&payload);
+            panic!(
+                "property failed on case {case}/{cases} (seed {seed:#x}, \
+                 replay with prop::replay({seed:#x}, {case})): {msg}"
+            );
+        }
+    }
+}
+
+/// Re-runs a single failing case reported by [`check`].
+pub fn replay<F>(seed: u64, case: u32, mut property: F)
+where
+    F: FnMut(&mut Rng64),
+{
+    let mut rng = Rng64::for_stream(seed, case as u64);
+    property(&mut rng);
+}
+
+fn payload_message(payload: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Fills a buffer with random bytes.
+pub fn fill_bytes(rng: &mut Rng64, buf: &mut [u8]) {
+    for chunk in buf.chunks_mut(8) {
+        let v = rng.next_u64().to_le_bytes();
+        let n = chunk.len();
+        chunk.copy_from_slice(&v[..n]);
+    }
+}
+
+/// A random `Vec<u8>` of length `len`.
+pub fn bytes(rng: &mut Rng64, len: usize) -> Vec<u8> {
+    let mut v = vec![0u8; len];
+    fill_bytes(rng, &mut v);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut ran = 0;
+        check(1, 10, |_| ran += 1);
+        assert_eq!(ran, 10);
+    }
+
+    #[test]
+    fn failing_property_reports_case_and_seed() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            check(0xBAD, 32, |rng| {
+                assert!(rng.range_u64(10) != 3, "hit the bad value");
+            })
+        }));
+        let payload = result.expect_err("property must fail");
+        let msg = payload_message(&payload);
+        assert!(msg.contains("replay with"), "message: {msg}");
+        assert!(msg.contains("hit the bad value"), "message: {msg}");
+    }
+
+    #[test]
+    fn replay_reproduces_case_stream() {
+        let mut from_check = Vec::new();
+        check(7, 3, |rng| from_check.push(rng.next_u64()));
+        let mut from_replay = Vec::new();
+        for case in 0..3 {
+            replay(7, case, |rng| from_replay.push(rng.next_u64()));
+        }
+        assert_eq!(from_check, from_replay);
+    }
+
+    #[test]
+    fn bytes_are_deterministic() {
+        let mut a = Rng64::new(5);
+        let mut b = Rng64::new(5);
+        assert_eq!(bytes(&mut a, 37), bytes(&mut b, 37));
+        assert_eq!(bytes(&mut a, 0).len(), 0);
+    }
+}

@@ -89,10 +89,9 @@ impl AppSpec {
     /// `gpu` memory. Deterministic per application name.
     pub fn load_inputs(&self, gpu: &mut Gpu, scale: f64) {
         let elements = self.scaled_elements(scale);
-        let seed = self
-            .name
-            .bytes()
-            .fold(0xFEED_F00Du64, |h, b| h.wrapping_mul(31).wrapping_add(b as u64));
+        let seed = self.name.bytes().fold(0xFEED_F00Du64, |h, b| {
+            h.wrapping_mul(31).wrapping_add(b as u64)
+        });
         let words = elements as usize * self.template.element_bytes() as usize / 4;
         let bytes = self.data.generate_bytes(words, seed);
         gpu.load_image(IN_BASE, &bytes);
@@ -139,7 +138,10 @@ impl AppSpec {
         let elements = self.scaled_elements(scale);
         let mem = gpu.mem();
         let checked = match self.template {
-            T::Streaming { loads, alu_per_load } => {
+            T::Streaming {
+                loads,
+                alu_per_load,
+            } => {
                 let threads = self.template.threads(elements);
                 for gid in 0..threads.min(2048) {
                     let mut acc: u64 = 0;
@@ -204,10 +206,9 @@ impl AppSpec {
     /// harness input).
     pub fn input_lines(&self, scale: f64) -> Vec<Vec<u8>> {
         let elements = self.scaled_elements(scale);
-        let seed = self
-            .name
-            .bytes()
-            .fold(0xFEED_F00Du64, |h, b| h.wrapping_mul(31).wrapping_add(b as u64));
+        let seed = self.name.bytes().fold(0xFEED_F00Du64, |h, b| {
+            h.wrapping_mul(31).wrapping_add(b as u64)
+        });
         let words = elements as usize * self.template.element_bytes() as usize / 4;
         self.data.generate_lines(words, seed)
     }
@@ -226,7 +227,10 @@ pub fn all_apps() -> Vec<AppSpec> {
         suite: Cuda,
         class: MemoryBound,
         template: KernelTemplate::Gather { alu_per_load: 1 },
-        data: DataProfile::SparseSmall { zero_prob: 0.55, max_value: 4096 },
+        data: DataProfile::SparseSmall {
+            zero_prob: 0.55,
+            max_value: 4096,
+        },
         regs_per_thread: 12,
         block_dim: 256,
         elements: 96 * 1024,
@@ -236,7 +240,10 @@ pub fn all_apps() -> Vec<AppSpec> {
         name: "CONS",
         suite: Cuda,
         class: MemoryBound,
-        template: KernelTemplate::Streaming { loads: 3, alu_per_load: 2 },
+        template: KernelTemplate::Streaming {
+            loads: 3,
+            alu_per_load: 2,
+        },
         data: DataProfile::FloatLike,
         regs_per_thread: 16,
         block_dim: 128,
@@ -247,8 +254,14 @@ pub fn all_apps() -> Vec<AppSpec> {
         name: "JPEG",
         suite: Cuda,
         class: MemoryBound,
-        template: KernelTemplate::Streaming { loads: 2, alu_per_load: 4 },
-        data: DataProfile::SparseSmall { zero_prob: 0.65, max_value: 128 },
+        template: KernelTemplate::Streaming {
+            loads: 2,
+            alu_per_load: 4,
+        },
+        data: DataProfile::SparseSmall {
+            zero_prob: 0.65,
+            max_value: 128,
+        },
         regs_per_thread: 20,
         block_dim: 256,
         elements: 160 * 1024,
@@ -259,7 +272,10 @@ pub fn all_apps() -> Vec<AppSpec> {
         suite: Cuda,
         class: MemoryBound,
         template: KernelTemplate::Stencil,
-        data: DataProfile::SparseSmall { zero_prob: 0.5, max_value: 64 },
+        data: DataProfile::SparseSmall {
+            zero_prob: 0.5,
+            max_value: 64,
+        },
         regs_per_thread: 18,
         block_dim: 128,
         elements: 128 * 1024,
@@ -270,7 +286,10 @@ pub fn all_apps() -> Vec<AppSpec> {
         suite: Cuda,
         class: MemoryBound,
         template: KernelTemplate::PointerChase { hops: 3 },
-        data: DataProfile::SparseSmall { zero_prob: 0.3, max_value: 1 << 16 },
+        data: DataProfile::SparseSmall {
+            zero_prob: 0.3,
+            max_value: 1 << 16,
+        },
         regs_per_thread: 14,
         block_dim: 192,
         elements: 96 * 1024,
@@ -280,7 +299,10 @@ pub fn all_apps() -> Vec<AppSpec> {
         name: "RAY",
         suite: Cuda,
         class: MemoryBound,
-        template: KernelTemplate::Streaming { loads: 3, alu_per_load: 2 },
+        template: KernelTemplate::Streaming {
+            loads: 3,
+            alu_per_load: 2,
+        },
         data: DataProfile::FloatLike,
         regs_per_thread: 24,
         block_dim: 128,
@@ -291,7 +313,10 @@ pub fn all_apps() -> Vec<AppSpec> {
         name: "SCP",
         suite: Cuda,
         class: MemoryBound,
-        template: KernelTemplate::Streaming { loads: 3, alu_per_load: 1 },
+        template: KernelTemplate::Streaming {
+            loads: 3,
+            alu_per_load: 1,
+        },
         data: DataProfile::Random,
         regs_per_thread: 10,
         block_dim: 256,
@@ -302,8 +327,14 @@ pub fn all_apps() -> Vec<AppSpec> {
         name: "MM",
         suite: Mars,
         class: MemoryBound,
-        template: KernelTemplate::Streaming { loads: 4, alu_per_load: 1 },
-        data: DataProfile::LowDynamicRange { base: 0x3F00_0000, range: 80 },
+        template: KernelTemplate::Streaming {
+            loads: 4,
+            alu_per_load: 1,
+        },
+        data: DataProfile::LowDynamicRange {
+            base: 0x3F00_0000,
+            range: 80,
+        },
         regs_per_thread: 22,
         block_dim: 128,
         elements: 160 * 1024,
@@ -314,7 +345,10 @@ pub fn all_apps() -> Vec<AppSpec> {
         suite: Mars,
         class: MemoryBound,
         template: KernelTemplate::Gather { alu_per_load: 2 },
-        data: DataProfile::LowDynamicRange { base: 0x8001_D000, range: 100 },
+        data: DataProfile::LowDynamicRange {
+            base: 0x8001_D000,
+            range: 100,
+        },
         regs_per_thread: 16,
         block_dim: 256,
         elements: 96 * 1024,
@@ -325,7 +359,10 @@ pub fn all_apps() -> Vec<AppSpec> {
         suite: Mars,
         class: MemoryBound,
         template: KernelTemplate::Gather { alu_per_load: 1 },
-        data: DataProfile::LowDynamicRange { base: 0x1000_0000, range: 96 },
+        data: DataProfile::LowDynamicRange {
+            base: 0x1000_0000,
+            range: 96,
+        },
         regs_per_thread: 16,
         block_dim: 256,
         elements: 96 * 1024,
@@ -335,7 +372,10 @@ pub fn all_apps() -> Vec<AppSpec> {
         name: "SS",
         suite: Mars,
         class: MemoryBound,
-        template: KernelTemplate::Streaming { loads: 2, alu_per_load: 2 },
+        template: KernelTemplate::Streaming {
+            loads: 2,
+            alu_per_load: 2,
+        },
         data: DataProfile::PointerPool { pool: 8 },
         regs_per_thread: 14,
         block_dim: 256,
@@ -346,7 +386,10 @@ pub fn all_apps() -> Vec<AppSpec> {
         name: "sc",
         suite: Rodinia,
         class: MemoryBound,
-        template: KernelTemplate::Streaming { loads: 2, alu_per_load: 3 },
+        template: KernelTemplate::Streaming {
+            loads: 2,
+            alu_per_load: 3,
+        },
         data: DataProfile::Random,
         regs_per_thread: 18,
         block_dim: 256,
@@ -358,7 +401,10 @@ pub fn all_apps() -> Vec<AppSpec> {
         suite: Lonestar,
         class: MemoryBound,
         template: KernelTemplate::Gather { alu_per_load: 1 },
-        data: DataProfile::SparseSmall { zero_prob: 0.6, max_value: 1 << 14 },
+        data: DataProfile::SparseSmall {
+            zero_prob: 0.6,
+            max_value: 1 << 14,
+        },
         regs_per_thread: 12,
         block_dim: 256,
         elements: 96 * 1024,
@@ -380,7 +426,10 @@ pub fn all_apps() -> Vec<AppSpec> {
         suite: Lonestar,
         class: MemoryBound,
         template: KernelTemplate::Gather { alu_per_load: 2 },
-        data: DataProfile::SparseSmall { zero_prob: 0.55, max_value: 2048 },
+        data: DataProfile::SparseSmall {
+            zero_prob: 0.55,
+            max_value: 2048,
+        },
         regs_per_thread: 16,
         block_dim: 256,
         elements: 80 * 1024,
@@ -390,8 +439,14 @@ pub fn all_apps() -> Vec<AppSpec> {
         name: "sp",
         suite: Lonestar,
         class: MemoryBound,
-        template: KernelTemplate::Streaming { loads: 2, alu_per_load: 1 },
-        data: DataProfile::SparseSmall { zero_prob: 0.45, max_value: 512 },
+        template: KernelTemplate::Streaming {
+            loads: 2,
+            alu_per_load: 1,
+        },
+        data: DataProfile::SparseSmall {
+            zero_prob: 0.45,
+            max_value: 512,
+        },
         regs_per_thread: 12,
         block_dim: 256,
         elements: 192 * 1024,
@@ -402,7 +457,10 @@ pub fn all_apps() -> Vec<AppSpec> {
         suite: Lonestar,
         class: MemoryBound,
         template: KernelTemplate::Gather { alu_per_load: 2 },
-        data: DataProfile::LowDynamicRange { base: 0x10_0000, range: 90 },
+        data: DataProfile::LowDynamicRange {
+            base: 0x10_0000,
+            range: 90,
+        },
         regs_per_thread: 14,
         block_dim: 256,
         elements: 96 * 1024,
@@ -414,8 +472,14 @@ pub fn all_apps() -> Vec<AppSpec> {
         name: "SLA",
         suite: Cuda,
         class: ComputeBound,
-        template: KernelTemplate::Streaming { loads: 2, alu_per_load: 4 },
-        data: DataProfile::LowDynamicRange { base: 0x4000_0000, range: 100 },
+        template: KernelTemplate::Streaming {
+            loads: 2,
+            alu_per_load: 4,
+        },
+        data: DataProfile::LowDynamicRange {
+            base: 0x4000_0000,
+            range: 100,
+        },
         regs_per_thread: 18,
         block_dim: 128,
         elements: 128 * 1024,
@@ -425,7 +489,10 @@ pub fn all_apps() -> Vec<AppSpec> {
         name: "TRA",
         suite: Cuda,
         class: MemoryBound,
-        template: KernelTemplate::Streaming { loads: 2, alu_per_load: 1 },
+        template: KernelTemplate::Streaming {
+            loads: 2,
+            alu_per_load: 1,
+        },
         data: DataProfile::Mixed,
         regs_per_thread: 12,
         block_dim: 128,
@@ -448,7 +515,10 @@ pub fn all_apps() -> Vec<AppSpec> {
         suite: Rodinia,
         class: MemoryBound,
         template: KernelTemplate::Stencil,
-        data: DataProfile::SparseSmall { zero_prob: 0.7, max_value: 32 },
+        data: DataProfile::SparseSmall {
+            zero_prob: 0.7,
+            max_value: 32,
+        },
         regs_per_thread: 16,
         block_dim: 128,
         elements: 128 * 1024,
@@ -458,7 +528,10 @@ pub fn all_apps() -> Vec<AppSpec> {
         name: "KM",
         suite: Mars,
         class: MemoryBound,
-        template: KernelTemplate::Streaming { loads: 3, alu_per_load: 3 },
+        template: KernelTemplate::Streaming {
+            loads: 3,
+            alu_per_load: 3,
+        },
         data: DataProfile::Mixed,
         regs_per_thread: 18,
         block_dim: 256,
@@ -493,8 +566,14 @@ pub fn all_apps() -> Vec<AppSpec> {
         name: "NQU",
         suite: Cuda,
         class: ComputeBound,
-        template: KernelTemplate::ComputeHeavy { alu_iters: 32, sfu_every: 0 },
-        data: DataProfile::SparseSmall { zero_prob: 0.4, max_value: 64 },
+        template: KernelTemplate::ComputeHeavy {
+            alu_iters: 32,
+            sfu_every: 0,
+        },
+        data: DataProfile::SparseSmall {
+            zero_prob: 0.4,
+            max_value: 64,
+        },
         regs_per_thread: 16,
         block_dim: 96,
         elements: 12 * 1024,
@@ -504,7 +583,10 @@ pub fn all_apps() -> Vec<AppSpec> {
         name: "pt",
         suite: Lonestar,
         class: ComputeBound,
-        template: KernelTemplate::ComputeHeavy { alu_iters: 20, sfu_every: 4 },
+        template: KernelTemplate::ComputeHeavy {
+            alu_iters: 20,
+            sfu_every: 4,
+        },
         data: DataProfile::FloatLike,
         regs_per_thread: 24,
         block_dim: 192,
@@ -515,8 +597,14 @@ pub fn all_apps() -> Vec<AppSpec> {
         name: "lc",
         suite: Rodinia,
         class: ComputeBound,
-        template: KernelTemplate::ComputeHeavy { alu_iters: 28, sfu_every: 0 },
-        data: DataProfile::LowDynamicRange { base: 0x100, range: 64 },
+        template: KernelTemplate::ComputeHeavy {
+            alu_iters: 28,
+            sfu_every: 0,
+        },
+        data: DataProfile::LowDynamicRange {
+            base: 0x100,
+            range: 64,
+        },
         regs_per_thread: 18,
         block_dim: 128,
         elements: 12 * 1024,
@@ -526,7 +614,10 @@ pub fn all_apps() -> Vec<AppSpec> {
         name: "STO",
         suite: Cuda,
         class: ComputeBound,
-        template: KernelTemplate::ComputeHeavy { alu_iters: 36, sfu_every: 0 },
+        template: KernelTemplate::ComputeHeavy {
+            alu_iters: 36,
+            sfu_every: 0,
+        },
         data: DataProfile::PointerPool { pool: 16 },
         regs_per_thread: 22,
         block_dim: 128,
@@ -537,7 +628,10 @@ pub fn all_apps() -> Vec<AppSpec> {
         name: "NN",
         suite: Cuda,
         class: ComputeBound,
-        template: KernelTemplate::ComputeHeavy { alu_iters: 24, sfu_every: 6 },
+        template: KernelTemplate::ComputeHeavy {
+            alu_iters: 24,
+            sfu_every: 6,
+        },
         data: DataProfile::FloatLike,
         regs_per_thread: 26,
         block_dim: 192,

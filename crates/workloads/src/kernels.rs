@@ -13,8 +13,7 @@
 //! memory system, not address arithmetic.
 
 use caba_isa::{
-    AluOp, CmpOp, Kernel, LaunchDims, Pred, ProgramBuilder, Reg, SfuOp, Space, Special, Src,
-    Width,
+    AluOp, CmpOp, Kernel, LaunchDims, Pred, ProgramBuilder, Reg, SfuOp, Space, Special, Src, Width,
 };
 
 /// Parameter-slot conventions shared by every template.
@@ -101,9 +100,10 @@ impl KernelTemplate {
         let threads = self.threads(elements);
         let grid = threads.div_ceil(block_dim).max(1);
         let program = match *self {
-            KernelTemplate::Streaming { loads, alu_per_load } => {
-                streaming(threads, loads, alu_per_load)
-            }
+            KernelTemplate::Streaming {
+                loads,
+                alu_per_load,
+            } => streaming(threads, loads, alu_per_load),
             KernelTemplate::Gather { alu_per_load } => gather(elements, alu_per_load),
             KernelTemplate::PointerChase { hops } => pointer_chase(elements, hops),
             KernelTemplate::Stencil => stencil(elements),
@@ -206,7 +206,12 @@ fn pointer_chase(elements: u32, hops: u32) -> caba_isa::Program {
         b.ld(Space::Global, Width::B4, IDX, Src::Reg(ADDR), 0);
         clamp(b, IDX, IDX, elements);
         b.alu(AluOp::Add, I, Src::Reg(I), Src::Imm(1));
-        b.setp(Pred(0), CmpOp::LtU, Src::Reg(I), Src::Imm(hops.max(1) as u64));
+        b.setp(
+            Pred(0),
+            CmpOp::LtU,
+            Src::Reg(I),
+            Src::Imm(hops.max(1) as u64),
+        );
         Pred(0)
     });
     clamp(&mut b, T0, GID, elements);
@@ -380,12 +385,12 @@ mod tests {
 
     #[test]
     fn gather_and_chase_are_element_per_thread() {
-        assert_eq!(KernelTemplate::Gather { alu_per_load: 1 }.threads(5000), 5000);
-        // Pointer chases traverse a quarter of the nodes.
         assert_eq!(
-            KernelTemplate::PointerChase { hops: 3 }.threads(4000),
-            1000
+            KernelTemplate::Gather { alu_per_load: 1 }.threads(5000),
+            5000
         );
+        // Pointer chases traverse a quarter of the nodes.
+        assert_eq!(KernelTemplate::PointerChase { hops: 3 }.threads(4000), 1000);
         assert_eq!(KernelTemplate::Stencil.element_bytes(), 8);
         assert_eq!(
             KernelTemplate::Gather { alu_per_load: 1 }.element_bytes(),

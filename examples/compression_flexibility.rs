@@ -15,9 +15,24 @@ fn main() {
     // Part 1: raw algorithm behaviour on characteristic data patterns.
     println!("Per-pattern compressed sizes of one {LINE_SIZE}-byte line:\n");
     let patterns = [
-        ("low-dynamic-range ints", DataProfile::LowDynamicRange { base: 0x0BAD_C0DE, range: 90 }),
-        ("sparse small ints     ", DataProfile::SparseSmall { zero_prob: 0.7, max_value: 48 }),
-        ("pointer-pool words    ", DataProfile::PointerPool { pool: 6 }),
+        (
+            "low-dynamic-range ints",
+            DataProfile::LowDynamicRange {
+                base: 0x0BAD_C0DE,
+                range: 90,
+            },
+        ),
+        (
+            "sparse small ints     ",
+            DataProfile::SparseSmall {
+                zero_prob: 0.7,
+                max_value: 48,
+            },
+        ),
+        (
+            "pointer-pool words    ",
+            DataProfile::PointerPool { pool: 6 },
+        ),
         ("high-entropy noise    ", DataProfile::Random),
     ];
     println!("pattern                  BDI     FPC     C-Pack  BestOfAll");
@@ -37,7 +52,10 @@ fn main() {
             .map(|c| format!("{:>3} B ({})", c.size_bytes(), c.algorithm.name()))
             .unwrap_or_else(|| "  raw".into());
         // Algorithm::ALL order is FPC, BDI, C-Pack; print BDI first.
-        println!("{name}  {:>6}  {:>6}  {:>6}  {best}", cells[1], cells[0], cells[2]);
+        println!(
+            "{name}  {:>6}  {:>6}  {:>6}  {best}",
+            cells[1], cells[0], cells[2]
+        );
     }
 
     // Part 2: whole-application runs, swapping the algorithm by swapping the

@@ -22,18 +22,23 @@ fn main() {
             }
         })
         .collect();
-    let unique: Vec<Vec<u64>> = (0..50_000)
-        .map(|i| vec![i as u64, i as u64 * 3])
-        .collect();
+    let unique: Vec<Vec<u64>> = (0..50_000).map(|i| vec![i as u64, i as u64 * 3]).collect();
 
     let compute_cycles = 400; // an expensive transcendental-heavy shader
-    let expensive =
-        |inp: &[u64]| inp[0].wrapping_mul(0x9E37_79B9).rotate_left(13) ^ inp.get(1).copied().unwrap_or(7);
+    let expensive = |inp: &[u64]| {
+        inp[0].wrapping_mul(0x9E37_79B9).rotate_left(13) ^ inp.get(1).copied().unwrap_or(7)
+    };
 
-    println!("LUT capacity 2048 entries, probe {} cy, compute {} cy\n",
-             MemoConfig::default().lookup_cycles, compute_cycles);
+    println!(
+        "LUT capacity 2048 entries, probe {} cy, compute {} cy\n",
+        MemoConfig::default().lookup_cycles,
+        compute_cycles
+    );
     println!("workload          hit rate  eliminated  speedup");
-    for (name, trace) in [("redundant (90%)", &redundant), ("all-unique     ", &unique)] {
+    for (name, trace) in [
+        ("redundant (90%)", &redundant),
+        ("all-unique     ", &unique),
+    ] {
         let r = evaluate(MemoConfig::default(), compute_cycles, trace, expensive);
         println!(
             "{name}   {:>6.1}%  {:>9}   {:>5.2}x",
@@ -57,7 +62,11 @@ fn main() {
             ..MemoConfig::default()
         };
         let r = evaluate(cfg, compute_cycles, &jittered, expensive);
-        println!("{bits:>13}  {:>7.1}%  {:>5.2}x", r.hit_rate * 100.0, r.speedup());
+        println!(
+            "{bits:>13}  {:>7.1}%  {:>5.2}x",
+            r.hit_rate * 100.0,
+            r.speedup()
+        );
     }
     println!("\nMemoization helps exactly when input redundancy exists — and the");
     println!("CABA framework lets it be enabled per-application, like compression.");

@@ -32,9 +32,7 @@ fn main() {
     println!("Per-warp stride prefetching into the 16 KB L1 (paper geometry):\n");
     println!("trace        throttle   L1 misses base→pf   coverage  issued  dropped");
     for (name, trace) in [("streaming", &streaming), ("irregular", &irregular)] {
-        for (tname, idle_only, busy_every) in
-            [("idle-only", true, 3), ("unthrottled", false, 0)]
-        {
+        for (tname, idle_only, busy_every) in [("idle-only", true, 3), ("unthrottled", false, 0)] {
             let cfg = PrefetchConfig {
                 idle_only,
                 ..PrefetchConfig::default()

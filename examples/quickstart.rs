@@ -22,7 +22,12 @@ fn build_kernel(threads: u32, in_base: u64, out_base: u64) -> Kernel {
         b.ld(Space::Global, Width::B8, v, Src::Reg(addr), 0);
         b.alu(AluOp::Add, acc, Src::Reg(acc), Src::Reg(v));
         if r < 3 {
-            b.alu(AluOp::Add, addr, Src::Reg(addr), Src::Imm(threads as u64 * 8));
+            b.alu(
+                AluOp::Add,
+                addr,
+                Src::Reg(addr),
+                Src::Imm(threads as u64 * 8),
+            );
         }
     }
     b.alu(AluOp::And, acc, Src::Reg(acc), Src::Imm(0xFFFF));
@@ -47,7 +52,8 @@ fn main() {
         let mut gpu = Gpu::new(GpuConfig::isca2015_scaled(), design);
         // Compressible input: low-dynamic-range 32-bit values.
         for i in 0..(THREADS as u64 * 8) {
-            gpu.mem_mut().write_u32(IN + i * 4, 0x4000_0000 + (i % 97) as u32);
+            gpu.mem_mut()
+                .write_u32(IN + i * 4, 0x4000_0000 + (i % 97) as u32);
         }
         let stats = gpu.run(&kernel, 100_000_000).expect("kernel completes");
         println!(

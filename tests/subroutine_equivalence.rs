@@ -10,15 +10,14 @@
 use caba::compress::bdi::{Bdi, BdiEncoding};
 use caba::compress::{CompressedLine, Compressor, LINE_SIZE};
 use caba::core::subroutines::{
-    active_mask_for, bdi_compress, bdi_decompress, lanes_for, HDR_OFF, PAYLOAD_OFF,
-    CABA_COMPRESS_ENCODINGS,
+    active_mask_for, bdi_compress, bdi_decompress, lanes_for, CABA_COMPRESS_ENCODINGS, HDR_OFF,
+    PAYLOAD_OFF,
 };
 use caba::isa::{Program, Reg};
 use caba::mem::FuncMem;
 use caba::sim::exec::{execute, ThreadCtx};
 use caba::sim::Warp;
-use caba::stats::Rng64;
-use proptest::prelude::*;
+use caba::stats::{prop, Rng64};
 
 const LINE_ADDR: u64 = 0x2_0000;
 const SLOT_ADDR: u64 = 0x9_0000;
@@ -88,75 +87,81 @@ fn decompress_via_assist(c: &CompressedLine) -> Vec<u8> {
     mem.read_bytes(LINE_ADDR, LINE_SIZE)
 }
 
-fn compressible_line_strategy() -> impl Strategy<Value = Vec<u8>> {
-    prop_oneof![
-        // Narrow 4-byte deltas around a random base.
-        (any::<u32>(), proptest::collection::vec(0u32..100, LINE_SIZE / 4)).prop_map(
-            |(base, deltas)| {
-                let mut line = Vec::new();
-                for d in deltas {
-                    line.extend_from_slice(&base.wrapping_add(d).to_le_bytes());
-                }
-                line
+/// Produces lines across four regimes: narrow 4-byte deltas, narrow signed
+/// 8-byte deltas, sparse small values, and arbitrary bytes (the last
+/// usually fails compression — the subroutine must report failure, never
+/// emit a wrong payload).
+fn random_compressible_line(rng: &mut Rng64) -> Vec<u8> {
+    match rng.range_u64(4) {
+        0 => {
+            let base = rng.next_u64() as u32;
+            let mut line = Vec::new();
+            for _ in 0..LINE_SIZE / 4 {
+                let d = rng.range_u64(100) as u32;
+                line.extend_from_slice(&base.wrapping_add(d).to_le_bytes());
             }
-        ),
-        // Narrow 8-byte deltas (signed).
-        (any::<u64>(), proptest::collection::vec(-100i64..100, LINE_SIZE / 8)).prop_map(
-            |(base, deltas)| {
-                let mut line = Vec::new();
-                for d in deltas {
-                    line.extend_from_slice(&base.wrapping_add_signed(d).to_le_bytes());
-                }
-                line
+            line
+        }
+        1 => {
+            let base = rng.next_u64();
+            let mut line = Vec::new();
+            for _ in 0..LINE_SIZE / 8 {
+                let d = rng.range_u64(200) as i64 - 100;
+                line.extend_from_slice(&base.wrapping_add_signed(d).to_le_bytes());
             }
-        ),
-        // Sparse small values (implicit zero base dominates).
-        proptest::collection::vec(prop_oneof![4 => Just(0u32), 1 => 0u32..64], LINE_SIZE / 4)
-            .prop_map(|ws| {
-                let mut line = Vec::new();
-                for w in ws {
-                    line.extend_from_slice(&w.to_le_bytes());
-                }
-                line
-            }),
-        // Arbitrary bytes (usually fails compression — the subroutine must
-        // report failure, never emit a wrong payload).
-        proptest::collection::vec(any::<u8>(), LINE_SIZE),
-    ]
+            line
+        }
+        2 => {
+            let mut line = Vec::new();
+            for _ in 0..LINE_SIZE / 4 {
+                let w = if rng.chance(0.2) {
+                    rng.range_u64(64) as u32
+                } else {
+                    0u32
+                };
+                line.extend_from_slice(&w.to_le_bytes());
+            }
+            line
+        }
+        _ => prop::bytes(rng, LINE_SIZE),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The compression assist warp's verdict and payload match the reference
-    /// compressor exactly, for every single-pass encoding.
-    #[test]
-    fn compression_subroutine_matches_reference(line in compressible_line_strategy()) {
+/// The compression assist warp's verdict and payload match the reference
+/// compressor exactly, for every single-pass encoding.
+#[test]
+fn compression_subroutine_matches_reference() {
+    prop::check(0xC0395, 64, |rng| {
+        let line = random_compressible_line(rng);
         let bdi = Bdi::new();
         for enc in CABA_COMPRESS_ENCODINGS {
             let reference = bdi.compress_with(&line, enc);
             let assist = compress_via_assist(&line, enc);
             match (reference, assist) {
-                (Some(r), Some(a)) => prop_assert_eq!(r.payload, a, "{:?}", enc),
+                (Some(r), Some(a)) => assert_eq!(r.payload, a, "{enc:?}"),
                 (None, None) => {}
-                (r, a) => prop_assert!(
-                    false,
+                (r, a) => panic!(
                     "verdict mismatch for {:?}: reference={:?} assist={:?}",
-                    enc, r.map(|c| c.size_bytes()), a.map(|p| p.len())
+                    enc,
+                    r.map(|c| c.size_bytes()),
+                    a.map(|p| p.len())
                 ),
             }
         }
-    }
+    });
+}
 
-    /// The decompression assist warp reconstructs the original line exactly,
-    /// for every encoding the reference compressor may choose.
-    #[test]
-    fn decompression_subroutine_reconstructs_line(line in compressible_line_strategy()) {
+/// The decompression assist warp reconstructs the original line exactly,
+/// for every encoding the reference compressor may choose.
+#[test]
+fn decompression_subroutine_reconstructs_line() {
+    prop::check(0xDEC0395, 64, |rng| {
+        let line = random_compressible_line(rng);
         if let Some(c) = Bdi::new().compress(&line) {
             let out = decompress_via_assist(&c);
-            prop_assert_eq!(out, line);
+            assert_eq!(out, line);
         }
-    }
+    });
 }
 
 /// The paper's Figure 5 line, end to end through the assist warps: compress
@@ -202,9 +207,7 @@ fn thousand_line_sweep() {
         let range = [4u64, 50, 120, 4000][rng.range_u64(4) as usize];
         let mut line = Vec::new();
         for _ in 0..LINE_SIZE / 4 {
-            line.extend_from_slice(
-                &base.wrapping_add(rng.range_u64(range) as u32).to_le_bytes(),
-            );
+            line.extend_from_slice(&base.wrapping_add(rng.range_u64(range) as u32).to_le_bytes());
         }
         if let Some(c) = bdi.compress(&line) {
             compressed += 1;

@@ -11,7 +11,10 @@ use caba::workloads::{all_apps, app, eval_apps, run_app, AppClass};
 #[test]
 fn suite_composition_matches_figure1() {
     let apps = all_apps();
-    let mem = apps.iter().filter(|a| a.class == AppClass::MemoryBound).count();
+    let mem = apps
+        .iter()
+        .filter(|a| a.class == AppClass::MemoryBound)
+        .count();
     assert!(mem >= 17, "at least 17 memory-bound apps, got {mem}");
     assert!(apps.len() >= 27);
     assert!(eval_apps().len() >= 15);
@@ -33,7 +36,12 @@ fn compressed_designs_beat_base_on_compressible_memory_bound_app() {
     )
     .unwrap();
     let caba = run_app(&a, cfg, Design::Caba(Box::new(CabaController::bdi())), 0.25).unwrap();
-    assert!(hw.cycles < base.cycles, "HW {} vs Base {}", hw.cycles, base.cycles);
+    assert!(
+        hw.cycles < base.cycles,
+        "HW {} vs Base {}",
+        hw.cycles,
+        base.cycles
+    );
     assert!(
         caba.cycles < base.cycles,
         "CABA {} vs Base {}",
