@@ -13,92 +13,32 @@
 //! `cargo run --release -p caba-bench --bin fig07_performance`.
 
 use caba_compress::{average_best_ratio, average_burst_ratio, Algorithm};
-use caba_core::CabaController;
 use caba_energy::{energy, DesignKind};
 use caba_sim::occupancy::occupancy;
 use caba_sim::{Design, GpuConfig, RunStats};
 use caba_stats::table::{pct, speedup};
 use caba_stats::{StallKind, Table};
+use caba_sweep::{run_cells, SweepCell, SweepConfig};
 use caba_workloads::{all_apps, eval_apps, run_app, AppClass, AppSpec};
 use std::collections::HashMap;
 
-/// Identifies a design point in the run matrix (a cloneable stand-in for
-/// [`Design`], which owns a controller and therefore is not `Clone`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum DesignId {
-    /// Uncompressed baseline.
-    Base,
-    /// HW-BDI-Mem: dedicated logic, memory-bandwidth compression only.
-    HwBdiMem,
-    /// HW-BDI: dedicated logic, interconnect + memory compression.
-    HwBdi,
-    /// CABA-BDI: assist warps.
-    CabaBdi,
-    /// Ideal-BDI: no compression overheads.
-    IdealBdi,
-    /// CABA-FPC.
-    CabaFpc,
-    /// CABA-C-Pack.
-    CabaCPack,
-    /// CABA-BestOfAll.
-    CabaBest,
-}
+// The design-point identifier lives in `caba-sweep` (the executor needs it
+// to describe cells); re-exported here so existing harness code and the
+// figure binaries keep their imports.
+pub use caba_sweep::DesignId;
 
-impl DesignId {
-    /// The five designs of Figures 7–9.
-    pub const FIG7: [DesignId; 5] = [
-        DesignId::Base,
-        DesignId::HwBdiMem,
-        DesignId::HwBdi,
-        DesignId::CabaBdi,
-        DesignId::IdealBdi,
-    ];
-
-    /// Display label matching the paper.
-    pub fn label(self) -> &'static str {
-        match self {
-            DesignId::Base => "Base",
-            DesignId::HwBdiMem => "HW-BDI-Mem",
-            DesignId::HwBdi => "HW-BDI",
-            DesignId::CabaBdi => "CABA-BDI",
-            DesignId::IdealBdi => "Ideal-BDI",
-            DesignId::CabaFpc => "CABA-FPC",
-            DesignId::CabaCPack => "CABA-CPack",
-            DesignId::CabaBest => "CABA-BestOfAll",
-        }
-    }
-
-    /// Instantiates the design.
-    pub fn make(self) -> Design {
-        match self {
-            DesignId::Base => Design::Base,
-            DesignId::HwBdiMem => Design::HwMemOnly {
-                alg: Algorithm::Bdi,
-            },
-            DesignId::HwBdi => Design::HwFull {
-                alg: Algorithm::Bdi,
-                ideal: false,
-            },
-            DesignId::IdealBdi => Design::HwFull {
-                alg: Algorithm::Bdi,
-                ideal: true,
-            },
-            DesignId::CabaBdi => Design::Caba(Box::new(CabaController::bdi())),
-            DesignId::CabaFpc => Design::Caba(Box::new(CabaController::fpc())),
-            DesignId::CabaCPack => Design::Caba(Box::new(CabaController::cpack())),
-            DesignId::CabaBest => Design::Caba(Box::new(CabaController::best_of_all())),
-        }
-    }
-
-    /// The energy-accounting kind.
-    pub fn energy_kind(self) -> DesignKind {
-        match self {
-            DesignId::Base => DesignKind::Base,
-            DesignId::HwBdiMem | DesignId::HwBdi => DesignKind::DedicatedLogic,
-            DesignId::IdealBdi => DesignKind::Ideal,
-            _ => DesignKind::Caba,
-        }
-    }
+/// Worker-thread count for sweep-backed figures: `CABA_SWEEP_JOBS`, or the
+/// machine's available parallelism.
+pub fn sweep_jobs() -> usize {
+    std::env::var("CABA_SWEEP_JOBS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+        .max(1)
 }
 
 /// Harness options (tunable via environment for quick runs).
@@ -147,6 +87,37 @@ impl RunMatrix {
             self.results.insert(key.clone(), stats);
         }
         &self.results[&key]
+    }
+
+    /// Pre-populates `eval_apps × designs` through the parallel sweep
+    /// executor. Each cell runs `run_app` on a fresh GPU — the same entry
+    /// point `get` uses — so a prefilled matrix yields byte-identical
+    /// figures, just faster: later `get` calls hit the cache instead of
+    /// simulating serially.
+    pub fn prefill(&mut self, hc: &HarnessConfig, designs: &[DesignId], jobs: usize) {
+        let cells: Vec<SweepCell> = eval_apps()
+            .iter()
+            .flat_map(|a| {
+                designs.iter().map(|&design| SweepCell {
+                    app: a.name,
+                    design,
+                    bw_scale: 1.0,
+                })
+            })
+            .filter(|c| !self.results.contains_key(&(c.app.to_string(), c.design)))
+            .collect();
+        if cells.is_empty() {
+            return;
+        }
+        eprintln!("  prefilling {} cells over {jobs} worker(s) ...", cells.len());
+        let sc = SweepConfig {
+            scale: hc.scale,
+            cfg: hc.cfg,
+        };
+        for r in run_cells(&sc, &cells, jobs) {
+            self.results
+                .insert((r.cell.app.to_string(), r.cell.design), r.stats);
+        }
     }
 }
 
@@ -268,7 +239,12 @@ pub fn fig05_bdi_example() -> Table {
 // ---------------------------------------------------------------------------
 
 /// Regenerates Figure 7 (normalized performance of the five designs).
+///
+/// The `eval_apps × FIG7` matrix is prefilled through the parallel sweep
+/// executor (`CABA_SWEEP_JOBS` workers); the table itself is assembled
+/// from the cached results and is byte-identical to the serial path.
 pub fn fig07_performance(hc: &HarnessConfig, m: &mut RunMatrix) -> Table {
+    m.prefill(hc, &DesignId::FIG7, sweep_jobs());
     let mut t = Table::with_columns(&[
         "App", "Base", "HW-BDI-Mem", "HW-BDI", "CABA-BDI", "Ideal-BDI",
     ]);
@@ -384,13 +360,14 @@ pub fn tab_md_cache(hc: &HarnessConfig, m: &mut RunMatrix) -> Table {
 // ---------------------------------------------------------------------------
 
 /// Regenerates Figure 10 (speedup with FPC / BDI / C-Pack / BestOfAll).
+///
+/// Prefilled through the parallel sweep executor, like
+/// [`fig07_performance`].
 pub fn fig10_algorithms(hc: &HarnessConfig, m: &mut RunMatrix) -> Table {
-    let designs = [
-        DesignId::CabaFpc,
-        DesignId::CabaBdi,
-        DesignId::CabaCPack,
-        DesignId::CabaBest,
-    ];
+    let designs = DesignId::FIG10;
+    let mut prefill = vec![DesignId::Base];
+    prefill.extend(DesignId::FIG10);
+    m.prefill(hc, &prefill, sweep_jobs());
     let mut t = Table::with_columns(&["App", "CABA-FPC", "CABA-BDI", "CABA-CPack", "CABA-Best"]);
     let mut avgs: HashMap<DesignId, Vec<f64>> = HashMap::new();
     for app in eval_apps() {
@@ -451,35 +428,32 @@ pub fn fig11_compression_ratio(hc: &HarnessConfig) -> Table {
 
 /// Regenerates Figure 12 (½×/1×/2× bandwidth, Base vs CABA-BDI), averaged
 /// over the evaluation set and normalized to 1×-Base.
+///
+/// The whole `apps × bandwidth × design` matrix runs through the parallel
+/// sweep executor; rows normalize against each app's 1×-Base cell from
+/// the same sweep, so the table is byte-identical to the serial path.
 pub fn fig12_bw_sensitivity(hc: &HarnessConfig) -> Table {
     let mut t = Table::with_columns(&[
         "App", "1/2x-Base", "1/2x-CABA", "1x-Base", "1x-CABA", "2x-Base", "2x-CABA",
     ]);
+    let sc = SweepConfig {
+        scale: hc.scale,
+        cfg: hc.cfg,
+    };
+    // Per app, in cell order: ½×-Base, ½×-CABA, 1×-Base, 1×-CABA,
+    // 2×-Base, 2×-CABA — matching the table columns.
+    let cells = caba_sweep::fig12_cells();
+    let results = run_cells(&sc, &cells, sweep_jobs());
     let mut sums = [0.0f64; 6];
     let apps = eval_apps();
-    for app in &apps {
-        eprintln!("  fig12: {}", app.name);
-        let mut cells = Vec::new();
-        let base_1x = run_app(app, hc.cfg, Design::Base, hc.scale)
-            .unwrap_or_else(|e| panic!("{}: {e}", app.name))
-            .cycles;
-        for bw in [0.5, 1.0, 2.0] {
-            let cfg = hc.cfg.with_bandwidth_scale(bw);
-            for caba in [false, true] {
-                let design = if caba {
-                    Design::Caba(Box::new(CabaController::bdi()))
-                } else {
-                    Design::Base
-                };
-                let s = run_app(app, cfg, design, hc.scale)
-                    .unwrap_or_else(|e| panic!("{}: {e}", app.name));
-                cells.push(base_1x as f64 / s.cycles as f64);
-            }
-        }
+    for (app, chunk) in apps.iter().zip(results.chunks_exact(6)) {
+        debug_assert!(chunk.iter().all(|r| r.cell.app == app.name));
+        let base_1x = chunk[2].stats.cycles; // the 1×-Base cell
         let mut row = vec![app.name.to_string()];
-        for (s, v) in sums.iter_mut().zip(&cells) {
+        for (s, r) in sums.iter_mut().zip(chunk) {
+            let v = base_1x as f64 / r.stats.cycles as f64;
             *s += v;
-            row.push(speedup(*v));
+            row.push(speedup(v));
         }
         t.row(row);
     }

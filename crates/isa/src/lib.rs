@@ -486,34 +486,27 @@ impl Instr {
         }
     }
 
-    /// Source registers read by this instruction (up to 3).
-    pub fn src_regs(&self) -> Vec<Reg> {
-        let mut out = Vec::with_capacity(3);
-        let mut push = |s: Src| {
-            if let Src::Reg(r) = s {
-                out.push(r);
+    /// Source registers read by this instruction, as a fixed-size array
+    /// (`None` in unused positions). This is the allocation-free form used
+    /// by the per-cycle scoreboard hazard check; [`Instr::src_regs`] is the
+    /// collecting convenience wrapper.
+    pub fn src_regs_fixed(&self) -> [Option<Reg>; 3] {
+        fn reg(s: Src) -> Option<Reg> {
+            match s {
+                Src::Reg(r) => Some(r),
+                _ => None,
             }
-        };
+        }
         match self.op {
             Op::Alu { a, b, .. } | Op::FAlu { a, b, .. } | Op::SetP { a, b, .. } => {
-                push(a);
-                push(b);
+                [reg(a), reg(b), None]
             }
-            Op::Sfu { a, .. } => push(a),
-            Op::Selp { a, b, .. } => {
-                push(a);
-                push(b);
-            }
-            Op::Ld { addr, .. } => push(addr),
-            Op::St { src, addr, .. } => {
-                push(src);
-                push(addr);
-            }
-            Op::LdPacked { base, .. } => push(base),
-            Op::StPacked { src, base, .. } => {
-                push(src);
-                push(base);
-            }
+            Op::Sfu { a, .. } => [reg(a), None, None],
+            Op::Selp { a, b, .. } => [reg(a), reg(b), None],
+            Op::Ld { addr, .. } => [reg(addr), None, None],
+            Op::St { src, addr, .. } => [reg(src), reg(addr), None],
+            Op::LdPacked { base, .. } => [reg(base), None, None],
+            Op::StPacked { src, base, .. } => [reg(src), reg(base), None],
             Op::PBool { .. }
             | Op::VoteAll { .. }
             | Op::VoteAny { .. }
@@ -522,9 +515,13 @@ impl Instr {
             | Op::Bra { .. }
             | Op::Bar
             | Op::Exit
-            | Op::Nop => {}
+            | Op::Nop => [None; 3],
         }
-        out
+    }
+
+    /// Source registers read by this instruction (up to 3).
+    pub fn src_regs(&self) -> Vec<Reg> {
+        self.src_regs_fixed().into_iter().flatten().collect()
     }
 
     /// True for loads (global or shared, plain or packed).

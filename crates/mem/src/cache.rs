@@ -2,7 +2,7 @@
 //! compressed-cache mode of §6.5 / Figure 13, and MSHRs.
 
 use crate::{line_base, LINE_SIZE};
-use std::collections::HashMap;
+use caba_stats::FxHashMap;
 
 /// Geometry of a cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -272,7 +272,9 @@ impl Cache {
 #[derive(Debug)]
 pub struct Mshr<T> {
     capacity: usize,
-    entries: HashMap<u64, Vec<T>>,
+    // FxHash: probed on every load; waiter order within an entry is
+    // insertion order (a Vec), so response ordering is hasher-independent.
+    entries: FxHashMap<u64, Vec<T>>,
     merged: u64,
 }
 
@@ -281,7 +283,7 @@ impl<T> Mshr<T> {
     pub fn new(capacity: usize) -> Self {
         Mshr {
             capacity,
-            entries: HashMap::new(),
+            entries: FxHashMap::default(),
             merged: 0,
         }
     }

@@ -278,6 +278,19 @@ impl DramChannel {
         self.in_flight.push((data_end, req));
     }
 
+    /// Advances `n` cycles of pure idleness in one call, so callers can
+    /// skip per-cycle [`DramChannel::cycle`] calls on a drained channel and
+    /// catch the clock up later. Timing-equivalent to `n` `cycle()` calls:
+    /// with nothing queued, in flight, or completed, a cycle only advances
+    /// `now` and `total_cycles` (the Figure 8 utilization denominator).
+    ///
+    /// Must only be called while [`DramChannel::idle`] is true.
+    pub fn tick_idle(&mut self, n: u64) {
+        debug_assert!(self.idle(), "tick_idle on a non-idle channel");
+        self.now += n;
+        self.stats.total_cycles += n;
+    }
+
     /// Pops a completed request, if any.
     pub fn pop_completed(&mut self) -> Option<DramRequest> {
         self.completed.pop_front()

@@ -2,7 +2,7 @@
 
 use crate::{line_base, LINE_SIZE};
 use caba_compress::{Algorithm, BestOfAll, CompressedLine, Compressor};
-use std::collections::HashMap;
+use caba_stats::FxHashMap;
 
 const PAGE_SIZE: usize = 4096;
 
@@ -20,7 +20,9 @@ const PAGE_SIZE: usize = 4096;
 /// ```
 #[derive(Debug, Default, Clone)]
 pub struct FuncMem {
-    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+    // FxHash: page lookups are on every load/store path of the functional
+    // model; iteration order never reaches architectural state.
+    pages: FxHashMap<u64, Box<[u8; PAGE_SIZE]>>,
 }
 
 impl FuncMem {
@@ -133,7 +135,9 @@ pub enum LineCompressor {
 /// are never used.
 pub struct CompressionMap {
     compressor: LineCompressor,
-    lines: HashMap<u64, Option<CompressedLine>>,
+    // FxHash: consulted on every size-oracle query; `audit_round_trips`
+    // sorts its result, so iteration order stays invisible.
+    lines: FxHashMap<u64, Option<CompressedLine>>,
     fixed: Option<Box<dyn Compressor>>,
     best: BestOfAll,
 }
@@ -156,7 +160,7 @@ impl CompressionMap {
         };
         CompressionMap {
             compressor,
-            lines: HashMap::new(),
+            lines: FxHashMap::default(),
             fixed,
             best: BestOfAll::new(),
         }

@@ -128,6 +128,11 @@ pub struct Crossbar<T> {
     total_flits: u64,
     total_packets: u64,
     busy_cycles: u64,
+    /// Packets currently in output queues (not yet delivered), maintained
+    /// so [`Crossbar::cycle`] can skip the all-ports scan when empty.
+    queued_pkts: usize,
+    /// Packets delivered but not yet popped, so [`Crossbar::idle`] is O(1).
+    delivered_pkts: usize,
 }
 
 impl<T> Crossbar<T> {
@@ -144,6 +149,8 @@ impl<T> Crossbar<T> {
             total_flits: 0,
             total_packets: 0,
             busy_cycles: 0,
+            queued_pkts: 0,
+            delivered_pkts: 0,
         }
     }
 
@@ -210,6 +217,7 @@ impl<T> Crossbar<T> {
         });
         self.total_flits += flits as u64;
         self.total_packets += 1;
+        self.queued_pkts += 1;
         Ok(())
     }
 
@@ -225,6 +233,10 @@ impl<T> Crossbar<T> {
     /// packet; finished packets become poppable (after the fixed latency).
     pub fn cycle(&mut self) {
         self.now += 1;
+        if self.queued_pkts == 0 {
+            // Nothing queued at any port: only the clock advances.
+            return;
+        }
         let now = self.now;
         let mut any_busy = false;
         for (q, d) in self.queues.iter_mut().zip(self.delivered.iter_mut()) {
@@ -236,6 +248,8 @@ impl<T> Crossbar<T> {
                 if head.flits_left == 0 && head.min_deliver_at <= now {
                     if let Some(pkt) = q.pop_front() {
                         d.push_back(pkt.payload);
+                        self.queued_pkts -= 1;
+                        self.delivered_pkts += 1;
                     }
                 }
             }
@@ -247,12 +261,26 @@ impl<T> Crossbar<T> {
 
     /// Pops a delivered packet at output `dst`.
     pub fn pop(&mut self, dst: usize) -> Option<T> {
-        self.delivered[dst].pop_front()
+        let p = self.delivered[dst].pop_front();
+        if p.is_some() {
+            self.delivered_pkts -= 1;
+        }
+        p
     }
 
-    /// True when nothing is queued or waiting to be popped.
+    /// True when nothing is queued or waiting to be popped. O(1): packet
+    /// counts are maintained at push/deliver/pop.
     pub fn idle(&self) -> bool {
-        self.queues.iter().all(|q| q.is_empty()) && self.delivered.iter().all(|d| d.is_empty())
+        debug_assert_eq!(
+            self.queued_pkts == 0 && self.delivered_pkts == 0,
+            self.queues.iter().all(|q| q.is_empty()) && self.delivered.iter().all(|d| d.is_empty())
+        );
+        self.queued_pkts == 0 && self.delivered_pkts == 0
+    }
+
+    /// Packets delivered and awaiting [`Crossbar::pop`] across all ports.
+    pub fn delivered_pending(&self) -> usize {
+        self.delivered_pkts
     }
 
     /// Total flits pushed since construction.

@@ -12,7 +12,7 @@ use crate::stats::RunStats;
 use crate::trace::{ActivityTrace, Sample, Tracer};
 use caba_isa::Kernel;
 use caba_mem::{CompressionMap, Crossbar, FuncMem, LINE_SIZE};
-use std::collections::HashMap;
+use caba_stats::FxHashMap;
 use std::fmt;
 
 /// Error returned by [`Gpu::run`].
@@ -123,8 +123,11 @@ pub struct Gpu {
     tracer: Option<Tracer>,
     /// Every in-flight read, keyed by `(sm, line)`, with the stage the GPU
     /// last moved it into. The invariant audit checks that the recorded
-    /// stage actually carries each request.
-    ledger: HashMap<(usize, u64), LedgerEntry>,
+    /// stage actually carries each request. Uses the deterministic in-repo
+    /// [`FxHashMap`]: insert/remove runs on every memory access, and no
+    /// iteration order escapes into architectural state (the audit sorts
+    /// its violations).
+    ledger: FxHashMap<(usize, u64), LedgerEntry>,
     xbar_injector: FaultInjector,
     audits_run: u64,
     flits_dropped: u64,
@@ -171,7 +174,7 @@ impl Gpu {
             now: 0,
             tracer: None,
             design,
-            ledger: HashMap::new(),
+            ledger: FxHashMap::default(),
             xbar_injector: FaultInjector::for_stream(cfg.fault, stream::CROSSBAR),
             audits_run: 0,
             flits_dropped: 0,
@@ -207,7 +210,10 @@ impl Gpu {
             tr.last_assist[i] = sm.assist_instructions();
         }
         let (mut busy, mut total) = (0u64, 0u64);
-        for p in &self.parts {
+        for p in &mut self.parts {
+            // Quiesced partitions are clock-skipped by the run loop; repay
+            // the lag so the sampled utilization denominator is exact.
+            p.catch_up(self.now);
             let d = p.dram_stats();
             busy += d.bus_busy_cycles;
             total += d.total_cycles;
@@ -277,10 +283,11 @@ impl Gpu {
         let mut out = Vec::new();
 
         // Request conservation: the stage the ledger last moved each read
-        // into must actually carry it.
-        let mut entries: Vec<(&(usize, u64), &LedgerEntry)> = self.ledger.iter().collect();
-        entries.sort_by_key(|(&k, _)| k);
-        for (&(sm, line), entry) in entries {
+        // into must actually carry it. The ledger is iterated in hash order
+        // and only the (rare) violations are collected and sorted, instead
+        // of materializing and sorting the whole ledger on every audit.
+        let mut bad: Vec<(usize, u64, u64, Component)> = Vec::new();
+        for (&(sm, line), entry) in &self.ledger {
             let (carried, component) = match entry.stage {
                 Stage::RequestXbar => (
                     self.xbar_fwd
@@ -303,15 +310,18 @@ impl Gpu {
                 ),
             };
             if !carried {
-                out.push(Violation {
-                    cycle,
-                    component,
-                    detail: format!(
-                        "read of line {line:#x} for SM {sm} (issued cycle {}) vanished",
-                        entry.issued_at
-                    ),
-                });
+                bad.push((sm, line, entry.issued_at, component));
             }
+        }
+        bad.sort_unstable_by_key(|&(sm, line, _, _)| (sm, line));
+        for (sm, line, issued_at, component) in bad {
+            out.push(Violation {
+                cycle,
+                component,
+                detail: format!(
+                    "read of line {line:#x} for SM {sm} (issued cycle {issued_at}) vanished"
+                ),
+            });
         }
 
         // SM-side conservation: every outstanding L1 MSHR line must still
@@ -351,6 +361,17 @@ impl Gpu {
             }
         }
         out
+    }
+
+    /// Repays the clock of every quiesced (skipped) partition so DRAM
+    /// cycle counters are exact. Must run before anything reads
+    /// `dram_stats().total_cycles`: trace samples, hang forensics, and
+    /// final stats collection.
+    fn catch_up_parts(&mut self) {
+        let now = self.now;
+        for p in &mut self.parts {
+            p.catch_up(now);
+        }
     }
 
     /// Builds the forensic snapshot attached to timeout/hang errors.
@@ -396,10 +417,18 @@ impl Gpu {
         let start = self.now;
         let mut last_sig = self.progress_signature();
         let mut last_progress = start;
+        // The progress signature scans every SM and partition, so it is
+        // sampled every `wd_stride` cycles instead of every cycle. Hang
+        // detection latency grows by at most one stride; completing runs
+        // are bit-identical (the watchdog never mutates machine state).
+        let wd_window = self.cfg.watchdog_window;
+        let wd_stride = (wd_window / 8).max(1);
+        let tracing = self.tracer.is_some();
 
         loop {
             let now = self.now;
             if now - start >= max_cycles {
+                self.catch_up_parts();
                 return Err(RunError::Timeout {
                     cycles: max_cycles,
                     report: Box::new(self.hang_report(kernel, next_cta, grid)),
@@ -423,15 +452,24 @@ impl Gpu {
                 }
             }
 
-            // 2. SM cycles.
-            for sm in &mut self.sms {
+            // 2. SM cycles. The shared-state view is built once per cycle
+            //    (not once per SM), and fully drained SMs take the cheap
+            //    idle tick — see `Sm::idle_tick` for the bit-identity
+            //    argument.
+            {
                 let mut shared = SharedState {
                     mem: &mut self.mem,
                     cmap: self.cmap.as_mut(),
                     line_store: &mut self.line_store,
                     design: &mut self.design,
                 };
-                sm.cycle(now, kernel, &mut shared);
+                for sm in &mut self.sms {
+                    if sm.quiesced() {
+                        sm.idle_tick();
+                    } else {
+                        sm.cycle(now, kernel, &mut shared);
+                    }
+                }
             }
 
             // 3. Drain SM requests into the forward crossbar (one per SM per
@@ -495,23 +533,30 @@ impl Gpu {
                 }
             }
 
-            // 4. Crossbar → partitions.
+            // 4. Crossbar → partitions. The output-port scan only runs when
+            //    the crossbar actually holds delivered flits.
             self.xbar_fwd.cycle();
-            for (p, part) in self.parts.iter_mut().enumerate() {
-                if part.can_accept() {
-                    if let Some(req) = self.xbar_fwd.pop(p) {
-                        if !req.is_write {
-                            if let Some(e) = self.ledger.get_mut(&(req.sm, req.addr)) {
-                                e.stage = Stage::Partition;
+            if self.xbar_fwd.delivered_pending() > 0 {
+                for (p, part) in self.parts.iter_mut().enumerate() {
+                    if part.can_accept() {
+                        if let Some(req) = self.xbar_fwd.pop(p) {
+                            if !req.is_write {
+                                if let Some(e) = self.ledger.get_mut(&(req.sm, req.addr)) {
+                                    e.stage = Stage::Partition;
+                                }
                             }
+                            part.push(req);
                         }
-                        part.push(req);
                     }
                 }
             }
 
-            // 5. Partition cycles.
-            for part in self.parts.iter_mut() {
+            // 5. Partition cycles. The size oracle is built once per cycle,
+            //    and quiesced partitions are skipped entirely — their DRAM
+            //    clock is repaid in bulk by `Partition::catch_up`, which is
+            //    timing-equivalent because FR-FCFS compares against the
+            //    absolute `now`, not per-cycle deltas.
+            {
                 let mut oracle = SizeOracle {
                     mem: &self.mem,
                     cmap: self.cmap.as_mut(),
@@ -519,7 +564,12 @@ impl Gpu {
                     mem_compressed: self.design.mem_compressed(),
                     icnt_compressed: self.design.icnt_compressed(),
                 };
-                part.cycle(now, &mut oracle);
+                for part in self.parts.iter_mut() {
+                    if part.quiesced() {
+                        continue;
+                    }
+                    part.cycle(now, &mut oracle);
+                }
             }
 
             // 6. Partition responses → response crossbar.
@@ -558,34 +608,41 @@ impl Gpu {
                 }
             }
 
-            // 7. Response crossbar → SM fills.
+            // 7. Response crossbar → SM fills. The per-SM drain (and the
+            //    shared-state view it needs) only runs when the crossbar
+            //    holds delivered flits.
             self.xbar_rsp.cycle();
-            for (i, sm) in self.sms.iter_mut().enumerate() {
-                while let Some(resp) = self.xbar_rsp.pop(i) {
-                    self.ledger.remove(&(i, resp.addr));
-                    let mut shared = SharedState {
-                        mem: &mut self.mem,
-                        cmap: self.cmap.as_mut(),
-                        line_store: &mut self.line_store,
-                        design: &mut self.design,
-                    };
-                    sm.handle_fill(now, resp.addr, &mut shared);
+            if self.xbar_rsp.delivered_pending() > 0 {
+                let mut shared = SharedState {
+                    mem: &mut self.mem,
+                    cmap: self.cmap.as_mut(),
+                    line_store: &mut self.line_store,
+                    design: &mut self.design,
+                };
+                for (i, sm) in self.sms.iter_mut().enumerate() {
+                    while let Some(resp) = self.xbar_rsp.pop(i) {
+                        self.ledger.remove(&(i, resp.addr));
+                        sm.handle_fill(now, resp.addr, &mut shared);
+                    }
                 }
             }
 
             self.now += 1;
-            self.trace_tick();
+            if tracing {
+                self.trace_tick();
+            }
 
-            // Forward-progress watchdog.
-            if self.cfg.watchdog_window > 0 {
+            // Forward-progress watchdog (sampled every `wd_stride` cycles).
+            if wd_window > 0 && (self.now - start).is_multiple_of(wd_stride) {
                 let sig = self.progress_signature();
                 if sig != last_sig {
                     last_sig = sig;
                     last_progress = self.now;
-                } else if self.now - last_progress >= self.cfg.watchdog_window {
+                } else if self.now - last_progress >= wd_window {
+                    self.catch_up_parts();
                     return Err(RunError::Hang {
                         cycles: self.now - start,
-                        window: self.cfg.watchdog_window,
+                        window: wd_window,
                         report: Box::new(self.hang_report(kernel, next_cta, grid)),
                     });
                 }
@@ -605,17 +662,22 @@ impl Gpu {
                 }
             }
 
-            // 8. Completion check.
+            // 8. Completion check. Cheapest gates first: the dispatch
+            //    cursor, then the in-flight read ledger (empty is implied
+            //    by a fully drained machine, so this gate never delays
+            //    completion), then the O(1) idle/quiesced flags.
             if next_cta >= grid
-                && self.sms.iter().all(|s| s.quiesced())
-                && self.parts.iter().all(|p| p.quiesced())
+                && self.ledger.is_empty()
                 && self.xbar_fwd.idle()
                 && self.xbar_rsp.idle()
+                && self.sms.iter().all(|s| s.quiesced())
+                && self.parts.iter().all(|p| p.quiesced())
             {
                 break;
             }
         }
 
+        self.catch_up_parts();
         Ok(self.collect_stats(self.now - start))
     }
 

@@ -104,6 +104,12 @@ pub struct Partition {
     /// Fault-delayed DRAM requests: (release cycle, request).
     delayed: Vec<(u64, DramRequest)>,
     now: u64,
+    /// The next GPU cycle this partition expects to be cycled at. When the
+    /// GPU skips a quiesced partition, the gap is repaid as bulk DRAM idle
+    /// ticks on the next real cycle (or via [`Partition::catch_up`]), so
+    /// `dram_total_cycles` — the Figure 8 utilization denominator — stays
+    /// bit-identical with an unskipped run.
+    next_tick: u64,
     delay_faults: u64,
 }
 
@@ -130,6 +136,7 @@ impl Partition {
             injector: FaultInjector::for_stream(cfg.fault, stream::PARTITION_BASE + id as u64),
             delayed: Vec::new(),
             now: 0,
+            next_tick: 0,
             delay_faults: 0,
         }
     }
@@ -205,8 +212,22 @@ impl Partition {
         }
     }
 
+    /// Repays skipped cycles as bulk DRAM idle ticks. Only quiesced
+    /// partitions are ever skipped, and a quiesced partition's cycle
+    /// advances nothing but the DRAM clock, so bulk-ticking is
+    /// bit-identical to having cycled it every skipped cycle. Call before
+    /// reading [`Partition::dram_stats`] mid-run.
+    pub fn catch_up(&mut self, now: u64) {
+        if now > self.next_tick {
+            self.dram.tick_idle(now - self.next_tick);
+            self.next_tick = now;
+        }
+    }
+
     /// Advances the partition one cycle.
     pub fn cycle(&mut self, now: u64, oracle: &mut SizeOracle<'_>) {
+        self.catch_up(now);
+        self.next_tick = now + 1;
         self.now = now;
 
         // Release fault-delayed requests whose hold expired (into the retry

@@ -14,8 +14,9 @@ use crate::lsu::{LineOp, LineOpKind, Lsu, WarpRef};
 use crate::warp::Warp;
 use caba_isa::{FuClass, Instr, Kernel, Op, Program, Reg, Space, WARP_SIZE};
 use caba_mem::{AccessOutcome, Cache, CompressionMap, FuncMem, Mshr, LINE_SIZE};
-use caba_stats::{IssueBreakdown, StallKind};
-use std::collections::{HashMap, VecDeque};
+use caba_stats::{FxHashMap, IssueBreakdown, StallKind};
+use std::collections::VecDeque;
+
 use std::sync::Arc;
 
 /// Base of the shared-memory (scratchpad) address window in the unified
@@ -118,7 +119,7 @@ pub struct Sm {
     lsu: Lsu,
     l1: Cache,
     mshr: Mshr<usize>,
-    pending_decomp: HashMap<u64, Vec<usize>>,
+    pending_decomp: FxHashMap<u64, Vec<usize>>,
     store_buffer: VecDeque<u64>,
     out_reqs: VecDeque<OutReq>,
     sfu_ready_at: u64,
@@ -127,6 +128,31 @@ pub struct Sm {
     used_regs: u32,
     used_shared: u32,
     age_seq: u64,
+    /// `Some` entries in `blocks`, maintained at launch/retire so
+    /// [`Sm::quiesced`] needs no scan.
+    resident_block_count: usize,
+    /// `Some` entries in `assists`, maintained at deploy/finish.
+    active_assist_count: usize,
+    /// Per-scheduler candidate slots in issue-priority order, rebuilt only
+    /// when warp/assist residency changes (`cand_dirty`): high-priority
+    /// assists, occupied app-warp slots by age, low-priority assists.
+    /// Done/at-barrier warps stay listed — `fetch_for` skips them exactly
+    /// as the per-cycle rebuild used to, so cached scheduling is
+    /// bit-identical.
+    cand_his: Vec<Vec<usize>>,
+    cand_parents: Vec<Vec<usize>>,
+    cand_lows: Vec<Vec<usize>>,
+    cand_dirty: bool,
+    /// Per-slot "known hazard-blocked" memo. A warp's hazard verdict can
+    /// only change at its own issue (sets pending bits / moves the PC) or
+    /// at a writeback that clears one of its pending bits, so between those
+    /// events the scheduler skips recomputing it. Cleared wholesale on any
+    /// residency change (`rebuild_candidates`).
+    haz_app: Vec<bool>,
+    haz_assist: Vec<bool>,
+    /// App warps that have fully exited but not yet been reaped; gates the
+    /// per-cycle `reap_warps` slot scan.
+    done_unreaped: u32,
     injector: FaultInjector,
     // statistics
     breakdown: IssueBreakdown,
@@ -169,7 +195,7 @@ impl Sm {
             lsu: Lsu::new(cfg.lsu_queue),
             l1: Cache::new(cfg.l1),
             mshr: Mshr::new(cfg.mshrs),
-            pending_decomp: HashMap::new(),
+            pending_decomp: FxHashMap::default(),
             store_buffer: VecDeque::new(),
             out_reqs: VecDeque::new(),
             sfu_ready_at: 0,
@@ -178,6 +204,15 @@ impl Sm {
             used_regs: 0,
             used_shared: 0,
             age_seq: 0,
+            resident_block_count: 0,
+            active_assist_count: 0,
+            cand_his: vec![Vec::new(); cfg.schedulers_per_sm],
+            cand_parents: vec![Vec::new(); cfg.schedulers_per_sm],
+            cand_lows: vec![Vec::new(); cfg.schedulers_per_sm],
+            cand_dirty: true,
+            haz_app: vec![false; cfg.warps_per_sm],
+            haz_assist: vec![false; cfg.max_assist_warps],
+            done_unreaped: 0,
             injector: FaultInjector::for_stream(cfg.fault, stream::SM_BASE + id as u64),
             breakdown: IssueBreakdown::new(),
             app_instructions: 0,
@@ -211,7 +246,11 @@ impl Sm {
 
     /// Resident blocks.
     pub fn resident_blocks(&self) -> usize {
-        self.blocks.iter().filter(|b| b.is_some()).count()
+        debug_assert_eq!(
+            self.resident_block_count,
+            self.blocks.iter().filter(|b| b.is_some()).count()
+        );
+        self.resident_block_count
     }
 
     /// Tries to make block `ctaid` resident; true on success.
@@ -273,13 +312,18 @@ impl Sm {
         });
         self.used_regs += regs_needed;
         self.used_shared += shared_needed;
+        self.resident_block_count += 1;
+        self.cand_dirty = true;
         true
     }
 
-    /// True when nothing is executing or outstanding in this SM.
+    /// True when nothing is executing or outstanding in this SM. All
+    /// constituent checks are O(1) (maintained counters and queue lengths),
+    /// so the GPU can consult this every cycle for its active-set and
+    /// completion check without scanning warp or assist slots.
     pub fn quiesced(&self) -> bool {
-        self.blocks.iter().all(|b| b.is_none())
-            && self.assists.iter().all(|a| a.is_none())
+        self.resident_block_count == 0
+            && self.active_assist_count == 0
             && self.assist_pending.is_empty()
             && self.writebacks.is_empty()
             && self.lsu.pending() == 0
@@ -350,11 +394,13 @@ impl Sm {
                     WarpRef::App(slot) => {
                         if let (Some(w), Some(r)) = (self.warps[slot].as_mut(), wb.reg) {
                             w.warp.clear_pending(r);
+                            self.haz_app[slot] = false;
                         }
                     }
                     WarpRef::Assist(slot) => {
                         if let (Some(a), Some(r)) = (self.assists[slot].as_mut(), wb.reg) {
                             a.warp.clear_pending(r);
+                            self.haz_assist[slot] = false;
                         }
                     }
                 }
@@ -374,6 +420,9 @@ impl Sm {
     /// Deploys at most one pending assist warp per cycle (the AWC's
     /// round-robin deployment, §3.4).
     fn deploy_assist(&mut self) {
+        if self.assist_pending.is_empty() {
+            return;
+        }
         let Some(slot) = self.assists.iter().position(|a| a.is_none()) else {
             return;
         };
@@ -412,10 +461,15 @@ impl Sm {
             age: self.age_seq,
             parent: launch.parent_warp,
         });
+        self.active_assist_count += 1;
         self.assist_launches += 1;
+        self.cand_dirty = true;
     }
 
     fn finish_assists(&mut self, now: u64, shared: &mut SharedState<'_>) {
+        if self.active_assist_count == 0 {
+            return;
+        }
         for slot in 0..self.assists.len() {
             let ready = matches!(
                 &self.assists[slot],
@@ -425,6 +479,8 @@ impl Sm {
                 continue;
             }
             let a = self.assists[slot].take().expect("checked above");
+            self.active_assist_count -= 1;
+            self.cand_dirty = true;
             let outcome = match shared.design {
                 Design::Caba(ctrl) => {
                     let mut svc = SmServices {
@@ -864,7 +920,13 @@ impl Sm {
                 let w = self.warps[s].as_mut().expect("resident");
                 w.warp.issued += 1;
                 w.warp.last_issue = now;
-                execute(&mut w.warp, &instr, &ctx, shared.mem)
+                let out = execute(&mut w.warp, &instr, &ctx, shared.mem);
+                // `fetch_for` never offers a done warp, so `done` here means
+                // this issue exited the last lanes.
+                if w.warp.done {
+                    self.done_unreaped += 1;
+                }
+                out
             }
             WarpRef::Assist(s) => {
                 let a = self.assists[s].as_mut().expect("resident");
@@ -1041,6 +1103,8 @@ impl Sm {
         }
         if block_done {
             let b = self.blocks[block_slot].take().expect("resident block");
+            self.resident_block_count -= 1;
+            self.cand_dirty = true;
             for s in &b.warp_slots {
                 self.warps[*s] = None;
             }
@@ -1066,78 +1130,111 @@ impl Sm {
         }
     }
 
-    fn scheduler_candidates(&self, sched: usize) -> (Vec<WarpRef>, Vec<WarpRef>) {
+    /// Rebuilds the per-scheduler candidate caches. Runs only when warp or
+    /// assist residency changed since the last cycle; scheduling order is
+    /// identical to rebuilding from scratch every cycle because slot ages
+    /// are fixed at launch and dynamic skips (done, at-barrier) happen in
+    /// `fetch_for` at consideration time.
+    fn rebuild_candidates(&mut self) {
+        // Slots may have been reused since the memo was written.
+        self.haz_app.fill(false);
+        self.haz_assist.fill(false);
         let nsched = self.cfg.schedulers_per_sm;
-        // High-priority assist warps first (decompression precedes parent
-        // execution, §3.2.3), then parent warps in GTO order.
-        let mut main: Vec<WarpRef> = Vec::new();
-        let mut his: Vec<(u64, usize)> = self
-            .assists
-            .iter()
-            .enumerate()
-            .filter_map(|(i, a)| a.as_ref().map(|a| (a, i)))
-            .filter(|(a, _)| {
-                a.priority == AssistPriority::High && !a.warp.done && a.parent % nsched == sched
-            })
-            .map(|(a, i)| (a.age, i))
-            .collect();
-        his.sort_unstable();
-        main.extend(his.iter().map(|&(_, i)| WarpRef::Assist(i)));
-
-        let mut parents: Vec<(u64, usize)> = self
+        for v in &mut self.cand_his {
+            v.clear();
+        }
+        for v in &mut self.cand_parents {
+            v.clear();
+        }
+        for v in &mut self.cand_lows {
+            v.clear();
+        }
+        let mut tmp: Vec<(u64, usize)> = self
             .warps
             .iter()
             .enumerate()
-            .filter(|(i, w)| w.is_some() && i % nsched == sched)
-            .map(|(i, w)| (w.as_ref().expect("checked").age, i))
+            .filter_map(|(i, w)| w.as_ref().map(|w| (w.age, i)))
             .collect();
-        parents.sort_unstable();
-        let mut ordered: Vec<WarpRef> = Vec::with_capacity(parents.len());
-        match self.cfg.scheduler {
-            SchedulerPolicy::Gto => {
-                // The greedy warp first, then oldest-first.
-                if let Some(WarpRef::App(g)) = self.greedy[sched] {
-                    if self.warps[g].is_some() && g % nsched == sched {
-                        ordered.push(WarpRef::App(g));
-                    }
-                }
-                for &(_, i) in &parents {
-                    if Some(WarpRef::App(i)) != self.greedy[sched] {
-                        ordered.push(WarpRef::App(i));
-                    }
-                }
+        tmp.sort_unstable();
+        for &(_, i) in &tmp {
+            self.cand_parents[i % nsched].push(i);
+        }
+        tmp.clear();
+        tmp.extend(
+            self.assists
+                .iter()
+                .enumerate()
+                .filter_map(|(i, a)| a.as_ref().map(|a| (a.age, i))),
+        );
+        tmp.sort_unstable();
+        for &(_, i) in &tmp {
+            let a = self.assists[i].as_ref().expect("resident");
+            let dst = match a.priority {
+                AssistPriority::High => &mut self.cand_his[a.parent % nsched],
+                AssistPriority::Low => &mut self.cand_lows[a.parent % nsched],
+            };
+            dst.push(i);
+        }
+        self.cand_dirty = false;
+    }
+
+    /// Offers `wr` the issue slot: fetch, scoreboard/structural check, and
+    /// issue on success. Returns whether it issued; on a block, folds the
+    /// stall reason into `verdict` (first blocked candidate wins, with
+    /// structural evidence preferred over data-dependence).
+    #[allow(clippy::too_many_arguments)]
+    fn consider(
+        &mut self,
+        now: u64,
+        sched: usize,
+        wr: WarpRef,
+        kernel: &Kernel,
+        shared: &mut SharedState<'_>,
+        lsu_used: &mut bool,
+        verdict: &mut Option<StallKind>,
+    ) -> bool {
+        let known_hazard = match wr {
+            WarpRef::App(s) => self.haz_app[s],
+            WarpRef::Assist(s) => self.haz_assist[s],
+        };
+        if known_hazard {
+            // Same fold as a recomputed `IssueBlock::Hazard` below: it only
+            // claims an empty verdict (DataDependence never upgrades one).
+            if verdict.is_none() {
+                *verdict = Some(StallKind::DataDependence);
             }
-            SchedulerPolicy::OldestFirst => {
-                ordered.extend(parents.iter().map(|&(_, i)| WarpRef::App(i)));
+            return false;
+        }
+        let Some(instr) = self.fetch_for(wr, kernel.program()) else {
+            return false;
+        };
+        match self.check_issue(now, wr, &instr, !*lsu_used) {
+            Ok(()) => {
+                self.do_issue(now, wr, instr, kernel, shared, lsu_used);
+                self.greedy[sched] = Some(wr);
+                true
             }
-            SchedulerPolicy::RoundRobin => {
-                if parents.is_empty() {
-                    // nothing to rotate
-                } else {
-                    let start = (self.rr_cursor[sched] as usize) % parents.len();
-                    for k in 0..parents.len() {
-                        let (_, i) = parents[(start + k) % parents.len()];
-                        ordered.push(WarpRef::App(i));
+            Err(block) => {
+                if block == IssueBlock::Hazard {
+                    match wr {
+                        WarpRef::App(s) => self.haz_app[s] = true,
+                        WarpRef::Assist(s) => self.haz_assist[s] = true,
                     }
                 }
+                let kind = match block {
+                    IssueBlock::Hazard => StallKind::DataDependence,
+                    IssueBlock::MemStructural => StallKind::MemoryStructural,
+                    IssueBlock::ComputeStructural => StallKind::ComputeStructural,
+                };
+                *verdict = Some(match (*verdict, kind) {
+                    (None, k) => k,
+                    (Some(StallKind::DataDependence), k @ StallKind::MemoryStructural)
+                    | (Some(StallKind::DataDependence), k @ StallKind::ComputeStructural) => k,
+                    (Some(v), _) => v,
+                });
+                false
             }
         }
-        main.extend(ordered);
-
-        // Low-priority assist warps: only in otherwise-idle slots.
-        let mut lows: Vec<(u64, usize)> = self
-            .assists
-            .iter()
-            .enumerate()
-            .filter_map(|(i, a)| a.as_ref().map(|a| (a, i)))
-            .filter(|(a, _)| {
-                a.priority == AssistPriority::Low && !a.warp.done && a.parent % nsched == sched
-            })
-            .map(|(a, i)| (a.age, i))
-            .collect();
-        lows.sort_unstable();
-        let lows = lows.into_iter().map(|(_, i)| WarpRef::Assist(i)).collect();
-        (main, lows)
     }
 
     fn schedule(
@@ -1147,53 +1244,109 @@ impl Sm {
         shared: &mut SharedState<'_>,
         lsu_used: &mut bool,
     ) {
+        if self.cand_dirty {
+            self.rebuild_candidates();
+        }
         for sched in 0..self.cfg.schedulers_per_sm {
-            let (main, lows) = self.scheduler_candidates(sched);
             let mut verdict: Option<StallKind> = None;
             let mut issued = false;
 
-            for group in [&main, &lows] {
-                if issued {
-                    break;
-                }
-                // The low-priority group is considered only when the main
-                // group could not issue — the slot would otherwise be wasted
-                // on a stall, which is exactly the "idle issue slot" the
-                // paper's low-priority assist warps reclaim (§3.2.3).
-                for &wr in group.iter() {
-                    let Some(instr) = self.fetch_for(wr, kernel.program()) else {
-                        continue;
-                    };
-                    match self.check_issue(now, wr, &instr, !*lsu_used) {
-                        Ok(()) => {
-                            self.do_issue(now, wr, instr, kernel, shared, lsu_used);
-                            self.greedy[sched] = Some(wr);
-                            issued = true;
-                            break;
+            // High-priority assist warps first (decompression precedes
+            // parent execution, §3.2.3)...
+            let mut k = 0;
+            while !issued && k < self.cand_his[sched].len() {
+                let wr = WarpRef::Assist(self.cand_his[sched][k]);
+                issued = self.consider(now, sched, wr, kernel, shared, lsu_used, &mut verdict);
+                k += 1;
+            }
+
+            // ...then parent warps in policy order.
+            if !issued {
+                match self.cfg.scheduler {
+                    SchedulerPolicy::Gto => {
+                        // The greedy warp first, then oldest-first.
+                        let greedy = self.greedy[sched];
+                        if let Some(WarpRef::App(g)) = greedy {
+                            if self.warps[g].is_some() && g % self.cfg.schedulers_per_sm == sched {
+                                issued = self.consider(
+                                    now,
+                                    sched,
+                                    WarpRef::App(g),
+                                    kernel,
+                                    shared,
+                                    lsu_used,
+                                    &mut verdict,
+                                );
+                            }
                         }
-                        Err(block) => {
-                            let kind = match block {
-                                IssueBlock::Hazard => StallKind::DataDependence,
-                                IssueBlock::MemStructural => StallKind::MemoryStructural,
-                                IssueBlock::ComputeStructural => StallKind::ComputeStructural,
-                            };
-                            // Record the first (most senior) blocked
-                            // candidate's reason, preferring structural over
-                            // data-dependence evidence.
-                            verdict = Some(match (verdict, kind) {
-                                (None, k) => k,
-                                (
-                                    Some(StallKind::DataDependence),
-                                    k @ StallKind::MemoryStructural,
-                                )
-                                | (
-                                    Some(StallKind::DataDependence),
-                                    k @ StallKind::ComputeStructural,
-                                ) => k,
-                                (Some(v), _) => v,
-                            });
+                        let mut k = 0;
+                        while !issued && k < self.cand_parents[sched].len() {
+                            let i = self.cand_parents[sched][k];
+                            if Some(WarpRef::App(i)) != greedy {
+                                issued = self.consider(
+                                    now,
+                                    sched,
+                                    WarpRef::App(i),
+                                    kernel,
+                                    shared,
+                                    lsu_used,
+                                    &mut verdict,
+                                );
+                            }
+                            k += 1;
                         }
                     }
+                    SchedulerPolicy::OldestFirst => {
+                        let mut k = 0;
+                        while !issued && k < self.cand_parents[sched].len() {
+                            let i = self.cand_parents[sched][k];
+                            issued = self.consider(
+                                now,
+                                sched,
+                                WarpRef::App(i),
+                                kernel,
+                                shared,
+                                lsu_used,
+                                &mut verdict,
+                            );
+                            k += 1;
+                        }
+                    }
+                    SchedulerPolicy::RoundRobin => {
+                        let len = self.cand_parents[sched].len();
+                        let start = if len > 0 {
+                            (self.rr_cursor[sched] as usize) % len
+                        } else {
+                            0
+                        };
+                        let mut k = 0;
+                        while !issued && k < len {
+                            let i = self.cand_parents[sched][(start + k) % len];
+                            issued = self.consider(
+                                now,
+                                sched,
+                                WarpRef::App(i),
+                                kernel,
+                                shared,
+                                lsu_used,
+                                &mut verdict,
+                            );
+                            k += 1;
+                        }
+                    }
+                }
+            }
+
+            // Low-priority assist warps: only in otherwise-idle slots — the
+            // slot would otherwise be wasted on a stall, which is exactly
+            // the "idle issue slot" the paper's low-priority assist warps
+            // reclaim (§3.2.3).
+            if !issued {
+                let mut k = 0;
+                while !issued && k < self.cand_lows[sched].len() {
+                    let wr = WarpRef::Assist(self.cand_lows[sched][k]);
+                    issued = self.consider(now, sched, wr, kernel, shared, lsu_used, &mut verdict);
+                    k += 1;
                 }
             }
 
@@ -1220,11 +1373,27 @@ impl Sm {
         self.lsu_cycle(now, shared);
     }
 
+    /// The cheap stand-in for [`Sm::cycle`] on a quiesced SM. A full cycle
+    /// on an empty SM has exactly two architectural effects — each
+    /// scheduler records an `Idle` issue slot (Figure 1 data) and advances
+    /// its round-robin cursor — so this must replicate both, and nothing
+    /// else, for skipped SMs to stay bit-identical with unskipped runs.
+    pub fn idle_tick(&mut self) {
+        debug_assert!(self.quiesced());
+        for sched in 0..self.cfg.schedulers_per_sm {
+            self.breakdown.record(StallKind::Idle);
+            self.rr_cursor[sched] = self.rr_cursor[sched].wrapping_add(1);
+        }
+    }
+
     /// Retires warps whose lanes all exited and whose in-flight results have
     /// drained. Warp slots (and registers/shared memory) are released only
     /// when the *whole block* retires — freeing them per-warp would let a
     /// newly launched block be clobbered when the old block completes.
     fn reap_warps(&mut self) {
+        if self.done_unreaped == 0 {
+            return;
+        }
         for slot in 0..self.warps.len() {
             let ready = matches!(
                 &self.warps[slot],
@@ -1239,6 +1408,7 @@ impl Sm {
                     w.retired = true;
                     w.block_slot
                 };
+                self.done_unreaped -= 1;
                 self.retire_warp(slot, bs);
             }
         }
@@ -1363,7 +1533,7 @@ impl Sm {
         }
 
         // Live load tickets per application warp slot.
-        let mut ticket_loads: HashMap<usize, u32> = HashMap::new();
+        let mut ticket_loads: FxHashMap<usize, u32> = FxHashMap::default();
         for t in self.tickets.iter().flatten() {
             if let WarpRef::App(s) = t.warp {
                 *ticket_loads.entry(s).or_default() += 1;

@@ -3,7 +3,10 @@
 use caba_stats::IssueBreakdown;
 
 /// Statistics of one kernel run, aggregated over all SMs and partitions.
-#[derive(Debug, Clone, Default)]
+///
+/// Derives `PartialEq`/`Eq` so the sweep executor's determinism selftest can
+/// assert parallel results are bit-identical to serial ones.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RunStats {
     /// Total GPU cycles to completion.
     pub cycles: u64,

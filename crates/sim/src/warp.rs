@@ -147,7 +147,11 @@ impl Warp {
                 return true;
             }
         }
-        instr.src_regs().iter().any(|&r| self.is_pending(r))
+        instr
+            .src_regs_fixed()
+            .into_iter()
+            .flatten()
+            .any(|r| self.is_pending(r))
     }
 
     /// True when any register is pending.

@@ -1,0 +1,150 @@
+//! A small, fast, deterministic in-repo hasher for hot simulator maps.
+//!
+//! The standard library's default `SipHash 1-3` is DoS-resistant but costs
+//! tens of cycles per `u64` key; the simulator's hottest maps (the request
+//! ledger, functional-memory pages, the compression map) are keyed by
+//! addresses under our own control, so a multiply-xor hash in the style of
+//! Firefox's `FxHasher` is both safe and several times faster. The hash is
+//! seed-free, so map *hashes* are identical across runs — note that the
+//! simulator never lets `HashMap` iteration order reach architectural
+//! state anyway (see `DESIGN.md`, "hot-path invariants").
+//!
+//! # Examples
+//!
+//! ```
+//! use caba_stats::fxhash::FxHashMap;
+//! let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+//! m.insert(0x80001d000, "line");
+//! assert_eq!(m.get(&0x80001d000), Some(&"line"));
+//! ```
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit Fx multiplier: `2^64 / phi`, the classic Fibonacci-hashing
+/// constant (same value rustc's `FxHasher` uses).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// The Fx hash state: rotate, xor the word in, multiply.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic path: consume 8-byte words, then the tail. Only integer
+        // keys hit the specialised methods below; tuple keys combine them.
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(tail) ^ rem.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`]; seed-free and `Default`.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`]. Construct with `FxHashMap::default()`.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`]. Construct with `FxHashSet::default()`.
+pub type FxHashSet<K> = HashSet<K, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_across_builders() {
+        assert_eq!(hash_of(&0xdead_beefu64), hash_of(&0xdead_beefu64));
+        assert_eq!(hash_of(&(3usize, 0x40u64)), hash_of(&(3usize, 0x40u64)));
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        // Cache-line addresses differ only in low bits; the multiply must
+        // spread them across the full 64-bit range.
+        let a = hash_of(&0x1000u64);
+        let b = hash_of(&0x1040u64);
+        assert_ne!(a, b);
+        assert_ne!(a >> 56, b >> 56, "high bits must differ: {a:#x} {b:#x}");
+    }
+
+    #[test]
+    fn map_behaves_like_std() {
+        let mut fx: FxHashMap<u64, u32> = FxHashMap::default();
+        let mut std: HashMap<u64, u32> = HashMap::new();
+        let mut rng = crate::Rng64::new(7);
+        for _ in 0..1000 {
+            let k = rng.next_u64() % 512;
+            let v = rng.next_u64() as u32;
+            fx.insert(k, v);
+            std.insert(k, v);
+        }
+        assert_eq!(fx.len(), std.len());
+        for (k, v) in &std {
+            assert_eq!(fx.get(k), Some(v));
+        }
+    }
+
+    #[test]
+    fn byte_stream_tail_lengths_differ() {
+        // A trailing zero byte must change the hash (length is mixed in).
+        let mut h1 = FxHasher::default();
+        h1.write(&[1, 2, 3]);
+        let mut h2 = FxHasher::default();
+        h2.write(&[1, 2, 3, 0]);
+        assert_ne!(h1.finish(), h2.finish());
+    }
+}

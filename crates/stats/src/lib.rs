@@ -14,6 +14,9 @@
 //! * [`prop`] — a minimal deterministic property-test harness (seeded random
 //!   cases with replayable failures), so the test suites need no external
 //!   property-testing dependency.
+//! * [`fxhash`] — a fast deterministic multiply-xor hasher ([`FxHashMap`],
+//!   [`FxHashSet`]) for the simulator's hot address-keyed maps, replacing
+//!   SipHash without an external dependency.
 //!
 //! # Examples
 //!
@@ -25,10 +28,12 @@
 //! assert_eq!(a, b); // fully deterministic
 //! ```
 
+pub mod fxhash;
 pub mod prop;
 pub mod rng;
 pub mod table;
 
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use rng::Rng64;
 pub use table::Table;
 

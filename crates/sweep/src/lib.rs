@@ -1,0 +1,488 @@
+//! Deterministic parallel sweep executor for figure regeneration.
+//!
+//! The paper's evaluation (Figures 7–13) is a matrix of `(application,
+//! design, configuration)` cells, each an independent cycle-accurate run.
+//! Runs share no state — `caba_workloads::run_app` builds a fresh [`Gpu`]
+//! per cell — so the sweep is embarrassingly parallel. This crate fans the
+//! cells out over `std::thread::scope` workers (no external dependencies;
+//! the workspace keeps building offline) while keeping results
+//! **bit-identical and identically ordered** to a serial sweep: workers
+//! claim cell *indices* from a shared atomic counter and write each result
+//! into its input slot, so downstream table generation sees the same
+//! `RunStats` in the same order regardless of completion order or worker
+//! count.
+//!
+//! [`Gpu`]: caba_sim::Gpu
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use caba_sweep::{fig07_cells, run_cells, SweepConfig};
+//!
+//! let sc = SweepConfig { scale: 0.05, ..SweepConfig::default() };
+//! let cells = fig07_cells();
+//! let results = run_cells(&sc, &cells, 8);
+//! assert_eq!(results.len(), cells.len());
+//! ```
+
+use caba_compress::Algorithm;
+use caba_core::CabaController;
+use caba_energy::DesignKind;
+use caba_sim::{Design, GpuConfig, RunStats};
+use caba_workloads::{app, eval_apps, run_app};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Identifies a design point in the run matrix (a cloneable stand-in for
+/// [`Design`], which owns a controller and therefore is not `Clone`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DesignId {
+    /// Uncompressed baseline.
+    Base,
+    /// HW-BDI-Mem: dedicated logic, memory-bandwidth compression only.
+    HwBdiMem,
+    /// HW-BDI: dedicated logic, interconnect + memory compression.
+    HwBdi,
+    /// CABA-BDI: assist warps.
+    CabaBdi,
+    /// Ideal-BDI: no compression overheads.
+    IdealBdi,
+    /// CABA-FPC.
+    CabaFpc,
+    /// CABA-C-Pack.
+    CabaCPack,
+    /// CABA-BestOfAll.
+    CabaBest,
+}
+
+impl DesignId {
+    /// The five designs of Figures 7–9.
+    pub const FIG7: [DesignId; 5] = [
+        DesignId::Base,
+        DesignId::HwBdiMem,
+        DesignId::HwBdi,
+        DesignId::CabaBdi,
+        DesignId::IdealBdi,
+    ];
+
+    /// The four CABA algorithm variants of Figure 10.
+    pub const FIG10: [DesignId; 4] = [
+        DesignId::CabaFpc,
+        DesignId::CabaBdi,
+        DesignId::CabaCPack,
+        DesignId::CabaBest,
+    ];
+
+    /// Display label matching the paper.
+    pub fn label(self) -> &'static str {
+        match self {
+            DesignId::Base => "Base",
+            DesignId::HwBdiMem => "HW-BDI-Mem",
+            DesignId::HwBdi => "HW-BDI",
+            DesignId::CabaBdi => "CABA-BDI",
+            DesignId::IdealBdi => "Ideal-BDI",
+            DesignId::CabaFpc => "CABA-FPC",
+            DesignId::CabaCPack => "CABA-CPack",
+            DesignId::CabaBest => "CABA-BestOfAll",
+        }
+    }
+
+    /// Instantiates the design.
+    pub fn make(self) -> Design {
+        match self {
+            DesignId::Base => Design::Base,
+            DesignId::HwBdiMem => Design::HwMemOnly {
+                alg: Algorithm::Bdi,
+            },
+            DesignId::HwBdi => Design::HwFull {
+                alg: Algorithm::Bdi,
+                ideal: false,
+            },
+            DesignId::IdealBdi => Design::HwFull {
+                alg: Algorithm::Bdi,
+                ideal: true,
+            },
+            DesignId::CabaBdi => Design::Caba(Box::new(CabaController::bdi())),
+            DesignId::CabaFpc => Design::Caba(Box::new(CabaController::fpc())),
+            DesignId::CabaCPack => Design::Caba(Box::new(CabaController::cpack())),
+            DesignId::CabaBest => Design::Caba(Box::new(CabaController::best_of_all())),
+        }
+    }
+
+    /// The energy-accounting kind.
+    pub fn energy_kind(self) -> DesignKind {
+        match self {
+            DesignId::Base => DesignKind::Base,
+            DesignId::HwBdiMem | DesignId::HwBdi => DesignKind::DedicatedLogic,
+            DesignId::IdealBdi => DesignKind::Ideal,
+            _ => DesignKind::Caba,
+        }
+    }
+}
+
+/// One sweep cell: an application under a design at a bandwidth scale.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepCell {
+    /// Application name (resolvable via [`caba_workloads::app`]).
+    pub app: &'static str,
+    /// The design point.
+    pub design: DesignId,
+    /// Bandwidth scale applied to the machine configuration (1.0 = stock).
+    pub bw_scale: f64,
+}
+
+impl SweepCell {
+    fn key(&self) -> (&'static str, DesignId, u64) {
+        (self.app, self.design, self.bw_scale.to_bits())
+    }
+}
+
+/// Sweep-wide options shared by every cell.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepConfig {
+    /// Workload scale factor (grid/working-set size).
+    pub scale: f64,
+    /// The machine configuration (before per-cell bandwidth scaling).
+    pub cfg: GpuConfig,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            scale: 0.5,
+            cfg: GpuConfig::isca2015_scaled(),
+        }
+    }
+}
+
+/// Result of one cell: the run's statistics plus executor-measured wall
+/// time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellResult {
+    /// The cell that produced this result.
+    pub cell: SweepCell,
+    /// The run's statistics (bit-identical to a serial run of the cell).
+    pub stats: RunStats,
+    /// Wall-clock seconds this cell took inside its worker.
+    pub wall_s: f64,
+}
+
+/// Runs every cell and returns results in **input order**, regardless of
+/// `jobs` or completion order.
+///
+/// Each worker claims the next unclaimed index from a shared atomic
+/// counter (work-stealing over a static list), simulates the cell on its
+/// own fresh [`caba_sim::Gpu`], and stores the result into the slot for
+/// that index. With `jobs == 1` this degenerates to the serial loop.
+///
+/// # Panics
+///
+/// Panics (propagating out of the thread scope) if any cell's simulation
+/// returns an error — a sweep with a hung or misconfigured cell has no
+/// meaningful aggregate.
+pub fn run_cells(sc: &SweepConfig, cells: &[SweepCell], jobs: usize) -> Vec<CellResult> {
+    let jobs = jobs.clamp(1, cells.len().max(1));
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<CellResult>>> = cells.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..jobs {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= cells.len() {
+                    break;
+                }
+                let cell = cells[i];
+                let spec = app(cell.app).unwrap_or_else(|| panic!("unknown app {}", cell.app));
+                let cfg = sc.cfg.with_bandwidth_scale(cell.bw_scale);
+                let t0 = Instant::now();
+                let stats = run_app(&spec, cfg, cell.design.make(), sc.scale).unwrap_or_else(|e| {
+                    panic!(
+                        "{} / {} @ {}x BW: {e}",
+                        cell.app,
+                        cell.design.label(),
+                        cell.bw_scale
+                    )
+                });
+                let wall_s = t0.elapsed().as_secs_f64();
+                *slots[i].lock().expect("slot lock") = Some(CellResult {
+                    cell,
+                    stats,
+                    wall_s,
+                });
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("slot lock")
+                .expect("every cell was claimed and ran")
+        })
+        .collect()
+}
+
+/// The ported figure sweeps.
+pub const FIGURES: [&str; 3] = ["fig07", "fig10", "fig12"];
+
+/// Cells of Figure 7 (and 8/9, which reuse the same runs): evaluation apps
+/// × the five-design comparison at stock bandwidth.
+pub fn fig07_cells() -> Vec<SweepCell> {
+    let mut cells = Vec::new();
+    for a in eval_apps() {
+        for d in DesignId::FIG7 {
+            cells.push(SweepCell {
+                app: a.name,
+                design: d,
+                bw_scale: 1.0,
+            });
+        }
+    }
+    cells
+}
+
+/// Cells of Figure 10: evaluation apps × the CABA algorithm variants, plus
+/// the Base cell each row normalizes against.
+pub fn fig10_cells() -> Vec<SweepCell> {
+    let mut cells = Vec::new();
+    for a in eval_apps() {
+        cells.push(SweepCell {
+            app: a.name,
+            design: DesignId::Base,
+            bw_scale: 1.0,
+        });
+        for d in DesignId::FIG10 {
+            cells.push(SweepCell {
+                app: a.name,
+                design: d,
+                bw_scale: 1.0,
+            });
+        }
+    }
+    cells
+}
+
+/// Cells of Figure 12: evaluation apps × ½×/1×/2× bandwidth × {Base,
+/// CABA-BDI}.
+pub fn fig12_cells() -> Vec<SweepCell> {
+    let mut cells = Vec::new();
+    for a in eval_apps() {
+        for bw in [0.5, 1.0, 2.0] {
+            for d in [DesignId::Base, DesignId::CabaBdi] {
+                cells.push(SweepCell {
+                    app: a.name,
+                    design: d,
+                    bw_scale: bw,
+                });
+            }
+        }
+    }
+    cells
+}
+
+/// Cells of a figure by name (`"fig07"`, `"fig10"`, `"fig12"`).
+pub fn figure_cells(fig: &str) -> Option<Vec<SweepCell>> {
+    match fig {
+        "fig07" => Some(fig07_cells()),
+        "fig10" => Some(fig10_cells()),
+        "fig12" => Some(fig12_cells()),
+        _ => None,
+    }
+}
+
+/// The union of several figures' cells with duplicates removed (first
+/// occurrence wins), preserving deterministic order.
+pub fn dedup_cells(groups: &[Vec<SweepCell>]) -> Vec<SweepCell> {
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for g in groups {
+        for &c in g {
+            if seen.insert(c.key()) {
+                out.push(c);
+            }
+        }
+    }
+    out
+}
+
+/// A machine-readable sweep report, serialized to `BENCH_sweep.json`.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// `"sweep"` or `"selftest"`.
+    pub mode: &'static str,
+    /// Workload scale the cells ran at.
+    pub scale: f64,
+    /// Worker count of the parallel run.
+    pub jobs: usize,
+    /// Which figures' cells are covered.
+    pub figures: Vec<String>,
+    /// Serial (jobs = 1) total wall seconds, when measured.
+    pub serial_wall_s: Option<f64>,
+    /// Reference wall seconds for the same sweep on an earlier build
+    /// (`--ref-wall`), for tracking hot-path wins across revisions.
+    pub ref_wall_s: Option<f64>,
+    /// Parallel total wall seconds.
+    pub parallel_wall_s: f64,
+    /// Whether the selftest proved parallel == serial (selftest mode).
+    pub deterministic: Option<bool>,
+    /// Per-cell results of the parallel run.
+    pub results: Vec<CellResult>,
+}
+
+impl SweepReport {
+    /// Total simulated cycles over all cells.
+    pub fn total_sim_cycles(&self) -> u64 {
+        self.results.iter().map(|r| r.stats.cycles).sum()
+    }
+
+    /// Serial-vs-parallel wall-clock speedup, when a baseline was measured.
+    pub fn speedup(&self) -> Option<f64> {
+        self.serial_wall_s.map(|s| s / self.parallel_wall_s)
+    }
+
+    /// Renders the report as JSON (hand-rolled; no serde dependency).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(4096 + 128 * self.results.len());
+        s.push_str("{\n");
+        s.push_str("  \"schema\": \"caba-sweep-v1\",\n");
+        s.push_str(&format!("  \"mode\": \"{}\",\n", self.mode));
+        s.push_str(&format!("  \"scale\": {},\n", json_f64(self.scale)));
+        s.push_str(&format!("  \"jobs\": {},\n", self.jobs));
+        let figs: Vec<String> = self.figures.iter().map(|f| format!("\"{f}\"")).collect();
+        s.push_str(&format!("  \"figures\": [{}],\n", figs.join(", ")));
+        s.push_str(&format!("  \"num_cells\": {},\n", self.results.len()));
+        let cycles = self.total_sim_cycles();
+        s.push_str(&format!("  \"total_sim_cycles\": {cycles},\n"));
+        if let Some(w) = self.serial_wall_s {
+            s.push_str(&format!("  \"serial_wall_s\": {},\n", json_f64(w)));
+            s.push_str(&format!(
+                "  \"serial_sim_cycles_per_sec\": {},\n",
+                json_f64(cycles as f64 / w)
+            ));
+        }
+        s.push_str(&format!(
+            "  \"parallel_wall_s\": {},\n",
+            json_f64(self.parallel_wall_s)
+        ));
+        s.push_str(&format!(
+            "  \"parallel_sim_cycles_per_sec\": {},\n",
+            json_f64(cycles as f64 / self.parallel_wall_s)
+        ));
+        if let Some(sp) = self.speedup() {
+            s.push_str(&format!("  \"speedup\": {},\n", json_f64(sp)));
+        }
+        if let Some(r) = self.ref_wall_s {
+            s.push_str(&format!("  \"ref_wall_s\": {},\n", json_f64(r)));
+            let best = self.serial_wall_s.unwrap_or(self.parallel_wall_s);
+            s.push_str(&format!(
+                "  \"hot_path_speedup_vs_ref\": {},\n",
+                json_f64(r / best)
+            ));
+        }
+        if let Some(d) = self.deterministic {
+            s.push_str(&format!("  \"deterministic\": {d},\n"));
+        }
+        s.push_str("  \"cells\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            let sep = if i + 1 == self.results.len() { "" } else { "," };
+            s.push_str(&format!(
+                "    {{\"app\": \"{}\", \"design\": \"{}\", \"bw\": {}, \"cycles\": {}, \"wall_s\": {}, \"cycles_per_sec\": {}}}{sep}\n",
+                r.cell.app,
+                r.cell.design.label(),
+                json_f64(r.cell.bw_scale),
+                r.stats.cycles,
+                json_f64(r.wall_s),
+                json_f64(r.stats.cycles as f64 / r.wall_s.max(1e-9)),
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+/// Formats an `f64` as a JSON number (always finite, never `NaN`-literal).
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        let s = format!("{x:.6}");
+        s.trim_end_matches('0').trim_end_matches('.').to_string()
+    } else {
+        "0".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_cells_are_deterministic_and_nonempty() {
+        for fig in FIGURES {
+            let a = figure_cells(fig).expect(fig);
+            let b = figure_cells(fig).expect(fig);
+            assert!(!a.is_empty(), "{fig}");
+            assert_eq!(a, b, "{fig}");
+        }
+        assert!(figure_cells("fig99").is_none());
+    }
+
+    #[test]
+    fn dedup_preserves_first_occurrence_order() {
+        let union = dedup_cells(&[fig07_cells(), fig10_cells(), fig12_cells()]);
+        let f7 = fig07_cells();
+        assert_eq!(&union[..f7.len()], &f7[..], "fig07 cells lead the union");
+        let mut seen = std::collections::HashSet::new();
+        for c in &union {
+            assert!(seen.insert(c.key()), "duplicate cell {c:?}");
+        }
+        // fig10 overlaps fig07 in Base and CABA-BDI; fig12 overlaps at 1x.
+        let total = f7.len() + fig10_cells().len() + fig12_cells().len();
+        assert!(union.len() < total);
+    }
+
+    #[test]
+    fn report_renders_valid_shape() {
+        let r = SweepReport {
+            mode: "selftest",
+            scale: 0.05,
+            jobs: 4,
+            figures: vec!["fig07".into()],
+            serial_wall_s: Some(2.0),
+            ref_wall_s: None,
+            parallel_wall_s: 0.5,
+            deterministic: Some(true),
+            results: vec![],
+        };
+        let j = r.to_json();
+        assert!(j.contains("\"speedup\": 4"), "{j}");
+        assert!(j.contains("\"deterministic\": true"), "{j}");
+        assert!(j.ends_with("]\n}\n"), "{j}");
+    }
+
+    #[test]
+    fn parallel_results_match_serial_on_a_tiny_sweep() {
+        let sc = SweepConfig {
+            scale: 0.05,
+            cfg: GpuConfig::small(),
+        };
+        let cells: Vec<SweepCell> = [
+            ("CONS", DesignId::Base),
+            ("BFS", DesignId::CabaBdi),
+            ("MM", DesignId::HwBdi),
+            ("LPS", DesignId::Base),
+        ]
+        .into_iter()
+        .map(|(app, design)| SweepCell {
+            app,
+            design,
+            bw_scale: 1.0,
+        })
+        .collect();
+        let serial = run_cells(&sc, &cells, 1);
+        let parallel = run_cells(&sc, &cells, 4);
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.cell, p.cell);
+            assert_eq!(s.stats, p.stats, "{:?}", s.cell);
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! `caba-sweep` — parallel deterministic figure-sweep runner.
+//!
+//! Default mode runs the union of the ported figure sweeps (fig07, fig10,
+//! fig12) in parallel and writes a machine-readable `BENCH_sweep.json`.
+//! `--selftest` proves determinism: every ported figure's cell list is run
+//! serially and in parallel, and the two `RunStats` vectors must be
+//! bit-identical (exit code 1 otherwise).
+
+use caba_sweep::{dedup_cells, figure_cells, run_cells, SweepConfig, SweepReport, FIGURES};
+use std::time::Instant;
+
+struct Args {
+    jobs: usize,
+    ref_wall: Option<f64>,
+    selftest: bool,
+    baseline: bool,
+    scale: Option<f64>,
+    out: String,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: caba-sweep [--jobs N] [--scale F] [--baseline] [--selftest] [--out PATH]\n\
+         \n\
+         --jobs N      worker threads (default: available parallelism)\n\
+         --scale F     workload scale (default: CABA_BENCH_SCALE or 0.5; selftest: 0.05)\n\
+         --baseline    also run the sweep with --jobs 1 and record the speedup\n\
+         --ref-wall S  reference wall seconds from an earlier build (recorded\n\
+                       as ref_wall_s / hot_path_speedup_vs_ref in the report)\n\
+         --selftest    verify parallel RunStats are bit-identical to serial per figure\n\
+         --out PATH    report path (default: BENCH_sweep.json)"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        ref_wall: None,
+        selftest: false,
+        baseline: false,
+        scale: None,
+        out: "BENCH_sweep.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--jobs" => {
+                args.jobs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--scale" => {
+                args.scale = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--out" => args.out = it.next().unwrap_or_else(|| usage()),
+            "--ref-wall" => {
+                args.ref_wall = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--baseline" => args.baseline = true,
+            "--selftest" => args.selftest = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    if args.jobs == 0 {
+        usage();
+    }
+    args
+}
+
+fn env_scale() -> f64 {
+    std::env::var("CABA_BENCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.5)
+}
+
+fn main() {
+    let args = parse_args();
+    let report = if args.selftest {
+        selftest(&args)
+    } else {
+        sweep(&args)
+    };
+    std::fs::write(&args.out, report.to_json())
+        .unwrap_or_else(|e| panic!("writing {}: {e}", args.out));
+    eprintln!("report written to {}", args.out);
+}
+
+/// Full figure sweep; optionally measures a serial baseline first.
+fn sweep(args: &Args) -> SweepReport {
+    let sc = SweepConfig {
+        scale: args.scale.unwrap_or_else(env_scale),
+        ..SweepConfig::default()
+    };
+    let groups: Vec<_> = FIGURES
+        .iter()
+        .map(|f| figure_cells(f).expect("known figure"))
+        .collect();
+    let cells = dedup_cells(&groups);
+    eprintln!(
+        "sweep: {} cells ({}) at scale {} with {} jobs",
+        cells.len(),
+        FIGURES.join("+"),
+        sc.scale,
+        args.jobs
+    );
+    let serial_wall_s = if args.baseline {
+        eprintln!("  serial baseline ...");
+        let t0 = Instant::now();
+        let serial = run_cells(&sc, &cells, 1);
+        let w = t0.elapsed().as_secs_f64();
+        eprintln!("  serial: {w:.2}s over {} cells", serial.len());
+        Some(w)
+    } else {
+        None
+    };
+    let t0 = Instant::now();
+    let results = run_cells(&sc, &cells, args.jobs);
+    let parallel_wall_s = t0.elapsed().as_secs_f64();
+    eprintln!("  parallel ({} jobs): {parallel_wall_s:.2}s", args.jobs);
+    if let Some(s) = serial_wall_s {
+        eprintln!("  speedup: {:.2}x", s / parallel_wall_s);
+    }
+    SweepReport {
+        mode: "sweep",
+        scale: sc.scale,
+        jobs: args.jobs,
+        figures: FIGURES.iter().map(|f| f.to_string()).collect(),
+        serial_wall_s,
+        ref_wall_s: args.ref_wall,
+        parallel_wall_s,
+        deterministic: None,
+        results,
+    }
+}
+
+/// Per-figure determinism proof: serial and parallel runs of the same cell
+/// list must produce bit-identical `RunStats` in the same order.
+fn selftest(args: &Args) -> SweepReport {
+    let sc = SweepConfig {
+        scale: args.scale.unwrap_or(0.05),
+        ..SweepConfig::default()
+    };
+    let mut all_results = Vec::new();
+    let mut serial_total = 0.0f64;
+    let mut parallel_total = 0.0f64;
+    let mut ok = true;
+    for fig in FIGURES {
+        let cells = figure_cells(fig).expect("known figure");
+        eprintln!(
+            "selftest {fig}: {} cells at scale {} ({} jobs vs serial)",
+            cells.len(),
+            sc.scale,
+            args.jobs
+        );
+        let t0 = Instant::now();
+        let serial = run_cells(&sc, &cells, 1);
+        let sw = t0.elapsed().as_secs_f64();
+        serial_total += sw;
+        let t0 = Instant::now();
+        let parallel = run_cells(&sc, &cells, args.jobs);
+        let pw = t0.elapsed().as_secs_f64();
+        parallel_total += pw;
+        let mut mismatches = 0usize;
+        for (s, p) in serial.iter().zip(&parallel) {
+            if s.cell != p.cell || s.stats != p.stats {
+                eprintln!("  MISMATCH {:?}", s.cell);
+                mismatches += 1;
+            }
+        }
+        if mismatches > 0 {
+            ok = false;
+            eprintln!("  {fig}: NONDETERMINISTIC ({mismatches} cells differ)");
+        } else {
+            eprintln!("  {fig}: deterministic; serial {sw:.2}s, parallel {pw:.2}s");
+        }
+        all_results.extend(parallel);
+    }
+    let report = SweepReport {
+        mode: "selftest",
+        scale: sc.scale,
+        jobs: args.jobs,
+        figures: FIGURES.iter().map(|f| f.to_string()).collect(),
+        serial_wall_s: Some(serial_total),
+        ref_wall_s: args.ref_wall,
+        parallel_wall_s: parallel_total,
+        deterministic: Some(ok),
+        results: all_results,
+    };
+    if !ok {
+        // Still write the report for forensics, then fail.
+        let _ = std::fs::write(&args.out, report.to_json());
+        eprintln!("selftest FAILED: parallel sweep is not bit-identical to serial");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "selftest OK: all figures bit-identical; serial {serial_total:.2}s vs parallel {parallel_total:.2}s ({:.2}x)",
+        serial_total / parallel_total
+    );
+    report
+}

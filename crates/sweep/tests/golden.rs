@@ -1,0 +1,86 @@
+//! Golden regression and determinism tests for the sweep executor.
+//!
+//! The hot-path work (hashing, candidate caching, quiesced-component
+//! skipping, bulk DRAM-clock catch-up) is only legal because it leaves
+//! architectural state untouched. These tests pin that down two ways:
+//! exact cycle/flit counts captured before the overhaul, and bit-identical
+//! `RunStats` between serial and parallel sweeps.
+
+use caba_sweep::{run_cells, DesignId, SweepCell, SweepConfig};
+use caba_workloads::{app, run_app};
+
+/// Exact `(design, cycles, icnt_flits)` triples for CONS on
+/// `GpuConfig::small()` at scale 0.05, captured from the pre-overhaul
+/// simulator. Any drift here means an "optimization" changed simulated
+/// behavior, not just wall-clock time.
+const GOLDEN: [(DesignId, u64, u64); 7] = [
+    (DesignId::Base, 2554, 3756),
+    (DesignId::HwBdiMem, 1987, 3756),
+    (DesignId::HwBdi, 1988, 2874),
+    (DesignId::IdealBdi, 1987, 2874),
+    (DesignId::CabaBdi, 2720, 2882),
+    (DesignId::CabaFpc, 3081, 3537),
+    (DesignId::CabaCPack, 2769, 3306),
+];
+
+const GOLDEN_APP_INSTRUCTIONS: u64 = 2496;
+
+#[test]
+fn golden_cycle_counts_are_stable() {
+    let a = app("CONS").expect("CONS exists");
+    for (design, cycles, flits) in GOLDEN {
+        let stats = run_app(&a, caba_sim::GpuConfig::small(), design.make(), 0.05)
+            .unwrap_or_else(|e| panic!("{}: {e}", design.label()));
+        assert_eq!(
+            stats.cycles,
+            cycles,
+            "{}: cycle count drifted",
+            design.label()
+        );
+        assert_eq!(
+            stats.icnt_flits,
+            flits,
+            "{}: interconnect flit count drifted",
+            design.label()
+        );
+        assert_eq!(
+            stats.app_instructions,
+            GOLDEN_APP_INSTRUCTIONS,
+            "{}: instruction count drifted",
+            design.label()
+        );
+    }
+}
+
+#[test]
+fn parallel_sweep_is_bit_identical_to_serial() {
+    // 3 apps x 3 designs, as a flat cell list. `RunStats` derives `Eq`, so
+    // equality here is exact — every counter, not a tolerance check.
+    let mut cells = Vec::new();
+    for app in ["CONS", "BFS", "bfs"] {
+        for design in [DesignId::Base, DesignId::CabaBdi, DesignId::CabaFpc] {
+            cells.push(SweepCell {
+                app,
+                design,
+                bw_scale: 1.0,
+            });
+        }
+    }
+    let sc = SweepConfig {
+        scale: 0.05,
+        ..SweepConfig::default()
+    };
+    let serial = run_cells(&sc, &cells, 1);
+    let parallel = run_cells(&sc, &cells, 4);
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.cell, p.cell, "cell order must be stable");
+        assert_eq!(
+            s.stats,
+            p.stats,
+            "{} / {}: parallel RunStats diverged from serial",
+            s.cell.app,
+            s.cell.design.label()
+        );
+    }
+}
