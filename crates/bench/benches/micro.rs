@@ -1,6 +1,13 @@
 //! Criterion microbenchmarks: compression codec throughput (the latency
 //! asymmetry that motivates the paper's per-algorithm latency modelling,
 //! §6.3) and raw simulator cycle rate.
+//!
+//! Codec benchmarks cover **every algorithm × every line class ×
+//! compress/decompress**, through the same static-dispatch entry points the
+//! simulator's hot path uses ([`Algorithm::compress_line`] and the
+//! allocation-free [`Algorithm::decompress_into`]) — so a regression here
+//! is a regression in the per-access simulation cost, not just in a codec
+//! taken in isolation.
 
 use caba_compress::{Algorithm, LINE_SIZE};
 use caba_isa::{AluOp, Kernel, LaunchDims, ProgramBuilder, Reg, Space, Special, Src, Width};
@@ -9,34 +16,59 @@ use caba_stats::Rng64;
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
-/// Sparse small integers: compressible by all three algorithms, so every
-/// codec's decompression path can be benchmarked on the same line.
-fn compressible_line(seed: u64) -> Vec<u8> {
-    let mut rng = Rng64::new(seed);
-    let mut line = Vec::with_capacity(LINE_SIZE);
+/// The data-profile classes the workloads generate (see
+/// `caba_workloads::data`), each stressing a different codec strength.
+fn line_classes() -> Vec<(&'static str, Vec<u8>)> {
+    let mut rng = Rng64::new(7);
+    // All-zero line: best case for every algorithm.
+    let zeros = vec![0u8; LINE_SIZE];
+    // Narrow values off a large common base: BDI's target case.
+    let mut narrow = Vec::with_capacity(LINE_SIZE);
+    for _ in 0..LINE_SIZE / 4 {
+        narrow.extend_from_slice(&(0x1000_0000u32 + rng.range_u64(200) as u32).to_le_bytes());
+    }
+    // Sparse small integers: compressible by all three algorithms.
+    let mut sparse = Vec::with_capacity(LINE_SIZE);
     for _ in 0..LINE_SIZE / 4 {
         let w = if rng.chance(0.6) {
             0u32
         } else {
             rng.range_u64(100) as u32
         };
-        line.extend_from_slice(&w.to_le_bytes());
+        sparse.extend_from_slice(&w.to_le_bytes());
     }
-    line
+    // Uniform random bytes: incompressible (compress returns None; still
+    // benchmarked — the simulator pays this path on every incompressible
+    // store).
+    let random: Vec<u8> = (0..LINE_SIZE).map(|_| rng.range_u64(256) as u8).collect();
+    vec![
+        ("zeros", zeros),
+        ("narrow", narrow),
+        ("sparse", sparse),
+        ("random", random),
+    ]
 }
 
 fn bench_codecs(c: &mut Criterion) {
     let mut g = c.benchmark_group("codec");
-    for alg in Algorithm::ALL {
-        let comp = alg.compressor();
-        let line = compressible_line(7);
-        g.bench_function(format!("{}/compress", alg.name()), |b| {
-            b.iter(|| black_box(comp.compress(black_box(&line))))
-        });
-        let z = comp.compress(&line).expect("compressible");
-        g.bench_function(format!("{}/decompress", alg.name()), |b| {
-            b.iter(|| black_box(comp.decompress(black_box(&z)).expect("round trip")))
-        });
+    for (class, line) in line_classes() {
+        for alg in Algorithm::ALL {
+            g.bench_function(format!("{}/{class}/compress", alg.name()), |b| {
+                b.iter(|| black_box(alg.compress_line(black_box(&line))))
+            });
+            // Decompression only exists for lines the codec can encode.
+            if let Some(z) = alg.compress_line(&line) {
+                let mut out = [0u8; LINE_SIZE];
+                g.bench_function(format!("{}/{class}/decompress", alg.name()), |b| {
+                    b.iter(|| {
+                        let n = alg
+                            .decompress_into(black_box(&z), black_box(&mut out))
+                            .expect("round trip");
+                        black_box(n)
+                    })
+                });
+            }
+        }
     }
     g.finish();
 }
@@ -55,20 +87,38 @@ fn sim_kernel(n: u32) -> Kernel {
         .with_params(vec![0x1_0000])
 }
 
+fn seeded_gpu(cfg: GpuConfig, threads: u64) -> Gpu {
+    let mut gpu = Gpu::new(cfg, Design::Base);
+    for i in 0..threads {
+        gpu.mem_mut().write_u32(0x1_0000 + i * 4, i as u32);
+    }
+    gpu
+}
+
 fn bench_simulator(c: &mut Criterion) {
     let mut g = c.benchmark_group("simulator");
     g.sample_size(10);
     let kernel = sim_kernel(4096);
     g.bench_function("base_4096_threads", |b| {
         b.iter_batched(
-            || {
-                let mut gpu = Gpu::new(GpuConfig::small(), Design::Base);
-                for i in 0..4096u64 {
-                    gpu.mem_mut().write_u32(0x1_0000 + i * 4, i as u32);
-                }
-                gpu
-            },
+            || seeded_gpu(GpuConfig::small(), 4096),
             |mut gpu| black_box(gpu.run(&kernel, 10_000_000).expect("completes")),
+            BatchSize::LargeInput,
+        )
+    });
+    // Single-SM cycle loop: isolates the per-cycle engine cost (dispatch,
+    // SM phase, delta commit, crossbar merge) from multi-SM effects —
+    // the inner-loop number the intra-run sharding work optimizes.
+    let single_kernel = sim_kernel(1024);
+    g.bench_function("single_sm_1024_threads", |b| {
+        b.iter_batched(
+            || {
+                let mut cfg = GpuConfig::small();
+                cfg.num_sms = 1;
+                cfg.num_channels = 1;
+                seeded_gpu(cfg, 1024)
+            },
+            |mut gpu| black_box(gpu.run(&single_kernel, 10_000_000).expect("completes")),
             BatchSize::LargeInput,
         )
     });

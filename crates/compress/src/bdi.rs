@@ -255,7 +255,11 @@ impl Compressor for Bdi {
             .min_by_key(|c| c.size_bytes())
     }
 
-    fn decompress(&self, line: &CompressedLine) -> Result<Vec<u8>, DecompressError> {
+    fn decompress_into(
+        &self,
+        line: &CompressedLine,
+        out: &mut [u8],
+    ) -> Result<usize, DecompressError> {
         if line.algorithm != Algorithm::Bdi {
             return Err(DecompressError::WrongAlgorithm {
                 expected: Algorithm::Bdi,
@@ -265,17 +269,23 @@ impl Compressor for Bdi {
         let enc = BdiEncoding::from_id(line.encoding)
             .ok_or(DecompressError::BadEncoding(line.encoding))?;
         let len = line.original_len;
+        if out.len() < len {
+            return Err(DecompressError::Malformed("output buffer too small"));
+        }
+        let out = &mut out[..len];
         match enc {
-            BdiEncoding::Zeros => Ok(vec![0u8; len]),
+            BdiEncoding::Zeros => {
+                out.fill(0);
+                Ok(len)
+            }
             BdiEncoding::Rep8 => {
                 if line.payload.len() != 8 {
                     return Err(DecompressError::Malformed("Rep8 payload must be 8 bytes"));
                 }
-                let mut out = Vec::with_capacity(len);
-                while out.len() < len {
-                    out.extend_from_slice(&line.payload);
+                for chunk in out.chunks_mut(8) {
+                    chunk.copy_from_slice(&line.payload[..chunk.len()]);
                 }
-                Ok(out)
+                Ok(len)
             }
             _ => {
                 let (vs, ds) = enc.sizes().expect("base-delta encoding");
@@ -297,7 +307,7 @@ impl Compressor for Bdi {
                     base |= (line.payload[mask_len + b] as u64) << (8 * b);
                 }
                 let deltas = &line.payload[mask_len + vs..];
-                let mut out = vec![0u8; len];
+                out.fill(0);
                 for i in 0..n {
                     let mut d = 0u64;
                     for b in 0..ds {
@@ -306,9 +316,9 @@ impl Compressor for Bdi {
                     let d = sign_extend(d, ds * 8) as u64;
                     let zero_base = mask[i / 8] >> (i % 8) & 1 == 1;
                     let v = if zero_base { d } else { base.wrapping_add(d) } & vmask;
-                    write_value(&mut out, i, vs, v);
+                    write_value(out, i, vs, v);
                 }
-                Ok(out)
+                Ok(len)
             }
         }
     }

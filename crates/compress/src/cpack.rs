@@ -105,7 +105,11 @@ impl Compressor for CPack {
         })
     }
 
-    fn decompress(&self, line: &CompressedLine) -> Result<Vec<u8>, DecompressError> {
+    fn decompress_into(
+        &self,
+        line: &CompressedLine,
+        out: &mut [u8],
+    ) -> Result<usize, DecompressError> {
         if line.algorithm != Algorithm::CPack {
             return Err(DecompressError::WrongAlgorithm {
                 expected: Algorithm::CPack,
@@ -126,18 +130,19 @@ impl Compressor for CPack {
         if payload.len() < 1 + n_dict * 4 {
             return Err(DecompressError::Malformed("truncated dictionary"));
         }
-        let mut dict = Vec::with_capacity(n_dict);
-        for i in 0..n_dict {
+        let mut dict = [0u32; DICT_SIZE];
+        for (i, d) in dict.iter_mut().enumerate().take(n_dict) {
             let off = 1 + i * 4;
-            dict.push(u32::from_le_bytes(
-                payload[off..off + 4].try_into().expect("4 bytes"),
-            ));
+            *d = u32::from_le_bytes(payload[off..off + 4].try_into().expect("4 bytes"));
         }
+        let dict = &dict[..n_dict];
         let n_words = line.original_len / 4;
+        if out.len() < n_words * 4 {
+            return Err(DecompressError::Malformed("output buffer too small"));
+        }
         let mut r = BitReader::new(&payload[1 + n_dict * 4..]);
-        let mut out = Vec::with_capacity(line.original_len);
         let trunc = DecompressError::Malformed("truncated code stream");
-        for _ in 0..n_words {
+        for wi in 0..n_words {
             let code = r.read(2).ok_or_else(|| trunc.clone())?;
             let w = match code {
                 C_ZERO => 0u32,
@@ -158,9 +163,9 @@ impl Compressor for CPack {
                 C_RAW => r.read(32).ok_or_else(|| trunc.clone())? as u32,
                 _ => unreachable!("2-bit code"),
             };
-            out.extend_from_slice(&w.to_le_bytes());
+            out[wi * 4..wi * 4 + 4].copy_from_slice(&w.to_le_bytes());
         }
-        Ok(out)
+        Ok(n_words * 4)
     }
 }
 

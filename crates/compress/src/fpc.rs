@@ -116,7 +116,11 @@ impl Compressor for Fpc {
         })
     }
 
-    fn decompress(&self, line: &CompressedLine) -> Result<Vec<u8>, DecompressError> {
+    fn decompress_into(
+        &self,
+        line: &CompressedLine,
+        out: &mut [u8],
+    ) -> Result<usize, DecompressError> {
         if line.algorithm != Algorithm::Fpc {
             return Err(DecompressError::WrongAlgorithm {
                 expected: Algorithm::Fpc,
@@ -127,8 +131,15 @@ impl Compressor for Fpc {
             return Err(DecompressError::BadEncoding(line.encoding));
         }
         let n_words = line.original_len / 4;
+        if out.len() < n_words * 4 {
+            return Err(DecompressError::Malformed("output buffer too small"));
+        }
+        let mut filled = 0usize;
+        let mut words = WordSink {
+            out,
+            n: &mut filled,
+        };
         let mut r = BitReader::new(&line.payload);
-        let mut words = Vec::with_capacity(n_words);
         while words.len() < n_words {
             let prefix = r
                 .read(PREFIX_BITS)
@@ -177,11 +188,26 @@ impl Compressor for Fpc {
                 _ => unreachable!("3-bit prefix"),
             }
         }
-        let mut out = Vec::with_capacity(line.original_len);
-        for w in words {
-            out.extend_from_slice(&w.to_le_bytes());
-        }
-        Ok(out)
+        Ok(filled * 4)
+    }
+}
+
+/// Writes decoded 32-bit words directly into the caller's byte buffer, so
+/// decompression needs no intermediate `Vec<u32>`.
+struct WordSink<'a> {
+    out: &'a mut [u8],
+    n: &'a mut usize,
+}
+
+impl WordSink<'_> {
+    fn len(&self) -> usize {
+        *self.n
+    }
+
+    fn push(&mut self, w: u32) {
+        let off = *self.n * 4;
+        self.out[off..off + 4].copy_from_slice(&w.to_le_bytes());
+        *self.n += 1;
     }
 }
 

@@ -75,11 +75,43 @@ impl Algorithm {
     }
 
     /// Constructs the reference compressor for this algorithm.
+    ///
+    /// Prefer [`Algorithm::compress_line`] / [`Algorithm::decompress_into`]
+    /// in hot paths: they dispatch statically and never allocate a box.
     pub fn compressor(self) -> Box<dyn Compressor> {
         match self {
             Algorithm::Bdi => Box::new(Bdi::new()),
             Algorithm::Fpc => Box::new(Fpc::new()),
             Algorithm::CPack => Box::new(CPack::new()),
+        }
+    }
+
+    /// Compresses `line` with this algorithm via static dispatch (no
+    /// `Box<dyn Compressor>` on the per-line-access path).
+    pub fn compress_line(self, line: &[u8]) -> Option<CompressedLine> {
+        match self {
+            Algorithm::Bdi => Bdi::new().compress(line),
+            Algorithm::Fpc => Fpc::new().compress(line),
+            Algorithm::CPack => CPack::new().compress(line),
+        }
+    }
+
+    /// Decompresses `line` into a caller-provided scratch buffer via static
+    /// dispatch. Returns the number of bytes written.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecompressError`] when the payload is malformed or was
+    /// produced by a different algorithm.
+    pub fn decompress_into(
+        self,
+        line: &CompressedLine,
+        out: &mut [u8],
+    ) -> Result<usize, DecompressError> {
+        match self {
+            Algorithm::Bdi => Bdi::new().decompress_into(line, out),
+            Algorithm::Fpc => Fpc::new().decompress_into(line, out),
+            Algorithm::CPack => CPack::new().decompress_into(line, out),
         }
     }
 
@@ -150,9 +182,17 @@ impl CompressedLine {
     /// to *detect* metadata/payload corruption, so corrupt inputs must be a
     /// `false`, never a panic.
     pub fn round_trips_to(&self, expected: &[u8]) -> bool {
-        match self.algorithm.compressor().decompress(self) {
-            Ok(bytes) => bytes == expected,
-            Err(_) => false,
+        if self.original_len <= LINE_SIZE {
+            let mut buf = [0u8; LINE_SIZE];
+            match self.algorithm.decompress_into(self, &mut buf) {
+                Ok(n) => &buf[..n] == expected,
+                Err(_) => false,
+            }
+        } else {
+            match self.algorithm.compressor().decompress(self) {
+                Ok(bytes) => bytes == expected,
+                Err(_) => false,
+            }
         }
     }
 }
@@ -180,13 +220,34 @@ pub trait Compressor {
     /// Implementations may panic if `line.len()` is not a multiple of 8.
     fn compress(&self, line: &[u8]) -> Option<CompressedLine>;
 
-    /// Decompresses a line produced by this compressor.
+    /// Decompresses `line` into a caller-provided scratch buffer (typically
+    /// a stack `[u8; LINE_SIZE]`), returning the number of bytes written.
+    /// This is the allocation-free primitive; [`Compressor::decompress`] is
+    /// a convenience wrapper over it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecompressError`] when the payload is malformed, was
+    /// produced by a different algorithm, or `out` is shorter than the
+    /// decompressed line.
+    fn decompress_into(
+        &self,
+        line: &CompressedLine,
+        out: &mut [u8],
+    ) -> Result<usize, DecompressError>;
+
+    /// Decompresses a line produced by this compressor into a fresh vector.
     ///
     /// # Errors
     ///
     /// Returns [`DecompressError`] when the payload is malformed or was
     /// produced by a different algorithm.
-    fn decompress(&self, line: &CompressedLine) -> Result<Vec<u8>, DecompressError>;
+    fn decompress(&self, line: &CompressedLine) -> Result<Vec<u8>, DecompressError> {
+        let mut out = vec![0u8; line.original_len];
+        let n = self.decompress_into(line, &mut out)?;
+        out.truncate(n);
+        Ok(out)
+    }
 }
 
 /// Error decompressing a [`CompressedLine`].
@@ -236,7 +297,7 @@ impl BestOfAll {
     pub fn compress(&self, line: &[u8]) -> Option<CompressedLine> {
         Algorithm::ALL
             .iter()
-            .filter_map(|a| a.compressor().compress(line))
+            .filter_map(|a| a.compress_line(line))
             .min_by_key(|c| c.size_bytes())
     }
 }
@@ -248,13 +309,15 @@ pub fn average_burst_ratio(algorithm: Algorithm, lines: &[Vec<u8>]) -> f64 {
     if lines.is_empty() {
         return 1.0;
     }
-    let comp = algorithm.compressor();
     let mut total_unc = 0usize;
     let mut total_comp = 0usize;
     for line in lines {
         let unc = line.len().div_ceil(BURST_BYTES).max(1);
         total_unc += unc;
-        total_comp += comp.compress(line).map(|c| c.bursts()).unwrap_or(unc);
+        total_comp += algorithm
+            .compress_line(line)
+            .map(|c| c.bursts())
+            .unwrap_or(unc);
     }
     total_unc as f64 / total_comp as f64
 }

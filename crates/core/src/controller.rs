@@ -215,7 +215,7 @@ impl AssistController for CabaController {
         }
     }
 
-    fn on_fill(&mut self, info: &FillInfo, svc: &mut SmServices<'_>) -> FillAction {
+    fn on_fill(&mut self, info: &FillInfo, svc: &mut SmServices<'_, '_>) -> FillAction {
         let Some(stored) =
             svc.line_store
                 .stored_compressed(svc.mem, svc.cmap.as_deref_mut(), info.addr)
@@ -276,7 +276,7 @@ impl AssistController for CabaController {
         })
     }
 
-    fn on_store(&mut self, info: &StoreInfo, svc: &mut SmServices<'_>) -> StoreAction {
+    fn on_store(&mut self, info: &StoreInfo, svc: &mut SmServices<'_, '_>) -> StoreAction {
         let Some(slot) = self.alloc_slot(info.sm, svc.staging_base) else {
             self.stats.slot_fallbacks += 1;
             return StoreAction::PassThrough;
@@ -353,7 +353,7 @@ impl AssistController for CabaController {
         })
     }
 
-    fn on_assist_complete(&mut self, tag: u64, svc: &mut SmServices<'_>) -> AssistOutcome {
+    fn on_assist_complete(&mut self, tag: u64, svc: &mut SmServices<'_, '_>) -> AssistOutcome {
         let Some(entry) = self.inflight.remove(&tag) else {
             return AssistOutcome::Nothing;
         };
@@ -433,7 +433,7 @@ impl AssistController for CabaController {
                 if current != snapshot {
                     self.stats.stale_recompressions += 1;
                 }
-                match alg.compressor().compress(&current) {
+                match alg.compress_line(&current) {
                     Some(c) => svc.line_store.set_compressed(addr, c),
                     None => {
                         self.stats.compression_failures += 1;
@@ -444,6 +444,13 @@ impl AssistController for CabaController {
                 AssistOutcome::StoreRelease { addr }
             }
         }
+    }
+
+    fn fork(&self) -> Box<dyn AssistController + Send> {
+        let mut c = CabaController::new(self.mode);
+        c.paranoid = self.paranoid;
+        c.decompress_priority = self.decompress_priority;
+        Box::new(c)
     }
 
     fn extra_regs_per_thread(&self) -> u32 {

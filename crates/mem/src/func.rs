@@ -1,7 +1,7 @@
 //! Functional backing memory and the per-line compression map.
 
 use crate::{line_base, LINE_SIZE};
-use caba_compress::{Algorithm, BestOfAll, CompressedLine, Compressor};
+use caba_compress::{Algorithm, BestOfAll, CompressedLine};
 use caba_stats::FxHashMap;
 
 const PAGE_SIZE: usize = 4096;
@@ -109,7 +109,25 @@ impl FuncMem {
 
     /// Reads the full cache line containing `addr`.
     pub fn read_line(&self, addr: u64) -> Vec<u8> {
-        self.read_bytes(line_base(addr), LINE_SIZE)
+        let mut out = vec![0u8; LINE_SIZE];
+        self.read_line_into(addr, (&mut out[..]).try_into().expect("LINE_SIZE"));
+        out
+    }
+
+    /// Reads the full cache line containing `addr` into a caller-provided
+    /// buffer (no allocation). Pages are line-aligned, so this is a single
+    /// page lookup plus a copy.
+    pub fn read_line_into(&self, addr: u64, out: &mut [u8; LINE_SIZE]) {
+        const _: () = assert!(
+            PAGE_SIZE.is_multiple_of(LINE_SIZE),
+            "lines never span pages"
+        );
+        let base = line_base(addr);
+        let (page, off) = Self::page_of(base);
+        match self.pages.get(&page) {
+            Some(p) => out.copy_from_slice(&p[off..off + LINE_SIZE]),
+            None => out.fill(0),
+        }
     }
 
     /// Number of resident (touched) pages.
@@ -127,6 +145,17 @@ pub enum LineCompressor {
     BestOfAll,
 }
 
+impl LineCompressor {
+    /// Compresses one line's bytes via static dispatch — no
+    /// `Box<dyn Compressor>` on the per-line-access path.
+    pub fn compress_line(self, bytes: &[u8]) -> Option<CompressedLine> {
+        match self {
+            LineCompressor::Fixed(a) => a.compress_line(bytes),
+            LineCompressor::BestOfAll => BestOfAll::new().compress(bytes),
+        }
+    }
+}
+
 /// Caches the compressed representation of each line of a [`FuncMem`].
 ///
 /// The timing model asks this map how many DRAM bursts / interconnect flits
@@ -138,8 +167,6 @@ pub struct CompressionMap {
     // FxHash: consulted on every size-oracle query; `audit_round_trips`
     // sorts its result, so iteration order stays invisible.
     lines: FxHashMap<u64, Option<CompressedLine>>,
-    fixed: Option<Box<dyn Compressor>>,
-    best: BestOfAll,
 }
 
 impl std::fmt::Debug for CompressionMap {
@@ -154,15 +181,9 @@ impl std::fmt::Debug for CompressionMap {
 impl CompressionMap {
     /// Creates a map using `compressor` for every line.
     pub fn new(compressor: LineCompressor) -> Self {
-        let fixed = match compressor {
-            LineCompressor::Fixed(a) => Some(a.compressor()),
-            LineCompressor::BestOfAll => None,
-        };
         CompressionMap {
             compressor,
             lines: FxHashMap::default(),
-            fixed,
-            best: BestOfAll::new(),
         }
     }
 
@@ -176,14 +197,25 @@ impl CompressionMap {
     pub fn compressed(&mut self, mem: &FuncMem, addr: u64) -> Option<&CompressedLine> {
         let base = line_base(addr);
         if !self.lines.contains_key(&base) {
-            let bytes = mem.read_line(base);
-            let c = match &self.fixed {
-                Some(c) => c.compress(&bytes),
-                None => self.best.compress(&bytes),
-            };
+            let mut bytes = [0u8; LINE_SIZE];
+            mem.read_line_into(base, &mut bytes);
+            let c = self.compressor.compress_line(&bytes);
             self.lines.insert(base, c);
         }
         self.lines.get(&base).and_then(|o| o.as_ref())
+    }
+
+    /// The cached entry for the line containing `addr`, without computing:
+    /// `None` = never computed, `Some(None)` = computed and incompressible.
+    /// Overlay views use this to layer per-cycle deltas over the shared map.
+    pub fn peek(&self, addr: u64) -> Option<&Option<CompressedLine>> {
+        self.lines.get(&line_base(addr))
+    }
+
+    /// Installs a computed entry for the line containing `addr`, replacing
+    /// any cached form. Used when replaying per-cycle overlay deltas.
+    pub fn insert_cached(&mut self, addr: u64, c: Option<CompressedLine>) {
+        self.lines.insert(line_base(addr), c);
     }
 
     /// DRAM bursts to transfer the line containing `addr` in compressed form.

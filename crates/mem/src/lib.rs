@@ -29,12 +29,14 @@ pub mod dram;
 pub mod func;
 pub mod icnt;
 pub mod mdcache;
+pub mod overlay;
 
 pub use cache::{AccessOutcome, Cache, CacheGeometry, Eviction, Mshr};
 pub use dram::{DramChannel, DramConfig, DramRequest, DramStats};
-pub use func::{CompressionMap, FuncMem};
-pub use icnt::{Crossbar, Flit, PushError, PushErrorKind};
+pub use func::{CompressionMap, FuncMem, LineCompressor};
+pub use icnt::{Crossbar, Flit, IngressLanes, PushError, PushErrorKind};
 pub use mdcache::MdCache;
+pub use overlay::{CmapDelta, MemDelta, SharedCmap, SharedMem};
 
 /// Cache line size used throughout the hierarchy (bytes).
 pub use caba_compress::LINE_SIZE;

@@ -11,7 +11,7 @@
 
 use caba_compress::{Algorithm, CompressedLine};
 use caba_isa::{Program, Reg};
-use caba_mem::{line_base, CompressionMap, FuncMem, LINE_SIZE};
+use caba_mem::{line_base, SharedCmap, SharedMem, LINE_SIZE};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -111,13 +111,18 @@ pub enum AssistOutcome {
 }
 
 /// Mutable services the SM exposes to the controller during callbacks.
-pub struct SmServices<'a> {
+///
+/// All shared state is reached through phase-aware views ([`SharedMem`] and
+/// friends): during the parallel SM phase these are overlays (start-of-cycle
+/// snapshot plus this SM's own writes), during serial phases they are direct.
+/// Controller code is identical either way.
+pub struct SmServices<'a, 'm> {
     /// Functional global memory (staging regions live here too).
-    pub mem: &'a mut FuncMem,
+    pub mem: &'a mut SharedMem<'m>,
     /// The reference compression map (present on compressed designs).
-    pub cmap: Option<&'a mut CompressionMap>,
+    pub cmap: Option<&'a mut SharedCmap<'m>>,
     /// Per-line stored forms.
-    pub line_store: &'a mut LineStore,
+    pub line_store: &'a mut SharedLineStore<'m>,
     /// Base address of this SM's staging region (assist-warp scratch).
     pub staging_base: u64,
     /// The SM id.
@@ -134,13 +139,19 @@ pub trait AssistController {
     fn selector(&self) -> caba_mem::func::LineCompressor;
 
     /// A fill response reached the L1 boundary.
-    fn on_fill(&mut self, info: &FillInfo, svc: &mut SmServices<'_>) -> FillAction;
+    fn on_fill(&mut self, info: &FillInfo, svc: &mut SmServices<'_, '_>) -> FillAction;
 
     /// A dirty line is ready to leave the core.
-    fn on_store(&mut self, info: &StoreInfo, svc: &mut SmServices<'_>) -> StoreAction;
+    fn on_store(&mut self, info: &StoreInfo, svc: &mut SmServices<'_, '_>) -> StoreAction;
 
     /// An assist warp with `tag` ran to completion.
-    fn on_assist_complete(&mut self, tag: u64, svc: &mut SmServices<'_>) -> AssistOutcome;
+    fn on_assist_complete(&mut self, tag: u64, svc: &mut SmServices<'_, '_>) -> AssistOutcome;
+
+    /// A fresh controller with the same policy but no per-run state, for the
+    /// per-SM controller instances the barrier-phased engine hands each
+    /// worker. Tags and slot addresses are per-SM namespaces, so forked
+    /// controllers behave identically to one shared instance.
+    fn fork(&self) -> Box<dyn AssistController + Send>;
 
     /// Registers each enabled helper routine adds to the per-block
     /// requirement (§3.2.2). Charged per thread at CTA launch.
@@ -195,22 +206,130 @@ impl LineStore {
         self.overrides.get(&line_base(addr))
     }
 
+    /// Number of explicit overrides (diagnostics).
+    pub fn overrides(&self) -> usize {
+        self.overrides.len()
+    }
+}
+
+/// One logged operation against the line store.
+#[derive(Debug, Clone)]
+enum LsOp {
+    SetRaw(u64),
+    SetCompressed(u64, CompressedLine),
+    Clear(u64),
+}
+
+/// A per-SM, per-cycle delta over a frozen [`LineStore`], replayed by the
+/// coordinator at the cycle barrier in SM index order.
+#[derive(Debug, Default)]
+pub struct LineStoreDelta {
+    // line base -> local override state; `Some(None)` = cleared this cycle.
+    local: HashMap<u64, Option<StoredForm>>,
+    log: Vec<LsOp>,
+}
+
+impl LineStoreDelta {
+    /// Creates an empty delta.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replays logged operations into `store` in order and clears the delta.
+    pub fn commit(&mut self, store: &mut LineStore) {
+        for op in self.log.drain(..) {
+            match op {
+                LsOp::SetRaw(b) => store.set_raw(b),
+                LsOp::SetCompressed(b, c) => store.set_compressed(b, c),
+                LsOp::Clear(b) => store.clear(b),
+            }
+        }
+        self.local.clear();
+    }
+}
+
+/// A view of the line store, parameterized by execution phase.
+#[derive(Debug)]
+pub enum SharedLineStore<'a> {
+    /// Exclusive access (serial phases, unit tests).
+    Direct(&'a mut LineStore),
+    /// Shared read-only snapshot (partition phase). Writes panic.
+    Frozen(&'a LineStore),
+    /// Frozen start-of-cycle store plus this SM's private delta.
+    Overlay {
+        /// The frozen start-of-cycle store.
+        base: &'a LineStore,
+        /// This SM's private delta.
+        delta: &'a mut LineStoreDelta,
+    },
+}
+
+impl SharedLineStore<'_> {
+    /// The effective override for `addr`'s line, if any.
+    pub fn override_for(&self, addr: u64) -> Option<&StoredForm> {
+        match self {
+            SharedLineStore::Direct(ls) => ls.override_for(addr),
+            SharedLineStore::Frozen(ls) => ls.override_for(addr),
+            SharedLineStore::Overlay { base, delta } => match delta.local.get(&line_base(addr)) {
+                Some(local) => local.as_ref(),
+                None => base.override_for(addr),
+            },
+        }
+    }
+
+    /// Records that `addr`'s line is stored raw.
+    pub fn set_raw(&mut self, addr: u64) {
+        let b = line_base(addr);
+        match self {
+            SharedLineStore::Direct(ls) => ls.set_raw(b),
+            SharedLineStore::Frozen(_) => panic!("write through a frozen line-store view"),
+            SharedLineStore::Overlay { delta, .. } => {
+                delta.log.push(LsOp::SetRaw(b));
+                delta.local.insert(b, Some(StoredForm::Raw));
+            }
+        }
+    }
+
+    /// Records an explicit compressed form for `addr`'s line.
+    pub fn set_compressed(&mut self, addr: u64, line: CompressedLine) {
+        let b = line_base(addr);
+        match self {
+            SharedLineStore::Direct(ls) => ls.set_compressed(b, line),
+            SharedLineStore::Frozen(_) => panic!("write through a frozen line-store view"),
+            SharedLineStore::Overlay { delta, .. } => {
+                delta.log.push(LsOp::SetCompressed(b, line.clone()));
+                delta.local.insert(b, Some(StoredForm::Compressed(line)));
+            }
+        }
+    }
+
+    /// Forgets any override for `addr`'s line (falls back to the reference
+    /// map).
+    pub fn clear(&mut self, addr: u64) {
+        let b = line_base(addr);
+        match self {
+            SharedLineStore::Direct(ls) => ls.clear(b),
+            SharedLineStore::Frozen(_) => panic!("write through a frozen line-store view"),
+            SharedLineStore::Overlay { delta, .. } => {
+                delta.log.push(LsOp::Clear(b));
+                delta.local.insert(b, None);
+            }
+        }
+    }
+
     /// Size in bytes of `addr`'s line as stored (consulting the override,
     /// then the reference map).
     pub fn stored_size(
         &self,
-        mem: &FuncMem,
-        cmap: Option<&mut CompressionMap>,
+        mem: &SharedMem<'_>,
+        cmap: Option<&mut SharedCmap<'_>>,
         addr: u64,
     ) -> usize {
         match self.override_for(addr) {
             Some(StoredForm::Raw) => LINE_SIZE,
             Some(StoredForm::Compressed(c)) => c.size_bytes(),
             None => match cmap {
-                Some(map) => map
-                    .compressed(mem, addr)
-                    .map(|c| c.size_bytes())
-                    .unwrap_or(LINE_SIZE),
+                Some(map) => map.compressed_size(mem, addr).unwrap_or(LINE_SIZE),
                 None => LINE_SIZE,
             },
         }
@@ -220,27 +339,22 @@ impl LineStore {
     /// incompressible.
     pub fn stored_compressed(
         &self,
-        mem: &FuncMem,
-        cmap: Option<&mut CompressionMap>,
+        mem: &SharedMem<'_>,
+        cmap: Option<&mut SharedCmap<'_>>,
         addr: u64,
     ) -> Option<CompressedLine> {
         match self.override_for(addr) {
             Some(StoredForm::Raw) => None,
             Some(StoredForm::Compressed(c)) => Some(c.clone()),
-            None => cmap.and_then(|map| map.compressed(mem, addr).cloned()),
+            None => cmap.and_then(|map| map.compressed_clone(mem, addr)),
         }
-    }
-
-    /// Number of explicit overrides (diagnostics).
-    pub fn overrides(&self) -> usize {
-        self.overrides.len()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use caba_mem::func::LineCompressor;
+    use caba_mem::{CompressionMap, FuncMem, LineCompressor};
 
     #[test]
     fn line_store_override_precedence() {
@@ -251,16 +365,26 @@ mod tests {
         }
         let mut cmap = CompressionMap::new(LineCompressor::Fixed(Algorithm::Bdi));
         let mut store = LineStore::new();
+        let mem_view = SharedMem::Frozen(&mem);
+        let mut cmap_view = SharedCmap::Direct(&mut cmap);
+        let mut view = SharedLineStore::Direct(&mut store);
 
         // No override: reference size (< 128).
-        let s = store.stored_size(&mem, Some(&mut cmap), 0);
+        let s = view.stored_size(&mem_view, Some(&mut cmap_view), 0);
         assert!(s < LINE_SIZE);
-        assert!(store.stored_compressed(&mem, Some(&mut cmap), 0).is_some());
+        assert!(view
+            .stored_compressed(&mem_view, Some(&mut cmap_view), 0)
+            .is_some());
 
         // Raw override wins.
-        store.set_raw(5); // same line
-        assert_eq!(store.stored_size(&mem, Some(&mut cmap), 0), LINE_SIZE);
-        assert!(store.stored_compressed(&mem, Some(&mut cmap), 0).is_none());
+        view.set_raw(5); // same line
+        assert_eq!(
+            view.stored_size(&mem_view, Some(&mut cmap_view), 0),
+            LINE_SIZE
+        );
+        assert!(view
+            .stored_compressed(&mem_view, Some(&mut cmap_view), 0)
+            .is_none());
 
         // Explicit compressed override wins over both.
         let c = CompressedLine {
@@ -269,12 +393,15 @@ mod tests {
             payload: vec![0u8; 40],
             original_len: LINE_SIZE,
         };
-        store.set_compressed(0, c.clone());
-        assert_eq!(store.stored_size(&mem, Some(&mut cmap), 0), 40);
-        assert_eq!(store.stored_compressed(&mem, Some(&mut cmap), 0), Some(c));
-        assert_eq!(store.overrides(), 1);
+        view.set_compressed(0, c.clone());
+        assert_eq!(view.stored_size(&mem_view, Some(&mut cmap_view), 0), 40);
+        assert_eq!(
+            view.stored_compressed(&mem_view, Some(&mut cmap_view), 0),
+            Some(c)
+        );
 
-        store.clear(0);
+        view.clear(0);
+        assert_eq!(store.overrides(), 0);
         assert!(store.override_for(0).is_none());
     }
 
@@ -282,7 +409,34 @@ mod tests {
     fn no_cmap_means_raw() {
         let mem = FuncMem::new();
         let store = LineStore::new();
-        assert_eq!(store.stored_size(&mem, None, 0), LINE_SIZE);
-        assert!(store.stored_compressed(&mem, None, 0).is_none());
+        let mem_view = SharedMem::Frozen(&mem);
+        let view = SharedLineStore::Frozen(&store);
+        assert_eq!(view.stored_size(&mem_view, None, 0), LINE_SIZE);
+        assert!(view.stored_compressed(&mem_view, None, 0).is_none());
+    }
+
+    #[test]
+    fn line_store_overlay_defers_until_commit() {
+        let mut store = LineStore::new();
+        store.set_raw(0);
+        let mut delta = LineStoreDelta::new();
+        {
+            let mut view = SharedLineStore::Overlay {
+                base: &store,
+                delta: &mut delta,
+            };
+            // Own writes visible immediately; base override still visible.
+            assert_eq!(view.override_for(0), Some(&StoredForm::Raw));
+            view.clear(0);
+            assert_eq!(view.override_for(0), None, "own clear visible in view");
+            view.set_raw(128);
+            assert_eq!(view.override_for(128), Some(&StoredForm::Raw));
+        }
+        // Base untouched until commit.
+        assert_eq!(store.override_for(0), Some(&StoredForm::Raw));
+        assert_eq!(store.override_for(128), None);
+        delta.commit(&mut store);
+        assert_eq!(store.override_for(0), None);
+        assert_eq!(store.override_for(128), Some(&StoredForm::Raw));
     }
 }

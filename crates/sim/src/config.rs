@@ -94,6 +94,10 @@ pub struct GpuConfig {
     pub audit_interval: u64,
     /// Deterministic fault injection (disabled by default).
     pub fault: FaultConfig,
+    /// Worker threads sharding the per-cycle SM / memory-partition loops
+    /// (the barrier-phased engine). 1 = serial. Results are bit-identical
+    /// for any value; this knob trades wall-clock for cores.
+    pub intra_jobs: usize,
 }
 
 impl GpuConfig {
@@ -130,6 +134,7 @@ impl GpuConfig {
             watchdog_window: 100_000,
             audit_interval: 0,
             fault: FaultConfig::disabled(),
+            intra_jobs: 1,
         }
     }
 
@@ -195,6 +200,7 @@ impl GpuConfig {
         }
         nonzero("num_sms", self.num_sms)?;
         nonzero("num_channels", self.num_channels)?;
+        nonzero("intra_jobs", self.intra_jobs)?;
         nonzero("warps_per_sm", self.warps_per_sm)?;
         nonzero("max_blocks_per_sm", self.max_blocks_per_sm)?;
         nonzero("schedulers_per_sm", self.schedulers_per_sm)?;
@@ -383,7 +389,7 @@ pub enum Design {
     /// CABA: compression and decompression run as assist warps; the policy
     /// object (from `caba-core`) decides subroutines, priorities, and
     /// throttling.
-    Caba(Box<dyn AssistController>),
+    Caba(Box<dyn AssistController + Send>),
 }
 
 impl Design {
@@ -412,6 +418,22 @@ impl Design {
     /// True when this is a CABA design.
     pub fn is_caba(&self) -> bool {
         matches!(self, Design::Caba(_))
+    }
+
+    /// A per-SM copy of this design point. Non-CABA designs are stateless
+    /// value types; CABA forks a fresh controller with the same policy
+    /// (tags and staging slots are per-SM namespaces, so forked controllers
+    /// behave identically to one shared instance).
+    pub fn fork(&self) -> Design {
+        match self {
+            Design::Base => Design::Base,
+            Design::HwMemOnly { alg } => Design::HwMemOnly { alg: *alg },
+            Design::HwFull { alg, ideal } => Design::HwFull {
+                alg: *alg,
+                ideal: *ideal,
+            },
+            Design::Caba(c) => Design::Caba(c.fork()),
+        }
     }
 
     /// Short name for reports.

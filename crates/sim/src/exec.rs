@@ -9,7 +9,7 @@
 use crate::warp::Warp;
 use caba_isa::exec::{eval_alu, eval_cmp, eval_falu, eval_sfu, truncate};
 use caba_isa::{Instr, Op, PBoolOp, Space, Special, Src, WARP_SIZE};
-use caba_mem::{line_base, FuncMem};
+use caba_mem::{line_base, SharedMem};
 
 /// Per-warp launch context for special values.
 #[derive(Debug, Clone)]
@@ -86,7 +86,7 @@ pub fn execute(
     warp: &mut Warp,
     instr: &Instr,
     ctx: &ThreadCtx<'_>,
-    mem: &mut FuncMem,
+    mem: &mut SharedMem<'_>,
 ) -> ExecOutcome {
     let mut out = ExecOutcome::default();
     let exec = warp.exec_mask(instr);
@@ -308,6 +308,7 @@ mod tests {
     use super::*;
     use crate::warp::FULL_MASK;
     use caba_isa::{AluOp, CmpOp, Pred, Reg, Width};
+    use caba_mem::FuncMem;
 
     fn ctx(params: &[u64]) -> ThreadCtx<'_> {
         ThreadCtx {
@@ -338,7 +339,7 @@ mod tests {
             &mut w,
             &alu(AluOp::Mov, 0, Src::Sp(Special::Tid), Src::Imm(0)),
             &c,
-            &mut m,
+            &mut SharedMem::Direct(&mut m),
         );
         // warp_in_block=1 -> tids 32..64
         assert_eq!(w.reg(Reg(0), 0), 32);
@@ -347,14 +348,14 @@ mod tests {
             &mut w,
             &alu(AluOp::Mov, 1, Src::Sp(Special::Param(1)), Src::Imm(0)),
             &c,
-            &mut m,
+            &mut SharedMem::Direct(&mut m),
         );
         assert_eq!(w.reg(Reg(1), 5), 0xBB);
         execute(
             &mut w,
             &alu(AluOp::Mov, 2, Src::Sp(Special::Lane), Src::Imm(0)),
             &c,
-            &mut m,
+            &mut SharedMem::Direct(&mut m),
         );
         assert_eq!(w.reg(Reg(2), 9), 9);
         assert_eq!(w.pc(), 3);
@@ -376,7 +377,7 @@ mod tests {
             Pred(0),
             true,
         );
-        execute(&mut w, &i, &c, &mut m);
+        execute(&mut w, &i, &c, &mut SharedMem::Direct(&mut m));
         assert_eq!(w.reg(Reg(0), 3), 9);
         assert_eq!(w.reg(Reg(0), 4), 0);
     }
@@ -394,19 +395,19 @@ mod tests {
             &mut w,
             &alu(AluOp::Mov, 0, Src::Sp(Special::Lane), Src::Imm(0)),
             &c,
-            &mut m,
+            &mut SharedMem::Direct(&mut m),
         );
         execute(
             &mut w,
             &alu(AluOp::Shl, 0, Src::Reg(Reg(0)), Src::Imm(2)),
             &c,
-            &mut m,
+            &mut SharedMem::Direct(&mut m),
         );
         execute(
             &mut w,
             &alu(AluOp::Add, 0, Src::Reg(Reg(0)), Src::Imm(0x1000)),
             &c,
-            &mut m,
+            &mut SharedMem::Direct(&mut m),
         );
         let out = execute(
             &mut w,
@@ -418,7 +419,7 @@ mod tests {
                 offset: 0,
             }),
             &c,
-            &mut m,
+            &mut SharedMem::Direct(&mut m),
         );
         assert_eq!(out.lines_read, vec![0x1000]);
         assert_eq!(w.reg(Reg(1), 7), 70);
@@ -435,13 +436,13 @@ mod tests {
             &mut w,
             &alu(AluOp::Mov, 0, Src::Sp(Special::Lane), Src::Imm(0)),
             &c,
-            &mut m,
+            &mut SharedMem::Direct(&mut m),
         );
         execute(
             &mut w,
             &alu(AluOp::Shl, 0, Src::Reg(Reg(0)), Src::Imm(10)),
             &c,
-            &mut m,
+            &mut SharedMem::Direct(&mut m),
         );
         let out = execute(
             &mut w,
@@ -453,7 +454,7 @@ mod tests {
                 offset: 0,
             }),
             &c,
-            &mut m,
+            &mut SharedMem::Direct(&mut m),
         );
         assert_eq!(out.lines_read.len(), 32);
     }
@@ -470,7 +471,7 @@ mod tests {
             addr: Src::Imm(16),
             offset: 0,
         });
-        let out = execute(&mut w, &st, &c, &mut m);
+        let out = execute(&mut w, &st, &c, &mut SharedMem::Direct(&mut m));
         assert!(out.shared_access);
         assert!(out.lines_written.is_empty());
         assert_eq!(m.read_u32(0x8000_0000 + 16), 77);
@@ -481,7 +482,7 @@ mod tests {
             addr: Src::Imm(16),
             offset: 0,
         });
-        let out = execute(&mut w, &ld, &c, &mut m);
+        let out = execute(&mut w, &ld, &c, &mut SharedMem::Direct(&mut m));
         assert!(out.shared_access);
         assert_eq!(w.reg(Reg(0), 0), 77);
     }
@@ -496,27 +497,27 @@ mod tests {
             &mut w,
             &alu(AluOp::Mov, 0, Src::Sp(Special::Lane), Src::Imm(0)),
             &c,
-            &mut m,
+            &mut SharedMem::Direct(&mut m),
         );
         execute(
             &mut w,
             &alu(AluOp::Mul, 0, Src::Reg(Reg(0)), Src::Imm(3)),
             &c,
-            &mut m,
+            &mut SharedMem::Direct(&mut m),
         );
         let st = Instr::new(Op::StPacked {
             k: 2,
             src: Src::Reg(Reg(0)),
             base: Src::Imm(0x2000),
         });
-        let out = execute(&mut w, &st, &c, &mut m);
+        let out = execute(&mut w, &st, &c, &mut SharedMem::Direct(&mut m));
         assert_eq!(out.lines_written, vec![0x2000]);
         let ld = Instr::new(Op::LdPacked {
             k: 2,
             dst: Reg(1),
             base: Src::Imm(0x2000),
         });
-        execute(&mut w, &ld, &c, &mut m);
+        execute(&mut w, &ld, &c, &mut SharedMem::Direct(&mut m));
         for l in 0..32 {
             assert_eq!(w.reg(Reg(1), l), (l as u64) * 3);
         }
@@ -538,7 +539,7 @@ mod tests {
                 src: Pred(0),
             }),
             &c,
-            &mut m,
+            &mut SharedMem::Direct(&mut m),
         );
         assert!(!w.pred(Pred(1), 0));
         execute(
@@ -548,7 +549,7 @@ mod tests {
                 src: Pred(0),
             }),
             &c,
-            &mut m,
+            &mut SharedMem::Direct(&mut m),
         );
         assert!(w.pred(Pred(2), 20));
     }
@@ -562,7 +563,7 @@ mod tests {
             &mut w,
             &alu(AluOp::Mov, 0, Src::Sp(Special::Lane), Src::Imm(0)),
             &c,
-            &mut m,
+            &mut SharedMem::Direct(&mut m),
         );
         execute(
             &mut w,
@@ -573,7 +574,7 @@ mod tests {
                 b: Src::Imm(16),
             }),
             &c,
-            &mut m,
+            &mut SharedMem::Direct(&mut m),
         );
         execute(
             &mut w,
@@ -584,7 +585,7 @@ mod tests {
                 pred: Pred(0),
             }),
             &c,
-            &mut m,
+            &mut SharedMem::Direct(&mut m),
         );
         assert_eq!(w.reg(Reg(1), 3), 1);
         assert_eq!(w.reg(Reg(1), 30), 2);
@@ -595,7 +596,12 @@ mod tests {
         let mut w = Warp::new(1, FULL_MASK);
         let mut m = FuncMem::new();
         let c = ctx(&[]);
-        let out = execute(&mut w, &Instr::new(Op::Exit), &c, &mut m);
+        let out = execute(
+            &mut w,
+            &Instr::new(Op::Exit),
+            &c,
+            &mut SharedMem::Direct(&mut m),
+        );
         assert!(out.exited);
         assert!(w.done);
     }
@@ -605,7 +611,12 @@ mod tests {
         let mut w = Warp::new(1, FULL_MASK);
         let mut m = FuncMem::new();
         let c = ctx(&[]);
-        let out = execute(&mut w, &Instr::new(Op::Bar), &c, &mut m);
+        let out = execute(
+            &mut w,
+            &Instr::new(Op::Bar),
+            &c,
+            &mut SharedMem::Direct(&mut m),
+        );
         assert!(out.at_barrier);
         assert!(w.at_barrier);
         assert_eq!(w.pc(), 1);

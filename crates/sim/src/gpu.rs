@@ -2,16 +2,19 @@
 //! dispatcher, and the simulation integrity layer (forward-progress
 //! watchdog, structural invariant audits, hang forensics).
 
-use crate::assist::LineStore;
+use crate::assist::{LineStore, SharedLineStore};
 use crate::config::{ConfigError, Design, GpuConfig};
 use crate::fault::{stream, FaultInjector, FaultMode};
 use crate::integrity::{Component, HangReport, Violation};
-use crate::mempart::{PartReq, PartResp, Partition, SizeOracle};
-use crate::sm::{SharedState, Sm};
+use crate::mempart::{PartReq, PartResp, Partition};
+use crate::shard::{self, PhaseCtl, QuitGuard, ShardPtrs, SmDelta, PHASE_PART, PHASE_SM};
+use crate::sm::{OutReq, SharedState, Sm};
 use crate::stats::RunStats;
 use crate::trace::{ActivityTrace, Sample, Tracer};
 use caba_isa::Kernel;
-use caba_mem::{CompressionMap, Crossbar, FuncMem, LINE_SIZE};
+use caba_mem::{
+    CmapDelta, CompressionMap, Crossbar, FuncMem, IngressLanes, SharedCmap, SharedMem, LINE_SIZE,
+};
 use caba_stats::FxHashMap;
 use std::fmt;
 
@@ -116,7 +119,19 @@ pub struct Gpu {
     cmap: Option<CompressionMap>,
     line_store: LineStore,
     sms: Vec<Sm>,
+    /// Per-SM design forks (CABA controllers are per-SM state machines; the
+    /// barrier-phased engine hands each worker exclusive instances).
+    sm_designs: Vec<Design>,
+    /// Per-SM deferred-visibility deltas (parallel SM phase only).
+    sm_deltas: Vec<SmDelta>,
     parts: Vec<Partition>,
+    /// Per-partition compression-map overlays (parallel partition phase).
+    part_deltas: Vec<CmapDelta>,
+    /// Double-buffered crossbar ingress: requests staged per-SM during the
+    /// SM phase, merged into `xbar_fwd` in SM index order at the barrier.
+    fwd_lanes: IngressLanes<OutReq>,
+    /// Responses staged per-partition, merged in partition index order.
+    rsp_lanes: IngressLanes<PartResp>,
     xbar_fwd: Crossbar<PartReq>,
     xbar_rsp: Crossbar<PartResp>,
     now: u64,
@@ -166,9 +181,14 @@ impl Gpu {
             cmap,
             line_store: LineStore::new(),
             sms: (0..cfg.num_sms).map(|i| Sm::new(i, cfg)).collect(),
+            sm_designs: (0..cfg.num_sms).map(|_| design.fork()).collect(),
+            sm_deltas: (0..cfg.num_sms).map(|_| SmDelta::default()).collect(),
             parts: (0..cfg.num_channels)
                 .map(|i| Partition::new(i, cfg, with_md))
                 .collect(),
+            part_deltas: (0..cfg.num_channels).map(|_| CmapDelta::new()).collect(),
+            fwd_lanes: IngressLanes::new(cfg.num_sms),
+            rsp_lanes: IngressLanes::new(cfg.num_channels),
             xbar_fwd: Crossbar::new(cfg.num_sms, cfg.num_channels, cfg.icnt_latency),
             xbar_rsp: Crossbar::new(cfg.num_channels, cfg.num_sms, cfg.icnt_latency),
             now: 0,
@@ -397,7 +417,35 @@ impl Gpu {
         }
     }
 
+    /// Raw pointers into the shardable state, captured once per run. The
+    /// vectors behind these pointers are never resized while a run is in
+    /// flight.
+    fn shard_ptrs(&mut self) -> ShardPtrs {
+        ShardPtrs {
+            mem: &mut self.mem,
+            cmap: &mut self.cmap,
+            line_store: &mut self.line_store,
+            sms: self.sms.as_mut_ptr(),
+            num_sms: self.sms.len(),
+            sm_designs: self.sm_designs.as_mut_ptr(),
+            sm_deltas: self.sm_deltas.as_mut_ptr(),
+            fwd_lanes: self.fwd_lanes.as_mut_slice().as_mut_ptr(),
+            parts: self.parts.as_mut_ptr(),
+            num_parts: self.parts.len(),
+            part_deltas: self.part_deltas.as_mut_ptr(),
+            rsp_lanes: self.rsp_lanes.as_mut_slice().as_mut_ptr(),
+            mem_compressed: self.design.mem_compressed(),
+            icnt_compressed: self.design.icnt_compressed(),
+        }
+    }
+
     /// Runs `kernel` to completion (or `max_cycles`).
+    ///
+    /// With [`GpuConfig::intra_jobs`] > 1 the per-cycle SM and
+    /// memory-partition loops are sharded over that many worker threads
+    /// (see the [`crate::shard`] module docs for the phase structure and
+    /// the determinism argument). [`RunStats`] are bit-identical for any
+    /// worker count.
     ///
     /// # Errors
     ///
@@ -408,6 +456,34 @@ impl Gpu {
     /// * [`RunError::AuditFailed`] — a structural invariant audit
     ///   ([`GpuConfig::audit_interval`]) found violations.
     pub fn run(&mut self, kernel: &Kernel, max_cycles: u64) -> Result<RunStats, RunError> {
+        // More workers than SMs would own empty shards: clamp.
+        let jobs = self.cfg.intra_jobs.min(self.cfg.num_sms).max(1);
+        let ptrs = self.shard_ptrs();
+        if jobs == 1 {
+            return self.run_loop(kernel, max_cycles, &ptrs, None);
+        }
+        let ctl = PhaseCtl::new();
+        std::thread::scope(|s| {
+            for w in 1..jobs {
+                let ctl = &ctl;
+                s.spawn(move || shard::worker_loop(w, jobs, ptrs, ctl, kernel));
+            }
+            // Releases the workers even if the run loop unwinds.
+            let _quit = QuitGuard(&ctl);
+            self.run_loop(kernel, max_cycles, &ptrs, Some((&ctl, jobs)))
+        })
+    }
+
+    /// The per-cycle engine. `par` is `None` for the inline serial path and
+    /// `Some((barrier, jobs))` when worker threads share the phases; both
+    /// paths run the identical phase sequence, so stats are bit-identical.
+    fn run_loop(
+        &mut self,
+        kernel: &Kernel,
+        max_cycles: u64,
+        ptrs: &ShardPtrs,
+        par: Option<(&PhaseCtl, usize)>,
+    ) -> Result<RunStats, RunError> {
         let extra_regs = match &self.design {
             Design::Caba(c) => c.extra_regs_per_thread(),
             _ => 0,
@@ -435,7 +511,7 @@ impl Gpu {
                 });
             }
 
-            // 1. CTA dispatch (round-robin over SMs).
+            // 1. CTA dispatch (round-robin over SMs) — serial.
             'dispatch: while next_cta < grid {
                 let mut launched = false;
                 for sm in &mut self.sms {
@@ -452,86 +528,35 @@ impl Gpu {
                 }
             }
 
-            // 2. SM cycles. The shared-state view is built once per cycle
-            //    (not once per SM), and fully drained SMs take the cheap
-            //    idle tick — see `Sm::idle_tick` for the bit-identity
-            //    argument.
-            {
-                let mut shared = SharedState {
-                    mem: &mut self.mem,
-                    cmap: self.cmap.as_mut(),
-                    line_store: &mut self.line_store,
-                    design: &mut self.design,
-                };
-                for sm in &mut self.sms {
-                    if sm.quiesced() {
-                        sm.idle_tick();
-                    } else {
-                        sm.cycle(now, kernel, &mut shared);
-                    }
+            // 2. SM phase. Every SM advances one cycle against a
+            //    deferred-visibility overlay (start-of-cycle snapshot plus
+            //    its own writes) and stages at most one outbound request
+            //    into its ingress lane; the deltas then commit in SM index
+            //    order. The overlay runs even at `intra_jobs = 1` — writes
+            //    become visible to *other* SMs only at the end-of-cycle
+            //    commit, a clocked-synchronous semantics that is identical
+            //    no matter how the phase is sharded. (A direct-view serial
+            //    phase would leak same-cycle writes to higher-numbered SMs
+            //    in sweep order — a simulation artifact no real crossbar
+            //    exhibits, and inherently order-dependent.)
+            //    SAFETY: `ptrs` targets this Gpu's fields; the barrier
+            //    protocol (shard module docs) partitions all access.
+            match par {
+                None => unsafe { shard::sm_phase_overlay(ptrs, 0, ptrs.num_sms, now, kernel) },
+                Some((ctl, jobs)) => {
+                    ctl.publish(PHASE_SM, now);
+                    let (lo, hi) = shard::shard_range(ptrs.num_sms, 0, jobs);
+                    unsafe { shard::sm_phase_overlay(ptrs, lo, hi, now, kernel) };
+                    ctl.wait_done(jobs - 1);
                 }
             }
+            self.commit_sm_deltas();
 
-            // 3. Drain SM requests into the forward crossbar (one per SM per
-            //    cycle). Reads enter the request ledger here.
-            for (i, sm) in self.sms.iter_mut().enumerate() {
-                let Some(req) = sm.peek_request().copied() else {
-                    continue;
-                };
-                let dst = ((req.addr / LINE_SIZE as u64) % self.cfg.num_channels as u64) as usize;
-                if !self.xbar_fwd.can_accept(dst) {
-                    continue;
-                }
-                if self.xbar_injector.drop_packet() {
-                    self.flits_dropped += 1;
-                    match self.xbar_injector.mode() {
-                        FaultMode::Recover => {
-                            // Link-level retransmission: the packet stays
-                            // queued at the SM and re-enters arbitration.
-                            self.flit_retransmissions += 1;
-                        }
-                        FaultMode::Silent => {
-                            let req = sm.pop_request().expect("peeked");
-                            if !req.is_write {
-                                // The SM believes the read is in flight; the
-                                // conservation audit must notice it is not.
-                                self.ledger.insert(
-                                    (i, req.addr),
-                                    LedgerEntry {
-                                        issued_at: now,
-                                        stage: Stage::RequestXbar,
-                                    },
-                                );
-                            }
-                        }
-                    }
-                    continue;
-                }
-                let req = sm.pop_request().expect("peeked");
-                if let Err(e) = self.xbar_fwd.try_push(
-                    i,
-                    dst,
-                    PartReq {
-                        sm: i,
-                        addr: req.addr,
-                        is_write: req.is_write,
-                    },
-                    req.flits,
-                ) {
-                    debug_assert!(e.is_back_pressure(), "unexpected push error: {e}");
-                    sm.push_request_front(req);
-                    continue;
-                }
-                if !req.is_write {
-                    self.ledger.insert(
-                        (i, req.addr),
-                        LedgerEntry {
-                            issued_at: now,
-                            stage: Stage::RequestXbar,
-                        },
-                    );
-                }
-            }
+            // 3. Merge staged requests into the forward crossbar in SM
+            //    index order — crossbar admission, the fault-injection RNG
+            //    stream, and the request ledger see the exact serial
+            //    sequence. Reads enter the request ledger here.
+            self.merge_requests(now);
 
             // 4. Crossbar → partitions. The output-port scan only runs when
             //    the crossbar actually holds delivered flits.
@@ -551,78 +576,44 @@ impl Gpu {
                 }
             }
 
-            // 5. Partition cycles. The size oracle is built once per cycle,
-            //    and quiesced partitions are skipped entirely — their DRAM
-            //    clock is repaid in bulk by `Partition::catch_up`, which is
-            //    timing-equivalent because FR-FCFS compares against the
-            //    absolute `now`, not per-cycle deltas.
-            {
-                let mut oracle = SizeOracle {
-                    mem: &self.mem,
-                    cmap: self.cmap.as_mut(),
-                    line_store: &self.line_store,
-                    mem_compressed: self.design.mem_compressed(),
-                    icnt_compressed: self.design.icnt_compressed(),
-                };
-                for part in self.parts.iter_mut() {
-                    if part.quiesced() {
-                        continue;
-                    }
-                    part.cycle(now, &mut oracle);
+            // 5. Partition phase. Parallel: workers advance partition
+            //    shards against a frozen memory snapshot (partitions are
+            //    address-disjoint, so per-partition compression-map
+            //    overlays never conflict), staging one response per
+            //    partition. Quiesced partitions are clock-skipped — their
+            //    DRAM clock is repaid in bulk by `Partition::catch_up`,
+            //    which is timing-equivalent because FR-FCFS compares
+            //    against the absolute `now`, not per-cycle deltas.
+            match par {
+                None => unsafe { shard::part_phase_overlay(ptrs, 0, ptrs.num_parts, now) },
+                Some((ctl, jobs)) => {
+                    ctl.publish(PHASE_PART, now);
+                    let (lo, hi) = shard::shard_range(ptrs.num_parts, 0, jobs);
+                    unsafe { shard::part_phase_overlay(ptrs, lo, hi, now) };
+                    ctl.wait_done(jobs - 1);
                 }
             }
+            self.commit_part_deltas();
 
-            // 6. Partition responses → response crossbar.
-            for (p, part) in self.parts.iter_mut().enumerate() {
-                let Some(resp) = part.pop_response() else {
-                    continue;
-                };
-                if !self.xbar_rsp.can_accept(resp.sm) {
-                    // Back-pressure: hold the response in the partition.
-                    part.push_response_front(resp);
-                    continue;
-                }
-                if self.xbar_injector.drop_packet() {
-                    self.flits_dropped += 1;
-                    match self.xbar_injector.mode() {
-                        FaultMode::Recover => {
-                            self.flit_retransmissions += 1;
-                            part.push_response_front(resp);
-                        }
-                        FaultMode::Silent => {
-                            // The response vanishes at the crossbar port.
-                            if let Some(e) = self.ledger.get_mut(&(resp.sm, resp.addr)) {
-                                e.stage = Stage::ResponseXbar;
-                            }
-                        }
-                    }
-                    continue;
-                }
-                if let Some(e) = self.ledger.get_mut(&(resp.sm, resp.addr)) {
-                    e.stage = Stage::ResponseXbar;
-                }
-                let (src, dst, flits) = (p, resp.sm, resp.flits);
-                if let Err(e) = self.xbar_rsp.try_push(src, dst, resp, flits) {
-                    debug_assert!(e.is_back_pressure(), "unexpected push error: {e}");
-                    part.push_response_front(e.payload);
-                }
-            }
+            // 6. Merge staged responses into the response crossbar in
+            //    partition index order.
+            self.merge_responses();
 
-            // 7. Response crossbar → SM fills. The per-SM drain (and the
-            //    shared-state view it needs) only runs when the crossbar
-            //    holds delivered flits.
+            // 7. Response crossbar → SM fills — serial, direct views, each
+            //    SM's own design fork (fills may launch assist warps whose
+            //    slots/tags live in that SM's controller).
             self.xbar_rsp.cycle();
             if self.xbar_rsp.delivered_pending() > 0 {
-                let mut shared = SharedState {
-                    mem: &mut self.mem,
-                    cmap: self.cmap.as_mut(),
-                    line_store: &mut self.line_store,
-                    design: &mut self.design,
-                };
-                for (i, sm) in self.sms.iter_mut().enumerate() {
+                for i in 0..self.sms.len() {
                     while let Some(resp) = self.xbar_rsp.pop(i) {
                         self.ledger.remove(&(i, resp.addr));
-                        sm.handle_fill(now, resp.addr, &mut shared);
+                        let mut shared = SharedState {
+                            mem: SharedMem::Direct(&mut self.mem),
+                            cmap: self.cmap.as_mut().map(SharedCmap::Direct),
+                            line_store: SharedLineStore::Direct(&mut self.line_store),
+                            design: &mut self.sm_designs[i],
+                        };
+                        self.sms[i].handle_fill(now, resp.addr, &mut shared);
                     }
                 }
             }
@@ -679,6 +670,148 @@ impl Gpu {
 
         self.catch_up_parts();
         Ok(self.collect_stats(self.now - start))
+    }
+
+    /// Commits every SM's deferred-visibility delta at the cycle barrier,
+    /// in SM index order: memory write logs first (byte-merged, so two SMs
+    /// touching different bytes of one line both land), then line-store
+    /// logs, then compression-map logs. Finally every dirtied line is
+    /// blanket-invalidated in the compression map — an SM may have cached
+    /// an entry computed from its own overlay that a later-committing SM's
+    /// write staled. Invalidation only forces recomputation of a pure
+    /// memoization, so it is invisible to timing.
+    fn commit_sm_deltas(&mut self) {
+        let mut dirty: Vec<u64> = Vec::new();
+        for d in &mut self.sm_deltas {
+            d.mem.commit(&mut self.mem, Some(&mut dirty));
+            d.ls.commit(&mut self.line_store);
+        }
+        if let Some(cmap) = self.cmap.as_mut() {
+            for d in &mut self.sm_deltas {
+                d.cmap.commit(cmap);
+            }
+            dirty.sort_unstable();
+            dirty.dedup();
+            for base in dirty {
+                cmap.invalidate(base);
+            }
+        }
+    }
+
+    /// Commits per-partition compression-map overlays in partition index
+    /// order. Partition deltas only carry lazily computed cache entries
+    /// for partition-owned (address-disjoint) lines, so order is cosmetic.
+    fn commit_part_deltas(&mut self) {
+        if let Some(cmap) = self.cmap.as_mut() {
+            for d in &mut self.part_deltas {
+                d.commit(cmap);
+            }
+        }
+    }
+
+    /// Drains the per-SM ingress lanes into the forward crossbar in SM
+    /// index order (at most one request per SM per cycle, as in the serial
+    /// engine). A request the crossbar cannot admit returns to the front
+    /// of its SM's outbound queue, exactly where a serial run would have
+    /// left it.
+    fn merge_requests(&mut self, now: u64) {
+        for i in 0..self.sms.len() {
+            let Some(req) = self.fwd_lanes.take(i) else {
+                continue;
+            };
+            let dst = ((req.addr / LINE_SIZE as u64) % self.cfg.num_channels as u64) as usize;
+            if !self.xbar_fwd.can_accept(dst) {
+                self.sms[i].push_request_front(req);
+                continue;
+            }
+            if self.xbar_injector.drop_packet() {
+                self.flits_dropped += 1;
+                match self.xbar_injector.mode() {
+                    FaultMode::Recover => {
+                        // Link-level retransmission: the packet returns to
+                        // the SM and re-enters arbitration.
+                        self.flit_retransmissions += 1;
+                        self.sms[i].push_request_front(req);
+                    }
+                    FaultMode::Silent => {
+                        if !req.is_write {
+                            // The SM believes the read is in flight; the
+                            // conservation audit must notice it is not.
+                            self.ledger.insert(
+                                (i, req.addr),
+                                LedgerEntry {
+                                    issued_at: now,
+                                    stage: Stage::RequestXbar,
+                                },
+                            );
+                        }
+                    }
+                }
+                continue;
+            }
+            if let Err(e) = self.xbar_fwd.try_push(
+                i,
+                dst,
+                PartReq {
+                    sm: i,
+                    addr: req.addr,
+                    is_write: req.is_write,
+                },
+                req.flits,
+            ) {
+                debug_assert!(e.is_back_pressure(), "unexpected push error: {e}");
+                self.sms[i].push_request_front(req);
+                continue;
+            }
+            if !req.is_write {
+                self.ledger.insert(
+                    (i, req.addr),
+                    LedgerEntry {
+                        issued_at: now,
+                        stage: Stage::RequestXbar,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Drains the per-partition ingress lanes into the response crossbar in
+    /// partition index order; a response the crossbar cannot admit is held
+    /// back in its partition (back-pressure), as in the serial engine.
+    fn merge_responses(&mut self) {
+        for p in 0..self.parts.len() {
+            let Some(resp) = self.rsp_lanes.take(p) else {
+                continue;
+            };
+            if !self.xbar_rsp.can_accept(resp.sm) {
+                self.parts[p].push_response_front(resp);
+                continue;
+            }
+            if self.xbar_injector.drop_packet() {
+                self.flits_dropped += 1;
+                match self.xbar_injector.mode() {
+                    FaultMode::Recover => {
+                        self.flit_retransmissions += 1;
+                        self.parts[p].push_response_front(resp);
+                    }
+                    FaultMode::Silent => {
+                        // The response vanishes at the crossbar port.
+                        if let Some(e) = self.ledger.get_mut(&(resp.sm, resp.addr)) {
+                            e.stage = Stage::ResponseXbar;
+                        }
+                    }
+                }
+                continue;
+            }
+            if let Some(e) = self.ledger.get_mut(&(resp.sm, resp.addr)) {
+                e.stage = Stage::ResponseXbar;
+            }
+            let (src, dst, flits) = (p, resp.sm, resp.flits);
+            if let Err(e) = self.xbar_rsp.try_push(src, dst, resp, flits) {
+                debug_assert!(e.is_back_pressure(), "unexpected push error: {e}");
+                self.parts[p].push_response_front(e.payload);
+            }
+        }
     }
 
     /// Diagnostic multi-line state dump.

@@ -61,6 +61,7 @@ pub mod integrity;
 pub mod lsu;
 pub mod mempart;
 pub mod occupancy;
+mod shard;
 pub mod sm;
 pub mod stats;
 pub mod trace;

@@ -5,12 +5,11 @@ use crate::config::GpuConfig;
 use crate::fault::{stream, FaultInjector};
 use crate::integrity::{Component, PartitionSnapshot, Violation};
 use caba_mem::{
-    AccessOutcome, Cache, CompressionMap, DramChannel, DramRequest, FuncMem, MdCache, Mshr,
-    LINE_SIZE,
+    AccessOutcome, Cache, DramChannel, DramRequest, MdCache, Mshr, SharedCmap, SharedMem, LINE_SIZE,
 };
 use std::collections::VecDeque;
 
-use crate::assist::LineStore;
+use crate::assist::SharedLineStore;
 
 /// A request arriving at a partition from the interconnect.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,12 +37,12 @@ pub struct PartResp {
 /// the stored forms and the reference compression map. Built fresh by the
 /// GPU each cycle from its owned state.
 pub struct SizeOracle<'a> {
-    /// Functional memory.
-    pub mem: &'a FuncMem,
-    /// Reference compression map.
-    pub cmap: Option<&'a mut CompressionMap>,
+    /// Functional memory (frozen during the parallel partition phase).
+    pub mem: SharedMem<'a>,
+    /// Reference compression map (per-partition overlay when parallel).
+    pub cmap: Option<SharedCmap<'a>>,
     /// Stored-form overrides.
-    pub line_store: &'a LineStore,
+    pub line_store: SharedLineStore<'a>,
     /// DRAM transfers compressed?
     pub mem_compressed: bool,
     /// Interconnect/L2 compressed?
@@ -53,7 +52,7 @@ pub struct SizeOracle<'a> {
 impl SizeOracle<'_> {
     fn stored_size(&mut self, addr: u64) -> usize {
         self.line_store
-            .stored_size(self.mem, self.cmap.as_deref_mut(), addr)
+            .stored_size(&self.mem, self.cmap.as_mut(), addr)
     }
 
     /// DRAM bursts for a line transfer.
@@ -449,8 +448,10 @@ impl Partition {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::assist::LineStore;
     use caba_compress::Algorithm;
     use caba_mem::func::LineCompressor;
+    use caba_mem::{CompressionMap, FuncMem};
 
     fn oracle_parts() -> (FuncMem, CompressionMap, LineStore) {
         let mut mem = FuncMem::new();
@@ -473,9 +474,9 @@ mod tests {
     fn oracle_sizes() {
         let (mem, mut cmap, ls) = oracle_parts();
         let mut o = SizeOracle {
-            mem: &mem,
-            cmap: Some(&mut cmap),
-            line_store: &ls,
+            mem: SharedMem::Frozen(&mem),
+            cmap: Some(SharedCmap::Direct(&mut cmap)),
+            line_store: SharedLineStore::Frozen(&ls),
             mem_compressed: true,
             icnt_compressed: true,
         };
@@ -485,9 +486,9 @@ mod tests {
         assert!(o.l2_size(0) < LINE_SIZE);
 
         let mut base = SizeOracle {
-            mem: &mem,
+            mem: SharedMem::Frozen(&mem),
             cmap: None,
-            line_store: &ls,
+            line_store: SharedLineStore::Frozen(&ls),
             mem_compressed: false,
             icnt_compressed: false,
         };
@@ -516,9 +517,9 @@ mod tests {
         let (mem, mut cmap, ls) = oracle_parts();
         let mut part = Partition::new(0, cfg, false);
         let mut oracle = SizeOracle {
-            mem: &mem,
-            cmap: Some(&mut cmap),
-            line_store: &ls,
+            mem: SharedMem::Frozen(&mem),
+            cmap: Some(SharedCmap::Direct(&mut cmap)),
+            line_store: SharedLineStore::Frozen(&ls),
             mem_compressed: false,
             icnt_compressed: false,
         };
@@ -558,9 +559,9 @@ mod tests {
         let (mem, mut cmap, ls) = oracle_parts();
         let mut part = Partition::new(0, cfg, false);
         let mut oracle = SizeOracle {
-            mem: &mem,
-            cmap: Some(&mut cmap),
-            line_store: &ls,
+            mem: SharedMem::Frozen(&mem),
+            cmap: Some(SharedCmap::Direct(&mut cmap)),
+            line_store: SharedLineStore::Frozen(&ls),
             mem_compressed: false,
             icnt_compressed: false,
         };
@@ -590,9 +591,9 @@ mod tests {
         let (mem, mut cmap, ls) = oracle_parts();
         let mut part = Partition::new(0, cfg, true);
         let mut oracle = SizeOracle {
-            mem: &mem,
-            cmap: Some(&mut cmap),
-            line_store: &ls,
+            mem: SharedMem::Frozen(&mem),
+            cmap: Some(SharedCmap::Direct(&mut cmap)),
+            line_store: SharedLineStore::Frozen(&ls),
             mem_compressed: true,
             icnt_compressed: true,
         };
@@ -613,9 +614,9 @@ mod tests {
         let (mem, mut cmap, ls) = oracle_parts();
         let mut part = Partition::new(0, cfg, false);
         let mut oracle = SizeOracle {
-            mem: &mem,
-            cmap: Some(&mut cmap),
-            line_store: &ls,
+            mem: SharedMem::Frozen(&mem),
+            cmap: Some(SharedCmap::Direct(&mut cmap)),
+            line_store: SharedLineStore::Frozen(&ls),
             mem_compressed: false,
             icnt_compressed: false,
         };

@@ -1,0 +1,313 @@
+//! The barrier-phased intra-run execution engine.
+//!
+//! `Gpu::run` advances the machine through alternating serial and parallel
+//! phases each cycle:
+//!
+//! 1. CTA dispatch — serial.
+//! 2. **SM phase** — parallel: each worker owns a contiguous slice of SMs
+//!    and advances them one cycle against a *deferred-visibility overlay*
+//!    (start-of-cycle snapshot of memory / compression map / line store,
+//!    plus the SM's own writes), then stages at most one outbound request
+//!    per SM into that SM's private ingress lane.
+//! 3. Barrier; the coordinator commits every SM's delta in SM index order,
+//!    then merges staged requests into the forward crossbar in exact source
+//!    order (so crossbar admission, the fault-injection RNG stream, and the
+//!    request ledger observe the same sequence as a serial run).
+//! 4. Crossbar and partition ingress — serial.
+//! 5. **Partition phase** — parallel: workers advance memory partitions
+//!    against a frozen memory snapshot and per-partition compression-map
+//!    overlays (partitions are address-disjoint), staging at most one
+//!    response per partition into its lane.
+//! 6. Barrier; commit partition deltas and merge responses in partition
+//!    order; response crossbar, fills, tracing, watchdog, audits — serial.
+//!
+//! Because every cross-SM interaction funnels through the serial merge
+//! points, and overlay commits replay write logs in a fixed order,
+//! [`crate::RunStats`] are bit-identical for any worker count. With
+//! `intra_jobs == 1` the same phase structure runs inline with direct
+//! (overlay-free) views — that is the old serial engine, and the golden
+//! tests pin the parallel engine against it.
+
+use crate::assist::{LineStore, LineStoreDelta, SharedLineStore};
+use crate::config::Design;
+use crate::mempart::{PartResp, Partition, SizeOracle};
+use crate::sm::{OutReq, SharedState, Sm};
+use caba_isa::Kernel;
+use caba_mem::{CmapDelta, CompressionMap, FuncMem, MemDelta, SharedCmap, SharedMem};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+
+/// Per-SM deferred-visibility deltas, committed at the cycle barrier in SM
+/// index order.
+#[derive(Debug, Default)]
+pub(crate) struct SmDelta {
+    /// Writes to functional memory (byte-merged at commit).
+    pub mem: MemDelta,
+    /// Compression-map invalidations and lazily computed entries.
+    pub cmap: CmapDelta,
+    /// Line-store override changes.
+    pub ls: LineStoreDelta,
+}
+
+/// Raw pointers into the `Gpu`'s shardable state, captured once per run.
+///
+/// Element pointers (not container references) are captured so that two
+/// workers indexing disjoint elements never materialize overlapping `&mut`
+/// references to the containing `Vec`.
+#[derive(Clone, Copy)]
+pub(crate) struct ShardPtrs {
+    pub mem: *mut FuncMem,
+    pub cmap: *mut Option<CompressionMap>,
+    pub line_store: *mut LineStore,
+    pub sms: *mut Sm,
+    pub num_sms: usize,
+    pub sm_designs: *mut Design,
+    pub sm_deltas: *mut SmDelta,
+    pub fwd_lanes: *mut VecDeque<OutReq>,
+    pub parts: *mut Partition,
+    pub num_parts: usize,
+    pub part_deltas: *mut CmapDelta,
+    pub rsp_lanes: *mut VecDeque<PartResp>,
+    pub mem_compressed: bool,
+    pub icnt_compressed: bool,
+}
+
+// SAFETY: the pointers target fields of one `Gpu` that outlives every worker
+// (`std::thread::scope`), and the barrier protocol partitions all access:
+// during a parallel phase each worker dereferences only elements of the
+// ranges it owns (plus shared `&`-reads of mem/cmap/line_store, which no one
+// mutates until the barrier), and between barriers only the coordinator
+// touches the machine.
+unsafe impl Send for ShardPtrs {}
+unsafe impl Sync for ShardPtrs {}
+
+/// Phase selector published through [`PhaseCtl`].
+pub(crate) const PHASE_SM: u8 = 0;
+/// Memory-partition phase.
+pub(crate) const PHASE_PART: u8 = 1;
+/// Shut the workers down.
+pub(crate) const PHASE_QUIT: u8 = 2;
+
+/// Contiguous shard `[lo, hi)` of `n` items owned by worker `w` of `jobs`.
+pub(crate) fn shard_range(n: usize, w: usize, jobs: usize) -> (usize, usize) {
+    (n * w / jobs, n * (w + 1) / jobs)
+}
+
+/// Generation-counted phase barrier. The coordinator publishes a phase by
+/// bumping `gen`; workers run their shard and bump `done`; the coordinator
+/// spins (briefly, then yields — friendly to over-subscribed hosts) until
+/// every worker reports in.
+pub(crate) struct PhaseCtl {
+    gen: AtomicU64,
+    kind: AtomicU8,
+    now: AtomicU64,
+    done: AtomicUsize,
+    poison: AtomicBool,
+}
+
+impl PhaseCtl {
+    pub fn new() -> Self {
+        PhaseCtl {
+            gen: AtomicU64::new(0),
+            kind: AtomicU8::new(PHASE_SM),
+            now: AtomicU64::new(0),
+            done: AtomicUsize::new(0),
+            poison: AtomicBool::new(false),
+        }
+    }
+
+    /// Publishes the next phase to the workers.
+    pub fn publish(&self, kind: u8, now: u64) {
+        self.done.store(0, Ordering::Relaxed);
+        self.now.store(now, Ordering::Relaxed);
+        self.kind.store(kind, Ordering::Relaxed);
+        self.gen.fetch_add(1, Ordering::Release);
+    }
+
+    /// Blocks until `workers` shards finished the published phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a worker panicked inside its shard (the worker re-raises
+    /// its own payload on join, so the original panic is not lost).
+    pub fn wait_done(&self, workers: usize) {
+        let mut spins = 0u32;
+        while self.done.load(Ordering::Acquire) < workers {
+            spins += 1;
+            if spins > 128 {
+                std::thread::yield_now();
+            }
+        }
+        if self.poison.load(Ordering::Relaxed) {
+            panic!("an intra-run worker thread panicked");
+        }
+    }
+}
+
+/// Publishes `PHASE_QUIT` on drop so workers always terminate, including
+/// when the coordinator unwinds mid-run.
+pub(crate) struct QuitGuard<'a>(pub &'a PhaseCtl);
+
+impl Drop for QuitGuard<'_> {
+    fn drop(&mut self) {
+        self.0.publish(PHASE_QUIT, 0);
+    }
+}
+
+/// Worker thread body: wait for each published phase, run the owned shard,
+/// report completion. Panics inside a shard poison the barrier (so the
+/// coordinator aborts the run) and are re-raised from this thread.
+pub(crate) fn worker_loop(w: usize, jobs: usize, p: ShardPtrs, ctl: &PhaseCtl, kernel: &Kernel) {
+    let (sm_lo, sm_hi) = shard_range(p.num_sms, w, jobs);
+    let (pt_lo, pt_hi) = shard_range(p.num_parts, w, jobs);
+    let mut seen = 0u64;
+    loop {
+        let mut spins = 0u32;
+        let gen = loop {
+            let g = ctl.gen.load(Ordering::Acquire);
+            if g != seen {
+                break g;
+            }
+            spins += 1;
+            if spins > 128 {
+                std::thread::yield_now();
+            }
+        };
+        seen = gen;
+        let kind = ctl.kind.load(Ordering::Relaxed);
+        if kind == PHASE_QUIT {
+            return;
+        }
+        let now = ctl.now.load(Ordering::Relaxed);
+        let result = catch_unwind(AssertUnwindSafe(|| unsafe {
+            match kind {
+                PHASE_SM => sm_phase_overlay(&p, sm_lo, sm_hi, now, kernel),
+                _ => part_phase_overlay(&p, pt_lo, pt_hi, now),
+            }
+        }));
+        match result {
+            Ok(()) => {
+                ctl.done.fetch_add(1, Ordering::Release);
+            }
+            Err(payload) => {
+                ctl.poison.store(true, Ordering::Relaxed);
+                ctl.done.fetch_add(1, Ordering::Release);
+                resume_unwind(payload);
+            }
+        }
+    }
+}
+
+/// Advances SMs `[lo, hi)` one cycle against overlay views and stages at
+/// most one outbound request per SM into its ingress lane.
+///
+/// # Safety
+///
+/// Caller must guarantee exclusive access to elements `[lo, hi)` of the SM
+/// arrays and that nothing mutates mem/cmap/line_store concurrently.
+pub(crate) unsafe fn sm_phase_overlay(
+    p: &ShardPtrs,
+    lo: usize,
+    hi: usize,
+    now: u64,
+    kernel: &Kernel,
+) {
+    let mem = &*(p.mem as *const FuncMem);
+    let cmap = (*(p.cmap as *const Option<CompressionMap>)).as_ref();
+    let ls = &*(p.line_store as *const LineStore);
+    for i in lo..hi {
+        let sm = &mut *p.sms.add(i);
+        if sm.quiesced() {
+            sm.idle_tick();
+        } else {
+            let delta = &mut *p.sm_deltas.add(i);
+            let mut shared = SharedState {
+                mem: SharedMem::Overlay {
+                    base: mem,
+                    delta: &mut delta.mem,
+                },
+                cmap: cmap.map(|c| SharedCmap::Overlay {
+                    base: c,
+                    delta: &mut delta.cmap,
+                }),
+                line_store: SharedLineStore::Overlay {
+                    base: ls,
+                    delta: &mut delta.ls,
+                },
+                design: &mut *p.sm_designs.add(i),
+            };
+            sm.cycle(now, kernel, &mut shared);
+        }
+        if let Some(req) = sm.pop_request() {
+            (*p.fwd_lanes.add(i)).push_back(req);
+        }
+    }
+}
+
+/// Advances partitions `[lo, hi)` one cycle (frozen memory snapshot,
+/// per-partition compression-map overlay) and stages at most one response
+/// per partition into its lane. Quiesced partitions are clock-skipped
+/// exactly as in the serial engine.
+///
+/// # Safety
+///
+/// Caller must guarantee exclusive access to elements `[lo, hi)` of the
+/// partition arrays and that nothing mutates mem/cmap/line_store
+/// concurrently.
+pub(crate) unsafe fn part_phase_overlay(p: &ShardPtrs, lo: usize, hi: usize, now: u64) {
+    let mem = &*(p.mem as *const FuncMem);
+    let cmap = (*(p.cmap as *const Option<CompressionMap>)).as_ref();
+    let ls = &*(p.line_store as *const LineStore);
+    for i in lo..hi {
+        let part = &mut *p.parts.add(i);
+        if !part.quiesced() {
+            let delta = &mut *p.part_deltas.add(i);
+            let mut oracle = SizeOracle {
+                mem: SharedMem::Frozen(mem),
+                cmap: cmap.map(|c| SharedCmap::Overlay { base: c, delta }),
+                line_store: SharedLineStore::Frozen(ls),
+                mem_compressed: p.mem_compressed,
+                icnt_compressed: p.icnt_compressed,
+            };
+            part.cycle(now, &mut oracle);
+        }
+        if let Some(resp) = part.pop_response() {
+            (*p.rsp_lanes.add(i)).push_back(resp);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_ranges_cover_and_partition() {
+        for n in [1usize, 5, 6, 15, 16] {
+            for jobs in 1..=8usize {
+                let mut covered = 0;
+                let mut prev_hi = 0;
+                for w in 0..jobs {
+                    let (lo, hi) = shard_range(n, w, jobs);
+                    assert_eq!(lo, prev_hi, "shards must be contiguous");
+                    assert!(hi >= lo);
+                    covered += hi - lo;
+                    prev_hi = hi;
+                }
+                assert_eq!(prev_hi, n);
+                assert_eq!(covered, n, "every item owned exactly once");
+            }
+        }
+    }
+
+    #[test]
+    fn phase_ctl_round_trip() {
+        let ctl = PhaseCtl::new();
+        ctl.publish(PHASE_PART, 42);
+        assert_eq!(ctl.kind.load(Ordering::Relaxed), PHASE_PART);
+        assert_eq!(ctl.now.load(Ordering::Relaxed), 42);
+        assert_eq!(ctl.gen.load(Ordering::Relaxed), 1);
+        ctl.wait_done(0); // no workers: returns immediately
+    }
+}

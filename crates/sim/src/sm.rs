@@ -3,7 +3,7 @@
 //! runtime (the AWC/AWT/AWB mechanics of §3.3–3.4).
 
 use crate::assist::{
-    AssistLaunch, AssistOutcome, AssistPriority, FillAction, FillInfo, LineStore, SmServices,
+    AssistLaunch, AssistOutcome, AssistPriority, FillAction, FillInfo, SharedLineStore, SmServices,
     StoreAction, StoreInfo,
 };
 use crate::config::{Design, GpuConfig, SchedulerPolicy};
@@ -13,7 +13,7 @@ use crate::integrity::{Component, SmSnapshot, Violation, WarpSnapshot, WarpState
 use crate::lsu::{LineOp, LineOpKind, Lsu, WarpRef};
 use crate::warp::Warp;
 use caba_isa::{FuClass, Instr, Kernel, Op, Program, Reg, Space, WARP_SIZE};
-use caba_mem::{AccessOutcome, Cache, CompressionMap, FuncMem, Mshr, LINE_SIZE};
+use caba_mem::{AccessOutcome, Cache, Mshr, SharedCmap, SharedMem, LINE_SIZE};
 use caba_stats::{FxHashMap, IssueBreakdown, StallKind};
 use std::collections::VecDeque;
 
@@ -29,14 +29,16 @@ pub const STAGING_BASE: u64 = 0x5000_0000_0000;
 /// Bytes of staging per SM.
 pub const STAGING_SIZE: u64 = 0x10_0000;
 
-/// Shared mutable state the SM needs from the GPU each cycle.
+/// Shared mutable state the SM needs from the GPU each cycle, behind
+/// phase-aware views: direct in serial phases, overlay (snapshot + own
+/// writes) during the parallel SM phase. SM code is identical either way.
 pub struct SharedState<'a> {
     /// Functional memory.
-    pub mem: &'a mut FuncMem,
+    pub mem: SharedMem<'a>,
     /// Reference compression map (compressed designs only).
-    pub cmap: Option<&'a mut CompressionMap>,
+    pub cmap: Option<SharedCmap<'a>>,
     /// Per-line stored forms.
-    pub line_store: &'a mut LineStore,
+    pub line_store: SharedLineStore<'a>,
     /// The evaluated design point (owns the CABA controller, if any).
     pub design: &'a mut Design,
 }
@@ -484,9 +486,9 @@ impl Sm {
             let outcome = match shared.design {
                 Design::Caba(ctrl) => {
                     let mut svc = SmServices {
-                        mem: shared.mem,
-                        cmap: shared.cmap.as_deref_mut(),
-                        line_store: shared.line_store,
+                        mem: &mut shared.mem,
+                        cmap: shared.cmap.as_mut(),
+                        line_store: &mut shared.line_store,
                         staging_base: STAGING_BASE + self.id as u64 * STAGING_SIZE,
                         sm_id: self.id,
                     };
@@ -507,7 +509,7 @@ impl Sm {
                     let size =
                         shared
                             .line_store
-                            .stored_size(shared.mem, shared.cmap.as_deref_mut(), addr);
+                            .stored_size(&shared.mem, shared.cmap.as_mut(), addr);
                     self.emit_write(addr, size);
                 }
                 AssistOutcome::Nothing => {}
@@ -537,7 +539,7 @@ impl Sm {
         if self.injector.active() {
             let compressed = shared
                 .line_store
-                .stored_compressed(shared.mem, shared.cmap.as_deref_mut(), addr)
+                .stored_compressed(&shared.mem, shared.cmap.as_mut(), addr)
                 .is_some();
             if compressed && self.injector.corrupt_fill() {
                 match self.injector.mode() {
@@ -554,9 +556,7 @@ impl Sm {
                     }
                     FaultMode::Silent => {
                         let truth = shared.mem.read_line(addr);
-                        if let Some(line) =
-                            shared.cmap.as_deref_mut().and_then(|c| c.cached_mut(addr))
-                        {
+                        if let Some(line) = shared.cmap.as_mut().and_then(|c| c.cached_mut(addr)) {
                             if self.injector.corrupt_line(line, &truth) {
                                 self.lines_corrupted += 1;
                             }
@@ -574,7 +574,7 @@ impl Sm {
             Design::HwFull { alg, ideal } => {
                 let compressed = shared
                     .line_store
-                    .stored_compressed(shared.mem, shared.cmap.as_deref_mut(), addr)
+                    .stored_compressed(&shared.mem, shared.cmap.as_mut(), addr)
                     .is_some();
                 if compressed {
                     self.lines_decompressed += 1;
@@ -594,7 +594,7 @@ impl Sm {
             Action::Caba => {
                 let compressed = shared
                     .line_store
-                    .stored_compressed(shared.mem, shared.cmap.as_deref_mut(), addr)
+                    .stored_compressed(&shared.mem, shared.cmap.as_mut(), addr)
                     .is_some();
                 if !compressed {
                     self.complete_fill_waiters(now, addr, 0);
@@ -618,9 +618,9 @@ impl Sm {
                 let action = match shared.design {
                     Design::Caba(ctrl) => {
                         let mut svc = SmServices {
-                            mem: shared.mem,
-                            cmap: shared.cmap.as_deref_mut(),
-                            line_store: shared.line_store,
+                            mem: &mut shared.mem,
+                            cmap: shared.cmap.as_mut(),
+                            line_store: &mut shared.line_store,
                             staging_base: STAGING_BASE + self.id as u64 * STAGING_SIZE,
                             sm_id: self.id,
                         };
@@ -687,7 +687,7 @@ impl Sm {
                         if self.cfg.l1_compressed {
                             let compressible = shared
                                 .line_store
-                                .stored_compressed(shared.mem, shared.cmap.as_deref_mut(), op.addr)
+                                .stored_compressed(&shared.mem, shared.cmap.as_mut(), op.addr)
                                 .is_some();
                             if compressible {
                                 lat += self.cfg.l1_hit_decompress_penalty;
@@ -745,10 +745,9 @@ impl Sm {
                 // Dedicated core-side logic compresses (5-cycle pipeline, off
                 // the critical path): the outgoing packet is compressed.
                 self.lsu.pop();
-                let size =
-                    shared
-                        .line_store
-                        .stored_size(shared.mem, shared.cmap.as_deref_mut(), addr);
+                let size = shared
+                    .line_store
+                    .stored_size(&shared.mem, shared.cmap.as_mut(), addr);
                 self.lines_compressed += u64::from(size < LINE_SIZE);
                 self.emit_write(addr, size);
             }
@@ -775,9 +774,9 @@ impl Sm {
                 let action = match shared.design {
                     Design::Caba(ctrl) => {
                         let mut svc = SmServices {
-                            mem: shared.mem,
-                            cmap: shared.cmap.as_deref_mut(),
-                            line_store: shared.line_store,
+                            mem: &mut shared.mem,
+                            cmap: shared.cmap.as_mut(),
+                            line_store: &mut shared.line_store,
                             staging_base: STAGING_BASE + self.id as u64 * STAGING_SIZE,
                             sm_id: self.id,
                         };
@@ -920,7 +919,7 @@ impl Sm {
                 let w = self.warps[s].as_mut().expect("resident");
                 w.warp.issued += 1;
                 w.warp.last_issue = now;
-                let out = execute(&mut w.warp, &instr, &ctx, shared.mem);
+                let out = execute(&mut w.warp, &instr, &ctx, &mut shared.mem);
                 // `fetch_for` never offers a done warp, so `done` here means
                 // this issue exited the last lanes.
                 if w.warp.done {
@@ -932,7 +931,7 @@ impl Sm {
                 let a = self.assists[s].as_mut().expect("resident");
                 a.warp.issued += 1;
                 a.warp.last_issue = now;
-                execute(&mut a.warp, &instr, &ctx, shared.mem)
+                execute(&mut a.warp, &instr, &ctx, &mut shared.mem)
             }
         };
 
@@ -1003,7 +1002,7 @@ impl Sm {
                 if !is_assist {
                     // Application stores change line contents: stale
                     // compressed forms must be dropped.
-                    if let Some(cmap) = shared.cmap.as_deref_mut() {
+                    if let Some(cmap) = shared.cmap.as_mut() {
                         cmap.invalidate(*addr);
                     }
                     shared.line_store.clear(*addr);

@@ -1,0 +1,142 @@
+//! `bench-intra` — wall-clock benchmark of intra-run sharding.
+//!
+//! Runs one heavy sweep cell (default: the largest fig07 cell, PVR under
+//! CABA-BDI) once per requested `intra_jobs` value, checks every run's
+//! `RunStats` are bit-identical to the serial run, and writes a
+//! machine-readable `BENCH_intra.json`. The report records the host's
+//! available parallelism so a 1-core container's numbers are not mistaken
+//! for a scaling result.
+
+use caba_sim::GpuConfig;
+use caba_sweep::DesignId;
+use caba_workloads::{app, run_app};
+use std::time::Instant;
+
+struct Args {
+    app: String,
+    design: DesignId,
+    scale: f64,
+    jobs: Vec<usize>,
+    out: String,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench-intra [--app NAME] [--design ID] [--scale F] [--jobs LIST] [--out PATH]\n\
+         \n\
+         --app NAME    workload (default: PVR, the largest fig07 cell)\n\
+         --design ID   one of base|hw-bdi|caba-bdi (default: caba-bdi)\n\
+         --scale F     workload scale (default: CABA_BENCH_SCALE or 0.5)\n\
+         --jobs LIST   comma-separated intra_jobs values (default: 1,2,4)\n\
+         --out PATH    report path (default: BENCH_intra.json)"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        app: "PVR".to_string(),
+        design: DesignId::CabaBdi,
+        scale: std::env::var("CABA_BENCH_SCALE")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0.5),
+        jobs: vec![1, 2, 4],
+        out: "BENCH_intra.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--app" => args.app = it.next().unwrap_or_else(|| usage()),
+            "--design" => {
+                args.design = match it.next().as_deref() {
+                    Some("base") => DesignId::Base,
+                    Some("hw-bdi") => DesignId::HwBdi,
+                    Some("caba-bdi") => DesignId::CabaBdi,
+                    _ => usage(),
+                }
+            }
+            "--scale" => {
+                args.scale = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--jobs" => {
+                args.jobs = it
+                    .next()
+                    .map(|v| {
+                        v.split(',')
+                            .map(|x| x.parse().unwrap_or_else(|_| usage()))
+                            .collect()
+                    })
+                    .unwrap_or_else(|| usage());
+            }
+            "--out" => args.out = it.next().unwrap_or_else(|| usage()),
+            _ => usage(),
+        }
+    }
+    if args.jobs.is_empty() || args.jobs.contains(&0) {
+        usage();
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let spec = app(&args.app).unwrap_or_else(|| panic!("unknown app {}", args.app));
+    let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    eprintln!(
+        "bench-intra: {} / {} at scale {} (host threads: {host_threads})",
+        args.app,
+        args.design.label(),
+        args.scale
+    );
+
+    let mut rows = Vec::new();
+    let mut serial: Option<(f64, caba_sim::RunStats)> = None;
+    for &jobs in &args.jobs {
+        let mut cfg = GpuConfig::isca2015_scaled();
+        cfg.intra_jobs = jobs;
+        let t0 = Instant::now();
+        let stats = run_app(&spec, cfg, args.design.make(), args.scale)
+            .unwrap_or_else(|e| panic!("{} @ intra_jobs={jobs}: {e}", args.app));
+        let wall = t0.elapsed().as_secs_f64();
+        let (identical, speedup) = match &serial {
+            None => (true, 1.0),
+            Some((sw, ss)) => (*ss == stats, sw / wall),
+        };
+        assert!(
+            identical,
+            "RunStats diverged at intra_jobs={jobs} — determinism bug"
+        );
+        eprintln!(
+            "  intra_jobs={jobs}: {wall:.3}s, {} cycles, {:.0} cycles/s, {speedup:.2}x vs serial",
+            stats.cycles,
+            stats.cycles as f64 / wall
+        );
+        if serial.is_none() {
+            serial = Some((wall, stats.clone()));
+        }
+        rows.push((jobs, wall, stats.cycles, speedup));
+    }
+
+    let mut j = String::new();
+    j.push_str("{\n  \"schema\": \"caba-bench-intra-v1\",\n");
+    j.push_str(&format!("  \"app\": \"{}\",\n", args.app));
+    j.push_str(&format!("  \"design\": \"{}\",\n", args.design.label()));
+    j.push_str(&format!("  \"scale\": {},\n", args.scale));
+    j.push_str(&format!("  \"host_threads\": {host_threads},\n"));
+    j.push_str("  \"deterministic\": true,\n");
+    j.push_str("  \"runs\": [\n");
+    for (i, (jobs, wall, cycles, speedup)) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        j.push_str(&format!(
+            "    {{\"intra_jobs\": {jobs}, \"wall_s\": {wall:.6}, \"cycles\": {cycles}, \"cycles_per_sec\": {:.0}, \"speedup_vs_serial\": {speedup:.4}}}{sep}\n",
+            *cycles as f64 / wall
+        ));
+    }
+    j.push_str("  ]\n}\n");
+    std::fs::write(&args.out, j).unwrap_or_else(|e| panic!("writing {}: {e}", args.out));
+    eprintln!("report written to {}", args.out);
+}

@@ -313,8 +313,11 @@ pub struct SweepReport {
     pub mode: &'static str,
     /// Workload scale the cells ran at.
     pub scale: f64,
-    /// Worker count of the parallel run.
+    /// Worker count of the parallel run (total thread budget).
     pub jobs: usize,
+    /// Intra-run worker threads per cell ([`GpuConfig::intra_jobs`]); the
+    /// cell-level fan-out is `jobs / intra_jobs`.
+    pub intra_jobs: usize,
     /// Which figures' cells are covered.
     pub figures: Vec<String>,
     /// Serial (jobs = 1) total wall seconds, when measured.
@@ -349,6 +352,7 @@ impl SweepReport {
         s.push_str(&format!("  \"mode\": \"{}\",\n", self.mode));
         s.push_str(&format!("  \"scale\": {},\n", json_f64(self.scale)));
         s.push_str(&format!("  \"jobs\": {},\n", self.jobs));
+        s.push_str(&format!("  \"intra_jobs\": {},\n", self.intra_jobs));
         let figs: Vec<String> = self.figures.iter().map(|f| format!("\"{f}\"")).collect();
         s.push_str(&format!("  \"figures\": [{}],\n", figs.join(", ")));
         s.push_str(&format!("  \"num_cells\": {},\n", self.results.len()));
@@ -446,6 +450,7 @@ mod tests {
             mode: "selftest",
             scale: 0.05,
             jobs: 4,
+            intra_jobs: 2,
             figures: vec!["fig07".into()],
             serial_wall_s: Some(2.0),
             ref_wall_s: None,

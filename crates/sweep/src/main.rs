@@ -11,6 +11,7 @@ use std::time::Instant;
 
 struct Args {
     jobs: usize,
+    intra_jobs: usize,
     ref_wall: Option<f64>,
     selftest: bool,
     baseline: bool,
@@ -20,15 +21,20 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: caba-sweep [--jobs N] [--scale F] [--baseline] [--selftest] [--out PATH]\n\
+        "usage: caba-sweep [--jobs N] [--intra-jobs N] [--scale F] [--baseline] [--selftest] [--out PATH]\n\
          \n\
-         --jobs N      worker threads (default: available parallelism)\n\
-         --scale F     workload scale (default: CABA_BENCH_SCALE or 0.5; selftest: 0.05)\n\
-         --baseline    also run the sweep with --jobs 1 and record the speedup\n\
-         --ref-wall S  reference wall seconds from an earlier build (recorded\n\
-                       as ref_wall_s / hot_path_speedup_vs_ref in the report)\n\
-         --selftest    verify parallel RunStats are bit-identical to serial per figure\n\
-         --out PATH    report path (default: BENCH_sweep.json)"
+         --jobs N       total worker-thread budget (default: available parallelism)\n\
+         --intra-jobs N worker threads INSIDE each simulation (default:\n\
+                        CABA_INTRA_JOBS or 1); the cell-level fan-out becomes\n\
+                        jobs / intra-jobs, so the thread budget is conserved.\n\
+                        Results are bit-identical for any value.\n\
+         --scale F      workload scale (default: CABA_BENCH_SCALE or 0.5; selftest: 0.05)\n\
+         --baseline     also run the sweep fully serial (1 cell job, intra-jobs 1)\n\
+                        and record the speedup\n\
+         --ref-wall S   reference wall seconds from an earlier build (recorded\n\
+                        as ref_wall_s / hot_path_speedup_vs_ref in the report)\n\
+         --selftest     verify parallel RunStats are bit-identical to serial per figure\n\
+         --out PATH     report path (default: BENCH_sweep.json)"
     );
     std::process::exit(2);
 }
@@ -36,6 +42,7 @@ fn usage() -> ! {
 fn parse_args() -> Args {
     let mut args = Args {
         jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        intra_jobs: env_intra_jobs(),
         ref_wall: None,
         selftest: false,
         baseline: false,
@@ -47,6 +54,12 @@ fn parse_args() -> Args {
         match a.as_str() {
             "--jobs" => {
                 args.jobs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--intra-jobs" => {
+                args.intra_jobs = it
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage());
@@ -72,7 +85,7 @@ fn parse_args() -> Args {
             _ => usage(),
         }
     }
-    if args.jobs == 0 {
+    if args.jobs == 0 || args.intra_jobs == 0 {
         usage();
     }
     args
@@ -83,6 +96,14 @@ fn env_scale() -> f64 {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(0.5)
+}
+
+fn env_intra_jobs() -> usize {
+    std::env::var("CABA_INTRA_JOBS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(1)
 }
 
 fn main() {
@@ -97,28 +118,40 @@ fn main() {
     eprintln!("report written to {}", args.out);
 }
 
+/// Splits the total thread budget between cell-level fan-out and intra-run
+/// workers: `intra_jobs` threads live inside each simulation, so only
+/// `jobs / intra_jobs` cells run concurrently.
+fn cell_jobs(args: &Args) -> usize {
+    (args.jobs / args.intra_jobs).max(1)
+}
+
 /// Full figure sweep; optionally measures a serial baseline first.
 fn sweep(args: &Args) -> SweepReport {
-    let sc = SweepConfig {
+    let mut sc = SweepConfig {
         scale: args.scale.unwrap_or_else(env_scale),
         ..SweepConfig::default()
     };
+    sc.cfg.intra_jobs = args.intra_jobs;
     let groups: Vec<_> = FIGURES
         .iter()
         .map(|f| figure_cells(f).expect("known figure"))
         .collect();
     let cells = dedup_cells(&groups);
+    let cjobs = cell_jobs(args);
     eprintln!(
-        "sweep: {} cells ({}) at scale {} with {} jobs",
+        "sweep: {} cells ({}) at scale {} with {} cell jobs x {} intra jobs",
         cells.len(),
         FIGURES.join("+"),
         sc.scale,
-        args.jobs
+        cjobs,
+        args.intra_jobs
     );
     let serial_wall_s = if args.baseline {
         eprintln!("  serial baseline ...");
+        let mut serial_sc = sc;
+        serial_sc.cfg.intra_jobs = 1;
         let t0 = Instant::now();
-        let serial = run_cells(&sc, &cells, 1);
+        let serial = run_cells(&serial_sc, &cells, 1);
         let w = t0.elapsed().as_secs_f64();
         eprintln!("  serial: {w:.2}s over {} cells", serial.len());
         Some(w)
@@ -126,9 +159,12 @@ fn sweep(args: &Args) -> SweepReport {
         None
     };
     let t0 = Instant::now();
-    let results = run_cells(&sc, &cells, args.jobs);
+    let results = run_cells(&sc, &cells, cjobs);
     let parallel_wall_s = t0.elapsed().as_secs_f64();
-    eprintln!("  parallel ({} jobs): {parallel_wall_s:.2}s", args.jobs);
+    eprintln!(
+        "  parallel ({cjobs} x {} jobs): {parallel_wall_s:.2}s",
+        args.intra_jobs
+    );
     if let Some(s) = serial_wall_s {
         eprintln!("  speedup: {:.2}x", s / parallel_wall_s);
     }
@@ -136,6 +172,7 @@ fn sweep(args: &Args) -> SweepReport {
         mode: "sweep",
         scale: sc.scale,
         jobs: args.jobs,
+        intra_jobs: args.intra_jobs,
         figures: FIGURES.iter().map(|f| f.to_string()).collect(),
         serial_wall_s,
         ref_wall_s: args.ref_wall,
@@ -148,10 +185,16 @@ fn sweep(args: &Args) -> SweepReport {
 /// Per-figure determinism proof: serial and parallel runs of the same cell
 /// list must produce bit-identical `RunStats` in the same order.
 fn selftest(args: &Args) -> SweepReport {
-    let sc = SweepConfig {
+    let mut sc = SweepConfig {
         scale: args.scale.unwrap_or(0.05),
         ..SweepConfig::default()
     };
+    sc.cfg.intra_jobs = args.intra_jobs;
+    // The serial reference is fully serial: one cell at a time, one thread
+    // inside each simulation.
+    let mut serial_sc = sc;
+    serial_sc.cfg.intra_jobs = 1;
+    let cjobs = cell_jobs(args);
     let mut all_results = Vec::new();
     let mut serial_total = 0.0f64;
     let mut parallel_total = 0.0f64;
@@ -159,17 +202,17 @@ fn selftest(args: &Args) -> SweepReport {
     for fig in FIGURES {
         let cells = figure_cells(fig).expect("known figure");
         eprintln!(
-            "selftest {fig}: {} cells at scale {} ({} jobs vs serial)",
+            "selftest {fig}: {} cells at scale {} ({cjobs} cell jobs x {} intra jobs vs serial)",
             cells.len(),
             sc.scale,
-            args.jobs
+            args.intra_jobs
         );
         let t0 = Instant::now();
-        let serial = run_cells(&sc, &cells, 1);
+        let serial = run_cells(&serial_sc, &cells, 1);
         let sw = t0.elapsed().as_secs_f64();
         serial_total += sw;
         let t0 = Instant::now();
-        let parallel = run_cells(&sc, &cells, args.jobs);
+        let parallel = run_cells(&sc, &cells, cjobs);
         let pw = t0.elapsed().as_secs_f64();
         parallel_total += pw;
         let mut mismatches = 0usize;
@@ -191,6 +234,7 @@ fn selftest(args: &Args) -> SweepReport {
         mode: "selftest",
         scale: sc.scale,
         jobs: args.jobs,
+        intra_jobs: args.intra_jobs,
         figures: FIGURES.iter().map(|f| f.to_string()).collect(),
         serial_wall_s: Some(serial_total),
         ref_wall_s: args.ref_wall,

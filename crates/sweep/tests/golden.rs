@@ -6,6 +6,8 @@
 //! exact cycle/flit counts captured before the overhaul, and bit-identical
 //! `RunStats` between serial and parallel sweeps.
 
+use caba_sim::fault::FaultConfig;
+use caba_sim::GpuConfig;
 use caba_sweep::{run_cells, DesignId, SweepCell, SweepConfig};
 use caba_workloads::{app, run_app};
 
@@ -50,6 +52,52 @@ fn golden_cycle_counts_are_stable() {
             design.label()
         );
     }
+}
+
+/// Runs one `(app, design)` cell serially and under every tested intra-run
+/// worker count, asserting exact `RunStats` equality (the struct derives
+/// `Eq`, so every counter is compared, not a tolerance band).
+fn assert_intra_deterministic(app_name: &str, design: DesignId, cfg: GpuConfig) {
+    let spec = app(app_name).unwrap_or_else(|| panic!("unknown app {app_name}"));
+    let mut serial_cfg = cfg;
+    serial_cfg.intra_jobs = 1;
+    let serial = run_app(&spec, serial_cfg, design.make(), 0.05)
+        .unwrap_or_else(|e| panic!("{app_name}/{}: {e}", design.label()));
+    for jobs in [2, 4] {
+        let mut par_cfg = cfg;
+        par_cfg.intra_jobs = jobs;
+        let par = run_app(&spec, par_cfg, design.make(), 0.05)
+            .unwrap_or_else(|e| panic!("{app_name}/{} @ intra_jobs={jobs}: {e}", design.label()));
+        assert_eq!(
+            serial,
+            par,
+            "{app_name}/{}: RunStats diverged at intra_jobs={jobs}",
+            design.label()
+        );
+    }
+}
+
+#[test]
+fn intra_jobs_is_bit_identical_to_serial() {
+    // 3 apps x 3 designs covering every design family: bare baseline (no
+    // compression map), dedicated-logic compression, and CABA assist warps
+    // (per-SM controller forks, line store, staging traffic).
+    for app_name in ["CONS", "BFS", "MM"] {
+        for design in [DesignId::Base, DesignId::HwBdi, DesignId::CabaBdi] {
+            assert_intra_deterministic(app_name, design, GpuConfig::small());
+        }
+    }
+}
+
+#[test]
+fn intra_jobs_is_bit_identical_under_fault_injection() {
+    // Fault streams are keyed per component (per-SM, per-partition, one
+    // global crossbar stream drawn only at the serial merge points), so
+    // injected drops/retransmissions must land on the same packets at the
+    // same cycles regardless of worker count.
+    let mut cfg = GpuConfig::small();
+    cfg.fault = FaultConfig::recover(0xFA57_CAB4, 0.02);
+    assert_intra_deterministic("CONS", DesignId::CabaBdi, cfg);
 }
 
 #[test]

@@ -14,7 +14,7 @@ use caba::core::subroutines::{
     PAYLOAD_OFF,
 };
 use caba::isa::{Program, Reg};
-use caba::mem::FuncMem;
+use caba::mem::{FuncMem, SharedMem};
 use caba::sim::exec::{execute, ThreadCtx};
 use caba::sim::Warp;
 use caba::stats::{prop, Rng64};
@@ -40,11 +40,12 @@ fn run_subroutine(program: &Program, live_in: &[(Reg, u64)], mask: u32, mem: &mu
         shared_base: 0x8000_0000,
     };
     let mut steps = 0;
+    let mut mem = SharedMem::Direct(mem);
     while !warp.done {
         let instr = *program
             .fetch(warp.pc())
             .expect("subroutines terminate with Exit");
-        execute(&mut warp, &instr, &ctx, mem);
+        execute(&mut warp, &instr, &ctx, &mut mem);
         steps += 1;
         assert!(steps < 10_000, "subroutine did not terminate");
     }
