@@ -29,10 +29,14 @@ fn main() {
     for d in [DesignId::Base, DesignId::CabaBdi, DesignId::HwBdi] {
         let s = run_app(&a, GpuConfig::isca2015_scaled(), d.make(), scale)
             .unwrap_or_else(|e| panic!("{}: {e}", d.label()));
+        let stalls = StallKind::ALL
+            .iter()
+            .map(|&k| format!("{}={:.2}", k.slug(), s.breakdown.fraction(k)))
+            .collect::<Vec<_>>()
+            .join(" ");
         println!(
             "{:<10} cyc={:<8} app_i={:<9} asst_i={:<9} launches={:<6} l1hr={:.2} l2hr={:.2} \
-             bursts={:<8} flits={:<8} bw={:.2} ovf={:<5} dec={:<6} cmp={:<6} \
-             stalls C/M/D/I/A = {:.2}/{:.2}/{:.2}/{:.2}/{:.2}",
+             bursts={:<8} flits={:<8} bw={:.2} ovf={:<5} dec={:<6} cmp={:<6}\n           {stalls}",
             d.label(),
             s.cycles,
             s.app_instructions,
@@ -46,11 +50,6 @@ fn main() {
             s.store_buffer_overflows,
             s.lines_decompressed,
             s.lines_compressed,
-            s.breakdown.fraction(StallKind::ComputeStructural),
-            s.breakdown.fraction(StallKind::MemoryStructural),
-            s.breakdown.fraction(StallKind::DataDependence),
-            s.breakdown.fraction(StallKind::Idle),
-            s.breakdown.fraction(StallKind::Active)
         );
     }
 }

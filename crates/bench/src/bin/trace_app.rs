@@ -9,7 +9,7 @@
 //! utilization over time.
 
 use caba_core::CabaController;
-use caba_sim::{Design, Gpu, GpuConfig};
+use caba_sim::{Design, Gpu, GpuConfig, TraceConfig};
 use caba_workloads::app;
 
 fn main() {
@@ -23,14 +23,15 @@ fn main() {
     let path = args.next().unwrap_or_else(|| "trace.json".into());
 
     let a = app(&name).expect("known application");
-    let mut gpu = Gpu::new(GpuConfig::isca2015_scaled(), design);
+    let cfg = GpuConfig::isca2015_scaled().with_trace(TraceConfig::full(64));
+    let mut gpu = Gpu::new(cfg, design);
     a.load_inputs(&mut gpu, scale);
-    gpu.enable_tracing(64);
     let stats = gpu
         .run(&a.kernel(scale), 200_000_000)
         .expect("kernel completes");
     let trace = gpu.take_trace().expect("tracing was enabled");
-    std::fs::write(&path, trace.to_chrome_json()).expect("write trace file");
+    let mut file = std::io::BufWriter::new(std::fs::File::create(&path).expect("create trace file"));
+    trace.write_chrome_json(&mut file).expect("write trace file");
     eprintln!(
         "{name}: {} cycles, {} samples, avg BW {:.1}% -> {path}",
         stats.cycles,

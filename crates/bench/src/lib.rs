@@ -129,11 +129,12 @@ fn mean(xs: &[f64]) -> f64 {
 // Figure 1: issue-cycle breakdown at ½×/1×/2× bandwidth, all 27 apps.
 // ---------------------------------------------------------------------------
 
-/// Regenerates Figure 1.
+/// Regenerates Figure 1, one column per taxonomy bucket in
+/// [`StallKind::ALL`] display order.
 pub fn fig01_stall_breakdown(hc: &HarnessConfig) -> Table {
-    let mut t = Table::with_columns(&[
-        "App", "Class", "BW", "Compute", "Memory", "DataDep", "Idle", "Active",
-    ]);
+    let mut cols = vec!["App", "Class", "BW"];
+    cols.extend(StallKind::ALL.iter().map(|k| k.label()));
+    let mut t = Table::with_columns(&cols);
     for app in all_apps() {
         for (bw, name) in [(0.5, "1/2x"), (1.0, "1x"), (2.0, "2x")] {
             eprintln!("  fig1: {} @ {}BW", app.name, name);
@@ -141,19 +142,16 @@ pub fn fig01_stall_breakdown(hc: &HarnessConfig) -> Table {
             let s = run_app(&app, cfg, Design::Base, hc.scale)
                 .unwrap_or_else(|e| panic!("{} {name}: {e}", app.name));
             let b = &s.breakdown;
-            t.row(vec![
+            let mut row = vec![
                 app.name.to_string(),
                 match app.class {
                     AppClass::MemoryBound => "Mem".into(),
                     AppClass::ComputeBound => "Comp".into(),
                 },
                 name.to_string(),
-                pct(b.fraction(StallKind::ComputeStructural)),
-                pct(b.fraction(StallKind::MemoryStructural)),
-                pct(b.fraction(StallKind::DataDependence)),
-                pct(b.fraction(StallKind::Idle)),
-                pct(b.fraction(StallKind::Active)),
-            ]);
+            ];
+            row.extend(StallKind::ALL.iter().map(|&k| pct(b.fraction(k))));
+            t.row(row);
         }
     }
     t

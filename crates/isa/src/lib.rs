@@ -472,6 +472,27 @@ impl Instr {
         }
     }
 
+    /// True when this instruction steers control flow or computes the
+    /// predicate/reconvergence state that does: branches, barriers, exits,
+    /// and the predicate-producing machinery (`SetP`, `PBool`, votes,
+    /// ballots, priority encode). The simulator's Fig. 1 accounting uses
+    /// this to attribute scoreboard stalls on such instructions to the
+    /// control-reconvergence bucket rather than the generic pipeline one.
+    pub fn steers_control(&self) -> bool {
+        matches!(
+            self.op,
+            Op::Bra { .. }
+                | Op::Bar
+                | Op::Exit
+                | Op::SetP { .. }
+                | Op::PBool { .. }
+                | Op::VoteAll { .. }
+                | Op::VoteAny { .. }
+                | Op::Ballot { .. }
+                | Op::FindFirst { .. }
+        )
+    }
+
     /// Destination register written by this instruction, if any.
     pub fn dst_reg(&self) -> Option<Reg> {
         match self.op {
@@ -684,6 +705,68 @@ mod tests {
             assert_eq!(Width::from_bytes(w.bytes()), Some(w));
         }
         assert_eq!(Width::from_bytes(3), None);
+    }
+
+    #[test]
+    fn control_steering_classification() {
+        let control = [
+            Op::Bra {
+                target: 0,
+                reconv: 0,
+            },
+            Op::Bar,
+            Op::Exit,
+            Op::SetP {
+                pred: Pred(0),
+                cmp: CmpOp::Eq,
+                a: Src::Reg(Reg(0)),
+                b: Src::Imm(0),
+            },
+            Op::PBool {
+                dst: Pred(0),
+                op: PBoolOp::And,
+                a: Pred(0),
+                b: Pred(1),
+            },
+            Op::VoteAll {
+                dst: Pred(0),
+                src: Pred(1),
+            },
+            Op::VoteAny {
+                dst: Pred(0),
+                src: Pred(1),
+            },
+            Op::Ballot {
+                dst: Reg(0),
+                src: Pred(0),
+            },
+            Op::FindFirst {
+                dst: Pred(0),
+                src: Pred(1),
+            },
+        ];
+        for op in control {
+            assert!(Instr::new(op).steers_control(), "{op:?}");
+        }
+        let data = [
+            Op::Alu {
+                op: AluOp::Add,
+                dst: Reg(0),
+                a: Src::Reg(Reg(1)),
+                b: Src::Imm(1),
+            },
+            Op::Ld {
+                space: Space::Global,
+                width: Width::B4,
+                dst: Reg(0),
+                addr: Src::Reg(Reg(1)),
+                offset: 0,
+            },
+            Op::Nop,
+        ];
+        for op in data {
+            assert!(!Instr::new(op).steers_control(), "{op:?}");
+        }
     }
 
     #[test]

@@ -2,8 +2,10 @@
 
 use crate::assist::AssistController;
 use crate::fault::FaultConfig;
+use crate::observe::{ObservabilityConfig, TraceConfig};
 use caba_compress::Algorithm;
 use caba_mem::{CacheGeometry, DramConfig, LINE_SIZE};
+use caba_stats::MetricsLevel;
 use std::fmt;
 
 /// Warp scheduling policy (Table 1 uses GTO, Rogers et al. \[68\]).
@@ -94,6 +96,10 @@ pub struct GpuConfig {
     pub audit_interval: u64,
     /// Deterministic fault injection (disabled by default).
     pub fault: FaultConfig,
+    /// Observability: activity tracing and the metric registry. Record-only
+    /// — no setting here may change timing — and fully off by default, so
+    /// the cycle loop pays nothing unless asked.
+    pub observability: ObservabilityConfig,
     /// Worker threads sharding the per-cycle SM / memory-partition loops
     /// (the barrier-phased engine). 1 = serial. Results are bit-identical
     /// for any value; this knob trades wall-clock for cores.
@@ -134,6 +140,7 @@ impl GpuConfig {
             watchdog_window: 100_000,
             audit_interval: 0,
             fault: FaultConfig::disabled(),
+            observability: ObservabilityConfig::default(),
             intra_jobs: 1,
         }
     }
@@ -181,6 +188,21 @@ impl GpuConfig {
         self
     }
 
+    /// Enables activity tracing (replaces the deprecated
+    /// `Gpu::enable_tracing`). Retrieve the recorded
+    /// [`crate::ActivityTrace`] with [`crate::Gpu::take_trace`] after `run`.
+    pub fn with_trace(mut self, trace: TraceConfig) -> Self {
+        self.observability.trace = Some(trace);
+        self
+    }
+
+    /// Sets the metric-registry level; [`crate::Gpu::metrics_snapshot`]
+    /// returns `Some` when it is not [`MetricsLevel::Off`].
+    pub fn with_metrics(mut self, level: MetricsLevel) -> Self {
+        self.observability.metrics = level;
+        self
+    }
+
     /// Total threads resident per SM.
     pub fn threads_per_sm(&self) -> u32 {
         (self.warps_per_sm * caba_isa::WARP_SIZE) as u32
@@ -199,6 +221,11 @@ impl GpuConfig {
             }
         }
         nonzero("num_sms", self.num_sms)?;
+        if self.observability.trace.is_some_and(|t| t.interval == 0) {
+            return Err(ConfigError::Zero {
+                field: "observability.trace.interval",
+            });
+        }
         nonzero("num_channels", self.num_channels)?;
         nonzero("intra_jobs", self.intra_jobs)?;
         nonzero("warps_per_sm", self.warps_per_sm)?;
@@ -540,6 +567,30 @@ mod tests {
         ));
         let msg = c.validate().unwrap_err().to_string();
         assert!(msg.contains("watchdog_window"), "message: {msg}");
+    }
+
+    #[test]
+    fn observability_builders_and_validation() {
+        let c = GpuConfig::small()
+            .with_trace(TraceConfig::full(128))
+            .with_metrics(MetricsLevel::Full);
+        assert_eq!(
+            c.observability.trace,
+            Some(TraceConfig {
+                interval: 128,
+                events: true
+            })
+        );
+        assert!(c.observability.metrics.per_event());
+        assert_eq!(c.validate(), Ok(()));
+
+        let bad = GpuConfig::small().with_trace(TraceConfig::sampled(0));
+        assert_eq!(
+            bad.validate(),
+            Err(ConfigError::Zero {
+                field: "observability.trace.interval"
+            })
+        );
     }
 
     #[test]

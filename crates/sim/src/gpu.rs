@@ -7,15 +7,16 @@ use crate::config::{ConfigError, Design, GpuConfig};
 use crate::fault::{stream, FaultInjector, FaultMode};
 use crate::integrity::{Component, HangReport, Violation};
 use crate::mempart::{PartReq, PartResp, Partition};
+use crate::observe::{sim_metrics_schema, TraceConfig};
 use crate::shard::{self, PhaseCtl, QuitGuard, ShardPtrs, SmDelta, PHASE_PART, PHASE_SM};
 use crate::sm::{OutReq, SharedState, Sm};
 use crate::stats::RunStats;
-use crate::trace::{ActivityTrace, Sample, Tracer};
+use crate::trace::{ActivityTrace, Sample, TraceEvent, TraceEventKind, Tracer};
 use caba_isa::Kernel;
 use caba_mem::{
     CmapDelta, CompressionMap, Crossbar, FuncMem, IngressLanes, SharedCmap, SharedMem, LINE_SIZE,
 };
-use caba_stats::FxHashMap;
+use caba_stats::{FxHashMap, MetricsSnapshot, StallKind};
 use std::fmt;
 
 /// Error returned by [`Gpu::run`].
@@ -192,7 +193,7 @@ impl Gpu {
             xbar_fwd: Crossbar::new(cfg.num_sms, cfg.num_channels, cfg.icnt_latency),
             xbar_rsp: Crossbar::new(cfg.num_channels, cfg.num_sms, cfg.icnt_latency),
             now: 0,
-            tracer: None,
+            tracer: cfg.observability.trace.map(|t| Tracer::new(t, cfg.num_sms)),
             design,
             ledger: FxHashMap::default(),
             xbar_injector: FaultInjector::for_stream(cfg.fault, stream::CROSSBAR),
@@ -205,13 +206,63 @@ impl Gpu {
     /// Enables activity tracing: every `interval` cycles a [`Sample`] of
     /// per-SM issue counts and DRAM utilization is recorded. Retrieve the
     /// trace with [`Gpu::take_trace`] after `run`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "set `GpuConfig::observability` via `GpuConfig::with_trace(TraceConfig)` instead"
+    )]
     pub fn enable_tracing(&mut self, interval: u64) {
-        self.tracer = Some(Tracer::new(interval, self.cfg.num_sms));
+        self.tracer = Some(Tracer::new(
+            TraceConfig::sampled(interval.max(1)),
+            self.cfg.num_sms,
+        ));
     }
 
-    /// Takes the recorded trace, if tracing was enabled.
+    /// Takes the recorded trace, if tracing was enabled
+    /// ([`GpuConfig::with_trace`](crate::GpuConfig::with_trace)). Any
+    /// instant events still buffered in SMs or partitions are drained
+    /// first, so the trace is complete even when the run ends mid-interval.
     pub fn take_trace(&mut self) -> Option<ActivityTrace> {
-        self.tracer.take().map(|t| t.trace)
+        let mut tracer = self.tracer.take()?;
+        if tracer.events_on {
+            for sm in &mut self.sms {
+                sm.drain_events(&mut tracer.trace.events);
+            }
+            for p in &mut self.parts {
+                p.drain_events(&mut tracer.trace.events);
+            }
+        }
+        Some(tracer.trace)
+    }
+
+    /// Assembles the metric snapshot for this run, or `None` when
+    /// [`MetricsLevel::Off`](caba_stats::MetricsLevel) (the default — no
+    /// registry exists and nothing was recorded). At `Counters` the snapshot
+    /// holds only export-time entries derived from `stats`; at `Full` it
+    /// additionally carries the per-event shard values (assist spawn/retire
+    /// counts, occupancy high-water marks) merged across SMs in index order,
+    /// so the result is bit-identical for any `intra_jobs`.
+    pub fn metrics_snapshot(&self, stats: &RunStats) -> Option<MetricsSnapshot> {
+        let level = self.cfg.observability.metrics;
+        if !level.enabled() {
+            return None;
+        }
+        let mut snap = if level.per_event() {
+            let (reg, _) = sim_metrics_schema();
+            let merged = reg.merge_shards(self.sms.iter().filter_map(|s| s.metric_shard()));
+            reg.snapshot(&merged)
+        } else {
+            MetricsSnapshot::default()
+        };
+        snap.push("run.cycles", stats.cycles);
+        for k in StallKind::ALL {
+            snap.push(k.slug(), stats.breakdown.count(k));
+        }
+        snap.push("assist.slots_stolen", stats.assist_slots_stolen);
+        snap.push("assist.slots_reclaimed", stats.assist_slots_reclaimed);
+        snap.push("md.stall_cycles", stats.md_stall_cycles);
+        snap.push("dram.bursts", stats.dram_bursts);
+        snap.push("icnt.flits", stats.icnt_flits);
+        Some(snap)
     }
 
     fn trace_tick(&mut self) {
@@ -223,11 +274,17 @@ impl Gpu {
         }
         let mut app = Vec::with_capacity(self.sms.len());
         let mut assist = Vec::with_capacity(self.sms.len());
-        for (i, sm) in self.sms.iter().enumerate() {
+        let mut stalls = Vec::with_capacity(self.sms.len());
+        for (i, sm) in self.sms.iter_mut().enumerate() {
             app.push(sm.app_instructions() - tr.last_app[i]);
             assist.push(sm.assist_instructions() - tr.last_assist[i]);
+            stalls.push(sm.breakdown().delta(&tr.last_stalls[i]));
             tr.last_app[i] = sm.app_instructions();
             tr.last_assist[i] = sm.assist_instructions();
+            tr.last_stalls[i] = *sm.breakdown();
+            if tr.events_on {
+                sm.drain_events(&mut tr.trace.events);
+            }
         }
         let (mut busy, mut total) = (0u64, 0u64);
         for p in &mut self.parts {
@@ -237,11 +294,15 @@ impl Gpu {
             let d = p.dram_stats();
             busy += d.bus_busy_cycles;
             total += d.total_cycles;
+            if tr.events_on {
+                p.drain_events(&mut tr.trace.events);
+            }
         }
         tr.trace.samples.push(Sample {
             cycle: self.now,
             app_issued: app,
             assist_issued: assist,
+            stalls,
             dram_busy: busy - tr.last_dram_busy,
             dram_total: total - tr.last_dram_total,
         });
@@ -726,6 +787,13 @@ impl Gpu {
             }
             if self.xbar_injector.drop_packet() {
                 self.flits_dropped += 1;
+                let retransmitted = self.xbar_injector.mode() == FaultMode::Recover;
+                if let Some(tr) = self.tracer.as_mut().filter(|t| t.events_on) {
+                    tr.trace.events.push(TraceEvent {
+                        cycle: now,
+                        kind: TraceEventKind::XbarDrop { retransmitted },
+                    });
+                }
                 match self.xbar_injector.mode() {
                     FaultMode::Recover => {
                         // Link-level retransmission: the packet returns to
@@ -789,6 +857,13 @@ impl Gpu {
             }
             if self.xbar_injector.drop_packet() {
                 self.flits_dropped += 1;
+                let retransmitted = self.xbar_injector.mode() == FaultMode::Recover;
+                if let Some(tr) = self.tracer.as_mut().filter(|t| t.events_on) {
+                    tr.trace.events.push(TraceEvent {
+                        cycle: self.now,
+                        kind: TraceEventKind::XbarDrop { retransmitted },
+                    });
+                }
                 match self.xbar_injector.mode() {
                     FaultMode::Recover => {
                         self.flit_retransmissions += 1;
@@ -851,6 +926,7 @@ impl Gpu {
             stats.l2_misses += part.l2_misses();
             stats.md_lookups += part.md_lookups();
             stats.md_misses += part.md_misses();
+            stats.md_stall_cycles += part.md_stall_cycles();
             stats.dram_delay_faults += part.delay_faults();
         }
         stats.icnt_flits = self.xbar_fwd.total_flits() + self.xbar_rsp.total_flits();

@@ -60,6 +60,7 @@ pub mod gpu;
 pub mod integrity;
 pub mod lsu;
 pub mod mempart;
+pub mod observe;
 pub mod occupancy;
 mod shard;
 pub mod sm;
@@ -77,10 +78,12 @@ pub use gpu::{Gpu, RunError};
 pub use integrity::{
     Component, HangReport, PartitionSnapshot, SmSnapshot, Violation, WarpSnapshot, WarpState,
 };
+pub use observe::{ObservabilityConfig, TraceConfig};
 pub use occupancy::OccupancyInfo;
 pub use sm::Sm;
-pub use stats::RunStats;
-pub use trace::ActivityTrace;
+pub use stats::{RunStats, StatsSummary};
+pub use trace::{ActivityTrace, Sample, TraceEvent, TraceEventKind};
 pub use warp::{SimtEntry, Warp};
 
 pub use caba_isa::Kernel;
+pub use caba_stats::{MetricsLevel, MetricsSnapshot, StallKind};

@@ -4,6 +4,7 @@
 use crate::config::GpuConfig;
 use crate::fault::{stream, FaultInjector};
 use crate::integrity::{Component, PartitionSnapshot, Violation};
+use crate::trace::{TraceEvent, TraceEventKind};
 use caba_mem::{
     AccessOutcome, Cache, DramChannel, DramRequest, MdCache, Mshr, SharedCmap, SharedMem, LINE_SIZE,
 };
@@ -110,6 +111,14 @@ pub struct Partition {
     /// bit-identical with an unskipped run.
     next_tick: u64,
     delay_faults: u64,
+    /// DRAM channel-cycles spent fetching compression metadata (each MD
+    /// miss issues one extra single-burst access, §4.3.2) — the Fig. 14
+    /// metadata-overhead bucket.
+    md_stall_cycles: u64,
+    /// Instant-event buffer, drained by the GPU tracer in partition index
+    /// order. Empty unless `events_on`.
+    events: Vec<TraceEvent>,
+    events_on: bool,
 }
 
 /// Request-id tag marking metadata-fetch DRAM accesses.
@@ -137,6 +146,9 @@ impl Partition {
             now: 0,
             next_tick: 0,
             delay_faults: 0,
+            md_stall_cycles: 0,
+            events: Vec::new(),
+            events_on: cfg.observability.trace.is_some_and(|t| t.events),
         }
     }
 
@@ -183,6 +195,12 @@ impl Partition {
             // channel, modeling a delayed DRAM response. Recoverable by
             // construction — the request is only late, never lost.
             self.delay_faults += 1;
+            if self.events_on {
+                self.events.push(TraceEvent {
+                    cycle: self.now,
+                    kind: TraceEventKind::DramDelay { partition: self.id },
+                });
+            }
             self.delayed.push((self.now + hold, req));
             return;
         }
@@ -200,6 +218,7 @@ impl Partition {
         };
         if miss {
             // One extra DRAM access to fetch the metadata block (§4.3.2).
+            self.md_stall_cycles += self.cfg.dram.burst_cycles;
             let id = MD_TAG | self.next_req_id;
             self.next_req_id += 1;
             self.push_dram(DramRequest {
@@ -379,6 +398,18 @@ impl Partition {
     /// DRAM requests held back by fault injection so far.
     pub fn delay_faults(&self) -> u64 {
         self.delay_faults
+    }
+
+    /// DRAM channel-cycles spent on compression-metadata fetches (one
+    /// single-burst access per MD-cache miss, §4.3.2).
+    pub fn md_stall_cycles(&self) -> u64 {
+        self.md_stall_cycles
+    }
+
+    /// Moves this partition's buffered instant events into `out` (called by
+    /// the GPU tracer in partition index order).
+    pub(crate) fn drain_events(&mut self, out: &mut Vec<TraceEvent>) {
+        out.append(&mut self.events);
     }
 
     /// True when this partition currently carries an in-flight read for

@@ -11,10 +11,12 @@ use crate::exec::{execute, ThreadCtx};
 use crate::fault::{stream, FaultInjector, FaultMode};
 use crate::integrity::{Component, SmSnapshot, Violation, WarpSnapshot, WarpState};
 use crate::lsu::{LineOp, LineOpKind, Lsu, WarpRef};
+use crate::observe::{sim_metrics_schema, SimMetricIds};
+use crate::trace::{TraceEvent, TraceEventKind};
 use crate::warp::Warp;
 use caba_isa::{FuClass, Instr, Kernel, Op, Program, Reg, Space, WARP_SIZE};
 use caba_mem::{AccessOutcome, Cache, Mshr, SharedCmap, SharedMem, LINE_SIZE};
-use caba_stats::{FxHashMap, IssueBreakdown, StallKind};
+use caba_stats::{FxHashMap, IssueBreakdown, MetricShard, StallKind};
 use std::collections::VecDeque;
 
 use std::sync::Arc;
@@ -107,6 +109,73 @@ enum IssueBlock {
     ComputeStructural,
 }
 
+/// Why one blocked candidate could not issue this cycle, at full
+/// resolution (hazards subdivided by what the missing operand is waiting
+/// on). Folded across a scheduler's candidates by [`fold_verdict`] into the
+/// slot's single Fig. 1 attribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum StallVerdict {
+    /// The candidate is parked at a block-wide barrier.
+    Barrier,
+    /// Scoreboard hazard on a register with an outstanding load (waiting
+    /// for memory data).
+    HazardMem,
+    /// Scoreboard hazard on an operand of a control-steering instruction
+    /// (branch/predicate/vote — reconvergence-determining work).
+    HazardCtrl,
+    /// Any other scoreboard hazard (in-pipeline producer not written back).
+    HazardSb,
+    /// The LSU issue slot or line-op queue is full.
+    MemStructural,
+    /// The SFU is not ready (initiation interval).
+    ComputeStructural,
+}
+
+impl StallVerdict {
+    /// Evidence strength: structural back-pressure (2) beats a scoreboard
+    /// hazard (1) beats barrier parking (0).
+    fn tier(self) -> u8 {
+        match self {
+            StallVerdict::Barrier => 0,
+            StallVerdict::HazardMem | StallVerdict::HazardCtrl | StallVerdict::HazardSb => 1,
+            StallVerdict::MemStructural | StallVerdict::ComputeStructural => 2,
+        }
+    }
+
+    /// The Fig. 1 taxonomy bucket this verdict lands in.
+    pub(crate) fn bucket(self) -> StallKind {
+        match self {
+            StallVerdict::Barrier => StallKind::Synchronization,
+            StallVerdict::HazardMem | StallVerdict::MemStructural => StallKind::MemoryData,
+            StallVerdict::HazardSb | StallVerdict::ComputeStructural => {
+                StallKind::ScoreboardPipeline
+            }
+            StallVerdict::HazardCtrl => StallKind::ControlReconvergence,
+        }
+    }
+}
+
+/// Folds one blocked candidate's verdict into the scheduler slot's verdict.
+///
+/// The tiebreak rule, which Fig. 1 attribution depends on: **the first
+/// blocked candidate in scheduler priority order wins within a tier**
+/// (high-priority assists, then the greedy warp, then parents oldest-first,
+/// then low-priority assists — the exact order [`Sm::schedule`] offers
+/// candidates), and a later candidate only replaces the verdict when its
+/// evidence tier is strictly higher (structural > hazard > barrier). This
+/// generalizes the original rule — "first blocked candidate wins, with
+/// structural evidence preferred over data-dependence" — so e.g. a slot
+/// whose oldest blocked warp waits on a load is charged to memory even if a
+/// younger candidate is SFU-blocked, but a slot where every runnable warp
+/// is barrier-parked and one is pipe-blocked is charged to the pipeline.
+pub(crate) fn fold_verdict(cur: Option<StallVerdict>, new: StallVerdict) -> Option<StallVerdict> {
+    match cur {
+        None => Some(new),
+        Some(c) if new.tier() > c.tier() => Some(new),
+        Some(c) => Some(c),
+    }
+}
+
 /// One streaming multiprocessor.
 pub struct Sm {
     id: usize,
@@ -145,17 +214,26 @@ pub struct Sm {
     cand_parents: Vec<Vec<usize>>,
     cand_lows: Vec<Vec<usize>>,
     cand_dirty: bool,
-    /// Per-slot "known hazard-blocked" memo. A warp's hazard verdict can
-    /// only change at its own issue (sets pending bits / moves the PC) or
-    /// at a writeback that clears one of its pending bits, so between those
-    /// events the scheduler skips recomputing it. Cleared wholesale on any
-    /// residency change (`rebuild_candidates`).
-    haz_app: Vec<bool>,
-    haz_assist: Vec<bool>,
+    /// Per-slot "known hazard-blocked" memo, carrying the classified
+    /// verdict so the memoized fast path attributes the stall identically
+    /// to a recomputation. A warp's hazard verdict can only change at its
+    /// own issue (sets pending bits / moves the PC) or at a writeback that
+    /// clears one of its pending bits, so between those events the
+    /// scheduler skips recomputing it. Cleared wholesale on any residency
+    /// change (`rebuild_candidates`).
+    haz_app: Vec<Option<StallVerdict>>,
+    haz_assist: Vec<Option<StallVerdict>>,
     /// App warps that have fully exited but not yet been reaped; gates the
     /// per-cycle `reap_warps` slot scan.
     done_unreaped: u32,
     injector: FaultInjector,
+    /// Instant-event buffer, drained by the GPU tracer in SM index order.
+    /// Empty unless `events_on` (set from `TraceConfig::events`).
+    events: Vec<TraceEvent>,
+    events_on: bool,
+    /// Per-SM metric shard (`MetricsLevel::Full` only): typed ids plus
+    /// dense storage, merged in SM index order at export.
+    metrics: Option<(SimMetricIds, MetricShard)>,
     // statistics
     breakdown: IssueBreakdown,
     app_instructions: u64,
@@ -169,6 +247,12 @@ pub struct Sm {
     lines_corrupted: u64,
     corruptions_detected: u64,
     corruption_refetches: u64,
+    /// Issue slots taken by high-priority assist warps ahead of parent
+    /// warps (the Fig. 13/14 "stolen slot" overhead).
+    assist_slots_stolen: u64,
+    /// Otherwise-idle issue slots reclaimed by low-priority assist warps
+    /// (§3.2.3).
+    assist_slots_reclaimed: u64,
 }
 
 impl std::fmt::Debug for Sm {
@@ -212,10 +296,16 @@ impl Sm {
             cand_parents: vec![Vec::new(); cfg.schedulers_per_sm],
             cand_lows: vec![Vec::new(); cfg.schedulers_per_sm],
             cand_dirty: true,
-            haz_app: vec![false; cfg.warps_per_sm],
-            haz_assist: vec![false; cfg.max_assist_warps],
+            haz_app: vec![None; cfg.warps_per_sm],
+            haz_assist: vec![None; cfg.max_assist_warps],
             done_unreaped: 0,
             injector: FaultInjector::for_stream(cfg.fault, stream::SM_BASE + id as u64),
+            events: Vec::new(),
+            events_on: cfg.observability.trace.is_some_and(|t| t.events),
+            metrics: cfg.observability.metrics.per_event().then(|| {
+                let (reg, ids) = sim_metrics_schema();
+                (ids, reg.shard())
+            }),
             breakdown: IssueBreakdown::new(),
             app_instructions: 0,
             assist_instructions: 0,
@@ -228,6 +318,8 @@ impl Sm {
             lines_corrupted: 0,
             corruptions_detected: 0,
             corruption_refetches: 0,
+            assist_slots_stolen: 0,
+            assist_slots_reclaimed: 0,
         }
     }
 
@@ -396,13 +488,13 @@ impl Sm {
                     WarpRef::App(slot) => {
                         if let (Some(w), Some(r)) = (self.warps[slot].as_mut(), wb.reg) {
                             w.warp.clear_pending(r);
-                            self.haz_app[slot] = false;
+                            self.haz_app[slot] = None;
                         }
                     }
                     WarpRef::Assist(slot) => {
                         if let (Some(a), Some(r)) = (self.assists[slot].as_mut(), wb.reg) {
                             a.warp.clear_pending(r);
-                            self.haz_assist[slot] = false;
+                            self.haz_assist[slot] = None;
                         }
                     }
                 }
@@ -421,7 +513,7 @@ impl Sm {
 
     /// Deploys at most one pending assist warp per cycle (the AWC's
     /// round-robin deployment, §3.4).
-    fn deploy_assist(&mut self) {
+    fn deploy_assist(&mut self, now: u64) {
         if self.assist_pending.is_empty() {
             return;
         }
@@ -455,6 +547,7 @@ impl Sm {
             }
         }
         self.age_seq += 1;
+        let high_priority = launch.priority == AssistPriority::High;
         self.assists[slot] = Some(AssistRt {
             warp,
             program: launch.program,
@@ -466,6 +559,19 @@ impl Sm {
         self.active_assist_count += 1;
         self.assist_launches += 1;
         self.cand_dirty = true;
+        if self.events_on {
+            self.events.push(TraceEvent {
+                cycle: now,
+                kind: TraceEventKind::AssistSpawn {
+                    sm: self.id,
+                    high_priority,
+                },
+            });
+        }
+        if let Some((ids, shard)) = &mut self.metrics {
+            shard.inc(ids.assist_spawned);
+            shard.set_max(ids.peak_active_assists, self.active_assist_count as u64);
+        }
     }
 
     fn finish_assists(&mut self, now: u64, shared: &mut SharedState<'_>) {
@@ -483,6 +589,15 @@ impl Sm {
             let a = self.assists[slot].take().expect("checked above");
             self.active_assist_count -= 1;
             self.cand_dirty = true;
+            if self.events_on {
+                self.events.push(TraceEvent {
+                    cycle: now,
+                    kind: TraceEventKind::AssistRetire { sm: self.id },
+                });
+            }
+            if let Some((ids, shard)) = &mut self.metrics {
+                shard.inc(ids.assist_retired);
+            }
             let outcome = match shared.design {
                 Design::Caba(ctrl) => {
                     let mut svc = SmServices {
@@ -547,6 +662,12 @@ impl Sm {
                         self.lines_corrupted += 1;
                         self.corruptions_detected += 1;
                         self.corruption_refetches += 1;
+                        if self.events_on {
+                            self.events.push(TraceEvent {
+                                cycle: now,
+                                kind: TraceEventKind::FillCorrupt { sm: self.id, addr },
+                            });
+                        }
                         self.out_reqs.push_back(OutReq {
                             addr,
                             is_write: false,
@@ -1136,8 +1257,8 @@ impl Sm {
     /// `fetch_for` at consideration time.
     fn rebuild_candidates(&mut self) {
         // Slots may have been reused since the memo was written.
-        self.haz_app.fill(false);
-        self.haz_assist.fill(false);
+        self.haz_app.fill(None);
+        self.haz_assist.fill(None);
         let nsched = self.cfg.schedulers_per_sm;
         for v in &mut self.cand_his {
             v.clear();
@@ -1177,10 +1298,39 @@ impl Sm {
         self.cand_dirty = false;
     }
 
+    /// Classifies a scoreboard hazard for `wr` blocked on `instr` into its
+    /// [`StallVerdict`]: waiting on memory data when the warp has loads in
+    /// flight, control-reconvergence when the blocked instruction steers
+    /// control flow, otherwise a plain in-pipeline dependency.
+    ///
+    /// Assist warps never raise their `outstanding_loads` (their load
+    /// tickets resolve straight to writebacks), so their hazards classify
+    /// as pipeline/control stalls — a small, documented approximation
+    /// (DESIGN.md "Observability").
+    fn classify_hazard(&self, wr: WarpRef, instr: &Instr) -> StallVerdict {
+        let outstanding = match wr {
+            WarpRef::App(s) => {
+                self.warps[s]
+                    .as_ref()
+                    .expect("resident")
+                    .warp
+                    .outstanding_loads
+            }
+            WarpRef::Assist(_) => 0,
+        };
+        if outstanding > 0 {
+            StallVerdict::HazardMem
+        } else if instr.steers_control() {
+            StallVerdict::HazardCtrl
+        } else {
+            StallVerdict::HazardSb
+        }
+    }
+
     /// Offers `wr` the issue slot: fetch, scoreboard/structural check, and
     /// issue on success. Returns whether it issued; on a block, folds the
-    /// stall reason into `verdict` (first blocked candidate wins, with
-    /// structural evidence preferred over data-dependence).
+    /// stall reason into `verdict` via [`fold_verdict`] (first blocked
+    /// candidate in priority order wins within an evidence tier).
     #[allow(clippy::too_many_arguments)]
     fn consider(
         &mut self,
@@ -1190,21 +1340,27 @@ impl Sm {
         kernel: &Kernel,
         shared: &mut SharedState<'_>,
         lsu_used: &mut bool,
-        verdict: &mut Option<StallKind>,
+        verdict: &mut Option<StallVerdict>,
     ) -> bool {
         let known_hazard = match wr {
             WarpRef::App(s) => self.haz_app[s],
             WarpRef::Assist(s) => self.haz_assist[s],
         };
-        if known_hazard {
-            // Same fold as a recomputed `IssueBlock::Hazard` below: it only
-            // claims an empty verdict (DataDependence never upgrades one).
-            if verdict.is_none() {
-                *verdict = Some(StallKind::DataDependence);
-            }
+        if let Some(h) = known_hazard {
+            // The memo stores the classified verdict, so this folds
+            // identically to the recomputed `IssueBlock::Hazard` path below.
+            *verdict = fold_verdict(*verdict, h);
             return false;
         }
         let Some(instr) = self.fetch_for(wr, kernel.program()) else {
+            // `fetch_for` skips done and barrier-parked warps. A live warp
+            // parked at a barrier is the paper's synchronization stall.
+            if let WarpRef::App(s) = wr {
+                let w = &self.warps[s].as_ref().expect("resident").warp;
+                if w.at_barrier && !w.done {
+                    *verdict = fold_verdict(*verdict, StallVerdict::Barrier);
+                }
+            }
             return false;
         };
         match self.check_issue(now, wr, &instr, !*lsu_used) {
@@ -1214,23 +1370,19 @@ impl Sm {
                 true
             }
             Err(block) => {
-                if block == IssueBlock::Hazard {
-                    match wr {
-                        WarpRef::App(s) => self.haz_app[s] = true,
-                        WarpRef::Assist(s) => self.haz_assist[s] = true,
+                let v = match block {
+                    IssueBlock::Hazard => {
+                        let h = self.classify_hazard(wr, &instr);
+                        match wr {
+                            WarpRef::App(s) => self.haz_app[s] = Some(h),
+                            WarpRef::Assist(s) => self.haz_assist[s] = Some(h),
+                        }
+                        h
                     }
-                }
-                let kind = match block {
-                    IssueBlock::Hazard => StallKind::DataDependence,
-                    IssueBlock::MemStructural => StallKind::MemoryStructural,
-                    IssueBlock::ComputeStructural => StallKind::ComputeStructural,
+                    IssueBlock::MemStructural => StallVerdict::MemStructural,
+                    IssueBlock::ComputeStructural => StallVerdict::ComputeStructural,
                 };
-                *verdict = Some(match (*verdict, kind) {
-                    (None, k) => k,
-                    (Some(StallKind::DataDependence), k @ StallKind::MemoryStructural)
-                    | (Some(StallKind::DataDependence), k @ StallKind::ComputeStructural) => k,
-                    (Some(v), _) => v,
-                });
+                *verdict = fold_verdict(*verdict, v);
                 false
             }
         }
@@ -1247,7 +1399,7 @@ impl Sm {
             self.rebuild_candidates();
         }
         for sched in 0..self.cfg.schedulers_per_sm {
-            let mut verdict: Option<StallKind> = None;
+            let mut verdict: Option<StallVerdict> = None;
             let mut issued = false;
 
             // High-priority assist warps first (decompression precedes
@@ -1258,6 +1410,9 @@ impl Sm {
                 issued = self.consider(now, sched, wr, kernel, shared, lsu_used, &mut verdict);
                 k += 1;
             }
+            // A high-priority assist issuing ahead of parent warps is the
+            // Fig. 13/14 "stolen" issue slot.
+            let issued_hi = issued;
 
             // ...then parent warps in policy order.
             if !issued {
@@ -1340,6 +1495,7 @@ impl Sm {
             // slot would otherwise be wasted on a stall, which is exactly
             // the "idle issue slot" the paper's low-priority assist warps
             // reclaim (§3.2.3).
+            let issued_before_low = issued;
             if !issued {
                 let mut k = 0;
                 while !issued && k < self.cand_lows[sched].len() {
@@ -1350,9 +1506,17 @@ impl Sm {
             }
 
             let slot = if issued {
-                StallKind::Active
+                if issued_hi {
+                    self.assist_slots_stolen += 1;
+                    StallKind::IssuedAssist
+                } else if !issued_before_low {
+                    self.assist_slots_reclaimed += 1;
+                    StallKind::IssuedAssist
+                } else {
+                    StallKind::IssuedApp
+                }
             } else {
-                verdict.unwrap_or(StallKind::Idle)
+                verdict.map(StallVerdict::bucket).unwrap_or(StallKind::Idle)
             };
             self.breakdown.record(slot);
             self.rr_cursor[sched] = self.rr_cursor[sched].wrapping_add(1);
@@ -1366,10 +1530,13 @@ impl Sm {
         self.process_writebacks(now);
         self.reap_warps();
         self.finish_assists(now, shared);
-        self.deploy_assist();
+        self.deploy_assist(now);
         let mut lsu_used = false;
         self.schedule(now, kernel, shared, &mut lsu_used);
         self.lsu_cycle(now, shared);
+        if let Some((ids, shard)) = &mut self.metrics {
+            shard.set_max(ids.peak_lsu_pending, self.lsu.pending() as u64);
+        }
     }
 
     /// The cheap stand-in for [`Sm::cycle`] on a quiesced SM. A full cycle
@@ -1431,6 +1598,20 @@ impl Sm {
         stats.lines_corrupted += self.lines_corrupted;
         stats.corruptions_detected += self.corruptions_detected;
         stats.corruption_refetches += self.corruption_refetches;
+        stats.assist_slots_stolen += self.assist_slots_stolen;
+        stats.assist_slots_reclaimed += self.assist_slots_reclaimed;
+    }
+
+    /// This SM's metric shard (`MetricsLevel::Full` only); the GPU merges
+    /// shards in SM index order at export.
+    pub(crate) fn metric_shard(&self) -> Option<&MetricShard> {
+        self.metrics.as_ref().map(|(_, s)| s)
+    }
+
+    /// Moves this SM's buffered instant events into `out` (called by the
+    /// GPU tracer in SM index order).
+    pub(crate) fn drain_events(&mut self, out: &mut Vec<TraceEvent>) {
+        out.append(&mut self.events);
     }
 
     // ----- integrity layer --------------------------------------------------
@@ -1515,6 +1696,22 @@ impl Sm {
                 detail,
             })
         };
+
+        // Fig. 1 conservation: the seven taxonomy buckets are mutually
+        // exclusive and exhaustive, so they must sum to exactly one record
+        // per scheduler per elapsed cycle (`idle_tick` keeps this true for
+        // clock-skipped SMs).
+        let expected_slots = cycle.saturating_mul(self.cfg.schedulers_per_sm as u64);
+        if self.breakdown.total() != expected_slots {
+            flag(format!(
+                "issue-slot taxonomy sums to {} but {} scheduler-slots have elapsed \
+                 ({} cycles x {} schedulers)",
+                self.breakdown.total(),
+                expected_slots,
+                cycle,
+                self.cfg.schedulers_per_sm
+            ));
+        }
 
         if self.mshr.outstanding() > self.mshr.capacity() {
             flag(format!(
@@ -1744,6 +1941,71 @@ mod tests {
         assert!(sm.breakdown().total() == 0);
         assert!(sm.staging_base() >= STAGING_BASE);
         assert!(format!("{sm:?}").contains("Sm"));
+    }
+
+    /// Pins the stall-verdict tiebreak (see [`fold_verdict`]): the first
+    /// blocked candidate in scheduler priority order wins within a tier,
+    /// and only strictly stronger evidence (structural > hazard > barrier)
+    /// replaces an earlier verdict. If this rule drifts from the order
+    /// `schedule` offers candidates in, Fig. 1 buckets are misattributed.
+    #[test]
+    fn verdict_fold_first_blocked_candidate_wins_within_tier() {
+        use StallVerdict::*;
+        // Empty verdicts are claimed by whatever comes first.
+        for v in [Barrier, HazardMem, HazardCtrl, HazardSb, MemStructural] {
+            assert_eq!(fold_verdict(None, v), Some(v));
+        }
+        // Within a tier the earlier (higher-priority) candidate wins.
+        assert_eq!(fold_verdict(Some(HazardMem), HazardSb), Some(HazardMem));
+        assert_eq!(fold_verdict(Some(HazardSb), HazardMem), Some(HazardSb));
+        assert_eq!(fold_verdict(Some(HazardCtrl), HazardSb), Some(HazardCtrl));
+        assert_eq!(
+            fold_verdict(Some(MemStructural), ComputeStructural),
+            Some(MemStructural)
+        );
+        assert_eq!(
+            fold_verdict(Some(ComputeStructural), MemStructural),
+            Some(ComputeStructural)
+        );
+        // A strictly stronger tier upgrades the verdict...
+        assert_eq!(fold_verdict(Some(Barrier), HazardSb), Some(HazardSb));
+        assert_eq!(
+            fold_verdict(Some(HazardMem), MemStructural),
+            Some(MemStructural)
+        );
+        assert_eq!(
+            fold_verdict(Some(Barrier), ComputeStructural),
+            Some(ComputeStructural)
+        );
+        // ...and a weaker one never downgrades it.
+        assert_eq!(
+            fold_verdict(Some(MemStructural), HazardMem),
+            Some(MemStructural)
+        );
+        assert_eq!(fold_verdict(Some(HazardSb), Barrier), Some(HazardSb));
+    }
+
+    #[test]
+    fn verdict_buckets_match_fig1_taxonomy() {
+        use StallVerdict::*;
+        assert_eq!(Barrier.bucket(), StallKind::Synchronization);
+        assert_eq!(HazardMem.bucket(), StallKind::MemoryData);
+        assert_eq!(MemStructural.bucket(), StallKind::MemoryData);
+        assert_eq!(HazardSb.bucket(), StallKind::ScoreboardPipeline);
+        assert_eq!(ComputeStructural.bucket(), StallKind::ScoreboardPipeline);
+        assert_eq!(HazardCtrl.bucket(), StallKind::ControlReconvergence);
+    }
+
+    #[test]
+    fn idle_tick_matches_a_real_idle_cycle() {
+        let cfg = GpuConfig::small();
+        let mut sm = Sm::new(0, cfg);
+        sm.idle_tick();
+        assert_eq!(
+            sm.breakdown().count(StallKind::Idle),
+            cfg.schedulers_per_sm as u64
+        );
+        assert_eq!(sm.breakdown().total(), cfg.schedulers_per_sm as u64);
     }
 
     #[test]

@@ -1,6 +1,13 @@
 //! Aggregated run statistics — every metric the paper's figures report.
+//!
+//! [`RunStats`] holds raw integer counters (and derives `Eq`, so determinism
+//! tests compare runs bit-for-bit). Every *derived* rate lives in
+//! [`StatsSummary`], produced by [`RunStats::summary`] — the single source
+//! of IPC, hit rates, utilization, and Fig. 1 issue-slot fractions for every
+//! report the workspace emits.
 
-use caba_stats::IssueBreakdown;
+use caba_stats::{json, IssueBreakdown, StallKind};
+use std::io::{self, Write};
 
 /// Statistics of one kernel run, aggregated over all SMs and partitions.
 ///
@@ -38,8 +45,19 @@ pub struct RunStats {
     pub md_lookups: u64,
     /// Metadata-cache misses (each cost an extra DRAM access).
     pub md_misses: u64,
+    /// DRAM burst-cycles spent servicing metadata-cache refills — the
+    /// MD-cache overhead the paper's Fig. 14 design space trades against
+    /// (§4.3.2).
+    pub md_stall_cycles: u64,
     /// Assist warps launched.
     pub assist_launches: u64,
+    /// Issue slots where a high-priority assist warp (decompression on the
+    /// critical fill path) issued ahead of ready application warps —
+    /// the Fig. 13 "assist steals a slot" overhead.
+    pub assist_slots_stolen: u64,
+    /// Issue slots where a low-priority assist warp issued in a slot no
+    /// application warp could use (free compute, §3.3).
+    pub assist_slots_reclaimed: u64,
     /// Store-buffer overflows (lines released uncompressed, §4.2.2 Ï).
     pub store_buffer_overflows: u64,
     /// Lines whose compression assist ran to completion.
@@ -68,62 +86,164 @@ pub struct RunStats {
     pub corruption_refetches: u64,
 }
 
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
 impl RunStats {
+    /// Computes every derived rate in one place. All reports (sweep JSON,
+    /// diagnostics, figure emitters) must go through this — never hand-roll
+    /// an IPC or hit-rate division elsewhere.
+    pub fn summary(&self) -> StatsSummary {
+        let mut issue_fractions = [0.0; StallKind::ALL.len()];
+        for (f, k) in issue_fractions.iter_mut().zip(StallKind::ALL) {
+            *f = self.breakdown.fraction(k);
+        }
+        StatsSummary {
+            cycles: self.cycles,
+            app_instructions: self.app_instructions,
+            assist_instructions: self.assist_instructions,
+            ipc: ratio(self.app_instructions, self.cycles),
+            assist_fraction: ratio(
+                self.assist_instructions,
+                self.app_instructions + self.assist_instructions,
+            ),
+            l1_hit_rate: ratio(self.l1_hits, self.l1_hits + self.l1_misses),
+            l2_hit_rate: ratio(self.l2_hits, self.l2_hits + self.l2_misses),
+            md_hit_rate: if self.md_lookups == 0 {
+                0.0
+            } else {
+                1.0 - ratio(self.md_misses, self.md_lookups)
+            },
+            bandwidth_utilization: ratio(self.dram_busy_cycles, self.dram_total_cycles),
+            icnt_flits: self.icnt_flits,
+            md_stall_cycles: self.md_stall_cycles,
+            assist_slots_stolen: self.assist_slots_stolen,
+            assist_slots_reclaimed: self.assist_slots_reclaimed,
+            issue_fractions,
+        }
+    }
+
     /// Instructions per cycle — the paper's primary performance metric (§5).
     pub fn ipc(&self) -> f64 {
-        if self.cycles == 0 {
-            0.0
-        } else {
-            self.app_instructions as f64 / self.cycles as f64
-        }
+        self.summary().ipc
     }
 
     /// DRAM data-bus utilization (the Figure 8 metric).
     pub fn bandwidth_utilization(&self) -> f64 {
-        if self.dram_total_cycles == 0 {
-            0.0
-        } else {
-            self.dram_busy_cycles as f64 / self.dram_total_cycles as f64
-        }
+        self.summary().bandwidth_utilization
     }
 
     /// MD-cache hit rate (§4.3.2; paper reports 85% average).
     pub fn md_hit_rate(&self) -> f64 {
-        if self.md_lookups == 0 {
-            0.0
-        } else {
-            1.0 - self.md_misses as f64 / self.md_lookups as f64
-        }
+        self.summary().md_hit_rate
     }
 
     /// L1 hit rate.
     pub fn l1_hit_rate(&self) -> f64 {
-        let t = self.l1_hits + self.l1_misses;
-        if t == 0 {
-            0.0
-        } else {
-            self.l1_hits as f64 / t as f64
-        }
+        self.summary().l1_hit_rate
     }
 
     /// L2 hit rate.
     pub fn l2_hit_rate(&self) -> f64 {
-        let t = self.l2_hits + self.l2_misses;
-        if t == 0 {
-            0.0
-        } else {
-            self.l2_hits as f64 / t as f64
-        }
+        self.summary().l2_hit_rate
     }
 
     /// Fraction of issued instructions that belonged to assist warps.
     pub fn assist_fraction(&self) -> f64 {
-        let t = self.app_instructions + self.assist_instructions;
-        if t == 0 {
-            0.0
-        } else {
-            self.assist_instructions as f64 / t as f64
+        self.summary().assist_fraction
+    }
+}
+
+/// Every derived rate of one run, plus the headline counters they came
+/// from — the single serializable summary consumed by sweep reports and
+/// figure emitters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StatsSummary {
+    /// Total GPU cycles to completion.
+    pub cycles: u64,
+    /// Application-warp instructions issued.
+    pub app_instructions: u64,
+    /// Assist-warp instructions issued.
+    pub assist_instructions: u64,
+    /// Application instructions per cycle.
+    pub ipc: f64,
+    /// Assist share of all issued instructions.
+    pub assist_fraction: f64,
+    /// L1 hit rate.
+    pub l1_hit_rate: f64,
+    /// L2 hit rate.
+    pub l2_hit_rate: f64,
+    /// Metadata-cache hit rate (0 when the design keeps no metadata).
+    pub md_hit_rate: f64,
+    /// DRAM data-bus utilization.
+    pub bandwidth_utilization: f64,
+    /// Interconnect flits, both directions.
+    pub icnt_flits: u64,
+    /// DRAM burst-cycles spent on metadata-cache refills.
+    pub md_stall_cycles: u64,
+    /// Issue slots a high-priority assist took from ready app warps.
+    pub assist_slots_stolen: u64,
+    /// Issue slots only an assist warp could use.
+    pub assist_slots_reclaimed: u64,
+    /// Fraction of scheduler issue slots in each Fig. 1 bucket, indexed
+    /// parallel to [`StallKind::ALL`].
+    pub issue_fractions: [f64; StallKind::ALL.len()],
+}
+
+impl StatsSummary {
+    /// Serializes the summary as one JSON object. Issue-slot fractions nest
+    /// under `"issue_fractions"`, keyed by [`StallKind::slug`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `w`.
+    pub fn write_json<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        write!(
+            w,
+            "{{\"cycles\": {}, \"app_instructions\": {}, \"assist_instructions\": {}, \
+             \"ipc\": {}, \"assist_fraction\": {}, \"l1_hit_rate\": {}, \
+             \"l2_hit_rate\": {}, \"md_hit_rate\": {}, \"bandwidth_utilization\": {}, \
+             \"icnt_flits\": {}, \"md_stall_cycles\": {}, \"assist_slots_stolen\": {}, \
+             \"assist_slots_reclaimed\": {}, \"issue_fractions\": {{",
+            self.cycles,
+            self.app_instructions,
+            self.assist_instructions,
+            json::fmt_f64(self.ipc),
+            json::fmt_f64(self.assist_fraction),
+            json::fmt_f64(self.l1_hit_rate),
+            json::fmt_f64(self.l2_hit_rate),
+            json::fmt_f64(self.md_hit_rate),
+            json::fmt_f64(self.bandwidth_utilization),
+            self.icnt_flits,
+            self.md_stall_cycles,
+            self.assist_slots_stolen,
+            self.assist_slots_reclaimed,
+        )?;
+        for (i, k) in StallKind::ALL.iter().enumerate() {
+            if i > 0 {
+                w.write_all(b", ")?;
+            }
+            write!(
+                w,
+                "\"{}\": {}",
+                json::escape(k.slug()),
+                json::fmt_f64(self.issue_fractions[i])
+            )?;
         }
+        w.write_all(b"}}")
+    }
+
+    /// [`StatsSummary::write_json`] into a `String`.
+    pub fn to_json(&self) -> String {
+        let mut buf = Vec::new();
+        self.write_json(&mut buf)
+            .expect("Vec<u8> writes are infallible");
+        String::from_utf8(buf).expect("JSON output is UTF-8")
     }
 }
 
@@ -164,5 +284,33 @@ mod tests {
         assert!((s.l1_hit_rate() - 0.75).abs() < 1e-12);
         assert!((s.l2_hit_rate() - 0.25).abs() < 1e-12);
         assert!((s.assist_fraction() - 50.0 / 300.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_json_is_valid_and_complete() {
+        let mut s = RunStats {
+            cycles: 100,
+            app_instructions: 250,
+            md_stall_cycles: 8,
+            assist_slots_stolen: 3,
+            assist_slots_reclaimed: 5,
+            ..Default::default()
+        };
+        for _ in 0..150 {
+            s.breakdown.record(StallKind::IssuedApp);
+        }
+        for _ in 0..50 {
+            s.breakdown.record(StallKind::MemoryData);
+        }
+        let sum = s.summary();
+        assert!((sum.issue_fractions[0] - 0.75).abs() < 1e-12);
+        let json_text = sum.to_json();
+        json::validate(&json_text).expect("summary JSON parses");
+        assert!(json_text.contains("\"ipc\": 2.5"));
+        assert!(json_text.contains("\"md_stall_cycles\": 8"));
+        assert!(json_text.contains("\"memory-data\": 0.25"));
+        // Delegating accessors and the summary must agree exactly.
+        assert_eq!(s.ipc(), sum.ipc);
+        assert_eq!(s.assist_fraction(), sum.assist_fraction);
     }
 }

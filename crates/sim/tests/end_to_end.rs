@@ -294,15 +294,20 @@ fn stall_breakdown_covers_all_cycles() {
     let cfg = GpuConfig::small();
     let slots = (cfg.num_sms * cfg.schedulers_per_sm) as u64;
     assert_eq!(stats.breakdown.total(), stats.cycles * slots);
-    assert!(stats.breakdown.fraction(caba_stats::StallKind::Active) > 0.0);
+    assert!(stats.breakdown.fraction(caba_stats::StallKind::IssuedApp) > 0.0);
+    // Issued slots are exactly the app-issued slots on a non-CABA design.
+    assert_eq!(
+        stats.breakdown.issued(),
+        stats.breakdown.count(caba_stats::StallKind::IssuedApp)
+    );
 }
 
 #[test]
 fn tracing_records_samples() {
     let n = 1024;
-    let mut gpu = Gpu::new(GpuConfig::small(), Design::Base);
+    let cfg = GpuConfig::small().with_trace(caba_sim::TraceConfig::sampled(32));
+    let mut gpu = Gpu::new(cfg, Design::Base);
     load_input(&mut gpu, n, 0x1_0000);
-    gpu.enable_tracing(32);
     let stats = gpu
         .run(&scale_kernel(n, 0x1_0000, 0x2_0000), 1_000_000)
         .unwrap();
@@ -310,13 +315,21 @@ fn tracing_records_samples() {
     assert!(!trace.samples.is_empty());
     assert!(trace.samples.len() as u64 <= stats.cycles / 32 + 1);
     // Samples are in cycle order and cover per-SM counters.
-    let cfg = GpuConfig::small();
     for w in trace.samples.windows(2) {
         assert!(w[0].cycle < w[1].cycle);
     }
     for s in &trace.samples {
         assert_eq!(s.app_issued.len(), cfg.num_sms);
+        assert_eq!(s.stalls.len(), cfg.num_sms);
     }
+    // Sampled stall deltas sum back to the run-total breakdown.
+    let sampled: u64 = trace
+        .samples
+        .iter()
+        .flat_map(|s| &s.stalls)
+        .map(|b| b.total())
+        .sum();
+    assert!(sampled <= stats.breakdown.total());
     // The per-interval issue counts sum back to the run totals.
     let total: u64 = trace
         .samples

@@ -360,3 +360,83 @@ fn try_new_rejects_invalid_configs() {
 
     assert!(Gpu::try_new(GpuConfig::small(), Design::Base).is_ok());
 }
+
+/// Full observability (event tracing + per-event metrics) is record-only:
+/// an observed run under fault injection is bit-identical to a blind one,
+/// the new taxonomy-conservation audit passes throughout, and the trace
+/// carries the injected faults as instant events.
+#[test]
+fn observability_is_record_only_and_audits_conserve_slots() {
+    use caba_sim::{MetricsLevel, TraceConfig, TraceEventKind};
+
+    let n = 2048;
+    let mut cfg = GpuConfig::small();
+    cfg.audit_interval = 64;
+    cfg.fault = FaultConfig {
+        corrupt_line_rate: 0.25,
+        dram_delay_rate: 0.2,
+        ..FaultConfig::recover(0xFA11, 0.05)
+    };
+    let run = |cfg: GpuConfig| {
+        let mut gpu = Gpu::new(
+            cfg,
+            Design::HwFull {
+                alg: Algorithm::Bdi,
+                ideal: false,
+            },
+        );
+        load_input(&mut gpu, n, 0x1_0000);
+        let stats = gpu
+            .run(&scale_kernel(n, 0x1_0000, 0x8_0000), 4_000_000)
+            .expect("recovery mode completes under full observability");
+        check_output(&gpu, n, 0x8_0000);
+        (stats, gpu)
+    };
+
+    let (blind, _) = run(cfg);
+    let observed_cfg = cfg
+        .with_trace(TraceConfig::full(16))
+        .with_metrics(MetricsLevel::Full);
+    let (stats, mut gpu) = run(observed_cfg);
+    assert_eq!(blind, stats, "observability changed architectural state");
+
+    // Conservation held at every audit (the run would have failed
+    // otherwise) and at the end of the run.
+    assert!(stats.audits_run > 0);
+    let slots = (cfg.num_sms * cfg.schedulers_per_sm) as u64;
+    assert_eq!(stats.breakdown.total(), stats.cycles * slots);
+
+    // Every injected fault class shows up as instant events.
+    let trace = gpu.take_trace().expect("tracing was on");
+    assert!(!trace.samples.is_empty());
+    let has = |f: fn(&TraceEventKind) -> bool| trace.events.iter().any(|e| f(&e.kind));
+    assert!(
+        has(|k| matches!(
+            k,
+            TraceEventKind::XbarDrop {
+                retransmitted: true
+            }
+        )),
+        "crossbar drops must be traced"
+    );
+    assert!(
+        has(|k| matches!(k, TraceEventKind::FillCorrupt { .. })),
+        "detected corruptions must be traced"
+    );
+    assert!(
+        has(|k| matches!(k, TraceEventKind::DramDelay { .. })),
+        "DRAM delay faults must be traced"
+    );
+    assert!(
+        caba_stats::json::validate(&trace.to_chrome_json()).is_ok(),
+        "fault-event trace must serialize to valid JSON"
+    );
+
+    // The metric snapshot exists and agrees with the stats it derives from.
+    let snap = gpu.metrics_snapshot(&stats).expect("metrics were on");
+    assert_eq!(snap.get("run.cycles"), Some(stats.cycles));
+    assert_eq!(
+        snap.get("issued-app"),
+        Some(stats.breakdown.count(caba_stats::StallKind::IssuedApp))
+    );
+}

@@ -7,8 +7,14 @@
 //!   in an external RNG crate.
 //! * [`Counter`] — a named saturating event counter.
 //! * [`StallKind`] / [`IssueBreakdown`] — the issue-cycle taxonomy of Figure 1
-//!   of the paper (Compute stalls, Memory stalls, Data-dependence stalls, Idle
-//!   cycles, Active cycles).
+//!   of the paper: issued-app / issued-assist slots plus memory-data,
+//!   scoreboard-or-pipeline, synchronization, control-reconvergence and
+//!   no-eligible-warp stalls.
+//! * [`metrics`] — a hierarchical metric registry with typed counter/gauge
+//!   handles resolved to dense indices at registration; per-worker shards
+//!   merge in index order so parallel runs stay bit-identical.
+//! * [`json`] — the hand-rolled JSON toolkit (escaping, float formatting,
+//!   and a minimal validating parser) shared by every report/trace emitter.
 //! * [`Table`] — a small fixed-width text table used by the benchmark
 //!   harnesses to print the rows/series each paper figure reports.
 //! * [`prop`] — a minimal deterministic property-test harness (seeded random
@@ -29,11 +35,14 @@
 //! ```
 
 pub mod fxhash;
+pub mod json;
+pub mod metrics;
 pub mod prop;
 pub mod rng;
 pub mod table;
 
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
+pub use metrics::{CounterId, GaugeId, MetricRegistry, MetricShard, MetricsLevel, MetricsSnapshot};
 pub use rng::Rng64;
 pub use table::Table;
 
@@ -94,47 +103,76 @@ impl fmt::Display for Counter {
     }
 }
 
-/// Why a warp scheduler failed to issue (or issued) in a given slot.
+/// How one scheduler issue slot was spent, in the Figure 1 taxonomy of the
+/// paper.
 ///
-/// This is exactly the five-way breakdown of Figure 1 in the paper:
-/// structural stalls on the memory pipeline, structural stalls on the compute
-/// (ALU) pipelines, data-dependence (scoreboard) stalls, idle cycles with no
-/// schedulable warp, and active cycles in which an instruction issued.
+/// Every cycle of every warp scheduler lands in exactly one bucket: either an
+/// instruction issued (split into application vs. assist-warp issue, the
+/// Fig. 13/14 overhead axis), or the slot stalled for one attributable
+/// reason, or no eligible warp existed at all. The buckets are mutually
+/// exclusive and collectively exhaustive, so
+/// `Σ buckets == cycles × schedulers × SMs` — an invariant the simulator's
+/// integrity audits enforce.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum StallKind {
-    /// The memory (load/store) pipeline was backed up — an instruction was
-    /// ready but could not enter the LSU.
-    MemoryStructural,
-    /// The ALU/SFU pipelines were backed up.
-    ComputeStructural,
-    /// The next instruction of every eligible warp waits on an earlier
-    /// long-latency result (scoreboard hazard).
-    DataDependence,
-    /// No warp had a decoded instruction available (empty instruction
-    /// buffers, barriers, or all warps already issued).
+    /// An application-warp instruction issued in this slot.
+    IssuedApp,
+    /// An assist-warp instruction issued in this slot (CABA designs only).
+    IssuedAssist,
+    /// Blocked waiting for data from the memory system: either the
+    /// scoreboard holds a register whose producing load is still in flight,
+    /// or a ready memory instruction could not enter the backed-up LSU.
+    MemoryData,
+    /// Blocked on the compute pipelines: a scoreboard hazard on an in-flight
+    /// ALU/SFU producer, or a structural stall on a busy SFU.
+    ScoreboardPipeline,
+    /// Every eligible warp is parked at a block-wide barrier.
+    Synchronization,
+    /// Blocked computing control flow: the next instruction steers the SIMT
+    /// stack (branch/reconvergence/predicate machinery) and waits on an
+    /// in-flight operand.
+    ControlReconvergence,
+    /// No warp had an issuable instruction for any other reason (no CTAs
+    /// resident yet, all warps done, instruction buffers drained).
     Idle,
-    /// At least one instruction issued this cycle.
-    Active,
 }
 
 impl StallKind {
-    /// All variants, in the display order used by Figure 1.
-    pub const ALL: [StallKind; 5] = [
-        StallKind::ComputeStructural,
-        StallKind::MemoryStructural,
-        StallKind::DataDependence,
+    /// All variants, in the display order used by Figure 1 (issue slots
+    /// first, then stalls from most to least memory-attributable).
+    pub const ALL: [StallKind; 7] = [
+        StallKind::IssuedApp,
+        StallKind::IssuedAssist,
+        StallKind::MemoryData,
+        StallKind::Synchronization,
+        StallKind::ScoreboardPipeline,
+        StallKind::ControlReconvergence,
         StallKind::Idle,
-        StallKind::Active,
     ];
 
     /// Short label used in report tables.
     pub fn label(self) -> &'static str {
         match self {
-            StallKind::ComputeStructural => "Compute Stalls",
-            StallKind::MemoryStructural => "Memory Stalls",
-            StallKind::DataDependence => "Data Dep Stalls",
+            StallKind::IssuedApp => "App Issue",
+            StallKind::IssuedAssist => "Assist Issue",
+            StallKind::MemoryData => "Memory Stalls",
+            StallKind::Synchronization => "Sync Stalls",
+            StallKind::ScoreboardPipeline => "Pipeline Stalls",
+            StallKind::ControlReconvergence => "Control Stalls",
             StallKind::Idle => "Idle Cycles",
-            StallKind::Active => "Active Cycles",
+        }
+    }
+
+    /// Stable kebab-case identifier used in JSON reports and trace tracks.
+    pub fn slug(self) -> &'static str {
+        match self {
+            StallKind::IssuedApp => "issued-app",
+            StallKind::IssuedAssist => "issued-assist",
+            StallKind::MemoryData => "memory-data",
+            StallKind::Synchronization => "synchronization",
+            StallKind::ScoreboardPipeline => "scoreboard-pipeline",
+            StallKind::ControlReconvergence => "control-reconvergence",
+            StallKind::Idle => "idle",
         }
     }
 }
@@ -146,9 +184,9 @@ impl fmt::Display for StallKind {
 }
 
 /// Per-scheduler-slot issue-cycle accounting (the Figure 1 stack).
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct IssueBreakdown {
-    counts: [u64; 5],
+    counts: [u64; 7],
 }
 
 impl IssueBreakdown {
@@ -159,11 +197,13 @@ impl IssueBreakdown {
 
     fn index(kind: StallKind) -> usize {
         match kind {
-            StallKind::ComputeStructural => 0,
-            StallKind::MemoryStructural => 1,
-            StallKind::DataDependence => 2,
-            StallKind::Idle => 3,
-            StallKind::Active => 4,
+            StallKind::IssuedApp => 0,
+            StallKind::IssuedAssist => 1,
+            StallKind::MemoryData => 2,
+            StallKind::ScoreboardPipeline => 3,
+            StallKind::Synchronization => 4,
+            StallKind::ControlReconvergence => 5,
+            StallKind::Idle => 6,
         }
     }
 
@@ -182,6 +222,11 @@ impl IssueBreakdown {
         self.counts.iter().sum()
     }
 
+    /// Slots in which any instruction issued (app or assist).
+    pub fn issued(&self) -> u64 {
+        self.count(StallKind::IssuedApp) + self.count(StallKind::IssuedAssist)
+    }
+
     /// Fraction (0..=1) of slots attributed to `kind`. Returns 0 when empty.
     pub fn fraction(&self, kind: StallKind) -> f64 {
         let total = self.total();
@@ -197,6 +242,22 @@ impl IssueBreakdown {
         for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
             *a += *b;
         }
+    }
+
+    /// Per-bucket difference `self - prev`, for interval samplers that turn
+    /// cumulative totals into rate tracks.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if any bucket of `prev` exceeds `self` (the
+    /// breakdown is monotone, so a sampler's previous snapshot can't).
+    pub fn delta(&self, prev: &IssueBreakdown) -> IssueBreakdown {
+        let mut d = IssueBreakdown::new();
+        for (i, (a, b)) in self.counts.iter().zip(prev.counts.iter()).enumerate() {
+            debug_assert!(a >= b, "bucket {i} went backwards");
+            d.counts[i] = a - b;
+        }
+        d
     }
 }
 
@@ -268,20 +329,22 @@ mod tests {
     #[test]
     fn breakdown_fractions_sum_to_one() {
         let mut b = IssueBreakdown::new();
-        b.record(StallKind::Active);
-        b.record(StallKind::Active);
+        b.record(StallKind::IssuedApp);
+        b.record(StallKind::IssuedApp);
+        b.record(StallKind::IssuedAssist);
         b.record(StallKind::Idle);
-        b.record(StallKind::MemoryStructural);
+        b.record(StallKind::MemoryData);
         let sum: f64 = StallKind::ALL.iter().map(|&k| b.fraction(k)).sum();
         assert!((sum - 1.0).abs() < 1e-12);
-        assert_eq!(b.count(StallKind::Active), 2);
-        assert_eq!(b.total(), 4);
+        assert_eq!(b.count(StallKind::IssuedApp), 2);
+        assert_eq!(b.issued(), 3);
+        assert_eq!(b.total(), 5);
     }
 
     #[test]
     fn breakdown_empty_fraction_is_zero() {
         let b = IssueBreakdown::new();
-        assert_eq!(b.fraction(StallKind::Active), 0.0);
+        assert_eq!(b.fraction(StallKind::IssuedApp), 0.0);
         assert_eq!(b.total(), 0);
     }
 
@@ -291,18 +354,33 @@ mod tests {
         a.record(StallKind::Idle);
         let mut b = IssueBreakdown::new();
         b.record(StallKind::Idle);
-        b.record(StallKind::ComputeStructural);
+        b.record(StallKind::ScoreboardPipeline);
         a.merge(&b);
         assert_eq!(a.count(StallKind::Idle), 2);
-        assert_eq!(a.count(StallKind::ComputeStructural), 1);
+        assert_eq!(a.count(StallKind::ScoreboardPipeline), 1);
         assert_eq!(a.total(), 3);
     }
 
     #[test]
-    fn stall_kind_labels_are_distinct() {
+    fn breakdown_delta_subtracts_per_bucket() {
+        let mut prev = IssueBreakdown::new();
+        prev.record(StallKind::IssuedApp);
+        let mut now = prev;
+        now.record(StallKind::IssuedApp);
+        now.record(StallKind::Synchronization);
+        let d = now.delta(&prev);
+        assert_eq!(d.count(StallKind::IssuedApp), 1);
+        assert_eq!(d.count(StallKind::Synchronization), 1);
+        assert_eq!(d.total(), 2);
+    }
+
+    #[test]
+    fn stall_kind_labels_and_slugs_are_distinct() {
         let labels: std::collections::HashSet<_> =
             StallKind::ALL.iter().map(|k| k.label()).collect();
         assert_eq!(labels.len(), StallKind::ALL.len());
+        let slugs: std::collections::HashSet<_> = StallKind::ALL.iter().map(|k| k.slug()).collect();
+        assert_eq!(slugs.len(), StallKind::ALL.len());
     }
 
     #[test]

@@ -29,6 +29,7 @@ use caba_compress::Algorithm;
 use caba_core::CabaController;
 use caba_energy::DesignKind;
 use caba_sim::{Design, GpuConfig, RunStats};
+use caba_stats::json::fmt_f64 as json_f64;
 use caba_workloads::{app, eval_apps, run_app};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -223,8 +224,27 @@ pub fn run_cells(sc: &SweepConfig, cells: &[SweepCell], jobs: usize) -> Vec<Cell
         .collect()
 }
 
-/// The ported figure sweeps.
+/// The ported figure sweeps run by the default `caba-sweep` invocation.
+/// (`fig01` has its own emitter binary and is resolvable via
+/// [`figure_cells`], but is not part of the default union.)
 pub const FIGURES: [&str; 3] = ["fig07", "fig10", "fig12"];
+
+/// Cells of Figure 1: evaluation apps × ½×/1×/2× bandwidth on the
+/// uncompressed baseline, from which the issue-slot taxonomy fractions are
+/// reported (see `caba-sweep`'s `fig01` binary).
+pub fn fig01_cells() -> Vec<SweepCell> {
+    let mut cells = Vec::new();
+    for a in eval_apps() {
+        for bw in [0.5, 1.0, 2.0] {
+            cells.push(SweepCell {
+                app: a.name,
+                design: DesignId::Base,
+                bw_scale: bw,
+            });
+        }
+    }
+    cells
+}
 
 /// Cells of Figure 7 (and 8/9, which reuse the same runs): evaluation apps
 /// × the five-design comparison at stock bandwidth.
@@ -281,9 +301,10 @@ pub fn fig12_cells() -> Vec<SweepCell> {
     cells
 }
 
-/// Cells of a figure by name (`"fig07"`, `"fig10"`, `"fig12"`).
+/// Cells of a figure by name (`"fig01"`, `"fig07"`, `"fig10"`, `"fig12"`).
 pub fn figure_cells(fig: &str) -> Option<Vec<SweepCell>> {
     match fig {
+        "fig01" => Some(fig01_cells()),
         "fig07" => Some(fig07_cells()),
         "fig10" => Some(fig10_cells()),
         "fig12" => Some(fig12_cells()),
@@ -391,27 +412,17 @@ impl SweepReport {
         for (i, r) in self.results.iter().enumerate() {
             let sep = if i + 1 == self.results.len() { "" } else { "," };
             s.push_str(&format!(
-                "    {{\"app\": \"{}\", \"design\": \"{}\", \"bw\": {}, \"cycles\": {}, \"wall_s\": {}, \"cycles_per_sec\": {}}}{sep}\n",
+                "    {{\"app\": \"{}\", \"design\": \"{}\", \"bw\": {}, \"wall_s\": {}, \"cycles_per_sec\": {}, \"summary\": {}}}{sep}\n",
                 r.cell.app,
                 r.cell.design.label(),
                 json_f64(r.cell.bw_scale),
-                r.stats.cycles,
                 json_f64(r.wall_s),
                 json_f64(r.stats.cycles as f64 / r.wall_s.max(1e-9)),
+                r.stats.summary().to_json(),
             ));
         }
         s.push_str("  ]\n}\n");
         s
-    }
-}
-
-/// Formats an `f64` as a JSON number (always finite, never `NaN`-literal).
-fn json_f64(x: f64) -> String {
-    if x.is_finite() {
-        let s = format!("{x:.6}");
-        s.trim_end_matches('0').trim_end_matches('.').to_string()
-    } else {
-        "0".to_string()
     }
 }
 
@@ -456,11 +467,27 @@ mod tests {
             ref_wall_s: None,
             parallel_wall_s: 0.5,
             deterministic: Some(true),
-            results: vec![],
+            results: vec![CellResult {
+                cell: SweepCell {
+                    app: "CONS",
+                    design: DesignId::Base,
+                    bw_scale: 1.0,
+                },
+                stats: RunStats {
+                    cycles: 100,
+                    app_instructions: 250,
+                    ..Default::default()
+                },
+                wall_s: 0.5,
+            }],
         };
         let j = r.to_json();
+        caba_stats::json::validate(&j).expect("report JSON parses");
         assert!(j.contains("\"speedup\": 4"), "{j}");
         assert!(j.contains("\"deterministic\": true"), "{j}");
+        // Derived rates come from RunStats::summary(), nested per cell.
+        assert!(j.contains("\"summary\": {\"cycles\": 100"), "{j}");
+        assert!(j.contains("\"ipc\": 2.5"), "{j}");
         assert!(j.ends_with("]\n}\n"), "{j}");
     }
 

@@ -89,6 +89,52 @@ fn intra_jobs_is_bit_identical_to_serial() {
     }
 }
 
+/// Figure 1 bucket totals must be bit-identical across intra-run worker
+/// counts: the issue-slot taxonomy is recorded per scheduler inside the
+/// sharded SM phase and merged at serial points in SM index order, so no
+/// worker schedule may perturb a single bucket. Checked explicitly
+/// per-bucket (not just through `RunStats` equality) together with the
+/// conservation law `Σ buckets == cycles × schedulers × SMs`.
+#[test]
+fn fig01_bucket_totals_identical_across_intra_jobs() {
+    use caba_stats::StallKind;
+    let cfg = GpuConfig::small();
+    let slots_per_cycle = (cfg.num_sms * cfg.schedulers_per_sm) as u64;
+    for app_name in ["CONS", "BFS"] {
+        for design in [DesignId::Base, DesignId::CabaBdi] {
+            let spec = app(app_name).expect("known app");
+            let mut reference = None;
+            for jobs in [1, 2, 4] {
+                let mut c = cfg;
+                c.intra_jobs = jobs;
+                let stats = run_app(&spec, c, design.make(), 0.05).unwrap_or_else(|e| {
+                    panic!("{app_name}/{} @ intra_jobs={jobs}: {e}", design.label())
+                });
+                assert_eq!(
+                    stats.breakdown.total(),
+                    stats.cycles * slots_per_cycle,
+                    "{app_name}/{} @ intra_jobs={jobs}: taxonomy leaks slots",
+                    design.label()
+                );
+                match &reference {
+                    None => reference = Some(stats.breakdown),
+                    Some(r) => {
+                        for k in StallKind::ALL {
+                            assert_eq!(
+                                stats.breakdown.count(k),
+                                r.count(k),
+                                "{app_name}/{} @ intra_jobs={jobs}: bucket {} diverged",
+                                design.label(),
+                                k.slug()
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn intra_jobs_is_bit_identical_under_fault_injection() {
     // Fault streams are keyed per component (per-SM, per-partition, one

@@ -26,10 +26,10 @@ fn main() {
             cells.push(s.cycles);
             if bw == 1.0 {
                 profile = format!(
-                    "mem {:.0}% dep {:.0}% active {:.0}%",
-                    s.breakdown.fraction(StallKind::MemoryStructural) * 100.0,
-                    s.breakdown.fraction(StallKind::DataDependence) * 100.0,
-                    s.breakdown.fraction(StallKind::Active) * 100.0
+                    "mem {:.0}% sb {:.0}% issued {:.0}%",
+                    s.breakdown.fraction(StallKind::MemoryData) * 100.0,
+                    s.breakdown.fraction(StallKind::ScoreboardPipeline) * 100.0,
+                    s.breakdown.fraction(StallKind::IssuedApp) * 100.0
                 );
             }
         }
