@@ -40,6 +40,7 @@ pub use bdi::{Bdi, BdiEncoding};
 pub use cpack::CPack;
 pub use fpc::Fpc;
 
+use caba_stats::snap::{SnapError, SnapshotReader, SnapshotState, SnapshotWriter};
 use std::fmt;
 
 /// Default cache line size (bytes), matching GPGPU-Sim's 128 B lines and
@@ -143,6 +144,40 @@ impl fmt::Display for Algorithm {
     }
 }
 
+impl SnapshotState for Algorithm {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.u8(match self {
+            Algorithm::Bdi => 0,
+            Algorithm::Fpc => 1,
+            Algorithm::CPack => 2,
+        });
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapError> {
+        match r.u8()? {
+            0 => Ok(Algorithm::Bdi),
+            1 => Ok(Algorithm::Fpc),
+            2 => Ok(Algorithm::CPack),
+            t => Err(SnapError::BadTag {
+                what: "Algorithm",
+                tag: t as u64,
+            }),
+        }
+    }
+}
+
+impl SnapshotState for BdiEncoding {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.u8(self.id());
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapError> {
+        let id = r.u8()?;
+        BdiEncoding::from_id(id).ok_or(SnapError::BadTag {
+            what: "BdiEncoding",
+            tag: id as u64,
+        })
+    }
+}
+
 /// A compressed cache line.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct CompressedLine {
@@ -194,6 +229,23 @@ impl CompressedLine {
                 Err(_) => false,
             }
         }
+    }
+}
+
+impl SnapshotState for CompressedLine {
+    fn save(&self, w: &mut SnapshotWriter) {
+        self.algorithm.save(w);
+        w.u8(self.encoding);
+        w.bytes(&self.payload);
+        w.usize(self.original_len);
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapError> {
+        Ok(CompressedLine {
+            algorithm: Algorithm::load(r)?,
+            encoding: r.u8()?,
+            payload: r.bytes()?.to_vec(),
+            original_len: r.usize()?,
+        })
     }
 }
 

@@ -13,14 +13,16 @@ use crate::subroutines::{
 };
 use caba_compress::bdi::{Bdi, BdiEncoding};
 use caba_compress::{Algorithm, BestOfAll, CompressedLine, Compressor};
-use caba_isa::Reg;
+use caba_isa::{Program, Reg};
 use caba_mem::func::LineCompressor;
 use caba_mem::LINE_SIZE;
 use caba_sim::{
     AssistController, AssistLaunch, AssistOutcome, AssistPriority, FillAction, FillInfo,
     SmServices, StoreAction, StoreInfo,
 };
+use caba_stats::snap::{SnapError, SnapshotReader, SnapshotWriter};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Which compression algorithm(s) this controller drives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -458,6 +460,195 @@ impl AssistController for CabaController {
         // routines' requirement is added to the per-block allocation).
         9
     }
+
+    fn snap_save(&self, w: &mut SnapshotWriter) {
+        // `mode`/`paranoid`/`decompress_priority` come from the design the
+        // restoring GPU was built with, and the assist-warp store is a pure
+        // program memoization — only per-run state is serialized, with both
+        // maps in sorted key order for byte-stable output.
+        let mut tags: Vec<u64> = self.inflight.keys().copied().collect();
+        tags.sort_unstable();
+        w.usize(tags.len());
+        for tag in tags {
+            w.u64(tag);
+            save_inflight(&self.inflight[&tag], w);
+        }
+        // A pool absent from `free_slots` is *not* an empty pool: the lazy
+        // `alloc_slot` initializer refills an absent entry, so presence is
+        // state. Vec order is preserved (slots are popped from the end).
+        let mut sms: Vec<usize> = self.free_slots.keys().copied().collect();
+        sms.sort_unstable();
+        w.usize(sms.len());
+        for sm in sms {
+            let pool = &self.free_slots[&sm];
+            w.usize(sm);
+            w.usize(pool.len());
+            for &slot in pool {
+                w.u64(slot);
+            }
+        }
+        w.u64(self.next_tag);
+        w.u64(self.stats.decompressions);
+        w.u64(self.stats.compressions);
+        w.u64(self.stats.compression_failures);
+        w.u64(self.stats.slot_fallbacks);
+        w.u64(self.stats.stale_recompressions);
+    }
+
+    fn snap_load(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapError> {
+        self.inflight.clear();
+        let n = r.seq_len("CABA in-flight operations", 17)?;
+        for _ in 0..n {
+            let tag = r.u64()?;
+            self.inflight.insert(tag, load_inflight(r)?);
+        }
+        self.free_slots.clear();
+        let pools = r.seq_len("CABA slot pools", 16)?;
+        for _ in 0..pools {
+            let sm = r.usize()?;
+            let len = r.seq_len("CABA slot pool", 8)?;
+            if len > SLOTS_PER_SM as usize {
+                return Err(SnapError::Invariant {
+                    what: "slot pool exceeds SLOTS_PER_SM",
+                });
+            }
+            let mut pool = Vec::with_capacity(len);
+            for _ in 0..len {
+                pool.push(r.u64()?);
+            }
+            self.free_slots.insert(sm, pool);
+        }
+        self.next_tag = r.u64()?;
+        self.stats = CabaStats {
+            decompressions: r.u64()?,
+            compressions: r.u64()?,
+            compression_failures: r.u64()?,
+            slot_fallbacks: r.u64()?,
+            stale_recompressions: r.u64()?,
+        };
+        Ok(())
+    }
+
+    fn subroutine_programs(&self) -> Vec<Arc<Program>> {
+        // The subroutine key space is finite; a fresh store generates the
+        // identical (content-hash-equal) programs the live per-SM stores
+        // memoized.
+        let mut aws = AssistWarpStore::new();
+        let mut out = Vec::new();
+        for enc in BdiEncoding::ALL {
+            out.push(aws.get(SubroutineKey::BdiDecompress(enc)));
+        }
+        for enc in crate::subroutines::CABA_COMPRESS_ENCODINGS {
+            out.push(aws.get(SubroutineKey::BdiCompress(enc)));
+        }
+        for alg in [Algorithm::Fpc, Algorithm::CPack] {
+            out.push(aws.get(SubroutineKey::SerialDecompress(alg)));
+            out.push(aws.get(SubroutineKey::SerialCompress(alg)));
+        }
+        out
+    }
+}
+
+fn alg_tag(a: Algorithm) -> u8 {
+    match a {
+        Algorithm::Bdi => 0,
+        Algorithm::Fpc => 1,
+        Algorithm::CPack => 2,
+    }
+}
+
+fn alg_from_tag(tag: u8) -> Result<Algorithm, SnapError> {
+    match tag {
+        0 => Ok(Algorithm::Bdi),
+        1 => Ok(Algorithm::Fpc),
+        2 => Ok(Algorithm::CPack),
+        tag => Err(SnapError::BadTag {
+            what: "compression algorithm",
+            tag: tag.into(),
+        }),
+    }
+}
+
+fn save_inflight(e: &Inflight, w: &mut SnapshotWriter) {
+    match e {
+        Inflight::BdiDecompress {
+            addr,
+            slot,
+            expected,
+        } => {
+            w.u8(0);
+            w.u64(*addr);
+            w.u64(*slot);
+            w.bytes(expected);
+        }
+        Inflight::SerialDecompress { addr, slot } => {
+            w.u8(1);
+            w.u64(*addr);
+            w.u64(*slot);
+        }
+        Inflight::BdiCompress {
+            addr,
+            slot,
+            enc,
+            snapshot,
+        } => {
+            w.u8(2);
+            w.u64(*addr);
+            w.u64(*slot);
+            w.u8(enc.id());
+            w.bytes(snapshot);
+        }
+        Inflight::SerialCompress {
+            addr,
+            slot,
+            alg,
+            snapshot,
+        } => {
+            w.u8(3);
+            w.u64(*addr);
+            w.u64(*slot);
+            w.u8(alg_tag(*alg));
+            w.bytes(snapshot);
+        }
+    }
+}
+
+fn load_inflight(r: &mut SnapshotReader<'_>) -> Result<Inflight, SnapError> {
+    Ok(match r.u8()? {
+        0 => Inflight::BdiDecompress {
+            addr: r.u64()?,
+            slot: r.u64()?,
+            expected: r.bytes()?.to_vec(),
+        },
+        1 => Inflight::SerialDecompress {
+            addr: r.u64()?,
+            slot: r.u64()?,
+        },
+        2 => Inflight::BdiCompress {
+            addr: r.u64()?,
+            slot: r.u64()?,
+            enc: {
+                let id = r.u8()?;
+                BdiEncoding::from_id(id).ok_or(SnapError::BadTag {
+                    what: "BDI encoding",
+                    tag: id.into(),
+                })?
+            },
+            snapshot: r.bytes()?.to_vec(),
+        },
+        3 => Inflight::SerialCompress {
+            addr: r.u64()?,
+            slot: r.u64()?,
+            alg: alg_from_tag(r.u8()?)?,
+            snapshot: r.bytes()?.to_vec(),
+        },
+        tag => {
+            return Err(SnapError::BadTag {
+                what: "in-flight CABA operation",
+                tag: tag.into(),
+            })
+        }
+    })
 }
 
 #[cfg(test)]
@@ -523,5 +714,101 @@ mod tests {
             }
         }
         assert_eq!(n, SLOTS_PER_SM);
+    }
+
+    #[test]
+    fn controller_snapshot_round_trips_byte_identically() {
+        let mut c = CabaController::bdi();
+        // Drive real allocator/tag state plus one of each in-flight shape.
+        let s0 = c.alloc_slot(0, 0x1000).unwrap();
+        let s1 = c.alloc_slot(2, 0x3000).unwrap();
+        let t0 = c.take_tag();
+        let t1 = c.take_tag();
+        c.inflight.insert(
+            t0,
+            Inflight::BdiDecompress {
+                addr: 0x8000,
+                slot: s0,
+                expected: vec![7u8; LINE_SIZE],
+            },
+        );
+        c.inflight.insert(
+            t1,
+            Inflight::BdiCompress {
+                addr: 0x8040,
+                slot: s1,
+                enc: BdiEncoding::B8D2,
+                snapshot: vec![3u8; LINE_SIZE],
+            },
+        );
+        let t2 = c.take_tag();
+        c.inflight.insert(
+            t2,
+            Inflight::SerialCompress {
+                addr: 0x8080,
+                slot: 0x42,
+                alg: Algorithm::CPack,
+                snapshot: vec![9u8; LINE_SIZE],
+            },
+        );
+        let t3 = c.take_tag();
+        c.inflight.insert(
+            t3,
+            Inflight::SerialDecompress {
+                addr: 0x80C0,
+                slot: 0x43,
+            },
+        );
+        c.stats.compressions = 11;
+        c.stats.slot_fallbacks = 2;
+
+        let mut w = SnapshotWriter::new();
+        c.snap_save(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut fresh = CabaController::bdi();
+        let mut r = SnapshotReader::new(&bytes);
+        fresh.snap_load(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(fresh.next_tag, c.next_tag);
+        assert_eq!(fresh.stats, c.stats);
+        assert_eq!(fresh.free_slots, c.free_slots);
+
+        let mut w2 = SnapshotWriter::new();
+        fresh.snap_save(&mut w2);
+        assert_eq!(w2.into_bytes(), bytes, "re-save must be byte-identical");
+    }
+
+    #[test]
+    fn subroutine_table_covers_every_launchable_program() {
+        let c = CabaController::best_of_all();
+        let programs = c.subroutine_programs();
+        // 8 BDI decompressors + 7 BDI compressors + 2 serial pairs.
+        assert_eq!(programs.len(), 8 + 7 + 4);
+        // A hash either names one program or several content-identical
+        // ones — restore-by-hash can never resolve to the wrong bytes.
+        let mut by_hash: HashMap<u64, String> = HashMap::new();
+        for p in &programs {
+            let rendered = format!("{p:?}");
+            match by_hash.entry(p.content_hash()) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    assert_eq!(e.get(), &rendered, "hash collision on distinct programs")
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(rendered);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_controller_snapshot_is_rejected() {
+        let mut w = SnapshotWriter::new();
+        CabaController::bdi().snap_save(&mut w);
+        let mut bytes = w.into_bytes();
+        bytes[0] ^= 0x40; // absurd in-flight count
+        let mut fresh = CabaController::bdi();
+        let mut r = SnapshotReader::new(&bytes);
+        assert!(fresh.snap_load(&mut r).is_err());
     }
 }

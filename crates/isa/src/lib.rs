@@ -624,6 +624,34 @@ impl Program {
         }
         m
     }
+
+    /// Deterministic content hash over the instruction sequence.
+    ///
+    /// Snapshots identify in-flight programs by this hash instead of
+    /// serializing instruction encodings: subroutine programs are enumerable
+    /// from the controller at restore time, so a hash lookup reconstructs
+    /// the exact `Arc<Program>`. Uses the repo's seed-free `FxHasher`, so the
+    /// value is stable across runs and platforms.
+    pub fn content_hash(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = caba_stats::fxhash::FxHasher::default();
+        self.instrs.len().hash(&mut h);
+        for i in &self.instrs {
+            i.hash(&mut h);
+        }
+        h.finish()
+    }
+}
+
+impl caba_stats::snap::SnapshotState for Reg {
+    fn save(&self, w: &mut caba_stats::snap::SnapshotWriter) {
+        w.u16(self.0);
+    }
+    fn load(
+        r: &mut caba_stats::snap::SnapshotReader<'_>,
+    ) -> Result<Self, caba_stats::snap::SnapError> {
+        Ok(Reg(r.u16()?))
+    }
 }
 
 #[cfg(test)]

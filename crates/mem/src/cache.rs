@@ -2,6 +2,7 @@
 //! compressed-cache mode of §6.5 / Figure 13, and MSHRs.
 
 use crate::{line_base, LINE_SIZE};
+use caba_stats::snap::{SnapError, SnapshotReader, SnapshotState, SnapshotWriter};
 use caba_stats::FxHashMap;
 
 /// Geometry of a cache.
@@ -263,6 +264,62 @@ impl Cache {
     pub fn resident_lines(&self) -> usize {
         self.sets.iter().map(|s| s.len()).sum()
     }
+
+    /// Serializes tag state and counters. Geometry is not serialized: it is
+    /// derived from the config, which the snapshot container pins by hash.
+    pub fn snap_save(&self, w: &mut SnapshotWriter) {
+        w.u64(self.use_clock);
+        w.u64(self.hits);
+        w.u64(self.misses);
+        w.usize(self.sets.len());
+        for set in &self.sets {
+            w.usize(set.len());
+            for l in set {
+                w.u64(l.tag);
+                w.bool(l.dirty);
+                w.usize(l.size);
+                w.u64(l.last_use);
+            }
+        }
+    }
+
+    /// Restores tag state in place into a cache built with the same geometry.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`SnapError::Invariant`] when the serialized set count
+    /// disagrees with this cache's geometry, or with a decode error for
+    /// malformed bytes. On error the cache contents are unspecified but the
+    /// call never panics.
+    pub fn snap_load(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapError> {
+        self.use_clock = r.u64()?;
+        self.hits = r.u64()?;
+        self.misses = r.u64()?;
+        let n_sets = r.usize()?;
+        if n_sets != self.geo.sets() {
+            return Err(SnapError::Invariant {
+                what: "cache set count mismatch",
+            });
+        }
+        for set in &mut self.sets {
+            let n = r.seq_len("cache set", 8)?;
+            if n > self.geo.tags_per_set() {
+                return Err(SnapError::Invariant {
+                    what: "cache set exceeds tag budget",
+                });
+            }
+            set.clear();
+            for _ in 0..n {
+                set.push(LineState {
+                    tag: r.u64()?,
+                    dirty: r.bool()?,
+                    size: r.usize()?,
+                    last_use: r.u64()?,
+                });
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Miss-status holding registers: track outstanding line fills and merge
@@ -342,6 +399,46 @@ impl<T> Mshr<T> {
     /// and conservation audits).
     pub fn iter(&self) -> impl Iterator<Item = (u64, &[T])> {
         self.entries.iter().map(|(addr, ws)| (*addr, ws.as_slice()))
+    }
+}
+
+impl<T: SnapshotState> Mshr<T> {
+    /// Serializes outstanding entries (in sorted line order, so the encoding
+    /// is hasher-independent; waiter order within a line is preserved
+    /// exactly) plus the merge counter. Capacity is config-derived and not
+    /// serialized.
+    pub fn snap_save(&self, w: &mut SnapshotWriter) {
+        w.u64(self.merged);
+        let mut keys: Vec<u64> = self.entries.keys().copied().collect();
+        keys.sort_unstable();
+        w.usize(keys.len());
+        for k in keys {
+            w.u64(k);
+            self.entries[&k].save(w);
+        }
+    }
+
+    /// Restores outstanding entries in place.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the bytes are malformed or the entry count exceeds this
+    /// MSHR file's capacity.
+    pub fn snap_load(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapError> {
+        self.merged = r.u64()?;
+        let n = r.seq_len("mshr entries", 8)?;
+        if n > self.capacity {
+            return Err(SnapError::Invariant {
+                what: "mshr entries exceed capacity",
+            });
+        }
+        self.entries.clear();
+        for _ in 0..n {
+            let k = r.u64()?;
+            let ws = Vec::<T>::load(r)?;
+            self.entries.insert(k, ws);
+        }
+        Ok(())
     }
 }
 

@@ -9,6 +9,7 @@
 //! transfer in 1–4 bursts instead of always 4, which is where every
 //! bandwidth saving in Figures 7–12 comes from.
 
+use caba_stats::snap::{SnapError, SnapshotReader, SnapshotState, SnapshotWriter};
 use std::collections::VecDeque;
 
 /// Timing and geometry of one DRAM channel.
@@ -79,6 +80,23 @@ pub struct DramRequest {
     pub bursts: u32,
     /// Write (true) or read (false).
     pub is_write: bool,
+}
+
+impl SnapshotState for DramRequest {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.u64(self.id);
+        w.u64(self.addr);
+        w.u32(self.bursts);
+        w.bool(self.is_write);
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapError> {
+        Ok(DramRequest {
+            id: r.u64()?,
+            addr: r.u64()?,
+            bursts: r.u32()?,
+            is_write: r.bool()?,
+        })
+    }
 }
 
 /// Counters exposed by a channel.
@@ -304,6 +322,72 @@ impl DramChannel {
     /// Statistics so far.
     pub fn stats(&self) -> DramStats {
         self.stats
+    }
+
+    /// Serializes the full channel state: clock, banks, queues, in-flight
+    /// transfers, completions, bus/activate timestamps and counters. The
+    /// config is not serialized (pinned by the snapshot container's config
+    /// hash).
+    pub fn snap_save(&self, w: &mut SnapshotWriter) {
+        w.u64(self.now);
+        w.usize(self.banks.len());
+        for b in &self.banks {
+            b.open_row.save(w);
+            w.u64(b.ready_at);
+            w.u64(b.activated_at);
+        }
+        self.queue.save(w);
+        self.in_flight.save(w);
+        self.completed.save(w);
+        w.u64(self.bus_free_at);
+        w.u64(self.last_activate);
+        w.u64(self.stats.bus_busy_cycles);
+        w.u64(self.stats.total_cycles);
+        w.u64(self.stats.row_hits);
+        w.u64(self.stats.row_misses);
+        w.u64(self.stats.reads);
+        w.u64(self.stats.writes);
+        w.u64(self.stats.bursts);
+    }
+
+    /// Restores channel state in place into a channel built with the same
+    /// config.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the serialized bank count disagrees with this channel's
+    /// config or the bytes are malformed.
+    pub fn snap_load(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapError> {
+        self.now = r.u64()?;
+        let n_banks = r.usize()?;
+        if n_banks != self.banks.len() {
+            return Err(SnapError::Invariant {
+                what: "dram bank count mismatch",
+            });
+        }
+        for b in &mut self.banks {
+            b.open_row = Option::<u64>::load(r)?;
+            b.ready_at = r.u64()?;
+            b.activated_at = r.u64()?;
+        }
+        self.queue = VecDeque::<DramRequest>::load(r)?;
+        if self.queue.len() > self.cfg.queue_capacity {
+            return Err(SnapError::Invariant {
+                what: "dram queue exceeds capacity",
+            });
+        }
+        self.in_flight = Vec::<(u64, DramRequest)>::load(r)?;
+        self.completed = VecDeque::<DramRequest>::load(r)?;
+        self.bus_free_at = r.u64()?;
+        self.last_activate = r.u64()?;
+        self.stats.bus_busy_cycles = r.u64()?;
+        self.stats.total_cycles = r.u64()?;
+        self.stats.row_hits = r.u64()?;
+        self.stats.row_misses = r.u64()?;
+        self.stats.reads = r.u64()?;
+        self.stats.writes = r.u64()?;
+        self.stats.bursts = r.u64()?;
+        Ok(())
     }
 }
 

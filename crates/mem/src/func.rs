@@ -136,6 +136,34 @@ impl FuncMem {
     }
 }
 
+impl caba_stats::snap::SnapshotState for FuncMem {
+    /// Pages are serialized in ascending page order so the encoding is
+    /// hasher-independent.
+    fn save(&self, w: &mut caba_stats::snap::SnapshotWriter) {
+        let mut keys: Vec<u64> = self.pages.keys().copied().collect();
+        keys.sort_unstable();
+        w.usize(keys.len());
+        for k in keys {
+            w.u64(k);
+            w.raw(&self.pages[&k][..]);
+        }
+    }
+
+    fn load(
+        r: &mut caba_stats::snap::SnapshotReader<'_>,
+    ) -> Result<Self, caba_stats::snap::SnapError> {
+        let n = r.seq_len("func pages", 8 + PAGE_SIZE)?;
+        let mut mem = FuncMem::new();
+        for _ in 0..n {
+            let k = r.u64()?;
+            let mut page = Box::new([0u8; PAGE_SIZE]);
+            page.copy_from_slice(r.raw(PAGE_SIZE)?);
+            mem.pages.insert(k, page);
+        }
+        Ok(mem)
+    }
+}
+
 /// Which compressor a [`CompressionMap`] applies per line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LineCompressor {

@@ -8,6 +8,7 @@
 //! this is why those designs win on the interconnect-bound applications the
 //! paper calls out (bfs, mst; §6.1).
 
+use caba_stats::snap::{SnapError, SnapshotReader, SnapshotState, SnapshotWriter};
 use std::collections::VecDeque;
 use std::fmt;
 
@@ -315,6 +316,72 @@ impl<T> Crossbar<T> {
     /// Per-output queue capacity.
     pub fn queue_capacity(&self) -> usize {
         self.queue_capacity
+    }
+}
+
+impl<T: SnapshotState> Crossbar<T> {
+    /// Serializes the clock, every queued/delivered packet (with remaining
+    /// flits and delivery deadlines) and the traffic counters. Port counts
+    /// and latency are config-derived and not serialized.
+    pub fn snap_save(&self, w: &mut SnapshotWriter) {
+        w.u64(self.now);
+        w.usize(self.queues.len());
+        for q in &self.queues {
+            w.usize(q.len());
+            for f in q {
+                f.payload.save(w);
+                w.u32(f.flits_left);
+                w.u64(f.min_deliver_at);
+            }
+        }
+        for d in &self.delivered {
+            d.save(w);
+        }
+        w.u64(self.total_flits);
+        w.u64(self.total_packets);
+        w.u64(self.busy_cycles);
+    }
+
+    /// Restores crossbar state in place into a crossbar with the same shape.
+    /// The derived `queued_pkts` / `delivered_pkts` counts are recomputed.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the serialized output-port count disagrees with this
+    /// crossbar or the bytes are malformed.
+    pub fn snap_load(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapError> {
+        self.now = r.u64()?;
+        let n_out = r.usize()?;
+        if n_out != self.queues.len() {
+            return Err(SnapError::Invariant {
+                what: "crossbar output count mismatch",
+            });
+        }
+        for q in &mut self.queues {
+            let n = r.seq_len("crossbar queue", 8)?;
+            if n > self.queue_capacity {
+                return Err(SnapError::Invariant {
+                    what: "crossbar queue exceeds capacity",
+                });
+            }
+            q.clear();
+            for _ in 0..n {
+                q.push_back(Flit {
+                    payload: T::load(r)?,
+                    flits_left: r.u32()?,
+                    min_deliver_at: r.u64()?,
+                });
+            }
+        }
+        for d in &mut self.delivered {
+            *d = VecDeque::<T>::load(r)?;
+        }
+        self.total_flits = r.u64()?;
+        self.total_packets = r.u64()?;
+        self.busy_cycles = r.u64()?;
+        self.queued_pkts = self.queues.iter().map(|q| q.len()).sum();
+        self.delivered_pkts = self.delivered.iter().map(|d| d.len()).sum();
+        Ok(())
     }
 }
 

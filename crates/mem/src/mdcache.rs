@@ -83,6 +83,23 @@ impl MdCache {
     pub fn misses(&self) -> u64 {
         self.cache.misses()
     }
+
+    /// Serializes the underlying tag state and counters.
+    pub fn snap_save(&self, w: &mut caba_stats::snap::SnapshotWriter) {
+        self.cache.snap_save(w);
+    }
+
+    /// Restores tag state in place.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying cache decode errors.
+    pub fn snap_load(
+        &mut self,
+        r: &mut caba_stats::snap::SnapshotReader<'_>,
+    ) -> Result<(), caba_stats::snap::SnapError> {
+        self.cache.snap_load(r)
+    }
 }
 
 #[cfg(test)]

@@ -12,6 +12,7 @@
 use caba_compress::{Algorithm, CompressedLine};
 use caba_isa::{Program, Reg};
 use caba_mem::{line_base, SharedCmap, SharedMem, LINE_SIZE};
+use caba_stats::snap::{SnapError, SnapshotReader, SnapshotState, SnapshotWriter};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -158,6 +159,30 @@ pub trait AssistController {
     fn extra_regs_per_thread(&self) -> u32 {
         8
     }
+
+    /// Serializes controller-internal per-run state (in-flight operations,
+    /// slot free lists, tag counters). Stateless controllers keep the no-op
+    /// default; stateful ones (the CABA controller in `caba-core`) override
+    /// both this and [`AssistController::snap_load`] as an exact pair.
+    fn snap_save(&self, _w: &mut SnapshotWriter) {}
+
+    /// Restores state written by [`AssistController::snap_save`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed bytes; the default (stateless) impl never fails.
+    fn snap_load(&mut self, _r: &mut SnapshotReader<'_>) -> Result<(), SnapError> {
+        Ok(())
+    }
+
+    /// Every subroutine program this controller can launch. Snapshots store
+    /// in-flight assist programs by content hash
+    /// ([`Program::content_hash`]); restore resolves the hashes against this
+    /// enumeration, so a controller that launches assist warps must list its
+    /// full (finite) subroutine set here.
+    fn subroutine_programs(&self) -> Vec<Arc<Program>> {
+        Vec::new()
+    }
 }
 
 /// How a line is currently stored in L2/DRAM.
@@ -209,6 +234,69 @@ impl LineStore {
     /// Number of explicit overrides (diagnostics).
     pub fn overrides(&self) -> usize {
         self.overrides.len()
+    }
+}
+
+impl SnapshotState for AssistPriority {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.u8(match self {
+            AssistPriority::High => 0,
+            AssistPriority::Low => 1,
+        });
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapError> {
+        match r.u8()? {
+            0 => Ok(AssistPriority::High),
+            1 => Ok(AssistPriority::Low),
+            t => Err(SnapError::BadTag {
+                what: "AssistPriority",
+                tag: t as u64,
+            }),
+        }
+    }
+}
+
+impl SnapshotState for StoredForm {
+    fn save(&self, w: &mut SnapshotWriter) {
+        match self {
+            StoredForm::Raw => w.u8(0),
+            StoredForm::Compressed(c) => {
+                w.u8(1);
+                c.save(w);
+            }
+        }
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapError> {
+        match r.u8()? {
+            0 => Ok(StoredForm::Raw),
+            1 => Ok(StoredForm::Compressed(CompressedLine::load(r)?)),
+            t => Err(SnapError::BadTag {
+                what: "StoredForm",
+                tag: t as u64,
+            }),
+        }
+    }
+}
+
+impl SnapshotState for LineStore {
+    /// Overrides are serialized in ascending line order (hasher-independent).
+    fn save(&self, w: &mut SnapshotWriter) {
+        let mut keys: Vec<u64> = self.overrides.keys().copied().collect();
+        keys.sort_unstable();
+        w.usize(keys.len());
+        for k in keys {
+            w.u64(k);
+            self.overrides[&k].save(w);
+        }
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapError> {
+        let n = r.seq_len("line-store overrides", 9)?;
+        let mut ls = LineStore::new();
+        for _ in 0..n {
+            let k = r.u64()?;
+            ls.overrides.insert(k, StoredForm::load(r)?);
+        }
+        Ok(ls)
     }
 }
 

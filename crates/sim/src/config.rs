@@ -104,6 +104,12 @@ pub struct GpuConfig {
     /// (the barrier-phased engine). 1 = serial. Results are bit-identical
     /// for any value; this knob trades wall-clock for cores.
     pub intra_jobs: usize,
+    /// Take a rolling in-memory machine snapshot every N cycles during
+    /// `Gpu::run` (0 disables). Record-only — snapshots never change timing
+    /// — and the basis for time-travel hang forensics: on a watchdog abort
+    /// the last periodic snapshot is replayed with full tracing (see
+    /// DESIGN.md "Checkpoint/restore and crash recovery").
+    pub checkpoint_interval: u64,
 }
 
 impl GpuConfig {
@@ -142,6 +148,7 @@ impl GpuConfig {
             fault: FaultConfig::disabled(),
             observability: ObservabilityConfig::default(),
             intra_jobs: 1,
+            checkpoint_interval: 0,
         }
     }
 

@@ -25,6 +25,7 @@
 //! errors naming the faulting component.
 
 use caba_compress::CompressedLine;
+use caba_stats::snap::{SnapError, SnapshotReader, SnapshotState, SnapshotWriter};
 use caba_stats::Rng64;
 
 /// What the simulated machine does when an injected fault fires.
@@ -159,6 +160,23 @@ impl FaultInjector {
         self.cfg.enabled && self.rng.chance(self.cfg.corrupt_line_rate)
     }
 
+    /// Serializes the injector's RNG position (the config is part of
+    /// [`GpuConfig`](crate::GpuConfig) and is re-supplied at restore).
+    pub fn snap_save(&self, w: &mut SnapshotWriter) {
+        self.rng.save(w);
+    }
+
+    /// Restores the RNG position in place, so the fault schedule continues
+    /// exactly where the snapshot left off.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed bytes.
+    pub fn snap_load(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapError> {
+        self.rng = Rng64::load(r)?;
+        Ok(())
+    }
+
     /// Flips payload bits of `line` until it no longer round-trips to
     /// `truth`, returning true on success.
     ///
@@ -185,6 +203,30 @@ impl FaultInjector {
         }
         false
     }
+}
+
+/// Dedicated stream id for [`corrupt_snapshot`] (disjoint from the
+/// component streams in [`stream`]).
+const SNAPSHOT_STREAM: u64 = 0x5A5A;
+
+/// Flips one deterministically chosen bit of a serialized snapshot,
+/// modeling storage/transfer corruption of a checkpoint file. Returns the
+/// `(byte, bit)` flipped, or `None` when the buffer is empty.
+///
+/// The position derives from `seed` alone, so a given corruption is
+/// reproducible — the integrity tests use this to prove that *any* flipped
+/// bit makes [`Gpu::restore`](crate::Gpu::restore) reject the snapshot with
+/// a checksum error instead of loading corrupt machine state.
+pub fn corrupt_snapshot(bytes: &mut [u8], seed: u64) -> Option<(usize, u8)> {
+    if bytes.is_empty() {
+        return None;
+    }
+    let mut rng = Rng64::for_stream(seed, SNAPSHOT_STREAM);
+    let bit_index = rng.range_u64(bytes.len() as u64 * 8);
+    let byte = (bit_index / 8) as usize;
+    let bit = (bit_index % 8) as u8;
+    bytes[byte] ^= 1 << bit;
+    Some((byte, bit))
 }
 
 #[cfg(test)]
@@ -250,6 +292,50 @@ mod tests {
             );
             assert!(!victim.round_trips_to(&line_bytes));
         }
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_deterministic_and_flips_one_bit() {
+        let original: Vec<u8> = (0..251u32).map(|i| (i * 7) as u8).collect();
+        let mut a = original.clone();
+        let mut b = original.clone();
+        let pa = corrupt_snapshot(&mut a, 99).expect("non-empty");
+        let pb = corrupt_snapshot(&mut b, 99).expect("non-empty");
+        assert_eq!(pa, pb, "same seed, same flipped bit");
+        assert_eq!(a, b);
+        let diffs: Vec<usize> = (0..original.len())
+            .filter(|&i| a[i] != original[i])
+            .collect();
+        assert_eq!(diffs, vec![pa.0], "exactly one byte differs");
+        assert_eq!(
+            a[pa.0] ^ original[pa.0],
+            1 << pa.1,
+            "exactly one bit flipped"
+        );
+        // A different seed (eventually) picks a different bit.
+        let mut c = original.clone();
+        let pc = corrupt_snapshot(&mut c, 100).expect("non-empty");
+        assert_ne!(pa, pc);
+        assert_eq!(corrupt_snapshot(&mut [], 1), None);
+    }
+
+    #[test]
+    fn injector_snapshot_resumes_rng_stream() {
+        let cfg = FaultConfig::recover(42, 0.25);
+        let mut live = injector(cfg);
+        for _ in 0..123 {
+            live.drop_packet();
+        }
+        let mut w = SnapshotWriter::new();
+        live.snap_save(&mut w);
+        let bytes = w.into_bytes();
+        let mut restored = injector(cfg);
+        let mut r = SnapshotReader::new(&bytes);
+        restored.snap_load(&mut r).expect("round trip");
+        r.finish().expect("no trailing bytes");
+        let a: Vec<bool> = (0..200).map(|_| live.drop_packet()).collect();
+        let b: Vec<bool> = (0..200).map(|_| restored.drop_packet()).collect();
+        assert_eq!(a, b, "restored stream must continue identically");
     }
 
     #[test]

@@ -7,17 +7,20 @@ use crate::config::{ConfigError, Design, GpuConfig};
 use crate::fault::{stream, FaultInjector, FaultMode};
 use crate::integrity::{Component, HangReport, Violation};
 use crate::mempart::{PartReq, PartResp, Partition};
-use crate::observe::{sim_metrics_schema, TraceConfig};
+use crate::observe::{sim_metrics_schema, ObservabilityConfig, TraceConfig};
 use crate::shard::{self, PhaseCtl, QuitGuard, ShardPtrs, SmDelta, PHASE_PART, PHASE_SM};
 use crate::sm::{OutReq, SharedState, Sm};
+use crate::snapshot::{self, RestoreError};
 use crate::stats::RunStats;
 use crate::trace::{ActivityTrace, Sample, TraceEvent, TraceEventKind, Tracer};
-use caba_isa::Kernel;
+use caba_isa::{Kernel, Program};
 use caba_mem::{
     CmapDelta, CompressionMap, Crossbar, FuncMem, IngressLanes, SharedCmap, SharedMem, LINE_SIZE,
 };
-use caba_stats::{FxHashMap, MetricsSnapshot, StallKind};
+use caba_stats::snap::{SnapError, SnapshotReader, SnapshotState, SnapshotWriter};
+use caba_stats::{FxHashMap, MetricsLevel, MetricsSnapshot, StallKind};
 use std::fmt;
+use std::sync::Arc;
 
 /// Error returned by [`Gpu::run`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -148,6 +151,17 @@ pub struct Gpu {
     audits_run: u64,
     flits_dropped: u64,
     flit_retransmissions: u64,
+    /// CTA dispatch cursor. Lives on the machine (not the run loop) so a
+    /// restored snapshot resumes dispatch exactly where it left off.
+    next_cta: u32,
+    /// Cycle the current run epoch started at. [`Gpu::run`] resets it to
+    /// `now`; [`Gpu::resume`] continues the epoch, so cycle budgets,
+    /// watchdog strides, and audit schedules count from the original start.
+    run_start: u64,
+    /// Most recent periodic machine snapshot, `(cycle, container bytes)`,
+    /// taken every [`GpuConfig::checkpoint_interval`] cycles. Feeds
+    /// time-travel hang forensics and fork-from-checkpoint sweeps.
+    last_checkpoint: Option<(u64, Vec<u8>)>,
 }
 
 impl Gpu {
@@ -169,12 +183,7 @@ impl Gpu {
     /// [`GpuConfig::validate`].
     pub fn try_new(cfg: GpuConfig, design: Design) -> Result<Self, ConfigError> {
         cfg.validate()?;
-        let cmap = design.mem_compressed().then(|| match &design {
-            Design::Caba(c) => CompressionMap::new(c.selector()),
-            d => CompressionMap::new(caba_mem::func::LineCompressor::Fixed(
-                d.algorithm().expect("compressed design has an algorithm"),
-            )),
-        });
+        let cmap = Self::build_cmap(&design);
         let with_md = design.mem_compressed();
         Ok(Gpu {
             cfg,
@@ -200,6 +209,21 @@ impl Gpu {
             audits_run: 0,
             flits_dropped: 0,
             flit_retransmissions: 0,
+            next_cta: 0,
+            run_start: 0,
+            last_checkpoint: None,
+        })
+    }
+
+    /// The reference compression map for one design point — a pure
+    /// memoization of per-line compressed forms, rebuilt from scratch by
+    /// [`Gpu::restore`] rather than serialized.
+    fn build_cmap(design: &Design) -> Option<CompressionMap> {
+        design.mem_compressed().then(|| match design {
+            Design::Caba(c) => CompressionMap::new(c.selector()),
+            d => CompressionMap::new(caba_mem::func::LineCompressor::Fixed(
+                d.algorithm().expect("compressed design has an algorithm"),
+            )),
         })
     }
 
@@ -475,7 +499,46 @@ impl Gpu {
                 .iter()
                 .map(|(&(sm, line), e)| (self.now.saturating_sub(e.issued_at), sm, line))
                 .max_by_key(|&(age, sm, line)| (age, sm, line)),
+            trace_path: None,
         }
+    }
+
+    /// Time-travel hang forensics: re-execute the window from the most
+    /// recent periodic checkpoint to the hang in a fresh replay GPU with
+    /// full tracing enabled, and write the Chrome-trace JSON to the system
+    /// temp directory. Returns the written path, or `None` when no
+    /// checkpoint exists or any replay step fails — forensics must never
+    /// turn a hang into a panic.
+    fn hang_forensics(&self, kernel: &Kernel) -> Option<String> {
+        let (_, bytes) = self.last_checkpoint.as_ref()?;
+        let hang_cycle = self.now;
+        let mut cfg = self.cfg;
+        cfg.observability = ObservabilityConfig {
+            trace: Some(TraceConfig::full(1)),
+            metrics: MetricsLevel::Off,
+        };
+        // Replay serially and without taking further checkpoints. Both
+        // knobs (like observability) are outside the config hash, and both
+        // are record-only: the replayed window is bit-identical to the
+        // original run, which is exactly what makes the trace evidence.
+        cfg.intra_jobs = 1;
+        cfg.checkpoint_interval = 0;
+        let mut replay = Gpu::try_new(cfg, self.design.fork()).ok()?;
+        replay.restore(kernel, bytes).ok()?;
+        // The budget lands the replay timeout exactly on the hang cycle;
+        // the replay's own watchdog (baseline reset at resume) can fire no
+        // earlier, and a re-hang at the same cycle is equally final.
+        match replay.resume(kernel, hang_cycle - replay.run_start) {
+            Err(RunError::Timeout { .. } | RunError::Hang { .. }) => {}
+            _ => return None,
+        }
+        let trace = replay.take_trace()?;
+        let path = std::env::temp_dir().join(format!(
+            "caba-hang-{}-c{hang_cycle}.trace.json",
+            self.design.label().to_lowercase()
+        ));
+        std::fs::write(&path, trace.to_chrome_json()).ok()?;
+        Some(path.display().to_string())
     }
 
     /// Raw pointers into the shardable state, captured once per run. The
@@ -517,6 +580,27 @@ impl Gpu {
     /// * [`RunError::AuditFailed`] — a structural invariant audit
     ///   ([`GpuConfig::audit_interval`]) found violations.
     pub fn run(&mut self, kernel: &Kernel, max_cycles: u64) -> Result<RunStats, RunError> {
+        self.next_cta = 0;
+        self.run_start = self.now;
+        self.last_checkpoint = None;
+        self.run_phases(kernel, max_cycles)
+    }
+
+    /// Continues a run — typically after [`Gpu::restore`], or after
+    /// [`Gpu::run`] returned [`RunError::Timeout`] (the machine is left
+    /// intact at the cycle boundary). Unlike `run`, the CTA dispatch cursor
+    /// and the epoch start are *not* reset, and `max_cycles` counts from the
+    /// original epoch start: `run(k, C)` to a timeout followed by
+    /// `resume(k, M)` is bit-identical to an unbroken `run(k, M)`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Gpu::run`].
+    pub fn resume(&mut self, kernel: &Kernel, max_cycles: u64) -> Result<RunStats, RunError> {
+        self.run_phases(kernel, max_cycles)
+    }
+
+    fn run_phases(&mut self, kernel: &Kernel, max_cycles: u64) -> Result<RunStats, RunError> {
         // More workers than SMs would own empty shards: clamp.
         let jobs = self.cfg.intra_jobs.min(self.cfg.num_sms).max(1);
         let ptrs = self.shard_ptrs();
@@ -550,10 +634,14 @@ impl Gpu {
             _ => 0,
         };
         let grid = kernel.dims().grid_dim;
-        let mut next_cta: u32 = 0;
-        let start = self.now;
+        let mut next_cta: u32 = self.next_cta;
+        let start = self.run_start;
+        let ckpt = self.cfg.checkpoint_interval;
         let mut last_sig = self.progress_signature();
-        let mut last_progress = start;
+        // Watchdog baselines restart at every run/resume entry (`self.now`,
+        // not the epoch start): the watchdog never mutates machine state, so
+        // this only delays detection, never changes a completing run.
+        let mut last_progress = self.now;
         // The progress signature scans every SM and partition, so it is
         // sampled every `wd_stride` cycles instead of every cycle. Hang
         // detection latency grows by at most one stride; completing runs
@@ -565,11 +653,24 @@ impl Gpu {
         loop {
             let now = self.now;
             if now - start >= max_cycles {
+                self.next_cta = next_cta;
                 self.catch_up_parts();
                 return Err(RunError::Timeout {
                     cycles: max_cycles,
                     report: Box::new(self.hang_report(kernel, next_cta, grid)),
                 });
+            }
+
+            // Periodic rolling checkpoint (record-only; the snapshot is a
+            // pure read of the cycle-boundary state).
+            if ckpt != 0
+                && now != start
+                && (now - start).is_multiple_of(ckpt)
+                && self.last_checkpoint.as_ref().is_none_or(|(c, _)| *c != now)
+            {
+                self.next_cta = next_cta;
+                let bytes = self.snapshot(kernel);
+                self.last_checkpoint = Some((now, bytes));
             }
 
             // 1. CTA dispatch (round-robin over SMs) — serial.
@@ -691,11 +792,14 @@ impl Gpu {
                     last_sig = sig;
                     last_progress = self.now;
                 } else if self.now - last_progress >= wd_window {
+                    self.next_cta = next_cta;
                     self.catch_up_parts();
+                    let mut report = Box::new(self.hang_report(kernel, next_cta, grid));
+                    report.trace_path = self.hang_forensics(kernel);
                     return Err(RunError::Hang {
                         cycles: self.now - start,
                         window: wd_window,
-                        report: Box::new(self.hang_report(kernel, next_cta, grid)),
+                        report,
                     });
                 }
             }
@@ -707,6 +811,7 @@ impl Gpu {
                 self.audits_run += 1;
                 let violations = self.audit(self.now);
                 if !violations.is_empty() {
+                    self.next_cta = next_cta;
                     return Err(RunError::AuditFailed {
                         cycle: self.now,
                         violations,
@@ -729,6 +834,7 @@ impl Gpu {
             }
         }
 
+        self.next_cta = next_cta;
         self.catch_up_parts();
         Ok(self.collect_stats(self.now - start))
     }
@@ -934,5 +1040,287 @@ impl Gpu {
         stats.flits_dropped = self.flits_dropped;
         stats.flit_retransmissions = self.flit_retransmissions;
         stats
+    }
+
+    /// The cycle counter. Advances across [`Gpu::run`]/[`Gpu::resume`]
+    /// calls; a restored snapshot continues from the snapshot's cycle.
+    pub fn cycle(&self) -> u64 {
+        self.now
+    }
+
+    /// The most recent periodic checkpoint taken during a run with
+    /// [`GpuConfig::checkpoint_interval`] > 0, as `(cycle, container
+    /// bytes)`.
+    pub fn last_checkpoint(&self) -> Option<(u64, &[u8])> {
+        self.last_checkpoint
+            .as_ref()
+            .map(|(c, b)| (*c, b.as_slice()))
+    }
+
+    /// Serializes the complete machine state — functional memory, every SM
+    /// (warps, scoreboards, L1, MSHRs, store buffer, assist runtime), every
+    /// partition (L2, MSHRs, MD cache, DRAM channel and retry/delay
+    /// queues), both crossbars, the compressed-line store, per-SM CABA
+    /// controller state, every fault-injection RNG stream, and the
+    /// in-flight request ledger — into a versioned, checksummed container
+    /// that [`Gpu::restore`] accepts.
+    ///
+    /// Must be called at a cycle boundary: between `run`/`resume` calls, or
+    /// after [`RunError::Timeout`] (which leaves the machine intact at the
+    /// boundary). The run loop's own periodic checkpoints satisfy this by
+    /// construction.
+    pub fn snapshot(&self, kernel: &Kernel) -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        w.raw(snapshot::MAGIC);
+        w.u32(snapshot::FORMAT_VERSION);
+        w.u64(snapshot::config_hash(&self.cfg));
+        w.str(&self.design.label());
+        w.u64(kernel.program().content_hash());
+        self.payload_save(&mut w);
+        snapshot::seal(w)
+    }
+
+    /// Restores machine state from a [`Gpu::snapshot`] container into this
+    /// GPU, which must have been built with an equivalent configuration
+    /// (everything but observability, checkpointing, and worker-count
+    /// knobs), the same design point, and be given the same kernel.
+    ///
+    /// The container checksum is verified *before* any state is decoded —
+    /// corrupt bytes are rejected with [`RestoreError::ChecksumMismatch`]
+    /// and never loaded. A mid-payload decode error
+    /// ([`RestoreError::Malformed`]) can only come from a version-skew bug,
+    /// but it still leaves this GPU partially overwritten: discard it.
+    ///
+    /// # Errors
+    ///
+    /// Every [`RestoreError`] variant names the specific rejection.
+    pub fn restore(&mut self, kernel: &Kernel, bytes: &[u8]) -> Result<(), RestoreError> {
+        self.restore_inner(kernel, bytes, false)
+    }
+
+    /// Restores a **baseline** snapshot into this GPU even when this GPU
+    /// models a different design — the fork step of a differential sweep.
+    /// The warm-up prefix runs once on [`Design::Base`]; every design under
+    /// comparison then forks from the identical machine state, so post-fork
+    /// differences are attributable to the design alone (the warm-checkpoint
+    /// methodology of sampled simulation).
+    ///
+    /// Only a `Base` snapshot is forkable across designs: the baseline
+    /// carries no compression state, so the restored machine is exactly
+    /// "this design, having made no compression decisions yet" —
+    /// compression maps, compressed-line stores, and controller slots start
+    /// empty and populate from the fork point on. Fork into a *freshly
+    /// constructed* GPU: design-specific state the snapshot does not cover
+    /// is left as built. A snapshot of this GPU's own design restores
+    /// exactly as [`Gpu::restore`] would.
+    ///
+    /// # Errors
+    ///
+    /// As [`Gpu::restore`], except [`RestoreError::DesignMismatch`] is only
+    /// returned for a cross-design snapshot that is not `Base`.
+    pub fn restore_fork(&mut self, kernel: &Kernel, bytes: &[u8]) -> Result<(), RestoreError> {
+        self.restore_inner(kernel, bytes, true)
+    }
+
+    fn restore_inner(
+        &mut self,
+        kernel: &Kernel,
+        bytes: &[u8],
+        fork: bool,
+    ) -> Result<(), RestoreError> {
+        let body = snapshot::verify_sealed(bytes)?;
+        let mut r = SnapshotReader::new(body);
+        if r.raw(snapshot::MAGIC.len())? != snapshot::MAGIC {
+            return Err(RestoreError::BadMagic);
+        }
+        let version = r.u32()?;
+        if version != snapshot::FORMAT_VERSION {
+            return Err(RestoreError::VersionMismatch { found: version });
+        }
+        if r.u64()? != snapshot::config_hash(&self.cfg) {
+            return Err(RestoreError::ConfigHashMismatch);
+        }
+        let label = r.string()?;
+        let forked = label != self.design.label();
+        if forked && !(fork && label == "Base") {
+            return Err(RestoreError::DesignMismatch { found: label });
+        }
+        if r.u64()? != kernel.program().content_hash() {
+            return Err(RestoreError::KernelMismatch);
+        }
+        self.payload_load(&mut r, forked)?;
+        r.finish()?;
+        Ok(())
+    }
+
+    /// Serializes everything [`Gpu::restore`] needs to continue the run.
+    /// Deliberately absent: the compression map (a pure memoization,
+    /// rebuilt empty), the tracer and event buffers (record-only), the
+    /// phase-engine deltas and ingress lanes (empty at every cycle
+    /// boundary), and the rolling checkpoint itself.
+    fn payload_save(&self, w: &mut SnapshotWriter) {
+        w.u64(self.now);
+        w.u64(self.run_start);
+        w.u32(self.next_cta);
+        self.mem.save(w);
+        self.line_store.save(w);
+        w.usize(self.sms.len());
+        for sm in &self.sms {
+            sm.snap_save(w);
+        }
+        for d in &self.sm_designs {
+            if let Design::Caba(c) = d {
+                c.snap_save(w);
+            }
+        }
+        w.usize(self.parts.len());
+        for p in &self.parts {
+            p.snap_save(w);
+        }
+        self.xbar_fwd.snap_save(w);
+        self.xbar_rsp.snap_save(w);
+        let mut ledger: Vec<(usize, u64, u64, u8)> = self
+            .ledger
+            .iter()
+            .map(|(&(sm, line), e)| {
+                let stage = match e.stage {
+                    Stage::RequestXbar => 0u8,
+                    Stage::Partition => 1,
+                    Stage::ResponseXbar => 2,
+                };
+                (sm, line, e.issued_at, stage)
+            })
+            .collect();
+        ledger.sort_unstable_by_key(|&(sm, line, _, _)| (sm, line));
+        w.usize(ledger.len());
+        for (sm, line, issued_at, stage) in ledger {
+            w.usize(sm);
+            w.u64(line);
+            w.u64(issued_at);
+            w.u8(stage);
+        }
+        self.xbar_injector.snap_save(w);
+        w.u64(self.audits_run);
+        w.u64(self.flits_dropped);
+        w.u64(self.flit_retransmissions);
+    }
+
+    /// `forked_from_base` marks a cross-design fork of a `Base` snapshot:
+    /// the payload then carries no controller sections (the baseline writes
+    /// none), so this design's controllers keep their as-built state.
+    fn payload_load(
+        &mut self,
+        r: &mut SnapshotReader<'_>,
+        forked_from_base: bool,
+    ) -> Result<(), SnapError> {
+        let programs = self.program_table();
+        self.now = r.u64()?;
+        self.run_start = r.u64()?;
+        if self.run_start > self.now {
+            return Err(SnapError::Invariant {
+                what: "run epoch starts after the snapshot cycle",
+            });
+        }
+        self.next_cta = r.u32()?;
+        self.mem = FuncMem::load(r)?;
+        self.line_store = LineStore::load(r)?;
+        if r.seq_len("SMs", 1)? != self.sms.len() {
+            return Err(SnapError::Invariant {
+                what: "SM count mismatch",
+            });
+        }
+        for sm in &mut self.sms {
+            sm.snap_load(r, &programs)?;
+        }
+        if !forked_from_base {
+            for d in &mut self.sm_designs {
+                if let Design::Caba(c) = d {
+                    c.snap_load(r)?;
+                }
+            }
+        }
+        if r.seq_len("partitions", 1)? != self.parts.len() {
+            return Err(SnapError::Invariant {
+                what: "partition count mismatch",
+            });
+        }
+        for p in &mut self.parts {
+            p.snap_load(r, forked_from_base)?;
+        }
+        self.xbar_fwd.snap_load(r)?;
+        self.xbar_rsp.snap_load(r)?;
+        self.ledger.clear();
+        let n = r.seq_len("request ledger", 25)?;
+        for _ in 0..n {
+            let sm = r.usize()?;
+            let line = r.u64()?;
+            let issued_at = r.u64()?;
+            let stage = match r.u8()? {
+                0 => Stage::RequestXbar,
+                1 => Stage::Partition,
+                2 => Stage::ResponseXbar,
+                tag => {
+                    return Err(SnapError::BadTag {
+                        what: "ledger stage",
+                        tag: tag.into(),
+                    })
+                }
+            };
+            self.ledger
+                .insert((sm, line), LedgerEntry { issued_at, stage });
+        }
+        self.xbar_injector.snap_load(r)?;
+        self.audits_run = r.u64()?;
+        self.flits_dropped = r.u64()?;
+        self.flit_retransmissions = r.u64()?;
+
+        // Non-serialized runtime state: rebuild, drain, or re-baseline.
+        self.cmap = Self::build_cmap(&self.design);
+        for d in &mut self.sm_deltas {
+            *d = SmDelta::default();
+        }
+        for d in &mut self.part_deltas {
+            *d = CmapDelta::new();
+        }
+        self.fwd_lanes = IngressLanes::new(self.cfg.num_sms);
+        self.rsp_lanes = IngressLanes::new(self.cfg.num_channels);
+        self.last_checkpoint = None;
+        self.tracer = self
+            .cfg
+            .observability
+            .trace
+            .map(|t| Tracer::new(t, self.cfg.num_sms));
+        if let Some(tr) = self.tracer.as_mut() {
+            // Prime the delta baselines so the first sample covers only
+            // post-restore activity instead of the whole history.
+            for (i, sm) in self.sms.iter().enumerate() {
+                tr.last_app[i] = sm.app_instructions();
+                tr.last_assist[i] = sm.assist_instructions();
+                tr.last_stalls[i] = *sm.breakdown();
+            }
+            let (mut busy, mut total) = (0u64, 0u64);
+            for p in &self.parts {
+                let d = p.dram_stats();
+                busy += d.bus_busy_cycles;
+                total += d.total_cycles;
+            }
+            tr.last_dram_busy = busy;
+            tr.last_dram_total = total;
+            tr.last_cycle = self.now;
+        }
+        Ok(())
+    }
+
+    /// Assist-subroutine programs reachable on this design, keyed by
+    /// content hash — the table [`crate::sm::Sm`] resolves serialized
+    /// program references against on load.
+    fn program_table(&self) -> FxHashMap<u64, Arc<Program>> {
+        let mut table = FxHashMap::default();
+        if let Design::Caba(c) = &self.design {
+            for p in c.subroutine_programs() {
+                table.insert(p.content_hash(), p);
+            }
+        }
+        table
     }
 }

@@ -199,6 +199,11 @@ pub struct HangReport {
     pub xbar_rsp_in_flight: usize,
     /// Oldest in-flight read: (age in cycles, issuing SM, line address).
     pub oldest_request: Option<(u64, usize, u64)>,
+    /// Path of the time-travel forensics trace, when the run kept periodic
+    /// checkpoints ([`crate::GpuConfig::checkpoint_interval`] > 0): the
+    /// window from the most recent checkpoint to the hang is re-executed
+    /// with full tracing and the Chrome-trace JSON written here.
+    pub trace_path: Option<String>,
 }
 
 impl HangReport {
@@ -243,6 +248,9 @@ impl fmt::Display for HangReport {
             "  crossbars: {} request / {} response packets in flight",
             self.xbar_fwd_in_flight, self.xbar_rsp_in_flight
         )?;
+        if let Some(path) = &self.trace_path {
+            writeln!(f, "  forensics trace: {path}")?;
+        }
         for sm in &self.sms {
             writeln!(
                 f,
@@ -334,8 +342,10 @@ mod tests {
             xbar_fwd_in_flight: 0,
             xbar_rsp_in_flight: 0,
             oldest_request: Some((4200, 0, 0x1000)),
+            trace_path: Some("/tmp/caba-hang.trace.json".into()),
         };
         let s = report.to_string();
+        assert!(s.contains("forensics trace: /tmp/caba-hang.trace.json"));
         assert!(s.contains("cycle 5000"));
         assert!(s.contains("2/4 CTAs"));
         assert!(s.contains("at barrier"));

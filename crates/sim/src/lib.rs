@@ -64,6 +64,7 @@ pub mod observe;
 pub mod occupancy;
 mod shard;
 pub mod sm;
+pub mod snapshot;
 pub mod stats;
 pub mod trace;
 pub mod warp;
@@ -81,6 +82,7 @@ pub use integrity::{
 pub use observe::{ObservabilityConfig, TraceConfig};
 pub use occupancy::OccupancyInfo;
 pub use sm::Sm;
+pub use snapshot::RestoreError;
 pub use stats::{RunStats, StatsSummary};
 pub use trace::{ActivityTrace, Sample, TraceEvent, TraceEventKind};
 pub use warp::{SimtEntry, Warp};

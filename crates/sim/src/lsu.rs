@@ -6,6 +6,7 @@
 //! exactly the back-pressure that produces the paper's *Memory (structural)
 //! stalls* for irregular applications (Figure 1).
 
+use caba_stats::snap::{SnapError, SnapshotReader, SnapshotState, SnapshotWriter};
 use std::collections::VecDeque;
 
 /// Identifies the issuing context of a line operation.
@@ -102,6 +103,93 @@ impl Lsu {
     /// Total operations processed.
     pub fn processed(&self) -> u64 {
         self.processed
+    }
+
+    /// Serializes the pending queue and processed counter (capacity is
+    /// config-derived).
+    pub fn snap_save(&self, w: &mut SnapshotWriter) {
+        w.u64(self.processed);
+        self.queue.save(w);
+    }
+
+    /// Restores queue contents in place.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed bytes.
+    pub fn snap_load(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapError> {
+        self.processed = r.u64()?;
+        self.queue = VecDeque::<LineOp>::load(r)?;
+        Ok(())
+    }
+}
+
+impl SnapshotState for WarpRef {
+    fn save(&self, w: &mut SnapshotWriter) {
+        match self {
+            WarpRef::App(i) => {
+                w.u8(0);
+                w.usize(*i);
+            }
+            WarpRef::Assist(i) => {
+                w.u8(1);
+                w.usize(*i);
+            }
+        }
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapError> {
+        match r.u8()? {
+            0 => Ok(WarpRef::App(r.usize()?)),
+            1 => Ok(WarpRef::Assist(r.usize()?)),
+            t => Err(SnapError::BadTag {
+                what: "WarpRef",
+                tag: t as u64,
+            }),
+        }
+    }
+}
+
+impl SnapshotState for LineOpKind {
+    fn save(&self, w: &mut SnapshotWriter) {
+        match self {
+            LineOpKind::Load { ticket } => {
+                w.u8(0);
+                w.usize(*ticket);
+            }
+            LineOpKind::Store => w.u8(1),
+            LineOpKind::AssistLocal { ticket } => {
+                w.u8(2);
+                ticket.save(w);
+            }
+        }
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapError> {
+        match r.u8()? {
+            0 => Ok(LineOpKind::Load { ticket: r.usize()? }),
+            1 => Ok(LineOpKind::Store),
+            2 => Ok(LineOpKind::AssistLocal {
+                ticket: Option::<usize>::load(r)?,
+            }),
+            t => Err(SnapError::BadTag {
+                what: "LineOpKind",
+                tag: t as u64,
+            }),
+        }
+    }
+}
+
+impl SnapshotState for LineOp {
+    fn save(&self, w: &mut SnapshotWriter) {
+        self.warp.save(w);
+        w.u64(self.addr);
+        self.kind.save(w);
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapError> {
+        Ok(LineOp {
+            warp: WarpRef::load(r)?,
+            addr: r.u64()?,
+            kind: LineOpKind::load(r)?,
+        })
     }
 }
 

@@ -8,6 +8,7 @@ use crate::trace::{TraceEvent, TraceEventKind};
 use caba_mem::{
     AccessOutcome, Cache, DramChannel, DramRequest, MdCache, Mshr, SharedCmap, SharedMem, LINE_SIZE,
 };
+use caba_stats::snap::{SnapError, SnapshotReader, SnapshotState, SnapshotWriter};
 use std::collections::VecDeque;
 
 use crate::assist::SharedLineStore;
@@ -456,6 +457,83 @@ impl Partition {
         }
     }
 
+    // ----- binary checkpoint (see [`crate::snapshot`]) ----------------------
+
+    /// Serializes the partition's full state (queues, L2/MD tags, MSHRs,
+    /// DRAM channel, retry/delay buffers, fault RNG, counters). Geometry is
+    /// config-derived and validated on load, not written.
+    pub(crate) fn snap_save(&self, w: &mut SnapshotWriter) {
+        self.l2.snap_save(w);
+        self.mshr.snap_save(w);
+        match &self.md {
+            None => w.bool(false),
+            Some(md) => {
+                w.bool(true);
+                md.snap_save(w);
+            }
+        }
+        self.dram.snap_save(w);
+        self.incoming.save(w);
+        self.pending_resp.save(w);
+        self.resp_out.save(w);
+        self.dram_retry.save(w);
+        w.u64(self.next_req_id);
+        self.injector.snap_save(w);
+        self.delayed.save(w);
+        w.u64(self.now);
+        w.u64(self.next_tick);
+        w.u64(self.delay_faults);
+        w.u64(self.md_stall_cycles);
+    }
+
+    /// Restores the partition in place from bytes written by
+    /// [`Partition::snap_save`]. `allow_missing_md` admits a snapshot
+    /// without an MD cache into a partition that has one (a cross-design
+    /// fork from the baseline) — the as-built empty MD cache is kept.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed bytes or when the snapshot's MD-cache presence
+    /// disagrees with this partition's configuration (subject to
+    /// `allow_missing_md`).
+    pub(crate) fn snap_load(
+        &mut self,
+        r: &mut SnapshotReader<'_>,
+        allow_missing_md: bool,
+    ) -> Result<(), SnapError> {
+        self.l2.snap_load(r)?;
+        self.mshr.snap_load(r)?;
+        let has_md = r.bool()?;
+        // A fork from a Base snapshot may restore into an MD-carrying
+        // partition (the fresh empty MD cache is kept); every other
+        // presence mismatch is a config error.
+        let forgiven = allow_missing_md && !has_md;
+        if has_md != self.md.is_some() && !forgiven {
+            return Err(SnapError::Invariant {
+                what: "md-cache presence mismatch",
+            });
+        }
+        if has_md {
+            if let Some(md) = self.md.as_mut() {
+                md.snap_load(r)?;
+            }
+        }
+        self.dram.snap_load(r)?;
+        self.incoming = VecDeque::<PartReq>::load(r)?;
+        self.pending_resp = Vec::<(u64, PartResp)>::load(r)?;
+        self.resp_out = VecDeque::<PartResp>::load(r)?;
+        self.dram_retry = VecDeque::<DramRequest>::load(r)?;
+        self.next_req_id = r.u64()?;
+        self.injector.snap_load(r)?;
+        self.delayed = Vec::<(u64, DramRequest)>::load(r)?;
+        self.now = r.u64()?;
+        self.next_tick = r.u64()?;
+        self.delay_faults = r.u64()?;
+        self.md_stall_cycles = r.u64()?;
+        self.events.clear();
+        Ok(())
+    }
+
     /// Occupancy snapshot for hang forensics.
     pub fn snapshot(&self) -> PartitionSnapshot {
         let d = self.dram.stats();
@@ -473,6 +551,36 @@ impl Partition {
             md_misses: self.md_misses(),
             delayed_requests: self.delayed.len(),
         }
+    }
+}
+
+impl SnapshotState for PartReq {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.usize(self.sm);
+        w.u64(self.addr);
+        w.bool(self.is_write);
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapError> {
+        Ok(PartReq {
+            sm: r.usize()?,
+            addr: r.u64()?,
+            is_write: r.bool()?,
+        })
+    }
+}
+
+impl SnapshotState for PartResp {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.usize(self.sm);
+        w.u64(self.addr);
+        w.u32(self.flits);
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapError> {
+        Ok(PartResp {
+            sm: r.usize()?,
+            addr: r.u64()?,
+            flits: r.u32()?,
+        })
     }
 }
 

@@ -16,6 +16,7 @@ use crate::trace::{TraceEvent, TraceEventKind};
 use crate::warp::Warp;
 use caba_isa::{FuClass, Instr, Kernel, Op, Program, Reg, Space, WARP_SIZE};
 use caba_mem::{AccessOutcome, Cache, Mshr, SharedCmap, SharedMem, LINE_SIZE};
+use caba_stats::snap::{SnapError, SnapshotReader, SnapshotState, SnapshotWriter};
 use caba_stats::{FxHashMap, IssueBreakdown, MetricShard, StallKind};
 use std::collections::VecDeque;
 
@@ -1843,6 +1844,323 @@ impl Sm {
         )
     }
 
+    // ----- binary checkpoint (see [`crate::snapshot`]) ----------------------
+
+    /// Serializes the SM's full architectural state. Config-derived
+    /// geometry (slot counts, capacities) is not written — it is validated
+    /// against the restore target's configuration by [`Sm::snap_load`].
+    /// Derived scheduling state (candidate caches, residency counters) is
+    /// recomputed on load, which is bit-identical to carrying it: the
+    /// caches rebuild deterministically from slot ages. The hazard memos
+    /// are carried, not recomputed — a memoized verdict can outlive the
+    /// state it was classified from (see `snap_load`).
+    pub(crate) fn snap_save(&self, w: &mut SnapshotWriter) {
+        w.usize(self.blocks.len());
+        for b in &self.blocks {
+            match b {
+                None => w.bool(false),
+                Some(b) => {
+                    w.bool(true);
+                    w.u32(b.ctaid);
+                    b.warp_slots.save(w);
+                    w.usize(b.warps_done);
+                    w.usize(b.arrived);
+                    w.u32(b.regs);
+                    w.u32(b.shared);
+                }
+            }
+        }
+        w.usize(self.warps.len());
+        for sw in &self.warps {
+            match sw {
+                None => w.bool(false),
+                Some(sw) => {
+                    w.bool(true);
+                    sw.warp.save(w);
+                    w.usize(sw.block_slot);
+                    w.u32(sw.ctaid);
+                    w.u32(sw.warp_in_block);
+                    w.u64(sw.age);
+                    w.bool(sw.retired);
+                }
+            }
+        }
+        w.usize(self.assists.len());
+        for a in &self.assists {
+            match a {
+                None => w.bool(false),
+                Some(a) => {
+                    w.bool(true);
+                    a.warp.save(w);
+                    w.u64(a.program.content_hash());
+                    a.priority.save(w);
+                    w.u64(a.tag);
+                    w.u64(a.age);
+                    w.usize(a.parent);
+                }
+            }
+        }
+        w.usize(self.assist_pending.len());
+        for l in &self.assist_pending {
+            save_launch(l, w);
+        }
+        w.usize(self.writebacks.len());
+        for wb in &self.writebacks {
+            w.u64(wb.at);
+            wb.warp.save(w);
+            wb.reg.save(w);
+        }
+        w.usize(self.tickets.len());
+        for t in &self.tickets {
+            match t {
+                None => w.bool(false),
+                Some(t) => {
+                    w.bool(true);
+                    t.warp.save(w);
+                    t.dst.save(w);
+                    w.u32(t.remaining);
+                }
+            }
+        }
+        self.free_tickets.save(w);
+        self.lsu.snap_save(w);
+        self.l1.snap_save(w);
+        self.mshr.snap_save(w);
+        let mut decomp: Vec<u64> = self.pending_decomp.keys().copied().collect();
+        decomp.sort_unstable();
+        w.usize(decomp.len());
+        for addr in decomp {
+            w.u64(addr);
+            self.pending_decomp[&addr].save(w);
+        }
+        self.store_buffer.save(w);
+        self.out_reqs.save(w);
+        w.u64(self.sfu_ready_at);
+        w.bool(self.cand_dirty);
+        save_verdict_memo(&self.haz_app, w);
+        save_verdict_memo(&self.haz_assist, w);
+        self.greedy.save(w);
+        self.rr_cursor.save(w);
+        w.u32(self.used_regs);
+        w.u32(self.used_shared);
+        w.u64(self.age_seq);
+        self.injector.snap_save(w);
+        // Metric shard, presence-prefixed: the config hash deliberately
+        // excludes observability, so a restore target may collect metrics
+        // the snapshot lacks (fresh zero shard kept) or vice versa
+        // (decoded and discarded in `snap_load`).
+        match &self.metrics {
+            None => w.bool(false),
+            Some((_, shard)) => {
+                w.bool(true);
+                shard.save(w);
+            }
+        }
+        self.breakdown.save(w);
+        w.u64(self.app_instructions);
+        w.u64(self.assist_instructions);
+        w.u64(self.shared_accesses);
+        w.u64(self.threads_retired);
+        w.u64(self.assist_launches);
+        w.u64(self.store_buffer_overflows);
+        w.u64(self.lines_compressed);
+        w.u64(self.lines_decompressed);
+        w.u64(self.lines_corrupted);
+        w.u64(self.corruptions_detected);
+        w.u64(self.corruption_refetches);
+        w.u64(self.assist_slots_stolen);
+        w.u64(self.assist_slots_reclaimed);
+    }
+
+    /// Restores the SM in place from bytes written by [`Sm::snap_save`].
+    /// Assist programs are stored by content hash and resolved against
+    /// `programs` (kernel program + controller subroutines).
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed bytes, on geometry that does not match this SM's
+    /// configuration, or on a program hash absent from `programs`.
+    pub(crate) fn snap_load(
+        &mut self,
+        r: &mut SnapshotReader<'_>,
+        programs: &FxHashMap<u64, Arc<Program>>,
+    ) -> Result<(), SnapError> {
+        if r.usize()? != self.blocks.len() {
+            return Err(SnapError::Invariant {
+                what: "sm block slot count mismatch",
+            });
+        }
+        for slot in self.blocks.iter_mut() {
+            *slot = if r.bool()? {
+                let b = Block {
+                    ctaid: r.u32()?,
+                    warp_slots: Vec::<usize>::load(r)?,
+                    warps_done: r.usize()?,
+                    arrived: r.usize()?,
+                    regs: r.u32()?,
+                    shared: r.u32()?,
+                };
+                if b.warp_slots.iter().any(|&s| s >= self.cfg.warps_per_sm) {
+                    return Err(SnapError::Invariant {
+                        what: "block warp slot out of range",
+                    });
+                }
+                Some(b)
+            } else {
+                None
+            };
+        }
+        if r.usize()? != self.warps.len() {
+            return Err(SnapError::Invariant {
+                what: "sm warp slot count mismatch",
+            });
+        }
+        for slot in self.warps.iter_mut() {
+            *slot = if r.bool()? {
+                Some(SmWarp {
+                    warp: Warp::load(r)?,
+                    block_slot: r.usize()?,
+                    ctaid: r.u32()?,
+                    warp_in_block: r.u32()?,
+                    age: r.u64()?,
+                    retired: r.bool()?,
+                })
+            } else {
+                None
+            };
+        }
+        if r.usize()? != self.assists.len() {
+            return Err(SnapError::Invariant {
+                what: "sm assist slot count mismatch",
+            });
+        }
+        for slot in self.assists.iter_mut() {
+            *slot = if r.bool()? {
+                let warp = Warp::load(r)?;
+                let hash = r.u64()?;
+                let program = programs.get(&hash).cloned().ok_or(SnapError::Invariant {
+                    what: "assist program hash not resolvable",
+                })?;
+                Some(AssistRt {
+                    warp,
+                    program,
+                    priority: AssistPriority::load(r)?,
+                    tag: r.u64()?,
+                    age: r.u64()?,
+                    parent: r.usize()?,
+                })
+            } else {
+                None
+            };
+        }
+        let n = r.seq_len("assist_pending", 2)?;
+        self.assist_pending.clear();
+        for _ in 0..n {
+            self.assist_pending.push_back(load_launch(r, programs)?);
+        }
+        let n = r.seq_len("writebacks", 2)?;
+        self.writebacks.clear();
+        for _ in 0..n {
+            self.writebacks.push(Writeback {
+                at: r.u64()?,
+                warp: WarpRef::load(r)?,
+                reg: Option::<Reg>::load(r)?,
+            });
+        }
+        let n = r.seq_len("tickets", 1)?;
+        self.tickets.clear();
+        for _ in 0..n {
+            self.tickets.push(if r.bool()? {
+                Some(Ticket {
+                    warp: WarpRef::load(r)?,
+                    dst: Option::<Reg>::load(r)?,
+                    remaining: r.u32()?,
+                })
+            } else {
+                None
+            });
+        }
+        self.free_tickets = Vec::<usize>::load(r)?;
+        if self.free_tickets.iter().any(|&i| i >= self.tickets.len()) {
+            return Err(SnapError::Invariant {
+                what: "free ticket index out of range",
+            });
+        }
+        self.lsu.snap_load(r)?;
+        self.l1.snap_load(r)?;
+        self.mshr.snap_load(r)?;
+        let n = r.seq_len("pending_decomp", 9)?;
+        self.pending_decomp.clear();
+        for _ in 0..n {
+            let addr = r.u64()?;
+            let waiters = Vec::<usize>::load(r)?;
+            self.pending_decomp.insert(addr, waiters);
+        }
+        self.store_buffer = VecDeque::<u64>::load(r)?;
+        self.out_reqs = VecDeque::<OutReq>::load(r)?;
+        self.sfu_ready_at = r.u64()?;
+        let cand_dirty = r.bool()?;
+        let haz_app = load_verdict_memo(r, self.cfg.warps_per_sm)?;
+        let haz_assist = load_verdict_memo(r, self.cfg.max_assist_warps)?;
+        let greedy = Vec::<Option<WarpRef>>::load(r)?;
+        let rr_cursor = Vec::<u64>::load(r)?;
+        if greedy.len() != self.cfg.schedulers_per_sm
+            || rr_cursor.len() != self.cfg.schedulers_per_sm
+        {
+            return Err(SnapError::Invariant {
+                what: "scheduler count mismatch",
+            });
+        }
+        self.greedy = greedy;
+        self.rr_cursor = rr_cursor;
+        self.used_regs = r.u32()?;
+        self.used_shared = r.u32()?;
+        self.age_seq = r.u64()?;
+        self.injector.snap_load(r)?;
+        if r.bool()? {
+            let shard = MetricShard::load(r)?;
+            if let Some((_, s)) = &mut self.metrics {
+                *s = shard;
+            }
+        }
+        self.breakdown = IssueBreakdown::load(r)?;
+        self.app_instructions = r.u64()?;
+        self.assist_instructions = r.u64()?;
+        self.shared_accesses = r.u64()?;
+        self.threads_retired = r.u64()?;
+        self.assist_launches = r.u64()?;
+        self.store_buffer_overflows = r.u64()?;
+        self.lines_compressed = r.u64()?;
+        self.lines_decompressed = r.u64()?;
+        self.lines_corrupted = r.u64()?;
+        self.corruptions_detected = r.u64()?;
+        self.corruption_refetches = r.u64()?;
+        self.assist_slots_stolen = r.u64()?;
+        self.assist_slots_reclaimed = r.u64()?;
+        // Derived state: recomputed, never trusted from the wire.
+        self.resident_block_count = self.blocks.iter().filter(|b| b.is_some()).count();
+        self.active_assist_count = self.assists.iter().filter(|a| a.is_some()).count();
+        self.done_unreaped = self
+            .warps
+            .iter()
+            .flatten()
+            .filter(|w| !w.retired && w.warp.done)
+            .count() as u32;
+        // Candidate lists are a pure function of residency and slot ages,
+        // so they rebuild rather than travel. The hazard memos are NOT
+        // pure: a memoized verdict legitimately outlives the state it was
+        // computed from (a fill drops `outstanding_loads` before the
+        // writeback clears the pending bit and the memo), so recomputing
+        // them can flip a Fig. 1 bucket for one cycle — they restore from
+        // the wire, as does the rebuild-pending flag.
+        self.rebuild_candidates();
+        self.cand_dirty = cand_dirty;
+        self.haz_app = haz_app;
+        self.haz_assist = haz_assist;
+        self.events.clear();
+        Ok(())
+    }
+
     /// The issue breakdown recorded so far.
     pub fn breakdown(&self) -> &IssueBreakdown {
         &self.breakdown
@@ -1857,6 +2175,113 @@ impl Sm {
     pub fn assist_instructions(&self) -> u64 {
         self.assist_instructions
     }
+}
+
+impl SnapshotState for OutReq {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.u64(self.addr);
+        w.bool(self.is_write);
+        w.u32(self.flits);
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapError> {
+        Ok(OutReq {
+            addr: r.u64()?,
+            is_write: r.bool()?,
+            flits: r.u32()?,
+        })
+    }
+}
+
+/// Serializes one queued assist launch; the program travels by content
+/// hash (see [`caba_isa::Program::content_hash`]).
+fn save_launch(l: &AssistLaunch, w: &mut SnapshotWriter) {
+    w.u64(l.program.content_hash());
+    w.usize(l.parent_warp);
+    l.priority.save(w);
+    l.live_in.save(w);
+    w.u32(l.active_mask);
+    w.u64(l.tag);
+}
+
+/// Decodes one assist launch, resolving its program hash against the
+/// restore-time program table.
+fn load_launch(
+    r: &mut SnapshotReader<'_>,
+    programs: &FxHashMap<u64, Arc<Program>>,
+) -> Result<AssistLaunch, SnapError> {
+    let hash = r.u64()?;
+    let program = programs.get(&hash).cloned().ok_or(SnapError::Invariant {
+        what: "assist launch program hash not resolvable",
+    })?;
+    Ok(AssistLaunch {
+        program,
+        parent_warp: r.usize()?,
+        priority: AssistPriority::load(r)?,
+        live_in: Vec::<(Reg, u64)>::load(r)?,
+        active_mask: r.u32()?,
+        tag: r.u64()?,
+    })
+}
+
+/// Encodes a hazard-memo vector: one byte per slot, `0` for no memo,
+/// `tag + 1` for a memoized [`StallVerdict`].
+fn save_verdict_memo(memo: &[Option<StallVerdict>], w: &mut SnapshotWriter) {
+    w.usize(memo.len());
+    for m in memo {
+        w.u8(match m {
+            None => 0,
+            Some(v) => verdict_tag(*v) + 1,
+        });
+    }
+}
+
+/// Decodes a hazard-memo vector of exactly `expected` slots.
+fn load_verdict_memo(
+    r: &mut SnapshotReader<'_>,
+    expected: usize,
+) -> Result<Vec<Option<StallVerdict>>, SnapError> {
+    let n = r.seq_len("hazard memo", 1)?;
+    if n != expected {
+        return Err(SnapError::Invariant {
+            what: "hazard memo slot count mismatch",
+        });
+    }
+    let mut memo = Vec::with_capacity(n);
+    for _ in 0..n {
+        memo.push(match r.u8()? {
+            0 => None,
+            tag => Some(verdict_from_tag(tag - 1)?),
+        });
+    }
+    Ok(memo)
+}
+
+fn verdict_tag(v: StallVerdict) -> u8 {
+    match v {
+        StallVerdict::Barrier => 0,
+        StallVerdict::HazardMem => 1,
+        StallVerdict::HazardCtrl => 2,
+        StallVerdict::HazardSb => 3,
+        StallVerdict::MemStructural => 4,
+        StallVerdict::ComputeStructural => 5,
+    }
+}
+
+fn verdict_from_tag(tag: u8) -> Result<StallVerdict, SnapError> {
+    Ok(match tag {
+        0 => StallVerdict::Barrier,
+        1 => StallVerdict::HazardMem,
+        2 => StallVerdict::HazardCtrl,
+        3 => StallVerdict::HazardSb,
+        4 => StallVerdict::MemStructural,
+        5 => StallVerdict::ComputeStructural,
+        t => {
+            return Err(SnapError::BadTag {
+                what: "stall verdict",
+                tag: t.into(),
+            })
+        }
+    })
 }
 
 #[cfg(test)]

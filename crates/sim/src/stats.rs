@@ -6,6 +6,7 @@
 //! of IPC, hit rates, utilization, and Fig. 1 issue-slot fractions for every
 //! report the workspace emits.
 
+use caba_stats::snap::{SnapError, SnapshotReader, SnapshotState, SnapshotWriter};
 use caba_stats::{json, IssueBreakdown, StallKind};
 use std::io::{self, Write};
 
@@ -156,6 +157,78 @@ impl RunStats {
     /// Fraction of issued instructions that belonged to assist warps.
     pub fn assist_fraction(&self) -> f64 {
         self.summary().assist_fraction
+    }
+}
+
+impl SnapshotState for RunStats {
+    fn save(&self, w: &mut SnapshotWriter) {
+        self.cycles.save(w);
+        self.app_instructions.save(w);
+        self.assist_instructions.save(w);
+        self.breakdown.save(w);
+        self.l1_hits.save(w);
+        self.l1_misses.save(w);
+        self.l2_hits.save(w);
+        self.l2_misses.save(w);
+        self.dram_busy_cycles.save(w);
+        self.dram_total_cycles.save(w);
+        self.dram_bursts.save(w);
+        self.dram_activates.save(w);
+        self.icnt_flits.save(w);
+        self.md_lookups.save(w);
+        self.md_misses.save(w);
+        self.md_stall_cycles.save(w);
+        self.assist_launches.save(w);
+        self.assist_slots_stolen.save(w);
+        self.assist_slots_reclaimed.save(w);
+        self.store_buffer_overflows.save(w);
+        self.lines_compressed.save(w);
+        self.lines_decompressed.save(w);
+        self.shared_accesses.save(w);
+        self.threads_retired.save(w);
+        self.audits_run.save(w);
+        self.flits_dropped.save(w);
+        self.flit_retransmissions.save(w);
+        self.dram_delay_faults.save(w);
+        self.lines_corrupted.save(w);
+        self.corruptions_detected.save(w);
+        self.corruption_refetches.save(w);
+    }
+
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapError> {
+        Ok(RunStats {
+            cycles: u64::load(r)?,
+            app_instructions: u64::load(r)?,
+            assist_instructions: u64::load(r)?,
+            breakdown: IssueBreakdown::load(r)?,
+            l1_hits: u64::load(r)?,
+            l1_misses: u64::load(r)?,
+            l2_hits: u64::load(r)?,
+            l2_misses: u64::load(r)?,
+            dram_busy_cycles: u64::load(r)?,
+            dram_total_cycles: u64::load(r)?,
+            dram_bursts: u64::load(r)?,
+            dram_activates: u64::load(r)?,
+            icnt_flits: u64::load(r)?,
+            md_lookups: u64::load(r)?,
+            md_misses: u64::load(r)?,
+            md_stall_cycles: u64::load(r)?,
+            assist_launches: u64::load(r)?,
+            assist_slots_stolen: u64::load(r)?,
+            assist_slots_reclaimed: u64::load(r)?,
+            store_buffer_overflows: u64::load(r)?,
+            lines_compressed: u64::load(r)?,
+            lines_decompressed: u64::load(r)?,
+            shared_accesses: u64::load(r)?,
+            threads_retired: u64::load(r)?,
+            audits_run: u64::load(r)?,
+            flits_dropped: u64::load(r)?,
+            flit_retransmissions: u64::load(r)?,
+            dram_delay_faults: u64::load(r)?,
+            lines_corrupted: u64::load(r)?,
+            corruptions_detected: u64::load(r)?,
+            corruption_refetches: u64::load(r)?,
+        })
     }
 }
 

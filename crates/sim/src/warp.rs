@@ -2,6 +2,7 @@
 //! the per-warp scoreboard.
 
 use caba_isa::{Instr, Pred, Reg, NUM_PREGS, WARP_SIZE};
+use caba_stats::snap::{SnapError, SnapshotReader, SnapshotState, SnapshotWriter};
 
 /// Full active mask (all 32 lanes).
 pub const FULL_MASK: u32 = u32::MAX;
@@ -243,6 +244,48 @@ impl Warp {
             // The top entry may now be an empty merged path.
             self.maybe_merge();
         }
+    }
+}
+
+impl SnapshotState for SimtEntry {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.usize(self.pc);
+        w.u32(self.mask);
+        w.usize(self.reconv);
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapError> {
+        Ok(SimtEntry {
+            pc: r.usize()?,
+            mask: r.u32()?,
+            reconv: r.usize()?,
+        })
+    }
+}
+
+impl SnapshotState for Warp {
+    fn save(&self, w: &mut SnapshotWriter) {
+        self.simt.save(w);
+        self.regs.save(w);
+        self.preds.save(w);
+        self.pending.save(w);
+        w.u32(self.outstanding_loads);
+        w.bool(self.at_barrier);
+        w.bool(self.done);
+        w.u64(self.last_issue);
+        w.u64(self.issued);
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapError> {
+        Ok(Warp {
+            simt: Vec::<SimtEntry>::load(r)?,
+            regs: Vec::<[u64; WARP_SIZE]>::load(r)?,
+            preds: <[u32; NUM_PREGS]>::load(r)?,
+            pending: Vec::<u64>::load(r)?,
+            outstanding_loads: r.u32()?,
+            at_barrier: r.bool()?,
+            done: r.bool()?,
+            last_issue: r.u64()?,
+            issued: r.u64()?,
+        })
     }
 }
 

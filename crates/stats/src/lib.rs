@@ -39,11 +39,13 @@ pub mod json;
 pub mod metrics;
 pub mod prop;
 pub mod rng;
+pub mod snap;
 pub mod table;
 
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use metrics::{CounterId, GaugeId, MetricRegistry, MetricShard, MetricsLevel, MetricsSnapshot};
 pub use rng::Rng64;
+pub use snap::{checksum64, SnapError, SnapshotReader, SnapshotState, SnapshotWriter};
 pub use table::Table;
 
 use std::fmt;
@@ -258,6 +260,17 @@ impl IssueBreakdown {
             d.counts[i] = a - b;
         }
         d
+    }
+}
+
+impl snap::SnapshotState for IssueBreakdown {
+    fn save(&self, w: &mut snap::SnapshotWriter) {
+        self.counts.save(w);
+    }
+    fn load(r: &mut snap::SnapshotReader<'_>) -> Result<Self, snap::SnapError> {
+        Ok(IssueBreakdown {
+            counts: <[u64; 7]>::load(r)?,
+        })
     }
 }
 

@@ -224,6 +224,17 @@ impl MetricShard {
     }
 }
 
+impl crate::snap::SnapshotState for MetricShard {
+    fn save(&self, w: &mut crate::snap::SnapshotWriter) {
+        self.values.save(w);
+    }
+    fn load(r: &mut crate::snap::SnapshotReader<'_>) -> Result<Self, crate::snap::SnapError> {
+        Ok(MetricShard {
+            values: Vec::<u64>::load(r)?,
+        })
+    }
+}
+
 /// The merged, named result: `(name, value)` pairs in registration order.
 ///
 /// Derives `Eq`, so determinism tests can compare snapshots bit-for-bit.

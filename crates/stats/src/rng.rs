@@ -100,6 +100,15 @@ impl Rng64 {
     }
 }
 
+impl crate::snap::SnapshotState for Rng64 {
+    fn save(&self, w: &mut crate::snap::SnapshotWriter) {
+        w.u64(self.state);
+    }
+    fn load(r: &mut crate::snap::SnapshotReader<'_>) -> Result<Self, crate::snap::SnapError> {
+        Ok(Rng64 { state: r.u64()? })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

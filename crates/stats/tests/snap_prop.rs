@@ -1,0 +1,130 @@
+//! Property tests for the snapshot wire format: every [`SnapshotState`]
+//! impl must round-trip (serialize → load → re-serialize byte-identical),
+//! and the reader must consume exactly the bytes the writer produced.
+
+use caba_stats::prop;
+use caba_stats::{SnapshotReader, SnapshotState, SnapshotWriter};
+use std::collections::VecDeque;
+
+/// Serializes `v`, loads it back, and asserts the re-serialization is
+/// byte-identical and the reader consumed the encoding exactly.
+fn round_trip<T: SnapshotState + PartialEq + std::fmt::Debug>(v: &T) {
+    let mut w = SnapshotWriter::new();
+    v.save(&mut w);
+    let bytes = w.into_bytes();
+    let mut r = SnapshotReader::new(&bytes);
+    let back = T::load(&mut r).expect("round-trip load");
+    r.finish().expect("no trailing bytes");
+    assert_eq!(&back, v);
+    let mut w2 = SnapshotWriter::new();
+    back.save(&mut w2);
+    assert_eq!(
+        w2.into_bytes(),
+        bytes,
+        "re-serialization must be byte-identical"
+    );
+}
+
+#[test]
+fn primitives_round_trip() {
+    prop::check(0x5EED_0001, prop::DEFAULT_CASES, |rng| {
+        round_trip(&(rng.next_u64() as u8));
+        round_trip(&(rng.next_u64() as u16));
+        round_trip(&rng.next_u32());
+        round_trip(&rng.next_u64());
+        round_trip(&(rng.next_u64() as usize));
+        round_trip(&(rng.next_u64() as i64));
+        round_trip(&rng.chance(0.5));
+        round_trip(&rng.next_f64());
+    });
+    // Edge values the RNG is unlikely to hit.
+    round_trip(&u64::MAX);
+    round_trip(&0u64);
+    round_trip(&f64::INFINITY);
+    round_trip(&f64::MIN_POSITIVE);
+    round_trip(&-0.0f64);
+}
+
+#[test]
+fn strings_round_trip() {
+    prop::check(0x5EED_0002, prop::DEFAULT_CASES, |rng| {
+        let len = rng.range_u64(64) as usize;
+        let s: String = (0..len)
+            .map(|_| char::from_u32(rng.range(32, 0xD7FF) as u32).unwrap_or('?'))
+            .collect();
+        round_trip(&s);
+    });
+    round_trip(&String::new());
+}
+
+#[test]
+fn containers_round_trip() {
+    prop::check(0x5EED_0003, prop::DEFAULT_CASES, |rng| {
+        let len = rng.range_u64(32) as usize;
+        let v: Vec<u64> = (0..len).map(|_| rng.next_u64()).collect();
+        round_trip(&v);
+        let d: VecDeque<u32> = (0..len).map(|_| rng.next_u32()).collect();
+        round_trip(&d);
+        let o: Option<u64> = rng.chance(0.5).then(|| rng.next_u64());
+        round_trip(&o);
+        let arr: [u64; 4] = [
+            rng.next_u64(),
+            rng.next_u64(),
+            rng.next_u64(),
+            rng.next_u64(),
+        ];
+        round_trip(&arr);
+        let pair: (u64, u32) = (rng.next_u64(), rng.next_u32());
+        round_trip(&pair);
+        let triple: (u8, u64, bool) = (rng.next_u64() as u8, rng.next_u64(), rng.chance(0.5));
+        round_trip(&triple);
+        // Nesting: the wire format composes.
+        let nested: Vec<(Option<u64>, Vec<u32>)> = (0..rng.range_u64(8))
+            .map(|_| {
+                (
+                    rng.chance(0.5).then(|| rng.next_u64()),
+                    (0..rng.range_u64(8)).map(|_| rng.next_u32()).collect(),
+                )
+            })
+            .collect();
+        round_trip(&nested);
+    });
+    round_trip(&Vec::<u64>::new());
+    round_trip(&None::<u64>);
+}
+
+#[test]
+fn truncated_encodings_never_load() {
+    // Any strict prefix of a valid encoding must fail to load (or fail the
+    // trailing-bytes check after a shorter valid parse) — never succeed as
+    // the original value.
+    prop::check(0x5EED_0004, prop::DEFAULT_CASES, |rng| {
+        let v: Vec<u64> = (1..=rng.range(1, 16)).map(|_| rng.next_u64()).collect();
+        let mut w = SnapshotWriter::new();
+        v.save(&mut w);
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = SnapshotReader::new(&bytes[..cut]);
+            let ok = Vec::<u64>::load(&mut r)
+                .and_then(|back| r.finish().map(|()| back))
+                .is_ok_and(|back| back == v);
+            assert!(!ok, "truncation at {cut}/{} loaded silently", bytes.len());
+        }
+    });
+}
+
+#[test]
+fn random_bytes_never_panic_the_reader() {
+    // The reader must reject garbage with a typed error, never a panic or
+    // an abort: prop::check catches unwinds per case and reports the seed.
+    prop::check(0x5EED_0005, prop::DEFAULT_CASES, |rng| {
+        let len = rng.range_u64(256) as usize;
+        let garbage = prop::bytes(rng, len);
+        let mut r = SnapshotReader::new(&garbage);
+        let _ = Vec::<(u64, String)>::load(&mut r);
+        let mut r = SnapshotReader::new(&garbage);
+        let _ = String::load(&mut r);
+        let mut r = SnapshotReader::new(&garbage);
+        let _ = Vec::<Vec<u64>>::load(&mut r);
+    });
+}

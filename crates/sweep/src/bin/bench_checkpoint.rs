@@ -1,0 +1,265 @@
+//! `bench-checkpoint` — checkpoint/restore economics benchmark.
+//!
+//! Measures three things and writes a machine-readable
+//! `BENCH_checkpoint.json`:
+//!
+//! 1. **Snapshot cost**: bytes and wall time to [`Gpu::snapshot`] a warm
+//!    machine, and wall time to [`Gpu::restore`] it.
+//! 2. **Restore fidelity**: the restored machine resumes to a `RunStats`
+//!    bit-identical to the unbroken run (exit nonzero otherwise).
+//! 3. **Warm-start speedup**: a fig07-style differential sweep (Base /
+//!    HW-BDI / CABA-BDI / Ideal-BDI per app) run cold versus forked from
+//!    a shared Base warm-up checkpoint ([`caba_sweep::run_forked`]).
+//!
+//! [`Gpu::snapshot`]: caba_sim::Gpu::snapshot
+//! [`Gpu::restore`]: caba_sim::Gpu::restore
+
+use caba_sim::{Design, Gpu, RunError};
+use caba_sweep::{run_cells, run_forked, DesignId, SweepCell, SweepConfig};
+use caba_workloads::{app, prepare_app, DEFAULT_MAX_CYCLES};
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct Args {
+    scale: f64,
+    warmup: u64,
+    apps: Vec<String>,
+    jobs: usize,
+    out: String,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench-checkpoint [--scale F] [--warmup N] [--apps A,B,..] [--jobs N] [--out PATH]\n\
+         \n\
+         --scale F    workload scale (default: CABA_BENCH_SCALE or 0.25)\n\
+         --warmup N   shared warm-up prefix in cycles (default 20000)\n\
+         --apps A,B   apps for the differential sweep (default CONS,BFS,MUM)\n\
+         --jobs N     worker threads (default: available parallelism)\n\
+         --out PATH   report path (default: BENCH_checkpoint.json)"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scale: std::env::var("CABA_BENCH_SCALE")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0.25),
+        warmup: 20_000,
+        apps: vec!["CONS".into(), "BFS".into(), "MUM".into()],
+        jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        out: "BENCH_checkpoint.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                args.scale = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--warmup" => {
+                args.warmup = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--apps" => {
+                args.apps = it
+                    .next()
+                    .unwrap_or_else(|| usage())
+                    .split(',')
+                    .map(str::to_string)
+                    .collect();
+            }
+            "--jobs" => {
+                args.jobs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--out" => args.out = it.next().unwrap_or_else(|| usage()),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    if args.jobs == 0 || args.apps.is_empty() {
+        usage();
+    }
+    args
+}
+
+/// Snapshot micro-benchmark on one warm Base machine: returns
+/// `(bytes, save_wall_s, restore_wall_s)` after proving the restored
+/// machine completes bit-identically to the unbroken one.
+fn micro_bench(app_name: &str, sc: &SweepConfig, warmup: u64) -> Result<(usize, f64, f64), String> {
+    let spec = app(app_name).ok_or_else(|| format!("unknown app {app_name}"))?;
+
+    // Unbroken reference.
+    let (mut full, kernel) = prepare_app(&spec, sc.cfg, Design::Base, sc.scale);
+    let reference = full
+        .run(&kernel, DEFAULT_MAX_CYCLES)
+        .map_err(|e| format!("{app_name} reference run: {e}"))?;
+
+    // Warm to the checkpoint.
+    let (mut warm, kernel) = prepare_app(&spec, sc.cfg, Design::Base, sc.scale);
+    match warm.run(&kernel, warmup) {
+        Err(RunError::Timeout { .. }) => {}
+        Ok(_) => {
+            return Err(format!(
+                "{app_name} finished inside {warmup} warm-up cycles; lower --warmup"
+            ))
+        }
+        Err(e) => return Err(format!("{app_name} warm-up: {e}")),
+    }
+
+    let t0 = Instant::now();
+    let snap = warm.snapshot(&kernel);
+    let save_wall_s = t0.elapsed().as_secs_f64();
+
+    let mut restored = Gpu::new(sc.cfg, Design::Base);
+    let t0 = Instant::now();
+    restored
+        .restore(&kernel, &snap)
+        .map_err(|e| format!("{app_name} restore: {e}"))?;
+    let restore_wall_s = t0.elapsed().as_secs_f64();
+
+    let resumed = restored
+        .resume(&kernel, DEFAULT_MAX_CYCLES)
+        .map_err(|e| format!("{app_name} resumed run: {e}"))?;
+    if resumed != reference {
+        return Err(format!(
+            "{app_name}: resumed RunStats diverged from the unbroken run — determinism bug"
+        ));
+    }
+    Ok((snap.len(), save_wall_s, restore_wall_s))
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let apps: Vec<&'static str> = match args
+        .apps
+        .iter()
+        .map(|a| app(a).map(|spec| spec.name))
+        .collect::<Option<Vec<_>>>()
+    {
+        Some(v) => v,
+        None => {
+            eprintln!("bench-checkpoint: unknown app in --apps {:?}", args.apps);
+            return ExitCode::FAILURE;
+        }
+    };
+    let sc = SweepConfig {
+        scale: args.scale,
+        ..SweepConfig::default()
+    };
+    let designs = [
+        DesignId::Base,
+        DesignId::HwBdi,
+        DesignId::CabaBdi,
+        DesignId::IdealBdi,
+    ];
+    eprintln!(
+        "bench-checkpoint: {} apps x {} designs at scale {}, warm-up {} cycles, {} jobs",
+        apps.len(),
+        designs.len(),
+        sc.scale,
+        args.warmup,
+        args.jobs
+    );
+
+    // 1+2. Snapshot cost and restore fidelity on the first app.
+    let (snapshot_bytes, save_wall_s, restore_wall_s) = match micro_bench(apps[0], &sc, args.warmup)
+    {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench-checkpoint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "  snapshot({}): {} bytes, save {:.1} ms, restore {:.1} ms, resume bit-identical",
+        apps[0],
+        snapshot_bytes,
+        save_wall_s * 1e3,
+        restore_wall_s * 1e3
+    );
+
+    // 3a. Cold differential sweep.
+    let cells: Vec<SweepCell> = apps
+        .iter()
+        .flat_map(|&a| {
+            designs.iter().map(move |&design| SweepCell {
+                app: a,
+                design,
+                bw_scale: 1.0,
+            })
+        })
+        .collect();
+    let t0 = Instant::now();
+    let cold = run_cells(&sc, &cells, args.jobs);
+    let cold_wall_s = t0.elapsed().as_secs_f64();
+    eprintln!("  cold sweep: {} cells in {cold_wall_s:.2}s", cold.len());
+
+    // 3b. Forked sweep: shared Base warm-up per app.
+    let t0 = Instant::now();
+    let forked = match run_forked(&sc, &apps, &designs, args.warmup, args.jobs) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("bench-checkpoint: forked sweep: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let forked_wall_s = t0.elapsed().as_secs_f64();
+    let forked_cells = forked.cells.iter().filter(|c| c.forked).count();
+    let speedup = cold_wall_s / forked_wall_s;
+    eprintln!(
+        "  forked sweep: {} cells ({forked_cells} from checkpoints, {} snapshot bytes) in \
+         {forked_wall_s:.2}s — {speedup:.2}x vs cold",
+        forked.cells.len(),
+        forked.snapshot_bytes
+    );
+
+    let mut j = String::new();
+    j.push_str("{\n  \"schema\": \"caba-bench-checkpoint-v1\",\n");
+    j.push_str(&format!("  \"scale\": {},\n", sc.scale));
+    j.push_str(&format!("  \"warmup_cycles\": {},\n", args.warmup));
+    j.push_str(&format!(
+        "  \"apps\": [{}],\n",
+        apps.iter()
+            .map(|a| format!("\"{a}\""))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    j.push_str(&format!(
+        "  \"designs\": [{}],\n",
+        designs
+            .iter()
+            .map(|d| format!("\"{}\"", d.label()))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    j.push_str(&format!("  \"snapshot_bytes\": {snapshot_bytes},\n"));
+    j.push_str(&format!("  \"save_wall_s\": {save_wall_s:.6},\n"));
+    j.push_str(&format!("  \"restore_wall_s\": {restore_wall_s:.6},\n"));
+    j.push_str("  \"restore_bit_identical\": true,\n");
+    j.push_str(&format!("  \"cold_wall_s\": {cold_wall_s:.6},\n"));
+    j.push_str(&format!("  \"forked_wall_s\": {forked_wall_s:.6},\n"));
+    j.push_str(&format!("  \"forked_cells\": {forked_cells},\n"));
+    j.push_str(&format!("  \"total_cells\": {},\n", forked.cells.len()));
+    j.push_str(&format!(
+        "  \"forked_snapshot_bytes\": {},\n",
+        forked.snapshot_bytes
+    ));
+    j.push_str(&format!("  \"warm_start_speedup\": {speedup:.4}\n"));
+    j.push_str("}\n");
+    if let Err(e) = std::fs::write(&args.out, j) {
+        eprintln!("bench-checkpoint: writing {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    eprintln!("report written to {}", args.out);
+    ExitCode::SUCCESS
+}

@@ -82,9 +82,12 @@ fn parse_args() -> Args {
     args
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let args = parse_args();
-    let spec = app(&args.app).unwrap_or_else(|| panic!("unknown app {}", args.app));
+    let Some(spec) = app(&args.app) else {
+        eprintln!("bench-intra: unknown app {}", args.app);
+        return std::process::ExitCode::FAILURE;
+    };
     let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     eprintln!(
         "bench-intra: {} / {} at scale {} (host threads: {host_threads})",
@@ -99,17 +102,22 @@ fn main() {
         let mut cfg = GpuConfig::isca2015_scaled();
         cfg.intra_jobs = jobs;
         let t0 = Instant::now();
-        let stats = run_app(&spec, cfg, args.design.make(), args.scale)
-            .unwrap_or_else(|e| panic!("{} @ intra_jobs={jobs}: {e}", args.app));
+        let stats = match run_app(&spec, cfg, args.design.make(), args.scale) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("bench-intra: {} @ intra_jobs={jobs}: {e}", args.app);
+                return std::process::ExitCode::FAILURE;
+            }
+        };
         let wall = t0.elapsed().as_secs_f64();
         let (identical, speedup) = match &serial {
             None => (true, 1.0),
             Some((sw, ss)) => (*ss == stats, sw / wall),
         };
-        assert!(
-            identical,
-            "RunStats diverged at intra_jobs={jobs} — determinism bug"
-        );
+        if !identical {
+            eprintln!("bench-intra: RunStats diverged at intra_jobs={jobs} — determinism bug");
+            return std::process::ExitCode::FAILURE;
+        }
         eprintln!(
             "  intra_jobs={jobs}: {wall:.3}s, {} cycles, {:.0} cycles/s, {speedup:.2}x vs serial",
             stats.cycles,
@@ -137,6 +145,10 @@ fn main() {
         ));
     }
     j.push_str("  ]\n}\n");
-    std::fs::write(&args.out, j).unwrap_or_else(|e| panic!("writing {}: {e}", args.out));
+    if let Err(e) = std::fs::write(&args.out, j) {
+        eprintln!("bench-intra: writing {}: {e}", args.out);
+        return std::process::ExitCode::FAILURE;
+    }
     eprintln!("report written to {}", args.out);
+    std::process::ExitCode::SUCCESS
 }

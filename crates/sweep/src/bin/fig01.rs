@@ -104,8 +104,8 @@ fn parse_args() -> Args {
 
 /// Reruns `cell` with tracing and per-event metrics on; returns the metric
 /// snapshot as JSON after writing the Perfetto trace to `path`.
-fn run_traced_cell(cell: SweepCell, scale: f64, path: &str, check: bool) -> String {
-    let spec = app(cell.app).unwrap_or_else(|| panic!("unknown app {}", cell.app));
+fn run_traced_cell(cell: SweepCell, scale: f64, path: &str, check: bool) -> Result<String, String> {
+    let spec = app(cell.app).ok_or_else(|| format!("unknown app {}", cell.app))?;
     let cfg = GpuConfig::isca2015_scaled()
         .with_bandwidth_scale(cell.bw_scale)
         .with_trace(TraceConfig::full(256))
@@ -114,13 +114,13 @@ fn run_traced_cell(cell: SweepCell, scale: f64, path: &str, check: bool) -> Stri
     spec.load_inputs(&mut gpu, scale);
     let stats = gpu
         .run(&spec.kernel(scale), 2_000_000_000)
-        .unwrap_or_else(|e| panic!("traced cell {}: {e}", cell.app));
+        .map_err(|e| format!("traced cell {}: {e}", cell.app))?;
     let trace = gpu.take_trace().expect("tracing was enabled");
     let trace_json = trace.to_chrome_json();
     if check {
-        json::validate(&trace_json).expect("Perfetto trace JSON is valid");
+        json::validate(&trace_json).map_err(|e| format!("Perfetto trace JSON invalid: {e}"))?;
     }
-    std::fs::write(path, &trace_json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    std::fs::write(path, &trace_json).map_err(|e| format!("writing {path}: {e}"))?;
     eprintln!(
         "  traced {} @ {}x BW: {} samples, {} events -> {path}",
         cell.app,
@@ -129,15 +129,15 @@ fn run_traced_cell(cell: SweepCell, scale: f64, path: &str, check: bool) -> Stri
         trace.events.len()
     );
     let snap = gpu.metrics_snapshot(&stats).expect("metrics were enabled");
-    format!(
+    Ok(format!(
         "{{\"app\": \"{}\", \"bw\": {}, \"metrics\": {}}}",
         cell.app,
         json::fmt_f64(cell.bw_scale),
         snap.to_json()
-    )
+    ))
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let args = parse_args();
     let mut cells = fig01_cells();
     if let Some(apps) = &args.apps {
@@ -183,10 +183,16 @@ fn main() {
         slots_per_cycle
     );
 
-    let traced = args
-        .trace
-        .as_deref()
-        .map(|path| run_traced_cell(cells[0], args.scale, path, args.check));
+    let traced = match args.trace.as_deref() {
+        Some(path) => match run_traced_cell(cells[0], args.scale, path, args.check) {
+            Ok(t) => Some(t),
+            Err(e) => {
+                eprintln!("fig01: {e}");
+                return std::process::ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
 
     let mut s = String::with_capacity(4096 + 512 * results.len());
     s.push_str("{\n  \"schema\": \"caba-fig01-v1\",\n");
@@ -207,9 +213,16 @@ fn main() {
     }
     s.push_str("  ]\n}\n");
     if args.check {
-        json::validate(&s).expect("fig01 report JSON is valid");
+        if let Err(e) = json::validate(&s) {
+            eprintln!("fig01: report JSON invalid: {e}");
+            return std::process::ExitCode::FAILURE;
+        }
         eprintln!("  JSON validity check OK");
     }
-    std::fs::write(&args.out, s).unwrap_or_else(|e| panic!("writing {}: {e}", args.out));
+    if let Err(e) = std::fs::write(&args.out, s) {
+        eprintln!("fig01: writing {}: {e}", args.out);
+        return std::process::ExitCode::FAILURE;
+    }
     eprintln!("report written to {}", args.out);
+    std::process::ExitCode::SUCCESS
 }

@@ -1,0 +1,299 @@
+//! Fork-from-checkpoint differential sweeps: warm one Base machine per
+//! application, snapshot it, and fork the suffix into every design under
+//! comparison — the warm-checkpoint methodology of sampled simulation.
+//!
+//! A differential sweep (Figure 7: Base vs HW-BDI vs CABA-BDI vs
+//! Ideal-BDI) re-executes the same warm-up prefix once per design. Since
+//! compression designs only diverge once memory traffic flows, the prefix
+//! is shared work: this module runs it **once** on the Base design, takes
+//! a [`Gpu::snapshot`], and [`Gpu::restore_fork`]s it into each design
+//! point. Only Base snapshots are forkable (no compression state to
+//! translate); a Base snapshot restored into a metadata-carrying design
+//! keeps that design's fresh, empty metadata cache.
+//!
+//! Forked statistics are exact for Base (restore is bit-faithful) and a
+//! warm-start *approximation* for the other designs — their prefix ran
+//! uncompressed. Use [`run_cells`](crate::run_cells) when full-run
+//! fidelity is required; use this for fast differential exploration and
+//! the checkpoint benchmark.
+
+use crate::{CellResult, DesignId, SweepCell, SweepConfig};
+use caba_sim::{Design, Gpu, RestoreError, RunError};
+use caba_workloads::{app, prepare_app, DEFAULT_MAX_CYCLES};
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Errors from a forked sweep.
+#[derive(Debug)]
+pub enum ForkError {
+    /// An application name did not resolve.
+    UnknownApp(&'static str),
+    /// The warm-up or a forked suffix run failed.
+    Run {
+        /// The application involved.
+        app: &'static str,
+        /// The design whose run failed ("Base" for the warm-up).
+        design: &'static str,
+        /// The simulator error.
+        source: RunError,
+    },
+    /// Restoring the warm snapshot into a design failed — a harness bug,
+    /// since the snapshot was taken in-process moments earlier.
+    Restore {
+        /// The application involved.
+        app: &'static str,
+        /// The design being forked into.
+        design: &'static str,
+        /// The restore error.
+        source: RestoreError,
+    },
+}
+
+impl fmt::Display for ForkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ForkError::UnknownApp(app) => write!(f, "unknown app {app}"),
+            ForkError::Run {
+                app,
+                design,
+                source,
+            } => write!(f, "{app}/{design}: {source}"),
+            ForkError::Restore {
+                app,
+                design,
+                source,
+            } => write!(f, "{app}/{design}: fork restore failed: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for ForkError {}
+
+/// One cell of a forked sweep.
+#[derive(Debug, Clone)]
+pub struct ForkedCell {
+    /// The underlying result (stats + suffix wall time).
+    pub result: CellResult,
+    /// Whether this cell started from the warm checkpoint (`false` when
+    /// the application completed inside the warm-up budget and the cell
+    /// ran cold).
+    pub forked: bool,
+}
+
+/// A completed forked sweep with its checkpoint economics.
+#[derive(Debug, Clone)]
+pub struct ForkedSweep {
+    /// Warm-up budget per application, in cycles.
+    pub warmup_cycles: u64,
+    /// Total wall seconds spent warming Base machines (shared prefix,
+    /// paid once per app instead of once per cell).
+    pub warmup_wall_s: f64,
+    /// Total bytes across all Base snapshots taken.
+    pub snapshot_bytes: usize,
+    /// Per-cell results, apps-major in input order.
+    pub cells: Vec<ForkedCell>,
+}
+
+impl ForkedSweep {
+    /// The plain cell results, for report assembly.
+    pub fn results(&self) -> Vec<CellResult> {
+        self.cells.iter().map(|c| c.result.clone()).collect()
+    }
+}
+
+/// Per-app outcome of the warm-up phase.
+struct WarmApp {
+    /// Warm snapshot, or `None` when the app finished inside the budget.
+    snapshot: Option<Vec<u8>>,
+    wall_s: f64,
+}
+
+/// Runs `apps` × `designs` (at bandwidth 1.0) with a shared warm-up
+/// prefix of `warmup` cycles per application, forked from a Base
+/// checkpoint into each design. Apps are processed in parallel across
+/// `jobs` workers; results return apps-major in input order.
+///
+/// # Errors
+///
+/// [`ForkError::UnknownApp`] for unresolvable names, [`ForkError::Run`]
+/// when the warm-up hangs or a forked suffix errors, and
+/// [`ForkError::Restore`] if the in-process snapshot fails to restore.
+pub fn run_forked(
+    sc: &SweepConfig,
+    apps: &[&'static str],
+    designs: &[DesignId],
+    warmup: u64,
+    jobs: usize,
+) -> Result<ForkedSweep, ForkError> {
+    type AppSlot = Mutex<Option<Result<(WarmApp, Vec<ForkedCell>), ForkError>>>;
+    let jobs = jobs.clamp(1, apps.len().max(1));
+    let next = AtomicUsize::new(0);
+    let slots: Vec<AppSlot> = apps.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..jobs {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= apps.len() {
+                    break;
+                }
+                *slots[i].lock().expect("slot lock") =
+                    Some(fork_one_app(sc, apps[i], designs, warmup));
+            });
+        }
+    });
+
+    let mut sweep = ForkedSweep {
+        warmup_cycles: warmup,
+        warmup_wall_s: 0.0,
+        snapshot_bytes: 0,
+        cells: Vec::with_capacity(apps.len() * designs.len()),
+    };
+    for slot in slots {
+        let (warm, cells) = slot
+            .into_inner()
+            .expect("slot lock")
+            .expect("every app was claimed")?;
+        sweep.warmup_wall_s += warm.wall_s;
+        sweep.snapshot_bytes += warm.snapshot.as_ref().map_or(0, Vec::len);
+        sweep.cells.extend(cells);
+    }
+    Ok(sweep)
+}
+
+fn fork_one_app(
+    sc: &SweepConfig,
+    name: &'static str,
+    designs: &[DesignId],
+    warmup: u64,
+) -> Result<(WarmApp, Vec<ForkedCell>), ForkError> {
+    let spec = app(name).ok_or(ForkError::UnknownApp(name))?;
+
+    // Shared prefix: warm one Base machine for `warmup` cycles.
+    let t0 = Instant::now();
+    let (mut base, kernel) = prepare_app(&spec, sc.cfg, Design::Base, sc.scale);
+    let warm_outcome = base.run(&kernel, warmup);
+    let warm = WarmApp {
+        snapshot: match &warm_outcome {
+            // Timeout at the budget leaves the machine at a clean cycle
+            // boundary — exactly the snapshot point.
+            Err(RunError::Timeout { .. }) => Some(base.snapshot(&kernel)),
+            Ok(_) => None,
+            Err(_) => None,
+        },
+        wall_s: t0.elapsed().as_secs_f64(),
+    };
+    match warm_outcome {
+        Ok(_) | Err(RunError::Timeout { .. }) => {}
+        Err(source) => {
+            return Err(ForkError::Run {
+                app: name,
+                design: "Base",
+                source,
+            })
+        }
+    }
+
+    let mut cells = Vec::with_capacity(designs.len());
+    for &design in designs {
+        let cell = SweepCell {
+            app: name,
+            design,
+            bw_scale: 1.0,
+        };
+        let t1 = Instant::now();
+        let (stats, forked) = match &warm.snapshot {
+            Some(snap) => {
+                let mut gpu = Gpu::new(sc.cfg, design.make());
+                gpu.restore_fork(&kernel, snap)
+                    .map_err(|source| ForkError::Restore {
+                        app: name,
+                        design: design.label(),
+                        source,
+                    })?;
+                let stats =
+                    gpu.resume(&kernel, DEFAULT_MAX_CYCLES)
+                        .map_err(|source| ForkError::Run {
+                            app: name,
+                            design: design.label(),
+                            source,
+                        })?;
+                (stats, true)
+            }
+            // The app finished inside the warm-up budget: nothing to
+            // fork, run the cell cold for full fidelity.
+            None => {
+                let (mut gpu, kernel) = prepare_app(&spec, sc.cfg, design.make(), sc.scale);
+                let stats =
+                    gpu.run(&kernel, DEFAULT_MAX_CYCLES)
+                        .map_err(|source| ForkError::Run {
+                            app: name,
+                            design: design.label(),
+                            source,
+                        })?;
+                (stats, false)
+            }
+        };
+        cells.push(ForkedCell {
+            result: CellResult {
+                cell,
+                stats,
+                wall_s: t1.elapsed().as_secs_f64(),
+            },
+            forked,
+        });
+    }
+    Ok((warm, cells))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caba_sim::GpuConfig;
+    use caba_workloads::run_app;
+
+    fn tiny_sc() -> SweepConfig {
+        SweepConfig {
+            scale: 0.05,
+            cfg: GpuConfig::small(),
+        }
+    }
+
+    #[test]
+    fn forked_base_matches_cold_base_exactly() {
+        let sc = tiny_sc();
+        let sweep = run_forked(&sc, &["CONS"], &[DesignId::Base], 500, 1).expect("forked sweep");
+        let forked = &sweep.cells[0];
+        assert!(forked.forked, "CONS outlives a 500-cycle warm-up");
+        assert!(sweep.snapshot_bytes > 0);
+        let spec = app("CONS").unwrap();
+        let cold = run_app(&spec, sc.cfg, Design::Base, sc.scale).expect("cold run");
+        // Base fork is a bit-faithful restore: identical statistics.
+        assert_eq!(forked.result.stats, cold);
+    }
+
+    #[test]
+    fn forked_designs_complete_and_retire_identical_work() {
+        let sc = tiny_sc();
+        let designs = [DesignId::Base, DesignId::HwBdi, DesignId::CabaBdi];
+        let sweep = run_forked(&sc, &["CONS"], &designs, 500, 2).expect("forked sweep");
+        assert_eq!(sweep.cells.len(), designs.len());
+        let retired = sweep.cells[0].result.stats.threads_retired;
+        for cell in &sweep.cells {
+            assert!(cell.forked);
+            assert_eq!(cell.result.stats.threads_retired, retired);
+            assert!(cell.result.stats.cycles > sweep.warmup_cycles);
+        }
+    }
+
+    #[test]
+    fn short_apps_fall_back_to_cold_runs() {
+        let sc = tiny_sc();
+        // An absurdly long warm-up: every app completes inside it.
+        let sweep =
+            run_forked(&sc, &["CONS"], &[DesignId::CabaBdi], 100_000_000, 1).expect("sweep");
+        assert!(!sweep.cells[0].forked);
+        assert_eq!(sweep.snapshot_bytes, 0);
+    }
+}

@@ -25,6 +25,15 @@
 //! assert_eq!(results.len(), cells.len());
 //! ```
 
+pub mod fork;
+pub mod resilient;
+
+pub use fork::{run_forked, ForkError, ForkedCell, ForkedSweep};
+pub use resilient::{
+    cell_key, figure_table, run_cell_resilient, run_cells_journaled, sweep_key, CellFailure,
+    FailureClass, ResilientOutcome, SweepError,
+};
+
 use caba_compress::Algorithm;
 use caba_core::CabaController;
 use caba_energy::DesignKind;

@@ -5,8 +5,18 @@
 //! `--selftest` proves determinism: every ported figure's cell list is run
 //! serially and in parallel, and the two `RunStats` vectors must be
 //! bit-identical (exit code 1 otherwise).
+//!
+//! `--resume PATH` makes the sweep crash-resilient: every finished cell is
+//! journaled to PATH, and re-running the same invocation re-runs only the
+//! cells the journal is missing. Because each cell is bit-deterministic,
+//! the resumed report's figure table is byte-identical to an uninterrupted
+//! run's.
 
-use caba_sweep::{dedup_cells, figure_cells, run_cells, SweepConfig, SweepReport, FIGURES};
+use caba_sweep::{
+    dedup_cells, figure_cells, run_cells, run_cells_journaled, SweepConfig, SweepReport, FIGURES,
+};
+use std::path::PathBuf;
+use std::process::ExitCode;
 use std::time::Instant;
 
 struct Args {
@@ -17,11 +27,15 @@ struct Args {
     baseline: bool,
     scale: Option<f64>,
     out: String,
+    resume: Option<PathBuf>,
+    checkpoint_every: u64,
+    retries: u32,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: caba-sweep [--jobs N] [--intra-jobs N] [--scale F] [--baseline] [--selftest] [--out PATH]\n\
+        "usage: caba-sweep [--jobs N] [--intra-jobs N] [--scale F] [--baseline] [--selftest]\n\
+         \x20                 [--resume PATH] [--checkpoint-every N] [--retries N] [--out PATH]\n\
          \n\
          --jobs N       total worker-thread budget (default: available parallelism)\n\
          --intra-jobs N worker threads INSIDE each simulation (default:\n\
@@ -33,6 +47,15 @@ fn usage() -> ! {
                         and record the speedup\n\
          --ref-wall S   reference wall seconds from an earlier build (recorded\n\
                         as ref_wall_s / hot_path_speedup_vs_ref in the report)\n\
+         --resume PATH  journal finished cells to PATH and, if PATH already\n\
+                        holds a journal for this sweep, re-run only missing\n\
+                        cells (crash-resilient resume; panics are isolated\n\
+                        per cell and retried)\n\
+         --checkpoint-every N\n\
+                        take a periodic in-memory machine snapshot every N\n\
+                        cycles (0 = off); enables time-travel hang forensics\n\
+         --retries N    extra attempts per panicking cell under --resume\n\
+                        (default 1; deterministic failures stop early)\n\
          --selftest     verify parallel RunStats are bit-identical to serial per figure\n\
          --out PATH     report path (default: BENCH_sweep.json)"
     );
@@ -48,47 +71,54 @@ fn parse_args() -> Args {
         baseline: false,
         scale: None,
         out: "BENCH_sweep.json".to_string(),
+        resume: None,
+        checkpoint_every: 0,
+        retries: 1,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--jobs" => {
-                args.jobs = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage());
+            "--jobs" => args.jobs = parse_flag(&a, it.next()),
+            "--intra-jobs" => args.intra_jobs = parse_flag(&a, it.next()),
+            "--scale" => args.scale = Some(parse_flag(&a, it.next())),
+            "--out" => args.out = it.next().unwrap_or_else(|| missing_value("--out")),
+            "--ref-wall" => args.ref_wall = Some(parse_flag(&a, it.next())),
+            "--resume" => {
+                args.resume = Some(PathBuf::from(
+                    it.next().unwrap_or_else(|| missing_value("--resume")),
+                ));
             }
-            "--intra-jobs" => {
-                args.intra_jobs = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage());
-            }
-            "--scale" => {
-                args.scale = Some(
-                    it.next()
-                        .and_then(|v| v.parse().ok())
-                        .unwrap_or_else(|| usage()),
-                );
-            }
-            "--out" => args.out = it.next().unwrap_or_else(|| usage()),
-            "--ref-wall" => {
-                args.ref_wall = Some(
-                    it.next()
-                        .and_then(|v| v.parse().ok())
-                        .unwrap_or_else(|| usage()),
-                );
-            }
+            "--checkpoint-every" => args.checkpoint_every = parse_flag(&a, it.next()),
+            "--retries" => args.retries = parse_flag(&a, it.next()),
             "--baseline" => args.baseline = true,
             "--selftest" => args.selftest = true,
             "--help" | "-h" => usage(),
-            _ => usage(),
+            _ => {
+                eprintln!("caba-sweep: unknown flag {a}\n");
+                usage();
+            }
         }
     }
     if args.jobs == 0 || args.intra_jobs == 0 {
+        eprintln!("caba-sweep: --jobs and --intra-jobs must be nonzero\n");
         usage();
     }
     args
+}
+
+/// Parses a flag value, exiting with usage (code 2) on a missing or
+/// malformed value rather than panicking.
+fn parse_flag<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    let v = value.unwrap_or_else(|| missing_value(flag));
+    v.parse().unwrap_or_else(|_| {
+        eprintln!("caba-sweep: invalid value {v:?} for {flag}\n");
+        usage();
+    })
+}
+
+fn missing_value(flag: &str) -> ! {
+    eprintln!("caba-sweep: {flag} requires a value\n");
+    usage();
 }
 
 fn env_scale() -> f64 {
@@ -106,16 +136,30 @@ fn env_intra_jobs() -> usize {
         .unwrap_or(1)
 }
 
-fn main() {
+fn main() -> ExitCode {
     let args = parse_args();
-    let report = if args.selftest {
+    let (report, ok) = if args.selftest {
         selftest(&args)
     } else {
-        sweep(&args)
+        match sweep(&args) {
+            Ok(r) => (r, true),
+            Err(e) => {
+                eprintln!("caba-sweep: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     };
-    std::fs::write(&args.out, report.to_json())
-        .unwrap_or_else(|e| panic!("writing {}: {e}", args.out));
+    if let Err(e) = std::fs::write(&args.out, report.to_json()) {
+        eprintln!("caba-sweep: writing {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
     eprintln!("report written to {}", args.out);
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("selftest FAILED: parallel sweep is not bit-identical to serial");
+        ExitCode::FAILURE
+    }
 }
 
 /// Splits the total thread budget between cell-level fan-out and intra-run
@@ -125,13 +169,19 @@ fn cell_jobs(args: &Args) -> usize {
     (args.jobs / args.intra_jobs).max(1)
 }
 
-/// Full figure sweep; optionally measures a serial baseline first.
-fn sweep(args: &Args) -> SweepReport {
+fn base_config(args: &Args, default_scale: f64) -> SweepConfig {
     let mut sc = SweepConfig {
-        scale: args.scale.unwrap_or_else(env_scale),
+        scale: args.scale.unwrap_or(default_scale),
         ..SweepConfig::default()
     };
     sc.cfg.intra_jobs = args.intra_jobs;
+    sc.cfg.checkpoint_interval = args.checkpoint_every;
+    sc
+}
+
+/// Full figure sweep; optionally measures a serial baseline first.
+fn sweep(args: &Args) -> Result<SweepReport, Box<dyn std::error::Error>> {
+    let sc = base_config(args, env_scale());
     let groups: Vec<_> = FIGURES
         .iter()
         .map(|f| figure_cells(f).expect("known figure"))
@@ -159,7 +209,13 @@ fn sweep(args: &Args) -> SweepReport {
         None
     };
     let t0 = Instant::now();
-    let results = run_cells(&sc, &cells, cjobs);
+    let results = match &args.resume {
+        Some(manifest) => {
+            eprintln!("  journaling to {} (resume-capable)", manifest.display());
+            run_cells_journaled(&sc, &cells, cjobs, args.retries, manifest)?
+        }
+        None => run_cells(&sc, &cells, cjobs),
+    };
     let parallel_wall_s = t0.elapsed().as_secs_f64();
     eprintln!(
         "  parallel ({cjobs} x {} jobs): {parallel_wall_s:.2}s",
@@ -168,7 +224,7 @@ fn sweep(args: &Args) -> SweepReport {
     if let Some(s) = serial_wall_s {
         eprintln!("  speedup: {:.2}x", s / parallel_wall_s);
     }
-    SweepReport {
+    Ok(SweepReport {
         mode: "sweep",
         scale: sc.scale,
         jobs: args.jobs,
@@ -179,17 +235,14 @@ fn sweep(args: &Args) -> SweepReport {
         parallel_wall_s,
         deterministic: None,
         results,
-    }
+    })
 }
 
 /// Per-figure determinism proof: serial and parallel runs of the same cell
-/// list must produce bit-identical `RunStats` in the same order.
-fn selftest(args: &Args) -> SweepReport {
-    let mut sc = SweepConfig {
-        scale: args.scale.unwrap_or(0.05),
-        ..SweepConfig::default()
-    };
-    sc.cfg.intra_jobs = args.intra_jobs;
+/// list must produce bit-identical `RunStats` in the same order. Returns
+/// the report and whether every figure matched.
+fn selftest(args: &Args) -> (SweepReport, bool) {
+    let sc = base_config(args, 0.05);
     // The serial reference is fully serial: one cell at a time, one thread
     // inside each simulation.
     let mut serial_sc = sc;
@@ -230,6 +283,12 @@ fn selftest(args: &Args) -> SweepReport {
         }
         all_results.extend(parallel);
     }
+    if ok {
+        eprintln!(
+            "selftest OK: all figures bit-identical; serial {serial_total:.2}s vs parallel {parallel_total:.2}s ({:.2}x)",
+            serial_total / parallel_total
+        );
+    }
     let report = SweepReport {
         mode: "selftest",
         scale: sc.scale,
@@ -242,15 +301,5 @@ fn selftest(args: &Args) -> SweepReport {
         deterministic: Some(ok),
         results: all_results,
     };
-    if !ok {
-        // Still write the report for forensics, then fail.
-        let _ = std::fs::write(&args.out, report.to_json());
-        eprintln!("selftest FAILED: parallel sweep is not bit-identical to serial");
-        std::process::exit(1);
-    }
-    eprintln!(
-        "selftest OK: all figures bit-identical; serial {serial_total:.2}s vs parallel {parallel_total:.2}s ({:.2}x)",
-        serial_total / parallel_total
-    );
-    report
+    (report, ok)
 }

@@ -1,0 +1,625 @@
+//! Crash-resilient sweep execution: per-cell panic isolation with bounded
+//! retry, transient-vs-deterministic failure classification, and a
+//! journaled resume manifest so an interrupted sweep re-runs only the
+//! missing cells.
+//!
+//! # Failure model
+//!
+//! A sweep cell can fail two ways. A **simulator error** ([`RunError`]:
+//! timeout, hang, audit failure) is deterministic by construction — the
+//! simulator is bit-reproducible, so retrying is pointless and the error is
+//! reported immediately. A **panic** escaping the cell (a harness bug, or a
+//! transient host fault) is caught with [`std::panic::catch_unwind`] and
+//! retried up to a bounded count; a cell that succeeds on retry is
+//! classified *transient*, one that repeats the identical panic is
+//! classified *deterministic*, and exhausted retries with varying messages
+//! stay *undetermined*.
+//!
+//! # Resume manifest
+//!
+//! [`run_cells_journaled`] appends one line per finished cell to a journal
+//! keyed by a content hash of the canonicalized [`GpuConfig`] (via
+//! [`caba_sim::snapshot::config_hash`], which ignores observability /
+//! checkpoint / worker knobs) plus the cell spec. Each line carries its own
+//! checksum, so a line torn by a crash mid-write is skipped and that cell
+//! simply re-runs. Restarting the same invocation re-runs *only* cells
+//! absent from the journal; because every cell is bit-deterministic, the
+//! resumed report is identical to an uninterrupted one.
+//!
+//! [`GpuConfig`]: caba_sim::GpuConfig
+
+use crate::{CellResult, SweepCell, SweepConfig};
+use caba_sim::snapshot::config_hash;
+use caba_sim::RunStats;
+use caba_stats::snap::{checksum64, SnapshotReader, SnapshotState, SnapshotWriter};
+use caba_workloads::{app, run_app};
+use std::fmt;
+use std::io::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Why a cell could not produce statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailureClass {
+    /// A simulator error ([`RunError`](caba_sim::RunError)): deterministic
+    /// by construction, never retried.
+    SimError,
+    /// The same panic repeated on retry: a deterministic harness bug.
+    DeterministicPanic,
+    /// Retries exhausted with differing messages: cause undetermined
+    /// (possibly a transient host fault that kept moving).
+    Undetermined,
+}
+
+impl fmt::Display for FailureClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailureClass::SimError => write!(f, "simulator error (deterministic)"),
+            FailureClass::DeterministicPanic => write!(f, "repeated panic (deterministic)"),
+            FailureClass::Undetermined => write!(f, "retries exhausted (undetermined)"),
+        }
+    }
+}
+
+/// A cell that failed every attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellFailure {
+    /// Classification of the failure.
+    pub class: FailureClass,
+    /// One message per attempt, oldest first.
+    pub errors: Vec<String>,
+}
+
+/// The outcome of one cell under the resilient executor.
+#[derive(Debug, Clone)]
+pub struct ResilientOutcome {
+    /// The cell.
+    pub cell: SweepCell,
+    /// Attempts consumed (1 = first try succeeded).
+    pub attempts: u32,
+    /// Statistics and wall seconds, or the classified failure.
+    pub result: Result<(RunStats, f64), CellFailure>,
+    /// Whether success came only after at least one caught panic — the
+    /// signature of a transient fault.
+    pub recovered: bool,
+}
+
+/// Errors from journaled sweep execution.
+#[derive(Debug)]
+pub enum SweepError {
+    /// Reading or writing the manifest failed.
+    Io {
+        /// The manifest path involved.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// The manifest belongs to a different sweep (configuration or scale
+    /// changed since it was written).
+    ManifestMismatch {
+        /// Key recorded in the manifest header.
+        found: u64,
+        /// Key of the requested sweep.
+        expected: u64,
+    },
+    /// One or more cells failed every attempt. The journal retains every
+    /// completed cell, so a later `--resume` re-runs only these.
+    CellsFailed(Vec<(SweepCell, CellFailure)>),
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepError::Io { path, source } => {
+                write!(f, "manifest {}: {source}", path.display())
+            }
+            SweepError::ManifestMismatch { found, expected } => write!(
+                f,
+                "manifest belongs to a different sweep (key {found:016x}, this sweep is \
+                 {expected:016x}); delete it or point --resume elsewhere"
+            ),
+            SweepError::CellsFailed(cells) => {
+                writeln!(f, "{} cell(s) failed every attempt:", cells.len())?;
+                for (cell, failure) in cells {
+                    writeln!(
+                        f,
+                        "  {} / {} @ {}x BW: {} — {}",
+                        cell.app,
+                        cell.design.label(),
+                        cell.bw_scale,
+                        failure.class,
+                        failure.errors.last().map(String::as_str).unwrap_or("?")
+                    )?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+/// Content hash identifying a sweep: the canonicalized machine
+/// configuration plus the workload scale. Cells journal under this key;
+/// a manifest written for one sweep refuses to resume another.
+pub fn sweep_key(sc: &SweepConfig) -> u64 {
+    checksum64(format!("{:016x}|{:016x}", config_hash(&sc.cfg), sc.scale.to_bits()).as_bytes())
+}
+
+/// Content hash identifying one cell within a sweep.
+pub fn cell_key(sc: &SweepConfig, cell: &SweepCell) -> u64 {
+    checksum64(
+        format!(
+            "{:016x}|{}|{}|{:016x}",
+            sweep_key(sc),
+            cell.app,
+            cell.design.label(),
+            cell.bw_scale.to_bits()
+        )
+        .as_bytes(),
+    )
+}
+
+/// Runs one cell with panic isolation and bounded retry (`retries` extra
+/// attempts after the first). See the module docs for the classification
+/// rules.
+pub fn run_cell_resilient(sc: &SweepConfig, cell: SweepCell, retries: u32) -> ResilientOutcome {
+    let mut errors: Vec<String> = Vec::new();
+    for attempt in 0..=retries {
+        let t0 = Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let spec = app(cell.app)?;
+            let cfg = sc.cfg.with_bandwidth_scale(cell.bw_scale);
+            Some(run_app(&spec, cfg, cell.design.make(), sc.scale))
+        }));
+        match outcome {
+            Ok(None) => {
+                // Unknown app names repeat forever; fail immediately.
+                return ResilientOutcome {
+                    cell,
+                    attempts: attempt + 1,
+                    result: Err(CellFailure {
+                        class: FailureClass::DeterministicPanic,
+                        errors: vec![format!("unknown app {}", cell.app)],
+                    }),
+                    recovered: false,
+                };
+            }
+            Ok(Some(Ok(stats))) => {
+                return ResilientOutcome {
+                    cell,
+                    attempts: attempt + 1,
+                    result: Ok((stats, t0.elapsed().as_secs_f64())),
+                    recovered: attempt > 0,
+                };
+            }
+            Ok(Some(Err(run_err))) => {
+                // The simulator is bit-deterministic: a RunError will
+                // repeat identically, so there is nothing to retry.
+                errors.push(run_err.to_string());
+                return ResilientOutcome {
+                    cell,
+                    attempts: attempt + 1,
+                    result: Err(CellFailure {
+                        class: FailureClass::SimError,
+                        errors,
+                    }),
+                    recovered: false,
+                };
+            }
+            Err(payload) => {
+                let msg = panic_message(&payload);
+                let repeated = errors.last().is_some_and(|prev| *prev == msg);
+                errors.push(msg);
+                if repeated {
+                    // The identical panic twice in a row: deterministic.
+                    return ResilientOutcome {
+                        cell,
+                        attempts: attempt + 1,
+                        result: Err(CellFailure {
+                            class: FailureClass::DeterministicPanic,
+                            errors,
+                        }),
+                        recovered: false,
+                    };
+                }
+            }
+        }
+    }
+    let attempts = errors.len() as u32;
+    ResilientOutcome {
+        cell,
+        attempts,
+        result: Err(CellFailure {
+            class: FailureClass::Undetermined,
+            errors,
+        }),
+        recovered: false,
+    }
+}
+
+fn panic_message(payload: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+// ----- resume manifest -----------------------------------------------------
+
+const MANIFEST_HEADER: &str = "caba-sweep-manifest-v1";
+
+fn encode_hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+fn decode_hex(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    (0..s.len() / 2)
+        .map(|i| u8::from_str_radix(&s[i * 2..i * 2 + 2], 16).ok())
+        .collect()
+}
+
+/// Renders one journal line for a finished cell. The trailing checksum
+/// covers the rest of the line, so a torn write is detected and skipped.
+fn journal_line(key: u64, stats: &RunStats, wall_s: f64) -> String {
+    let mut w = SnapshotWriter::new();
+    stats.save(&mut w);
+    let body = format!(
+        "cell {key:016x} wall={:016x} stats={}",
+        wall_s.to_bits(),
+        encode_hex(&w.into_bytes())
+    );
+    format!("{body} sum={:016x}\n", checksum64(body.as_bytes()))
+}
+
+/// Parses one journal line; `None` for anything malformed (including a
+/// line torn by a crash mid-write).
+fn parse_journal_line(line: &str) -> Option<(u64, RunStats, f64)> {
+    let (body, sum_field) = line.rsplit_once(" sum=")?;
+    let sum = u64::from_str_radix(sum_field.trim(), 16).ok()?;
+    if checksum64(body.as_bytes()) != sum {
+        return None;
+    }
+    let rest = body.strip_prefix("cell ")?;
+    let (key_s, rest) = rest.split_once(' ')?;
+    let key = u64::from_str_radix(key_s, 16).ok()?;
+    let rest = rest.strip_prefix("wall=")?;
+    let (wall_s, rest) = rest.split_once(' ')?;
+    let wall = f64::from_bits(u64::from_str_radix(wall_s, 16).ok()?);
+    let stats_hex = rest.strip_prefix("stats=")?;
+    let bytes = decode_hex(stats_hex)?;
+    let mut r = SnapshotReader::new(&bytes);
+    let stats = RunStats::load(&mut r).ok()?;
+    r.finish().ok()?;
+    Some((key, stats, wall))
+}
+
+/// Already-journaled results, keyed by cell hash.
+fn read_manifest(
+    path: &Path,
+    expected_key: u64,
+) -> Result<std::collections::HashMap<u64, (RunStats, f64)>, SweepError> {
+    let mut done = std::collections::HashMap::new();
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(done),
+        Err(e) => {
+            return Err(SweepError::Io {
+                path: path.to_path_buf(),
+                source: e,
+            })
+        }
+    };
+    let mut lines = text.lines();
+    match lines.next() {
+        None => return Ok(done),
+        Some(header) => {
+            let key = header
+                .strip_prefix(MANIFEST_HEADER)
+                .and_then(|r| r.trim().strip_prefix("key="))
+                .and_then(|k| u64::from_str_radix(k, 16).ok());
+            match key {
+                Some(k) if k == expected_key => {}
+                Some(k) => {
+                    return Err(SweepError::ManifestMismatch {
+                        found: k,
+                        expected: expected_key,
+                    })
+                }
+                // A torn header: treat as empty and rewrite from scratch.
+                None => return Ok(done),
+            }
+        }
+    }
+    for line in lines {
+        if let Some((key, stats, wall)) = parse_journal_line(line) {
+            done.insert(key, (stats, wall));
+        }
+        // Malformed lines (torn by a crash) are skipped: the cell re-runs.
+    }
+    Ok(done)
+}
+
+/// Runs `cells` with panic isolation, bounded retry, and an append-only
+/// resume journal at `manifest`: cells already journaled are not re-run,
+/// and every newly finished cell is flushed to the journal immediately, so
+/// a killed sweep resumes from where it died. Results return in **input
+/// order** with journaled wall times for restored cells.
+///
+/// # Errors
+///
+/// [`SweepError::ManifestMismatch`] before any cell runs if the journal
+/// belongs to a different sweep; [`SweepError::CellsFailed`] after the
+/// sweep if any cell failed every attempt (completed cells stay
+/// journaled); [`SweepError::Io`] on journal I/O failures.
+pub fn run_cells_journaled(
+    sc: &SweepConfig,
+    cells: &[SweepCell],
+    jobs: usize,
+    retries: u32,
+    manifest: &Path,
+) -> Result<Vec<CellResult>, SweepError> {
+    let skey = sweep_key(sc);
+    let done = read_manifest(manifest, skey)?;
+    let fresh = done.is_empty();
+    let keys: Vec<u64> = cells.iter().map(|c| cell_key(sc, c)).collect();
+    let missing: Vec<usize> = (0..cells.len())
+        .filter(|&i| !done.contains_key(&keys[i]))
+        .collect();
+
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(manifest)
+        .map_err(|e| SweepError::Io {
+            path: manifest.to_path_buf(),
+            source: e,
+        })?;
+    if fresh {
+        file.write_all(format!("{MANIFEST_HEADER} key={skey:016x}\n").as_bytes())
+            .map_err(|e| SweepError::Io {
+                path: manifest.to_path_buf(),
+                source: e,
+            })?;
+    }
+    let journal = Mutex::new(file);
+
+    let jobs = jobs.clamp(1, missing.len().max(1));
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<ResilientOutcome>>> =
+        missing.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..jobs {
+            s.spawn(|| loop {
+                let slot = next.fetch_add(1, Ordering::Relaxed);
+                if slot >= missing.len() {
+                    break;
+                }
+                let i = missing[slot];
+                let outcome = run_cell_resilient(sc, cells[i], retries);
+                if let Ok((stats, wall)) = &outcome.result {
+                    let line = journal_line(keys[i], stats, *wall);
+                    let mut f = journal.lock().expect("journal lock");
+                    // Write+flush as one unit per cell; a crash tears at
+                    // most the final line, which resume skips.
+                    let _ = f.write_all(line.as_bytes()).and_then(|()| f.flush());
+                }
+                *slots[slot].lock().expect("slot lock") = Some(outcome);
+            });
+        }
+    });
+
+    let mut by_index: std::collections::HashMap<usize, ResilientOutcome> = missing
+        .iter()
+        .zip(slots)
+        .map(|(&i, m)| {
+            (
+                i,
+                m.into_inner()
+                    .expect("slot lock")
+                    .expect("every missing cell was claimed"),
+            )
+        })
+        .collect();
+
+    let mut failed = Vec::new();
+    let mut results = Vec::with_capacity(cells.len());
+    for (i, cell) in cells.iter().enumerate() {
+        if let Some((stats, wall_s)) = done.get(&keys[i]) {
+            results.push(CellResult {
+                cell: *cell,
+                stats: stats.clone(),
+                wall_s: *wall_s,
+            });
+        } else {
+            let outcome = by_index.remove(&i).expect("missing cell has an outcome");
+            match outcome.result {
+                Ok((stats, wall_s)) => results.push(CellResult {
+                    cell: *cell,
+                    stats,
+                    wall_s,
+                }),
+                Err(failure) => failed.push((*cell, failure)),
+            }
+        }
+    }
+    if failed.is_empty() {
+        Ok(results)
+    } else {
+        Err(SweepError::CellsFailed(failed))
+    }
+}
+
+/// The deterministic figure table derived from sweep results: one line per
+/// cell with every derived rate from [`RunStats::summary`], and no wall
+/// times. Two sweeps over the same cells produce byte-identical tables —
+/// including a journaled sweep resumed after a kill.
+pub fn figure_table(results: &[CellResult]) -> String {
+    let mut s = String::with_capacity(128 * results.len());
+    for r in results {
+        s.push_str(&format!(
+            "{}\t{}\t{}\t{}\n",
+            r.cell.app,
+            r.cell.design.label(),
+            r.cell.bw_scale,
+            r.stats.summary().to_json()
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DesignId;
+    use caba_sim::GpuConfig;
+
+    fn tiny_sc() -> SweepConfig {
+        SweepConfig {
+            scale: 0.05,
+            cfg: GpuConfig::small(),
+        }
+    }
+
+    fn tiny_cells() -> Vec<SweepCell> {
+        [
+            ("CONS", DesignId::Base),
+            ("CONS", DesignId::CabaBdi),
+            ("BFS", DesignId::Base),
+        ]
+        .into_iter()
+        .map(|(app, design)| SweepCell {
+            app,
+            design,
+            bw_scale: 1.0,
+        })
+        .collect()
+    }
+
+    #[test]
+    fn keys_are_stable_and_config_sensitive() {
+        let sc = tiny_sc();
+        let cells = tiny_cells();
+        assert_eq!(cell_key(&sc, &cells[0]), cell_key(&sc, &cells[0]));
+        assert_ne!(cell_key(&sc, &cells[0]), cell_key(&sc, &cells[1]));
+        let mut other = sc;
+        other.cfg.mshrs += 1;
+        assert_ne!(cell_key(&sc, &cells[0]), cell_key(&other, &cells[0]));
+        // Worker-count and observability knobs are canonicalized away.
+        let mut tolerated = sc;
+        tolerated.cfg.intra_jobs = 4;
+        tolerated.cfg.checkpoint_interval = 500;
+        assert_eq!(sweep_key(&sc), sweep_key(&tolerated));
+    }
+
+    #[test]
+    fn journal_lines_round_trip_and_reject_corruption() {
+        let stats = RunStats {
+            cycles: 12345,
+            l2_hits: 17,
+            ..Default::default()
+        };
+        let line = journal_line(0xABCD, &stats, 1.5);
+        let (key, back, wall) = parse_journal_line(line.trim_end()).expect("line parses");
+        assert_eq!(key, 0xABCD);
+        assert_eq!(back, stats);
+        assert_eq!(wall, 1.5);
+        // Any flipped character is rejected.
+        let mut bad = line.trim_end().to_string();
+        let mid = bad.len() / 2;
+        bad.replace_range(
+            mid..mid + 1,
+            if &bad[mid..mid + 1] == "0" { "1" } else { "0" },
+        );
+        assert!(parse_journal_line(&bad).is_none());
+        // A torn (truncated) line is rejected.
+        assert!(parse_journal_line(&line[..line.len() / 2]).is_none());
+    }
+
+    #[test]
+    fn resilient_cell_classifies_unknown_app_as_deterministic() {
+        let sc = tiny_sc();
+        let cell = SweepCell {
+            app: "NOPE",
+            design: DesignId::Base,
+            bw_scale: 1.0,
+        };
+        let out = run_cell_resilient(&sc, cell, 3);
+        let failure = out.result.expect_err("unknown app fails");
+        assert_eq!(failure.class, FailureClass::DeterministicPanic);
+        assert_eq!(out.attempts, 1, "deterministic failures are not retried");
+    }
+
+    #[test]
+    fn sim_errors_are_not_retried() {
+        // A 1-cycle... impossible; instead force a timeout via an absurd
+        // watchdog-free budget? run_app uses DEFAULT_MAX_CYCLES, so a
+        // deterministic RunError is hard to provoke from here; covered by
+        // the integration test instead. Keep the classifier honest on the
+        // panic path: a panic that repeats identically stops early.
+        let sc = tiny_sc();
+        let cell = SweepCell {
+            app: "NOPE2",
+            design: DesignId::Base,
+            bw_scale: 1.0,
+        };
+        let out = run_cell_resilient(&sc, cell, 5);
+        assert!(out.result.is_err());
+        assert!(out.attempts <= 2, "identical panics stop the retry loop");
+    }
+
+    #[test]
+    fn journaled_sweep_resumes_without_rerunning() {
+        let sc = tiny_sc();
+        let cells = tiny_cells();
+        let dir = std::env::temp_dir();
+        let manifest = dir.join(format!("caba-test-manifest-{:x}.txt", sweep_key(&sc)));
+        let _ = std::fs::remove_file(&manifest);
+
+        // Full run from scratch.
+        let full = run_cells_journaled(&sc, &cells, 2, 0, &manifest).expect("sweep runs");
+        let full_table = figure_table(&full);
+
+        // Kill simulation: drop the last journal line (plus a torn tail)
+        // and resume. Only the dropped cell re-runs; the table is
+        // byte-identical.
+        let text = std::fs::read_to_string(&manifest).expect("manifest exists");
+        let mut lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines.len(),
+            1 + cells.len(),
+            "header plus one line per cell"
+        );
+        lines.pop();
+        let mut truncated = lines.join("\n");
+        truncated.push_str("\ncell 0123torn");
+        std::fs::write(&manifest, truncated).expect("truncate manifest");
+
+        let resumed = run_cells_journaled(&sc, &cells, 2, 0, &manifest).expect("resume runs");
+        assert_eq!(
+            figure_table(&resumed),
+            full_table,
+            "resumed table is byte-identical"
+        );
+
+        // A different sweep refuses the manifest.
+        let mut other = sc;
+        other.scale = 0.1;
+        let err = run_cells_journaled(&other, &cells, 1, 0, &manifest).unwrap_err();
+        assert!(matches!(err, SweepError::ManifestMismatch { .. }));
+        let _ = std::fs::remove_file(&manifest);
+    }
+}

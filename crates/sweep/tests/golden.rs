@@ -7,9 +7,9 @@
 //! `RunStats` between serial and parallel sweeps.
 
 use caba_sim::fault::FaultConfig;
-use caba_sim::GpuConfig;
+use caba_sim::{Gpu, GpuConfig, RunError, RunStats};
 use caba_sweep::{run_cells, DesignId, SweepCell, SweepConfig};
-use caba_workloads::{app, run_app};
+use caba_workloads::{app, prepare_app, run_app, DEFAULT_MAX_CYCLES};
 
 /// Exact `(design, cycles, icnt_flits)` triples for CONS on
 /// `GpuConfig::small()` at scale 0.05, captured from the pre-overhaul
@@ -144,6 +144,107 @@ fn intra_jobs_is_bit_identical_under_fault_injection() {
     let mut cfg = GpuConfig::small();
     cfg.fault = FaultConfig::recover(0xFA57_CAB4, 0.02);
     assert_intra_deterministic("CONS", DesignId::CabaBdi, cfg);
+}
+
+/// Runs `app_name` under `design` to a mid-run timeout at `split` cycles,
+/// snapshots the machine, restores the snapshot into a **fresh** machine
+/// (built with `resume_cfg`, which may differ in tolerated knobs such as
+/// `intra_jobs`), and resumes to completion.
+fn split_resume_stats(
+    app_name: &str,
+    design: DesignId,
+    take_cfg: GpuConfig,
+    resume_cfg: GpuConfig,
+    split: u64,
+) -> RunStats {
+    let spec = app(app_name).unwrap_or_else(|| panic!("unknown app {app_name}"));
+    let (mut warm, kernel) = prepare_app(&spec, take_cfg, design.make(), 0.05);
+    match warm.run(&kernel, split) {
+        Err(RunError::Timeout { cycles, .. }) => assert_eq!(cycles, split),
+        other => panic!(
+            "{app_name}/{}: expected a timeout at cycle {split}, got {other:?}",
+            design.label()
+        ),
+    }
+    let snap = warm.snapshot(&kernel);
+    let mut resumed = Gpu::new(resume_cfg, design.make());
+    resumed
+        .restore(&kernel, &snap)
+        .unwrap_or_else(|e| panic!("{app_name}/{}: restore: {e}", design.label()));
+    resumed
+        .resume(&kernel, DEFAULT_MAX_CYCLES)
+        .unwrap_or_else(|e| panic!("{app_name}/{}: resumed run: {e}", design.label()))
+}
+
+/// The checkpoint/restore determinism gate, pinned against the golden
+/// table: a run snapshotted mid-flight, restored into a fresh machine,
+/// and resumed must land on the **exact** pre-overhaul cycle and flit
+/// counts for every design family — including the CABA designs, whose
+/// controller state (assist-warp queues, line store, staging traffic)
+/// travels through the snapshot.
+#[test]
+fn restored_runs_match_golden_pins_across_designs() {
+    for (design, cycles, flits) in GOLDEN {
+        let stats =
+            split_resume_stats("CONS", design, GpuConfig::small(), GpuConfig::small(), 1000);
+        assert_eq!(
+            stats.cycles,
+            cycles,
+            "{}: restored run drifted from golden cycle count",
+            design.label()
+        );
+        assert_eq!(
+            stats.icnt_flits,
+            flits,
+            "{}: restored run drifted from golden flit count",
+            design.label()
+        );
+        assert_eq!(
+            stats.app_instructions,
+            GOLDEN_APP_INSTRUCTIONS,
+            "{}: restored run drifted from golden instruction count",
+            design.label()
+        );
+    }
+}
+
+/// Restore determinism under fault injection: the injector's per-component
+/// RNG streams travel through the snapshot, so a resumed run replays the
+/// same drops and retransmissions as the unbroken one.
+#[test]
+fn restored_run_is_exact_under_fault_injection() {
+    let mut cfg = GpuConfig::small();
+    cfg.fault = FaultConfig::recover(0xFA57_CAB4, 0.02);
+    let spec = app("CONS").expect("CONS exists");
+    let unbroken = run_app(&spec, cfg, DesignId::CabaBdi.make(), 0.05).expect("unbroken run");
+    assert!(
+        unbroken.flit_retransmissions > 0,
+        "fault config must actually inject"
+    );
+    let resumed = split_resume_stats("CONS", DesignId::CabaBdi, cfg, cfg, 1000);
+    assert_eq!(resumed, unbroken);
+}
+
+/// Restore determinism across intra-run worker counts: a snapshot taken
+/// under one `intra_jobs` restores under another (the knob is
+/// canonicalized out of the config hash) and still completes bit-identical
+/// to the serial unbroken run.
+#[test]
+fn restored_run_is_exact_across_intra_jobs() {
+    let spec = app("CONS").expect("CONS exists");
+    let unbroken =
+        run_app(&spec, GpuConfig::small(), DesignId::CabaBdi.make(), 0.05).expect("unbroken run");
+    for (take_jobs, resume_jobs) in [(1, 2), (2, 4), (4, 1)] {
+        let mut take_cfg = GpuConfig::small();
+        take_cfg.intra_jobs = take_jobs;
+        let mut resume_cfg = GpuConfig::small();
+        resume_cfg.intra_jobs = resume_jobs;
+        let resumed = split_resume_stats("CONS", DesignId::CabaBdi, take_cfg, resume_cfg, 1000);
+        assert_eq!(
+            resumed, unbroken,
+            "snapshot @ intra_jobs={take_jobs} resumed @ intra_jobs={resume_jobs} diverged"
+        );
+    }
 }
 
 #[test]

@@ -32,10 +32,21 @@ pub use apps::{all_apps, app, eval_apps, AppClass, AppSpec, Suite};
 pub use data::DataProfile;
 pub use kernels::KernelTemplate;
 
-use caba_sim::{Design, Gpu, GpuConfig, RunError, RunStats};
+use caba_sim::{Design, Gpu, GpuConfig, Kernel, RunError, RunStats};
 
 /// Default cycle budget for a full application run.
 pub const DEFAULT_MAX_CYCLES: u64 = 200_000_000;
+
+/// Builds the machine and kernel for an application without running it:
+/// a fresh GPU with the app's (deterministic) input image loaded, paired
+/// with the scaled kernel. Checkpoint-based harnesses use this to warm a
+/// machine up, snapshot it, and fork the suffix; [`run_app`] is this plus
+/// a full run.
+pub fn prepare_app(app: &AppSpec, cfg: GpuConfig, design: Design, scale: f64) -> (Gpu, Kernel) {
+    let mut gpu = Gpu::new(cfg, design);
+    app.load_inputs(&mut gpu, scale);
+    (gpu, app.kernel(scale))
+}
 
 /// Builds a GPU, loads the application's inputs, runs it, and returns the
 /// statistics.
@@ -52,9 +63,7 @@ pub fn run_app(
     design: Design,
     scale: f64,
 ) -> Result<RunStats, RunError> {
-    let mut gpu = Gpu::new(cfg, design);
-    app.load_inputs(&mut gpu, scale);
-    let kernel = app.kernel(scale);
+    let (mut gpu, kernel) = prepare_app(app, cfg, design, scale);
     gpu.run(&kernel, DEFAULT_MAX_CYCLES)
 }
 
