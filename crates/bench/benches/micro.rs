@@ -9,7 +9,7 @@
 //! is a regression in the per-access simulation cost, not just in a codec
 //! taken in isolation.
 
-use caba_compress::{Algorithm, LINE_SIZE};
+use caba_compress::{Algorithm, Bdi, Fpc, LINE_SIZE};
 use caba_isa::{AluOp, Kernel, LaunchDims, ProgramBuilder, Reg, Space, Special, Src, Width};
 use caba_sim::{Design, Gpu, GpuConfig};
 use caba_stats::Rng64;
@@ -73,6 +73,34 @@ fn bench_codecs(c: &mut Criterion) {
     g.finish();
 }
 
+/// The size-only scan paths the simulator runs far more often than full
+/// encodes: every store-side trigger and every metadata lookup asks only
+/// "would this line compress, and to how many bytes?". These walk the
+/// line as `u64` lanes (autovectorizable chunked loops, no `BitWriter`,
+/// no heap), so they are benchmarked separately from the emitting codecs
+/// above — a regression here hits every compression-design cell even when
+/// the line never gets encoded.
+fn bench_compress(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scan");
+    let bdi = Bdi::new();
+    let fpc = Fpc::new();
+    for (class, line) in line_classes() {
+        g.bench_function(format!("bdi/{class}/scan_size"), |b| {
+            b.iter(|| black_box(bdi.scan_size(black_box(&line))))
+        });
+        g.bench_function(format!("fpc/{class}/scan_size"), |b| {
+            b.iter(|| black_box(fpc.scan_size(black_box(&line))))
+        });
+        // The dispatch wrapper the simulator's oracle actually calls.
+        for alg in Algorithm::ALL {
+            g.bench_function(format!("{}/{class}/scan_line_size", alg.name()), |b| {
+                b.iter(|| black_box(alg.scan_line_size(black_box(&line))))
+            });
+        }
+    }
+    g.finish();
+}
+
 fn sim_kernel(n: u32) -> Kernel {
     let mut b = ProgramBuilder::new();
     let (gid, addr, v) = (Reg(0), Reg(1), Reg(2));
@@ -125,5 +153,5 @@ fn bench_simulator(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_codecs, bench_simulator);
+criterion_group!(benches, bench_codecs, bench_compress, bench_simulator);
 criterion_main!(benches);

@@ -129,6 +129,62 @@ impl Bdi {
         Self::default()
     }
 
+    /// Decides the winning encoding for `line` without building a payload.
+    ///
+    /// Candidate encodings are ranked by their data-independent
+    /// [`BdiEncoding::compressed_size`] (ties broken by [`BdiEncoding::ALL`]
+    /// order), and the first whose chunked fit-scan passes is returned —
+    /// exactly the encoding [`Compressor::compress`] would pick, at a
+    /// fraction of the cost: the scan reads the line as `u64` lanes and
+    /// touches no heap.
+    pub fn scan(&self, line: &[u8]) -> Option<BdiEncoding> {
+        debug_assert!(line.len() >= 8 && line.len().is_multiple_of(8));
+        if all_zero(line) {
+            return Some(BdiEncoding::Zeros);
+        }
+        // (size, ALL-index) pairs for every encoding that could beat the
+        // uncompressed line. Rep8 carries no benefit guard, mirroring
+        // `compress_with`.
+        let mut ranked = [(0usize, 0usize); 7];
+        let mut n = 0;
+        for (idx, &enc) in BdiEncoding::ALL.iter().enumerate().skip(1) {
+            let size = enc.compressed_size(line.len());
+            if enc == BdiEncoding::Rep8 || size < line.len() {
+                ranked[n] = (size, idx);
+                n += 1;
+            }
+        }
+        let ranked = &mut ranked[..n];
+        ranked.sort_unstable();
+        for &(_, idx) in ranked.iter() {
+            let enc = BdiEncoding::ALL[idx];
+            let applies = match enc {
+                BdiEncoding::Rep8 => rep8_applies(line),
+                BdiEncoding::B8D1 => base_delta_fits::<8, 1>(line),
+                BdiEncoding::B8D2 => base_delta_fits::<8, 2>(line),
+                BdiEncoding::B8D4 => base_delta_fits::<8, 4>(line),
+                BdiEncoding::B4D1 => base_delta_fits::<4, 1>(line),
+                BdiEncoding::B4D2 => base_delta_fits::<4, 2>(line),
+                BdiEncoding::B2D1 => base_delta_fits::<2, 1>(line),
+                BdiEncoding::Zeros => unreachable!("handled above"),
+            };
+            if applies {
+                return Some(enc);
+            }
+        }
+        None
+    }
+
+    /// Exact compressed size [`Compressor::compress`] would produce for
+    /// `line`, or `None` when incompressible. Never allocates.
+    pub fn scan_size(&self, line: &[u8]) -> Option<usize> {
+        assert!(
+            line.len() >= 8 && line.len().is_multiple_of(8),
+            "BDI requires a line size that is a multiple of 8 bytes"
+        );
+        self.scan(line).map(|e| e.compressed_size(line.len()))
+    }
+
     /// Attempts to compress `line` with one specific encoding.
     ///
     /// Used by the CABA compression subroutine tests to cross-check a single
@@ -167,6 +223,65 @@ impl Bdi {
             original_len: line.len(),
         })
     }
+}
+
+/// OR-reduction over `u64` lanes: branch-free, so the compiler vectorizes
+/// it; a 128-byte line is 16 lane loads and one compare.
+fn all_zero(line: &[u8]) -> bool {
+    let chunks = line.chunks_exact(8);
+    let rem = chunks.remainder();
+    let mut acc = 0u64;
+    for c in chunks {
+        acc |= u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+    }
+    acc == 0 && rem.iter().all(|&b| b == 0)
+}
+
+/// True when every 8-byte lane equals the first (the Rep8 encoding).
+fn rep8_applies(line: &[u8]) -> bool {
+    let mut chunks = line.chunks_exact(8);
+    let Some(first) = chunks.next() else {
+        return false;
+    };
+    let f = u64::from_le_bytes(first.try_into().expect("8-byte chunk"));
+    chunks.all(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")) == f)
+}
+
+/// Decision-only mirror of [`compress_base_delta`] for one `(VS, DS)`
+/// encoding: walks the line as `u64` lanes (`VS`-byte values extracted by
+/// shift, no per-byte loads, no bounds checks past `chunks_exact`) and
+/// reports whether every value fits either the implicit zero base or the
+/// first non-fitting value's base in a `DS`-byte signed delta.
+fn base_delta_fits<const VS: usize, const DS: usize>(line: &[u8]) -> bool {
+    let vbits = VS * 8;
+    let dbits = DS * 8;
+    let vmask = if VS == 8 {
+        u64::MAX
+    } else {
+        (1u64 << vbits) - 1
+    };
+    let mut base = 0u64;
+    let mut have_base = false;
+    for word in line.chunks_exact(8) {
+        let w = u64::from_le_bytes(word.try_into().expect("8-byte chunk"));
+        for lane in 0..(8 / VS) {
+            let v = (w >> (lane * vbits)) & vmask;
+            let sv = sign_extend(v, vbits);
+            if fits_signed(sv, dbits) {
+                continue; // implicit zero base
+            }
+            if !have_base {
+                base = v; // first non-fitting value becomes the base
+                have_base = true;
+                continue;
+            }
+            let d = sign_extend(v.wrapping_sub(base) & vmask, vbits);
+            if !fits_signed(d, dbits) {
+                return false;
+            }
+        }
+    }
+    true
 }
 
 fn read_value(line: &[u8], idx: usize, vs: usize) -> u64 {
@@ -249,10 +364,14 @@ impl Compressor for Bdi {
             line.len() >= 8 && line.len().is_multiple_of(8),
             "BDI requires a line size that is a multiple of 8 bytes"
         );
-        BdiEncoding::ALL
-            .iter()
-            .filter_map(|&e| self.compress_with(line, e))
-            .min_by_key(|c| c.size_bytes())
+        // The size-only scan picks the same winner the exhaustive
+        // `filter_map(..).min_by_key(..)` over ALL encodings would (sizes
+        // are data-independent, ties break in ALL order), so only the
+        // winning payload is ever materialized.
+        let enc = self.scan(line)?;
+        let c = self.compress_with(line, enc);
+        debug_assert!(c.is_some(), "scan accepted {enc:?}");
+        c
     }
 
     fn decompress_into(

@@ -27,22 +27,46 @@ impl BitWriter {
         Self::default()
     }
 
+    /// Creates an empty writer with room for `bytes` output bytes, so hot
+    /// emit loops never reallocate mid-line.
+    pub fn with_capacity(bytes: usize) -> Self {
+        BitWriter {
+            bytes: Vec::with_capacity(bytes),
+            bit_len: 0,
+        }
+    }
+
     /// Appends the low `nbits` bits of `value` (LSB first).
+    ///
+    /// The value is merged whole bytes at a time (not bit by bit): the
+    /// shifted field spans at most 9 bytes, so a write is a handful of
+    /// byte ORs regardless of width.
     ///
     /// # Panics
     ///
     /// Panics if `nbits > 64`.
     pub fn write(&mut self, value: u64, nbits: usize) {
         assert!(nbits <= 64, "cannot write more than 64 bits at once");
-        for i in 0..nbits {
-            let bit = (value >> i) & 1;
-            let byte_idx = self.bit_len / 8;
-            if byte_idx == self.bytes.len() {
-                self.bytes.push(0);
-            }
-            self.bytes[byte_idx] |= (bit as u8) << (self.bit_len % 8);
-            self.bit_len += 1;
+        if nbits == 0 {
+            return;
         }
+        let value = if nbits == 64 {
+            value
+        } else {
+            value & ((1u64 << nbits) - 1)
+        };
+        let bit_off = self.bit_len % 8;
+        let end_byte = (self.bit_len + nbits).div_ceil(8);
+        if self.bytes.len() < end_byte {
+            self.bytes.resize(end_byte, 0);
+        }
+        // Up to 71 significant bits after the in-byte shift.
+        let mut v = (value as u128) << bit_off;
+        for b in &mut self.bytes[self.bit_len / 8..end_byte] {
+            *b |= v as u8;
+            v >>= 8;
+        }
+        self.bit_len += nbits;
     }
 
     /// Total bits written so far.
@@ -76,6 +100,9 @@ impl<'a> BitReader<'a> {
 
     /// Reads `nbits` bits, or `None` if the buffer is exhausted.
     ///
+    /// Gathers whole bytes (at most 9) and shifts once, mirroring
+    /// [`BitWriter::write`].
+    ///
     /// # Panics
     ///
     /// Panics if `nbits > 64`.
@@ -84,14 +111,23 @@ impl<'a> BitReader<'a> {
         if self.pos + nbits > self.bytes.len() * 8 {
             return None;
         }
-        let mut v = 0u64;
-        for i in 0..nbits {
-            let byte = self.bytes[self.pos / 8];
-            let bit = (byte >> (self.pos % 8)) & 1;
-            v |= (bit as u64) << i;
-            self.pos += 1;
+        if nbits == 0 {
+            return Some(0);
         }
-        Some(v)
+        let bit_off = self.pos % 8;
+        let start = self.pos / 8;
+        let end = (self.pos + nbits).div_ceil(8);
+        let mut v: u128 = 0;
+        for (i, &b) in self.bytes[start..end].iter().enumerate() {
+            v |= (b as u128) << (8 * i);
+        }
+        let v = (v >> bit_off) as u64;
+        self.pos += nbits;
+        Some(if nbits == 64 {
+            v
+        } else {
+            v & ((1u64 << nbits) - 1)
+        })
     }
 
     /// Current bit position.

@@ -35,12 +35,67 @@ impl CPack {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Exact compressed size [`Compressor::compress`] would produce for
+    /// `line`, or `None` when incompressible. Builds the same FIFO
+    /// dictionary on the stack and counts code bits without emitting them.
+    pub fn scan_size(&self, line: &[u8]) -> Option<usize> {
+        assert!(
+            !line.is_empty() && line.len().is_multiple_of(4),
+            "C-Pack requires a line size that is a multiple of 4 bytes"
+        );
+        let (dict, nd) = build_dict(line);
+        let dict = &dict[..nd];
+        let mut bits = 0usize;
+        for_each_word(line, |w| {
+            bits += if w == 0 {
+                2
+            } else if dict.contains(&w) {
+                2 + 4
+            } else if dict.iter().any(|&d| d >> 8 == w >> 8) {
+                2 + 4 + 8
+            } else {
+                2 + 32
+            };
+        });
+        let size = 1 + nd * 4 + bits.div_ceil(8);
+        (size < line.len()).then_some(size)
+    }
 }
 
-fn words_of(line: &[u8]) -> Vec<u32> {
-    line.chunks_exact(4)
-        .map(|c| u32::from_le_bytes(c.try_into().expect("4-byte chunk")))
-        .collect()
+/// Streams the line's 32-bit words out of `u64` lane loads (see
+/// `fpc::for_each_word`; duplicated here to keep both codecs free of
+/// cross-module inlining assumptions).
+#[inline]
+fn for_each_word(line: &[u8], mut f: impl FnMut(u32)) {
+    let chunks = line.chunks_exact(8);
+    let rem = chunks.remainder();
+    for c in chunks {
+        let pair = u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+        f(pair as u32);
+        f((pair >> 32) as u32);
+    }
+    if let Ok(c) = <[u8; 4]>::try_from(rem) {
+        f(u32::from_le_bytes(c));
+    }
+}
+
+/// First pass: the FIFO dictionary (first `DICT_SIZE` nonzero words that
+/// match no earlier entry fully or by high-3-byte prefix), on the stack.
+fn build_dict(line: &[u8]) -> ([u32; DICT_SIZE], usize) {
+    let mut dict = [0u32; DICT_SIZE];
+    let mut nd = 0usize;
+    for_each_word(line, |w| {
+        if w == 0 || nd == DICT_SIZE {
+            return;
+        }
+        let matched = dict[..nd].iter().any(|&d| d == w || d >> 8 == w >> 8);
+        if !matched {
+            dict[nd] = w;
+            nd += 1;
+        }
+    });
+    (dict, nd)
 }
 
 impl Compressor for CPack {
@@ -53,24 +108,12 @@ impl Compressor for CPack {
             !line.is_empty() && line.len().is_multiple_of(4),
             "C-Pack requires a line size that is a multiple of 4 bytes"
         );
-        let words = words_of(line);
-
-        // First pass: build the dictionary (FIFO fill of words that match
-        // nothing yet; capped at DICT_SIZE).
-        let mut dict: Vec<u32> = Vec::with_capacity(DICT_SIZE);
-        for &w in &words {
-            if w == 0 {
-                continue;
-            }
-            let matched = dict.iter().any(|&d| d == w || d >> 8 == w >> 8);
-            if !matched && dict.len() < DICT_SIZE {
-                dict.push(w);
-            }
-        }
+        let (dict, nd) = build_dict(line);
+        let dict = &dict[..nd];
 
         // Second pass: emit codes against the (now frozen) dictionary.
-        let mut bw = BitWriter::new();
-        for &w in &words {
+        let mut bw = BitWriter::with_capacity(line.len());
+        for_each_word(line, |w| {
             if w == 0 {
                 bw.write(C_ZERO, 2);
             } else if let Some(idx) = dict.iter().position(|&d| d == w) {
@@ -84,7 +127,7 @@ impl Compressor for CPack {
                 bw.write(C_RAW, 2);
                 bw.write(w as u64, 32);
             }
-        }
+        });
 
         let size = 1 + dict.len() * 4 + bw.byte_len();
         if size >= line.len() {
@@ -92,7 +135,7 @@ impl Compressor for CPack {
         }
         let mut payload = Vec::with_capacity(size);
         payload.push(dict.len() as u8);
-        for d in &dict {
+        for d in dict {
             payload.extend_from_slice(&d.to_le_bytes());
         }
         let (codes, _) = bw.finish();

@@ -34,12 +34,80 @@ impl Fpc {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Exact compressed size [`Compressor::compress`] would produce for
+    /// `line`, or `None` when incompressible.
+    ///
+    /// A pure counting pass: the line is walked as `u64` lanes split into
+    /// two words each, every word classified once (no `BitWriter`, no
+    /// heap), accumulating the bit budget the emitting pass would write.
+    pub fn scan_size(&self, line: &[u8]) -> Option<usize> {
+        assert!(
+            !line.is_empty() && line.len().is_multiple_of(4),
+            "FPC requires a line size that is a multiple of 4 bytes"
+        );
+        let mut bits = 0usize;
+        let mut run = 0u64;
+        let run_bits = PREFIX_BITS + 4;
+        let flush_run = |run: &mut u64, bits: &mut usize| {
+            if *run > 0 {
+                *bits += run_bits;
+                *run = 0;
+            }
+        };
+        for_each_word(line, |w| {
+            if w == 0 {
+                run += 1;
+                if run == MAX_RUN {
+                    flush_run(&mut run, &mut bits);
+                }
+            } else {
+                flush_run(&mut run, &mut bits);
+                bits += PREFIX_BITS + payload_bits(w);
+            }
+        });
+        flush_run(&mut run, &mut bits);
+        let size = bits.div_ceil(8);
+        (size < line.len()).then_some(size)
+    }
 }
 
-fn words_of(line: &[u8]) -> Vec<u32> {
-    line.chunks_exact(4)
-        .map(|c| u32::from_le_bytes(c.try_into().expect("4-byte chunk")))
-        .collect()
+/// Streams the line's 32-bit words out of `u64` lane loads, so the scan
+/// loops carry no per-word bounds checks and no intermediate `Vec<u32>`.
+#[inline]
+fn for_each_word(line: &[u8], mut f: impl FnMut(u32)) {
+    let chunks = line.chunks_exact(8);
+    let rem = chunks.remainder();
+    for c in chunks {
+        let pair = u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+        f(pair as u32);
+        f((pair >> 32) as u32);
+    }
+    if let Ok(c) = <[u8; 4]>::try_from(rem) {
+        f(u32::from_le_bytes(c));
+    }
+}
+
+/// Payload bits [`encode_word`] appends after the 3-bit prefix for a
+/// nonzero word — the same cascade, counting instead of writing.
+#[inline]
+fn payload_bits(w: u32) -> usize {
+    let s = w as i32 as i64;
+    if fits_signed(s, 4) {
+        4
+    } else if fits_signed(s, 8) {
+        8
+    } else if fits_signed(s, 16)
+        || w & 0xFFFF == 0
+        || (fits_signed((w & 0xFFFF) as i16 as i64, 8) && fits_signed((w >> 16) as i16 as i64, 8))
+    {
+        // SE16, half-padded, and two-halfword encodings all carry 16 bits.
+        16
+    } else if w == (w & 0xFF) * 0x0101_0101 {
+        8
+    } else {
+        32
+    }
 }
 
 fn encode_word(w: u32, out: &mut BitWriter) {
@@ -83,26 +151,27 @@ impl Compressor for Fpc {
             !line.is_empty() && line.len().is_multiple_of(4),
             "FPC requires a line size that is a multiple of 4 bytes"
         );
-        let words = words_of(line);
-        let mut w = BitWriter::new();
-        let mut i = 0;
-        while i < words.len() {
-            if words[i] == 0 {
-                let mut run = 1u64;
-                while i + (run as usize) < words.len()
-                    && words[i + run as usize] == 0
-                    && run < MAX_RUN
-                {
-                    run += 1;
-                }
+        let mut w = BitWriter::with_capacity(line.len());
+        let mut run = 0u64;
+        let flush_run = |run: &mut u64, w: &mut BitWriter| {
+            if *run > 0 {
                 w.write(P_ZERO_RUN, PREFIX_BITS);
-                w.write(run - 1, 4);
-                i += run as usize;
-            } else {
-                encode_word(words[i], &mut w);
-                i += 1;
+                w.write(*run - 1, 4);
+                *run = 0;
             }
-        }
+        };
+        for_each_word(line, |word| {
+            if word == 0 {
+                run += 1;
+                if run == MAX_RUN {
+                    flush_run(&mut run, &mut w);
+                }
+            } else {
+                flush_run(&mut run, &mut w);
+                encode_word(word, &mut w);
+            }
+        });
+        flush_run(&mut run, &mut w);
         let size = w.byte_len();
         if size >= line.len() {
             return None;

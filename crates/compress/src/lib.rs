@@ -116,6 +116,19 @@ impl Algorithm {
         }
     }
 
+    /// Exact compressed size [`Algorithm::compress_line`] would produce for
+    /// `line`, or `None` when incompressible — without building a payload.
+    ///
+    /// Selectors like [`BestOfAll`] use this to pick a winner first and run
+    /// the (allocating) payload build once, on the winner only.
+    pub fn scan_line_size(self, line: &[u8]) -> Option<usize> {
+        match self {
+            Algorithm::Bdi => Bdi::new().scan_size(line),
+            Algorithm::Fpc => Fpc::new().scan_size(line),
+            Algorithm::CPack => CPack::new().scan_size(line),
+        }
+    }
+
     /// Decompression latency in cycles for a *dedicated hardware*
     /// implementation (the paper models 1 cycle for BDI, §5; FPC and C-Pack
     /// are serial and slower, §6.3).
@@ -346,11 +359,28 @@ impl BestOfAll {
     }
 
     /// Best compression across all algorithms, or `None` if nothing helps.
+    ///
+    /// Sizes each candidate with the allocation-free scan path and builds a
+    /// payload only for the winner. Strict `<` keeps the historical
+    /// `min_by_key` tie-break: the first minimal algorithm in
+    /// [`Algorithm::ALL`] order wins.
     pub fn compress(&self, line: &[u8]) -> Option<CompressedLine> {
-        Algorithm::ALL
-            .iter()
-            .filter_map(|a| a.compress_line(line))
-            .min_by_key(|c| c.size_bytes())
+        let mut best: Option<(Algorithm, usize)> = None;
+        for a in Algorithm::ALL {
+            if let Some(size) = a.scan_line_size(line) {
+                if best.is_none_or(|(_, s)| size < s) {
+                    best = Some((a, size));
+                }
+            }
+        }
+        let (alg, size) = best?;
+        let c = alg.compress_line(line);
+        debug_assert_eq!(
+            c.as_ref().map(|c| c.size_bytes()),
+            Some(size),
+            "{alg} scan size disagrees with compress"
+        );
+        c
     }
 }
 

@@ -99,6 +99,30 @@ fn best_of_all_never_worse_than_any() {
     });
 }
 
+/// The allocation-free scan path must agree exactly with the payload-building
+/// compressor — same Some/None verdict, same size — for every algorithm, so
+/// `BestOfAll` can pick a winner from scans without changing behavior.
+#[test]
+fn scan_size_matches_compress() {
+    prop::check(0x5CA9, CASES, |rng| {
+        let line = random_line(rng);
+        for a in Algorithm::ALL {
+            assert_eq!(
+                a.scan_line_size(&line),
+                a.compress_line(&line).map(|z| z.size_bytes()),
+                "{a} scan/compress disagree"
+            );
+        }
+        // BestOfAll must match the reference construct-everything selector,
+        // including the first-minimal tie-break over Algorithm::ALL order.
+        let reference = Algorithm::ALL
+            .iter()
+            .filter_map(|a| a.compress_line(&line))
+            .min_by_key(|c| c.size_bytes());
+        assert_eq!(BestOfAll::new().compress(&line), reference);
+    });
+}
+
 #[test]
 fn burst_counts_within_range() {
     prop::check(0xB425, CASES, |rng| {

@@ -136,6 +136,17 @@ struct Bank {
     activated_at: u64,
 }
 
+/// A queued request with its bank/row decode cached at enqueue time, so
+/// the per-cycle FR-FCFS scan does no address arithmetic (two integer
+/// divisions per entry otherwise). Derived fields only — the wire format
+/// still carries bare [`DramRequest`]s and recomputes these on load.
+#[derive(Debug, Clone)]
+struct QueuedReq {
+    req: DramRequest,
+    bank: usize,
+    row: u64,
+}
+
 /// One GDDR5 channel.
 ///
 /// # Examples
@@ -156,7 +167,7 @@ pub struct DramChannel {
     cfg: DramConfig,
     now: u64,
     banks: Vec<Bank>,
-    queue: VecDeque<DramRequest>,
+    queue: VecDeque<QueuedReq>,
     in_flight: Vec<(u64, DramRequest)>,
     completed: VecDeque<DramRequest>,
     bus_free_at: u64,
@@ -201,7 +212,8 @@ impl DramChannel {
         if self.queue.len() >= self.cfg.queue_capacity {
             return Err(req);
         }
-        self.queue.push_back(req);
+        let (bank, row) = self.bank_and_row(req.addr);
+        self.queue.push_back(QueuedReq { req, bank, row });
         Ok(())
     }
 
@@ -235,18 +247,19 @@ impl DramChannel {
             }
         }
 
-        // FR-FCFS: oldest row-hit first, else oldest ready request.
-        if self.queue.is_empty() {
+        // FR-FCFS: oldest row-hit first, else oldest ready request. The
+        // scan only ever picks a request whose bank is ready, so when no
+        // bank is (the common case on a saturated channel) skip it whole.
+        if self.queue.is_empty() || !self.banks.iter().any(|b| b.ready_at <= now) {
             return;
         }
         let mut pick: Option<usize> = None;
-        for (qi, req) in self.queue.iter().enumerate() {
-            let (bank, row) = self.bank_and_row(req.addr);
-            let b = &self.banks[bank];
+        for (qi, q) in self.queue.iter().enumerate() {
+            let b = &self.banks[q.bank];
             if b.ready_at > now {
                 continue;
             }
-            let row_hit = b.open_row == Some(row);
+            let row_hit = b.open_row == Some(q.row);
             if row_hit {
                 pick = Some(qi);
                 break;
@@ -256,8 +269,11 @@ impl DramChannel {
             }
         }
         let Some(qi) = pick else { return };
-        let req = self.queue.remove(qi).expect("picked index valid");
-        let (bank_idx, row) = self.bank_and_row(req.addr);
+        let QueuedReq {
+            req,
+            bank: bank_idx,
+            row,
+        } = self.queue.remove(qi).expect("picked index valid");
         let bank = self.banks[bank_idx];
 
         // Command timing.
@@ -309,6 +325,49 @@ impl DramChannel {
         self.stats.total_cycles += n;
     }
 
+    /// Advances `n` cycles across a span in which the channel provably does
+    /// nothing: no in-flight transfer finishes and no queued request becomes
+    /// schedulable at or before `now + n`. Unlike [`DramChannel::tick_idle`]
+    /// the channel may hold future-dated work — the caller (the next-event
+    /// clock) must pick `n` from [`DramChannel::next_event`] so every skipped
+    /// cycle would have been a pure clock tick, and so that the event cycle
+    /// itself is still executed by a real [`DramChannel::cycle`] call.
+    pub fn tick_gap(&mut self, n: u64) {
+        debug_assert!(
+            self.completed.is_empty(),
+            "tick_gap with poppable completions"
+        );
+        debug_assert!(
+            self.next_event().is_none_or(|at| at > self.now + n),
+            "tick_gap overshoots the channel's next event"
+        );
+        self.now += n;
+        self.stats.total_cycles += n;
+    }
+
+    /// The earliest future channel cycle at which a [`DramChannel::cycle`]
+    /// call would do more than advance the clock: the next in-flight
+    /// completion, or the first cycle a queued request's bank is ready.
+    /// `None` when the channel is drained (any poppable completion counts as
+    /// "now", conservatively reported as the current cycle).
+    ///
+    /// A queued request's bank becoming ready is a safe lower bound on when
+    /// scheduling work happens: FR-FCFS only ever schedules a request whose
+    /// bank has `ready_at <= now`, so until the minimum such time nothing can
+    /// be picked and each cycle is a pure tick.
+    pub fn next_event(&self) -> Option<u64> {
+        if !self.completed.is_empty() {
+            return Some(self.now);
+        }
+        let mut at: Option<u64> = self.in_flight.iter().map(|&(end, _)| end).min();
+        for q in &self.queue {
+            // A bank already ready means work next cycle.
+            let ready = self.banks[q.bank].ready_at.max(self.now + 1);
+            at = Some(at.map_or(ready, |a| a.min(ready)));
+        }
+        at
+    }
+
     /// Pops a completed request, if any.
     pub fn pop_completed(&mut self) -> Option<DramRequest> {
         self.completed.pop_front()
@@ -336,7 +395,10 @@ impl DramChannel {
             w.u64(b.ready_at);
             w.u64(b.activated_at);
         }
-        self.queue.save(w);
+        w.usize(self.queue.len());
+        for q in &self.queue {
+            q.req.save(w);
+        }
         self.in_flight.save(w);
         self.completed.save(w);
         w.u64(self.bus_free_at);
@@ -370,7 +432,13 @@ impl DramChannel {
             b.ready_at = r.u64()?;
             b.activated_at = r.u64()?;
         }
-        self.queue = VecDeque::<DramRequest>::load(r)?;
+        let qlen = r.seq_len("VecDeque", 1)?;
+        self.queue.clear();
+        for _ in 0..qlen {
+            let req = DramRequest::load(r)?;
+            let (bank, row) = self.bank_and_row(req.addr);
+            self.queue.push_back(QueuedReq { req, bank, row });
+        }
         if self.queue.len() > self.cfg.queue_capacity {
             return Err(SnapError::Invariant {
                 what: "dram queue exceeds capacity",
@@ -497,6 +565,89 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_bandwidth_scale_panics() {
         let _ = DramConfig::isca2015().with_bandwidth_scale(0.0);
+    }
+
+    /// The horizon must be exact: ticking per-cycle up to (but not
+    /// including) the reported event finds only pure clock ticks, and the
+    /// event cycle itself does real work.
+    #[test]
+    fn next_event_matches_per_cycle_simulation() {
+        let mut ch = DramChannel::new(DramConfig::isca2015());
+        assert_eq!(ch.next_event(), None);
+        ch.push(DramRequest {
+            id: 1,
+            addr: 4096,
+            bursts: 4,
+            is_write: false,
+        })
+        .unwrap();
+        // Queued request on a ready bank: event is the very next cycle.
+        assert_eq!(ch.next_event(), Some(1));
+        ch.cycle(); // schedules; transfer now in flight
+        let horizon = ch.next_event().expect("in-flight completion pending");
+        let mut reference = DramChannel::new(DramConfig::isca2015());
+        reference
+            .push(DramRequest {
+                id: 1,
+                addr: 4096,
+                bursts: 4,
+                is_write: false,
+            })
+            .unwrap();
+        reference.cycle();
+        // Per-cycle reference: nothing completes before the horizon...
+        while reference.stats().total_cycles + 1 < horizon {
+            reference.cycle();
+            assert!(reference.pop_completed().is_none());
+        }
+        // ...and the completion pops exactly at it.
+        reference.cycle();
+        assert!(reference.pop_completed().is_some());
+        // Gap-skipping to just before the horizon then cycling once is
+        // bit-identical: same completion, same counters.
+        ch.tick_gap(horizon - 1 - ch.stats().total_cycles);
+        ch.cycle();
+        assert!(ch.pop_completed().is_some());
+        assert_eq!(ch.stats(), reference.stats());
+        assert_eq!(ch.next_event(), None);
+    }
+
+    #[test]
+    fn next_event_respects_busy_bank_for_queued_request() {
+        let mut ch = DramChannel::new(DramConfig::isca2015());
+        ch.push(DramRequest {
+            id: 0,
+            addr: 0,
+            bursts: 4,
+            is_write: true,
+        })
+        .unwrap();
+        // Complete and pop the write so only bank recovery remains.
+        loop {
+            ch.cycle();
+            if ch.pop_completed().is_some() {
+                break;
+            }
+        }
+        // Same bank (same line address): the read cannot be scheduled until
+        // the bank's write recovery (tWR) elapses.
+        ch.push(DramRequest {
+            id: 1,
+            addr: 0,
+            bursts: 1,
+            is_write: false,
+        })
+        .unwrap();
+        let now = ch.stats().total_cycles;
+        let horizon = ch.next_event().expect("queued read pending");
+        assert!(horizon > now + 1, "bank recovery must push the event out");
+        // Skipping the gap then cycling once schedules the read exactly at
+        // the horizon.
+        ch.tick_gap(horizon - 1 - now);
+        assert_eq!(ch.stats().reads, 0);
+        ch.cycle();
+        assert_eq!(ch.stats().reads, 1);
+        assert_eq!(ch.stats().total_cycles, horizon);
     }
 
     #[test]

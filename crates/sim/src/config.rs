@@ -110,6 +110,13 @@ pub struct GpuConfig {
     /// the last periodic snapshot is replayed with full tracing (see
     /// DESIGN.md "Checkpoint/restore and crash recovery").
     pub checkpoint_interval: u64,
+    /// Next-event time skipping: when no scheduler can issue and every
+    /// in-flight state change sits at a known future cycle, `Gpu::run`
+    /// jumps the clock to the earliest such cycle instead of ticking,
+    /// crediting the skipped span to the Fig. 1 stall buckets in bulk.
+    /// Results are bit-identical with this on or off (DESIGN.md
+    /// "Next-event clock"); the knob exists for A/B verification.
+    pub time_skip: bool,
 }
 
 impl GpuConfig {
@@ -149,6 +156,7 @@ impl GpuConfig {
             observability: ObservabilityConfig::default(),
             intra_jobs: 1,
             checkpoint_interval: 0,
+            time_skip: true,
         }
     }
 

@@ -151,6 +151,14 @@ pub struct Gpu {
     audits_run: u64,
     flits_dropped: u64,
     flit_retransmissions: u64,
+    /// Cycles the next-event clock jumped over instead of ticking, and how
+    /// many distinct jumps it made. Serialized so a restored run reports
+    /// the same totals; architectural state never depends on them.
+    cycles_skipped: u64,
+    skip_events: u64,
+    /// Reusable dirty-line scratch for `commit_sm_deltas` — avoids a heap
+    /// allocation on every cycle with memory writes.
+    dirty_scratch: Vec<u64>,
     /// CTA dispatch cursor. Lives on the machine (not the run loop) so a
     /// restored snapshot resumes dispatch exactly where it left off.
     next_cta: u32,
@@ -209,6 +217,9 @@ impl Gpu {
             audits_run: 0,
             flits_dropped: 0,
             flit_retransmissions: 0,
+            cycles_skipped: 0,
+            skip_events: 0,
+            dirty_scratch: Vec::new(),
             next_cta: 0,
             run_start: 0,
             last_checkpoint: None,
@@ -583,6 +594,8 @@ impl Gpu {
         self.next_cta = 0;
         self.run_start = self.now;
         self.last_checkpoint = None;
+        self.cycles_skipped = 0;
+        self.skip_events = 0;
         self.run_phases(kernel, max_cycles)
     }
 
@@ -649,6 +662,11 @@ impl Gpu {
         let wd_window = self.cfg.watchdog_window;
         let wd_stride = (wd_window / 8).max(1);
         let tracing = self.tracer.is_some();
+        let time_skip = self.cfg.time_skip;
+        // CTA-dispatch gate (step 1): open until a full round places
+        // nothing, then reopened by any block retirement.
+        let mut dispatch_open = true;
+        let mut blocks_retired_seen: u64 = self.sms.iter().map(|s| s.blocks_retired_total()).sum();
 
         loop {
             let now = self.now;
@@ -673,20 +691,35 @@ impl Gpu {
                 self.last_checkpoint = Some((now, bytes));
             }
 
-            // 1. CTA dispatch (round-robin over SMs) — serial.
-            'dispatch: while next_cta < grid {
-                let mut launched = false;
-                for sm in &mut self.sms {
-                    if next_cta >= grid {
-                        break;
+            // 1. CTA dispatch (round-robin over SMs) — serial. A launch
+            //    attempt can only flip from rejected to accepted when a
+            //    block retires somewhere (regs/shared/warp slots free only
+            //    at block retirement, and failed attempts are pure), so
+            //    after a round that placed nothing the walk stays closed
+            //    until the SMs' retire total moves — identical launches,
+            //    none of the per-cycle rejection scans.
+            let mut launched_any = false;
+            if next_cta < grid {
+                let retired: u64 = self.sms.iter().map(|s| s.blocks_retired_total()).sum();
+                if dispatch_open || retired != blocks_retired_seen {
+                    blocks_retired_seen = retired;
+                    'dispatch: while next_cta < grid {
+                        let mut launched = false;
+                        for sm in &mut self.sms {
+                            if next_cta >= grid {
+                                break;
+                            }
+                            if sm.try_launch_block(next_cta, kernel, extra_regs) {
+                                next_cta += 1;
+                                launched = true;
+                                launched_any = true;
+                            }
+                        }
+                        if !launched {
+                            break 'dispatch;
+                        }
                     }
-                    if sm.try_launch_block(next_cta, kernel, extra_regs) {
-                        next_cta += 1;
-                        launched = true;
-                    }
-                }
-                if !launched {
-                    break 'dispatch;
+                    dispatch_open = launched_any;
                 }
             }
 
@@ -832,6 +865,89 @@ impl Gpu {
             {
                 break;
             }
+
+            // 9. Next-event time skip. The cycle just executed proved every
+            //    SM frozen (dormant) or empty (quiesced); if on top of that
+            //    both crossbars and all ingress lanes are drained and CTA
+            //    dispatch is done or blocked on residency, then every cycle
+            //    before the earliest component horizon is a proven no-op:
+            //    jump the clock there, crediting the span to the Fig. 1
+            //    buckets in bulk (see DESIGN.md "Next-event clock"). The
+            //    jump is capped so every checkpoint top, audit / watchdog /
+            //    trace-sample bottom, and the timeout boundary still execute
+            //    at their exact cycles — the skip is observable only as
+            //    wall-clock. If no component has a horizon at all the
+            //    machine is wedged; fall through to per-cycle ticking so the
+            //    watchdog can prove it.
+            if time_skip
+                && (next_cta >= grid || !launched_any)
+                && self.fwd_lanes.is_empty()
+                && self.rsp_lanes.is_empty()
+                && self.xbar_fwd.idle()
+                && self.xbar_rsp.idle()
+                && self.sms.iter().all(|s| s.dormant() || s.quiesced())
+            {
+                let mut horizon: Option<u64> = None;
+                let fold = |t: u64, h: &mut Option<u64>| {
+                    *h = Some(h.map_or(t, |a: u64| a.min(t)));
+                };
+                for sm in &self.sms {
+                    if sm.dormant() {
+                        if let Some(t) = sm.skip_horizon() {
+                            fold(t, &mut horizon);
+                        }
+                    }
+                }
+                for p in &self.parts {
+                    if let Some(t) = p.next_event(self.now) {
+                        fold(t, &mut horizon);
+                    }
+                }
+                if let Some(mut t) = horizon {
+                    t = t.min(start.saturating_add(max_cycles));
+                    if ckpt != 0 {
+                        // Checkpoints fire at the top of the iteration that
+                        // executes a boundary cycle: landing exactly on the
+                        // boundary still takes it.
+                        let r = (self.now - start) % ckpt;
+                        let mut c0 = if r == 0 {
+                            self.now
+                        } else {
+                            self.now + (ckpt - r)
+                        };
+                        if c0 == start {
+                            c0 = start + ckpt;
+                        }
+                        t = t.min(c0);
+                    }
+                    if self.cfg.audit_interval > 0 {
+                        // Audits fire at the bottom, after the increment:
+                        // the bottom for boundary `b` belongs to executed
+                        // cycle `b - 1`, so land no further than that.
+                        let ai = self.cfg.audit_interval;
+                        let b = self.now + (ai - (self.now - start) % ai);
+                        t = t.min(b - 1);
+                    }
+                    if wd_window > 0 {
+                        let s = self.now + (wd_stride - (self.now - start) % wd_stride);
+                        t = t.min(s - 1);
+                    }
+                    if let Some(tr) = &self.tracer {
+                        t = t.min((tr.last_cycle + tr.interval).saturating_sub(1));
+                    }
+                    if t > self.now {
+                        let span = t - self.now;
+                        for sm in &mut self.sms {
+                            sm.skip_ahead(span);
+                        }
+                        self.xbar_fwd.skip(span);
+                        self.xbar_rsp.skip(span);
+                        self.now = t;
+                        self.cycles_skipped += span;
+                        self.skip_events += 1;
+                    }
+                }
+            }
         }
 
         self.next_cta = next_cta;
@@ -848,7 +964,8 @@ impl Gpu {
     /// write staled. Invalidation only forces recomputation of a pure
     /// memoization, so it is invisible to timing.
     fn commit_sm_deltas(&mut self) {
-        let mut dirty: Vec<u64> = Vec::new();
+        let mut dirty = std::mem::take(&mut self.dirty_scratch);
+        dirty.clear();
         for d in &mut self.sm_deltas {
             d.mem.commit(&mut self.mem, Some(&mut dirty));
             d.ls.commit(&mut self.line_store);
@@ -859,10 +976,11 @@ impl Gpu {
             }
             dirty.sort_unstable();
             dirty.dedup();
-            for base in dirty {
+            for &base in &dirty {
                 cmap.invalidate(base);
             }
         }
+        self.dirty_scratch = dirty;
     }
 
     /// Commits per-partition compression-map overlays in partition index
@@ -1048,6 +1166,17 @@ impl Gpu {
         self.now
     }
 
+    /// Next-event clock totals as `(cycles_skipped, skip_events)`: how many
+    /// cycles the run loop jumped over instead of ticking, in how many
+    /// distinct jumps. Serialized with the machine, so a restored run
+    /// reports the same totals an unbroken one would. Deliberately *not*
+    /// part of [`RunStats`]: skipping is bit-invisible to every
+    /// architectural statistic, and the golden tests compare `RunStats`
+    /// across runs with the knob on and off.
+    pub fn skip_stats(&self) -> (u64, u64) {
+        (self.cycles_skipped, self.skip_events)
+    }
+
     /// The most recent periodic checkpoint taken during a run with
     /// [`GpuConfig::checkpoint_interval`] > 0, as `(cycle, container
     /// bytes)`.
@@ -1203,6 +1332,8 @@ impl Gpu {
         w.u64(self.audits_run);
         w.u64(self.flits_dropped);
         w.u64(self.flit_retransmissions);
+        w.u64(self.cycles_skipped);
+        w.u64(self.skip_events);
     }
 
     /// `forked_from_base` marks a cross-design fork of a `Base` snapshot:
@@ -1273,6 +1404,8 @@ impl Gpu {
         self.audits_run = r.u64()?;
         self.flits_dropped = r.u64()?;
         self.flit_retransmissions = r.u64()?;
+        self.cycles_skipped = r.u64()?;
+        self.skip_events = r.u64()?;
 
         // Non-serialized runtime state: rebuild, drain, or re-baseline.
         self.cmap = Self::build_cmap(&self.design);

@@ -231,16 +231,55 @@ impl Partition {
         }
     }
 
-    /// Repays skipped cycles as bulk DRAM idle ticks. Only quiesced
-    /// partitions are ever skipped, and a quiesced partition's cycle
-    /// advances nothing but the DRAM clock, so bulk-ticking is
+    /// Repays skipped cycles as bulk DRAM clock ticks. A partition is only
+    /// skipped across cycles in which it provably does nothing — it is
+    /// quiesced, or every piece of in-flight state is dated at or beyond
+    /// the cycle it is next cycled at (see [`Partition::next_event`]) — and
+    /// such a cycle advances nothing but the DRAM clock, so bulk-ticking is
     /// bit-identical to having cycled it every skipped cycle. Call before
     /// reading [`Partition::dram_stats`] mid-run.
     pub fn catch_up(&mut self, now: u64) {
         if now > self.next_tick {
-            self.dram.tick_idle(now - self.next_tick);
+            self.dram.tick_gap(now - self.next_tick);
             self.next_tick = now;
         }
+    }
+
+    /// The earliest GPU cycle at or after `next` — the next cycle the run
+    /// loop will execute — at which cycling this partition does more than
+    /// advance the DRAM clock: a fault-delay or L2-latency timer expires,
+    /// a DRAM transfer completes or a queued DRAM request becomes
+    /// schedulable. `None` when fully quiesced; `Some(next)` when work is
+    /// actionable immediately (queues to drain, responses to hand the
+    /// interconnect). The global next-event clock may skip this partition
+    /// up to (exclusive of) the returned cycle and repay the span via
+    /// [`Partition::catch_up`].
+    pub fn next_event(&self, next: u64) -> Option<u64> {
+        if self.quiesced() {
+            return None;
+        }
+        if !self.incoming.is_empty() || !self.resp_out.is_empty() || !self.dram_retry.is_empty() {
+            return Some(next);
+        }
+        let mut at: Option<u64> = None;
+        let fold = |t: u64, at: &mut Option<u64>| {
+            *at = Some(at.map_or(t, |a: u64| a.min(t)));
+        };
+        for &(t, _) in &self.pending_resp {
+            fold(t, &mut at);
+        }
+        for &(t, _) in &self.delayed {
+            fold(t, &mut at);
+        }
+        if let Some(e) = self.dram.next_event() {
+            // Channel cycle `e` is executed by the partition cycle at GPU
+            // cycle `e - 1` (each partition cycle runs one channel cycle,
+            // one ahead of the GPU clock).
+            fold(e.saturating_sub(1), &mut at);
+        }
+        // An MSHR entry with no visible backing timer (shouldn't happen)
+        // degrades to per-cycle polling rather than an unsound skip.
+        Some(at.map_or(next, |t| t.max(next)))
     }
 
     /// Advances the partition one cycle.

@@ -177,6 +177,106 @@ pub(crate) fn fold_verdict(cur: Option<StallVerdict>, new: StallVerdict) -> Opti
     }
 }
 
+/// Per-candidate consideration memo: what the last full evaluation of this
+/// warp/assist slot proved, valid until an invalidation point. Scheduling
+/// scans in a stalled machine re-visit every candidate every cycle; the
+/// memo collapses each revisit to a tag check instead of an instruction
+/// fetch plus scoreboard scan.
+///
+/// Soundness rests on two facts. First, a non-issuing warp's pending
+/// register set only *shrinks* (writebacks clear bits; only the warp's own
+/// issue sets them), so "hazard-free with this head instruction" stays
+/// true until the warp issues — the blocked-class tags survive writebacks.
+/// Second, every tag's residual per-cycle condition (`MemBlocked`: the LSU
+/// issue path, `SfuBlocked`: the SFU initiation interval) is re-evaluated
+/// against live state on each visit, so a tag check resolves exactly as
+/// the full evaluation would.
+///
+/// Invalidation points: the slot's own issue, a writeback clearing one of
+/// its registers (hazard tags only), barrier release (barrier tags only),
+/// and any candidate-list rebuild (all tags).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum SlotMemo {
+    /// No valid memo: run the full fetch + check.
+    Unknown,
+    /// Scoreboard-blocked with this classified verdict. Pinned until a
+    /// writeback clears one of the warp's registers, exactly like the
+    /// recomputed `IssueBlock::Hazard` path.
+    Hazard(StallVerdict),
+    /// Hazard-free with a memory-class head instruction: issues the cycle
+    /// the LSU issue path opens (`shared` accesses need only the issue
+    /// slot, global ones also line-op queue space).
+    MemBlocked {
+        /// Head instruction targets the shared-memory pipe.
+        shared: bool,
+    },
+    /// Hazard-free with an SFU head instruction: issues once the SFU
+    /// initiation interval elapses.
+    SfuBlocked,
+    /// All lanes exited; contributes nothing until the block retires and
+    /// the candidate list is rebuilt.
+    Done,
+    /// Parked at a block-wide barrier: contributes the `Barrier` verdict
+    /// until the barrier releases.
+    Barrier,
+}
+
+/// Per-candidate-list bitmasks over list *positions*, one bit set in at
+/// most one mask per candidate, mirroring that candidate's [`SlotMemo`].
+/// They let the scheduler scan skip whole blocked classes in O(1): every
+/// `MemBlocked` candidate in a list shares one openness condition (the
+/// LSU issue path), every `SfuBlocked` one shares the SFU interval, and
+/// hazard/done/barrier parking is position-stable — so a fully-stalled
+/// scan reduces to a handful of mask operations plus one representative
+/// verdict per class (the first position in scan order, which is the only
+/// member of a same-tier class that [`fold_verdict`] can ever keep).
+#[derive(Clone, Copy, Default)]
+struct ClassMasks {
+    hazard: u64,
+    barrier: u64,
+    done: u64,
+    /// `MemBlocked { shared: false }`: needs the issue slot *and* line-op
+    /// queue space.
+    mem_g: u64,
+    /// `MemBlocked { shared: true }`: needs only the issue slot.
+    mem_s: u64,
+    sfu: u64,
+}
+
+impl ClassMasks {
+    /// Moves `pos` into the mask matching `memo` (clearing it everywhere
+    /// else). `Unknown` clears it from all masks.
+    fn assign(&mut self, pos: u8, memo: SlotMemo) {
+        let bit = 1u64 << pos;
+        self.hazard &= !bit;
+        self.barrier &= !bit;
+        self.done &= !bit;
+        self.mem_g &= !bit;
+        self.mem_s &= !bit;
+        self.sfu &= !bit;
+        match memo {
+            SlotMemo::Unknown => {}
+            SlotMemo::Hazard(_) => self.hazard |= bit,
+            SlotMemo::MemBlocked { shared: false } => self.mem_g |= bit,
+            SlotMemo::MemBlocked { shared: true } => self.mem_s |= bit,
+            SlotMemo::SfuBlocked => self.sfu |= bit,
+            SlotMemo::Done => self.done |= bit,
+            SlotMemo::Barrier => self.barrier |= bit,
+        }
+    }
+}
+
+/// Which candidate list a masked scan walks.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ListKind {
+    HiAssist,
+    Parents,
+    LowAssist,
+}
+
+/// Sentinel for "slot not in any candidate list" in the position maps.
+const NO_POS: u8 = u8::MAX;
+
 /// One streaming multiprocessor.
 pub struct Sm {
     id: usize,
@@ -205,6 +305,24 @@ pub struct Sm {
     resident_block_count: usize,
     /// `Some` entries in `assists`, maintained at deploy/finish.
     active_assist_count: usize,
+    /// Low-priority entries in `assists`, maintained at deploy/finish so
+    /// the AWB partition check in [`Sm::deploy_assist`] needs no scan.
+    low_assist_count: usize,
+    /// Conservative "some assist may be retirable" flag: set whenever an
+    /// assist warp's `done` flips or a writeback lands on a done assist,
+    /// cleared after a [`Sm::finish_assists`] sweep finds the slots quiet.
+    /// Spurious `true` only costs a scan, so restore resets it to `true`.
+    assist_done_hint: bool,
+    /// High-priority entries in `assist_pending`, maintained at queue and
+    /// deploy, so a queue full of gated low-priority launches costs O(1)
+    /// per cycle instead of a scan.
+    high_pending_count: usize,
+    /// Monotonic count of blocks this SM has retired — the change signal
+    /// behind the engine's CTA-dispatch gate. Launch capacity (block slot,
+    /// warp slots, registers, shared memory) frees only at block
+    /// retirement, so a blocked dispatch cannot unblock until this moves.
+    /// Not serialized: restore conservatively reopens the gate.
+    blocks_retired_total: u64,
     /// Per-scheduler candidate slots in issue-priority order, rebuilt only
     /// when warp/assist residency changes (`cand_dirty`): high-priority
     /// assists, occupied app-warp slots by age, low-priority assists.
@@ -215,18 +333,49 @@ pub struct Sm {
     cand_parents: Vec<Vec<usize>>,
     cand_lows: Vec<Vec<usize>>,
     cand_dirty: bool,
-    /// Per-slot "known hazard-blocked" memo, carrying the classified
-    /// verdict so the memoized fast path attributes the stall identically
-    /// to a recomputation. A warp's hazard verdict can only change at its
-    /// own issue (sets pending bits / moves the PC) or at a writeback that
-    /// clears one of its pending bits, so between those events the
-    /// scheduler skips recomputing it. Cleared wholesale on any residency
-    /// change (`rebuild_candidates`).
-    haz_app: Vec<Option<StallVerdict>>,
-    haz_assist: Vec<Option<StallVerdict>>,
+    /// Per-scheduler [`ClassMasks`] for each candidate list, kept in
+    /// lockstep with the memos by [`Sm::set_memo`]; rebuilt with the lists
+    /// and after snapshot restore. Only consulted when `masks_ok`.
+    parent_masks: Vec<ClassMasks>,
+    hi_masks: Vec<ClassMasks>,
+    low_masks: Vec<ClassMasks>,
+    /// App warp slot -> position in its scheduler's parent list
+    /// ([`NO_POS`] when unlisted).
+    slot_pos: Vec<u8>,
+    /// Assist slot -> position in its hi/low list ([`NO_POS`] when
+    /// unlisted); which list is derived from the assist's priority.
+    assist_pos: Vec<u8>,
+    /// All candidate lists fit in 64-bit masks; oversized configurations
+    /// fall back to the plain per-candidate scan.
+    masks_ok: bool,
+    /// Per-slot consideration memos (see [`SlotMemo`]): what the last full
+    /// evaluation proved about each candidate, so stalled-machine scans
+    /// cost a tag check per candidate instead of a fetch + scoreboard
+    /// scan. Cleared wholesale on any residency change
+    /// (`rebuild_candidates`).
+    memo_app: Vec<SlotMemo>,
+    memo_assist: Vec<SlotMemo>,
     /// App warps that have fully exited but not yet been reaped; gates the
     /// per-cycle `reap_warps` slot scan.
     done_unreaped: u32,
+    /// Next-event dormancy cache, recomputed at the end of every executed
+    /// cycle: true when that cycle proved the SM frozen (nothing issued,
+    /// drained, deployed, or retired), so every following cycle until
+    /// `dorm_horizon` — or an external fill/launch/request push, which
+    /// clears the flag — is bit-identical and the global clock may skip
+    /// them. Never serialized: restore clears it and the next real cycle
+    /// (identical to a skipped one by this very invariant) recomputes it.
+    dormant: bool,
+    /// Earliest cycle a frozen SM acts on its own: the next writeback
+    /// maturity or SFU readiness. `None` = only external input wakes it.
+    dorm_horizon: Option<u64>,
+    /// The Fig. 1 bucket each scheduler slot resolved to in the last
+    /// executed cycle; while frozen every subsequent cycle resolves the
+    /// same way, so `skip_ahead` bulk-credits these.
+    last_slots: Vec<StallKind>,
+    /// Reusable sort scratch for `rebuild_candidates` (age, slot) pairs —
+    /// avoids a heap allocation on every residency change.
+    cand_scratch: Vec<(u64, usize)>,
     injector: FaultInjector,
     /// Instant-event buffer, drained by the GPU tracer in SM index order.
     /// Empty unless `events_on` (set from `TraceConfig::events`).
@@ -293,13 +442,27 @@ impl Sm {
             age_seq: 0,
             resident_block_count: 0,
             active_assist_count: 0,
+            low_assist_count: 0,
+            assist_done_hint: false,
+            high_pending_count: 0,
+            blocks_retired_total: 0,
             cand_his: vec![Vec::new(); cfg.schedulers_per_sm],
             cand_parents: vec![Vec::new(); cfg.schedulers_per_sm],
             cand_lows: vec![Vec::new(); cfg.schedulers_per_sm],
+            parent_masks: vec![ClassMasks::default(); cfg.schedulers_per_sm],
+            hi_masks: vec![ClassMasks::default(); cfg.schedulers_per_sm],
+            low_masks: vec![ClassMasks::default(); cfg.schedulers_per_sm],
+            slot_pos: vec![NO_POS; cfg.warps_per_sm],
+            assist_pos: vec![NO_POS; cfg.max_assist_warps],
+            masks_ok: true,
             cand_dirty: true,
-            haz_app: vec![None; cfg.warps_per_sm],
-            haz_assist: vec![None; cfg.max_assist_warps],
+            memo_app: vec![SlotMemo::Unknown; cfg.warps_per_sm],
+            memo_assist: vec![SlotMemo::Unknown; cfg.max_assist_warps],
             done_unreaped: 0,
+            dormant: false,
+            dorm_horizon: None,
+            last_slots: vec![StallKind::Idle; cfg.schedulers_per_sm],
+            cand_scratch: Vec::new(),
             injector: FaultInjector::for_stream(cfg.fault, stream::SM_BASE + id as u64),
             events: Vec::new(),
             events_on: cfg.observability.trace.is_some_and(|t| t.events),
@@ -359,15 +522,10 @@ impl Sm {
             Some(s) => s,
             None => return false,
         };
-        let free_warps: Vec<usize> = self
-            .warps
-            .iter()
-            .enumerate()
-            .filter(|(_, w)| w.is_none())
-            .map(|(i, _)| i)
-            .take(warps_needed)
-            .collect();
-        if free_warps.len() < warps_needed {
+        // All rejection checks run before any allocation or mutation: a
+        // blocked dispatch retried every cycle stays heap-quiet, and the
+        // next-event clock can rely on failed launches being pure.
+        if self.warps.iter().filter(|w| w.is_none()).count() < warps_needed {
             return false;
         }
         if self.used_regs + regs_needed > self.cfg.regfile_per_sm {
@@ -376,6 +534,14 @@ impl Sm {
         if self.used_shared + shared_needed > self.cfg.shared_per_sm {
             return false;
         }
+        let free_warps: Vec<usize> = self
+            .warps
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.is_none())
+            .map(|(i, _)| i)
+            .take(warps_needed)
+            .collect();
 
         let threads = dims.block_dim;
         for (wib, &slot) in free_warps.iter().enumerate() {
@@ -409,6 +575,7 @@ impl Sm {
         self.used_shared += shared_needed;
         self.resident_block_count += 1;
         self.cand_dirty = true;
+        self.dormant = false;
         true
     }
 
@@ -430,7 +597,12 @@ impl Sm {
 
     /// Pops an outbound memory request (GPU drains into the crossbar).
     pub fn pop_request(&mut self) -> Option<OutReq> {
-        self.out_reqs.pop_front()
+        let r = self.out_reqs.pop_front();
+        if r.is_some() {
+            // Draining a request can unblock a full-queue LSU stall.
+            self.dormant = false;
+        }
+        r
     }
 
     /// Peeks the next outbound request.
@@ -440,6 +612,7 @@ impl Sm {
 
     /// Requeues a request that could not enter the interconnect.
     pub fn push_request_front(&mut self, req: OutReq) {
+        self.dormant = false;
         self.out_reqs.push_front(req);
     }
 
@@ -489,13 +662,23 @@ impl Sm {
                     WarpRef::App(slot) => {
                         if let (Some(w), Some(r)) = (self.warps[slot].as_mut(), wb.reg) {
                             w.warp.clear_pending(r);
-                            self.haz_app[slot] = None;
+                            // Only hazard tags depend on pending bits; the
+                            // blocked-class tags stay hazard-free when bits
+                            // clear and remain valid.
+                            if matches!(self.memo_app[slot], SlotMemo::Hazard(_)) {
+                                self.set_memo(WarpRef::App(slot), SlotMemo::Unknown);
+                            }
                         }
                     }
                     WarpRef::Assist(slot) => {
                         if let (Some(a), Some(r)) = (self.assists[slot].as_mut(), wb.reg) {
                             a.warp.clear_pending(r);
-                            self.haz_assist[slot] = None;
+                            if a.warp.done {
+                                self.assist_done_hint = true;
+                            }
+                            if matches!(self.memo_assist[slot], SlotMemo::Hazard(_)) {
+                                self.set_memo(WarpRef::Assist(slot), SlotMemo::Unknown);
+                            }
                         }
                     }
                 }
@@ -509,6 +692,9 @@ impl Sm {
 
     /// Queues an assist-warp launch (AWT insertion, §3.4 Trigger).
     fn queue_assist(&mut self, launch: AssistLaunch) {
+        if launch.priority == AssistPriority::High {
+            self.high_pending_count += 1;
+        }
         self.assist_pending.push_back(launch);
     }
 
@@ -518,28 +704,31 @@ impl Sm {
         if self.assist_pending.is_empty() {
             return;
         }
-        let Some(slot) = self.assists.iter().position(|a| a.is_none()) else {
+        if self.active_assist_count == self.assists.len() {
             return;
-        };
+        }
         // Low-priority assist warps are staged through the dedicated IB
         // partition, which has only `awb_low_priority_entries` slots (§3.3);
         // a gated low-priority launch must not block a high-priority one
         // behind it in the AWT.
-        let low_active = self
+        let low_ok = self.low_assist_count < self.cfg.awb_low_priority_entries;
+        if !low_ok && self.high_pending_count == 0 {
+            return;
+        }
+        let slot = self
             .assists
             .iter()
-            .flatten()
-            .filter(|a| a.priority == AssistPriority::Low)
-            .count();
-        let low_ok = low_active < self.cfg.awb_low_priority_entries;
-        let Some(pos) = self
+            .position(|a| a.is_none())
+            .expect("free slot exists: active count below capacity");
+        let pos = self
             .assist_pending
             .iter()
             .position(|l| l.priority == AssistPriority::High || low_ok)
-        else {
-            return;
-        };
+            .expect("deployable launch exists: high pending or low gate open");
         let launch = self.assist_pending.remove(pos).expect("position valid");
+        if launch.priority == AssistPriority::High {
+            self.high_pending_count -= 1;
+        }
         let nregs = launch.program.max_reg().max(1) as usize;
         let mut warp = Warp::new(nregs, launch.active_mask);
         for &(reg, val) in &launch.live_in {
@@ -558,6 +747,9 @@ impl Sm {
             parent: launch.parent_warp,
         });
         self.active_assist_count += 1;
+        if launch.priority == AssistPriority::Low {
+            self.low_assist_count += 1;
+        }
         self.assist_launches += 1;
         self.cand_dirty = true;
         if self.events_on {
@@ -576,9 +768,12 @@ impl Sm {
     }
 
     fn finish_assists(&mut self, now: u64, shared: &mut SharedState<'_>) {
-        if self.active_assist_count == 0 {
+        if self.active_assist_count == 0 || !self.assist_done_hint {
             return;
         }
+        // Any slot that is done with pending writebacks will re-raise the
+        // hint when the writeback lands, so one quiet sweep clears it.
+        self.assist_done_hint = false;
         for slot in 0..self.assists.len() {
             let ready = matches!(
                 &self.assists[slot],
@@ -589,6 +784,9 @@ impl Sm {
             }
             let a = self.assists[slot].take().expect("checked above");
             self.active_assist_count -= 1;
+            if a.priority == AssistPriority::Low {
+                self.low_assist_count -= 1;
+            }
             self.cand_dirty = true;
             if self.events_on {
                 self.events.push(TraceEvent {
@@ -646,6 +844,9 @@ impl Sm {
 
     /// Handles a read response arriving from the interconnect.
     pub fn handle_fill(&mut self, now: u64, addr: u64, shared: &mut SharedState<'_>) {
+        // External input: whatever the last cycle proved about this SM
+        // being frozen no longer holds.
+        self.dormant = false;
         // Fault injection: a compressed line arriving at the SM may be
         // corrupted in transit. The fill boundary runs a round-trip check
         // (decompress and compare); in `Recover` mode a detected-corrupt
@@ -1053,7 +1254,11 @@ impl Sm {
                 let a = self.assists[s].as_mut().expect("resident");
                 a.warp.issued += 1;
                 a.warp.last_issue = now;
-                execute(&mut a.warp, &instr, &ctx, &mut shared.mem)
+                let out = execute(&mut a.warp, &instr, &ctx, &mut shared.mem);
+                if a.warp.done {
+                    self.assist_done_hint = true;
+                }
+                out
             }
         };
 
@@ -1194,6 +1399,9 @@ impl Sm {
             for s in slots {
                 if let Some(w) = self.warps[s].as_mut() {
                     w.warp.at_barrier = false;
+                    if matches!(self.memo_app[s], SlotMemo::Barrier) {
+                        self.set_memo(WarpRef::App(s), SlotMemo::Unknown);
+                    }
                 }
             }
             self.blocks[block_slot].as_mut().expect("resident").arrived = 0;
@@ -1225,6 +1433,7 @@ impl Sm {
         if block_done {
             let b = self.blocks[block_slot].take().expect("resident block");
             self.resident_block_count -= 1;
+            self.blocks_retired_total += 1;
             self.cand_dirty = true;
             for s in &b.warp_slots {
                 self.warps[*s] = None;
@@ -1244,6 +1453,9 @@ impl Sm {
         for s in slots {
             if let Some(w) = self.warps[s].as_mut() {
                 w.warp.at_barrier = false;
+                if matches!(self.memo_app[s], SlotMemo::Barrier) {
+                    self.set_memo(WarpRef::App(s), SlotMemo::Unknown);
+                }
             }
         }
         if let Some(b) = self.blocks[block_slot].as_mut() {
@@ -1257,9 +1469,9 @@ impl Sm {
     /// are fixed at launch and dynamic skips (done, at-barrier) happen in
     /// `fetch_for` at consideration time.
     fn rebuild_candidates(&mut self) {
-        // Slots may have been reused since the memo was written.
-        self.haz_app.fill(None);
-        self.haz_assist.fill(None);
+        // Slots may have been reused since the memos were written.
+        self.memo_app.fill(SlotMemo::Unknown);
+        self.memo_assist.fill(SlotMemo::Unknown);
         let nsched = self.cfg.schedulers_per_sm;
         for v in &mut self.cand_his {
             v.clear();
@@ -1270,12 +1482,14 @@ impl Sm {
         for v in &mut self.cand_lows {
             v.clear();
         }
-        let mut tmp: Vec<(u64, usize)> = self
-            .warps
-            .iter()
-            .enumerate()
-            .filter_map(|(i, w)| w.as_ref().map(|w| (w.age, i)))
-            .collect();
+        let mut tmp = std::mem::take(&mut self.cand_scratch);
+        tmp.clear();
+        tmp.extend(
+            self.warps
+                .iter()
+                .enumerate()
+                .filter_map(|(i, w)| w.as_ref().map(|w| (w.age, i))),
+        );
         tmp.sort_unstable();
         for &(_, i) in &tmp {
             self.cand_parents[i % nsched].push(i);
@@ -1296,7 +1510,44 @@ impl Sm {
             };
             dst.push(i);
         }
+        self.cand_scratch = tmp;
         self.cand_dirty = false;
+        self.rebuild_class_masks();
+    }
+
+    /// Recomputes the position maps and [`ClassMasks`] from the candidate
+    /// lists and the current memos. Runs after every list rebuild (memos
+    /// just reset to `Unknown`, so all masks clear) and after snapshot
+    /// restore (memos travel on the wire, so masks re-derive from them).
+    fn rebuild_class_masks(&mut self) {
+        self.masks_ok = self.cand_parents.iter().all(|l| l.len() <= 64)
+            && self.cand_his.iter().all(|l| l.len() <= 64)
+            && self.cand_lows.iter().all(|l| l.len() <= 64);
+        self.slot_pos.fill(NO_POS);
+        self.assist_pos.fill(NO_POS);
+        if !self.masks_ok {
+            return;
+        }
+        for sched in 0..self.cfg.schedulers_per_sm {
+            let mut m = ClassMasks::default();
+            for (pos, &slot) in self.cand_parents[sched].iter().enumerate() {
+                self.slot_pos[slot] = pos as u8;
+                m.assign(pos as u8, self.memo_app[slot]);
+            }
+            self.parent_masks[sched] = m;
+            let mut m = ClassMasks::default();
+            for (pos, &slot) in self.cand_his[sched].iter().enumerate() {
+                self.assist_pos[slot] = pos as u8;
+                m.assign(pos as u8, self.memo_assist[slot]);
+            }
+            self.hi_masks[sched] = m;
+            let mut m = ClassMasks::default();
+            for (pos, &slot) in self.cand_lows[sched].iter().enumerate() {
+                self.assist_pos[slot] = pos as u8;
+                m.assign(pos as u8, self.memo_assist[slot]);
+            }
+            self.low_masks[sched] = m;
+        }
     }
 
     /// Classifies a scoreboard hazard for `wr` blocked on `instr` into its
@@ -1343,29 +1594,60 @@ impl Sm {
         lsu_used: &mut bool,
         verdict: &mut Option<StallVerdict>,
     ) -> bool {
-        let known_hazard = match wr {
-            WarpRef::App(s) => self.haz_app[s],
-            WarpRef::Assist(s) => self.haz_assist[s],
+        // Memoized fast paths: each resolves exactly as the full
+        // evaluation below would (see `SlotMemo` for the invariants).
+        let memo = match wr {
+            WarpRef::App(s) => self.memo_app[s],
+            WarpRef::Assist(s) => self.memo_assist[s],
         };
-        if let Some(h) = known_hazard {
-            // The memo stores the classified verdict, so this folds
-            // identically to the recomputed `IssueBlock::Hazard` path below.
-            *verdict = fold_verdict(*verdict, h);
-            return false;
+        match memo {
+            SlotMemo::Hazard(h) => {
+                // The memo stores the classified verdict, so this folds
+                // identically to the recomputed `IssueBlock::Hazard` path
+                // below.
+                *verdict = fold_verdict(*verdict, h);
+                return false;
+            }
+            SlotMemo::Done => return false,
+            SlotMemo::Barrier => {
+                *verdict = fold_verdict(*verdict, StallVerdict::Barrier);
+                return false;
+            }
+            SlotMemo::MemBlocked { shared } => {
+                let open = !*lsu_used && (shared || self.lsu.can_accept(1));
+                if !open {
+                    *verdict = fold_verdict(*verdict, StallVerdict::MemStructural);
+                    return false;
+                }
+                // The LSU path opened: fall through and issue for real.
+            }
+            SlotMemo::SfuBlocked => {
+                if now < self.sfu_ready_at {
+                    *verdict = fold_verdict(*verdict, StallVerdict::ComputeStructural);
+                    return false;
+                }
+            }
+            SlotMemo::Unknown => {}
         }
         let Some(instr) = self.fetch_for(wr, kernel.program()) else {
             // `fetch_for` skips done and barrier-parked warps. A live warp
             // parked at a barrier is the paper's synchronization stall.
+            let mut tag = SlotMemo::Done;
             if let WarpRef::App(s) = wr {
                 let w = &self.warps[s].as_ref().expect("resident").warp;
                 if w.at_barrier && !w.done {
                     *verdict = fold_verdict(*verdict, StallVerdict::Barrier);
+                    tag = SlotMemo::Barrier;
                 }
             }
+            self.set_memo(wr, tag);
             return false;
         };
         match self.check_issue(now, wr, &instr, !*lsu_used) {
             Ok(()) => {
+                // The slot's state (PC, pending bits) is about to change:
+                // whatever was memoized is void.
+                self.set_memo(wr, SlotMemo::Unknown);
                 self.do_issue(now, wr, instr, kernel, shared, lsu_used);
                 self.greedy[sched] = Some(wr);
                 true
@@ -1374,19 +1656,251 @@ impl Sm {
                 let v = match block {
                     IssueBlock::Hazard => {
                         let h = self.classify_hazard(wr, &instr);
-                        match wr {
-                            WarpRef::App(s) => self.haz_app[s] = Some(h),
-                            WarpRef::Assist(s) => self.haz_assist[s] = Some(h),
-                        }
+                        self.set_memo(wr, SlotMemo::Hazard(h));
                         h
                     }
-                    IssueBlock::MemStructural => StallVerdict::MemStructural,
-                    IssueBlock::ComputeStructural => StallVerdict::ComputeStructural,
+                    IssueBlock::MemStructural => {
+                        let shared_pipe = matches!(
+                            instr.op,
+                            Op::Ld {
+                                space: Space::Shared,
+                                ..
+                            } | Op::St {
+                                space: Space::Shared,
+                                ..
+                            }
+                        );
+                        self.set_memo(
+                            wr,
+                            SlotMemo::MemBlocked {
+                                shared: shared_pipe,
+                            },
+                        );
+                        StallVerdict::MemStructural
+                    }
+                    IssueBlock::ComputeStructural => {
+                        self.set_memo(wr, SlotMemo::SfuBlocked);
+                        StallVerdict::ComputeStructural
+                    }
                 };
                 *verdict = fold_verdict(*verdict, v);
                 false
             }
         }
+    }
+
+    #[inline]
+    fn set_memo(&mut self, wr: WarpRef, memo: SlotMemo) {
+        match wr {
+            WarpRef::App(s) => {
+                self.memo_app[s] = memo;
+                if self.masks_ok {
+                    let pos = self.slot_pos[s];
+                    if pos != NO_POS {
+                        let sched = s % self.cfg.schedulers_per_sm;
+                        self.parent_masks[sched].assign(pos, memo);
+                    }
+                }
+            }
+            WarpRef::Assist(s) => {
+                self.memo_assist[s] = memo;
+                if self.masks_ok {
+                    let pos = self.assist_pos[s];
+                    if pos != NO_POS {
+                        if let Some(a) = self.assists[s].as_ref() {
+                            let sched = a.parent % self.cfg.schedulers_per_sm;
+                            let masks = match a.priority {
+                                AssistPriority::High => &mut self.hi_masks[sched],
+                                AssistPriority::Low => &mut self.low_masks[sched],
+                            };
+                            masks.assign(pos, memo);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The candidate slot at `pos` of one of scheduler `sched`'s lists.
+    #[inline]
+    fn list_slot(&self, sched: usize, which: ListKind, pos: usize) -> usize {
+        match which {
+            ListKind::Parents => self.cand_parents[sched][pos],
+            ListKind::HiAssist => self.cand_his[sched][pos],
+            ListKind::LowAssist => self.cand_lows[sched][pos],
+        }
+    }
+
+    /// Scans one candidate list in issue-priority order (rotated by
+    /// `start` for round-robin), skipping `skip_slot` (the GTO greedy
+    /// warp, offered separately). Returns whether a candidate issued;
+    /// stall reasons fold into `verdict` exactly as a plain ordered scan
+    /// would.
+    ///
+    /// With valid class masks the scan visits only candidates that could
+    /// possibly issue this cycle: every memoized blocked class is either
+    /// skipped wholesale (its shared openness condition is false) with
+    /// one representative verdict fold, or merged back into the visit
+    /// set. Verdict equivalence rests on [`fold_verdict`] keeping the
+    /// *first* candidate of the highest evidence tier: members of one
+    /// class share a tier, so only the first of each class (in scan
+    /// order) can ever be kept, and the merge below folds class
+    /// representatives and visited candidates in exact scan order.
+    #[allow(clippy::too_many_arguments)]
+    fn scan_list(
+        &mut self,
+        now: u64,
+        sched: usize,
+        which: ListKind,
+        start: usize,
+        skip_slot: Option<usize>,
+        kernel: &Kernel,
+        shared: &mut SharedState<'_>,
+        lsu_used: &mut bool,
+        verdict: &mut Option<StallVerdict>,
+    ) -> bool {
+        let len = match which {
+            ListKind::Parents => self.cand_parents[sched].len(),
+            ListKind::HiAssist => self.cand_his[sched].len(),
+            ListKind::LowAssist => self.cand_lows[sched].len(),
+        };
+        if len == 0 {
+            return false;
+        }
+        if !self.masks_ok {
+            // Oversized list: plain ordered scan.
+            for k in 0..len {
+                let pos = if start == 0 { k } else { (start + k) % len };
+                let slot = self.list_slot(sched, which, pos);
+                if skip_slot == Some(slot) {
+                    continue;
+                }
+                let wr = match which {
+                    ListKind::Parents => WarpRef::App(slot),
+                    _ => WarpRef::Assist(slot),
+                };
+                if self.consider(now, sched, wr, kernel, shared, lsu_used, verdict) {
+                    return true;
+                }
+            }
+            return false;
+        }
+
+        let masks = match which {
+            ListKind::Parents => self.parent_masks[sched],
+            ListKind::HiAssist => self.hi_masks[sched],
+            ListKind::LowAssist => self.low_masks[sched],
+        };
+        let occupied: u64 = if len == 64 {
+            u64::MAX
+        } else {
+            (1u64 << len) - 1
+        };
+        let mut skip_bit = 0u64;
+        if let Some(g) = skip_slot {
+            let pos = if which == ListKind::Parents {
+                self.slot_pos[g]
+            } else {
+                NO_POS
+            };
+            if pos != NO_POS && g % self.cfg.schedulers_per_sm == sched {
+                skip_bit = 1u64 << pos;
+            }
+        }
+        let live = !skip_bit;
+        let hazard = masks.hazard & live;
+        let barrier = masks.barrier & live;
+        let done = masks.done & live;
+        // Openness of each blocked class's shared condition. Nothing a
+        // non-issuing candidate does can change these mid-scan, and the
+        // scan ends at the first issue, so evaluating them once up front
+        // matches the per-candidate re-check of a plain scan.
+        let mem_g_open = !*lsu_used && self.lsu.can_accept(1);
+        let mem_s_open = !*lsu_used;
+        let sfu_open = now >= self.sfu_ready_at;
+        let closed_mem_g = if mem_g_open { 0 } else { masks.mem_g & live };
+        let closed_mem_s = if mem_s_open { 0 } else { masks.mem_s & live };
+        let closed_sfu = if sfu_open { 0 } else { masks.sfu & live };
+        let eval =
+            occupied & live & !(hazard | barrier | done | closed_mem_g | closed_mem_s | closed_sfu);
+
+        // Scan-order rank of a position under rotation.
+        let rank = |pos: u32| -> u32 {
+            if pos as usize >= start {
+                pos - start as u32
+            } else {
+                pos + (len - start) as u32
+            }
+        };
+        // First position of `mask` in scan order.
+        let first = |mask: u64| -> u32 {
+            let high = mask >> start << start;
+            if high != 0 {
+                high.trailing_zeros()
+            } else {
+                mask.trailing_zeros()
+            }
+        };
+
+        // One representative (rank, verdict) per skipped class, sorted by
+        // rank so the merge below folds them at their exact scan points.
+        let mut sums = [(0u32, StallVerdict::Barrier); 4];
+        let mut ns = 0;
+        if hazard != 0 {
+            let pos = first(hazard);
+            let slot = self.list_slot(sched, which, pos as usize);
+            let memo = match which {
+                ListKind::Parents => self.memo_app[slot],
+                _ => self.memo_assist[slot],
+            };
+            let SlotMemo::Hazard(h) = memo else {
+                unreachable!("hazard mask desynced from memo");
+            };
+            sums[ns] = (rank(pos), h);
+            ns += 1;
+        }
+        if barrier != 0 {
+            sums[ns] = (rank(first(barrier)), StallVerdict::Barrier);
+            ns += 1;
+        }
+        let closed_mem = closed_mem_g | closed_mem_s;
+        if closed_mem != 0 {
+            sums[ns] = (rank(first(closed_mem)), StallVerdict::MemStructural);
+            ns += 1;
+        }
+        if closed_sfu != 0 {
+            sums[ns] = (rank(first(closed_sfu)), StallVerdict::ComputeStructural);
+            ns += 1;
+        }
+        sums[..ns].sort_unstable_by_key(|&(r, _)| r);
+
+        let mut si = 0;
+        let low_mask = if start == 0 { 0 } else { (1u64 << start) - 1 };
+        for phase in [eval & !low_mask, eval & low_mask] {
+            let mut m = phase;
+            while m != 0 {
+                let pos = m.trailing_zeros();
+                m &= m - 1;
+                let r = rank(pos);
+                while si < ns && sums[si].0 < r {
+                    *verdict = fold_verdict(*verdict, sums[si].1);
+                    si += 1;
+                }
+                let slot = self.list_slot(sched, which, pos as usize);
+                let wr = match which {
+                    ListKind::Parents => WarpRef::App(slot),
+                    _ => WarpRef::Assist(slot),
+                };
+                if self.consider(now, sched, wr, kernel, shared, lsu_used, verdict) {
+                    return true;
+                }
+            }
+        }
+        while si < ns {
+            *verdict = fold_verdict(*verdict, sums[si].1);
+            si += 1;
+        }
+        false
     }
 
     fn schedule(
@@ -1401,16 +1915,20 @@ impl Sm {
         }
         for sched in 0..self.cfg.schedulers_per_sm {
             let mut verdict: Option<StallVerdict> = None;
-            let mut issued = false;
 
             // High-priority assist warps first (decompression precedes
             // parent execution, §3.2.3)...
-            let mut k = 0;
-            while !issued && k < self.cand_his[sched].len() {
-                let wr = WarpRef::Assist(self.cand_his[sched][k]);
-                issued = self.consider(now, sched, wr, kernel, shared, lsu_used, &mut verdict);
-                k += 1;
-            }
+            let mut issued = self.scan_list(
+                now,
+                sched,
+                ListKind::HiAssist,
+                0,
+                None,
+                kernel,
+                shared,
+                lsu_used,
+                &mut verdict,
+            );
             // A high-priority assist issuing ahead of parent warps is the
             // Fig. 13/14 "stolen" issue slot.
             let issued_hi = issued;
@@ -1421,7 +1939,9 @@ impl Sm {
                     SchedulerPolicy::Gto => {
                         // The greedy warp first, then oldest-first.
                         let greedy = self.greedy[sched];
+                        let mut skip = None;
                         if let Some(WarpRef::App(g)) = greedy {
+                            skip = Some(g);
                             if self.warps[g].is_some() && g % self.cfg.schedulers_per_sm == sched {
                                 issued = self.consider(
                                     now,
@@ -1434,38 +1954,32 @@ impl Sm {
                                 );
                             }
                         }
-                        let mut k = 0;
-                        while !issued && k < self.cand_parents[sched].len() {
-                            let i = self.cand_parents[sched][k];
-                            if Some(WarpRef::App(i)) != greedy {
-                                issued = self.consider(
-                                    now,
-                                    sched,
-                                    WarpRef::App(i),
-                                    kernel,
-                                    shared,
-                                    lsu_used,
-                                    &mut verdict,
-                                );
-                            }
-                            k += 1;
-                        }
-                    }
-                    SchedulerPolicy::OldestFirst => {
-                        let mut k = 0;
-                        while !issued && k < self.cand_parents[sched].len() {
-                            let i = self.cand_parents[sched][k];
-                            issued = self.consider(
+                        if !issued {
+                            issued = self.scan_list(
                                 now,
                                 sched,
-                                WarpRef::App(i),
+                                ListKind::Parents,
+                                0,
+                                skip,
                                 kernel,
                                 shared,
                                 lsu_used,
                                 &mut verdict,
                             );
-                            k += 1;
                         }
+                    }
+                    SchedulerPolicy::OldestFirst => {
+                        issued = self.scan_list(
+                            now,
+                            sched,
+                            ListKind::Parents,
+                            0,
+                            None,
+                            kernel,
+                            shared,
+                            lsu_used,
+                            &mut verdict,
+                        );
                     }
                     SchedulerPolicy::RoundRobin => {
                         let len = self.cand_parents[sched].len();
@@ -1474,20 +1988,17 @@ impl Sm {
                         } else {
                             0
                         };
-                        let mut k = 0;
-                        while !issued && k < len {
-                            let i = self.cand_parents[sched][(start + k) % len];
-                            issued = self.consider(
-                                now,
-                                sched,
-                                WarpRef::App(i),
-                                kernel,
-                                shared,
-                                lsu_used,
-                                &mut verdict,
-                            );
-                            k += 1;
-                        }
+                        issued = self.scan_list(
+                            now,
+                            sched,
+                            ListKind::Parents,
+                            start,
+                            None,
+                            kernel,
+                            shared,
+                            lsu_used,
+                            &mut verdict,
+                        );
                     }
                 }
             }
@@ -1498,12 +2009,17 @@ impl Sm {
             // reclaim (§3.2.3).
             let issued_before_low = issued;
             if !issued {
-                let mut k = 0;
-                while !issued && k < self.cand_lows[sched].len() {
-                    let wr = WarpRef::Assist(self.cand_lows[sched][k]);
-                    issued = self.consider(now, sched, wr, kernel, shared, lsu_used, &mut verdict);
-                    k += 1;
-                }
+                issued = self.scan_list(
+                    now,
+                    sched,
+                    ListKind::LowAssist,
+                    0,
+                    None,
+                    kernel,
+                    shared,
+                    lsu_used,
+                    &mut verdict,
+                );
             }
 
             let slot = if issued {
@@ -1520,6 +2036,7 @@ impl Sm {
                 verdict.map(StallVerdict::bucket).unwrap_or(StallKind::Idle)
             };
             self.breakdown.record(slot);
+            self.last_slots[sched] = slot;
             self.rr_cursor[sched] = self.rr_cursor[sched].wrapping_add(1);
         }
     }
@@ -1527,7 +2044,20 @@ impl Sm {
     // ----- main per-cycle entry --------------------------------------------
 
     /// Advances this SM by one cycle.
+    ///
+    /// When the previous executed cycle proved the SM dormant and `now`
+    /// is still short of its self-wake horizon, the whole pipeline walk
+    /// collapses to [`Sm::skip_ahead`]`(1)`: the dormancy invariant
+    /// guarantees a full cycle would record the same issue slots and
+    /// change nothing else. This per-SM fast tick is what keeps a
+    /// memory-bound steady state cheap even when the *global* next-event
+    /// skip cannot fire because other SMs or the interconnect are busy.
     pub fn cycle(&mut self, now: u64, kernel: &Kernel, shared: &mut SharedState<'_>) {
+        if self.dormant && self.dorm_horizon.is_none_or(|h| now < h) {
+            self.skip_ahead(1);
+            return;
+        }
+        let pre = self.activity_signature();
         self.process_writebacks(now);
         self.reap_warps();
         self.finish_assists(now, shared);
@@ -1537,6 +2067,96 @@ impl Sm {
         self.lsu_cycle(now, shared);
         if let Some((ids, shard)) = &mut self.metrics {
             shard.set_max(ids.peak_lsu_pending, self.lsu.pending() as u64);
+        }
+        self.update_dormancy(now, pre);
+    }
+
+    /// A cheap fingerprint of every SM-internal mutation path. Each way a
+    /// cycle can change future behaviour — an issue, an LSU pop, a
+    /// writeback landing, a reap, an assist deploy/finish, a store-buffer
+    /// or decompression-queue drain, an outbound request — moves at least
+    /// one of these counters, so `pre == post` proves the cycle was a
+    /// no-op. The L1 access total is included because a *stalled* LSU
+    /// head (miss with MSHRs or the outbound queue full) re-probes the
+    /// cache every cycle, moving hit/miss stats and the replacement
+    /// clock even though nothing architectural advances — such cycles
+    /// must not be treated as skippable. Hazard-memo writes are
+    /// deliberately excluded: the memoized fold is defined to resolve
+    /// identically to the recomputed one, so they never change a verdict.
+    fn activity_signature(&self) -> [u64; 12] {
+        [
+            self.app_instructions,
+            self.assist_instructions,
+            self.lsu.processed(),
+            self.l1.hits() + self.l1.misses(),
+            self.writebacks.len() as u64,
+            self.assist_pending.len() as u64,
+            self.active_assist_count as u64,
+            u64::from(self.done_unreaped),
+            self.out_reqs.len() as u64,
+            self.store_buffer.len() as u64,
+            self.pending_decomp.len() as u64,
+            self.assist_launches + self.threads_retired,
+        ]
+    }
+
+    fn update_dormancy(&mut self, now: u64, pre: [u64; 12]) {
+        self.dormant = false;
+        self.dorm_horizon = None;
+        if self.activity_signature() != pre {
+            return;
+        }
+        // RoundRobin rotates its scan start every cycle, so even a frozen
+        // machine state can fold a different stall verdict each cycle;
+        // with parent candidates present the recorded buckets are not
+        // constant and the span cannot be credited in bulk.
+        if self.cfg.scheduler == SchedulerPolicy::RoundRobin
+            && self.cand_parents.iter().any(|c| !c.is_empty())
+        {
+            return;
+        }
+        let mut horizon: Option<u64> = None;
+        let fold = |t: u64, h: &mut Option<u64>| *h = Some(h.map_or(t, |a: u64| a.min(t)));
+        for wb in &self.writebacks {
+            fold(wb.at.max(now + 1), &mut horizon);
+        }
+        if self.sfu_ready_at > now {
+            fold(self.sfu_ready_at, &mut horizon);
+        }
+        self.dormant = true;
+        self.dorm_horizon = horizon;
+    }
+
+    /// True when the last executed cycle proved this SM frozen — see the
+    /// `dormant` field. Cleared by any external mutation (fill, block
+    /// launch, request requeue) and on snapshot restore.
+    pub fn dormant(&self) -> bool {
+        self.dormant
+    }
+
+    /// The next cycle at which a frozen SM acts on its own (earliest
+    /// pending writeback or SFU readiness); `None` when only external
+    /// input can wake it. Meaningful only while [`Sm::dormant`].
+    pub fn skip_horizon(&self) -> Option<u64> {
+        self.dorm_horizon
+    }
+
+    /// Credits `span` skipped cycles in bulk: each scheduler re-records
+    /// the bucket its slot resolved to in the dormant cycle (`Idle` on a
+    /// quiesced SM, matching [`Sm::idle_tick`]) and advances its
+    /// round-robin cursor — exactly what `span` per-cycle calls would do.
+    pub fn skip_ahead(&mut self, span: u64) {
+        if self.quiesced() {
+            for sched in 0..self.cfg.schedulers_per_sm {
+                self.breakdown.record_n(StallKind::Idle, span);
+                self.rr_cursor[sched] = self.rr_cursor[sched].wrapping_add(span);
+            }
+            return;
+        }
+        debug_assert!(self.dormant, "skip_ahead on an active SM");
+        for sched in 0..self.cfg.schedulers_per_sm {
+            self.breakdown.record_n(self.last_slots[sched], span);
+            self.rr_cursor[sched] = self.rr_cursor[sched].wrapping_add(span);
         }
     }
 
@@ -1582,6 +2202,11 @@ impl Sm {
     }
 
     // ----- statistics ------------------------------------------------------
+
+    /// Monotonic blocks-retired count (the CTA-dispatch gate signal).
+    pub(crate) fn blocks_retired_total(&self) -> u64 {
+        self.blocks_retired_total
+    }
 
     /// Adds this SM's counters into `stats`.
     pub fn export_stats(&self, stats: &mut crate::stats::RunStats) {
@@ -1937,8 +2562,8 @@ impl Sm {
         self.out_reqs.save(w);
         w.u64(self.sfu_ready_at);
         w.bool(self.cand_dirty);
-        save_verdict_memo(&self.haz_app, w);
-        save_verdict_memo(&self.haz_assist, w);
+        save_slot_memo(&self.memo_app, w);
+        save_slot_memo(&self.memo_assist, w);
         self.greedy.save(w);
         self.rr_cursor.save(w);
         w.u32(self.used_regs);
@@ -2100,8 +2725,8 @@ impl Sm {
         self.out_reqs = VecDeque::<OutReq>::load(r)?;
         self.sfu_ready_at = r.u64()?;
         let cand_dirty = r.bool()?;
-        let haz_app = load_verdict_memo(r, self.cfg.warps_per_sm)?;
-        let haz_assist = load_verdict_memo(r, self.cfg.max_assist_warps)?;
+        let memo_app = load_slot_memo(r, self.cfg.warps_per_sm)?;
+        let memo_assist = load_slot_memo(r, self.cfg.max_assist_warps)?;
         let greedy = Vec::<Option<WarpRef>>::load(r)?;
         let rr_cursor = Vec::<u64>::load(r)?;
         if greedy.len() != self.cfg.schedulers_per_sm
@@ -2140,6 +2765,19 @@ impl Sm {
         // Derived state: recomputed, never trusted from the wire.
         self.resident_block_count = self.blocks.iter().filter(|b| b.is_some()).count();
         self.active_assist_count = self.assists.iter().filter(|a| a.is_some()).count();
+        self.low_assist_count = self
+            .assists
+            .iter()
+            .flatten()
+            .filter(|a| a.priority == AssistPriority::Low)
+            .count();
+        // Conservative: a spurious sweep is free, a missed retire is not.
+        self.assist_done_hint = true;
+        self.high_pending_count = self
+            .assist_pending
+            .iter()
+            .filter(|l| l.priority == AssistPriority::High)
+            .count();
         self.done_unreaped = self
             .warps
             .iter()
@@ -2155,8 +2793,15 @@ impl Sm {
         // the wire, as does the rebuild-pending flag.
         self.rebuild_candidates();
         self.cand_dirty = cand_dirty;
-        self.haz_app = haz_app;
-        self.haz_assist = haz_assist;
+        self.memo_app = memo_app;
+        self.memo_assist = memo_assist;
+        // The class masks mirror the memos, which just changed under them.
+        self.rebuild_class_masks();
+        // The dormancy cache is recomputed, never restored: the next real
+        // cycle is bit-identical to the skipped one it replaces, so losing
+        // the cache costs one executed cycle and changes nothing else.
+        self.dormant = false;
+        self.dorm_horizon = None;
         self.events.clear();
         Ok(())
     }
@@ -2225,32 +2870,39 @@ fn load_launch(
 
 /// Encodes a hazard-memo vector: one byte per slot, `0` for no memo,
 /// `tag + 1` for a memoized [`StallVerdict`].
-fn save_verdict_memo(memo: &[Option<StallVerdict>], w: &mut SnapshotWriter) {
+fn save_slot_memo(memo: &[SlotMemo], w: &mut SnapshotWriter) {
     w.usize(memo.len());
     for m in memo {
         w.u8(match m {
-            None => 0,
-            Some(v) => verdict_tag(*v) + 1,
+            SlotMemo::Unknown => 0,
+            SlotMemo::Hazard(v) => verdict_tag(*v) + 1,
+            SlotMemo::MemBlocked { shared: false } => 7,
+            SlotMemo::MemBlocked { shared: true } => 8,
+            SlotMemo::SfuBlocked => 9,
+            SlotMemo::Done => 10,
+            SlotMemo::Barrier => 11,
         });
     }
 }
 
-/// Decodes a hazard-memo vector of exactly `expected` slots.
-fn load_verdict_memo(
-    r: &mut SnapshotReader<'_>,
-    expected: usize,
-) -> Result<Vec<Option<StallVerdict>>, SnapError> {
-    let n = r.seq_len("hazard memo", 1)?;
+/// Decodes a consideration-memo vector of exactly `expected` slots.
+fn load_slot_memo(r: &mut SnapshotReader<'_>, expected: usize) -> Result<Vec<SlotMemo>, SnapError> {
+    let n = r.seq_len("consideration memo", 1)?;
     if n != expected {
         return Err(SnapError::Invariant {
-            what: "hazard memo slot count mismatch",
+            what: "consideration memo slot count mismatch",
         });
     }
     let mut memo = Vec::with_capacity(n);
     for _ in 0..n {
         memo.push(match r.u8()? {
-            0 => None,
-            tag => Some(verdict_from_tag(tag - 1)?),
+            0 => SlotMemo::Unknown,
+            7 => SlotMemo::MemBlocked { shared: false },
+            8 => SlotMemo::MemBlocked { shared: true },
+            9 => SlotMemo::SfuBlocked,
+            10 => SlotMemo::Done,
+            11 => SlotMemo::Barrier,
+            tag => SlotMemo::Hazard(verdict_from_tag(tag - 1)?),
         });
     }
     Ok(memo)

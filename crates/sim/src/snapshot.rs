@@ -41,7 +41,7 @@ use std::fmt;
 pub const MAGIC: &[u8; 8] = b"CABASNAP";
 
 /// Current container format version. Bump on any payload layout change.
-pub const FORMAT_VERSION: u32 = 1;
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Why a snapshot container was rejected by
 /// [`Gpu::restore`](crate::Gpu::restore).
@@ -115,6 +115,7 @@ pub fn config_hash(cfg: &GpuConfig) -> u64 {
     canon.checkpoint_interval = 0;
     canon.intra_jobs = 1;
     canon.watchdog_window = 0;
+    canon.time_skip = true;
     checksum64(format!("{canon:?}").as_bytes())
 }
 
@@ -196,6 +197,7 @@ mod tests {
         traced.intra_jobs = 4;
         traced.checkpoint_interval = 1000;
         traced.watchdog_window = 0;
+        traced.time_skip = !base.time_skip;
         assert_eq!(
             config_hash(&traced),
             h,

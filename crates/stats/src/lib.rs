@@ -214,6 +214,13 @@ impl IssueBreakdown {
         self.counts[Self::index(kind)] += 1;
     }
 
+    /// Records `n` identical slot outcomes at once. Exactly equivalent to
+    /// `n` calls to [`IssueBreakdown::record`] — used by the next-event
+    /// clock to credit a skipped span in bulk without per-cycle work.
+    pub fn record_n(&mut self, kind: StallKind, n: u64) {
+        self.counts[Self::index(kind)] += n;
+    }
+
     /// Count for one outcome kind.
     pub fn count(&self, kind: StallKind) -> u64 {
         self.counts[Self::index(kind)]
@@ -372,6 +379,22 @@ mod tests {
         assert_eq!(a.count(StallKind::Idle), 2);
         assert_eq!(a.count(StallKind::ScoreboardPipeline), 1);
         assert_eq!(a.total(), 3);
+    }
+
+    #[test]
+    fn record_n_matches_repeated_record() {
+        let mut bulk = IssueBreakdown::new();
+        bulk.record_n(StallKind::Idle, 1000);
+        bulk.record_n(StallKind::MemoryData, 3);
+        bulk.record_n(StallKind::Synchronization, 0);
+        let mut slow = IssueBreakdown::new();
+        for _ in 0..1000 {
+            slow.record(StallKind::Idle);
+        }
+        for _ in 0..3 {
+            slow.record(StallKind::MemoryData);
+        }
+        assert_eq!(bulk, slow);
     }
 
     #[test]

@@ -336,6 +336,16 @@ pub fn dedup_cells(groups: &[Vec<SweepCell>]) -> Vec<SweepCell> {
     out
 }
 
+/// The host's available parallelism (logical cores visible to this
+/// process), or 1 when the query fails. Recorded in every report so a
+/// `BENCH_sweep.json` from one machine is comparable to another's, and
+/// used by the CLI to clamp `--jobs` before oversubscribing.
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
 /// A machine-readable sweep report, serialized to `BENCH_sweep.json`.
 #[derive(Debug, Clone)]
 pub struct SweepReport {
@@ -348,6 +358,9 @@ pub struct SweepReport {
     /// Intra-run worker threads per cell ([`GpuConfig::intra_jobs`]); the
     /// cell-level fan-out is `jobs / intra_jobs`.
     pub intra_jobs: usize,
+    /// Logical cores the host exposed at run time ([`host_cores`]);
+    /// contextualizes the wall-clock numbers across machines.
+    pub host_cores: usize,
     /// Which figures' cells are covered.
     pub figures: Vec<String>,
     /// Serial (jobs = 1) total wall seconds, when measured.
@@ -383,6 +396,7 @@ impl SweepReport {
         s.push_str(&format!("  \"scale\": {},\n", json_f64(self.scale)));
         s.push_str(&format!("  \"jobs\": {},\n", self.jobs));
         s.push_str(&format!("  \"intra_jobs\": {},\n", self.intra_jobs));
+        s.push_str(&format!("  \"host_cores\": {},\n", self.host_cores));
         let figs: Vec<String> = self.figures.iter().map(|f| format!("\"{f}\"")).collect();
         s.push_str(&format!("  \"figures\": [{}],\n", figs.join(", ")));
         s.push_str(&format!("  \"num_cells\": {},\n", self.results.len()));
@@ -471,6 +485,7 @@ mod tests {
             scale: 0.05,
             jobs: 4,
             intra_jobs: 2,
+            host_cores: 8,
             figures: vec!["fig07".into()],
             serial_wall_s: Some(2.0),
             ref_wall_s: None,
@@ -494,6 +509,7 @@ mod tests {
         caba_stats::json::validate(&j).expect("report JSON parses");
         assert!(j.contains("\"speedup\": 4"), "{j}");
         assert!(j.contains("\"deterministic\": true"), "{j}");
+        assert!(j.contains("\"host_cores\": 8"), "{j}");
         // Derived rates come from RunStats::summary(), nested per cell.
         assert!(j.contains("\"summary\": {\"cycles\": 100"), "{j}");
         assert!(j.contains("\"ipc\": 2.5"), "{j}");

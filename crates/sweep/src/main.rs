@@ -13,7 +13,8 @@
 //! run's.
 
 use caba_sweep::{
-    dedup_cells, figure_cells, run_cells, run_cells_journaled, SweepConfig, SweepReport, FIGURES,
+    dedup_cells, figure_cells, host_cores, run_cells, run_cells_journaled, SweepConfig,
+    SweepReport, FIGURES,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -23,6 +24,7 @@ struct Args {
     jobs: usize,
     intra_jobs: usize,
     ref_wall: Option<f64>,
+    max_wall: Option<f64>,
     selftest: bool,
     baseline: bool,
     scale: Option<f64>,
@@ -47,6 +49,8 @@ fn usage() -> ! {
                         and record the speedup\n\
          --ref-wall S   reference wall seconds from an earlier build (recorded\n\
                         as ref_wall_s / hot_path_speedup_vs_ref in the report)\n\
+         --max-wall S   fail (exit 1) if the sweep's wall time exceeds S\n\
+                        seconds — CI perf-regression gate\n\
          --resume PATH  journal finished cells to PATH and, if PATH already\n\
                         holds a journal for this sweep, re-run only missing\n\
                         cells (crash-resilient resume; panics are isolated\n\
@@ -67,6 +71,7 @@ fn parse_args() -> Args {
         jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
         intra_jobs: env_intra_jobs(),
         ref_wall: None,
+        max_wall: None,
         selftest: false,
         baseline: false,
         scale: None,
@@ -83,6 +88,7 @@ fn parse_args() -> Args {
             "--scale" => args.scale = Some(parse_flag(&a, it.next())),
             "--out" => args.out = it.next().unwrap_or_else(|| missing_value("--out")),
             "--ref-wall" => args.ref_wall = Some(parse_flag(&a, it.next())),
+            "--max-wall" => args.max_wall = Some(parse_flag(&a, it.next())),
             "--resume" => {
                 args.resume = Some(PathBuf::from(
                     it.next().unwrap_or_else(|| missing_value("--resume")),
@@ -102,6 +108,15 @@ fn parse_args() -> Args {
     if args.jobs == 0 || args.intra_jobs == 0 {
         eprintln!("caba-sweep: --jobs and --intra-jobs must be nonzero\n");
         usage();
+    }
+    let cores = host_cores();
+    if args.jobs > cores {
+        eprintln!(
+            "caba-sweep: --jobs {} exceeds available parallelism ({cores}); \
+             clamping to {cores} (oversubscribed workers only add contention)",
+            args.jobs
+        );
+        args.jobs = cores;
     }
     args
 }
@@ -154,6 +169,17 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     eprintln!("report written to {}", args.out);
+    if let Some(max) = args.max_wall {
+        let wall = report.parallel_wall_s;
+        if wall > max {
+            eprintln!(
+                "caba-sweep: PERF REGRESSION: sweep took {wall:.3}s, budget {max:.3}s \
+                 (raise --max-wall only if the slowdown is intended)"
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!("perf gate OK: {wall:.3}s <= {max:.3}s budget");
+    }
     if ok {
         ExitCode::SUCCESS
     } else {
@@ -229,6 +255,7 @@ fn sweep(args: &Args) -> Result<SweepReport, Box<dyn std::error::Error>> {
         scale: sc.scale,
         jobs: args.jobs,
         intra_jobs: args.intra_jobs,
+        host_cores: host_cores(),
         figures: FIGURES.iter().map(|f| f.to_string()).collect(),
         serial_wall_s,
         ref_wall_s: args.ref_wall,
@@ -294,6 +321,7 @@ fn selftest(args: &Args) -> (SweepReport, bool) {
         scale: sc.scale,
         jobs: args.jobs,
         intra_jobs: args.intra_jobs,
+        host_cores: host_cores(),
         figures: FIGURES.iter().map(|f| f.to_string()).collect(),
         serial_wall_s: Some(serial_total),
         ref_wall_s: args.ref_wall,
