@@ -170,6 +170,23 @@ pub struct Gpu {
     /// taken every [`GpuConfig::checkpoint_interval`] cycles. Feeds
     /// time-travel hang forensics and fork-from-checkpoint sweeps.
     last_checkpoint: Option<(u64, Vec<u8>)>,
+    /// Optional spill target for periodic checkpoints (e.g. a durable
+    /// store). Called with `(cycle, container bytes)` right after each
+    /// snapshot is taken; record-only, so it can never perturb the run.
+    checkpoint_sink: Option<CheckpointSink>,
+}
+
+/// The callback type a [`CheckpointSink`] wraps: `(cycle, container
+/// bytes)` for each periodic checkpoint.
+pub type CheckpointSinkFn = Box<dyn FnMut(u64, &[u8]) + Send>;
+
+/// A callback receiving each periodic checkpoint as it is taken.
+pub struct CheckpointSink(CheckpointSinkFn);
+
+impl fmt::Debug for CheckpointSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("CheckpointSink(..)")
+    }
 }
 
 impl Gpu {
@@ -223,6 +240,7 @@ impl Gpu {
             next_cta: 0,
             run_start: 0,
             last_checkpoint: None,
+            checkpoint_sink: None,
         })
     }
 
@@ -688,6 +706,9 @@ impl Gpu {
             {
                 self.next_cta = next_cta;
                 let bytes = self.snapshot(kernel);
+                if let Some(CheckpointSink(sink)) = self.checkpoint_sink.as_mut() {
+                    sink(now, &bytes);
+                }
                 self.last_checkpoint = Some((now, bytes));
             }
 
@@ -1184,6 +1205,31 @@ impl Gpu {
         self.last_checkpoint
             .as_ref()
             .map(|(c, b)| (*c, b.as_slice()))
+    }
+
+    /// Registers a spill target for periodic checkpoints: `sink(cycle,
+    /// container_bytes)` is called every time the run loop takes one, so
+    /// a durable store can persist checkpoints as the run progresses.
+    /// The sink is record-only and can never perturb the run.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::Zero`] when [`GpuConfig::checkpoint_interval`] is 0
+    /// — the sink would silently never fire, which is always a caller
+    /// bug, not a configuration choice.
+    pub fn set_checkpoint_sink(&mut self, sink: CheckpointSinkFn) -> Result<(), ConfigError> {
+        if self.cfg.checkpoint_interval == 0 {
+            return Err(ConfigError::Zero {
+                field: "checkpoint_interval",
+            });
+        }
+        self.checkpoint_sink = Some(CheckpointSink(sink));
+        Ok(())
+    }
+
+    /// Removes any registered checkpoint sink.
+    pub fn clear_checkpoint_sink(&mut self) {
+        self.checkpoint_sink = None;
     }
 
     /// Serializes the complete machine state — functional memory, every SM

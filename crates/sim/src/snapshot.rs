@@ -34,7 +34,8 @@
 
 use crate::config::GpuConfig;
 use crate::observe::ObservabilityConfig;
-use caba_stats::snap::{checksum64, SnapError, SnapshotWriter};
+use caba_stats::checksum::{self, checksum64};
+use caba_stats::snap::{SnapError, SnapshotWriter};
 use std::fmt;
 
 /// First bytes of every snapshot container.
@@ -119,27 +120,18 @@ pub fn config_hash(cfg: &GpuConfig) -> u64 {
     checksum64(format!("{canon:?}").as_bytes())
 }
 
-/// Appends the trailing checksum and returns the finished container.
+/// Appends the trailing checksum and returns the finished container
+/// (the shared [`caba_stats::checksum::seal`] framing).
 pub(crate) fn seal(w: SnapshotWriter) -> Vec<u8> {
-    let mut bytes = w.into_bytes();
-    let sum = checksum64(&bytes);
-    bytes.extend_from_slice(&sum.to_le_bytes());
-    bytes
+    checksum::seal(w.into_bytes())
 }
 
 /// Verifies the trailing checksum and returns the container body (header
 /// plus payload) it covers. Runs before any decoding, so corrupt bytes
-/// never reach a live machine.
+/// never reach a live machine — the workspace-wide checksum-before-decode
+/// contract of [`caba_stats::checksum::verify_sealed`].
 pub(crate) fn verify_sealed(bytes: &[u8]) -> Result<&[u8], RestoreError> {
-    if bytes.len() < 8 {
-        return Err(RestoreError::ChecksumMismatch);
-    }
-    let (body, tail) = bytes.split_at(bytes.len() - 8);
-    let stored = u64::from_le_bytes(tail.try_into().expect("split tail is 8 bytes"));
-    if checksum64(body) != stored {
-        return Err(RestoreError::ChecksumMismatch);
-    }
-    Ok(body)
+    checksum::verify_sealed(bytes).ok_or(RestoreError::ChecksumMismatch)
 }
 
 #[cfg(test)]

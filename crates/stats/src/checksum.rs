@@ -1,0 +1,142 @@
+//! The one FNV-1a-64 checksum implementation in the workspace, and the
+//! *sealed-container* framing contract built on it.
+//!
+//! Every durable byte container in the repository — the `CABASNAP` machine
+//! snapshot (`caba_sim::snapshot`), the on-disk store entries of
+//! `caba-store`, and the per-line checksums of the sweep resume journal —
+//! seals its bytes with the same trailing checksum and verifies it
+//! **before any field is decoded**. Centralizing the hash and the framing
+//! here keeps the corruption-rejection behaviour identical everywhere: a
+//! torn, truncated, or bit-flipped container is rejected as a unit, and
+//! corrupt bytes never reach a decoder.
+//!
+//! # Examples
+//!
+//! ```
+//! use caba_stats::checksum::{seal, verify_sealed};
+//!
+//! let sealed = seal(b"payload".to_vec());
+//! assert_eq!(verify_sealed(&sealed), Some(&b"payload"[..]));
+//!
+//! let mut torn = sealed.clone();
+//! torn.pop();
+//! assert_eq!(verify_sealed(&torn), None);
+//! ```
+
+/// FNV-1a 64-bit offset basis (the checksum of the empty string).
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a 64-bit checksum over a byte slice — the integrity seal of every
+/// container format in the workspace.
+pub fn checksum64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.update(bytes);
+    h.finish()
+}
+
+/// Streaming FNV-1a-64 state, for checksumming data that arrives in
+/// pieces (store entry headers + payloads) without concatenating first.
+/// `Fnv64::new().update(a).update(b).finish()` equals
+/// [`checksum64`] of `a ++ b`.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64 {
+    h: u64,
+}
+
+impl Fnv64 {
+    /// Fresh state (the offset basis).
+    pub fn new() -> Self {
+        Fnv64 { h: FNV_OFFSET }
+    }
+
+    /// Folds `bytes` into the state; returns `&mut self` for chaining.
+    pub fn update(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.h ^= b as u64;
+            self.h = self.h.wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// The checksum of everything folded in so far.
+    pub fn finish(&self) -> u64 {
+        self.h
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Appends the trailing little-endian checksum, turning `body` into a
+/// sealed container. The inverse of [`verify_sealed`].
+pub fn seal(mut body: Vec<u8>) -> Vec<u8> {
+    let sum = checksum64(&body);
+    body.extend_from_slice(&sum.to_le_bytes());
+    body
+}
+
+/// Verifies the trailing checksum of a sealed container and returns the
+/// body it covers, or `None` when the bytes are torn, truncated, or
+/// corrupted. Runs **before** any decoding — the checksum-before-decode
+/// contract shared by every container format in the workspace.
+pub fn verify_sealed(bytes: &[u8]) -> Option<&[u8]> {
+    if bytes.len() < 8 {
+        return None;
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(tail.try_into().expect("split tail is 8 bytes"));
+    (checksum64(body) == stored).then_some(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checksum_matches_reference_vectors() {
+        // FNV-1a offset basis for the empty string.
+        assert_eq!(checksum64(b""), FNV_OFFSET);
+        assert_eq!(checksum64(b"caba snapshot"), checksum64(b"caba snapshot"));
+        assert_ne!(checksum64(b"caba snapshot"), checksum64(b"caba snapshor"));
+    }
+
+    #[test]
+    fn streaming_equals_one_shot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        for split in 0..data.len() {
+            let mut h = Fnv64::new();
+            h.update(&data[..split]).update(&data[split..]);
+            assert_eq!(h.finish(), checksum64(data), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn seal_verify_round_trip_and_rejection() {
+        let sealed = seal(vec![1, 2, 3, 4, 5]);
+        assert_eq!(verify_sealed(&sealed), Some(&[1u8, 2, 3, 4, 5][..]));
+        // Every truncation is rejected.
+        for len in 0..sealed.len() {
+            assert_eq!(verify_sealed(&sealed[..len]), None, "truncated to {len}");
+        }
+        // Every flipped bit is rejected.
+        for byte in 0..sealed.len() {
+            for bit in 0..8 {
+                let mut bad = sealed.clone();
+                bad[byte] ^= 1 << bit;
+                assert_eq!(verify_sealed(&bad), None, "flip at {byte}:{bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_body_seals() {
+        let sealed = seal(Vec::new());
+        assert_eq!(verify_sealed(&sealed), Some(&[][..]));
+    }
+}

@@ -34,6 +34,7 @@
 //! assert_eq!(a, b); // fully deterministic
 //! ```
 
+pub mod checksum;
 pub mod fxhash;
 pub mod json;
 pub mod metrics;
@@ -42,10 +43,11 @@ pub mod rng;
 pub mod snap;
 pub mod table;
 
+pub use checksum::{checksum64, Fnv64};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use metrics::{CounterId, GaugeId, MetricRegistry, MetricShard, MetricsLevel, MetricsSnapshot};
 pub use rng::Rng64;
-pub use snap::{checksum64, SnapError, SnapshotReader, SnapshotState, SnapshotWriter};
+pub use snap::{SnapError, SnapshotReader, SnapshotState, SnapshotWriter};
 pub use table::Table;
 
 use std::fmt;

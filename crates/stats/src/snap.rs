@@ -102,15 +102,10 @@ impl fmt::Display for SnapError {
 
 impl std::error::Error for SnapError {}
 
-/// FNV-1a 64-bit checksum, the payload seal of the snapshot container.
-pub fn checksum64(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
+/// The workspace-wide FNV-1a-64 checksum, the payload seal of every
+/// container format (re-exported from [`crate::checksum`], the single
+/// implementation).
+pub use crate::checksum::checksum64;
 
 /// Append-only little-endian encoder.
 #[derive(Debug, Default)]
@@ -568,7 +563,8 @@ mod tests {
         let a = checksum64(b"caba snapshot");
         assert_eq!(a, checksum64(b"caba snapshot"));
         assert_ne!(a, checksum64(b"caba snapshor"));
-        // FNV-1a offset basis for the empty string.
-        assert_eq!(checksum64(b""), 0xcbf2_9ce4_8422_2325);
+        // FNV-1a offset basis for the empty string (the one implementation
+        // lives in `crate::checksum`; this re-export must stay identical).
+        assert_eq!(checksum64(b""), crate::checksum::FNV_OFFSET);
     }
 }

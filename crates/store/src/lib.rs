@@ -1,0 +1,1139 @@
+//! Crash-safe content-addressed store for CABA snapshots and results.
+//!
+//! Simulation campaigns produce two kinds of expensive artifacts: machine
+//! snapshots (a warm `Gpu` mid-kernel, megabytes) and finished cell
+//! results (a `StatsSummary`, bytes). Both are pure functions of their
+//! key, so a store keyed by content hash lets a killed sweep — or an
+//! entirely fresh process — pick up exactly where a previous one left
+//! off, bit-identically. That only holds if the store itself can never
+//! lie: a torn write, short read, or stale temp file must surface as a
+//! *miss* (recompute) or a typed error, never as corrupt bytes decoded
+//! into a live machine.
+//!
+//! # Entry container (format version 1)
+//!
+//! Every object is a sealed container reusing the `CABASNAP`
+//! checksum-before-decode contract ([`caba_stats::checksum`]):
+//!
+//! | field    | encoding                 | purpose                      |
+//! |----------|--------------------------|------------------------------|
+//! | magic    | 8 raw bytes `"CABASTOR"` | file-type identification     |
+//! | version  | `u32`                    | format evolution gate        |
+//! | kind     | `u8` ([`EntryKind`])     | snapshot vs result           |
+//! | key      | `u64`                    | content hash, = the filename |
+//! | label    | length-prefixed string   | human-readable provenance    |
+//! | payload  | length-prefixed bytes    | caller bytes, opaque         |
+//! | checksum | trailing `u64` (LE)      | FNV-1a over everything above |
+//!
+//! The checksum is verified **before** any field is decoded. The `key`
+//! field is then cross-checked against both the filename and the
+//! caller's request, so a valid entry renamed to the wrong name is also
+//! caught.
+//!
+//! # On-disk layout
+//!
+//! ```text
+//! <root>/
+//!   objects/sn/<key:016x>.entry   machine snapshots
+//!   objects/rs/<key:016x>.entry   cell results
+//!   tmp/                          in-flight writes (pre-rename)
+//!   quarantine/                   corrupt entries, moved — never deleted
+//!   lru.log                       append-only self-checksummed touch log
+//! ```
+//!
+//! # Write discipline
+//!
+//! `put` writes the sealed container to `tmp/`, fsyncs the file,
+//! `rename(2)`s it onto its final name, and fsyncs the parent directory.
+//! A crash at any point leaves either the old state, a stale temp file
+//! (swept by [`Store::scrub`]), or the complete new entry — never a torn
+//! visible entry at the final name. Failed in-flight writes are cleaned
+//! up best-effort; a failed cleanup again just leaves a stale temp.
+//!
+//! # Scrub and quarantine
+//!
+//! [`Store::scrub`] re-verifies every entry's checksum and header and
+//! *moves* anything corrupt into `quarantine/` (preserving the bytes for
+//! forensics — the store never deletes data it cannot prove is garbage).
+//! Stale temp files are quarantined the same way. [`Store::gc`] is the
+//! one legitimate deleter: an LRU sweep driven by the touch log that
+//! evicts verified-live entries until the store fits its size cap.
+
+pub mod fsio;
+
+use caba_stats::checksum::{self, Fnv64};
+use caba_stats::snap::{SnapshotReader, SnapshotWriter};
+pub use fsio::{FaultCounts, FaultFs, FaultRates, RealFs, StoreFs};
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// First bytes of every store entry.
+pub const MAGIC: &[u8; 8] = b"CABASTOR";
+
+/// Current entry format version. Bump on any layout change.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// What an entry holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntryKind {
+    /// A sealed `Gpu` snapshot container (itself `CABASNAP`-framed).
+    Snapshot = 0,
+    /// A finished sweep-cell result (`StatsSummary` + wall time).
+    Result = 1,
+}
+
+impl EntryKind {
+    /// The objects subdirectory holding this kind.
+    fn dir_name(self) -> &'static str {
+        match self {
+            EntryKind::Snapshot => "sn",
+            EntryKind::Result => "rs",
+        }
+    }
+
+    fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(EntryKind::Snapshot),
+            1 => Some(EntryKind::Result),
+            _ => None,
+        }
+    }
+}
+
+/// The identity of a machine snapshot: which machine, which program,
+/// which design point, and how far it had run. Two snapshots with equal
+/// keys are interchangeable bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapKey {
+    /// Canonical configuration hash (`caba_sim::snapshot::config_hash`).
+    pub config_hash: u64,
+    /// Program/content hash. Callers must fold in anything the program
+    /// hash alone does not cover (app name, data scale) — the store
+    /// trusts this value as the full program identity.
+    pub kernel_hash: u64,
+    /// Design label the snapshot was taken on.
+    pub design: String,
+    /// Cycle the machine had reached.
+    pub cycle: u64,
+}
+
+impl SnapKey {
+    /// The content hash this snapshot files under.
+    pub fn hash(&self) -> u64 {
+        let mut h = Fnv64::new();
+        h.update(b"caba-snapkey-v1|");
+        h.update(&self.config_hash.to_le_bytes());
+        h.update(&self.kernel_hash.to_le_bytes());
+        h.update(self.design.as_bytes());
+        h.update(b"|");
+        h.update(&self.cycle.to_le_bytes());
+        h.finish()
+    }
+
+    /// Human-readable provenance recorded in the entry label.
+    pub fn label(&self) -> String {
+        format!(
+            "snap cfg={:016x} krn={:016x} design={} cycle={}",
+            self.config_hash, self.kernel_hash, self.design, self.cycle
+        )
+    }
+}
+
+/// Why a store operation failed. Corruption is *not* an error — corrupt
+/// entries quarantine and read as misses — so every variant here is an
+/// environmental failure the caller may want to retry or report.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An I/O operation failed.
+    Io {
+        /// Which store operation failed (e.g. `"write temp"`, `"rename"`).
+        op: &'static str,
+        /// The path involved.
+        path: PathBuf,
+        /// The underlying error.
+        source: io::Error,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { op, path, source } => {
+                write!(f, "store {op} failed on {}: {source}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+        }
+    }
+}
+
+fn ioerr(op: &'static str, path: &Path, source: io::Error) -> StoreError {
+    StoreError::Io {
+        op,
+        path: path.to_path_buf(),
+        source,
+    }
+}
+
+/// One quarantined file in a [`ScrubReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Quarantined {
+    /// Path relative to the store root (e.g. `objects/sn/....entry`).
+    pub rel_path: String,
+    /// Why it was quarantined.
+    pub reason: String,
+}
+
+/// Outcome of a [`Store::scrub`] pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Entries whose checksum and header verified.
+    pub ok: u64,
+    /// Files moved into `quarantine/` (corrupt entries + stale temps).
+    pub quarantined: Vec<Quarantined>,
+    /// Files that could not be scrubbed (I/O error mid-scrub); they are
+    /// left in place for a later pass.
+    pub skipped: Vec<Quarantined>,
+}
+
+impl ScrubReport {
+    /// True when every entry verified and nothing needed quarantine.
+    pub fn is_clean(&self) -> bool {
+        self.quarantined.is_empty() && self.skipped.is_empty()
+    }
+
+    /// Serializes the report as JSON (dependency-free, like the sweep
+    /// reports).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"ok\": {},\n", self.ok));
+        s.push_str(&format!("  \"clean\": {},\n", self.is_clean()));
+        let list = |items: &[Quarantined]| -> String {
+            let rows: Vec<String> = items
+                .iter()
+                .map(|q| {
+                    format!(
+                        "    {{\"path\": {}, \"reason\": {}}}",
+                        json_str(&q.rel_path),
+                        json_str(&q.reason)
+                    )
+                })
+                .collect();
+            if rows.is_empty() {
+                "[]".to_string()
+            } else {
+                format!("[\n{}\n  ]", rows.join(",\n"))
+            }
+        };
+        s.push_str(&format!(
+            "  \"quarantined\": {},\n",
+            list(&self.quarantined)
+        ));
+        s.push_str(&format!("  \"skipped\": {}\n", list(&self.skipped)));
+        s.push_str("}\n");
+        s
+    }
+}
+
+/// Outcome of a [`Store::gc`] pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Store size before the sweep (entry bytes only).
+    pub before_bytes: u64,
+    /// Store size after the sweep.
+    pub after_bytes: u64,
+    /// Entry file names evicted, oldest first.
+    pub evicted: Vec<String>,
+    /// Evictions that failed (entry left in place).
+    pub failed: u64,
+}
+
+impl GcReport {
+    /// Serializes the report as JSON.
+    pub fn to_json(&self) -> String {
+        let rows: Vec<String> = self.evicted.iter().map(|n| json_str(n)).collect();
+        format!(
+            "{{\n  \"before_bytes\": {},\n  \"after_bytes\": {},\n  \"evicted\": [{}],\n  \"failed\": {}\n}}\n",
+            self.before_bytes,
+            self.after_bytes,
+            rows.join(", "),
+            self.failed
+        )
+    }
+}
+
+/// A point-in-time inventory of the store.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Snapshot entries on disk.
+    pub snapshots: u64,
+    /// Result entries on disk.
+    pub results: u64,
+    /// Total entry bytes (both kinds).
+    pub entry_bytes: u64,
+    /// Files sitting in `quarantine/`.
+    pub quarantined: u64,
+    /// Stale files in `tmp/`.
+    pub stale_temps: u64,
+    /// Cache hits served by this `Store` handle (process-local).
+    pub hits: u64,
+    /// Cache misses served by this `Store` handle (process-local).
+    pub misses: u64,
+}
+
+impl StoreStats {
+    /// Serializes the stats as JSON.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"snapshots\": {},\n  \"results\": {},\n  \"entry_bytes\": {},\n  \"quarantined\": {},\n  \"stale_temps\": {},\n  \"hits\": {},\n  \"misses\": {}\n}}\n",
+            self.snapshots,
+            self.results,
+            self.entry_bytes,
+            self.quarantined,
+            self.stale_temps,
+            self.hits,
+            self.misses
+        )
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+struct Counters {
+    /// Monotonic sequence for LRU touches and temp-file uniqueness.
+    next_seq: u64,
+    hits: u64,
+    misses: u64,
+}
+
+/// The store handle. All methods take `&self`; internal counters are
+/// mutex-guarded so a handle can be shared across sweep worker threads.
+pub struct Store {
+    root: PathBuf,
+    fs: Box<dyn StoreFs>,
+    counters: Mutex<Counters>,
+}
+
+const LRU_LOG: &str = "lru.log";
+
+impl Store {
+    /// Opens (creating if needed) a store rooted at `root` on the real
+    /// filesystem.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        Self::open_with_fs(root, Box::new(RealFs))
+    }
+
+    /// Opens a store over an explicit filesystem — the seam the chaos
+    /// tests use to thread a [`FaultFs`] underneath.
+    pub fn open_with_fs(
+        root: impl Into<PathBuf>,
+        fs: Box<dyn StoreFs>,
+    ) -> Result<Self, StoreError> {
+        let root = root.into();
+        for sub in [
+            PathBuf::from("objects").join("sn"),
+            PathBuf::from("objects").join("rs"),
+            PathBuf::from("tmp"),
+            PathBuf::from("quarantine"),
+        ] {
+            let dir = root.join(&sub);
+            fs.create_dir_all(&dir)
+                .map_err(|e| ioerr("create dir", &dir, e))?;
+        }
+        let store = Store {
+            root,
+            fs,
+            counters: Mutex::new(Counters {
+                next_seq: 0,
+                hits: 0,
+                misses: 0,
+            }),
+        };
+        // Resume the touch sequence past anything already logged so new
+        // touches sort after old ones.
+        let max_seq = store.read_touches().into_iter().map(|(_, s)| s).max();
+        store.counters.lock().expect("store counters").next_seq = max_seq.map_or(0, |s| s + 1);
+        Ok(store)
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Cache hits served by this handle (process-local, for tests and
+    /// sweep summaries).
+    pub fn hit_count(&self) -> u64 {
+        self.counters.lock().expect("store counters").hits
+    }
+
+    /// Cache misses served by this handle.
+    pub fn miss_count(&self) -> u64 {
+        self.counters.lock().expect("store counters").misses
+    }
+
+    fn objects_dir(&self, kind: EntryKind) -> PathBuf {
+        self.root.join("objects").join(kind.dir_name())
+    }
+
+    fn entry_path(&self, kind: EntryKind, key: u64) -> PathBuf {
+        self.objects_dir(kind).join(format!("{key:016x}.entry"))
+    }
+
+    fn bump_seq(&self) -> u64 {
+        let mut c = self.counters.lock().expect("store counters");
+        let s = c.next_seq;
+        c.next_seq += 1;
+        s
+    }
+
+    fn count_hit(&self) {
+        self.counters.lock().expect("store counters").hits += 1;
+    }
+
+    fn count_miss(&self) {
+        self.counters.lock().expect("store counters").misses += 1;
+    }
+
+    // ---- entry encode/decode -------------------------------------------
+
+    fn encode_entry(kind: EntryKind, key: u64, label: &str, payload: &[u8]) -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        w.raw(MAGIC);
+        w.u32(FORMAT_VERSION);
+        w.u8(kind as u8);
+        w.u64(key);
+        w.str(label);
+        w.bytes(payload);
+        checksum::seal(w.into_bytes())
+    }
+
+    /// Decodes a sealed entry, verifying checksum (first), magic,
+    /// version, kind, and key. Returns `(label, payload)`.
+    fn decode_entry(
+        bytes: &[u8],
+        want_kind: EntryKind,
+        want_key: u64,
+    ) -> Result<(String, Vec<u8>), String> {
+        let body = checksum::verify_sealed(bytes).ok_or("checksum mismatch")?;
+        let mut r = SnapshotReader::new(body);
+        let magic = r.raw(MAGIC.len()).map_err(|e| e.to_string())?;
+        if magic != MAGIC {
+            return Err("bad magic".to_string());
+        }
+        let version = r.u32().map_err(|e| e.to_string())?;
+        if version != FORMAT_VERSION {
+            return Err(format!("unsupported format version {version}"));
+        }
+        let kind_tag = r.u8().map_err(|e| e.to_string())?;
+        let kind =
+            EntryKind::from_tag(kind_tag).ok_or_else(|| format!("bad kind tag {kind_tag}"))?;
+        if kind != want_kind {
+            return Err(format!("entry kind {kind:?} filed under {want_kind:?}"));
+        }
+        let key = r.u64().map_err(|e| e.to_string())?;
+        if key != want_key {
+            return Err(format!("entry key {key:016x} filed under {want_key:016x}"));
+        }
+        let label = r.string().map_err(|e| e.to_string())?;
+        let payload = r.bytes().map_err(|e| e.to_string())?.to_vec();
+        r.finish().map_err(|e| e.to_string())?;
+        Ok((label, payload))
+    }
+
+    // ---- put / get -----------------------------------------------------
+
+    /// Stores a machine snapshot under its content key. Overwrites an
+    /// existing entry atomically (same bytes by construction).
+    pub fn put_snapshot(&self, key: &SnapKey, snapshot_bytes: &[u8]) -> Result<(), StoreError> {
+        self.put(
+            EntryKind::Snapshot,
+            key.hash(),
+            &key.label(),
+            snapshot_bytes,
+        )
+    }
+
+    /// Fetches a machine snapshot. `Ok(None)` means miss — absent, or
+    /// corrupt-and-quarantined.
+    pub fn get_snapshot(&self, key: &SnapKey) -> Result<Option<Vec<u8>>, StoreError> {
+        self.get(EntryKind::Snapshot, key.hash())
+    }
+
+    /// Stores a cell result under the caller's content key (the sweep
+    /// cell key).
+    pub fn put_result(&self, key: u64, label: &str, payload: &[u8]) -> Result<(), StoreError> {
+        self.put(EntryKind::Result, key, label, payload)
+    }
+
+    /// Fetches a cell result. `Ok(None)` means miss.
+    pub fn get_result(&self, key: u64) -> Result<Option<Vec<u8>>, StoreError> {
+        self.get(EntryKind::Result, key)
+    }
+
+    fn put(
+        &self,
+        kind: EntryKind,
+        key: u64,
+        label: &str,
+        payload: &[u8],
+    ) -> Result<(), StoreError> {
+        let sealed = Self::encode_entry(kind, key, label, payload);
+        let final_path = self.entry_path(kind, key);
+        let tmp_path = self.root.join("tmp").join(format!(
+            "{}-{key:016x}-{:08x}.tmp",
+            kind.dir_name(),
+            self.bump_seq()
+        ));
+
+        if let Err(e) = self.fs.write_sync(&tmp_path, &sealed) {
+            // The temp may hold a torn prefix; try to clean it up. A
+            // failed cleanup just leaves a stale temp for scrub.
+            let _ = self.fs.remove_file(&tmp_path);
+            return Err(ioerr("write temp", &tmp_path, e));
+        }
+        if let Err(e) = self.fs.rename(&tmp_path, &final_path) {
+            let _ = self.fs.remove_file(&tmp_path);
+            return Err(ioerr("rename", &final_path, e));
+        }
+        let dir = self.objects_dir(kind);
+        self.fs
+            .sync_dir(&dir)
+            .map_err(|e| ioerr("sync dir", &dir, e))?;
+        self.touch(kind, key);
+        Ok(())
+    }
+
+    fn get(&self, kind: EntryKind, key: u64) -> Result<Option<Vec<u8>>, StoreError> {
+        let path = self.entry_path(kind, key);
+        let mut last_reason = String::new();
+        // Decode failure can be a transient short read; re-read once
+        // before concluding the bytes on disk are actually corrupt.
+        for _attempt in 0..2 {
+            let bytes = match self.fs.read(&path) {
+                Ok(b) => b,
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                    self.count_miss();
+                    return Ok(None);
+                }
+                Err(e) => return Err(ioerr("read", &path, e)),
+            };
+            match Self::decode_entry(&bytes, kind, key) {
+                Ok((_label, payload)) => {
+                    self.count_hit();
+                    self.touch(kind, key);
+                    return Ok(Some(payload));
+                }
+                Err(reason) => last_reason = reason,
+            }
+        }
+        // Two reads, two decode failures: the entry itself is corrupt.
+        // Quarantine it (preserving the bytes) and report a miss.
+        self.quarantine_file(&path, &format!("get: {last_reason}"));
+        self.count_miss();
+        Ok(None)
+    }
+
+    // ---- quarantine ----------------------------------------------------
+
+    /// Moves `path` into `quarantine/`, never deleting. Best-effort: a
+    /// failed move leaves the file where it is for the next scrub.
+    fn quarantine_file(&self, path: &Path, _reason: &str) -> bool {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "unnamed".to_string());
+        // Disambiguate collisions with the touch sequence rather than
+        // overwriting previously quarantined bytes.
+        let dest = self
+            .root
+            .join("quarantine")
+            .join(format!("{:08x}-{name}", self.bump_seq()));
+        self.fs.rename(path, &dest).is_ok()
+    }
+
+    // ---- LRU touch log -------------------------------------------------
+
+    /// Records a use of `(kind, key)` in the touch log. Best-effort: the
+    /// log is advisory (it only orders GC eviction), so an injected
+    /// append fault must not fail the surrounding put/get.
+    fn touch(&self, kind: EntryKind, key: u64) {
+        let seq = self.bump_seq();
+        let body = format!("touch {} {key:016x} {seq:016x}", kind.dir_name());
+        let sum = checksum::checksum64(body.as_bytes());
+        let line = format!("{body} sum={sum:016x}\n");
+        let _ = self
+            .fs
+            .append_sync(&self.root.join(LRU_LOG), line.as_bytes());
+    }
+
+    /// Replays the touch log, skipping torn/corrupt lines (the journal
+    /// idiom: each line carries its own checksum). Returns the latest
+    /// sequence per entry file name.
+    fn read_touches(&self) -> Vec<(String, u64)> {
+        let bytes = match self.fs.read(&self.root.join(LRU_LOG)) {
+            Ok(b) => b,
+            Err(_) => return Vec::new(),
+        };
+        let text = String::from_utf8_lossy(&bytes);
+        let mut latest: Vec<(String, u64)> = Vec::new();
+        for line in text.lines() {
+            let Some((body, sum_part)) = line.rsplit_once(" sum=") else {
+                continue;
+            };
+            let Ok(sum) = u64::from_str_radix(sum_part, 16) else {
+                continue;
+            };
+            if checksum::checksum64(body.as_bytes()) != sum {
+                continue; // torn or corrupt line: skip, keep replaying
+            }
+            let mut parts = body.split(' ');
+            let (Some("touch"), Some(dir), Some(key_hex), Some(seq_hex)) =
+                (parts.next(), parts.next(), parts.next(), parts.next())
+            else {
+                continue;
+            };
+            if parts.next().is_some() {
+                continue;
+            }
+            let (Ok(_key), Ok(seq)) = (
+                u64::from_str_radix(key_hex, 16),
+                u64::from_str_radix(seq_hex, 16),
+            ) else {
+                continue;
+            };
+            let name = format!("{dir}/{key_hex}.entry");
+            match latest.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, s)) => *s = (*s).max(seq),
+                None => latest.push((name, seq)),
+            }
+        }
+        latest
+    }
+
+    // ---- scrub ---------------------------------------------------------
+
+    /// Verifies every entry (checksum before decode, then header and
+    /// key/filename agreement) and quarantines anything corrupt, plus
+    /// all stale temp files. Never deletes.
+    pub fn scrub(&self) -> Result<ScrubReport, StoreError> {
+        let mut report = ScrubReport::default();
+        for kind in [EntryKind::Snapshot, EntryKind::Result] {
+            let dir = self.objects_dir(kind);
+            let names = self
+                .fs
+                .list(&dir)
+                .map_err(|e| ioerr("list objects", &dir, e))?;
+            for name in names {
+                let rel = format!("objects/{}/{name}", kind.dir_name());
+                let path = dir.join(&name);
+                let Some(key) = name
+                    .strip_suffix(".entry")
+                    .and_then(|h| u64::from_str_radix(h, 16).ok())
+                else {
+                    if self.quarantine_file(&path, "unrecognized file name") {
+                        report.quarantined.push(Quarantined {
+                            rel_path: rel,
+                            reason: "unrecognized file name".to_string(),
+                        });
+                    } else {
+                        report.skipped.push(Quarantined {
+                            rel_path: rel,
+                            reason: "unrecognized file name (quarantine move failed)".to_string(),
+                        });
+                    }
+                    continue;
+                };
+                // Read twice on decode failure, like `get`, so a
+                // transient short read does not quarantine a good entry.
+                let mut verdict: Result<(), String> = Err("unreadable".to_string());
+                for _attempt in 0..2 {
+                    match self.fs.read(&path) {
+                        Ok(bytes) => match Self::decode_entry(&bytes, kind, key) {
+                            Ok(_) => {
+                                verdict = Ok(());
+                                break;
+                            }
+                            Err(reason) => verdict = Err(reason),
+                        },
+                        Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                            verdict = Ok(()); // raced away; nothing to scrub
+                            break;
+                        }
+                        Err(e) => verdict = Err(format!("read failed: {e}")),
+                    }
+                }
+                match verdict {
+                    Ok(()) => report.ok += 1,
+                    Err(reason) => {
+                        if self.quarantine_file(&path, &reason) {
+                            report.quarantined.push(Quarantined {
+                                rel_path: rel,
+                                reason,
+                            });
+                        } else {
+                            report.skipped.push(Quarantined {
+                                rel_path: rel,
+                                reason: format!("{reason} (quarantine move failed)"),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        // Anything still in tmp/ is an in-flight write that never
+        // committed: a crash artifact. Preserve it in quarantine.
+        let tmp_dir = self.root.join("tmp");
+        let temps = self
+            .fs
+            .list(&tmp_dir)
+            .map_err(|e| ioerr("list tmp", &tmp_dir, e))?;
+        for name in temps {
+            let rel = format!("tmp/{name}");
+            if self.quarantine_file(&tmp_dir.join(&name), "stale temp file") {
+                report.quarantined.push(Quarantined {
+                    rel_path: rel,
+                    reason: "stale temp file".to_string(),
+                });
+            } else {
+                report.skipped.push(Quarantined {
+                    rel_path: rel,
+                    reason: "stale temp file (quarantine move failed)".to_string(),
+                });
+            }
+        }
+        Ok(report)
+    }
+
+    // ---- gc ------------------------------------------------------------
+
+    /// Evicts least-recently-used entries until total entry bytes fit
+    /// under `cap_bytes`. The most recently touched entry is never
+    /// evicted, even when it alone exceeds the cap. This is the store's
+    /// only deletion path.
+    pub fn gc(&self, cap_bytes: u64) -> Result<GcReport, StoreError> {
+        let touches = self.read_touches();
+        let seq_of = |name: &str| -> u64 {
+            touches
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, s)| *s)
+                .unwrap_or(0) // never touched: oldest possible
+        };
+
+        // Inventory every entry with its size and last-touch sequence.
+        let mut entries: Vec<(u64, String, PathBuf, u64)> = Vec::new(); // (seq, name, path, len)
+        for kind in [EntryKind::Snapshot, EntryKind::Result] {
+            let dir = self.objects_dir(kind);
+            let names = self
+                .fs
+                .list(&dir)
+                .map_err(|e| ioerr("list objects", &dir, e))?;
+            for name in names {
+                let path = dir.join(&name);
+                let len = match self.fs.file_len(&path) {
+                    Ok(Some(len)) => len,
+                    Ok(None) => continue,
+                    Err(e) => return Err(ioerr("stat", &path, e)),
+                };
+                let logical = format!("{}/{name}", kind.dir_name());
+                entries.push((seq_of(&logical), logical, path, len));
+            }
+        }
+
+        let mut report = GcReport {
+            before_bytes: entries.iter().map(|(_, _, _, l)| l).sum(),
+            ..GcReport::default()
+        };
+        report.after_bytes = report.before_bytes;
+
+        // Oldest first; name breaks ties so the order is deterministic.
+        entries.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+
+        // The newest entry survives unconditionally.
+        let protect = entries.len().saturating_sub(1);
+        for (i, (_seq, name, path, len)) in entries.iter().enumerate() {
+            if report.after_bytes <= cap_bytes || i >= protect {
+                break;
+            }
+            match self.fs.remove_file(path) {
+                Ok(()) => {
+                    report.after_bytes -= len;
+                    report.evicted.push(name.clone());
+                }
+                Err(_) => report.failed += 1,
+            }
+        }
+        Ok(report)
+    }
+
+    // ---- stats ---------------------------------------------------------
+
+    /// Takes inventory: entry counts and bytes, quarantine and temp
+    /// backlog, plus this handle's hit/miss counters.
+    pub fn stats(&self) -> Result<StoreStats, StoreError> {
+        let mut s = StoreStats::default();
+        for kind in [EntryKind::Snapshot, EntryKind::Result] {
+            let dir = self.objects_dir(kind);
+            let names = self
+                .fs
+                .list(&dir)
+                .map_err(|e| ioerr("list objects", &dir, e))?;
+            for name in &names {
+                if let Ok(Some(len)) = self.fs.file_len(&dir.join(name)) {
+                    s.entry_bytes += len;
+                }
+            }
+            match kind {
+                EntryKind::Snapshot => s.snapshots = names.len() as u64,
+                EntryKind::Result => s.results = names.len() as u64,
+            }
+        }
+        let qdir = self.root.join("quarantine");
+        s.quarantined = self
+            .fs
+            .list(&qdir)
+            .map_err(|e| ioerr("list quarantine", &qdir, e))?
+            .len() as u64;
+        let tdir = self.root.join("tmp");
+        s.stale_temps = self
+            .fs
+            .list(&tdir)
+            .map_err(|e| ioerr("list tmp", &tdir, e))?
+            .len() as u64;
+        let c = self.counters.lock().expect("store counters");
+        s.hits = c.hits;
+        s.misses = c.misses;
+        Ok(s)
+    }
+}
+
+/// Writes `bytes` to `path` with the store's crash-safe discipline:
+/// write to a sibling temp file, fsync, atomically rename onto `path`,
+/// fsync the parent directory. Readers see either the old contents or
+/// the complete new contents — never a torn file.
+///
+/// This is the workspace-wide replacement for bare `fs::write` on
+/// reports and benchmark outputs.
+pub fn write_file_atomic(path: impl AsRef<Path>, bytes: &[u8]) -> io::Result<()> {
+    let path = path.as_ref();
+    let fs = RealFs;
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    if let Some(dir) = dir {
+        fs.create_dir_all(dir)?;
+    }
+    let name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+    let tmp = path.with_file_name(format!(
+        ".{}.tmp-{}",
+        name.to_string_lossy(),
+        std::process::id()
+    ));
+    if let Err(e) = fs.write_sync(&tmp, bytes) {
+        let _ = fs.remove_file(&tmp);
+        return Err(e);
+    }
+    if let Err(e) = fs.rename(&tmp, path) {
+        let _ = fs.remove_file(&tmp);
+        return Err(e);
+    }
+    if let Some(dir) = dir {
+        fs.sync_dir(dir)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsio::scratch_dir;
+
+    fn snap_key(cycle: u64) -> SnapKey {
+        SnapKey {
+            config_hash: 0x1111_2222_3333_4444,
+            kernel_hash: 0xAAAA_BBBB_CCCC_DDDD,
+            design: "C.E.MC".to_string(),
+            cycle,
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trip() {
+        let dir = scratch_dir("rt");
+        let store = Store::open(&dir).unwrap();
+        let key = snap_key(10_000);
+        let payload = vec![0x5A; 4096];
+        assert_eq!(store.get_snapshot(&key).unwrap(), None);
+        store.put_snapshot(&key, &payload).unwrap();
+        assert_eq!(store.get_snapshot(&key).unwrap(), Some(payload));
+        assert_eq!(store.hit_count(), 1);
+        assert_eq!(store.miss_count(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn result_round_trip_and_reopen() {
+        let dir = scratch_dir("rt-res");
+        {
+            let store = Store::open(&dir).unwrap();
+            store
+                .put_result(42, "cell CONS/Base", b"summary-bytes")
+                .unwrap();
+        }
+        // A fresh handle — the cross-process warm-start path.
+        let store = Store::open(&dir).unwrap();
+        assert_eq!(
+            store.get_result(42).unwrap(),
+            Some(b"summary-bytes".to_vec())
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_collide() {
+        let a = snap_key(1).hash();
+        let b = snap_key(2).hash();
+        let mut c_key = snap_key(1);
+        c_key.design = "Base".to_string();
+        assert_ne!(a, b);
+        assert_ne!(a, c_key.hash());
+    }
+
+    #[test]
+    fn corrupt_entry_reads_as_miss_and_quarantines() {
+        let dir = scratch_dir("corrupt");
+        let store = Store::open(&dir).unwrap();
+        let key = snap_key(77);
+        store.put_snapshot(&key, b"precious machine state").unwrap();
+
+        // Flip one byte in the middle of the entry file.
+        let path = dir
+            .join("objects")
+            .join("sn")
+            .join(format!("{:016x}.entry", key.hash()));
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+
+        assert_eq!(store.get_snapshot(&key).unwrap(), None, "corrupt = miss");
+        assert!(!path.exists(), "corrupt entry moved out of objects/");
+        let stats = store.stats().unwrap();
+        assert_eq!(stats.quarantined, 1, "bytes preserved in quarantine");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn entry_renamed_to_wrong_key_is_caught() {
+        let dir = scratch_dir("wrongkey");
+        let store = Store::open(&dir).unwrap();
+        let key = snap_key(1);
+        store.put_snapshot(&key, b"payload").unwrap();
+        // A valid entry, filed under a different key's name.
+        let src = store.entry_path(EntryKind::Snapshot, key.hash());
+        let other = snap_key(2);
+        let dst = store.entry_path(EntryKind::Snapshot, other.hash());
+        std::fs::rename(&src, &dst).unwrap();
+        assert_eq!(store.get_snapshot(&other).unwrap(), None);
+        assert_eq!(store.stats().unwrap().quarantined, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scrub_quarantines_corrupt_and_stale_temps_without_data_loss() {
+        let dir = scratch_dir("scrub");
+        let store = Store::open(&dir).unwrap();
+        let good = snap_key(1);
+        let bad = snap_key(2);
+        store.put_snapshot(&good, b"good payload").unwrap();
+        store.put_snapshot(&bad, b"soon to be torn").unwrap();
+        store.put_result(7, "cell", b"result payload").unwrap();
+
+        // Tear the bad entry (truncate) and plant a stale temp.
+        let bad_path = store.entry_path(EntryKind::Snapshot, bad.hash());
+        let full = std::fs::read(&bad_path).unwrap();
+        std::fs::write(&bad_path, &full[..full.len() / 2]).unwrap();
+        std::fs::write(dir.join("tmp").join("sn-dead.tmp"), b"partial").unwrap();
+
+        let report = store.scrub().unwrap();
+        assert_eq!(report.ok, 2, "good snapshot + result verify");
+        assert_eq!(report.quarantined.len(), 2, "torn entry + stale temp");
+        assert!(report.skipped.is_empty());
+        assert!(!report.is_clean());
+
+        // No data loss: both quarantined files still exist with their bytes.
+        let qdir = dir.join("quarantine");
+        let qfiles: Vec<_> = std::fs::read_dir(&qdir).unwrap().collect();
+        assert_eq!(qfiles.len(), 2);
+
+        // The good entries still serve.
+        assert_eq!(
+            store.get_snapshot(&good).unwrap(),
+            Some(b"good payload".to_vec())
+        );
+        assert_eq!(
+            store.get_result(7).unwrap(),
+            Some(b"result payload".to_vec())
+        );
+
+        // A second scrub is clean.
+        let again = store.scrub().unwrap();
+        assert!(again.is_clean());
+        assert_eq!(again.ok, 2);
+
+        // JSON report renders.
+        let json = report.to_json();
+        assert!(json.contains("\"quarantined\""));
+        assert!(json.contains("stale temp file"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_evicts_lru_first_and_protects_newest() {
+        let dir = scratch_dir("gc");
+        let store = Store::open(&dir).unwrap();
+        let payload = vec![1u8; 1000];
+        let keys: Vec<SnapKey> = (0..4).map(snap_key).collect();
+        for k in &keys {
+            store.put_snapshot(k, &payload).unwrap();
+        }
+        // Touch key 0 again: it becomes the most recent.
+        assert!(store.get_snapshot(&keys[0]).unwrap().is_some());
+
+        let entry_len = std::fs::metadata(store.entry_path(EntryKind::Snapshot, keys[0].hash()))
+            .unwrap()
+            .len();
+
+        // Cap fits two entries: evict the two oldest (keys 1 and 2).
+        let report = store.gc(2 * entry_len).unwrap();
+        assert_eq!(report.evicted.len(), 2);
+        assert_eq!(report.failed, 0);
+        assert!(store.get_snapshot(&keys[1]).unwrap().is_none());
+        assert!(store.get_snapshot(&keys[2]).unwrap().is_none());
+        assert!(
+            store.get_snapshot(&keys[0]).unwrap().is_some(),
+            "MRU survives"
+        );
+        assert!(store.get_snapshot(&keys[3]).unwrap().is_some());
+
+        // Cap of zero still protects the newest entry.
+        let report = store.gc(0).unwrap();
+        assert!(report.after_bytes > 0, "newest entry never evicted");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_order_survives_reopen() {
+        let dir = scratch_dir("gc-reopen");
+        let payload = vec![2u8; 500];
+        let keys: Vec<SnapKey> = (0..3).map(snap_key).collect();
+        {
+            let store = Store::open(&dir).unwrap();
+            for k in &keys {
+                store.put_snapshot(k, &payload).unwrap();
+            }
+            assert!(store.get_snapshot(&keys[0]).unwrap().is_some());
+        }
+        // Fresh handle must see the same LRU order from the touch log.
+        let store = Store::open(&dir).unwrap();
+        let entry_len = std::fs::metadata(store.entry_path(EntryKind::Snapshot, keys[0].hash()))
+            .unwrap()
+            .len();
+        let report = store.gc(2 * entry_len).unwrap();
+        assert_eq!(report.evicted.len(), 1);
+        assert!(
+            store.get_snapshot(&keys[1]).unwrap().is_none(),
+            "LRU evicted"
+        );
+        assert!(store.get_snapshot(&keys[0]).unwrap().is_some());
+        assert!(store.get_snapshot(&keys[2]).unwrap().is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_lru_log_lines_are_skipped() {
+        let dir = scratch_dir("lru-torn");
+        let store = Store::open(&dir).unwrap();
+        store.put_snapshot(&snap_key(1), b"x").unwrap();
+        // Append garbage and a torn prefix of a valid-looking line.
+        let log = dir.join(LRU_LOG);
+        let mut bytes = std::fs::read(&log).unwrap();
+        bytes.extend_from_slice(b"touch sn 00000000000000ff 00000000000000");
+        std::fs::write(&log, &bytes).unwrap();
+        // Reopen replays the log without error; the valid touch survives.
+        let store = Store::open(&dir).unwrap();
+        let touches = store.read_touches();
+        assert_eq!(touches.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_file_atomic_round_trips_and_replaces() {
+        let dir = scratch_dir("atomic");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("report.json");
+        write_file_atomic(&path, b"{\"v\": 1}").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"{\"v\": 1}");
+        write_file_atomic(&path, b"{\"v\": 2}").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"{\"v\": 2}");
+        // No temp residue.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| e.as_ref().unwrap().file_name() != "report.json")
+            .collect();
+        assert!(leftovers.is_empty(), "no temp files left: {leftovers:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn put_under_forced_torn_write_is_typed_and_recoverable() {
+        let dir = scratch_dir("torn-put");
+        let fs = FaultFs::new(
+            11,
+            FaultRates {
+                torn_write: 1.0,
+                ..FaultRates::none()
+            },
+        );
+        let store = Store::open_with_fs(&dir, Box::new(fs)).unwrap();
+        let key = snap_key(5);
+        let err = store.put_snapshot(&key, &vec![9u8; 2048]).unwrap_err();
+        assert!(matches!(
+            err,
+            StoreError::Io {
+                op: "write temp",
+                ..
+            }
+        ));
+        // The failed put never becomes visible at the final name.
+        let clean = Store::open(&dir).unwrap();
+        assert_eq!(clean.get_snapshot(&key).unwrap(), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

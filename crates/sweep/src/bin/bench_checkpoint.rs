@@ -15,8 +15,10 @@
 //! [`Gpu::restore`]: caba_sim::Gpu::restore
 
 use caba_sim::{Design, Gpu, RunError};
-use caba_sweep::{run_cells, run_forked, DesignId, SweepCell, SweepConfig};
+use caba_store::Store;
+use caba_sweep::{run_cells, run_forked_stored, DesignId, SweepCell, SweepConfig};
 use caba_workloads::{app, prepare_app, DEFAULT_MAX_CYCLES};
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -26,17 +28,20 @@ struct Args {
     apps: Vec<String>,
     jobs: usize,
     out: String,
+    store_dir: Option<PathBuf>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: bench-checkpoint [--scale F] [--warmup N] [--apps A,B,..] [--jobs N] [--out PATH]\n\
          \n\
-         --scale F    workload scale (default: CABA_BENCH_SCALE or 0.25)\n\
-         --warmup N   shared warm-up prefix in cycles (default 20000)\n\
-         --apps A,B   apps for the differential sweep (default CONS,BFS,MUM)\n\
-         --jobs N     worker threads (default: available parallelism)\n\
-         --out PATH   report path (default: BENCH_checkpoint.json)"
+         --scale F        workload scale (default: CABA_BENCH_SCALE or 0.25)\n\
+         --warmup N       shared warm-up prefix in cycles (default 20000)\n\
+         --apps A,B       apps for the differential sweep (default CONS,BFS,MUM)\n\
+         --jobs N         worker threads (default: available parallelism)\n\
+         --out PATH       report path (default: BENCH_checkpoint.json)\n\
+         --store-dir DIR  durable snapshot store: warm-up checkpoints are\n\
+                          spilled here and reused on the next run"
     );
     std::process::exit(2);
 }
@@ -51,6 +56,7 @@ fn parse_args() -> Args {
         apps: vec!["CONS".into(), "BFS".into(), "MUM".into()],
         jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
         out: "BENCH_checkpoint.json".to_string(),
+        store_dir: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -82,6 +88,9 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|| usage());
             }
             "--out" => args.out = it.next().unwrap_or_else(|| usage()),
+            "--store-dir" => {
+                args.store_dir = Some(PathBuf::from(it.next().unwrap_or_else(|| usage())))
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -204,23 +213,36 @@ fn main() -> ExitCode {
     let cold_wall_s = t0.elapsed().as_secs_f64();
     eprintln!("  cold sweep: {} cells in {cold_wall_s:.2}s", cold.len());
 
-    // 3b. Forked sweep: shared Base warm-up per app.
-    let t0 = Instant::now();
-    let forked = match run_forked(&sc, &apps, &designs, args.warmup, args.jobs) {
-        Ok(f) => f,
-        Err(e) => {
-            eprintln!("bench-checkpoint: forked sweep: {e}");
-            return ExitCode::FAILURE;
-        }
+    // 3b. Forked sweep: shared Base warm-up per app, optionally spilled
+    // to / warm-started from a durable store across processes.
+    let store = match &args.store_dir {
+        Some(dir) => match Store::open(dir) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                eprintln!("bench-checkpoint: opening store {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
     };
+    let t0 = Instant::now();
+    let forked =
+        match run_forked_stored(&sc, &apps, &designs, args.warmup, args.jobs, store.as_ref()) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("bench-checkpoint: forked sweep: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
     let forked_wall_s = t0.elapsed().as_secs_f64();
     let forked_cells = forked.cells.iter().filter(|c| c.forked).count();
     let speedup = cold_wall_s / forked_wall_s;
     eprintln!(
-        "  forked sweep: {} cells ({forked_cells} from checkpoints, {} snapshot bytes) in \
-         {forked_wall_s:.2}s — {speedup:.2}x vs cold",
+        "  forked sweep: {} cells ({forked_cells} from checkpoints, {} snapshot bytes, \
+         {} store warm hits) in {forked_wall_s:.2}s — {speedup:.2}x vs cold",
         forked.cells.len(),
-        forked.snapshot_bytes
+        forked.snapshot_bytes,
+        forked.warm_hits
     );
 
     let mut j = String::new();
@@ -254,9 +276,10 @@ fn main() -> ExitCode {
         "  \"forked_snapshot_bytes\": {},\n",
         forked.snapshot_bytes
     ));
+    j.push_str(&format!("  \"store_warm_hits\": {},\n", forked.warm_hits));
     j.push_str(&format!("  \"warm_start_speedup\": {speedup:.4}\n"));
     j.push_str("}\n");
-    if let Err(e) = std::fs::write(&args.out, j) {
+    if let Err(e) = caba_store::write_file_atomic(std::path::Path::new(&args.out), j.as_bytes()) {
         eprintln!("bench-checkpoint: writing {}: {e}", args.out);
         return ExitCode::FAILURE;
     }

@@ -145,7 +145,7 @@ fn main() -> std::process::ExitCode {
         ));
     }
     j.push_str("  ]\n}\n");
-    if let Err(e) = std::fs::write(&args.out, j) {
+    if let Err(e) = caba_store::write_file_atomic(std::path::Path::new(&args.out), j.as_bytes()) {
         eprintln!("bench-intra: writing {}: {e}", args.out);
         return std::process::ExitCode::FAILURE;
     }

@@ -120,7 +120,8 @@ fn run_traced_cell(cell: SweepCell, scale: f64, path: &str, check: bool) -> Resu
     if check {
         json::validate(&trace_json).map_err(|e| format!("Perfetto trace JSON invalid: {e}"))?;
     }
-    std::fs::write(path, &trace_json).map_err(|e| format!("writing {path}: {e}"))?;
+    caba_store::write_file_atomic(std::path::Path::new(path), trace_json.as_bytes())
+        .map_err(|e| format!("writing {path}: {e}"))?;
     eprintln!(
         "  traced {} @ {}x BW: {} samples, {} events -> {path}",
         cell.app,
@@ -219,7 +220,7 @@ fn main() -> std::process::ExitCode {
         }
         eprintln!("  JSON validity check OK");
     }
-    if let Err(e) = std::fs::write(&args.out, s) {
+    if let Err(e) = caba_store::write_file_atomic(std::path::Path::new(&args.out), s.as_bytes()) {
         eprintln!("fig01: writing {}: {e}", args.out);
         return std::process::ExitCode::FAILURE;
     }

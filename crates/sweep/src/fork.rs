@@ -18,11 +18,14 @@
 //! the checkpoint benchmark.
 
 use crate::{CellResult, DesignId, SweepCell, SweepConfig};
-use caba_sim::{Design, Gpu, RestoreError, RunError};
-use caba_workloads::{app, prepare_app, DEFAULT_MAX_CYCLES};
+use caba_sim::snapshot::config_hash;
+use caba_sim::{Design, Gpu, Kernel, RestoreError, RunError};
+use caba_stats::checksum64;
+use caba_store::{SnapKey, Store};
+use caba_workloads::{app, prepare_app, AppSpec, DEFAULT_MAX_CYCLES};
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Errors from a forked sweep.
@@ -92,6 +95,10 @@ pub struct ForkedSweep {
     pub warmup_wall_s: f64,
     /// Total bytes across all Base snapshots taken.
     pub snapshot_bytes: usize,
+    /// Apps whose warm snapshot came out of the durable store instead of
+    /// being recomputed ([`run_forked_stored`]) — the cross-process
+    /// warm-start counter.
+    pub warm_hits: usize,
     /// Per-cell results, apps-major in input order.
     pub cells: Vec<ForkedCell>,
 }
@@ -127,7 +134,25 @@ pub fn run_forked(
     warmup: u64,
     jobs: usize,
 ) -> Result<ForkedSweep, ForkError> {
-    type AppSlot = Mutex<Option<Result<(WarmApp, Vec<ForkedCell>), ForkError>>>;
+    run_forked_stored(sc, apps, designs, warmup, jobs, None)
+}
+
+/// [`run_forked`] with an optional durable snapshot [`Store`]: each app's
+/// warm Base snapshot is looked up by content key before re-warming, so a
+/// *fresh process* pointed at the same store skips every warm-up an
+/// earlier run already paid for. Snapshots are bit-exact, so warm-started
+/// cells are bit-identical to recomputed ones. New snapshots are
+/// persisted as they are taken; every store fault (failed read, rejected
+/// snapshot, failed write) degrades to recomputing the warm-up.
+pub fn run_forked_stored(
+    sc: &SweepConfig,
+    apps: &[&'static str],
+    designs: &[DesignId],
+    warmup: u64,
+    jobs: usize,
+    store: Option<&Store>,
+) -> Result<ForkedSweep, ForkError> {
+    type AppSlot = Mutex<Option<Result<(WarmApp, Vec<ForkedCell>, bool), ForkError>>>;
     let jobs = jobs.clamp(1, apps.len().max(1));
     let next = AtomicUsize::new(0);
     let slots: Vec<AppSlot> = apps.iter().map(|_| Mutex::new(None)).collect();
@@ -139,7 +164,7 @@ pub fn run_forked(
                     break;
                 }
                 *slots[i].lock().expect("slot lock") =
-                    Some(fork_one_app(sc, apps[i], designs, warmup));
+                    Some(fork_one_app(sc, apps[i], designs, warmup, store));
             });
         }
     });
@@ -148,18 +173,46 @@ pub fn run_forked(
         warmup_cycles: warmup,
         warmup_wall_s: 0.0,
         snapshot_bytes: 0,
+        warm_hits: 0,
         cells: Vec::with_capacity(apps.len() * designs.len()),
     };
     for slot in slots {
-        let (warm, cells) = slot
+        let (warm, cells, warm_hit) = slot
             .into_inner()
             .expect("slot lock")
             .expect("every app was claimed")?;
         sweep.warmup_wall_s += warm.wall_s;
         sweep.snapshot_bytes += warm.snapshot.as_ref().map_or(0, Vec::len);
+        sweep.warm_hits += warm_hit as usize;
         sweep.cells.extend(cells);
     }
     Ok(sweep)
+}
+
+/// The program identity a warm snapshot files under. The kernel's own
+/// `content_hash` covers instruction encodings only; the snapshot carries
+/// functional memory, so the app name and workload scale must be folded
+/// in — restoring a same-code, different-scale snapshot would silently
+/// resurrect the wrong working set.
+fn warm_kernel_hash(kernel: &Kernel, app_name: &str, scale: f64) -> u64 {
+    checksum64(
+        format!(
+            "{:016x}|{app_name}|{:016x}",
+            kernel.program().content_hash(),
+            scale.to_bits()
+        )
+        .as_bytes(),
+    )
+}
+
+/// The store key of one app's warm Base snapshot.
+fn warm_snap_key(sc: &SweepConfig, spec: &AppSpec, kernel: &Kernel, warmup: u64) -> SnapKey {
+    SnapKey {
+        config_hash: config_hash(&sc.cfg),
+        kernel_hash: warm_kernel_hash(kernel, spec.name, sc.scale),
+        design: "Base".to_string(),
+        cycle: warmup,
+    }
 }
 
 fn fork_one_app(
@@ -167,33 +220,96 @@ fn fork_one_app(
     name: &'static str,
     designs: &[DesignId],
     warmup: u64,
-) -> Result<(WarmApp, Vec<ForkedCell>), ForkError> {
+    store: Option<&Store>,
+) -> Result<(WarmApp, Vec<ForkedCell>, bool), ForkError> {
     let spec = app(name).ok_or(ForkError::UnknownApp(name))?;
 
-    // Shared prefix: warm one Base machine for `warmup` cycles.
     let t0 = Instant::now();
     let (mut base, kernel) = prepare_app(&spec, sc.cfg, Design::Base, sc.scale);
-    let warm_outcome = base.run(&kernel, warmup);
-    let warm = WarmApp {
-        snapshot: match &warm_outcome {
-            // Timeout at the budget leaves the machine at a clean cycle
-            // boundary — exactly the snapshot point.
-            Err(RunError::Timeout { .. }) => Some(base.snapshot(&kernel)),
-            Ok(_) => None,
-            Err(_) => None,
-        },
-        wall_s: t0.elapsed().as_secs_f64(),
-    };
-    match warm_outcome {
-        Ok(_) | Err(RunError::Timeout { .. }) => {}
-        Err(source) => {
-            return Err(ForkError::Run {
-                app: name,
-                design: "Base",
-                source,
-            })
+    let key = store.map(|_| warm_snap_key(sc, &spec, &kernel, warmup));
+
+    // Cross-process warm-start: an earlier run may have persisted this
+    // exact warm snapshot. Validate by restoring into a probe machine
+    // before trusting it — any rejection falls back to re-warming.
+    let mut snapshot: Option<Vec<u8>> = None;
+    let mut warm_hit = false;
+    if let (Some(store), Some(key)) = (store, key.as_ref()) {
+        match store.get_snapshot(key) {
+            Ok(Some(bytes)) => {
+                let mut probe = Gpu::new(sc.cfg, Design::Base);
+                match probe.restore_fork(&kernel, &bytes) {
+                    Ok(()) => {
+                        snapshot = Some(bytes);
+                        warm_hit = true;
+                    }
+                    Err(e) => eprintln!(
+                        "caba-sweep: stored warm snapshot for {name} rejected ({e}); re-warming"
+                    ),
+                }
+            }
+            Ok(None) => {}
+            Err(e) => {
+                eprintln!("caba-sweep: warm snapshot read for {name} failed ({e}); re-warming")
+            }
         }
     }
+
+    // Shared prefix: warm one Base machine for `warmup` cycles. With a
+    // store attached and periodic checkpointing enabled, the machine's
+    // interval checkpoints spill through the sink as well, so future
+    // runs with a *shorter* `--warmup` can still warm-start.
+    // Interval checkpoints captured by the sink as `(cycle, bytes)`.
+    type SpillBuf = Arc<Mutex<Vec<(u64, Vec<u8>)>>>;
+    if !warm_hit {
+        let spilled: SpillBuf = Arc::new(Mutex::new(Vec::new()));
+        if store.is_some() && sc.cfg.checkpoint_interval > 0 {
+            let buf = Arc::clone(&spilled);
+            base.set_checkpoint_sink(Box::new(move |cycle, bytes| {
+                buf.lock().unwrap().push((cycle, bytes.to_vec()));
+            }))
+            .expect("checkpoint_interval verified nonzero");
+        }
+        let warm_outcome = base.run(&kernel, warmup);
+        base.clear_checkpoint_sink();
+        match warm_outcome {
+            // Timeout at the budget leaves the machine at a clean cycle
+            // boundary — exactly the snapshot point.
+            Err(RunError::Timeout { .. }) => snapshot = Some(base.snapshot(&kernel)),
+            Ok(_) => {}
+            Err(source) => {
+                return Err(ForkError::Run {
+                    app: name,
+                    design: "Base",
+                    source,
+                })
+            }
+        }
+        if let (Some(store), Some(key)) = (store, key.as_ref()) {
+            if let Some(snap) = snapshot.as_ref() {
+                if let Err(e) = store.put_snapshot(key, snap) {
+                    eprintln!("caba-sweep: warm snapshot write for {name} failed ({e})");
+                }
+            }
+            for (cycle, bytes) in spilled.lock().unwrap().drain(..) {
+                if cycle == warmup {
+                    continue; // already stored above under the same key
+                }
+                let mid = SnapKey {
+                    cycle,
+                    ..key.clone()
+                };
+                if let Err(e) = store.put_snapshot(&mid, &bytes) {
+                    eprintln!(
+                        "caba-sweep: interval checkpoint write for {name} @ {cycle} failed ({e})"
+                    );
+                }
+            }
+        }
+    }
+    let warm = WarmApp {
+        snapshot,
+        wall_s: t0.elapsed().as_secs_f64(),
+    };
 
     let mut cells = Vec::with_capacity(designs.len());
     for &design in designs {
@@ -244,7 +360,7 @@ fn fork_one_app(
             forked,
         });
     }
-    Ok((warm, cells))
+    Ok((warm, cells, warm_hit))
 }
 
 #[cfg(test)]
@@ -295,5 +411,103 @@ mod tests {
             run_forked(&sc, &["CONS"], &[DesignId::CabaBdi], 100_000_000, 1).expect("sweep");
         assert!(!sweep.cells[0].forked);
         assert_eq!(sweep.snapshot_bytes, 0);
+    }
+
+    #[test]
+    fn stored_warm_start_is_bit_identical_across_store_instances() {
+        let sc = tiny_sc();
+        let dir = caba_store::fsio::scratch_dir("fork-warm");
+        let designs = [DesignId::Base, DesignId::CabaBdi];
+
+        let store = Store::open(&dir).expect("store opens");
+        let cold = run_forked_stored(&sc, &["CONS"], &designs, 500, 1, Some(&store))
+            .expect("cold forked sweep");
+        assert_eq!(cold.warm_hits, 0, "nothing to warm-start from yet");
+        drop(store);
+
+        // A fresh Store over the same directory models a fresh process:
+        // the warm-up must come from disk, and every forked cell must be
+        // bit-identical to the cold run.
+        let store = Store::open(&dir).expect("store reopens");
+        let warm = run_forked_stored(&sc, &["CONS"], &designs, 500, 1, Some(&store))
+            .expect("warm forked sweep");
+        assert_eq!(warm.warm_hits, 1, "the warm-up was restored, not re-run");
+        assert_eq!(cold.cells.len(), warm.cells.len());
+        for (c, w) in cold.cells.iter().zip(&warm.cells) {
+            assert_eq!(c.forked, w.forked);
+            assert_eq!(
+                c.result.stats,
+                w.result.stats,
+                "store warm-start changed {}/{}",
+                c.result.cell.app,
+                c.result.cell.design.label()
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn interval_checkpoints_spill_and_warm_start_shorter_warmups() {
+        let mut sc = tiny_sc();
+        sc.cfg.checkpoint_interval = 200;
+        let dir = caba_store::fsio::scratch_dir("fork-interval");
+
+        // Warm to 500 cycles: interval checkpoints at 200 and 400 spill
+        // through the Gpu sink into the store alongside the 500 snapshot.
+        let store = Store::open(&dir).expect("store opens");
+        let first = run_forked_stored(&sc, &["CONS"], &[DesignId::Base], 500, 1, Some(&store))
+            .expect("first sweep");
+        assert_eq!(first.warm_hits, 0);
+        drop(store);
+
+        // A later sweep with a *shorter* warm-up lands exactly on a
+        // spilled interval checkpoint and warm-starts from it.
+        let store = Store::open(&dir).expect("store reopens");
+        let shorter = run_forked_stored(&sc, &["CONS"], &[DesignId::Base], 400, 1, Some(&store))
+            .expect("shorter-warmup sweep");
+        assert_eq!(
+            shorter.warm_hits, 1,
+            "the 400-cycle interval checkpoint hits"
+        );
+        // Base forks are bit-faithful: same completion stats either way.
+        assert_eq!(shorter.cells[0].result.stats, first.cells[0].result.stats);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chaotic_store_never_changes_forked_results() {
+        use caba_store::{FaultFs, FaultRates};
+        let sc = tiny_sc();
+        let clean = run_forked(&sc, &["CONS"], &[DesignId::Base, DesignId::CabaBdi], 500, 1)
+            .expect("clean sweep");
+        for seed in 0..4 {
+            let dir = caba_store::fsio::scratch_dir(&format!("fork-chaos-{seed}"));
+            let store = Store::open_with_fs(
+                &dir,
+                Box::new(FaultFs::new(seed, FaultRates::uniform(0.25))),
+            )
+            .expect("store opens");
+            // Two passes: the second may warm-start or recompute depending
+            // on which faults fired; the results must be identical either
+            // way — faults only ever cost speed.
+            for pass in 0..2 {
+                let got = run_forked_stored(
+                    &sc,
+                    &["CONS"],
+                    &[DesignId::Base, DesignId::CabaBdi],
+                    500,
+                    1,
+                    Some(&store),
+                )
+                .expect("faulted sweep still completes");
+                for (c, g) in clean.cells.iter().zip(&got.cells) {
+                    assert_eq!(
+                        c.result.stats, g.result.stats,
+                        "seed {seed} pass {pass}: store fault leaked into results"
+                    );
+                }
+            }
+            let _ = std::fs::remove_dir_all(&dir);
+        }
     }
 }

@@ -28,10 +28,11 @@
 pub mod fork;
 pub mod resilient;
 
-pub use fork::{run_forked, ForkError, ForkedCell, ForkedSweep};
+pub use fork::{run_forked, run_forked_stored, ForkError, ForkedCell, ForkedSweep};
 pub use resilient::{
-    cell_key, figure_table, run_cell_resilient, run_cells_journaled, sweep_key, CellFailure,
-    FailureClass, ResilientOutcome, SweepError,
+    cell_key, decode_result_payload, encode_result_payload, figure_table, run_cell_resilient,
+    run_cells_journaled, run_cells_stored, sweep_key, CellFailure, FailureClass, ResilientOutcome,
+    SweepError,
 };
 
 use caba_compress::Algorithm;

@@ -12,8 +12,9 @@
 //! the resumed report's figure table is byte-identical to an uninterrupted
 //! run's.
 
+use caba_store::{write_file_atomic, FaultFs, FaultRates, Store};
 use caba_sweep::{
-    dedup_cells, figure_cells, host_cores, run_cells, run_cells_journaled, SweepConfig,
+    dedup_cells, figure_cells, host_cores, run_cells, run_cells_stored, SweepCell, SweepConfig,
     SweepReport, FIGURES,
 };
 use std::path::PathBuf;
@@ -32,12 +33,20 @@ struct Args {
     resume: Option<PathBuf>,
     checkpoint_every: u64,
     retries: u32,
+    store_dir: Option<PathBuf>,
+    store_cap: Option<u64>,
+    store_fault_seed: u64,
+    store_fault_rate: f64,
+    figures: Vec<String>,
+    apps: Option<Vec<String>>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: caba-sweep [--jobs N] [--intra-jobs N] [--scale F] [--baseline] [--selftest]\n\
          \x20                 [--resume PATH] [--checkpoint-every N] [--retries N] [--out PATH]\n\
+         \x20                 [--store-dir DIR] [--store-cap BYTES] [--figures LIST] [--apps LIST]\n\
+         \x20      caba-sweep store (scrub|gc|stats) --store-dir DIR [--store-cap BYTES] [--out PATH]\n\
          \n\
          --jobs N       total worker-thread budget (default: available parallelism)\n\
          --intra-jobs N worker threads INSIDE each simulation (default:\n\
@@ -57,13 +66,132 @@ fn usage() -> ! {
                         per cell and retried)\n\
          --checkpoint-every N\n\
                         take a periodic in-memory machine snapshot every N\n\
-                        cycles (0 = off); enables time-travel hang forensics\n\
+                        cycles; enables time-travel hang forensics.\n\
+                        N must be > 0 (omit the flag to disable)\n\
          --retries N    extra attempts per panicking cell under --resume\n\
                         (default 1; deterministic failures stop early)\n\
+         --store-dir DIR\n\
+                        durable content-addressed store: finished cells are\n\
+                        persisted and looked up by content key, so a fresh\n\
+                        process warm-starts bit-identically from an earlier\n\
+                        (even killed) run's work\n\
+         --store-cap BYTES\n\
+                        after the sweep, garbage-collect the store down to\n\
+                        BYTES via LRU eviction\n\
+         --store-fault-seed N / --store-fault-rate F\n\
+                        inject deterministic seeded I/O faults (torn writes,\n\
+                        short reads, ENOSPC, failed renames/cleanups) under\n\
+                        the store at per-op rate F — chaos testing; the\n\
+                        sweep's results must be unaffected\n\
+         --figures LIST comma-separated figure subset (default: fig07,fig10,fig12)\n\
+         --apps LIST    comma-separated app-name filter applied to the cells\n\
          --selftest     verify parallel RunStats are bit-identical to serial per figure\n\
-         --out PATH     report path (default: BENCH_sweep.json)"
+         --out PATH     report path (default: BENCH_sweep.json)\n\
+         \n\
+         store scrub    verify every store entry's checksum; quarantine (never\n\
+                        delete) corrupt entries and stale temps; write a JSON\n\
+                        report to --out if given; exit 1 if anything was found\n\
+         store gc       LRU-evict entries until the store fits --store-cap\n\
+         store stats    print store inventory as JSON"
     );
     std::process::exit(2);
+}
+
+/// The `caba-sweep store (scrub|gc|stats)` maintenance subcommand.
+fn store_command(verb: &str, rest: &[String]) -> ExitCode {
+    let mut store_dir: Option<PathBuf> = None;
+    let mut store_cap: Option<u64> = None;
+    let mut out: Option<String> = None;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--store-dir" => store_dir = it.next().map(PathBuf::from),
+            "--store-cap" => store_cap = it.next().and_then(|v| v.parse().ok()),
+            "--out" => out = it.next().cloned(),
+            "--help" | "-h" => usage(),
+            _ => {
+                eprintln!("caba-sweep store: unknown flag {a}\n");
+                usage();
+            }
+        }
+    }
+    let Some(dir) = store_dir else {
+        eprintln!("caba-sweep store {verb}: --store-dir is required\n");
+        usage();
+    };
+    let store = match Store::open(&dir) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("caba-sweep store {verb}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (json, ok) = match verb {
+        "scrub" => match store.scrub() {
+            Ok(report) => {
+                eprintln!(
+                    "scrub: {} ok, {} quarantined, {} skipped",
+                    report.ok,
+                    report.quarantined.len(),
+                    report.skipped.len()
+                );
+                let clean = report.is_clean();
+                (report.to_json(), clean)
+            }
+            Err(e) => {
+                eprintln!("caba-sweep store scrub: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        "gc" => {
+            let Some(cap) = store_cap else {
+                eprintln!("caba-sweep store gc: --store-cap is required\n");
+                usage();
+            };
+            match store.gc(cap) {
+                Ok(report) => {
+                    eprintln!(
+                        "gc: {} -> {} bytes, {} evicted, {} failed",
+                        report.before_bytes,
+                        report.after_bytes,
+                        report.evicted.len(),
+                        report.failed
+                    );
+                    (report.to_json(), report.failed == 0)
+                }
+                Err(e) => {
+                    eprintln!("caba-sweep store gc: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        "stats" => match store.stats() {
+            Ok(stats) => (stats.to_json(), true),
+            Err(e) => {
+                eprintln!("caba-sweep store stats: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        _ => {
+            eprintln!("caba-sweep store: unknown verb {verb:?} (scrub|gc|stats)\n");
+            usage();
+        }
+    };
+    match out {
+        Some(path) => {
+            if let Err(e) = write_file_atomic(&path, json.as_bytes()) {
+                eprintln!("caba-sweep store {verb}: writing {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("report written to {path}");
+        }
+        None => print!("{json}"),
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 fn parse_args() -> Args {
@@ -79,6 +207,12 @@ fn parse_args() -> Args {
         resume: None,
         checkpoint_every: 0,
         retries: 1,
+        store_dir: None,
+        store_cap: None,
+        store_fault_seed: 0,
+        store_fault_rate: 0.0,
+        figures: FIGURES.iter().map(|f| f.to_string()).collect(),
+        apps: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -94,8 +228,41 @@ fn parse_args() -> Args {
                     it.next().unwrap_or_else(|| missing_value("--resume")),
                 ));
             }
-            "--checkpoint-every" => args.checkpoint_every = parse_flag(&a, it.next()),
+            "--checkpoint-every" => {
+                args.checkpoint_every = parse_flag(&a, it.next());
+                if args.checkpoint_every == 0 {
+                    // An explicit 0 would silently never checkpoint —
+                    // reject it rather than guess the intent.
+                    eprintln!(
+                        "caba-sweep: --checkpoint-every 0 would never take a checkpoint; \
+                         omit the flag to disable checkpointing\n"
+                    );
+                    usage();
+                }
+            }
             "--retries" => args.retries = parse_flag(&a, it.next()),
+            "--store-dir" => {
+                args.store_dir = Some(PathBuf::from(
+                    it.next().unwrap_or_else(|| missing_value("--store-dir")),
+                ));
+            }
+            "--store-cap" => args.store_cap = Some(parse_flag(&a, it.next())),
+            "--store-fault-seed" => args.store_fault_seed = parse_flag(&a, it.next()),
+            "--store-fault-rate" => args.store_fault_rate = parse_flag(&a, it.next()),
+            "--figures" => {
+                let list: String = it.next().unwrap_or_else(|| missing_value("--figures"));
+                args.figures = list.split(',').map(|s| s.trim().to_string()).collect();
+                for f in &args.figures {
+                    if figure_cells(f).is_none() {
+                        eprintln!("caba-sweep: unknown figure {f:?}\n");
+                        usage();
+                    }
+                }
+            }
+            "--apps" => {
+                let list: String = it.next().unwrap_or_else(|| missing_value("--apps"));
+                args.apps = Some(list.split(',').map(|s| s.trim().to_string()).collect());
+            }
             "--baseline" => args.baseline = true,
             "--selftest" => args.selftest = true,
             "--help" | "-h" => usage(),
@@ -152,6 +319,15 @@ fn env_intra_jobs() -> usize {
 }
 
 fn main() -> ExitCode {
+    // `caba-sweep store (scrub|gc|stats)` is a separate maintenance mode.
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().is_some_and(|a| a == "store") {
+        let Some(verb) = argv.get(1) else {
+            eprintln!("caba-sweep store: missing verb (scrub|gc|stats)\n");
+            usage();
+        };
+        return store_command(verb, &argv[2..]);
+    }
     let args = parse_args();
     let (report, ok) = if args.selftest {
         selftest(&args)
@@ -164,7 +340,7 @@ fn main() -> ExitCode {
             }
         }
     };
-    if let Err(e) = std::fs::write(&args.out, report.to_json()) {
+    if let Err(e) = write_file_atomic(&args.out, report.to_json().as_bytes()) {
         eprintln!("caba-sweep: writing {}: {e}", args.out);
         return ExitCode::FAILURE;
     }
@@ -205,23 +381,61 @@ fn base_config(args: &Args, default_scale: f64) -> SweepConfig {
     sc
 }
 
+/// Opens the durable store per the CLI flags: plain, or over a seeded
+/// [`FaultFs`] when chaos injection was requested.
+fn open_store(args: &Args) -> Result<Option<Store>, Box<dyn std::error::Error>> {
+    let Some(dir) = &args.store_dir else {
+        return Ok(None);
+    };
+    let store = if args.store_fault_rate > 0.0 {
+        eprintln!(
+            "  store: {} (fault injection: seed {}, rate {})",
+            dir.display(),
+            args.store_fault_seed,
+            args.store_fault_rate
+        );
+        Store::open_with_fs(
+            dir,
+            Box::new(FaultFs::new(
+                args.store_fault_seed,
+                FaultRates::uniform(args.store_fault_rate),
+            )),
+        )?
+    } else {
+        eprintln!("  store: {}", dir.display());
+        Store::open(dir)?
+    };
+    Ok(Some(store))
+}
+
+/// The selected figures' cells, deduplicated and app-filtered.
+fn selected_cells(args: &Args) -> Vec<SweepCell> {
+    let groups: Vec<_> = args
+        .figures
+        .iter()
+        .map(|f| figure_cells(f).expect("figures validated at parse time"))
+        .collect();
+    let mut cells = dedup_cells(&groups);
+    if let Some(apps) = &args.apps {
+        cells.retain(|c| apps.iter().any(|a| a == c.app));
+    }
+    cells
+}
+
 /// Full figure sweep; optionally measures a serial baseline first.
 fn sweep(args: &Args) -> Result<SweepReport, Box<dyn std::error::Error>> {
     let sc = base_config(args, env_scale());
-    let groups: Vec<_> = FIGURES
-        .iter()
-        .map(|f| figure_cells(f).expect("known figure"))
-        .collect();
-    let cells = dedup_cells(&groups);
+    let cells = selected_cells(args);
     let cjobs = cell_jobs(args);
     eprintln!(
         "sweep: {} cells ({}) at scale {} with {} cell jobs x {} intra jobs",
         cells.len(),
-        FIGURES.join("+"),
+        args.figures.join("+"),
         sc.scale,
         cjobs,
         args.intra_jobs
     );
+    let store = open_store(args)?;
     let serial_wall_s = if args.baseline {
         eprintln!("  serial baseline ...");
         let mut serial_sc = sc;
@@ -235,12 +449,20 @@ fn sweep(args: &Args) -> Result<SweepReport, Box<dyn std::error::Error>> {
         None
     };
     let t0 = Instant::now();
-    let results = match &args.resume {
-        Some(manifest) => {
+    let results = if args.resume.is_some() || store.is_some() {
+        if let Some(manifest) = &args.resume {
             eprintln!("  journaling to {} (resume-capable)", manifest.display());
-            run_cells_journaled(&sc, &cells, cjobs, args.retries, manifest)?
         }
-        None => run_cells(&sc, &cells, cjobs),
+        run_cells_stored(
+            &sc,
+            &cells,
+            cjobs,
+            args.retries,
+            args.resume.as_deref(),
+            store.as_ref(),
+        )?
+    } else {
+        run_cells(&sc, &cells, cjobs)
     };
     let parallel_wall_s = t0.elapsed().as_secs_f64();
     eprintln!(
@@ -250,13 +472,31 @@ fn sweep(args: &Args) -> Result<SweepReport, Box<dyn std::error::Error>> {
     if let Some(s) = serial_wall_s {
         eprintln!("  speedup: {:.2}x", s / parallel_wall_s);
     }
+    if let Some(store) = &store {
+        eprintln!(
+            "  store: {} hits, {} misses",
+            store.hit_count(),
+            store.miss_count()
+        );
+        if let Some(cap) = args.store_cap {
+            match store.gc(cap) {
+                Ok(gc) => eprintln!(
+                    "  store gc: {} -> {} bytes ({} evicted)",
+                    gc.before_bytes,
+                    gc.after_bytes,
+                    gc.evicted.len()
+                ),
+                Err(e) => eprintln!("  store gc failed: {e}"),
+            }
+        }
+    }
     Ok(SweepReport {
         mode: "sweep",
         scale: sc.scale,
         jobs: args.jobs,
         intra_jobs: args.intra_jobs,
         host_cores: host_cores(),
-        figures: FIGURES.iter().map(|f| f.to_string()).collect(),
+        figures: args.figures.clone(),
         serial_wall_s,
         ref_wall_s: args.ref_wall,
         parallel_wall_s,

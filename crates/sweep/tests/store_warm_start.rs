@@ -1,0 +1,129 @@
+//! Cross-process warm-start golden test: a sweep whose first process was
+//! killed partway (emulated by running only a subset of its cells) must,
+//! when re-run in a *fresh process* against the same `--store-dir`,
+//! produce a figure table byte-identical to an unbroken in-process run —
+//! the store is a pure accelerator, never an influence.
+
+use caba_sweep::{
+    dedup_cells, figure_cells, figure_table, run_cells, run_cells_stored, SweepCell, SweepConfig,
+};
+use std::process::Command;
+
+const SCALE: &str = "0.05";
+const APPS: [&str; 2] = ["CONS", "BFS"];
+
+/// The exact cell list `caba-sweep --figures fig07 --apps CONS,BFS`
+/// selects, mirrored in-process so cell keys agree.
+fn cells() -> Vec<SweepCell> {
+    let groups = vec![figure_cells("fig07").expect("fig07 is ported")];
+    let mut cells = dedup_cells(&groups);
+    cells.retain(|c| APPS.contains(&c.app));
+    assert!(!cells.is_empty());
+    cells
+}
+
+/// The CLI's sweep configuration for `--scale 0.05` (worker-count and
+/// checkpoint knobs are canonicalized out of the content keys, so the
+/// defaults here key identically to any CLI invocation).
+fn sc() -> SweepConfig {
+    SweepConfig {
+        scale: SCALE.parse().unwrap(),
+        ..SweepConfig::default()
+    }
+}
+
+fn run_cli(args: &[&str]) -> std::process::Output {
+    let out = Command::new(env!("CARGO_BIN_EXE_caba-sweep"))
+        .args(args)
+        .output()
+        .expect("caba-sweep spawns");
+    assert!(
+        out.status.success(),
+        "caba-sweep {args:?} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out
+}
+
+#[test]
+fn killed_sweep_resumes_bit_identically_in_a_fresh_process() {
+    let dir = caba_store::fsio::scratch_dir("xproc-warm");
+    let store_dir = dir.join("store");
+    let out1 = dir.join("out1.json");
+    let out2 = dir.join("out2.json");
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+
+    // Unbroken in-process reference.
+    let reference = figure_table(&run_cells(&sc(), &cells(), 2));
+
+    // Process 1, "killed" partway: only the CONS cells run and persist.
+    run_cli(&[
+        "--figures",
+        "fig07",
+        "--apps",
+        "CONS",
+        "--scale",
+        SCALE,
+        "--jobs",
+        "2",
+        "--store-dir",
+        store_dir.to_str().unwrap(),
+        "--out",
+        out1.to_str().unwrap(),
+    ]);
+
+    // Process 2, fresh, full cell set: the CONS cells must warm-start
+    // from the store rather than recompute.
+    let out = run_cli(&[
+        "--figures",
+        "fig07",
+        "--apps",
+        "CONS,BFS",
+        "--scale",
+        SCALE,
+        "--jobs",
+        "2",
+        "--store-dir",
+        store_dir.to_str().unwrap(),
+        "--out",
+        out2.to_str().unwrap(),
+    ]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let hits: u64 = stderr
+        .lines()
+        .find_map(|l| {
+            let l = l.trim();
+            l.strip_prefix("store: ")
+                .and_then(|r| r.split_once(" hits"))
+                .and_then(|(n, _)| n.parse().ok())
+        })
+        .unwrap_or_else(|| panic!("no store hit line in stderr:\n{stderr}"));
+    assert!(hits > 0, "process 2 recomputed everything:\n{stderr}");
+
+    // Golden pin: a third "process" (fresh Store instance) restores every
+    // cell from disk and reproduces the unbroken table byte for byte.
+    let store = caba_store::Store::open(&store_dir).expect("store reopens");
+    let restored =
+        run_cells_stored(&sc(), &cells(), 2, 0, None, Some(&store)).expect("warm-started sweep");
+    assert_eq!(
+        store.hit_count() as usize,
+        cells().len(),
+        "every cell should restore from the two CLI processes' work"
+    );
+    assert_eq!(
+        figure_table(&restored),
+        reference,
+        "cross-process warm start diverged from the unbroken run"
+    );
+
+    // The store survives its own audit after all that traffic.
+    let report = store.scrub().expect("scrub runs");
+    assert!(report.is_clean(), "store dirty after clean use: {report:?}");
+
+    // Both reports exist and carry the figure list they ran.
+    for p in [&out1, &out2] {
+        let j = std::fs::read_to_string(p).expect("report written");
+        assert!(j.contains("\"fig07\""), "{} lacks figure list", p.display());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
