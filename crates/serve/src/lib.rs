@@ -1,0 +1,708 @@
+//! `caba-serve` — sweep-as-a-service: a long-running, dependency-free
+//! simulation server over the redesigned `caba-sweep` cell API.
+//!
+//! The simulator is bit-deterministic for any worker count, and every
+//! cell is keyed by [`CellSpec::content_hash`] — the same content key the
+//! offline CLI's resume journal and durable store use. That makes result
+//! caching trivially correct, and this crate exploits it end to end:
+//!
+//! - every `(app, design, bw, scale, config)` cell a request names is
+//!   looked up in the attached [`Store`] first; **only cache misses
+//!   simulate**, and every fresh result is persisted for the next
+//!   process (the CLI and the server warm-start each other);
+//! - concurrent identical requests coalesce onto one in-flight
+//!   computation ([`Coalescer`]) — a thousand clients asking for Fig. 7
+//!   cost one sweep plus 999 waits;
+//! - figure tables stream per cell over chunked transfer-encoding, in
+//!   input order, as each prefix completes — and the streamed bytes are
+//!   exactly [`figure_table_line`], so the served table is byte-identical
+//!   to `caba-sweep --table`'s offline output.
+//!
+//! # Endpoints
+//!
+//! | method | path | response |
+//! |---|---|---|
+//! | GET | `/healthz` | `{"ok": true}` |
+//! | GET | `/stats` | request/cell/cache counters (JSON) |
+//! | GET | `/figure/{fig}?scale=F&apps=A,B` | chunked TSV figure table |
+//! | GET | `/cell/{app}/{design}/{bw}?scale=F` | one cell's summary (JSON) |
+//! | GET | `/result/{key}` | raw store lookup by 16-hex-digit cell key |
+//! | POST | `/shutdown` | `{"ok": true}`, then the server drains |
+//!
+//! Every non-2xx carries a typed JSON body `{"error", "message"}`. Store
+//! faults during computation degrade to recomputing (results are never
+//! affected); a store fault on the raw `/result` path is a typed 503.
+
+pub mod http;
+
+use caba_stats::json::fmt_f64 as json_f64;
+use caba_store::{write_file_atomic, Store};
+use caba_sweep::{
+    decode_result_payload, encode_result_payload, figure_table_line, run_cell_resilient, CellSpec,
+    DesignId, Figure, SweepCell, SweepConfig,
+};
+use http::{ChunkedWriter, Request};
+use std::collections::HashMap;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+// ----- single-flight coalescing --------------------------------------------
+
+/// Single-flight request coalescing: concurrent [`run`](Coalescer::run)
+/// calls with the same key share one computation — the first caller (the
+/// *leader*) computes, everyone else blocks on the flight and receives a
+/// clone of the result. Once the leader finishes, the flight is retired:
+/// a later call with the same key starts fresh (and will typically hit
+/// the durable store instead).
+pub struct Coalescer<T: Clone> {
+    flights: Mutex<HashMap<u64, Arc<Flight<T>>>>,
+}
+
+struct Flight<T> {
+    result: Mutex<Option<T>>,
+    cv: Condvar,
+}
+
+impl<T: Clone> Default for Coalescer<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Clone> Coalescer<T> {
+    /// An empty coalescer.
+    pub fn new() -> Self {
+        Coalescer {
+            flights: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Runs `compute` under single-flight discipline for `key`. Returns
+    /// the value and whether *this* call led the flight (`false` means it
+    /// coalesced onto another call's computation).
+    pub fn run<F: FnOnce() -> T>(&self, key: u64, compute: F) -> (T, bool) {
+        let (flight, leader) = {
+            let mut map = self.flights.lock().expect("flights lock");
+            match map.get(&key) {
+                Some(f) => (Arc::clone(f), false),
+                None => {
+                    let f = Arc::new(Flight {
+                        result: Mutex::new(None),
+                        cv: Condvar::new(),
+                    });
+                    map.insert(key, Arc::clone(&f));
+                    (f, true)
+                }
+            }
+        };
+        if leader {
+            let value = compute();
+            *flight.result.lock().expect("flight lock") = Some(value.clone());
+            flight.cv.notify_all();
+            self.flights.lock().expect("flights lock").remove(&key);
+            (value, true)
+        } else {
+            let mut guard = flight.result.lock().expect("flight lock");
+            while guard.is_none() {
+                guard = flight.cv.wait(guard).expect("flight wait");
+            }
+            (guard.clone().expect("flight resolved"), false)
+        }
+    }
+}
+
+// ----- server ---------------------------------------------------------------
+
+/// Server construction options.
+pub struct ServeOptions {
+    /// Sweep-wide options every request's cells share (scale is the
+    /// *default*; requests may override it per query).
+    pub sc: SweepConfig,
+    /// Cell-level worker threads per figure request.
+    pub jobs: usize,
+    /// Durable result store; `None` serves compute-only (every request
+    /// cold).
+    pub store: Option<Store>,
+    /// Where to persist `BENCH_serve.json` after each figure request.
+    pub bench_out: Option<PathBuf>,
+}
+
+/// One completed figure request, recorded for `BENCH_serve.json`.
+#[derive(Debug, Clone)]
+struct BenchSample {
+    fig: Figure,
+    scale: f64,
+    cells: usize,
+    cached_cells: usize,
+    wall_s: f64,
+}
+
+struct State {
+    sc: SweepConfig,
+    jobs: usize,
+    store: Option<Store>,
+    flights: Coalescer<CellValue>,
+    shutdown: AtomicBool,
+    requests: AtomicU64,
+    cells_computed: AtomicU64,
+    store_warm_hits: AtomicU64,
+    coalesced_waits: AtomicU64,
+    bench_out: Option<PathBuf>,
+    bench: Mutex<Vec<BenchSample>>,
+}
+
+/// The coalesced per-cell value: the result (stats + wall seconds) or a
+/// failure message, plus whether it came out of the store.
+type CellValue = (Result<(caba_sim::RunStats, f64), String>, bool);
+
+/// A running sweep service. Dropping the handle does **not** stop the
+/// server; call [`shutdown`](Server::shutdown) (or POST `/shutdown`) and
+/// then [`join`](Server::join).
+pub struct Server {
+    addr: SocketAddr,
+    state: Arc<State>,
+    accept: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and starts
+    /// the accept loop.
+    pub fn start(addr: &str, opts: ServeOptions) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let state = Arc::new(State {
+            sc: opts.sc,
+            jobs: opts.jobs.max(1),
+            store: opts.store,
+            flights: Coalescer::new(),
+            shutdown: AtomicBool::new(false),
+            requests: AtomicU64::new(0),
+            cells_computed: AtomicU64::new(0),
+            store_warm_hits: AtomicU64::new(0),
+            coalesced_waits: AtomicU64::new(0),
+            bench_out: opts.bench_out,
+            bench: Mutex::new(Vec::new()),
+        });
+        let accept_state = Arc::clone(&state);
+        let accept = std::thread::spawn(move || {
+            let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+            while !accept_state.shutdown.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let st = Arc::clone(&accept_state);
+                        handlers.push(std::thread::spawn(move || handle(&st, stream)));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(e) => {
+                        eprintln!("caba-serve: accept failed: {e}");
+                        std::thread::sleep(Duration::from_millis(50));
+                    }
+                }
+                handlers.retain(|h| !h.is_finished());
+            }
+            // Drain in-flight handlers before the listener drops.
+            for h in handlers {
+                let _ = h.join();
+            }
+        });
+        Ok(Server {
+            addr: local,
+            state,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (resolves `:0` to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests shutdown (idempotent; also triggered by POST `/shutdown`).
+    pub fn shutdown(&self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// True once shutdown has been requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.state.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until shutdown is requested, then joins the accept loop.
+    pub fn join(mut self) {
+        while !self.is_shutdown() {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+// ----- request handling -----------------------------------------------------
+
+fn handle(state: &Arc<State>, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut out = stream;
+    let req = match Request::parse(&mut reader) {
+        Ok(Some(req)) => req,
+        Ok(None) => {
+            let _ = http::respond_error(&mut out, 400, "bad_request", "malformed HTTP request");
+            return;
+        }
+        Err(_) => return, // transport error; nothing to answer on
+    };
+    state.requests.fetch_add(1, Ordering::Relaxed);
+    let _ = route(state, &req, &mut out);
+}
+
+fn route(state: &Arc<State>, req: &Request, out: &mut TcpStream) -> io::Result<()> {
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => http::respond(out, 200, "application/json", b"{\"ok\": true}\n"),
+        ("GET", ["stats"]) => stats_endpoint(state, out),
+        ("GET", ["figure", fig]) => figure_endpoint(state, req, fig, out),
+        ("GET", ["cell", app, design, bw]) => cell_endpoint(state, req, app, design, bw, out),
+        ("GET", ["result", key]) => result_endpoint(state, key, out),
+        ("POST", ["shutdown"]) => {
+            state.shutdown.store(true, Ordering::SeqCst);
+            http::respond(out, 200, "application/json", b"{\"ok\": true}\n")
+        }
+        // Known resources with the wrong method are 405, not 404.
+        (_, ["healthz" | "stats" | "figure" | "cell" | "result", ..]) | (_, ["shutdown"]) => {
+            http::respond_error(
+                out,
+                405,
+                "method_not_allowed",
+                &format!("{} is not supported here", req.method),
+            )
+        }
+        _ => http::respond_error(out, 404, "not_found", &format!("no route for {}", req.path)),
+    }
+}
+
+fn stats_endpoint(state: &State, out: &mut TcpStream) -> io::Result<()> {
+    let (store_hits, store_misses) = match &state.store {
+        Some(s) => (s.hit_count(), s.miss_count()),
+        None => (0, 0),
+    };
+    let body = format!(
+        "{{\n  \"schema\": \"caba-serve-stats-v1\",\n  \"requests\": {},\n  \
+         \"cells_computed\": {},\n  \"store_warm_hits\": {},\n  \"coalesced_waits\": {},\n  \
+         \"store_hits\": {store_hits},\n  \"store_misses\": {store_misses},\n  \
+         \"store_attached\": {},\n  \"jobs\": {},\n  \"default_scale\": {}\n}}\n",
+        state.requests.load(Ordering::Relaxed),
+        state.cells_computed.load(Ordering::Relaxed),
+        state.store_warm_hits.load(Ordering::Relaxed),
+        state.coalesced_waits.load(Ordering::Relaxed),
+        state.store.is_some(),
+        state.jobs,
+        json_f64(state.sc.scale),
+    );
+    http::respond(out, 200, "application/json", body.as_bytes())
+}
+
+/// Computes one cell under single-flight discipline with store
+/// memoization: store hit → no simulation; miss → simulate (with panic
+/// isolation and one retry) and persist. Returns the cell value plus
+/// whether it was served from cache (store or coalesced flight).
+fn compute_cell(state: &State, sc: &SweepConfig, cell: SweepCell) -> (CellValue, bool) {
+    let spec = CellSpec::new(sc, cell);
+    let key = spec.content_hash();
+    let (value, led) = state.flights.run(key, || {
+        if let Some(store) = &state.store {
+            match store.get_result(key) {
+                Ok(Some(payload)) => {
+                    if let Some((stats, wall)) = decode_result_payload(&payload) {
+                        state.store_warm_hits.fetch_add(1, Ordering::Relaxed);
+                        return (Ok((stats, wall)), true);
+                    }
+                }
+                Ok(None) => {}
+                // A faulted read degrades to recompute; results are never
+                // affected, only latency.
+                Err(e) => eprintln!("caba-serve: store read for {key:016x} failed ({e})"),
+            }
+        }
+        let outcome = run_cell_resilient(sc, cell, 1);
+        match outcome.result {
+            Ok((stats, wall)) => {
+                state.cells_computed.fetch_add(1, Ordering::Relaxed);
+                if let Some(store) = &state.store {
+                    if let Err(e) =
+                        store.put_result(key, &spec.label(), &encode_result_payload(&stats, wall))
+                    {
+                        eprintln!("caba-serve: store write for {key:016x} failed ({e})");
+                    }
+                }
+                (Ok((stats, wall)), false)
+            }
+            Err(failure) => (
+                Err(format!(
+                    "{}: {}",
+                    failure.class,
+                    failure.errors.last().map(String::as_str).unwrap_or("?")
+                )),
+                false,
+            ),
+        }
+    });
+    if !led {
+        state.coalesced_waits.fetch_add(1, Ordering::Relaxed);
+    }
+    let cached = value.1 || !led;
+    (value, cached)
+}
+
+/// Parses the shared query options (`scale`, `apps`) into a sweep config
+/// and an app filter.
+fn request_sc(state: &State, req: &Request) -> Result<SweepConfig, String> {
+    let mut sc = state.sc;
+    if let Some(s) = req.query("scale") {
+        sc.scale = s
+            .parse::<f64>()
+            .ok()
+            .filter(|v| v.is_finite() && *v > 0.0)
+            .ok_or_else(|| format!("invalid scale {s:?}"))?;
+    }
+    Ok(sc)
+}
+
+fn figure_endpoint(
+    state: &Arc<State>,
+    req: &Request,
+    fig: &str,
+    out: &mut TcpStream,
+) -> io::Result<()> {
+    let fig: Figure = match fig.parse() {
+        Ok(f) => f,
+        Err(e) => return http::respond_error(out, 400, "bad_request", &e.to_string()),
+    };
+    let sc = match request_sc(state, req) {
+        Ok(sc) => sc,
+        Err(msg) => return http::respond_error(out, 400, "bad_request", &msg),
+    };
+    let mut cells = fig.cells();
+    if let Some(apps) = req.query("apps") {
+        let filter: Vec<&str> = apps.split(',').map(str::trim).collect();
+        for a in &filter {
+            if caba_workloads::app(a).is_none() {
+                return http::respond_error(out, 400, "bad_request", &format!("unknown app {a:?}"));
+            }
+        }
+        cells.retain(|c| filter.contains(&c.app));
+    }
+
+    // From here on the 200 header is committed; a mid-stream cell failure
+    // aborts the chunked stream without its terminal chunk, which clients
+    // observe as truncation (http::fetch turns it into an error).
+    let t0 = Instant::now();
+    let mut writer = ChunkedWriter::begin(out.try_clone()?, "text/tab-separated-values")?;
+    let cached_cells = AtomicUsize::new(0);
+
+    // Work-stealing fan-out (the sweep executor's discipline): workers
+    // claim cell indices, the handler streams completed slots in input
+    // order — per-cell progress without ever reordering the table.
+    let n = cells.len();
+    let slots: Mutex<Vec<Option<CellValue>>> = Mutex::new(vec![None; n]);
+    let ready = Condvar::new();
+    let next = AtomicUsize::new(0);
+    let jobs = state.jobs.clamp(1, n.max(1));
+    let stream_result: io::Result<()> = std::thread::scope(|s| {
+        for _ in 0..jobs {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let (value, cached) = compute_cell(state, &sc, cells[i]);
+                if cached {
+                    cached_cells.fetch_add(1, Ordering::Relaxed);
+                }
+                let mut guard = slots.lock().expect("slots lock");
+                guard[i] = Some(value);
+                drop(guard);
+                ready.notify_all();
+            });
+        }
+        for i in 0..n {
+            let value = {
+                let mut guard = slots.lock().expect("slots lock");
+                loop {
+                    match guard[i].take() {
+                        Some(v) => break v,
+                        None => guard = ready.wait(guard).expect("slots wait"),
+                    }
+                }
+            };
+            match value.0 {
+                Ok((stats, _wall)) => {
+                    writer.chunk(figure_table_line(&cells[i], &stats).as_bytes())?;
+                }
+                Err(msg) => {
+                    eprintln!(
+                        "caba-serve: cell {}/{} failed mid-stream: {msg}",
+                        cells[i].app,
+                        cells[i].design.label()
+                    );
+                    // Abort: drop without the terminal chunk. Workers for
+                    // later cells finish (scope joins them) but nothing
+                    // more is streamed.
+                    return Err(io::Error::other(msg));
+                }
+            }
+        }
+        Ok(())
+    });
+    stream_result?;
+    writer.finish()?;
+
+    record_bench(
+        state,
+        BenchSample {
+            fig,
+            scale: sc.scale,
+            cells: n,
+            cached_cells: cached_cells.load(Ordering::Relaxed),
+            wall_s: t0.elapsed().as_secs_f64(),
+        },
+    );
+    Ok(())
+}
+
+fn cell_endpoint(
+    state: &Arc<State>,
+    req: &Request,
+    app: &str,
+    design: &str,
+    bw: &str,
+    out: &mut TcpStream,
+) -> io::Result<()> {
+    let design: DesignId = match design.parse() {
+        Ok(d) => d,
+        Err(e) => return http::respond_error(out, 400, "bad_request", &e.to_string()),
+    };
+    let Ok(bw_scale) = bw.parse::<f64>() else {
+        return http::respond_error(out, 400, "bad_request", &format!("invalid bw {bw:?}"));
+    };
+    let sc = match request_sc(state, req) {
+        Ok(sc) => sc,
+        Err(msg) => return http::respond_error(out, 400, "bad_request", &msg),
+    };
+    let Some(spec) = CellSpec::resolve(app, design, bw_scale, sc.scale, sc.cfg) else {
+        return http::respond_error(out, 404, "not_found", &format!("unknown app {app:?}"));
+    };
+    let ((result, _), cached) = compute_cell(state, &sc, spec.cell());
+    match result {
+        Ok((stats, wall)) => {
+            let body = format!(
+                "{{\n  \"app\": \"{}\", \"design\": \"{}\", \"bw\": {}, \"scale\": {},\n  \
+                 \"key\": \"{:016x}\", \"cached\": {cached}, \"wall_s\": {},\n  \
+                 \"summary\": {}\n}}\n",
+                spec.app,
+                spec.design.label(),
+                json_f64(spec.bw_scale),
+                json_f64(spec.scale),
+                spec.content_hash(),
+                json_f64(wall),
+                stats.summary().to_json(),
+            );
+            http::respond(out, 200, "application/json", body.as_bytes())
+        }
+        Err(msg) => http::respond_error(out, 500, "cell_failed", &msg),
+    }
+}
+
+fn result_endpoint(state: &State, key: &str, out: &mut TcpStream) -> io::Result<()> {
+    let Ok(key) = u64::from_str_radix(key, 16) else {
+        return http::respond_error(
+            out,
+            400,
+            "bad_request",
+            &format!("cell keys are hex u64, got {key:?}"),
+        );
+    };
+    let Some(store) = &state.store else {
+        return http::respond_error(out, 503, "no_store", "server is running without a store");
+    };
+    match store.get_result(key) {
+        // The genuine typed-503 path: a store fault on a raw lookup has
+        // no compute fallback, so the client gets the fault, typed — and
+        // the store itself is untouched (reads never poison it).
+        Err(e) => http::respond_error(out, 503, "store_fault", &e.to_string()),
+        Ok(None) => http::respond_error(out, 404, "not_found", &format!("no result {key:016x}")),
+        Ok(Some(payload)) => match decode_result_payload(&payload) {
+            None => http::respond_error(
+                out,
+                500,
+                "payload_skew",
+                "stored payload failed to decode (version skew)",
+            ),
+            Some((stats, wall)) => {
+                let body = format!(
+                    "{{\n  \"key\": \"{key:016x}\", \"wall_s\": {},\n  \"summary\": {}\n}}\n",
+                    json_f64(wall),
+                    stats.summary().to_json(),
+                );
+                http::respond(out, 200, "application/json", body.as_bytes())
+            }
+        },
+    }
+}
+
+// ----- bench recording ------------------------------------------------------
+
+fn record_bench(state: &State, sample: BenchSample) {
+    let mut bench = state.bench.lock().expect("bench lock");
+    bench.push(sample);
+    if let Some(path) = &state.bench_out {
+        let json = bench_json(&bench);
+        drop(bench);
+        if let Err(e) = write_file_atomic(path, json.as_bytes()) {
+            eprintln!("caba-serve: writing {}: {e}", path.display());
+        }
+    }
+}
+
+/// Renders `BENCH_serve.json`: every figure request, plus cold-vs-warm
+/// pairs per `(figure, scale)` with the warm speedup the acceptance gate
+/// reads.
+fn bench_json(samples: &[BenchSample]) -> String {
+    let mut s = String::from("{\n  \"schema\": \"caba-serve-bench-v1\",\n  \"requests\": [\n");
+    for (i, b) in samples.iter().enumerate() {
+        let sep = if i + 1 == samples.len() { "" } else { "," };
+        s.push_str(&format!(
+            "    {{\"fig\": \"{}\", \"scale\": {}, \"cells\": {}, \"cached_cells\": {}, \
+             \"wall_s\": {}}}{sep}\n",
+            b.fig,
+            json_f64(b.scale),
+            b.cells,
+            b.cached_cells,
+            json_f64(b.wall_s)
+        ));
+    }
+    s.push_str("  ],\n  \"pairs\": [\n");
+    let mut seen: Vec<(Figure, u64)> = Vec::new();
+    let mut pairs: Vec<String> = Vec::new();
+    for b in samples {
+        let id = (b.fig, b.scale.to_bits());
+        if seen.contains(&id) {
+            continue;
+        }
+        seen.push(id);
+        let mut matching = samples.iter().filter(|x| (x.fig, x.scale.to_bits()) == id);
+        let cold = matching.next().expect("seen via samples");
+        if let Some(warm) = matching.next_back() {
+            pairs.push(format!(
+                "    {{\"fig\": \"{}\", \"scale\": {}, \"cold_wall_s\": {}, \"warm_wall_s\": {}, \
+                 \"warm_speedup\": {}}}",
+                cold.fig,
+                json_f64(cold.scale),
+                json_f64(cold.wall_s),
+                json_f64(warm.wall_s),
+                json_f64(cold.wall_s / warm.wall_s.max(1e-9))
+            ));
+        }
+    }
+    s.push_str(&pairs.join(",\n"));
+    if !pairs.is_empty() {
+        s.push('\n');
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+    use std::sync::Barrier;
+
+    /// Deterministic single-flight check: a barrier guarantees all
+    /// threads are inside `run` for the same key before the leader's
+    /// compute finishes, so exactly one compute happens and everyone
+    /// receives its value.
+    #[test]
+    fn coalescer_runs_one_compute_for_concurrent_identical_keys() {
+        const THREADS: usize = 4;
+        let coal = Coalescer::<u32>::new();
+        let computes = AtomicU32::new(0);
+        let release = Barrier::new(2); // leader + main
+        std::thread::scope(|s| {
+            let mut joins = Vec::new();
+            for _ in 0..THREADS {
+                joins.push(s.spawn(|| {
+                    coal.run(42, || {
+                        // Only the leader gets here. Wait until main has
+                        // seen every thread enter, so followers are
+                        // provably coalescing, then compute.
+                        release.wait();
+                        computes.fetch_add(1, Ordering::SeqCst) + 7
+                    })
+                }));
+            }
+            // All threads entered run() before the leader may finish.
+            // (The followers' entry is not barrier-observable without
+            // instrumenting the lock, so give them a moment to block.)
+            std::thread::sleep(Duration::from_millis(50));
+            release.wait();
+            let results: Vec<(u32, bool)> = joins.into_iter().map(|j| j.join().unwrap()).collect();
+            assert_eq!(computes.load(Ordering::SeqCst), 1, "exactly one compute");
+            assert_eq!(results.iter().filter(|(_, led)| *led).count(), 1);
+            assert!(results.iter().all(|(v, _)| *v == 7));
+        });
+        // The flight retired: a later call recomputes.
+        let (v, led) = coal.run(42, || 99);
+        assert_eq!((v, led), (99, true));
+    }
+
+    #[test]
+    fn coalescer_distinct_keys_do_not_share_flights() {
+        let coal = Coalescer::<u64>::new();
+        let (a, led_a) = coal.run(1, || 10);
+        let (b, led_b) = coal.run(2, || 20);
+        assert_eq!((a, led_a, b, led_b), (10, true, 20, true));
+    }
+
+    #[test]
+    fn bench_json_pairs_cold_with_latest_warm() {
+        let samples = vec![
+            BenchSample {
+                fig: Figure::Fig07,
+                scale: 0.25,
+                cells: 100,
+                cached_cells: 0,
+                wall_s: 20.0,
+            },
+            BenchSample {
+                fig: Figure::Fig10,
+                scale: 0.25,
+                cells: 100,
+                cached_cells: 0,
+                wall_s: 9.0,
+            },
+            BenchSample {
+                fig: Figure::Fig07,
+                scale: 0.25,
+                cells: 100,
+                cached_cells: 100,
+                wall_s: 0.5,
+            },
+        ];
+        let j = bench_json(&samples);
+        caba_stats::json::validate(&j).expect("bench JSON parses");
+        assert!(j.contains("\"warm_speedup\": 40"), "{j}");
+        // fig10 has one sample: no pair emitted for it.
+        assert_eq!(j.matches("\"cold_wall_s\"").count(), 1, "{j}");
+    }
+}

@@ -1,0 +1,139 @@
+//! `caba-serve` CLI: bind the sweep service and run until shutdown.
+
+use caba_serve::{ServeOptions, Server};
+use caba_store::{FaultFs, FaultRates, Store};
+use caba_sweep::{host_cores, SweepConfig};
+use std::path::PathBuf;
+use std::process::exit;
+
+struct Args {
+    addr: String,
+    store_dir: Option<PathBuf>,
+    jobs: usize,
+    intra_jobs: usize,
+    scale: f64,
+    bench_out: Option<PathBuf>,
+    store_fault_seed: Option<u64>,
+    store_fault_rate: f64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: caba-serve [--addr HOST:PORT] [--store-dir DIR] [--jobs N] [--intra-jobs N]\n\
+         \x20                 [--scale F] [--bench-out PATH]\n\
+         \x20                 [--store-fault-seed N [--store-fault-rate F]]\n\
+         \n\
+         Serve sweep/figure/cell simulations over HTTP. Cells are keyed by content\n\
+         hash of the canonicalized config + workload; with --store-dir, results are\n\
+         memoized durably and only cache misses simulate. Identical concurrent\n\
+         requests coalesce onto one in-flight computation.\n\
+         \n\
+         --addr HOST:PORT   bind address (default 127.0.0.1:7199; use :0 for an\n\
+         \x20                  ephemeral port — the actual address is printed)\n\
+         --store-dir DIR    durable content-addressed result store (shared with\n\
+         \x20                  caba-sweep --store-dir)\n\
+         --jobs N           cell-level worker threads per figure request\n\
+         --intra-jobs N     worker threads inside each simulation\n\
+         --scale F          default workload scale when a request omits ?scale=\n\
+         \x20                  (default 0.25)\n\
+         --bench-out PATH   rewrite BENCH_serve.json after each figure request\n\
+         --store-fault-seed N / --store-fault-rate F\n\
+         \x20                  wrap the store in the deterministic fault injector\n\
+         \x20                  (testing; rate defaults to 0.05)\n\
+         \n\
+         endpoints: GET /healthz /stats /figure/{{fig}} /cell/{{app}}/{{design}}/{{bw}}\n\
+         \x20          /result/{{key}}   POST /shutdown"
+    );
+    exit(2);
+}
+
+fn parse_flag<T: std::str::FromStr>(flag: &str, v: Option<String>) -> T {
+    v.and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+        eprintln!("caba-serve: {flag} needs a valid value\n");
+        usage()
+    })
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: "127.0.0.1:7199".to_string(),
+        store_dir: None,
+        jobs: host_cores(),
+        intra_jobs: 1,
+        scale: 0.25,
+        bench_out: None,
+        store_fault_seed: None,
+        store_fault_rate: 0.05,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => args.addr = parse_flag(&a, it.next()),
+            "--store-dir" => args.store_dir = Some(parse_flag(&a, it.next())),
+            "--jobs" => args.jobs = parse_flag(&a, it.next()),
+            "--intra-jobs" => args.intra_jobs = parse_flag(&a, it.next()),
+            "--scale" => args.scale = parse_flag(&a, it.next()),
+            "--bench-out" => args.bench_out = Some(parse_flag(&a, it.next())),
+            "--store-fault-seed" => args.store_fault_seed = Some(parse_flag(&a, it.next())),
+            "--store-fault-rate" => args.store_fault_rate = parse_flag(&a, it.next()),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("caba-serve: unknown flag {other:?}\n");
+                usage()
+            }
+        }
+    }
+    if args.jobs == 0 || args.intra_jobs == 0 || args.scale <= 0.0 {
+        eprintln!("caba-serve: --jobs/--intra-jobs must be nonzero and --scale positive\n");
+        usage();
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+
+    let store = args.store_dir.as_ref().map(|dir| {
+        let opened = match args.store_fault_seed {
+            Some(seed) => Store::open_with_fs(
+                dir,
+                Box::new(FaultFs::new(
+                    seed,
+                    FaultRates::uniform(args.store_fault_rate),
+                )),
+            ),
+            None => Store::open(dir),
+        };
+        opened.unwrap_or_else(|e| {
+            eprintln!("caba-serve: opening store {}: {e}", dir.display());
+            exit(1);
+        })
+    });
+
+    let mut sc = SweepConfig {
+        scale: args.scale,
+        ..SweepConfig::default()
+    };
+    sc.cfg.intra_jobs = args.intra_jobs;
+
+    let server = Server::start(
+        &args.addr,
+        ServeOptions {
+            sc,
+            jobs: (args.jobs / args.intra_jobs).max(1),
+            store,
+            bench_out: args.bench_out,
+        },
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("caba-serve: binding {}: {e}", args.addr);
+        exit(1);
+    });
+
+    println!("caba-serve listening on http://{}", server.addr());
+    if let Some(dir) = &args.store_dir {
+        eprintln!("  store: {}", dir.display());
+    }
+    server.join();
+    eprintln!("caba-serve: shutdown complete");
+}

@@ -1,0 +1,332 @@
+//! Service-level golden tests: the HTTP server must be a pure
+//! accelerator over the sweep library — cold, warm, fault-injected, and
+//! restarted servers all stream figure tables byte-identical to the
+//! offline `figure_table` output, and every misuse of the API maps to a
+//! typed JSON error without poisoning the store.
+
+use caba_serve::http::{fetch, FetchedResponse};
+use caba_serve::{ServeOptions, Server};
+use caba_sim::GpuConfig;
+use caba_store::{FaultFs, FaultRates, RealFs, Store, StoreFs};
+use caba_sweep::{dedup_cells, figure_table, run_cells, Figure, SweepCell, SweepConfig};
+use std::io;
+use std::path::Path;
+
+const SCALE: f64 = 0.05;
+const APPS: [&str; 2] = ["CONS", "BFS"];
+
+fn sc() -> SweepConfig {
+    SweepConfig {
+        scale: SCALE,
+        cfg: GpuConfig::small(),
+    }
+}
+
+fn cells() -> Vec<SweepCell> {
+    let mut cells = dedup_cells(&[Figure::Fig07.cells()]);
+    cells.retain(|c| APPS.contains(&c.app));
+    assert!(!cells.is_empty());
+    cells
+}
+
+/// The offline reference: the exact bytes `caba-sweep --table` would
+/// write for these cells.
+fn reference_table() -> String {
+    figure_table(&run_cells(&sc(), &cells(), 2))
+}
+
+fn start(store: Option<Store>) -> Server {
+    Server::start(
+        "127.0.0.1:0",
+        ServeOptions {
+            sc: sc(),
+            jobs: 2,
+            store,
+            bench_out: None,
+        },
+    )
+    .expect("server binds an ephemeral port")
+}
+
+fn get(server: &Server, target: &str) -> FetchedResponse {
+    fetch(&server.addr().to_string(), "GET", target).expect("request round-trips")
+}
+
+const FIG_TARGET: &str = "/figure/fig07?scale=0.05&apps=CONS,BFS";
+
+fn stop(server: Server) {
+    let addr = server.addr().to_string();
+    let resp = fetch(&addr, "POST", "/shutdown").expect("shutdown request");
+    assert_eq!(resp.status, 200);
+    server.join();
+}
+
+#[test]
+fn cold_warm_and_restarted_servers_stream_byte_identical_tables() {
+    let dir = caba_store::fsio::scratch_dir("serve-golden");
+    let reference = reference_table();
+
+    // Cold: every cell simulates, table matches the offline bytes.
+    let server = start(Some(Store::open(&dir).expect("store opens")));
+    let cold = get(&server, FIG_TARGET);
+    assert_eq!(cold.status, 200);
+    assert_eq!(
+        cold.headers.get("transfer-encoding").map(String::as_str),
+        Some("chunked"),
+        "figure tables stream chunked"
+    );
+    assert_eq!(cold.text(), reference, "cold table diverged from offline");
+    let stats = get(&server, "/stats").text();
+    assert!(stats.contains("\"store_warm_hits\": 0"), "{stats}");
+
+    // Warm, same process: every cell restores from the store.
+    let warm = get(&server, FIG_TARGET);
+    assert_eq!(warm.text(), reference, "warm table diverged");
+    let stats = get(&server, "/stats").text();
+    assert!(
+        stats.contains(&format!("\"store_warm_hits\": {}", cells().len())),
+        "second request should hit the store for every cell: {stats}"
+    );
+    stop(server);
+
+    // Killed and restarted: a fresh process over the same store dir must
+    // serve the same bytes, entirely from disk.
+    let server = start(Some(Store::open(&dir).expect("store reopens")));
+    let restarted = get(&server, FIG_TARGET);
+    assert_eq!(restarted.text(), reference, "restarted table diverged");
+    let stats = get(&server, "/stats").text();
+    assert!(
+        stats.contains(&format!("\"store_warm_hits\": {}", cells().len())),
+        "restarted server should warm-start every cell: {stats}"
+    );
+    assert!(stats.contains("\"cells_computed\": 0"), "{stats}");
+    stop(server);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn malformed_requests_get_typed_errors_without_poisoning_the_store() {
+    let dir = caba_store::fsio::scratch_dir("serve-errors");
+    let server = start(Some(Store::open(&dir).expect("store opens")));
+
+    let expect = |target: &str, status: u16, code: &str| {
+        let resp = get(&server, target);
+        assert_eq!(resp.status, status, "{target} -> {}", resp.text());
+        let body = resp.text();
+        caba_stats::json::validate(&body).unwrap_or_else(|e| panic!("{target}: {e}\n{body}"));
+        assert!(
+            body.contains(&format!("\"error\": \"{code}\"")),
+            "{target}: {body}"
+        );
+    };
+
+    expect("/figure/fig99", 400, "bad_request");
+    expect("/figure/fig07?scale=banana", 400, "bad_request");
+    expect("/figure/fig07?scale=-1", 400, "bad_request");
+    expect("/figure/fig07?apps=NOPE", 400, "bad_request");
+    expect("/cell/NOPE/Base/1.0", 404, "not_found");
+    expect("/cell/CONS/Bogus/1.0", 400, "bad_request");
+    expect("/cell/CONS/Base/zoom", 400, "bad_request");
+    expect("/result/not-hex", 400, "bad_request");
+    expect("/result/0000000000000000", 404, "not_found");
+    expect("/no/such/route", 404, "not_found");
+
+    // Wrong method on a known resource is 405, not 404.
+    let resp = fetch(&server.addr().to_string(), "POST", "/stats").expect("request");
+    assert_eq!(resp.status, 405, "{}", resp.text());
+    let resp = fetch(&server.addr().to_string(), "GET", "/shutdown").expect("request");
+    assert_eq!(resp.status, 405, "{}", resp.text());
+
+    // A raw malformed request line gets a 400, not a dropped connection.
+    let resp = fetch(&server.addr().to_string(), "GET", "no-leading-slash").expect("request");
+    assert_eq!(resp.status, 400, "{}", resp.text());
+
+    // After all that abuse, good requests still work and the store audits
+    // clean — errors never wrote anything.
+    let ok = get(&server, "/cell/CONS/Base/1.0");
+    assert_eq!(ok.status, 200, "{}", ok.text());
+    caba_stats::json::validate(&ok.text()).expect("cell JSON parses");
+    stop(server);
+
+    let store = Store::open(&dir).expect("store reopens");
+    let report = store.scrub().expect("scrub runs");
+    assert!(report.is_clean(), "errors poisoned the store: {report:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fault_injected_store_degrades_to_recompute_not_wrong_bytes() {
+    let dir = caba_store::fsio::scratch_dir("serve-chaos");
+    let reference = reference_table();
+    let fs = FaultFs::new(
+        0xC0FFEE,
+        FaultRates {
+            torn_write: 0.2,
+            short_read: 0.2,
+            rename_fail: 0.1,
+            ..FaultRates::none()
+        },
+    );
+    let store = Store::open_with_fs(&dir, Box::new(fs)).expect("faulted store opens");
+    let server = start(Some(store));
+
+    // Under injected torn writes and short reads the table must still be
+    // byte-exact — faults cost recomputes, never correctness.
+    for round in 0..3 {
+        let resp = get(&server, FIG_TARGET);
+        assert_eq!(resp.status, 200);
+        assert_eq!(
+            resp.text(),
+            reference,
+            "round {round} diverged under faults"
+        );
+    }
+    stop(server);
+
+    // The surviving on-disk state is healthy (quarantine is allowed).
+    let store = Store::open(&dir).expect("store reopens clean");
+    store.scrub().expect("scrub runs");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A filesystem whose object reads fail hard (EIO-style), unlike
+/// `FaultFs`'s silent short reads which the store heals to cache misses.
+/// This drives the genuine typed-503 path on `/result`.
+struct DenyObjectReads(RealFs);
+
+impl StoreFs for DenyObjectReads {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        if path.extension().is_some_and(|e| e == "entry") {
+            return Err(io::Error::other("injected I/O error"));
+        }
+        self.0.read(path)
+    }
+    fn write_sync(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        self.0.write_sync(path, bytes)
+    }
+    fn append_sync(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        self.0.append_sync(path, bytes)
+    }
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.0.rename(from, to)
+    }
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        self.0.sync_dir(dir)
+    }
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        self.0.create_dir_all(dir)
+    }
+    fn list(&self, dir: &Path) -> io::Result<Vec<String>> {
+        self.0.list(dir)
+    }
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.0.remove_file(path)
+    }
+    fn file_len(&self, path: &Path) -> io::Result<Option<u64>> {
+        self.0.file_len(path)
+    }
+}
+
+#[test]
+fn store_faults_on_raw_lookups_are_typed_503s() {
+    // No store at all: typed 503, distinct error code.
+    let server = start(None);
+    let resp = get(&server, "/result/0123456789abcdef");
+    assert_eq!(resp.status, 503, "{}", resp.text());
+    assert!(
+        resp.text().contains("\"error\": \"no_store\""),
+        "{}",
+        resp.text()
+    );
+    stop(server);
+
+    // Populate a real store, then serve it through a filesystem whose
+    // reads fail hard: /result surfaces the fault as a typed 503 (there
+    // is no compute fallback for a raw lookup).
+    let dir = caba_store::fsio::scratch_dir("serve-503");
+    let key = {
+        let store = Store::open(&dir).expect("store opens");
+        let spec = caba_sweep::CellSpec::new(&sc(), cells()[0]);
+        let server = start(Some(store));
+        let resp = get(
+            &server,
+            &format!("/cell/{}/{}/1?scale={SCALE}", spec.app, spec.design),
+        );
+        assert_eq!(resp.status, 200, "{}", resp.text());
+        stop(server);
+        spec.content_hash()
+    };
+    let store =
+        Store::open_with_fs(&dir, Box::new(DenyObjectReads(RealFs))).expect("store reopens");
+    let server = start(Some(store));
+    let resp = get(&server, &format!("/result/{key:016x}"));
+    assert_eq!(resp.status, 503, "{}", resp.text());
+    let body = resp.text();
+    caba_stats::json::validate(&body).expect("503 body is JSON");
+    assert!(body.contains("\"error\": \"store_fault\""), "{body}");
+
+    // The fault did not poison the store: a healthy reopen still serves
+    // the result.
+    stop(server);
+    let store = Store::open(&dir).expect("healthy reopen");
+    let server = start(Some(store));
+    let resp = get(&server, &format!("/result/{key:016x}"));
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    stop(server);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn concurrent_identical_requests_coalesce_onto_one_computation() {
+    let server = start(None);
+    let addr = server.addr().to_string();
+    const CLIENTS: usize = 4;
+    let responses: Vec<FetchedResponse> = std::thread::scope(|s| {
+        let joins: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                let addr = addr.clone();
+                s.spawn(move || {
+                    fetch(&addr, "GET", "/cell/CONS/Base/1?scale=0.05").expect("cell request")
+                })
+            })
+            .collect();
+        joins.into_iter().map(|j| j.join().unwrap()).collect()
+    });
+    let bodies: Vec<String> = responses
+        .iter()
+        .map(|r| {
+            assert_eq!(r.status, 200, "{}", r.text());
+            // `cached` varies by which client led; everything else agrees.
+            r.text()
+                .replace("\"cached\": true", "\"cached\": ?")
+                .replace("\"cached\": false", "\"cached\": ?")
+        })
+        .collect();
+    assert!(
+        bodies.windows(2).all(|w| w[0] == w[1]),
+        "divergent cell summaries"
+    );
+
+    // With no store, identical concurrent requests can only have been
+    // deduplicated by the coalescer; at most one client computed.
+    let stats = get(&server, "/stats").text();
+    assert!(stats.contains("\"cells_computed\": 1"), "{stats}");
+    stop(server);
+}
+
+#[test]
+fn serve_binary_prints_usage_and_rejects_bad_flags() {
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_caba-serve"))
+        .args(["--help"])
+        .output()
+        .expect("caba-serve binary runs");
+    assert_eq!(out.status.code(), Some(2), "--help exits with usage");
+    let usage = String::from_utf8_lossy(&out.stderr);
+    assert!(usage.contains("--store-dir"), "{usage}");
+
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_caba-serve"))
+        .args(["--jobs", "0"])
+        .output()
+        .expect("caba-serve binary runs");
+    assert_eq!(out.status.code(), Some(2), "bad flags exit with usage");
+}

@@ -16,7 +16,7 @@
 
 use caba_sim::{Design, Gpu, RunError};
 use caba_store::Store;
-use caba_sweep::{run_cells, run_forked_stored, DesignId, SweepCell, SweepConfig};
+use caba_sweep::{run_cells, DesignId, Sweep, SweepCell, SweepConfig};
 use caba_workloads::{app, prepare_app, DEFAULT_MAX_CYCLES};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -226,23 +226,29 @@ fn main() -> ExitCode {
         None => None,
     };
     let t0 = Instant::now();
-    let forked =
-        match run_forked_stored(&sc, &apps, &designs, args.warmup, args.jobs, store.as_ref()) {
-            Ok(f) => f,
-            Err(e) => {
-                eprintln!("bench-checkpoint: forked sweep: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
+    let mut fork_sweep = Sweep::new(&sc, cells.clone())
+        .jobs(args.jobs)
+        .forked(args.warmup);
+    if let Some(store) = &store {
+        fork_sweep = fork_sweep.store(store);
+    }
+    let forked = match fork_sweep.run() {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("bench-checkpoint: forked sweep: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let meta = forked.forked.expect("forked mode always yields fork meta");
     let forked_wall_s = t0.elapsed().as_secs_f64();
-    let forked_cells = forked.cells.iter().filter(|c| c.forked).count();
+    let forked_cells = meta.forked_cells;
     let speedup = cold_wall_s / forked_wall_s;
     eprintln!(
         "  forked sweep: {} cells ({forked_cells} from checkpoints, {} snapshot bytes, \
          {} store warm hits) in {forked_wall_s:.2}s — {speedup:.2}x vs cold",
-        forked.cells.len(),
-        forked.snapshot_bytes,
-        forked.warm_hits
+        forked.results.len(),
+        meta.snapshot_bytes,
+        meta.warm_hits
     );
 
     let mut j = String::new();
@@ -271,12 +277,12 @@ fn main() -> ExitCode {
     j.push_str(&format!("  \"cold_wall_s\": {cold_wall_s:.6},\n"));
     j.push_str(&format!("  \"forked_wall_s\": {forked_wall_s:.6},\n"));
     j.push_str(&format!("  \"forked_cells\": {forked_cells},\n"));
-    j.push_str(&format!("  \"total_cells\": {},\n", forked.cells.len()));
+    j.push_str(&format!("  \"total_cells\": {},\n", forked.results.len()));
     j.push_str(&format!(
         "  \"forked_snapshot_bytes\": {},\n",
-        forked.snapshot_bytes
+        meta.snapshot_bytes
     ));
-    j.push_str(&format!("  \"store_warm_hits\": {},\n", forked.warm_hits));
+    j.push_str(&format!("  \"store_warm_hits\": {},\n", meta.warm_hits));
     j.push_str(&format!("  \"warm_start_speedup\": {speedup:.4}\n"));
     j.push_str("}\n");
     if let Err(e) = caba_store::write_file_atomic(std::path::Path::new(&args.out), j.as_bytes()) {

@@ -1,0 +1,371 @@
+//! The one way to run a sweep: a builder that composes the journaling,
+//! store-memoization, fork-from-warm-Base, and retry layers over the
+//! single [`run_cell`](crate::run_cell) kernel entry point, replacing the
+//! four parallel entry points (`run_cells`, `run_cells_journaled`,
+//! `run_cells_stored`, `run_forked_stored`) this crate accumulated.
+//!
+//! ```no_run
+//! use caba_sweep::{Figure, Sweep, SweepConfig};
+//!
+//! let sc = SweepConfig::default();
+//! let run = Sweep::new(&sc, Figure::Fig07.cells())
+//!     .jobs(4)
+//!     .store_dir("/var/tmp/caba-store")
+//!     .journal("/var/tmp/fig07.journal")
+//!     .run()
+//!     .expect("sweep");
+//! println!("{} cells, {} from the store", run.results.len(), run.store_hits);
+//! ```
+
+use crate::fork::{exec_forked, ForkedSweep};
+use crate::resilient::exec_stored;
+use crate::{CellResult, DesignId, SweepCell, SweepConfig, SweepError};
+use caba_store::Store;
+use std::path::PathBuf;
+
+/// Checkpoint economics of a forked sweep ([`Sweep::forked`]), mirroring
+/// [`ForkedSweep`] minus the per-cell results (those live in
+/// [`SweepRun::results`], reordered to the builder's input order).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ForkMeta {
+    /// Warm-up budget per application, in cycles.
+    pub warmup_cycles: u64,
+    /// Total wall seconds spent warming Base machines.
+    pub warmup_wall_s: f64,
+    /// Total bytes across all Base snapshots taken.
+    pub snapshot_bytes: usize,
+    /// Apps whose warm snapshot came out of the durable store instead of
+    /// being recomputed.
+    pub warm_hits: usize,
+    /// Cells that actually started from the warm checkpoint (the rest ran
+    /// cold because their app finished inside the warm-up budget).
+    pub forked_cells: usize,
+}
+
+/// A completed sweep.
+#[derive(Debug, Clone)]
+pub struct SweepRun {
+    /// Per-cell results, in the builder's input order.
+    pub results: Vec<CellResult>,
+    /// Cells restored from the durable result store instead of simulated
+    /// (always 0 in forked mode, where the store holds snapshots instead;
+    /// see [`ForkMeta::warm_hits`]).
+    pub store_hits: usize,
+    /// Checkpoint economics when [`Sweep::forked`] was used.
+    pub forked: Option<ForkMeta>,
+}
+
+impl SweepRun {
+    /// The deterministic figure table for these results
+    /// ([`figure_table`](crate::figure_table)).
+    pub fn table(&self) -> String {
+        crate::figure_table(&self.results)
+    }
+}
+
+/// Builder over the resilient sweep executor. Construct with
+/// [`Sweep::new`], layer options, then [`run`](Sweep::run).
+///
+/// | layer | method | effect |
+/// |---|---|---|
+/// | parallelism | [`jobs`](Sweep::jobs) | worker threads (default: host cores) |
+/// | retry | [`retries`](Sweep::retries) | extra attempts after a caught panic |
+/// | resume | [`journal`](Sweep::journal) | append-only manifest; re-runs only missing cells |
+/// | memoize | [`store`](Sweep::store) / [`store_dir`](Sweep::store_dir) | durable result store; only misses simulate |
+/// | fork | [`forked`](Sweep::forked) | shared warm-up prefix per app, forked into each design |
+pub struct Sweep<'a> {
+    sc: SweepConfig,
+    cells: Vec<SweepCell>,
+    jobs: usize,
+    retries: u32,
+    journal: Option<PathBuf>,
+    store: Option<&'a Store>,
+    store_dir: Option<PathBuf>,
+    forked: Option<u64>,
+}
+
+impl<'a> Sweep<'a> {
+    /// A sweep over `cells` under the shared options `sc`, with default
+    /// layers: host-core parallelism, no retries, no journal, no store.
+    pub fn new(sc: &SweepConfig, cells: Vec<SweepCell>) -> Self {
+        Sweep {
+            sc: *sc,
+            cells,
+            jobs: crate::host_cores(),
+            retries: 0,
+            journal: None,
+            store: None,
+            store_dir: None,
+            forked: None,
+        }
+    }
+
+    /// Worker threads (clamped to at least 1).
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Extra attempts after a caught panic (simulator errors never retry).
+    pub fn retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// Append-only resume journal: cells already journaled are not re-run,
+    /// newly finished cells flush immediately.
+    pub fn journal(mut self, path: impl Into<PathBuf>) -> Self {
+        self.journal = Some(path.into());
+        self
+    }
+
+    /// Memoize results (or, in forked mode, warm snapshots) in an
+    /// already-open durable [`Store`]. Mutually exclusive with
+    /// [`store_dir`](Sweep::store_dir).
+    pub fn store(mut self, store: &'a Store) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Like [`store`](Sweep::store), but opens the store at `dir` inside
+    /// [`run`](Sweep::run) (failing with [`SweepError::Store`]).
+    pub fn store_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.store_dir = Some(dir.into());
+        self
+    }
+
+    /// Fork-from-warm-Base mode ([`crate::fork`]): warm each app's Base
+    /// machine for `warmup` cycles once, then fork the suffix into every
+    /// design. Requires stock-bandwidth cells (`bw_scale == 1.0`) and no
+    /// journal; results stay in input order.
+    pub fn forked(mut self, warmup: u64) -> Self {
+        self.forked = Some(warmup);
+        self
+    }
+
+    /// Executes the sweep.
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::InvalidOptions`] for inconsistent layering (both
+    /// store forms, forked + journal, forked over scaled-bandwidth
+    /// cells); [`SweepError::Store`] if [`store_dir`](Sweep::store_dir)
+    /// fails to open; otherwise as the underlying executor
+    /// ([`SweepError::CellsFailed`], [`SweepError::ManifestMismatch`],
+    /// [`SweepError::Io`], [`SweepError::Fork`]).
+    pub fn run(self) -> Result<SweepRun, SweepError> {
+        if self.store.is_some() && self.store_dir.is_some() {
+            return Err(SweepError::InvalidOptions(
+                "pass either .store(&store) or .store_dir(dir), not both".into(),
+            ));
+        }
+        let opened = match &self.store_dir {
+            Some(dir) => Some(Store::open(dir).map_err(SweepError::Store)?),
+            None => None,
+        };
+        let store: Option<&Store> = self.store.or(opened.as_ref());
+
+        match self.forked {
+            None => {
+                let (results, store_hits) = exec_stored(
+                    &self.sc,
+                    &self.cells,
+                    self.jobs,
+                    self.retries,
+                    self.journal.as_deref(),
+                    store,
+                )?;
+                Ok(SweepRun {
+                    results,
+                    store_hits,
+                    forked: None,
+                })
+            }
+            Some(warmup) => self.run_forked(warmup, store),
+        }
+    }
+
+    fn run_forked(&self, warmup: u64, store: Option<&Store>) -> Result<SweepRun, SweepError> {
+        if self.journal.is_some() {
+            return Err(SweepError::InvalidOptions(
+                "forked sweeps do not support a resume journal".into(),
+            ));
+        }
+        if let Some(cell) = self.cells.iter().find(|c| c.bw_scale != 1.0) {
+            return Err(SweepError::InvalidOptions(format!(
+                "forked sweeps require stock bandwidth; cell {}/{} has bw_scale {}",
+                cell.app,
+                cell.design.label(),
+                cell.bw_scale
+            )));
+        }
+        // The fork engine runs apps × designs; derive both matrices from
+        // the cell list, unique in first-appearance order.
+        let mut apps: Vec<&'static str> = Vec::new();
+        let mut designs: Vec<DesignId> = Vec::new();
+        for c in &self.cells {
+            if !apps.contains(&c.app) {
+                apps.push(c.app);
+            }
+            if !designs.contains(&c.design) {
+                designs.push(c.design);
+            }
+        }
+        let sweep: ForkedSweep = exec_forked(&self.sc, &apps, &designs, warmup, self.jobs, store)
+            .map_err(SweepError::Fork)?;
+
+        let meta = ForkMeta {
+            warmup_cycles: sweep.warmup_cycles,
+            warmup_wall_s: sweep.warmup_wall_s,
+            snapshot_bytes: sweep.snapshot_bytes,
+            warm_hits: sweep.warm_hits,
+            forked_cells: sweep.cells.iter().filter(|c| c.forked).count(),
+        };
+        // Re-emit in the builder's input order (the engine returns
+        // apps-major over the derived matrices, which may be a superset
+        // when the input was not a full cross product).
+        let results = self
+            .cells
+            .iter()
+            .map(|c| {
+                sweep
+                    .cells
+                    .iter()
+                    .find(|fc| fc.result.cell == *c)
+                    .expect("fork engine covers every requested cell")
+                    .result
+                    .clone()
+            })
+            .collect();
+        Ok(SweepRun {
+            results,
+            store_hits: 0,
+            forked: Some(meta),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{figure_table, run_cells, run_forked};
+    use caba_sim::GpuConfig;
+
+    fn tiny_sc() -> SweepConfig {
+        SweepConfig {
+            scale: 0.05,
+            cfg: GpuConfig::small(),
+        }
+    }
+
+    fn tiny_cells() -> Vec<SweepCell> {
+        [
+            ("CONS", DesignId::Base, 1.0),
+            ("CONS", DesignId::CabaBdi, 1.0),
+            ("BFS", DesignId::Base, 1.0),
+        ]
+        .into_iter()
+        .map(|(app, design, bw_scale)| SweepCell {
+            app,
+            design,
+            bw_scale,
+        })
+        .collect()
+    }
+
+    #[test]
+    fn builder_matches_the_plain_executor_bit_for_bit() {
+        let sc = tiny_sc();
+        let cells = tiny_cells();
+        let plain = run_cells(&sc, &cells, 2);
+        let built = Sweep::new(&sc, cells).jobs(2).run().expect("sweep runs");
+        assert_eq!(built.store_hits, 0);
+        assert!(built.forked.is_none());
+        assert_eq!(figure_table(&built.results), figure_table(&plain));
+    }
+
+    #[test]
+    fn store_dir_layer_warm_starts_a_second_run() {
+        let sc = tiny_sc();
+        let cells = tiny_cells();
+        let dir = caba_store::fsio::scratch_dir("builder-warm");
+
+        let cold = Sweep::new(&sc, cells.clone())
+            .jobs(2)
+            .store_dir(&dir)
+            .run()
+            .expect("cold sweep");
+        assert_eq!(cold.store_hits, 0);
+
+        let warm = Sweep::new(&sc, cells.clone())
+            .jobs(2)
+            .store_dir(&dir)
+            .run()
+            .expect("warm sweep");
+        assert_eq!(warm.store_hits, cells.len(), "every cell restored");
+        assert_eq!(figure_table(&warm.results), figure_table(&cold.results));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn forked_layer_matches_run_forked_in_input_order() {
+        let sc = tiny_sc();
+        // Input deliberately NOT apps-major: the builder must reorder the
+        // engine's apps-major output back to this.
+        let cells = vec![
+            SweepCell {
+                app: "CONS",
+                design: DesignId::CabaBdi,
+                bw_scale: 1.0,
+            },
+            SweepCell {
+                app: "CONS",
+                design: DesignId::Base,
+                bw_scale: 1.0,
+            },
+        ];
+        let built = Sweep::new(&sc, cells.clone())
+            .jobs(1)
+            .forked(500)
+            .run()
+            .expect("forked sweep");
+        let meta = built.forked.expect("fork meta present");
+        assert_eq!(meta.warmup_cycles, 500);
+        assert_eq!(meta.forked_cells, 2, "CONS outlives a 500-cycle warm-up");
+        for (got, want) in built.results.iter().zip(&cells) {
+            assert_eq!(got.cell, *want, "input order preserved");
+        }
+        let reference = run_forked(&sc, &["CONS"], &[DesignId::CabaBdi, DesignId::Base], 500, 1)
+            .expect("reference fork");
+        for (got, want) in built.results.iter().zip(&reference.cells) {
+            assert_eq!(got.stats, want.result.stats);
+        }
+    }
+
+    #[test]
+    fn inconsistent_layers_fail_typed() {
+        let sc = tiny_sc();
+        let store = Store::open(caba_store::fsio::scratch_dir("builder-both")).unwrap();
+        let err = Sweep::new(&sc, tiny_cells())
+            .store(&store)
+            .store_dir("/tmp/elsewhere")
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, SweepError::InvalidOptions(_)), "{err}");
+
+        let err = Sweep::new(&sc, tiny_cells())
+            .forked(500)
+            .journal("/tmp/j")
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, SweepError::InvalidOptions(_)), "{err}");
+
+        let mut cells = tiny_cells();
+        cells[0].bw_scale = 2.0;
+        let err = Sweep::new(&sc, cells).forked(500).run().unwrap_err();
+        assert!(
+            matches!(err, SweepError::InvalidOptions(ref msg) if msg.contains("bw_scale 2")),
+            "{err}"
+        );
+    }
+}

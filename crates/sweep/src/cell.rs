@@ -1,0 +1,400 @@
+//! The canonical cell identity: [`CellSpec`] is the single hashable,
+//! serializable description of one simulation cell, and [`run_cell`] is
+//! the one kernel entry point every executor layers over.
+//!
+//! A cell is fully determined by `(app, design, bw_scale, workload scale,
+//! machine config)` — the fault-injection seed lives inside [`GpuConfig`],
+//! so it is covered by the canonical config hash. Everything downstream
+//! (the resume journal, the durable result store, and the `caba-serve`
+//! HTTP service) keys work by [`CellSpec::content_hash`], so all three
+//! provably agree on what "the same cell" means: the agreement is pinned
+//! by `keys_agree_across_journal_store_and_server` in `resilient.rs`.
+//!
+//! [`GpuConfig`]: caba_sim::GpuConfig
+
+use crate::{fig01_cells, fig07_cells, fig10_cells, fig12_cells};
+use crate::{CellResult, DesignId, SweepCell, SweepConfig};
+use caba_sim::snapshot::config_hash;
+use caba_sim::{GpuConfig, Kernel, RunError};
+use caba_stats::checksum64;
+use caba_store::SnapKey;
+use caba_workloads::{app, run_app};
+use std::fmt;
+use std::str::FromStr;
+use std::time::Instant;
+
+/// The single canonical description of one simulation cell.
+///
+/// Unlike [`SweepCell`] (which identifies a point in a figure's matrix and
+/// leans on a shared [`SweepConfig`] for the rest), a `CellSpec` is
+/// self-contained: two equal specs denote bit-identical simulations, and
+/// [`content_hash`](CellSpec::content_hash) is a stable content key for
+/// memoizing their results.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellSpec {
+    /// Application name (resolvable via [`caba_workloads::app`]).
+    pub app: &'static str,
+    /// The design point.
+    pub design: DesignId,
+    /// Bandwidth scale applied to the machine configuration.
+    pub bw_scale: f64,
+    /// Workload scale factor (grid/working-set size).
+    pub scale: f64,
+    /// The machine configuration **before** per-cell bandwidth scaling.
+    /// Worker-count and observability knobs are canonicalized out of the
+    /// content hash (see [`config_hash`]); the fault-injection seed is in.
+    pub cfg: GpuConfig,
+}
+
+impl CellSpec {
+    /// Assembles the spec for `cell` under sweep-wide options `sc`.
+    pub fn new(sc: &SweepConfig, cell: SweepCell) -> Self {
+        CellSpec {
+            app: cell.app,
+            design: cell.design,
+            bw_scale: cell.bw_scale,
+            scale: sc.scale,
+            cfg: sc.cfg,
+        }
+    }
+
+    /// Resolves user-supplied strings (an HTTP request, a CLI flag) into a
+    /// spec. The app name is interned against the workload registry so the
+    /// spec carries the registry's `&'static str`; `None` if the app is
+    /// unknown.
+    pub fn resolve(
+        app_name: &str,
+        design: DesignId,
+        bw_scale: f64,
+        scale: f64,
+        cfg: GpuConfig,
+    ) -> Option<Self> {
+        Some(CellSpec {
+            app: app(app_name)?.name,
+            design,
+            bw_scale,
+            scale,
+            cfg,
+        })
+    }
+
+    /// The figure-matrix view of this spec.
+    pub fn cell(&self) -> SweepCell {
+        SweepCell {
+            app: self.app,
+            design: self.design,
+            bw_scale: self.bw_scale,
+        }
+    }
+
+    /// Content hash of the sweep this cell belongs to: the canonicalized
+    /// machine configuration plus the workload scale. A resume journal is
+    /// keyed by this value and refuses to resume a different sweep.
+    pub fn sweep_hash(&self) -> u64 {
+        checksum64(
+            format!(
+                "{:016x}|{:016x}",
+                config_hash(&self.cfg),
+                self.scale.to_bits()
+            )
+            .as_bytes(),
+        )
+    }
+
+    /// Content hash identifying this cell: [`sweep_hash`] folded with the
+    /// app, design label, and bandwidth scale, via [`caba_stats::checksum`].
+    ///
+    /// This is **the** cell key. The resume journal, the durable result
+    /// store, and the `caba-serve` service all derive their keys here, so
+    /// a result persisted by any one of them warm-starts the others.
+    ///
+    /// [`sweep_hash`]: CellSpec::sweep_hash
+    pub fn content_hash(&self) -> u64 {
+        checksum64(
+            format!(
+                "{:016x}|{}|{}|{:016x}",
+                self.sweep_hash(),
+                self.app,
+                self.design.label(),
+                self.bw_scale.to_bits()
+            )
+            .as_bytes(),
+        )
+    }
+
+    /// Human-readable provenance label recorded next to stored results.
+    pub fn label(&self) -> String {
+        format!(
+            "cell {}/{} @ {}x BW scale {}",
+            self.app,
+            self.design.label(),
+            self.bw_scale,
+            self.scale
+        )
+    }
+
+    /// The store key of this app's warm Base snapshot at `warmup` cycles —
+    /// the fork-from-checkpoint identity ([`crate::fork`]). The kernel's
+    /// own `content_hash` covers instruction encodings only; the snapshot
+    /// carries functional memory, so the app name and workload scale are
+    /// folded in — restoring a same-code, different-scale snapshot would
+    /// silently resurrect the wrong working set. Warm-ups always run on
+    /// the Base design (the only forkable one), so the key ignores
+    /// `self.design`.
+    pub fn warm_snap_key(&self, kernel: &Kernel, warmup: u64) -> SnapKey {
+        SnapKey {
+            config_hash: config_hash(&self.cfg),
+            kernel_hash: checksum64(
+                format!(
+                    "{:016x}|{}|{:016x}",
+                    kernel.program().content_hash(),
+                    self.app,
+                    self.scale.to_bits()
+                )
+                .as_bytes(),
+            ),
+            design: "Base".to_string(),
+            cycle: warmup,
+        }
+    }
+}
+
+/// Runs one cell from scratch and returns its result — the single kernel
+/// entry point. Every executor (the parallel sweep, the resilient
+/// journaled/stored layers, and the HTTP service) bottoms out here.
+///
+/// # Errors
+///
+/// Propagates the simulator's [`RunError`] (timeout, hang, audit failure)
+/// — deterministic by construction, so callers never retry it.
+///
+/// # Panics
+///
+/// Panics if `spec.app` does not resolve. Specs built through
+/// [`CellSpec::resolve`] or from figure cell lists cannot hit this; the
+/// resilient executor additionally pre-checks names so a hand-built bad
+/// spec fails typed instead.
+pub fn run_cell(spec: &CellSpec) -> Result<CellResult, RunError> {
+    let app_spec = app(spec.app).unwrap_or_else(|| panic!("unknown app {}", spec.app));
+    let cfg = spec.cfg.with_bandwidth_scale(spec.bw_scale);
+    let t0 = Instant::now();
+    let stats = run_app(&app_spec, cfg, spec.design.make(), spec.scale)?;
+    Ok(CellResult {
+        cell: spec.cell(),
+        stats,
+        wall_s: t0.elapsed().as_secs_f64(),
+    })
+}
+
+/// A design label that did not parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDesignError(pub String);
+
+impl fmt::Display for ParseDesignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown design {:?} (expected one of: ", self.0)?;
+        for (i, d) in DesignId::ALL.iter().enumerate() {
+            write!(f, "{}{}", if i > 0 { ", " } else { "" }, d.label())?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl std::error::Error for ParseDesignError {}
+
+impl fmt::Display for DesignId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for DesignId {
+    type Err = ParseDesignError;
+
+    /// Parses a paper label (`"CABA-BDI"`), ASCII-case-insensitively.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        DesignId::ALL
+            .into_iter()
+            .find(|d| d.label().eq_ignore_ascii_case(s))
+            .ok_or_else(|| ParseDesignError(s.to_string()))
+    }
+}
+
+/// The ported evaluation figures, typed. Replaces stringly figure
+/// selection (`figure_cells(fig: &str)`): a `Figure` either exists or the
+/// name failed to parse — there is no half-resolved state to thread
+/// through the CLI and the service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Figure {
+    /// Figure 1: issue-slot taxonomy (apps × ½×/1×/2× bandwidth on Base).
+    Fig01,
+    /// Figure 7 (and 8/9): apps × the five-design comparison.
+    Fig07,
+    /// Figure 10: apps × the CABA algorithm variants (+ Base rows).
+    Fig10,
+    /// Figure 12: apps × ½×/1×/2× bandwidth × {Base, CABA-BDI}.
+    Fig12,
+}
+
+impl Figure {
+    /// Every ported figure.
+    pub const ALL: [Figure; 4] = [Figure::Fig01, Figure::Fig07, Figure::Fig10, Figure::Fig12];
+
+    /// The figures a default `caba-sweep` invocation runs (`fig01` has its
+    /// own emitter binary and is not part of the default union).
+    pub const DEFAULT_SWEEP: [Figure; 3] = [Figure::Fig07, Figure::Fig10, Figure::Fig12];
+
+    /// The canonical lowercase name (`"fig07"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Figure::Fig01 => "fig01",
+            Figure::Fig07 => "fig07",
+            Figure::Fig10 => "fig10",
+            Figure::Fig12 => "fig12",
+        }
+    }
+
+    /// This figure's cell matrix, in deterministic order.
+    pub fn cells(self) -> Vec<SweepCell> {
+        match self {
+            Figure::Fig01 => fig01_cells(),
+            Figure::Fig07 => fig07_cells(),
+            Figure::Fig10 => fig10_cells(),
+            Figure::Fig12 => fig12_cells(),
+        }
+    }
+}
+
+impl fmt::Display for Figure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A figure name that did not parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseFigureError(pub String);
+
+impl fmt::Display for ParseFigureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown figure {:?} (expected one of: fig01, fig07, fig10, fig12)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseFigureError {}
+
+impl FromStr for Figure {
+    type Err = ParseFigureError;
+
+    /// Parses a canonical name (`"fig07"`), ASCII-case-insensitively.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Figure::ALL
+            .into_iter()
+            .find(|f| f.name().eq_ignore_ascii_case(s))
+            .ok_or_else(|| ParseFigureError(s.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caba_sim::GpuConfig;
+
+    fn tiny_spec() -> CellSpec {
+        CellSpec {
+            app: "CONS",
+            design: DesignId::Base,
+            bw_scale: 1.0,
+            scale: 0.05,
+            cfg: GpuConfig::small(),
+        }
+    }
+
+    #[test]
+    fn content_hash_is_stable_and_sensitive_to_every_identity_field() {
+        let spec = tiny_spec();
+        let base = spec.content_hash();
+        assert_eq!(base, tiny_spec().content_hash(), "hash is a pure function");
+
+        let mut other = spec;
+        other.design = DesignId::CabaBdi;
+        assert_ne!(base, other.content_hash(), "design is identity");
+        let mut other = spec;
+        other.bw_scale = 0.5;
+        assert_ne!(base, other.content_hash(), "bandwidth is identity");
+        let mut other = spec;
+        other.scale = 0.1;
+        assert_ne!(base, other.content_hash(), "workload scale is identity");
+        let mut other = spec;
+        other.cfg.mshrs += 1;
+        assert_ne!(base, other.content_hash(), "machine config is identity");
+        let mut other = spec;
+        other.cfg.fault.seed = other.cfg.fault.seed.wrapping_add(1);
+        assert_ne!(base, other.content_hash(), "fault seed is identity");
+
+        // Worker-count and observability knobs are canonicalized away:
+        // the same cell computed with different parallelism or tracing is
+        // still the same cell.
+        let mut tolerated = spec;
+        tolerated.cfg.intra_jobs = 4;
+        tolerated.cfg.checkpoint_interval = 500;
+        assert_eq!(base, tolerated.content_hash());
+    }
+
+    #[test]
+    fn resolve_interns_app_names_and_rejects_unknown() {
+        let spec = CellSpec::resolve("CONS", DesignId::Base, 1.0, 0.05, GpuConfig::small())
+            .expect("CONS resolves");
+        assert_eq!(spec.app, "CONS");
+        assert!(CellSpec::resolve("NOPE", DesignId::Base, 1.0, 0.05, GpuConfig::small()).is_none());
+    }
+
+    #[test]
+    fn run_cell_produces_the_same_stats_as_run_app() {
+        let spec = tiny_spec();
+        let result = run_cell(&spec).expect("cell runs");
+        let reference = caba_workloads::run_app(
+            &caba_workloads::app("CONS").unwrap(),
+            spec.cfg,
+            spec.design.make(),
+            spec.scale,
+        )
+        .expect("reference runs");
+        assert_eq!(result.stats, reference);
+        assert_eq!(result.cell, spec.cell());
+    }
+
+    #[test]
+    fn design_labels_round_trip_through_fromstr_display() {
+        for d in DesignId::ALL {
+            let parsed: DesignId = d.label().parse().unwrap_or_else(|e| panic!("{e}"));
+            assert_eq!(parsed, d);
+            assert_eq!(format!("{d}"), d.label());
+        }
+        // Case-insensitive, and garbage is a typed error.
+        assert_eq!("caba-bdi".parse::<DesignId>().unwrap(), DesignId::CabaBdi);
+        let err = "Turbo-BDI".parse::<DesignId>().unwrap_err();
+        assert!(err.to_string().contains("Turbo-BDI"));
+    }
+
+    #[test]
+    fn figures_round_trip_and_match_cell_lists() {
+        for fig in Figure::ALL {
+            let parsed: Figure = fig.name().parse().unwrap_or_else(|e| panic!("{e}"));
+            assert_eq!(parsed, fig);
+            assert_eq!(format!("{fig}"), fig.name());
+            assert!(!fig.cells().is_empty());
+        }
+        assert_eq!("FIG07".parse::<Figure>().unwrap(), Figure::Fig07);
+        assert!("fig99".parse::<Figure>().is_err());
+        // The typed lists equal what the deprecated shim serves.
+        #[allow(deprecated)]
+        for fig in Figure::ALL {
+            assert_eq!(crate::figure_cells(fig.name()).unwrap(), fig.cells());
+        }
+    }
+}

@@ -17,12 +17,11 @@
 //! fidelity is required; use this for fast differential exploration and
 //! the checkpoint benchmark.
 
+use crate::cell::CellSpec;
 use crate::{CellResult, DesignId, SweepCell, SweepConfig};
-use caba_sim::snapshot::config_hash;
-use caba_sim::{Design, Gpu, Kernel, RestoreError, RunError};
-use caba_stats::checksum64;
+use caba_sim::{Design, Gpu, RestoreError, RunError};
 use caba_store::{SnapKey, Store};
-use caba_workloads::{app, prepare_app, AppSpec, DEFAULT_MAX_CYCLES};
+use caba_workloads::{app, prepare_app, DEFAULT_MAX_CYCLES};
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -134,7 +133,7 @@ pub fn run_forked(
     warmup: u64,
     jobs: usize,
 ) -> Result<ForkedSweep, ForkError> {
-    run_forked_stored(sc, apps, designs, warmup, jobs, None)
+    exec_forked(sc, apps, designs, warmup, jobs, None)
 }
 
 /// [`run_forked`] with an optional durable snapshot [`Store`]: each app's
@@ -144,7 +143,25 @@ pub fn run_forked(
 /// cells are bit-identical to recomputed ones. New snapshots are
 /// persisted as they are taken; every store fault (failed read, rejected
 /// snapshot, failed write) degrades to recomputing the warm-up.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Sweep::new(sc, cells).forked(warmup).store(&store).run()` instead"
+)]
 pub fn run_forked_stored(
+    sc: &SweepConfig,
+    apps: &[&'static str],
+    designs: &[DesignId],
+    warmup: u64,
+    jobs: usize,
+    store: Option<&Store>,
+) -> Result<ForkedSweep, ForkError> {
+    exec_forked(sc, apps, designs, warmup, jobs, store)
+}
+
+/// Shared engine behind [`run_forked`], the deprecated
+/// [`run_forked_stored`] wrapper, and the [`Sweep`](crate::Sweep)
+/// builder's `.forked(..)` mode.
+pub(crate) fn exec_forked(
     sc: &SweepConfig,
     apps: &[&'static str],
     designs: &[DesignId],
@@ -189,32 +206,6 @@ pub fn run_forked_stored(
     Ok(sweep)
 }
 
-/// The program identity a warm snapshot files under. The kernel's own
-/// `content_hash` covers instruction encodings only; the snapshot carries
-/// functional memory, so the app name and workload scale must be folded
-/// in — restoring a same-code, different-scale snapshot would silently
-/// resurrect the wrong working set.
-fn warm_kernel_hash(kernel: &Kernel, app_name: &str, scale: f64) -> u64 {
-    checksum64(
-        format!(
-            "{:016x}|{app_name}|{:016x}",
-            kernel.program().content_hash(),
-            scale.to_bits()
-        )
-        .as_bytes(),
-    )
-}
-
-/// The store key of one app's warm Base snapshot.
-fn warm_snap_key(sc: &SweepConfig, spec: &AppSpec, kernel: &Kernel, warmup: u64) -> SnapKey {
-    SnapKey {
-        config_hash: config_hash(&sc.cfg),
-        kernel_hash: warm_kernel_hash(kernel, spec.name, sc.scale),
-        design: "Base".to_string(),
-        cycle: warmup,
-    }
-}
-
 fn fork_one_app(
     sc: &SweepConfig,
     name: &'static str,
@@ -226,7 +217,12 @@ fn fork_one_app(
 
     let t0 = Instant::now();
     let (mut base, kernel) = prepare_app(&spec, sc.cfg, Design::Base, sc.scale);
-    let key = store.map(|_| warm_snap_key(sc, &spec, &kernel, warmup));
+    let base_cell = SweepCell {
+        app: name,
+        design: DesignId::Base,
+        bw_scale: 1.0,
+    };
+    let key = store.map(|_| CellSpec::new(sc, base_cell).warm_snap_key(&kernel, warmup));
 
     // Cross-process warm-start: an earlier run may have persisted this
     // exact warm snapshot. Validate by restoring into a probe machine
@@ -364,6 +360,7 @@ fn fork_one_app(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the deprecated wrappers stay covered until removal
 mod tests {
     use super::*;
     use caba_sim::GpuConfig;

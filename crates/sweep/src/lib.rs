@@ -25,14 +25,21 @@
 //! assert_eq!(results.len(), cells.len());
 //! ```
 
+pub mod builder;
+pub mod cell;
 pub mod fork;
 pub mod resilient;
 
-pub use fork::{run_forked, run_forked_stored, ForkError, ForkedCell, ForkedSweep};
+pub use builder::{ForkMeta, Sweep, SweepRun};
+pub use cell::{run_cell, CellSpec, Figure, ParseDesignError, ParseFigureError};
+#[allow(deprecated)]
+pub use fork::run_forked_stored;
+pub use fork::{run_forked, ForkError, ForkedCell, ForkedSweep};
+#[allow(deprecated)]
+pub use resilient::{cell_key, run_cells_journaled, run_cells_stored, sweep_key};
 pub use resilient::{
-    cell_key, decode_result_payload, encode_result_payload, figure_table, run_cell_resilient,
-    run_cells_journaled, run_cells_stored, sweep_key, CellFailure, FailureClass, ResilientOutcome,
-    SweepError,
+    decode_result_payload, encode_result_payload, figure_table, figure_table_line,
+    run_cell_resilient, CellFailure, FailureClass, ResilientOutcome, SweepError,
 };
 
 use caba_compress::Algorithm;
@@ -40,10 +47,9 @@ use caba_core::CabaController;
 use caba_energy::DesignKind;
 use caba_sim::{Design, GpuConfig, RunStats};
 use caba_stats::json::fmt_f64 as json_f64;
-use caba_workloads::{app, eval_apps, run_app};
+use caba_workloads::eval_apps;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
 
 /// Identifies a design point in the run matrix (a cloneable stand-in for
 /// [`Design`], which owns a controller and therefore is not `Clone`).
@@ -68,6 +74,21 @@ pub enum DesignId {
 }
 
 impl DesignId {
+    /// Every design point, in declaration order — the [`FromStr`]
+    /// parse domain.
+    ///
+    /// [`FromStr`]: std::str::FromStr
+    pub const ALL: [DesignId; 8] = [
+        DesignId::Base,
+        DesignId::HwBdiMem,
+        DesignId::HwBdi,
+        DesignId::CabaBdi,
+        DesignId::IdealBdi,
+        DesignId::CabaFpc,
+        DesignId::CabaCPack,
+        DesignId::CabaBest,
+    ];
+
     /// The five designs of Figures 7–9.
     pub const FIG7: [DesignId; 5] = [
         DesignId::Base,
@@ -204,10 +225,7 @@ pub fn run_cells(sc: &SweepConfig, cells: &[SweepCell], jobs: usize) -> Vec<Cell
                     break;
                 }
                 let cell = cells[i];
-                let spec = app(cell.app).unwrap_or_else(|| panic!("unknown app {}", cell.app));
-                let cfg = sc.cfg.with_bandwidth_scale(cell.bw_scale);
-                let t0 = Instant::now();
-                let stats = run_app(&spec, cfg, cell.design.make(), sc.scale).unwrap_or_else(|e| {
+                let result = run_cell(&CellSpec::new(sc, cell)).unwrap_or_else(|e| {
                     panic!(
                         "{} / {} @ {}x BW: {e}",
                         cell.app,
@@ -215,12 +233,7 @@ pub fn run_cells(sc: &SweepConfig, cells: &[SweepCell], jobs: usize) -> Vec<Cell
                         cell.bw_scale
                     )
                 });
-                let wall_s = t0.elapsed().as_secs_f64();
-                *slots[i].lock().expect("slot lock") = Some(CellResult {
-                    cell,
-                    stats,
-                    wall_s,
-                });
+                *slots[i].lock().expect("slot lock") = Some(result);
             });
         }
     });
@@ -235,8 +248,10 @@ pub fn run_cells(sc: &SweepConfig, cells: &[SweepCell], jobs: usize) -> Vec<Cell
 }
 
 /// The ported figure sweeps run by the default `caba-sweep` invocation.
-/// (`fig01` has its own emitter binary and is resolvable via
-/// [`figure_cells`], but is not part of the default union.)
+#[deprecated(
+    since = "0.1.0",
+    note = "use the typed `Figure::DEFAULT_SWEEP` instead"
+)]
 pub const FIGURES: [&str; 3] = ["fig07", "fig10", "fig12"];
 
 /// Cells of Figure 1: evaluation apps × ½×/1×/2× bandwidth on the
@@ -312,14 +327,12 @@ pub fn fig12_cells() -> Vec<SweepCell> {
 }
 
 /// Cells of a figure by name (`"fig01"`, `"fig07"`, `"fig10"`, `"fig12"`).
+#[deprecated(
+    since = "0.1.0",
+    note = "parse a typed `Figure` and call `Figure::cells` instead"
+)]
 pub fn figure_cells(fig: &str) -> Option<Vec<SweepCell>> {
-    match fig {
-        "fig01" => Some(fig01_cells()),
-        "fig07" => Some(fig07_cells()),
-        "fig10" => Some(fig10_cells()),
-        "fig12" => Some(fig12_cells()),
-        _ => None,
-    }
+    fig.parse::<Figure>().ok().map(Figure::cells)
 }
 
 /// The union of several figures' cells with duplicates removed (first
@@ -456,13 +469,13 @@ mod tests {
 
     #[test]
     fn figure_cells_are_deterministic_and_nonempty() {
-        for fig in FIGURES {
-            let a = figure_cells(fig).expect(fig);
-            let b = figure_cells(fig).expect(fig);
+        for fig in Figure::ALL {
+            let a = fig.cells();
+            let b = fig.cells();
             assert!(!a.is_empty(), "{fig}");
             assert_eq!(a, b, "{fig}");
         }
-        assert!(figure_cells("fig99").is_none());
+        assert!("fig99".parse::<Figure>().is_err());
     }
 
     #[test]

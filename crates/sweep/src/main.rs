@@ -14,8 +14,8 @@
 
 use caba_store::{write_file_atomic, FaultFs, FaultRates, Store};
 use caba_sweep::{
-    dedup_cells, figure_cells, host_cores, run_cells, run_cells_stored, SweepCell, SweepConfig,
-    SweepReport, FIGURES,
+    dedup_cells, figure_table, host_cores, run_cells, Figure, Sweep, SweepCell, SweepConfig,
+    SweepReport,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -30,6 +30,7 @@ struct Args {
     baseline: bool,
     scale: Option<f64>,
     out: String,
+    table: Option<String>,
     resume: Option<PathBuf>,
     checkpoint_every: u64,
     retries: u32,
@@ -37,7 +38,7 @@ struct Args {
     store_cap: Option<u64>,
     store_fault_seed: u64,
     store_fault_rate: f64,
-    figures: Vec<String>,
+    figures: Vec<Figure>,
     apps: Option<Vec<String>>,
 }
 
@@ -87,6 +88,8 @@ fn usage() -> ! {
          --apps LIST    comma-separated app-name filter applied to the cells\n\
          --selftest     verify parallel RunStats are bit-identical to serial per figure\n\
          --out PATH     report path (default: BENCH_sweep.json)\n\
+         --table PATH   also write the deterministic figure table (the exact\n\
+                        bytes caba-serve streams for the same cells)\n\
          \n\
          store scrub    verify every store entry's checksum; quarantine (never\n\
                         delete) corrupt entries and stale temps; write a JSON\n\
@@ -204,6 +207,7 @@ fn parse_args() -> Args {
         baseline: false,
         scale: None,
         out: "BENCH_sweep.json".to_string(),
+        table: None,
         resume: None,
         checkpoint_every: 0,
         retries: 1,
@@ -211,7 +215,7 @@ fn parse_args() -> Args {
         store_cap: None,
         store_fault_seed: 0,
         store_fault_rate: 0.0,
-        figures: FIGURES.iter().map(|f| f.to_string()).collect(),
+        figures: Figure::DEFAULT_SWEEP.to_vec(),
         apps: None,
     };
     let mut it = std::env::args().skip(1);
@@ -221,6 +225,7 @@ fn parse_args() -> Args {
             "--intra-jobs" => args.intra_jobs = parse_flag(&a, it.next()),
             "--scale" => args.scale = Some(parse_flag(&a, it.next())),
             "--out" => args.out = it.next().unwrap_or_else(|| missing_value("--out")),
+            "--table" => args.table = Some(it.next().unwrap_or_else(|| missing_value("--table"))),
             "--ref-wall" => args.ref_wall = Some(parse_flag(&a, it.next())),
             "--max-wall" => args.max_wall = Some(parse_flag(&a, it.next())),
             "--resume" => {
@@ -251,13 +256,15 @@ fn parse_args() -> Args {
             "--store-fault-rate" => args.store_fault_rate = parse_flag(&a, it.next()),
             "--figures" => {
                 let list: String = it.next().unwrap_or_else(|| missing_value("--figures"));
-                args.figures = list.split(',').map(|s| s.trim().to_string()).collect();
-                for f in &args.figures {
-                    if figure_cells(f).is_none() {
-                        eprintln!("caba-sweep: unknown figure {f:?}\n");
-                        usage();
-                    }
-                }
+                args.figures = list
+                    .split(',')
+                    .map(|s| {
+                        s.trim().parse::<Figure>().unwrap_or_else(|e| {
+                            eprintln!("caba-sweep: {e}\n");
+                            usage();
+                        })
+                    })
+                    .collect();
             }
             "--apps" => {
                 let list: String = it.next().unwrap_or_else(|| missing_value("--apps"));
@@ -345,6 +352,13 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     eprintln!("report written to {}", args.out);
+    if let Some(path) = &args.table {
+        if let Err(e) = write_file_atomic(path, figure_table(&report.results).as_bytes()) {
+            eprintln!("caba-sweep: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("figure table written to {path}");
+    }
     if let Some(max) = args.max_wall {
         let wall = report.parallel_wall_s;
         if wall > max {
@@ -410,11 +424,7 @@ fn open_store(args: &Args) -> Result<Option<Store>, Box<dyn std::error::Error>> 
 
 /// The selected figures' cells, deduplicated and app-filtered.
 fn selected_cells(args: &Args) -> Vec<SweepCell> {
-    let groups: Vec<_> = args
-        .figures
-        .iter()
-        .map(|f| figure_cells(f).expect("figures validated at parse time"))
-        .collect();
+    let groups: Vec<_> = args.figures.iter().map(|f| f.cells()).collect();
     let mut cells = dedup_cells(&groups);
     if let Some(apps) = &args.apps {
         cells.retain(|c| apps.iter().any(|a| a == c.app));
@@ -427,10 +437,11 @@ fn sweep(args: &Args) -> Result<SweepReport, Box<dyn std::error::Error>> {
     let sc = base_config(args, env_scale());
     let cells = selected_cells(args);
     let cjobs = cell_jobs(args);
+    let fig_names: Vec<String> = args.figures.iter().map(Figure::to_string).collect();
     eprintln!(
         "sweep: {} cells ({}) at scale {} with {} cell jobs x {} intra jobs",
         cells.len(),
-        args.figures.join("+"),
+        fig_names.join("+"),
         sc.scale,
         cjobs,
         args.intra_jobs
@@ -450,17 +461,17 @@ fn sweep(args: &Args) -> Result<SweepReport, Box<dyn std::error::Error>> {
     };
     let t0 = Instant::now();
     let results = if args.resume.is_some() || store.is_some() {
+        let mut sweep = Sweep::new(&sc, cells.clone())
+            .jobs(cjobs)
+            .retries(args.retries);
         if let Some(manifest) = &args.resume {
             eprintln!("  journaling to {} (resume-capable)", manifest.display());
+            sweep = sweep.journal(manifest);
         }
-        run_cells_stored(
-            &sc,
-            &cells,
-            cjobs,
-            args.retries,
-            args.resume.as_deref(),
-            store.as_ref(),
-        )?
+        if let Some(store) = &store {
+            sweep = sweep.store(store);
+        }
+        sweep.run()?.results
     } else {
         run_cells(&sc, &cells, cjobs)
     };
@@ -496,7 +507,7 @@ fn sweep(args: &Args) -> Result<SweepReport, Box<dyn std::error::Error>> {
         jobs: args.jobs,
         intra_jobs: args.intra_jobs,
         host_cores: host_cores(),
-        figures: args.figures.clone(),
+        figures: fig_names,
         serial_wall_s,
         ref_wall_s: args.ref_wall,
         parallel_wall_s,
@@ -519,8 +530,8 @@ fn selftest(args: &Args) -> (SweepReport, bool) {
     let mut serial_total = 0.0f64;
     let mut parallel_total = 0.0f64;
     let mut ok = true;
-    for fig in FIGURES {
-        let cells = figure_cells(fig).expect("known figure");
+    for fig in Figure::DEFAULT_SWEEP {
+        let cells = fig.cells();
         eprintln!(
             "selftest {fig}: {} cells at scale {} ({cjobs} cell jobs x {} intra jobs vs serial)",
             cells.len(),
@@ -562,7 +573,10 @@ fn selftest(args: &Args) -> (SweepReport, bool) {
         jobs: args.jobs,
         intra_jobs: args.intra_jobs,
         host_cores: host_cores(),
-        figures: FIGURES.iter().map(|f| f.to_string()).collect(),
+        figures: Figure::DEFAULT_SWEEP
+            .iter()
+            .map(Figure::to_string)
+            .collect(),
         serial_wall_s: Some(serial_total),
         ref_wall_s: args.ref_wall,
         parallel_wall_s: parallel_total,

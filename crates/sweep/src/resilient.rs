@@ -28,19 +28,19 @@
 //!
 //! [`GpuConfig`]: caba_sim::GpuConfig
 
+use crate::cell::{run_cell, CellSpec};
+use crate::fork::ForkError;
 use crate::{CellResult, SweepCell, SweepConfig};
-use caba_sim::snapshot::config_hash;
 use caba_sim::RunStats;
 use caba_stats::snap::{checksum64, SnapshotReader, SnapshotState, SnapshotWriter};
-use caba_store::Store;
-use caba_workloads::{app, run_app};
+use caba_store::{Store, StoreError};
+use caba_workloads::app;
 use std::fmt;
 use std::io::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
 
 /// Why a cell could not produce statistics.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -109,6 +109,17 @@ pub enum SweepError {
     /// One or more cells failed every attempt. The journal retains every
     /// completed cell, so a later `--resume` re-runs only these.
     CellsFailed(Vec<(SweepCell, CellFailure)>),
+    /// Opening the durable store failed ([`Sweep::store_dir`]).
+    ///
+    /// [`Sweep::store_dir`]: crate::Sweep::store_dir
+    Store(StoreError),
+    /// A forked sweep ([`Sweep::forked`]) failed.
+    ///
+    /// [`Sweep::forked`]: crate::Sweep::forked
+    Fork(ForkError),
+    /// The requested option combination is not executable (e.g. a forked
+    /// sweep over non-stock bandwidth cells).
+    InvalidOptions(String),
 }
 
 impl fmt::Display for SweepError {
@@ -137,6 +148,9 @@ impl fmt::Display for SweepError {
                 }
                 Ok(())
             }
+            SweepError::Store(e) => write!(f, "opening store: {e}"),
+            SweepError::Fork(e) => write!(f, "forked sweep: {e}"),
+            SweepError::InvalidOptions(msg) => write!(f, "invalid sweep options: {msg}"),
         }
     }
 }
@@ -146,58 +160,61 @@ impl std::error::Error for SweepError {}
 /// Content hash identifying a sweep: the canonicalized machine
 /// configuration plus the workload scale. Cells journal under this key;
 /// a manifest written for one sweep refuses to resume another.
+#[deprecated(since = "0.1.0", note = "use `CellSpec::sweep_hash` instead")]
 pub fn sweep_key(sc: &SweepConfig) -> u64 {
-    checksum64(format!("{:016x}|{:016x}", config_hash(&sc.cfg), sc.scale.to_bits()).as_bytes())
+    sweep_hash_of(sc)
+}
+
+/// [`CellSpec::sweep_hash`] for a whole sweep's shared options (every
+/// cell of one sweep shares the hash, so any representative spec works).
+fn sweep_hash_of(sc: &SweepConfig) -> u64 {
+    CellSpec {
+        app: "",
+        design: crate::DesignId::Base,
+        bw_scale: 1.0,
+        scale: sc.scale,
+        cfg: sc.cfg,
+    }
+    .sweep_hash()
 }
 
 /// Content hash identifying one cell within a sweep.
+#[deprecated(since = "0.1.0", note = "use `CellSpec::content_hash` instead")]
 pub fn cell_key(sc: &SweepConfig, cell: &SweepCell) -> u64 {
-    checksum64(
-        format!(
-            "{:016x}|{}|{}|{:016x}",
-            sweep_key(sc),
-            cell.app,
-            cell.design.label(),
-            cell.bw_scale.to_bits()
-        )
-        .as_bytes(),
-    )
+    CellSpec::new(sc, *cell).content_hash()
 }
 
 /// Runs one cell with panic isolation and bounded retry (`retries` extra
 /// attempts after the first). See the module docs for the classification
-/// rules.
+/// rules. A thin resilience layer over [`run_cell`].
 pub fn run_cell_resilient(sc: &SweepConfig, cell: SweepCell, retries: u32) -> ResilientOutcome {
+    // Unknown app names repeat forever; fail immediately and typed
+    // instead of letting `run_cell`'s panic burn the retry budget.
+    if app(cell.app).is_none() {
+        return ResilientOutcome {
+            cell,
+            attempts: 1,
+            result: Err(CellFailure {
+                class: FailureClass::DeterministicPanic,
+                errors: vec![format!("unknown app {}", cell.app)],
+            }),
+            recovered: false,
+        };
+    }
+    let spec = CellSpec::new(sc, cell);
     let mut errors: Vec<String> = Vec::new();
     for attempt in 0..=retries {
-        let t0 = Instant::now();
-        let outcome = catch_unwind(AssertUnwindSafe(|| {
-            let spec = app(cell.app)?;
-            let cfg = sc.cfg.with_bandwidth_scale(cell.bw_scale);
-            Some(run_app(&spec, cfg, cell.design.make(), sc.scale))
-        }));
+        let outcome = catch_unwind(AssertUnwindSafe(|| run_cell(&spec)));
         match outcome {
-            Ok(None) => {
-                // Unknown app names repeat forever; fail immediately.
+            Ok(Ok(result)) => {
                 return ResilientOutcome {
                     cell,
                     attempts: attempt + 1,
-                    result: Err(CellFailure {
-                        class: FailureClass::DeterministicPanic,
-                        errors: vec![format!("unknown app {}", cell.app)],
-                    }),
-                    recovered: false,
-                };
-            }
-            Ok(Some(Ok(stats))) => {
-                return ResilientOutcome {
-                    cell,
-                    attempts: attempt + 1,
-                    result: Ok((stats, t0.elapsed().as_secs_f64())),
+                    result: Ok((result.stats, result.wall_s)),
                     recovered: attempt > 0,
                 };
             }
-            Ok(Some(Err(run_err))) => {
+            Ok(Err(run_err)) => {
                 // The simulator is bit-deterministic: a RunError will
                 // repeat identically, so there is nothing to retry.
                 errors.push(run_err.to_string());
@@ -380,14 +397,16 @@ pub fn decode_result_payload(bytes: &[u8]) -> Option<(RunStats, f64)> {
 /// a killed sweep resumes from where it died. Results return in **input
 /// order** with journaled wall times for restored cells.
 ///
-/// Delegates to [`run_cells_stored`] with no durable store attached.
-///
 /// # Errors
 ///
 /// [`SweepError::ManifestMismatch`] before any cell runs if the journal
 /// belongs to a different sweep; [`SweepError::CellsFailed`] after the
 /// sweep if any cell failed every attempt (completed cells stay
 /// journaled); [`SweepError::Io`] on journal I/O failures.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Sweep::new(sc, cells).journal(path).run()` instead"
+)]
 pub fn run_cells_journaled(
     sc: &SweepConfig,
     cells: &[SweepCell],
@@ -395,26 +414,15 @@ pub fn run_cells_journaled(
     retries: u32,
     manifest: &Path,
 ) -> Result<Vec<CellResult>, SweepError> {
-    run_cells_stored(sc, cells, jobs, retries, Some(manifest), None)
+    exec_stored(sc, cells, jobs, retries, Some(manifest), None).map(|(results, _)| results)
 }
 
-/// The store-backed executor behind [`run_cells_journaled`]: panic
-/// isolation and bounded retry, plus an optional resume journal and an
-/// optional durable result [`Store`].
-///
-/// Before running anything, every cell the journal does not cover is
-/// looked up in the store — results persisted by an *earlier process*
-/// warm-start this one bit-identically (each cell is deterministic, so a
-/// restored result equals a recomputed one). Every newly finished cell is
-/// journaled and persisted to the store as it completes.
-///
-/// Store faults degrade gracefully: a failed read means the cell
-/// recomputes, a failed write means it will recompute next time — the
-/// sweep's results are never affected, only its speed.
-///
-/// # Errors
-///
-/// As [`run_cells_journaled`].
+/// The store-backed executor: panic isolation and bounded retry, plus an
+/// optional resume journal and an optional durable result [`Store`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Sweep::new(sc, cells).journal(path).store(&store).run()` instead"
+)]
 pub fn run_cells_stored(
     sc: &SweepConfig,
     cells: &[SweepCell],
@@ -423,8 +431,43 @@ pub fn run_cells_stored(
     manifest: Option<&Path>,
     store: Option<&Store>,
 ) -> Result<Vec<CellResult>, SweepError> {
-    let skey = sweep_key(sc);
-    let keys: Vec<u64> = cells.iter().map(|c| cell_key(sc, c)).collect();
+    exec_stored(sc, cells, jobs, retries, manifest, store).map(|(results, _)| results)
+}
+
+/// The one resilient executor every batch layer composes over
+/// ([`run_cells_journaled`]/[`run_cells_stored`] wrappers and the
+/// [`Sweep`](crate::Sweep) builder): panic isolation and bounded retry
+/// around [`run_cell`], plus an optional resume journal and an optional
+/// durable result [`Store`]. Returns the results in **input order**
+/// together with the number of cells restored from the store.
+///
+/// Before running anything, every cell the journal does not cover is
+/// looked up in the store by [`CellSpec::content_hash`] — results
+/// persisted by an *earlier process* warm-start this one bit-identically
+/// (each cell is deterministic, so a restored result equals a recomputed
+/// one). Every newly finished cell is journaled and persisted to the
+/// store as it completes.
+///
+/// Store faults degrade gracefully: a failed read means the cell
+/// recomputes, a failed write means it will recompute next time — the
+/// sweep's results are never affected, only its speed.
+///
+/// # Errors
+///
+/// As [`run_cells_journaled`].
+pub(crate) fn exec_stored(
+    sc: &SweepConfig,
+    cells: &[SweepCell],
+    jobs: usize,
+    retries: u32,
+    manifest: Option<&Path>,
+    store: Option<&Store>,
+) -> Result<(Vec<CellResult>, usize), SweepError> {
+    let skey = sweep_hash_of(sc);
+    let keys: Vec<u64> = cells
+        .iter()
+        .map(|c| CellSpec::new(sc, *c).content_hash())
+        .collect();
     let mut done = match manifest {
         Some(path) => read_manifest(path, skey)?,
         None => std::collections::HashMap::new(),
@@ -511,13 +554,7 @@ pub fn run_cells_stored(
                         let _ = f.write_all(line.as_bytes()).and_then(|()| f.flush());
                     }
                     if let Some(store) = store {
-                        let label = format!(
-                            "cell {}/{} @ {}x BW scale {}",
-                            cells[i].app,
-                            cells[i].design.label(),
-                            cells[i].bw_scale,
-                            sc.scale
-                        );
+                        let label = CellSpec::new(sc, cells[i]).label();
                         if let Err(e) =
                             store.put_result(keys[i], &label, &encode_result_payload(stats, *wall))
                         {
@@ -565,34 +602,47 @@ pub fn run_cells_stored(
         }
     }
     if failed.is_empty() {
-        Ok(results)
+        Ok((results, store_hits.len()))
     } else {
         Err(SweepError::CellsFailed(failed))
     }
 }
 
+/// One line of the deterministic figure table for a finished cell:
+/// app, design, bandwidth, and every derived rate from
+/// [`RunStats::summary`] — no wall times, so the line is a pure function
+/// of the cell's (bit-deterministic) statistics. [`figure_table`] and the
+/// `caba-serve` streaming figure endpoint both emit exactly these bytes,
+/// which is what makes the served table byte-identical to the offline one.
+pub fn figure_table_line(cell: &SweepCell, stats: &RunStats) -> String {
+    format!(
+        "{}\t{}\t{}\t{}\n",
+        cell.app,
+        cell.design.label(),
+        cell.bw_scale,
+        stats.summary().to_json()
+    )
+}
+
 /// The deterministic figure table derived from sweep results: one line per
-/// cell with every derived rate from [`RunStats::summary`], and no wall
-/// times. Two sweeps over the same cells produce byte-identical tables —
-/// including a journaled sweep resumed after a kill.
+/// cell ([`figure_table_line`]), and no wall times. Two sweeps over the
+/// same cells produce byte-identical tables — including a journaled sweep
+/// resumed after a kill, a store-warm-started fresh process, or the table
+/// served over HTTP by `caba-serve`.
 pub fn figure_table(results: &[CellResult]) -> String {
     let mut s = String::with_capacity(128 * results.len());
     for r in results {
-        s.push_str(&format!(
-            "{}\t{}\t{}\t{}\n",
-            r.cell.app,
-            r.cell.design.label(),
-            r.cell.bw_scale,
-            r.stats.summary().to_json()
-        ));
+        s.push_str(&figure_table_line(&r.cell, &r.stats));
     }
     s
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the deprecated wrappers stay covered until removal
 mod tests {
     use super::*;
     use crate::DesignId;
+    use caba_sim::snapshot::config_hash;
     use caba_sim::GpuConfig;
 
     fn tiny_sc() -> SweepConfig {
@@ -631,6 +681,37 @@ mod tests {
         tolerated.cfg.intra_jobs = 4;
         tolerated.cfg.checkpoint_interval = 500;
         assert_eq!(sweep_key(&sc), sweep_key(&tolerated));
+    }
+
+    /// Satellite pin: the resume journal (historically `cell_key`), the
+    /// durable store, and the `caba-serve` service all key cells by
+    /// [`CellSpec::content_hash`] — one derivation, provably shared, and
+    /// byte-compatible with the pre-refactor formula so stores written by
+    /// earlier builds stay warm.
+    #[test]
+    fn keys_agree_across_journal_store_and_server() {
+        let sc = tiny_sc();
+        for cell in tiny_cells() {
+            let spec = CellSpec::new(&sc, cell);
+            assert_eq!(cell_key(&sc, &cell), spec.content_hash());
+            assert_eq!(sweep_key(&sc), spec.sweep_hash());
+            // The pre-refactor formulas, spelled out literally.
+            let legacy_sweep = checksum64(
+                format!("{:016x}|{:016x}", config_hash(&sc.cfg), sc.scale.to_bits()).as_bytes(),
+            );
+            let legacy_cell = checksum64(
+                format!(
+                    "{:016x}|{}|{}|{:016x}",
+                    legacy_sweep,
+                    cell.app,
+                    cell.design.label(),
+                    cell.bw_scale.to_bits()
+                )
+                .as_bytes(),
+            );
+            assert_eq!(spec.sweep_hash(), legacy_sweep);
+            assert_eq!(spec.content_hash(), legacy_cell);
+        }
     }
 
     #[test]

@@ -4,9 +4,7 @@
 //! produce a figure table byte-identical to an unbroken in-process run —
 //! the store is a pure accelerator, never an influence.
 
-use caba_sweep::{
-    dedup_cells, figure_cells, figure_table, run_cells, run_cells_stored, SweepCell, SweepConfig,
-};
+use caba_sweep::{dedup_cells, figure_table, run_cells, Figure, Sweep, SweepCell, SweepConfig};
 use std::process::Command;
 
 const SCALE: &str = "0.05";
@@ -15,7 +13,7 @@ const APPS: [&str; 2] = ["CONS", "BFS"];
 /// The exact cell list `caba-sweep --figures fig07 --apps CONS,BFS`
 /// selects, mirrored in-process so cell keys agree.
 fn cells() -> Vec<SweepCell> {
-    let groups = vec![figure_cells("fig07").expect("fig07 is ported")];
+    let groups = vec![Figure::Fig07.cells()];
     let mut cells = dedup_cells(&groups);
     cells.retain(|c| APPS.contains(&c.app));
     assert!(!cells.is_empty());
@@ -103,15 +101,18 @@ fn killed_sweep_resumes_bit_identically_in_a_fresh_process() {
     // Golden pin: a third "process" (fresh Store instance) restores every
     // cell from disk and reproduces the unbroken table byte for byte.
     let store = caba_store::Store::open(&store_dir).expect("store reopens");
-    let restored =
-        run_cells_stored(&sc(), &cells(), 2, 0, None, Some(&store)).expect("warm-started sweep");
+    let restored = Sweep::new(&sc(), cells())
+        .jobs(2)
+        .store(&store)
+        .run()
+        .expect("warm-started sweep");
     assert_eq!(
-        store.hit_count() as usize,
+        restored.store_hits,
         cells().len(),
         "every cell should restore from the two CLI processes' work"
     );
     assert_eq!(
-        figure_table(&restored),
+        figure_table(&restored.results),
         reference,
         "cross-process warm start diverged from the unbroken run"
     );
